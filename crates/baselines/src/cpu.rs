@@ -1,0 +1,350 @@
+//! Single-threaded CPU kernel k-means (the PRMLT stand-in, paper §5.4).
+//!
+//! The PRMLT MATLAB implementation computes the kernel matrix densely and
+//! evaluates the kernel-trick distances with dense matrix arithmetic on a
+//! single core. This module reproduces that behaviour: straightforward
+//! sequential loops (no SpMM/SpMV, no multi-threading), charged to the
+//! single-core EPYC 7763 cost model. Numerically it solves exactly the same
+//! problem as Popcorn, so the two can be cross-validated label-for-label.
+
+use popcorn_core::assignment::repair_empty_clusters;
+use popcorn_core::init::initial_assignments;
+use popcorn_core::kernel::KernelFunction;
+use popcorn_core::result::{ClusteringResult, IterationStats, TimingBreakdown};
+use popcorn_core::{CoreError, KernelKmeansConfig};
+use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+
+/// Single-threaded dense CPU kernel k-means.
+#[derive(Debug, Clone)]
+pub struct CpuKernelKmeans {
+    config: KernelKmeansConfig,
+    executor: Option<SimExecutor>,
+}
+
+impl CpuKernelKmeans {
+    /// Create a solver with the given configuration (same options as Popcorn).
+    pub fn new(config: KernelKmeansConfig) -> Self {
+        Self { config, executor: None }
+    }
+
+    /// Use a specific executor (defaults to the single-core EPYC model).
+    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    fn executor_for<T: Scalar>(&self) -> SimExecutor {
+        self.executor.clone().unwrap_or_else(|| {
+            SimExecutor::new(DeviceSpec::epyc7763_single_core(), std::mem::size_of::<T>())
+        })
+    }
+
+    /// Run the full pipeline: dense kernel matrix, then sequential iterations.
+    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> popcorn_core::Result<ClusteringResult> {
+        let n = points.rows();
+        let d = points.cols();
+        self.config.validate(n)?;
+        if d == 0 {
+            return Err(CoreError::InvalidInput("points have zero features".into()));
+        }
+        let executor = self.executor_for::<T>();
+        let elem = std::mem::size_of::<T>();
+
+        // Dense, sequential K = kernel(P Pᵀ): always the full GEMM-equivalent
+        // work (PRMLT does not use SYRK).
+        let kernel_matrix = executor.run(
+            format!("cpu dense kernel matrix (n={n}, d={d})"),
+            Phase::KernelMatrix,
+            OpClass::Gemm,
+            OpCost::gemm(n, n, d, elem),
+            || compute_kernel_matrix_sequential(points, self.config.kernel),
+        );
+        self.iterate(&kernel_matrix, &executor)
+    }
+
+    /// Run only the clustering iterations on a precomputed kernel matrix.
+    pub fn fit_from_kernel<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+    ) -> popcorn_core::Result<ClusteringResult> {
+        let executor = self.executor_for::<T>();
+        self.iterate(kernel_matrix, &executor)
+    }
+
+    fn iterate<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> popcorn_core::Result<ClusteringResult> {
+        let n = kernel_matrix.rows();
+        self.config.validate(n)?;
+        if !kernel_matrix.is_square() {
+            return Err(CoreError::InvalidInput("kernel matrix must be square".into()));
+        }
+        let k = self.config.k;
+        let elem = std::mem::size_of::<T>();
+
+        let mut labels =
+            initial_assignments(kernel_matrix, k, self.config.init, self.config.seed)?;
+        let mut history = Vec::with_capacity(self.config.max_iter);
+        let mut converged = false;
+        let mut iterations = 0usize;
+        let mut prev_objective = f64::INFINITY;
+
+        for iteration in 0..self.config.max_iter {
+            // One sequential pass over K computing the distance of every
+            // point to every cluster centroid via the kernel trick.
+            let distances = executor.run(
+                format!("cpu distances iteration {iteration} (n={n}, k={k})"),
+                Phase::PairwiseDistances,
+                OpClass::Gemm, // dense arithmetic at CPU efficiencies
+                OpCost::new(
+                    2 * (n as u64) * (n as u64),
+                    (n * n * elem) as u64,
+                    (n * k * elem) as u64,
+                ),
+                || distances_sequential(kernel_matrix, &labels, k),
+            );
+
+            let (new_labels, changed, objective, empty_clusters) = executor.run(
+                format!("cpu argmin iteration {iteration}"),
+                Phase::Assignment,
+                OpClass::Reduction,
+                OpCost::elementwise(n * k, 1, 0, 1, elem),
+                || {
+                    let mut changed = 0usize;
+                    let mut objective = 0.0f64;
+                    let mut new_labels = vec![0usize; n];
+                    for i in 0..n {
+                        let mut best = 0usize;
+                        let mut best_val = f64::INFINITY;
+                        for j in 0..k {
+                            let v = distances[(i, j)].to_f64();
+                            if v < best_val {
+                                best_val = v;
+                                best = j;
+                            }
+                        }
+                        new_labels[i] = best;
+                        objective += best_val;
+                        if best != labels[i] {
+                            changed += 1;
+                        }
+                    }
+                    let mut sizes = vec![0usize; k];
+                    for &l in &new_labels {
+                        sizes[l] += 1;
+                    }
+                    let empty = sizes.iter().filter(|&&c| c == 0).count();
+                    (new_labels, changed, objective, empty)
+                },
+            );
+
+            let mut new_labels = new_labels;
+            if self.config.repair_empty_clusters && empty_clusters > 0 {
+                repair_empty_clusters(&mut new_labels, &distances, k);
+            }
+            history.push(IterationStats { iteration, objective, changed, empty_clusters });
+            labels = new_labels;
+            iterations = iteration + 1;
+
+            if self.config.check_convergence {
+                let rel_change = if prev_objective.is_finite() {
+                    (prev_objective - objective).abs() / objective.abs().max(f64::MIN_POSITIVE)
+                } else {
+                    f64::INFINITY
+                };
+                if changed == 0 || rel_change <= self.config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            prev_objective = objective;
+        }
+
+        let trace = executor.trace();
+        let objective = history.last().map(|h: &IterationStats| h.objective).unwrap_or(f64::NAN);
+        Ok(ClusteringResult {
+            labels,
+            k,
+            iterations,
+            converged,
+            objective,
+            history,
+            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
+            host_timings: TimingBreakdown::from_trace_host(&trace),
+            trace,
+        })
+    }
+}
+
+/// Sequential dense kernel-matrix computation (no blocking, no threads).
+fn compute_kernel_matrix_sequential<T: Scalar>(
+    points: &DenseMatrix<T>,
+    kernel: KernelFunction,
+) -> DenseMatrix<T> {
+    let n = points.rows();
+    let mut gram = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        let row_i = points.row(i);
+        for j in 0..n {
+            let row_j = points.row(j);
+            let mut acc = T::ZERO;
+            for (&a, &b) in row_i.iter().zip(row_j.iter()) {
+                acc = a.mul_add(b, acc);
+            }
+            gram[(i, j)] = acc;
+        }
+    }
+    kernel.apply_to_gram(&mut gram);
+    gram
+}
+
+/// Sequential kernel-trick distance computation:
+/// `D[i][c] = K_ii − (2/|L_c|) Σ_{q∈L_c} K_iq + (1/|L_c|²) Σ_{p,q∈L_c} K_pq`.
+fn distances_sequential<T: Scalar>(
+    kernel_matrix: &DenseMatrix<T>,
+    labels: &[usize],
+    k: usize,
+) -> DenseMatrix<T> {
+    let n = kernel_matrix.rows();
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    // Per-point, per-cluster row sums Σ_{q ∈ L_c} K_iq.
+    let mut row_sums = DenseMatrix::<T>::zeros(n, k);
+    for i in 0..n {
+        let row = kernel_matrix.row(i);
+        let out = row_sums.row_mut(i);
+        for (q, &v) in row.iter().enumerate() {
+            out[labels[q]] += v;
+        }
+    }
+    // Per-cluster self terms Σ_{p,q ∈ L_c} K_pq = Σ_{p ∈ L_c} row_sums[p][c].
+    let mut cluster_self = vec![0.0f64; k];
+    for i in 0..n {
+        cluster_self[labels[i]] += row_sums[(i, labels[i])].to_f64();
+    }
+    DenseMatrix::from_fn(n, k, |i, c| {
+        if sizes[c] == 0 {
+            return kernel_matrix[(i, i)];
+        }
+        let card = sizes[c] as f64;
+        let value = kernel_matrix[(i, i)].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
+            + cluster_self[c] / (card * card);
+        T::from_f64(value)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_core::KernelKmeans;
+
+    fn blob_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(20, 2, |i, j| {
+            let offset = if i < 10 { 0.0 } else { 15.0 };
+            offset + ((i * 2 + j) as f64 * 0.41).sin() * 0.4
+        })
+    }
+
+    fn config(k: usize) -> KernelKmeansConfig {
+        KernelKmeansConfig::paper_defaults(k)
+            .with_max_iter(15)
+            .with_convergence_check(true, 1e-10)
+            .with_seed(5)
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let result = CpuKernelKmeans::new(config(2)).fit(&blob_points()).unwrap();
+        assert!(result.converged);
+        let first = result.labels[0];
+        let second = result.labels[10];
+        assert_ne!(first, second);
+        assert!(result.labels[..10].iter().all(|&l| l == first));
+        assert!(result.labels[10..].iter().all(|&l| l == second));
+    }
+
+    #[test]
+    fn matches_popcorn_exactly_with_same_seed() {
+        // Same init, same kernel, same data => identical label sequences.
+        let points = blob_points();
+        for k in [2, 3, 4] {
+            let cpu = CpuKernelKmeans::new(config(k)).fit(&points).unwrap();
+            let popcorn = KernelKmeans::new(config(k)).fit(&points).unwrap();
+            assert_eq!(cpu.labels, popcorn.labels, "k = {k}");
+            assert_eq!(cpu.iterations, popcorn.iterations, "k = {k}");
+            assert!((cpu.objective - popcorn.objective).abs() < 1e-6, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn objective_monotone() {
+        let result = CpuKernelKmeans::new(config(3).with_convergence_check(false, 0.0))
+            .fit(&blob_points())
+            .unwrap();
+        let history = result.objective_history();
+        for w in history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn modeled_time_far_slower_than_popcorn_gpu() {
+        // The modeled single-core CPU should be at least an order of
+        // magnitude slower than the modeled A100 — the effect the paper's
+        // Figure 3 reports (11–73x for the baseline GPU code). Compared at a
+        // paper-scale problem size so launch overheads don't dominate.
+        use popcorn_gpusim::CostModel;
+        let cpu_model = CostModel::new(DeviceSpec::epyc7763_single_core(), 4);
+        let gpu_model = CostModel::new(DeviceSpec::a100_80gb(), 4);
+        let cost = OpCost::gemm(60_000, 60_000, 780, 4); // MNIST-sized kernel matrix
+        let speedup = cpu_model.time_seconds(OpClass::Gemm, &cost)
+            / gpu_model.time_seconds(OpClass::Gemm, &cost);
+        assert!(speedup > 10.0, "expected >10x, got {speedup:.1}x");
+    }
+
+    #[test]
+    fn validates_config_and_inputs() {
+        assert!(CpuKernelKmeans::new(config(50)).fit(&blob_points()).is_err());
+        let no_features = DenseMatrix::<f64>::zeros(5, 0);
+        assert!(CpuKernelKmeans::new(config(2)).fit(&no_features).is_err());
+        let rect = DenseMatrix::<f64>::zeros(4, 3);
+        assert!(CpuKernelKmeans::new(config(2)).fit_from_kernel(&rect).is_err());
+    }
+
+    #[test]
+    fn sequential_distance_helper_matches_core_reference() {
+        let points = blob_points();
+        let kernel_matrix = popcorn_core::kernel::kernel_matrix_reference(
+            &points,
+            KernelFunction::paper_polynomial(),
+        );
+        let labels: Vec<usize> = (0..points.rows()).map(|i| i % 3).collect();
+        let ours = distances_sequential(&kernel_matrix, &labels, 3);
+        let reference =
+            popcorn_core::distances::compute_distances_reference(&kernel_matrix, &labels, 3);
+        assert!(ours.approx_eq(&reference, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn uses_cpu_device_by_default() {
+        let result = CpuKernelKmeans::new(config(2)).fit(&blob_points()).unwrap();
+        assert!(result
+            .trace
+            .records()
+            .iter()
+            .all(|r| r.modeled_seconds >= 0.0));
+        // The default executor models the EPYC core: no 5 µs GPU launch gaps,
+        // so the number of records equals kernel matrix + 2 per iteration.
+        assert!(result.trace.len() >= 3);
+    }
+}

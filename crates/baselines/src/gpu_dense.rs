@@ -1,0 +1,389 @@
+//! The dense "CUDA baseline" (paper §5.3).
+//!
+//! The paper's baseline GPU implementation does not use sparse matrices. It
+//! computes the kernel matrix with cuBLAS GEMM (never SYRK, never the dynamic
+//! selection) and then evaluates the per-iteration distances with three
+//! hand-written kernels:
+//!
+//! 1. **Row reduction** — one thread block per row of `K`, reducing the
+//!    entries of the row into a shared-memory buffer of length `k` according
+//!    to the cluster assignment of the entry's column. Functionally this is
+//!    the SpMM of Popcorn; the shared-memory reduction and its bank conflicts
+//!    are why its throughput *drops* as `k` grows (Figure 5).
+//! 2. **Centroid norms** — `n` threads reduce the buffer from kernel 1 into
+//!    the per-cluster norms (the role of Popcorn's SpMV).
+//! 3. **Distance assembly** — `n·k` threads combine the two buffers with
+//!    `diag(K)` into the distance matrix.
+//!
+//! The host computation here produces numerically identical results to
+//! Popcorn; what differs is the cost accounting: kernel 1 and 2 are charged
+//! as [`OpClass::HandwrittenReduction`] with a utilization that *decreases*
+//! with `k`, reproducing the measured baseline behaviour.
+
+use popcorn_core::assignment::repair_empty_clusters;
+use popcorn_core::init::initial_assignments;
+use popcorn_core::result::{ClusteringResult, IterationStats, TimingBreakdown};
+use popcorn_core::{CoreError, KernelKmeansConfig};
+use popcorn_dense::{matmul_nt, row_argmin, DenseMatrix, Scalar};
+use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+
+/// Utilization hint for the baseline's shared-memory row-reduction kernel.
+///
+/// Larger `k` means a longer shared-memory buffer per thread block, more bank
+/// conflicts and more serialization of the final write-back; the paper
+/// measures baseline throughput falling from ~409 to ~304 GFLOP/s as `k`
+/// grows from 10 to 100. The model captures that with a utilization that
+/// decays linearly in `k` down to a floor of 0.8.
+pub fn reduction_utilization(k: usize) -> f64 {
+    (1.0 - 0.002 * k.min(100) as f64).max(0.8)
+}
+
+/// The paper's dense CUDA baseline implementation of kernel k-means.
+#[derive(Debug, Clone)]
+pub struct DenseGpuBaseline {
+    config: KernelKmeansConfig,
+    executor: Option<SimExecutor>,
+}
+
+impl DenseGpuBaseline {
+    /// Create a solver with the given configuration.
+    pub fn new(config: KernelKmeansConfig) -> Self {
+        Self { config, executor: None }
+    }
+
+    /// Use a specific executor (defaults to the A100 model).
+    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    fn executor_for<T: Scalar>(&self) -> SimExecutor {
+        self.executor
+            .clone()
+            .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
+    }
+
+    /// Run the full pipeline: upload, GEMM kernel matrix, then iterations.
+    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> popcorn_core::Result<ClusteringResult> {
+        let n = points.rows();
+        let d = points.cols();
+        self.config.validate(n)?;
+        if d == 0 {
+            return Err(CoreError::InvalidInput("points have zero features".into()));
+        }
+        let executor = self.executor_for::<T>();
+        let elem = std::mem::size_of::<T>();
+
+        executor.charge(
+            format!("upload P ({n} x {d})"),
+            Phase::DataPreparation,
+            OpClass::Transfer,
+            OpCost::transfer((n * d * elem) as u64),
+        );
+
+        // The baseline always uses GEMM for the kernel matrix (§5.3).
+        let kernel_matrix = executor.run(
+            format!("gemm kernel matrix (n={n}, d={d})"),
+            Phase::KernelMatrix,
+            OpClass::Gemm,
+            OpCost::gemm(n, n, d, elem),
+            || -> popcorn_core::Result<DenseMatrix<T>> {
+                let mut gram = matmul_nt(points, points)?;
+                self.config.kernel.apply_to_gram(&mut gram);
+                Ok(gram)
+            },
+        )?;
+        self.fit_from_kernel_with_executor(&kernel_matrix, &executor)
+    }
+
+    /// Run only the clustering iterations on a precomputed kernel matrix
+    /// (used by the distance-phase comparison, Figure 4).
+    pub fn fit_from_kernel<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+    ) -> popcorn_core::Result<ClusteringResult> {
+        let executor = self.executor_for::<T>();
+        self.fit_from_kernel_with_executor(kernel_matrix, &executor)
+    }
+
+    fn fit_from_kernel_with_executor<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> popcorn_core::Result<ClusteringResult> {
+        let n = kernel_matrix.rows();
+        self.config.validate(n)?;
+        if !kernel_matrix.is_square() {
+            return Err(CoreError::InvalidInput("kernel matrix must be square".into()));
+        }
+        let k = self.config.k;
+        let elem = std::mem::size_of::<T>();
+
+        let diag: Vec<T> = (0..n).map(|i| kernel_matrix[(i, i)]).collect();
+        let mut labels =
+            initial_assignments(kernel_matrix, k, self.config.init, self.config.seed)?;
+
+        let mut history = Vec::with_capacity(self.config.max_iter);
+        let mut converged = false;
+        let mut iterations = 0usize;
+        let mut prev_objective = f64::INFINITY;
+
+        for iteration in 0..self.config.max_iter {
+            let mut sizes = vec![0usize; k];
+            for &l in &labels {
+                sizes[l] += 1;
+            }
+
+            // Kernel 1: per-row reduction of K into an n x k buffer of
+            // cluster sums (the baseline's dominant kernel).
+            let row_sums = executor.run(
+                format!("baseline kernel 1: row reduction (n={n}, k={k})"),
+                Phase::PairwiseDistances,
+                OpClass::HandwrittenReduction,
+                OpCost::new(
+                    2 * (n as u64) * (n as u64),
+                    (n * n * elem) as u64,
+                    (n * k * elem) as u64,
+                )
+                .with_utilization(reduction_utilization(k)),
+                || {
+                    let mut sums = DenseMatrix::<T>::zeros(n, k);
+                    for i in 0..n {
+                        let row = kernel_matrix.row(i);
+                        let out = sums.row_mut(i);
+                        for (q, &v) in row.iter().enumerate() {
+                            out[labels[q]] += v;
+                        }
+                    }
+                    sums
+                },
+            );
+
+            // Kernel 2: reduce the buffer into per-cluster norms
+            // Σ_{p,q∈L_c} K_pq / |L_c|² (the role Popcorn's SpMV plays).
+            let centroid_norms = executor.run(
+                format!("baseline kernel 2: centroid norms (n={n}, k={k})"),
+                Phase::PairwiseDistances,
+                OpClass::HandwrittenReduction,
+                OpCost::new(2 * n as u64, (n * elem) as u64, (k * elem) as u64)
+                    .with_utilization(reduction_utilization(k)),
+                || {
+                    let mut norms = vec![0.0f64; k];
+                    for i in 0..n {
+                        norms[labels[i]] += row_sums[(i, labels[i])].to_f64();
+                    }
+                    norms
+                        .iter()
+                        .zip(sizes.iter())
+                        .map(|(&s, &card)| {
+                            if card == 0 {
+                                T::ZERO
+                            } else {
+                                T::from_f64(s / (card as f64 * card as f64))
+                            }
+                        })
+                        .collect::<Vec<T>>()
+                },
+            );
+
+            // Kernel 3: n*k threads assemble the distances.
+            let distances = executor.run(
+                format!("baseline kernel 3: distance assembly (n={n}, k={k})"),
+                Phase::PairwiseDistances,
+                OpClass::Elementwise,
+                OpCost::elementwise(n * k, 2, 1, 3, elem),
+                || {
+                    DenseMatrix::<T>::from_fn(n, k, |i, c| {
+                        if sizes[c] == 0 {
+                            return diag[i];
+                        }
+                        let card = sizes[c] as f64;
+                        T::from_f64(
+                            diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
+                                + centroid_norms[c].to_f64(),
+                        )
+                    })
+                },
+            );
+
+            // Argmin + cluster update (same RAPIDS-style reduction as Popcorn).
+            let new_labels = executor.run(
+                format!("baseline argmin (n={n}, k={k})"),
+                Phase::Assignment,
+                OpClass::Reduction,
+                OpCost::elementwise(n * k, 1, 0, 1, elem),
+                || row_argmin(&distances),
+            );
+            let changed =
+                new_labels.iter().zip(labels.iter()).filter(|(a, b)| a != b).count();
+            let objective: f64 = new_labels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| distances[(i, l)].to_f64())
+                .sum();
+            let mut new_sizes = vec![0usize; k];
+            for &l in &new_labels {
+                new_sizes[l] += 1;
+            }
+            let empty_clusters = new_sizes.iter().filter(|&&c| c == 0).count();
+
+            let mut new_labels = new_labels;
+            if self.config.repair_empty_clusters && empty_clusters > 0 {
+                repair_empty_clusters(&mut new_labels, &distances, k);
+            }
+            history.push(IterationStats { iteration, objective, changed, empty_clusters });
+            labels = new_labels;
+            iterations = iteration + 1;
+
+            if self.config.check_convergence {
+                let rel_change = if prev_objective.is_finite() {
+                    (prev_objective - objective).abs() / objective.abs().max(f64::MIN_POSITIVE)
+                } else {
+                    f64::INFINITY
+                };
+                if changed == 0 || rel_change <= self.config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            prev_objective = objective;
+        }
+
+        let trace = executor.trace();
+        let objective = history.last().map(|h: &IterationStats| h.objective).unwrap_or(f64::NAN);
+        Ok(ClusteringResult {
+            labels,
+            k,
+            iterations,
+            converged,
+            objective,
+            history,
+            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
+            host_timings: TimingBreakdown::from_trace_host(&trace),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_core::kernel::KernelFunction;
+    use popcorn_core::KernelKmeans;
+
+    fn blob_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(24, 3, |i, j| {
+            let offset = if i < 12 { 0.0 } else { 12.0 };
+            offset + ((i * 3 + j) as f64 * 0.29).cos() * 0.6
+        })
+    }
+
+    fn config(k: usize) -> KernelKmeansConfig {
+        KernelKmeansConfig::paper_defaults(k)
+            .with_max_iter(15)
+            .with_convergence_check(true, 1e-10)
+            .with_seed(9)
+    }
+
+    #[test]
+    fn matches_popcorn_labels_exactly() {
+        let points = blob_points();
+        for kernel in [KernelFunction::Linear, KernelFunction::paper_polynomial()] {
+            for k in [2, 3, 5] {
+                let cfg = config(k).with_kernel(kernel);
+                let baseline = DenseGpuBaseline::new(cfg.clone()).fit(&points).unwrap();
+                let popcorn = KernelKmeans::new(cfg).fit(&points).unwrap();
+                assert_eq!(baseline.labels, popcorn.labels, "kernel {} k {k}", kernel.name());
+                assert!((baseline.objective - popcorn.objective).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let result = DenseGpuBaseline::new(config(2)).fit(&blob_points()).unwrap();
+        assert!(result.converged);
+        assert_eq!(result.non_empty_clusters(), 2);
+    }
+
+    #[test]
+    fn uses_handwritten_kernel_class_not_spmm() {
+        let result = DenseGpuBaseline::new(config(3)).fit(&blob_points()).unwrap();
+        let (hand_time, hand_flops) =
+            result.trace.class_summary(OpClass::HandwrittenReduction);
+        assert!(hand_time > 0.0);
+        assert!(hand_flops > 0);
+        let (spmm_time, _) = result.trace.class_summary(OpClass::SpMM);
+        assert_eq!(spmm_time, 0.0);
+        let (spmv_time, _) = result.trace.class_summary(OpClass::SpMV);
+        assert_eq!(spmv_time, 0.0);
+    }
+
+    #[test]
+    fn modeled_distance_phase_slower_than_popcorn() {
+        // The crux of Figure 4: for the same paper-scale problem, the
+        // baseline's hand-written reduction kernel is modeled slower than
+        // Popcorn's cuSPARSE-class SpMM — by roughly the 1.5–2.6x the paper
+        // measures. (At toy sizes kernel-launch overhead hides the effect,
+        // so this checks the cost model at a representative size.)
+        use popcorn_core::distances::spmm_utilization;
+        use popcorn_gpusim::CostModel;
+        let model = CostModel::new(DeviceSpec::a100_80gb(), 4);
+        let mut previous = 0.0f64;
+        for k in [10usize, 50, 100] {
+            let n = 20_000usize;
+            let popcorn_cost =
+                OpCost::spmm_kvt(n, k, 4, 4).with_utilization(spmm_utilization(k));
+            let baseline_cost = OpCost::new(
+                2 * (n as u64) * (n as u64),
+                (n * n * 4) as u64,
+                (n * k * 4) as u64,
+            )
+            .with_utilization(reduction_utilization(k));
+            let t_popcorn = model.time_seconds(OpClass::SpMM, &popcorn_cost);
+            let t_baseline =
+                model.time_seconds(OpClass::HandwrittenReduction, &baseline_cost);
+            let speedup = t_baseline / t_popcorn;
+            assert!(
+                speedup > 1.2 && speedup < 3.0,
+                "k = {k}: modeled speedup {speedup:.2} out of the expected band"
+            );
+            assert!(speedup > previous, "speedup should grow with k in the model");
+            previous = speedup;
+        }
+    }
+
+    #[test]
+    fn reduction_utilization_decreases_with_k() {
+        assert!(reduction_utilization(10) > reduction_utilization(50));
+        assert!(reduction_utilization(50) > reduction_utilization(100));
+        assert!(reduction_utilization(100) >= 0.6);
+        assert!(reduction_utilization(10_000) >= 0.6);
+        assert!(reduction_utilization(1) <= 1.0);
+    }
+
+    #[test]
+    fn objective_monotone() {
+        let result = DenseGpuBaseline::new(config(4).with_convergence_check(false, 0.0))
+            .fit(&blob_points())
+            .unwrap();
+        let history = result.objective_history();
+        for w in history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(DenseGpuBaseline::new(config(100)).fit(&blob_points()).is_err());
+        let rect = DenseMatrix::<f64>::zeros(3, 2);
+        assert!(DenseGpuBaseline::new(config(2)).fit_from_kernel(&rect).is_err());
+        let no_features = DenseMatrix::<f64>::zeros(5, 0);
+        assert!(DenseGpuBaseline::new(config(2)).fit(&no_features).is_err());
+    }
+}

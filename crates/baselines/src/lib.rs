@@ -1,0 +1,29 @@
+//! # popcorn-baselines
+//!
+//! The comparison implementations the paper evaluates Popcorn against:
+//!
+//! * [`cpu::CpuKernelKmeans`] — a faithful single-threaded dense CPU kernel
+//!   k-means, standing in for the PRMLT (MATLAB) implementation used in
+//!   §5.4. Charged to a one-core EPYC 7763 cost model.
+//! * [`gpu_dense::DenseGpuBaseline`] — the paper's in-house "CUDA baseline"
+//!   (§5.3): GEMM-only kernel matrix plus three hand-written kernels (a
+//!   shared-memory row reduction, a centroid-norm reduction and an
+//!   embarrassingly parallel distance assembly). Numerically identical to
+//!   Popcorn; charged with the hand-written kernels' less favourable memory
+//!   behaviour.
+//! * [`lloyd::LloydKmeans`] — classical (linear) k-means, used by the
+//!   examples to demonstrate the clustering-quality gap on non-linearly
+//!   separable data that motivates kernel k-means in the first place.
+//!
+//! All solvers accept the same [`popcorn_core::KernelKmeansConfig`] (Lloyd
+//! ignores the kernel) and return the same
+//! [`popcorn_core::ClusteringResult`], so the experiment harness can swap
+//! them freely.
+
+pub mod cpu;
+pub mod gpu_dense;
+pub mod lloyd;
+
+pub use cpu::CpuKernelKmeans;
+pub use gpu_dense::DenseGpuBaseline;
+pub use lloyd::LloydKmeans;

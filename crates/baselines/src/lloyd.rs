@@ -1,0 +1,265 @@
+//! Classical (linear) k-means — Lloyd's algorithm.
+//!
+//! Kernel k-means exists because Lloyd's algorithm can only find linearly
+//! separable clusters (paper §1–2). This implementation exists so the
+//! examples and tests can demonstrate that gap: on concentric rings / moons
+//! Lloyd fails while kernel k-means succeeds; on plain Gaussian blobs the two
+//! agree. It also provides the `-l`-style alternative solver the artifact CLI
+//! exposes.
+
+use popcorn_core::result::{ClusteringResult, IterationStats, TimingBreakdown};
+use popcorn_core::{CoreError, KernelKmeansConfig};
+use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Classical k-means via Lloyd's algorithm on the raw points.
+#[derive(Debug, Clone)]
+pub struct LloydKmeans {
+    config: KernelKmeansConfig,
+    executor: Option<SimExecutor>,
+}
+
+impl LloydKmeans {
+    /// Create a solver. The `kernel` field of the configuration is ignored
+    /// (Lloyd's algorithm works in the input space).
+    pub fn new(config: KernelKmeansConfig) -> Self {
+        Self { config, executor: None }
+    }
+
+    /// Use a specific executor (defaults to the A100 model, matching the GPU
+    /// classical-k-means implementations the paper cites).
+    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    fn executor_for<T: Scalar>(&self) -> SimExecutor {
+        self.executor
+            .clone()
+            .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
+    }
+
+    /// Run Lloyd's algorithm.
+    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> popcorn_core::Result<ClusteringResult> {
+        let n = points.rows();
+        let d = points.cols();
+        self.config.validate(n)?;
+        if d == 0 {
+            return Err(CoreError::InvalidInput("points have zero features".into()));
+        }
+        let k = self.config.k;
+        let elem = std::mem::size_of::<T>();
+        let executor = self.executor_for::<T>();
+
+        // Initial centroids: k distinct points chosen uniformly at random
+        // (the "random" initialisation of classical k-means).
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let mut centroids: Vec<Vec<f64>> = indices[..k]
+            .iter()
+            .map(|&i| points.row(i).iter().map(|v| v.to_f64()).collect())
+            .collect();
+
+        let mut labels = vec![0usize; n];
+        let mut history = Vec::with_capacity(self.config.max_iter);
+        let mut converged = false;
+        let mut iterations = 0usize;
+        let mut prev_objective = f64::INFINITY;
+
+        for iteration in 0..self.config.max_iter {
+            // Assignment step: nearest centroid in Euclidean distance.
+            let (new_labels, objective) = executor.run(
+                format!("lloyd assignment (n={n}, d={d}, k={k})"),
+                Phase::PairwiseDistances,
+                OpClass::Gemm,
+                OpCost::new(
+                    3 * (n as u64) * (k as u64) * (d as u64),
+                    ((n * d + k * d) * elem) as u64,
+                    (n * elem) as u64,
+                ),
+                || {
+                    let mut new_labels = vec![0usize; n];
+                    let mut objective = 0.0f64;
+                    for i in 0..n {
+                        let row = points.row(i);
+                        let mut best = 0usize;
+                        let mut best_d = f64::INFINITY;
+                        for (c, centroid) in centroids.iter().enumerate() {
+                            let mut dist = 0.0f64;
+                            for (x, &cj) in row.iter().zip(centroid.iter()) {
+                                let diff = x.to_f64() - cj;
+                                dist += diff * diff;
+                            }
+                            if dist < best_d {
+                                best_d = dist;
+                                best = c;
+                            }
+                        }
+                        new_labels[i] = best;
+                        objective += best_d;
+                    }
+                    (new_labels, objective)
+                },
+            );
+
+            let changed =
+                new_labels.iter().zip(labels.iter()).filter(|(a, b)| a != b).count();
+            labels = new_labels;
+
+            // Update step: new centroids are the cluster means.
+            let (new_centroids, empty_clusters) = executor.run(
+                format!("lloyd centroid update (n={n}, d={d}, k={k})"),
+                Phase::Assignment,
+                OpClass::Reduction,
+                OpCost::new((n * d) as u64, (n * d * elem) as u64, (k * d * elem) as u64),
+                || {
+                    let mut sums = vec![vec![0.0f64; d]; k];
+                    let mut counts = vec![0usize; k];
+                    for (i, &l) in labels.iter().enumerate() {
+                        counts[l] += 1;
+                        for (j, v) in points.row(i).iter().enumerate() {
+                            sums[l][j] += v.to_f64();
+                        }
+                    }
+                    let mut empty = 0usize;
+                    for (c, count) in counts.iter().enumerate() {
+                        if *count == 0 {
+                            empty += 1;
+                            continue; // keep the previous centroid
+                        }
+                        for j in 0..d {
+                            sums[c][j] /= *count as f64;
+                        }
+                    }
+                    // Preserve previous centroids for empty clusters.
+                    for (c, count) in counts.iter().enumerate() {
+                        if *count == 0 {
+                            sums[c] = centroids[c].clone();
+                        }
+                    }
+                    (sums, empty)
+                },
+            );
+            centroids = new_centroids;
+
+            history.push(IterationStats { iteration, objective, changed, empty_clusters });
+            iterations = iteration + 1;
+
+            if self.config.check_convergence {
+                let rel_change = if prev_objective.is_finite() {
+                    (prev_objective - objective).abs() / objective.abs().max(f64::MIN_POSITIVE)
+                } else {
+                    f64::INFINITY
+                };
+                if changed == 0 || rel_change <= self.config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            prev_objective = objective;
+        }
+
+        let trace = executor.trace();
+        let objective = history.last().map(|h: &IterationStats| h.objective).unwrap_or(f64::NAN);
+        Ok(ClusteringResult {
+            labels,
+            k,
+            iterations,
+            converged,
+            objective,
+            history,
+            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
+            host_timings: TimingBreakdown::from_trace_host(&trace),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(30, 2, |i, j| {
+            let offset = if i < 15 { 0.0 } else { 25.0 };
+            offset + ((i * 2 + j) as f64 * 0.53).sin()
+        })
+    }
+
+    fn config(k: usize) -> KernelKmeansConfig {
+        KernelKmeansConfig::paper_defaults(k)
+            .with_max_iter(25)
+            .with_convergence_check(true, 1e-10)
+            .with_seed(13)
+    }
+
+    #[test]
+    fn recovers_linearly_separable_blobs() {
+        let result = LloydKmeans::new(config(2)).fit(&blob_points()).unwrap();
+        assert!(result.converged);
+        let first = result.labels[0];
+        let second = result.labels[15];
+        assert_ne!(first, second);
+        assert!(result.labels[..15].iter().all(|&l| l == first));
+        assert!(result.labels[15..].iter().all(|&l| l == second));
+    }
+
+    #[test]
+    fn objective_monotone_non_increasing() {
+        let result = LloydKmeans::new(config(3).with_convergence_check(false, 0.0))
+            .fit(&blob_points())
+            .unwrap();
+        let history = result.objective_history();
+        for w in history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = LloydKmeans::new(config(3)).fit(&blob_points()).unwrap();
+        let b = LloydKmeans::new(config(3)).fit(&blob_points()).unwrap();
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn objective_matches_inertia_definition() {
+        let points = blob_points();
+        let result = LloydKmeans::new(config(2)).fit(&points).unwrap();
+        // After convergence, the stored objective equals the inertia of the
+        // final labels (assignment against the means of those labels).
+        let inertia = popcorn_metrics::inertia(&points, &result.labels).unwrap();
+        assert!((result.objective - inertia).abs() / inertia.max(1e-12) < 1e-6);
+    }
+
+    #[test]
+    fn handles_k_equal_n() {
+        let points = DenseMatrix::from_fn(5, 2, |i, j| (i * 2 + j) as f64 * 2.0);
+        let result = LloydKmeans::new(config(5).with_max_iter(5)).fit(&points).unwrap();
+        assert_eq!(result.non_empty_clusters(), 5);
+        assert!(result.objective < 1e-9);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(LloydKmeans::new(config(100)).fit(&blob_points()).is_err());
+        let no_features = DenseMatrix::<f64>::zeros(5, 0);
+        assert!(LloydKmeans::new(config(2)).fit(&no_features).is_err());
+    }
+
+    #[test]
+    fn timings_populated() {
+        let result = LloydKmeans::new(config(2)).fit(&blob_points()).unwrap();
+        assert!(result.modeled_timings.pairwise_distances > 0.0);
+        assert!(result.modeled_timings.assignment > 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the dense substrate: GEMM and SYRK at the
+//! aspect ratios relevant to the paper's kernel-matrix computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcorn_dense::{matmul_nt, syrk_full, DenseMatrix};
+
+fn sample(n: usize, d: usize) -> DenseMatrix<f32> {
+    DenseMatrix::from_fn(n, d, |i, j| ((i * d + j) as f32 * 0.137).sin())
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_matrix");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // (n, d) pairs spanning the GEMM-favoured and SYRK-favoured regimes.
+    for &(n, d) in &[(256usize, 16usize), (256, 256), (512, 32), (512, 512)] {
+        let points = sample(n, d);
+        group.bench_with_input(BenchmarkId::new("gemm_nt", format!("n{n}_d{d}")), &points, |b, p| {
+            b.iter(|| matmul_nt(p, p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("syrk_full", format!("n{n}_d{d}")), &points, |b, p| {
+            b.iter(|| syrk_full(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_elementwise");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let m = sample(512, 512);
+    group.bench_function("row_sq_norms_512", |b| {
+        b.iter(|| popcorn_dense::row_sq_norms(&m))
+    });
+    group.bench_function("row_argmin_512", |b| b.iter(|| popcorn_dense::row_argmin(&m)));
+    let mut target = m.clone();
+    let row = vec![1.0f32; 512];
+    let col = vec![2.0f32; 512];
+    group.bench_function("assemble_distances_512", |b| {
+        b.iter(|| popcorn_dense::ops::assemble_distances(&mut target, &row, &col).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gram, bench_elementwise);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark backing Figures 4–5: the per-iteration distance
+//! computation of Popcorn (SpMM + SpMV formulation) against the dense
+//! baseline's hand-written-kernel formulation, executed on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcorn_core::distances::{compute_distances, compute_distances_reference};
+use popcorn_core::kernel::{kernel_matrix_reference, KernelFunction};
+use popcorn_dense::{diagonal, DenseMatrix};
+use popcorn_gpusim::SimExecutor;
+use popcorn_sparse::SelectionMatrix;
+
+fn setup(n: usize, k: usize) -> (DenseMatrix<f32>, Vec<usize>, SelectionMatrix<f32>, Vec<f32>) {
+    let points = DenseMatrix::<f32>::from_fn(n, 8, |i, j| ((i * 8 + j) as f32 * 0.173).sin());
+    let kernel_matrix = kernel_matrix_reference(&points, KernelFunction::paper_polynomial());
+    let labels: Vec<usize> = (0..n).map(|i| (i * 13 + 1) % k).collect();
+    let selection = SelectionMatrix::from_assignments(&labels, k).unwrap();
+    let norms = diagonal(&kernel_matrix).unwrap();
+    (kernel_matrix, labels, selection, norms)
+}
+
+fn bench_distance_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_distance_phase");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(n, k) in &[(512usize, 10usize), (512, 50), (1024, 10), (1024, 50)] {
+        let (kernel_matrix, labels, selection, norms) = setup(n, k);
+        let exec = SimExecutor::a100_f32();
+        group.bench_with_input(
+            BenchmarkId::new("popcorn_spmm_spmv", format!("n{n}_k{k}")),
+            &(),
+            |b, _| b.iter(|| compute_distances(&kernel_matrix, &norms, &selection, &exec).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_reference", format!("n{n}_k{k}")),
+            &(),
+            |b, _| b.iter(|| compute_distances_reference(&kernel_matrix, &labels, k)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_phase);
+criterion_main!(benches);

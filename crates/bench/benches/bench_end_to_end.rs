@@ -1,0 +1,51 @@
+//! Criterion benchmark backing Figures 3 and 7: end-to-end kernel k-means
+//! (kernel matrix + 10 iterations) for Popcorn, the dense GPU baseline and
+//! the single-threaded CPU reference, executed on the host at reduced sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline, LloydKmeans};
+use popcorn_core::{KernelKmeans, KernelKmeansConfig};
+use popcorn_data::synthetic::gaussian_blobs;
+
+fn config(k: usize) -> KernelKmeansConfig {
+    KernelKmeansConfig::paper_defaults(k)
+        .with_max_iter(10)
+        .with_convergence_check(false, 0.0)
+        .with_seed(11)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.sample_size(10);
+    for &(n, k) in &[(256usize, 10usize), (512, 10), (512, 50)] {
+        let dataset = gaussian_blobs::<f32>(n, 16, k, 1.0, 3);
+        let points = dataset.points().clone();
+        group.bench_with_input(
+            BenchmarkId::new("popcorn", format!("n{n}_k{k}")),
+            &points,
+            |b, p| b.iter(|| KernelKmeans::new(config(k)).fit(p).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_gpu_baseline", format!("n{n}_k{k}")),
+            &points,
+            |b, p| b.iter(|| DenseGpuBaseline::new(config(k)).fit(p).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cpu_reference", format!("n{n}_k{k}")),
+            &points,
+            |b, p| b.iter(|| CpuKernelKmeans::new(config(k)).fit(p).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lloyd_classical", format!("n{n}_k{k}")),
+            &points,
+            |b, p| b.iter(|| LloydKmeans::new(config(k)).fit(p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

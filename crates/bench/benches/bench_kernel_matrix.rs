@@ -1,0 +1,58 @@
+//! Criterion benchmark backing Figure 2: host-executed GEMM-based vs
+//! SYRK-based kernel-matrix computation across n/d regimes, plus the kernel
+//! function application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcorn_core::kernel::KernelFunction;
+use popcorn_core::kernel_matrix::{compute_gram, compute_kernel_matrix};
+use popcorn_core::strategy::{GramRoutine, KernelMatrixStrategy};
+use popcorn_data::synthetic::uniform_matrix;
+use popcorn_gpusim::SimExecutor;
+
+fn bench_gram_routines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_kernel_matrix");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // Scaled-down versions of the Figure 2 sweep preserving the n/d regimes.
+    for &(n, d) in &[(1024usize, 16usize), (1024, 128), (256, 256), (128, 1024)] {
+        let points = uniform_matrix::<f32>(n, d, 42);
+        let exec = SimExecutor::a100_f32();
+        group.bench_with_input(
+            BenchmarkId::new("gemm", format!("n{n}_d{d}")),
+            &points,
+            |b, p| b.iter(|| compute_gram(p, GramRoutine::Gemm, &exec).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("syrk", format!("n{n}_d{d}")),
+            &points,
+            |b, p| b.iter(|| compute_gram(p, GramRoutine::Syrk, &exec).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernel_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_function_application");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let points = uniform_matrix::<f32>(512, 32, 7);
+    let exec = SimExecutor::a100_f32();
+    for kernel in [
+        KernelFunction::Linear,
+        KernelFunction::paper_polynomial(),
+        KernelFunction::default_gaussian(),
+    ] {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                compute_kernel_matrix(&points, kernel, KernelMatrixStrategy::ForceGemm, &exec)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gram_routines, bench_kernel_application);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the sparse substrate: the SpMM, SpMV and
+//! selection-matrix rebuild that dominate a Popcorn iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcorn_dense::DenseMatrix;
+use popcorn_sparse::{spmm_transpose_b, spmv, SelectionMatrix};
+
+fn kernel_like(n: usize) -> DenseMatrix<f32> {
+    DenseMatrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f32 - j as f32).abs()))
+}
+
+fn assignments(n: usize, k: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 7 + 3) % k).collect()
+}
+
+fn bench_spmm_kvt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_kvt");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(n, k) in &[(512usize, 10usize), (512, 50), (1024, 10), (1024, 100)] {
+        let kernel = kernel_like(n);
+        let selection = SelectionMatrix::<f32>::from_assignments(&assignments(n, k), k).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(kernel, selection),
+            |b, (kernel, selection)| {
+                b.iter(|| spmm_transpose_b(-2.0f32, kernel, selection.csr()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spmv_and_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_and_selection");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let n = 2048;
+    let k = 50;
+    let labels = assignments(n, k);
+    let selection = SelectionMatrix::<f32>::from_assignments(&labels, k).unwrap();
+    let z = vec![1.0f32; n];
+    group.bench_function("spmv_vz_n2048_k50", |b| {
+        b.iter(|| spmv(-0.5f32, selection.csr(), &z).unwrap())
+    });
+    group.bench_function("selection_rebuild_n2048_k50", |b| {
+        b.iter(|| SelectionMatrix::<f32>::from_assignments(&labels, k).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm_kvt, bench_spmv_and_rebuild);
+criterion_main!(benches);

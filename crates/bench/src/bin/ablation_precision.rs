@@ -1,0 +1,50 @@
+//! Ablation — single vs double precision.
+//!
+//! The paper's implementation is single precision (as is the cost accounting
+//! of §4.4). This ablation runs Popcorn in f32 and f64 on the same scaled
+//! workloads and reports clustering agreement (ARI between the two label
+//! vectors), the objective difference, and the modeled time ratio (f64 halves
+//! the A100's peak FLOP rate and doubles the memory traffic).
+
+use popcorn_bench::report::Table;
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::{KernelKmeans, KernelKmeansConfig};
+use popcorn_data::PaperDataset;
+use popcorn_metrics::adjusted_rand_index;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+
+    let mut table = Table::new(
+        format!("Ablation: f32 vs f64 Popcorn (executed at scale {})", options.scale),
+        &["dataset", "k", "ARI(f32,f64)", "objective rel diff", "modeled f64/f32"],
+    );
+    for dataset in [PaperDataset::Letter, PaperDataset::Acoustic, PaperDataset::Mnist] {
+        let data64 = dataset.generate::<f64>(options.scale, options.seed);
+        let data32 = data64.cast::<f32>();
+        for &k in &options.k_values {
+            if k > data64.n() {
+                continue;
+            }
+            let config: KernelKmeansConfig = options.config(k);
+            let r32 = KernelKmeans::new(config.clone()).fit(data32.points()).expect("f32 run");
+            let r64 = KernelKmeans::new(config).fit(data64.points()).expect("f64 run");
+            let ari = adjusted_rand_index(&r32.labels, &r64.labels).expect("ari");
+            let rel_diff = (r32.objective - r64.objective).abs() / r64.objective.abs().max(1e-30);
+            table.push_row(vec![
+                dataset.name().to_string(),
+                k.to_string(),
+                format!("{ari:.4}"),
+                format!("{rel_diff:.2e}"),
+                format!(
+                    "{:.2}x",
+                    r64.modeled_timings.total() / r32.modeled_timings.total()
+                ),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = options.out_path("ablation_precision.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,79 @@
+//! Figure 2 — GEMM-based vs SYRK-based kernel-matrix computation on synthetic
+//! data with n ∈ {10 000, 50 000} and d ∈ {100, 1 000, 10 000, 100 000}.
+//!
+//! The default output is the modeled A100 time at the published sizes; with
+//! `--execute` the two routines also run for real on `--scale`-reduced
+//! matrices and the host wall-clock times are reported alongside.
+
+use popcorn_bench::analytic::{gram_gemm_seconds, gram_syrk_seconds};
+use popcorn_bench::report::{format_seconds, format_speedup, Table};
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::kernel_matrix::compute_gram;
+use popcorn_core::strategy::{GramRoutine, KernelMatrixStrategy};
+use popcorn_gpusim::SimExecutor;
+use std::time::Instant;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let n_values = [10_000usize, 50_000];
+    let d_values = [100usize, 1_000, 10_000, 100_000];
+    let strategy = KernelMatrixStrategy::default();
+
+    let mut table = Table::new(
+        "Figure 2: kernel matrix computation, GEMM vs SYRK (modeled A100 time)",
+        &["n", "d", "n/d", "gemm", "syrk", "gemm/syrk", "auto selects"],
+    );
+    for &n in &n_values {
+        for &d in &d_values {
+            let gemm = gram_gemm_seconds(n, d);
+            let syrk = gram_syrk_seconds(n, d);
+            table.push_row(vec![
+                n.to_string(),
+                d.to_string(),
+                format!("{:.2}", n as f64 / d as f64),
+                format_seconds(gemm),
+                format_seconds(syrk),
+                format_speedup(gemm / syrk),
+                strategy.select(n, d).name().to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = options.out_path("fig2_gemm_vs_syrk.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    if options.execute {
+        let mut executed = Table::new(
+            format!("Figure 2 (executed at scale {}): host wall-clock", options.scale),
+            &["n", "d", "gemm host", "syrk host", "gemm/syrk"],
+        );
+        for &n in &n_values {
+            for &d in &d_values {
+                // Skip the very largest shapes even when scaled.
+                let dataset = options.scaled_uniform(n, d);
+                if dataset.n() * dataset.d() > 4_000_000 {
+                    continue;
+                }
+                let exec = SimExecutor::a100_f32();
+                let start = Instant::now();
+                compute_gram(dataset.points(), GramRoutine::Gemm, &exec).expect("gemm gram");
+                let gemm_host = start.elapsed().as_secs_f64();
+                let start = Instant::now();
+                compute_gram(dataset.points(), GramRoutine::Syrk, &exec).expect("syrk gram");
+                let syrk_host = start.elapsed().as_secs_f64();
+                executed.push_row(vec![
+                    dataset.n().to_string(),
+                    dataset.d().to_string(),
+                    format_seconds(gemm_host),
+                    format_seconds(syrk_host),
+                    format_speedup(gemm_host / syrk_host),
+                ]);
+            }
+        }
+        print!("\n{}", executed.render());
+        let path = options.out_path("fig2_gemm_vs_syrk_executed.csv");
+        executed.write_csv(&path).expect("write CSV");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 3 — speedup of the dense GPU baseline over the single-threaded CPU
+//! implementation (PRMLT stand-in), per dataset and k ∈ {10, 50, 100}.
+//!
+//! Default output: modeled times at the published dataset sizes. With
+//! `--execute`, both solvers also run for real at `--scale` and the modeled
+//! speedups from the simulator traces are reported.
+
+use popcorn_bench::analytic::{baseline_modeled, cpu_modeled};
+use popcorn_bench::harness::{execute, Solver};
+use popcorn_bench::report::{format_seconds, format_speedup, Table};
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::KernelFunction;
+use popcorn_data::PaperDataset;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let kernel = KernelFunction::paper_polynomial();
+
+    let mut table = Table::new(
+        "Figure 3: dense GPU baseline speedup over CPU (modeled, published sizes)",
+        &["dataset", "k", "cpu total", "baseline total", "speedup"],
+    );
+    for dataset in PaperDataset::ALL {
+        for &k in &options.k_values {
+            let workload = options.paper_workload(dataset, k);
+            let cpu = cpu_modeled(workload, kernel).total();
+            let baseline = baseline_modeled(workload, kernel).total();
+            table.push_row(vec![
+                dataset.name().to_string(),
+                k.to_string(),
+                format_seconds(cpu),
+                format_seconds(baseline),
+                format_speedup(cpu / baseline),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = options.out_path("fig3_baseline_vs_cpu.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    if options.execute {
+        let mut executed = Table::new(
+            format!("Figure 3 (executed at scale {}): modeled speedups from traces", options.scale),
+            &["dataset", "k", "cpu modeled", "baseline modeled", "speedup", "labels agree"],
+        );
+        for dataset in PaperDataset::ALL {
+            let data = options.scaled_dataset(dataset);
+            for &k in &options.k_values {
+                if k > data.n() {
+                    continue;
+                }
+                let cpu_run =
+                    execute(Solver::Cpu, &data, options.config(k)).expect("cpu run");
+                let baseline_run =
+                    execute(Solver::DenseBaseline, &data, options.config(k)).expect("baseline run");
+                let agree = cpu_run.result.labels == baseline_run.result.labels;
+                executed.push_row(vec![
+                    dataset.name().to_string(),
+                    k.to_string(),
+                    format_seconds(cpu_run.modeled().total()),
+                    format_seconds(baseline_run.modeled().total()),
+                    format_speedup(cpu_run.modeled().total() / baseline_run.modeled().total()),
+                    agree.to_string(),
+                ]);
+            }
+        }
+        print!("\n{}", executed.render());
+        let path = options.out_path("fig3_baseline_vs_cpu_executed.csv");
+        executed.write_csv(&path).expect("write CSV");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 4 — speedup of Popcorn's pairwise-distance algorithm (SpMM + SpMV)
+//! over the baseline's hand-written kernels, per dataset and k. The kernel
+//! matrix time is excluded by design (paper §5.5).
+
+use popcorn_bench::analytic::{baseline_modeled, popcorn_modeled};
+use popcorn_bench::harness::{execute, Solver};
+use popcorn_bench::report::{format_seconds, format_speedup, Table};
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::KernelFunction;
+use popcorn_data::PaperDataset;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let kernel = KernelFunction::paper_polynomial();
+
+    let mut table = Table::new(
+        "Figure 4: Popcorn distance-phase speedup over the CUDA baseline (modeled, published sizes)",
+        &["dataset", "k", "baseline distances", "popcorn distances", "speedup"],
+    );
+    for dataset in PaperDataset::ALL {
+        for &k in &options.k_values {
+            let workload = options.paper_workload(dataset, k);
+            let popcorn = popcorn_modeled(workload, kernel).pairwise_distances;
+            let baseline = baseline_modeled(workload, kernel).pairwise_distances;
+            table.push_row(vec![
+                dataset.name().to_string(),
+                k.to_string(),
+                format_seconds(baseline),
+                format_seconds(popcorn),
+                format_speedup(baseline / popcorn),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = options.out_path("fig4_distances_speedup.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    if options.execute {
+        let mut executed = Table::new(
+            format!(
+                "Figure 4 (executed at scale {}): distance-phase times from traces",
+                options.scale
+            ),
+            &["dataset", "k", "baseline modeled", "popcorn modeled", "speedup", "labels agree"],
+        );
+        for dataset in PaperDataset::ALL {
+            let data = options.scaled_dataset(dataset);
+            for &k in &options.k_values {
+                if k > data.n() {
+                    continue;
+                }
+                let popcorn_run =
+                    execute(Solver::Popcorn, &data, options.config(k)).expect("popcorn run");
+                let baseline_run =
+                    execute(Solver::DenseBaseline, &data, options.config(k)).expect("baseline run");
+                let agree = popcorn_run.result.labels == baseline_run.result.labels;
+                executed.push_row(vec![
+                    dataset.name().to_string(),
+                    k.to_string(),
+                    format_seconds(baseline_run.modeled().pairwise_distances),
+                    format_seconds(popcorn_run.modeled().pairwise_distances),
+                    format_speedup(
+                        baseline_run.modeled().pairwise_distances
+                            / popcorn_run.modeled().pairwise_distances,
+                    ),
+                    agree.to_string(),
+                ]);
+            }
+        }
+        print!("\n{}", executed.render());
+        let path = options.out_path("fig4_distances_speedup_executed.csv");
+        executed.write_csv(&path).expect("write CSV");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 5 — modeled throughput (GFLOP/s) of the dominant distance-phase
+//! kernel for both implementations: the cuSPARSE-class SpMM for Popcorn and
+//! the first hand-written kernel for the baseline, per dataset and k.
+
+use popcorn_bench::analytic::{baseline_kernel1_gflops, popcorn_spmm_gflops};
+use popcorn_bench::report::Table;
+use popcorn_bench::ExperimentOptions;
+use popcorn_data::PaperDataset;
+use popcorn_gpusim::DeviceSpec;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let device = DeviceSpec::a100_80gb();
+
+    let mut table = Table::new(
+        "Figure 5: distance-kernel throughput (modeled GFLOP/s, published sizes)",
+        &["dataset", "k", "popcorn spmm", "baseline kernel 1", "popcorn/baseline"],
+    );
+    for dataset in PaperDataset::ALL {
+        for &k in &options.k_values {
+            let n = dataset.n();
+            let popcorn = popcorn_spmm_gflops(n, k);
+            let baseline = baseline_kernel1_gflops(n, k);
+            table.push_row(vec![
+                dataset.name().to_string(),
+                k.to_string(),
+                format!("{popcorn:.0}"),
+                format!("{baseline:.0}"),
+                format!("{:.2}x", popcorn / baseline),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\npeak FP32 throughput of the modeled device ({}): {:.0} GFLOP/s",
+        device.name, device.fp32_peak_gflops
+    );
+    let path = options.out_path("fig5_throughput.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,85 @@
+//! Figure 6 — roofline placement of the distance-phase kernels: arithmetic
+//! intensity (paper Eq. 17 for Popcorn), achieved throughput, and the
+//! attainable bound on the modeled A100, per dataset and k.
+//!
+//! Also prints the Eq. 16/17 arithmetic-intensity table of §4.4.
+
+use popcorn_bench::analytic::{
+    baseline_distance_intensity, baseline_kernel1_gflops, popcorn_distance_intensity,
+    popcorn_spmm_gflops,
+};
+use popcorn_bench::report::Table;
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::arithmetic::kernel_matrix_intensity;
+use popcorn_data::PaperDataset;
+use popcorn_gpusim::{DeviceSpec, Roofline};
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let roofline = Roofline::new(DeviceSpec::a100_80gb(), 4);
+
+    println!(
+        "A100 roofline: peak {:.0} GFLOP/s, bandwidth {:.0} GB/s, ridge point {:.2} FLOP/byte\n",
+        roofline.peak_gflops(),
+        roofline.peak_bandwidth_gbs(),
+        roofline.ridge_point()
+    );
+
+    let mut table = Table::new(
+        "Figure 6: roofline placement of the distance-phase kernels (modeled, published sizes)",
+        &[
+            "dataset",
+            "k",
+            "impl",
+            "AI (flop/byte)",
+            "achieved GFLOP/s",
+            "attainable GFLOP/s",
+            "% of roofline",
+        ],
+    );
+    for dataset in PaperDataset::ALL {
+        for &k in &options.k_values {
+            let n = dataset.n();
+            for (name, ai, achieved) in [
+                ("popcorn", popcorn_distance_intensity(n, k), popcorn_spmm_gflops(n, k)),
+                ("baseline", baseline_distance_intensity(n, k), baseline_kernel1_gflops(n, k)),
+            ] {
+                let point = roofline.point(format!("{}/{k}/{name}", dataset.name()), ai, achieved);
+                table.push_row(vec![
+                    dataset.name().to_string(),
+                    k.to_string(),
+                    name.to_string(),
+                    format!("{ai:.3}"),
+                    format!("{achieved:.0}"),
+                    format!("{:.0}", point.attainable_gflops),
+                    format!("{:.0}%", 100.0 * point.efficiency()),
+                ]);
+            }
+        }
+    }
+    print!("{}", table.render());
+    let path = options.out_path("fig6_roofline.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    // The Eq. 16 / Eq. 17 closed forms of §4.4, evaluated per dataset.
+    let mut ai_table = Table::new(
+        "Section 4.4: arithmetic intensity formulas (Eq. 16 kernel matrix, Eq. 17 distances)",
+        &["dataset", "AI kernel matrix (Eq.16)", "AI distances k=10", "k=50", "k=100"],
+    );
+    for dataset in PaperDataset::ALL {
+        let n = dataset.n();
+        let d = dataset.d();
+        ai_table.push_row(vec![
+            dataset.name().to_string(),
+            format!("{:.2}", kernel_matrix_intensity(n, d, 0, 0)),
+            format!("{:.3}", popcorn_distance_intensity(n, 10)),
+            format!("{:.3}", popcorn_distance_intensity(n, 50)),
+            format!("{:.3}", popcorn_distance_intensity(n, 100)),
+        ]);
+    }
+    print!("\n{}", ai_table.render());
+    let path = options.out_path("fig6_arithmetic_intensity.csv");
+    ai_table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

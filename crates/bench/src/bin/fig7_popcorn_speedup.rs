@@ -1,0 +1,70 @@
+//! Figure 7 — end-to-end speedup of Popcorn over the dense CUDA baseline
+//! (kernel matrix + clustering), per dataset and k.
+
+use popcorn_bench::analytic::{baseline_modeled, popcorn_modeled};
+use popcorn_bench::harness::{execute, Solver};
+use popcorn_bench::report::{format_seconds, format_speedup, Table};
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::KernelFunction;
+use popcorn_data::PaperDataset;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let kernel = KernelFunction::paper_polynomial();
+
+    let mut table = Table::new(
+        "Figure 7: Popcorn end-to-end speedup over the CUDA baseline (modeled, published sizes)",
+        &["dataset", "k", "baseline total", "popcorn total", "speedup"],
+    );
+    for dataset in PaperDataset::ALL {
+        for &k in &options.k_values {
+            let workload = options.paper_workload(dataset, k);
+            let popcorn = popcorn_modeled(workload, kernel).total();
+            let baseline = baseline_modeled(workload, kernel).total();
+            table.push_row(vec![
+                dataset.name().to_string(),
+                k.to_string(),
+                format_seconds(baseline),
+                format_seconds(popcorn),
+                format_speedup(baseline / popcorn),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = options.out_path("fig7_popcorn_speedup.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    if options.execute {
+        let mut executed = Table::new(
+            format!("Figure 7 (executed at scale {}): end-to-end modeled times", options.scale),
+            &["dataset", "k", "baseline modeled", "popcorn modeled", "speedup", "host popcorn"],
+        );
+        for dataset in PaperDataset::ALL {
+            let data = options.scaled_dataset(dataset);
+            for &k in &options.k_values {
+                if k > data.n() {
+                    continue;
+                }
+                let popcorn_run =
+                    execute(Solver::Popcorn, &data, options.config(k)).expect("popcorn run");
+                let baseline_run =
+                    execute(Solver::DenseBaseline, &data, options.config(k)).expect("baseline run");
+                executed.push_row(vec![
+                    dataset.name().to_string(),
+                    k.to_string(),
+                    format_seconds(baseline_run.modeled().total()),
+                    format_seconds(popcorn_run.modeled().total()),
+                    format_speedup(
+                        baseline_run.modeled().total() / popcorn_run.modeled().total(),
+                    ),
+                    format_seconds(popcorn_run.result.host_timings.total()),
+                ]);
+            }
+        }
+        print!("\n{}", executed.render());
+        let path = options.out_path("fig7_popcorn_speedup_executed.csv");
+        executed.write_csv(&path).expect("write CSV");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 8 — runtime breakdown of Popcorn per dataset and k: kernel matrix
+//! computation, pairwise distances (summed over 30 iterations) and
+//! argmin + cluster update. The letter dataset is included here even though
+//! the paper's plot omits it for being too small to see.
+
+use popcorn_bench::analytic::popcorn_modeled;
+use popcorn_bench::harness::{execute, Solver};
+use popcorn_bench::report::{format_seconds, Table};
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::KernelFunction;
+use popcorn_data::PaperDataset;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let kernel = KernelFunction::paper_polynomial();
+
+    let mut table = Table::new(
+        "Figure 8: Popcorn runtime breakdown (modeled, published sizes)",
+        &[
+            "dataset",
+            "k",
+            "kernel matrix",
+            "pairwise distances",
+            "argmin + update",
+            "kernel matrix %",
+            "distances %",
+        ],
+    );
+    for dataset in PaperDataset::ALL {
+        for &k in &options.k_values {
+            let workload = options.paper_workload(dataset, k);
+            let timings = popcorn_modeled(workload, kernel);
+            let clustering_total =
+                timings.kernel_matrix + timings.pairwise_distances + timings.assignment;
+            table.push_row(vec![
+                dataset.name().to_string(),
+                k.to_string(),
+                format_seconds(timings.kernel_matrix),
+                format_seconds(timings.pairwise_distances),
+                format_seconds(timings.assignment),
+                format!("{:.0}%", 100.0 * timings.kernel_matrix / clustering_total),
+                format!("{:.0}%", 100.0 * timings.pairwise_distances / clustering_total),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = options.out_path("fig8_breakdown.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+
+    if options.execute {
+        let mut executed = Table::new(
+            format!("Figure 8 (executed at scale {}): breakdown from traces", options.scale),
+            &["dataset", "k", "kernel matrix", "pairwise distances", "argmin + update"],
+        );
+        for dataset in PaperDataset::ALL {
+            let data = options.scaled_dataset(dataset);
+            for &k in &options.k_values {
+                if k > data.n() {
+                    continue;
+                }
+                let run = execute(Solver::Popcorn, &data, options.config(k)).expect("popcorn run");
+                let timings = run.modeled();
+                executed.push_row(vec![
+                    dataset.name().to_string(),
+                    k.to_string(),
+                    format_seconds(timings.kernel_matrix),
+                    format_seconds(timings.pairwise_distances),
+                    format_seconds(timings.assignment),
+                ]);
+            }
+        }
+        print!("\n{}", executed.render());
+        let path = options.out_path("fig8_breakdown_executed.csv");
+        executed.write_csv(&path).expect("write CSV");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,28 @@
+//! Table 2 — the dataset inventory: description, n, d, plus the derived
+//! `n/d` ratio and the Gram routine Popcorn's Auto strategy selects for it.
+
+use popcorn_bench::report::Table;
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::strategy::KernelMatrixStrategy;
+use popcorn_data::PaperDataset;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let mut table =
+        Table::new("Table 2: datasets", &["dataset", "description", "n", "d", "n/d", "gram routine"]);
+    let strategy = KernelMatrixStrategy::default();
+    for dataset in PaperDataset::ALL {
+        table.push_row(vec![
+            dataset.name().to_string(),
+            dataset.description().to_string(),
+            dataset.n().to_string(),
+            dataset.d().to_string(),
+            format!("{:.2}", dataset.n_over_d()),
+            strategy.select(dataset.n(), dataset.d()).name().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    let path = options.out_path("table2_datasets.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,326 @@
+//! Executed-run harness and shared CLI options for the experiment binaries.
+
+use crate::analytic::ModelWorkload;
+use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline};
+use popcorn_core::result::TimingBreakdown;
+use popcorn_core::{ClusteringResult, KernelFunction, KernelKmeans, KernelKmeansConfig};
+use popcorn_data::paper::PaperDataset;
+use popcorn_data::synthetic::uniform_dataset;
+use popcorn_data::Dataset;
+
+/// Options shared by every experiment binary.
+///
+/// ```text
+/// --scale FLOAT     fraction of the published dataset sizes to execute at
+/// --trials INT      number of trials to average over (paper: 4)
+/// --k LIST          comma-separated k values (paper: 10,50,100)
+/// --iterations INT  clustering iterations per run (paper: 30)
+/// --execute         actually run the solvers (default: analytic model only)
+/// --out-dir DIR     where to write the CSV output
+/// --seed INT        RNG seed
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Fraction of the published sizes used for executed runs.
+    pub scale: f64,
+    /// Number of trials to average over.
+    pub trials: usize,
+    /// Cluster counts to sweep.
+    pub k_values: Vec<usize>,
+    /// Clustering iterations per run.
+    pub iterations: usize,
+    /// Whether to execute the solvers in addition to the analytic model.
+    pub execute: bool,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            scale: 0.01,
+            trials: 4,
+            k_values: vec![10, 50, 100],
+            iterations: 30,
+            execute: false,
+            out_dir: "experiment-results".to_string(),
+            seed: 1,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parse options from an argument vector (unknown flags are an error).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut options = Self::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().ok_or("missing value for --scale")?;
+                    options.scale =
+                        v.parse().map_err(|_| format!("--scale expects a number, got '{v}'"))?;
+                    if options.scale <= 0.0 || options.scale > 1.0 {
+                        return Err("--scale must be in (0, 1]".to_string());
+                    }
+                }
+                "--trials" => {
+                    let v = iter.next().ok_or("missing value for --trials")?;
+                    options.trials = v
+                        .parse()
+                        .map_err(|_| format!("--trials expects an integer, got '{v}'"))?;
+                    if options.trials == 0 {
+                        return Err("--trials must be at least 1".to_string());
+                    }
+                }
+                "--k" => {
+                    let v = iter.next().ok_or("missing value for --k")?;
+                    let mut values = Vec::new();
+                    for tok in v.split(',') {
+                        values.push(
+                            tok.trim()
+                                .parse()
+                                .map_err(|_| format!("--k expects integers, got '{tok}'"))?,
+                        );
+                    }
+                    if values.is_empty() {
+                        return Err("--k expects at least one value".to_string());
+                    }
+                    options.k_values = values;
+                }
+                "--iterations" => {
+                    let v = iter.next().ok_or("missing value for --iterations")?;
+                    options.iterations = v
+                        .parse()
+                        .map_err(|_| format!("--iterations expects an integer, got '{v}'"))?;
+                }
+                "--execute" => options.execute = true,
+                "--out-dir" => {
+                    options.out_dir =
+                        iter.next().ok_or("missing value for --out-dir")?.to_string();
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("missing value for --seed")?;
+                    options.seed =
+                        v.parse().map_err(|_| format!("--seed expects an integer, got '{v}'"))?;
+                }
+                "-h" | "--help" => {
+                    return Err(
+                        "options: --scale F --trials N --k LIST --iterations N --execute --out-dir DIR --seed N"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(options)
+    }
+
+    /// Parse from `std::env::args` (skipping the program name), exiting with
+    /// a message on error — convenience for the binaries' `main`.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Ensure the output directory exists and return a path inside it.
+    pub fn out_path(&self, file: &str) -> std::path::PathBuf {
+        let dir = std::path::Path::new(&self.out_dir);
+        std::fs::create_dir_all(dir).ok();
+        dir.join(file)
+    }
+
+    /// The model workload for a paper dataset at the *published* size.
+    pub fn paper_workload(&self, dataset: PaperDataset, k: usize) -> ModelWorkload {
+        ModelWorkload { n: dataset.n(), d: dataset.d(), k, iterations: self.iterations }
+    }
+
+    /// Generate the scaled stand-in dataset for executed runs.
+    pub fn scaled_dataset(&self, dataset: PaperDataset) -> Dataset<f32> {
+        dataset.generate::<f32>(self.scale, self.seed)
+    }
+
+    /// Generate a scaled synthetic (n, d) matrix for the Figure 2 sweep.
+    pub fn scaled_uniform(&self, n: usize, d: usize) -> Dataset<f32> {
+        let n_scaled = ((n as f64 * self.scale).round() as usize).max(16);
+        let d_scaled = ((d as f64 * self.scale).round() as usize).max(2);
+        uniform_dataset::<f32>(n_scaled, d_scaled, self.seed)
+    }
+
+    /// Base solver configuration for executed runs.
+    pub fn config(&self, k: usize) -> KernelKmeansConfig {
+        KernelKmeansConfig::paper_defaults(k)
+            .with_max_iter(self.iterations)
+            .with_convergence_check(false, 0.0)
+            .with_seed(self.seed)
+    }
+}
+
+/// Which implementation an executed run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solver {
+    /// Popcorn (sparse formulation).
+    Popcorn,
+    /// The dense GPU baseline.
+    DenseBaseline,
+    /// The single-threaded CPU reference.
+    Cpu,
+}
+
+/// Result of one executed run.
+#[derive(Debug, Clone)]
+pub struct ExecutedRun {
+    /// Which solver ran.
+    pub solver: Solver,
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of clusters.
+    pub k: usize,
+    /// The clustering result (labels, history, trace, timings).
+    pub result: ClusteringResult,
+}
+
+impl ExecutedRun {
+    /// Modeled timing breakdown of this run.
+    pub fn modeled(&self) -> TimingBreakdown {
+        self.result.modeled_timings
+    }
+}
+
+/// Execute one solver on a dataset with the paper's protocol.
+pub fn execute(
+    solver: Solver,
+    dataset: &Dataset<f32>,
+    config: KernelKmeansConfig,
+) -> popcorn_core::Result<ExecutedRun> {
+    let kernel: KernelFunction = config.kernel;
+    let _ = kernel;
+    let result = match solver {
+        Solver::Popcorn => KernelKmeans::new(config.clone()).fit(dataset.points())?,
+        Solver::DenseBaseline => DenseGpuBaseline::new(config.clone()).fit(dataset.points())?,
+        Solver::Cpu => CpuKernelKmeans::new(config.clone()).fit(dataset.points())?,
+    };
+    Ok(ExecutedRun {
+        solver,
+        dataset: dataset.name().to_string(),
+        k: config.k,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{popcorn_modeled, ELEM};
+
+    fn parse(tokens: &[&str]) -> Result<ExperimentOptions, String> {
+        ExperimentOptions::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_defaults_and_flags() {
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.k_values, vec![10, 50, 100]);
+        assert_eq!(defaults.trials, 4);
+        assert!(!defaults.execute);
+
+        let opts = parse(&[
+            "--scale", "0.05", "--trials", "2", "--k", "5,25", "--iterations", "10",
+            "--execute", "--out-dir", "/tmp/out", "--seed", "9",
+        ])
+        .unwrap();
+        assert_eq!(opts.scale, 0.05);
+        assert_eq!(opts.trials, 2);
+        assert_eq!(opts.k_values, vec![5, 25]);
+        assert_eq!(opts.iterations, 10);
+        assert!(opts.execute);
+        assert_eq!(opts.out_dir, "/tmp/out");
+        assert_eq!(opts.seed, 9);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "2"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--k", ""]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn workload_and_dataset_helpers() {
+        let opts = ExperimentOptions { scale: 0.01, ..Default::default() };
+        let w = opts.paper_workload(PaperDataset::Mnist, 50);
+        assert_eq!(w.n, 60_000);
+        assert_eq!(w.d, 780);
+        assert_eq!(w.k, 50);
+        assert_eq!(w.iterations, 30);
+        let ds = opts.scaled_dataset(PaperDataset::Letter);
+        assert_eq!(ds.n(), 105);
+        let uni = opts.scaled_uniform(10_000, 100);
+        assert_eq!(uni.n(), 100);
+        assert_eq!(uni.d(), 2);
+    }
+
+    #[test]
+    fn executed_and_analytic_modeled_times_agree() {
+        // Run Popcorn for real at a small size and compare its modeled total
+        // against the analytic replay of the same (n, d, k, iterations).
+        let n = 120;
+        let d = 6;
+        let k = 4;
+        let iterations = 5;
+        let dataset = uniform_dataset::<f32>(n, d, 3);
+        let dataset = Dataset::new("check", dataset.points().clone());
+        let config = KernelKmeansConfig::paper_defaults(k)
+            .with_max_iter(iterations)
+            .with_convergence_check(false, 0.0)
+            .with_seed(3);
+        let run = execute(Solver::Popcorn, &dataset, config).unwrap();
+        let executed_total = run.modeled().total();
+        let analytic_total = popcorn_modeled(
+            ModelWorkload { n, d, k, iterations },
+            KernelFunction::paper_polynomial(),
+        )
+        .total();
+        let rel = (executed_total - analytic_total).abs() / analytic_total;
+        assert!(
+            rel < 0.05,
+            "executed modeled {executed_total:.6e} vs analytic {analytic_total:.6e} (rel {rel:.3})"
+        );
+        assert_eq!(std::mem::size_of::<f32>(), ELEM);
+    }
+
+    #[test]
+    fn execute_all_solvers_small() {
+        let opts = ExperimentOptions { iterations: 3, ..Default::default() };
+        let dataset = opts.scaled_dataset(PaperDataset::Letter);
+        for solver in [Solver::Popcorn, Solver::DenseBaseline, Solver::Cpu] {
+            let run = execute(solver, &dataset, opts.config(3)).unwrap();
+            assert_eq!(run.result.labels.len(), dataset.n());
+            assert_eq!(run.k, 3);
+            assert!(run.modeled().total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn out_path_creates_directory() {
+        let dir = std::env::temp_dir().join("popcorn_bench_outdir");
+        let opts = ExperimentOptions {
+            out_dir: dir.to_string_lossy().to_string(),
+            ..Default::default()
+        };
+        let path = opts.out_path("x.csv");
+        assert!(path.parent().unwrap().exists());
+        assert!(path.to_string_lossy().ends_with("x.csv"));
+    }
+}

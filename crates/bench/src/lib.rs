@@ -1,0 +1,27 @@
+//! # popcorn-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§5), plus the ablations listed in DESIGN.md.
+//!
+//! Two measurement modes are provided:
+//!
+//! * **Analytic** ([`analytic`]): the modeled A100 / EPYC execution times are
+//!   computed at the *full published problem sizes* directly from the cost
+//!   model, by replaying exactly the operation sequence the solvers execute.
+//!   This is what the figure binaries print by default — it reproduces the
+//!   shape of the paper's figures without needing hours of host compute.
+//! * **Executed** ([`harness`]): the real solvers run on scaled-down
+//!   workloads (`--execute --scale`), producing bit-real clusterings, host
+//!   wall-clock times and modeled times from the simulator trace. A test
+//!   asserts the two modes agree on the modeled numbers for the same shape.
+//!
+//! [`report`] renders aligned text tables (the "same rows the paper reports")
+//! and CSV files for plotting.
+
+pub mod analytic;
+pub mod harness;
+pub mod report;
+
+pub use analytic::{baseline_modeled, cpu_modeled, popcorn_modeled, ModelWorkload};
+pub use harness::{ExperimentOptions, ExecutedRun};
+pub use report::Table;

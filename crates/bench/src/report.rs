@@ -1,0 +1,159 @@
+//! Text-table and CSV reporting for the experiment binaries.
+
+use std::path::Path;
+
+/// A simple column-aligned table with a header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; the number of cells must match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The header labels.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render the table as column-aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the table to a CSV file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut text = String::new();
+        text.push_str(&self.headers.join(","));
+        text.push('\n');
+        for row in &self.rows {
+            text.push_str(&row.join(","));
+            text.push('\n');
+        }
+        std::fs::write(path, text)
+    }
+}
+
+/// Format seconds with a sensible unit for table cells.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} us", seconds * 1e6)
+    }
+}
+
+/// Format a dimensionless ratio as `N.NNx`.
+pub fn format_speedup(speedup: f64) -> String {
+    format!("{speedup:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_accessors() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["beta-long".into(), "2".into()]);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta-long"));
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("popcorn_bench_report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.csv");
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(format_seconds(2.5), "2.500 s");
+        assert_eq!(format_seconds(0.0025), "2.500 ms");
+        assert_eq!(format_seconds(2.5e-6), "2.500 us");
+        assert_eq!(format_speedup(2.637), "2.64x");
+    }
+}

@@ -1,0 +1,264 @@
+//! Command line argument parsing for `gpukmeans`.
+
+use popcorn_core::{Initialization, KernelFunction};
+
+/// Which implementation the `-l` flag selects (artifact: 0 = naive GPU
+/// baseline, 2 = Popcorn; we additionally expose 1 = CPU reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Implementation {
+    /// The dense GPU baseline (`-l 0`).
+    DenseBaseline,
+    /// The single-threaded CPU reference (`-l 1`).
+    Cpu,
+    /// Popcorn (`-l 2`, default).
+    Popcorn,
+}
+
+impl Implementation {
+    /// Display name used in output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Implementation::DenseBaseline => "dense-gpu-baseline",
+            Implementation::Cpu => "cpu-reference",
+            Implementation::Popcorn => "popcorn",
+        }
+    }
+}
+
+/// Parsed command line arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// `-n`: number of points (used when generating a random dataset).
+    pub n: usize,
+    /// `-d`: number of features (used when generating a random dataset).
+    pub d: usize,
+    /// `-k`: number of clusters.
+    pub k: usize,
+    /// `--runs`: number of repetitions.
+    pub runs: usize,
+    /// `-t`: convergence tolerance.
+    pub tolerance: f64,
+    /// `-m`: maximum iterations.
+    pub max_iter: usize,
+    /// `-c`: whether to check convergence.
+    pub check_convergence: bool,
+    /// `--init`: initialisation method.
+    pub init: Initialization,
+    /// `-f`: kernel function.
+    pub kernel: KernelFunction,
+    /// `-i`: optional input file (libSVM when the extension is `.libsvm` or
+    /// `.svm`, CSV otherwise). `None` generates a random dataset.
+    pub input: Option<String>,
+    /// `-s`: RNG seed.
+    pub seed: u64,
+    /// `-l`: implementation selector.
+    pub implementation: Implementation,
+    /// `-o`: optional output file for the final assignment.
+    pub output: Option<String>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            n: 1000,
+            d: 16,
+            k: 10,
+            runs: 1,
+            tolerance: 1e-4,
+            max_iter: 30,
+            check_convergence: false,
+            init: Initialization::Random,
+            kernel: KernelFunction::paper_polynomial(),
+            input: None,
+            seed: 0,
+            implementation: Implementation::Popcorn,
+            output: None,
+        }
+    }
+}
+
+/// Usage text printed on `--help` or on a parse error.
+pub const USAGE: &str = "gpukmeans — Popcorn kernel k-means (PPoPP '25 reproduction)
+
+USAGE:
+  gpukmeans [OPTIONS]
+
+OPTIONS:
+  -n INT          number of points for the generated dataset   [default: 1000]
+  -d INT          number of features for the generated dataset [default: 16]
+  -k INT          number of clusters                           [default: 10]
+  --runs INT      number of clustering runs                    [default: 1]
+  -t FLOAT        convergence tolerance                        [default: 1e-4]
+  -m INT          maximum number of iterations                 [default: 30]
+  -c {0|1}        1 = stop at convergence, 0 = run all iterations [default: 0]
+  --init STR      centroid initialisation: random | kmeans++   [default: random]
+  -f STR          kernel: linear | polynomial | gaussian | sigmoid
+                                                               [default: polynomial]
+  -i FILE         input file (.libsvm/.svm or .csv); omit to generate data
+  -s INT          RNG seed                                     [default: 0]
+  -l {0|1|2}      implementation: 0 = dense GPU baseline, 1 = CPU, 2 = Popcorn
+                                                               [default: 2]
+  -o FILE         write the final cluster assignment to FILE
+  -h, --help      print this help text
+";
+
+/// Parse an argument vector (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut parsed = CliArgs::default();
+    let mut iter = args.iter().peekable();
+
+    fn value<'a>(
+        flag: &str,
+        iter: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
+    ) -> Result<&'a String, String> {
+        iter.next().ok_or_else(|| format!("missing value for {flag}"))
+    }
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-n" => parsed.n = parse_usize("-n", value("-n", &mut iter)?)?,
+            "-d" => parsed.d = parse_usize("-d", value("-d", &mut iter)?)?,
+            "-k" => parsed.k = parse_usize("-k", value("-k", &mut iter)?)?,
+            "--runs" => parsed.runs = parse_usize("--runs", value("--runs", &mut iter)?)?,
+            "-t" => {
+                let v = value("-t", &mut iter)?;
+                parsed.tolerance =
+                    v.parse().map_err(|_| format!("-t expects a number, got '{v}'"))?;
+            }
+            "-m" => parsed.max_iter = parse_usize("-m", value("-m", &mut iter)?)?,
+            "-c" => {
+                let v = value("-c", &mut iter)?;
+                parsed.check_convergence = match v.as_str() {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(format!("-c expects 0 or 1, got '{v}'")),
+                };
+            }
+            "--init" => {
+                let v = value("--init", &mut iter)?;
+                parsed.init = match v.as_str() {
+                    "random" => Initialization::Random,
+                    "kmeans++" | "kmeanspp" => Initialization::KmeansPlusPlus,
+                    _ => return Err(format!("--init expects random or kmeans++, got '{v}'")),
+                };
+            }
+            "-f" => {
+                let v = value("-f", &mut iter)?;
+                parsed.kernel = match v.as_str() {
+                    "linear" => KernelFunction::Linear,
+                    "polynomial" => KernelFunction::paper_polynomial(),
+                    "gaussian" | "rbf" => KernelFunction::default_gaussian(),
+                    "sigmoid" => KernelFunction::Sigmoid { gamma: 1.0, coef0: 0.0 },
+                    _ => {
+                        return Err(format!(
+                            "-f expects linear | polynomial | gaussian | sigmoid, got '{v}'"
+                        ))
+                    }
+                };
+            }
+            "-i" => parsed.input = Some(value("-i", &mut iter)?.clone()),
+            "-s" => parsed.seed = parse_usize("-s", value("-s", &mut iter)?)? as u64,
+            "-l" => {
+                let v = value("-l", &mut iter)?;
+                parsed.implementation = match v.as_str() {
+                    "0" => Implementation::DenseBaseline,
+                    "1" => Implementation::Cpu,
+                    "2" => Implementation::Popcorn,
+                    _ => return Err(format!("-l expects 0, 1 or 2, got '{v}'")),
+                };
+            }
+            "-o" => parsed.output = Some(value("-o", &mut iter)?.clone()),
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+
+    if parsed.k == 0 {
+        return Err("-k must be at least 1".to_string());
+    }
+    if parsed.runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+    if parsed.input.is_none() && (parsed.n == 0 || parsed.d == 0) {
+        return Err("-n and -d must be positive when generating a dataset".to_string());
+    }
+    Ok(parsed)
+}
+
+fn parse_usize(flag: &str, value: &str) -> Result<usize, String> {
+    value.parse().map_err(|_| format!("{flag} expects a non-negative integer, got '{value}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<CliArgs, String> {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_with_no_args() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, CliArgs::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let args = parse(&[
+            "-n", "5000", "-d", "32", "-k", "50", "--runs", "4", "-t", "1e-6", "-m", "100",
+            "-c", "1", "--init", "kmeans++", "-f", "gaussian", "-i", "data.libsvm", "-s", "7",
+            "-l", "0", "-o", "out.csv",
+        ])
+        .unwrap();
+        assert_eq!(args.n, 5000);
+        assert_eq!(args.d, 32);
+        assert_eq!(args.k, 50);
+        assert_eq!(args.runs, 4);
+        assert_eq!(args.tolerance, 1e-6);
+        assert_eq!(args.max_iter, 100);
+        assert!(args.check_convergence);
+        assert_eq!(args.init, Initialization::KmeansPlusPlus);
+        assert_eq!(args.kernel, KernelFunction::default_gaussian());
+        assert_eq!(args.input.as_deref(), Some("data.libsvm"));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.implementation, Implementation::DenseBaseline);
+        assert_eq!(args.output.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn kernel_and_implementation_variants() {
+        assert_eq!(parse(&["-f", "linear"]).unwrap().kernel, KernelFunction::Linear);
+        assert_eq!(
+            parse(&["-f", "sigmoid"]).unwrap().kernel,
+            KernelFunction::Sigmoid { gamma: 1.0, coef0: 0.0 }
+        );
+        assert_eq!(parse(&["-l", "1"]).unwrap().implementation, Implementation::Cpu);
+        assert_eq!(parse(&["-l", "2"]).unwrap().implementation, Implementation::Popcorn);
+        assert_eq!(Implementation::Popcorn.name(), "popcorn");
+        assert_eq!(Implementation::Cpu.name(), "cpu-reference");
+        assert_eq!(Implementation::DenseBaseline.name(), "dense-gpu-baseline");
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["-n", "abc"]).is_err());
+        assert!(parse(&["-c", "2"]).is_err());
+        assert!(parse(&["-f", "unknown"]).is_err());
+        assert!(parse(&["-l", "9"]).is_err());
+        assert!(parse(&["--init", "zeros"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["-k"]).is_err());
+        assert!(parse(&["-k", "0"]).is_err());
+        assert!(parse(&["--runs", "0"]).is_err());
+        assert!(parse(&["-n", "0"]).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+        let err = parse(&["-h"]).unwrap_err();
+        assert!(err.contains("gpukmeans"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `gpukmeans` — command line driver for the Popcorn reproduction, mirroring
+//! the original artifact's CLI (paper Appendix A.4).
+
+use popcorn_cli::args::parse_args;
+use popcorn_cli::driver::run;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(message) => {
+            // `--help` also lands here: the usage text is the "error".
+            eprintln!("{message}");
+            let failed = !message.starts_with("gpukmeans");
+            std::process::exit(if failed { 2 } else { 0 });
+        }
+    };
+    match run(&args) {
+        Ok(summary) => {
+            print!("{}", summary.report());
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

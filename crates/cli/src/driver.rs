@@ -1,0 +1,244 @@
+//! Drives the selected solver from parsed CLI arguments.
+
+use crate::args::{CliArgs, Implementation};
+use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline};
+use popcorn_core::{ClusteringResult, KernelKmeans, KernelKmeansConfig};
+use popcorn_data::dataset::Dataset;
+use popcorn_data::synthetic::uniform_dataset;
+use popcorn_data::{csv, libsvm};
+
+/// Summary of one CLI invocation (one run per entry in `results`).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of points.
+    pub n: usize,
+    /// Number of features.
+    pub d: usize,
+    /// Implementation used.
+    pub implementation: Implementation,
+    /// One clustering result per run.
+    pub results: Vec<ClusteringResult>,
+}
+
+impl RunSummary {
+    /// Mean modeled device time across runs, in seconds.
+    pub fn mean_modeled_seconds(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().map(|r| r.modeled_timings.total()).sum::<f64>()
+            / self.results.len() as f64
+    }
+
+    /// Mean host wall-clock time across runs, in seconds.
+    pub fn mean_host_seconds(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().map(|r| r.host_timings.total()).sum::<f64>() / self.results.len() as f64
+    }
+
+    /// Human-readable report, one line per run plus a summary footer.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "dataset={} n={} d={} implementation={}\n",
+            self.dataset,
+            self.n,
+            self.d,
+            self.implementation.name()
+        ));
+        for (run, result) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "run {run}: iterations={} converged={} objective={:.6e} modeled={:.6}s host={:.6}s\n",
+                result.iterations,
+                result.converged,
+                result.objective,
+                result.modeled_timings.total(),
+                result.host_timings.total(),
+            ));
+        }
+        out.push_str(&format!(
+            "mean modeled time: {:.6} s | mean host time: {:.6} s\n",
+            self.mean_modeled_seconds(),
+            self.mean_host_seconds()
+        ));
+        out
+    }
+}
+
+fn load_dataset(args: &CliArgs) -> Result<Dataset<f32>, String> {
+    match &args.input {
+        None => Ok(uniform_dataset::<f32>(args.n, args.d, args.seed)),
+        Some(path) => {
+            let lower = path.to_lowercase();
+            if lower.ends_with(".libsvm") || lower.ends_with(".svm") || lower.ends_with(".txt") {
+                libsvm::read_libsvm::<f32>(path, None).map_err(|e| e.to_string())
+            } else {
+                csv::read_csv::<f32>(path, false).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+fn config_from(args: &CliArgs, run: usize) -> KernelKmeansConfig {
+    KernelKmeansConfig {
+        k: args.k,
+        max_iter: args.max_iter,
+        tolerance: args.tolerance,
+        check_convergence: args.check_convergence,
+        kernel: args.kernel,
+        strategy: Default::default(),
+        init: args.init,
+        seed: args.seed.wrapping_add(run as u64),
+        repair_empty_clusters: true,
+    }
+}
+
+/// Run the requested clustering and return a summary (library entry point
+/// used by both the binary and the tests).
+pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
+    let dataset = load_dataset(args)?;
+    if args.k > dataset.n() {
+        return Err(format!("-k {} exceeds the number of points {}", args.k, dataset.n()));
+    }
+    let mut results = Vec::with_capacity(args.runs);
+    for run_idx in 0..args.runs {
+        let config = config_from(args, run_idx);
+        let result = match args.implementation {
+            Implementation::Popcorn => {
+                KernelKmeans::new(config).fit(dataset.points()).map_err(|e| e.to_string())?
+            }
+            Implementation::DenseBaseline => {
+                DenseGpuBaseline::new(config).fit(dataset.points()).map_err(|e| e.to_string())?
+            }
+            Implementation::Cpu => {
+                CpuKernelKmeans::new(config).fit(dataset.points()).map_err(|e| e.to_string())?
+            }
+        };
+        results.push(result);
+    }
+
+    if let Some(path) = &args.output {
+        let mut text = String::new();
+        if let Some(last) = results.last() {
+            for (i, label) in last.labels.iter().enumerate() {
+                text.push_str(&format!("{i},{label}\n"));
+            }
+        }
+        std::fs::write(path, text).map_err(|e| format!("failed to write {path}: {e}"))?;
+    }
+
+    Ok(RunSummary {
+        dataset: dataset.name().to_string(),
+        n: dataset.n(),
+        d: dataset.d(),
+        implementation: args.implementation,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_args() -> CliArgs {
+        CliArgs {
+            n: 60,
+            d: 4,
+            k: 3,
+            runs: 2,
+            max_iter: 5,
+            check_convergence: true,
+            ..CliArgs::default()
+        }
+    }
+
+    #[test]
+    fn runs_popcorn_on_generated_data() {
+        let summary = run(&quick_args()).unwrap();
+        assert_eq!(summary.n, 60);
+        assert_eq!(summary.d, 4);
+        assert_eq!(summary.results.len(), 2);
+        assert!(summary.mean_modeled_seconds() > 0.0);
+        assert!(summary.report().contains("run 0"));
+        assert!(summary.report().contains("popcorn"));
+    }
+
+    #[test]
+    fn runs_all_implementations() {
+        for implementation in
+            [Implementation::Popcorn, Implementation::DenseBaseline, Implementation::Cpu]
+        {
+            let args = CliArgs { implementation, runs: 1, ..quick_args() };
+            let summary = run(&args).unwrap();
+            assert_eq!(summary.results.len(), 1);
+            assert_eq!(summary.implementation, implementation);
+            assert_eq!(summary.results[0].labels.len(), 60);
+        }
+    }
+
+    #[test]
+    fn rejects_k_larger_than_n() {
+        let args = CliArgs { k: 100, ..quick_args() };
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn writes_output_file() {
+        let dir = std::env::temp_dir().join("popcorn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("assignments.csv");
+        let args = CliArgs {
+            runs: 1,
+            output: Some(out.to_string_lossy().to_string()),
+            ..quick_args()
+        };
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(text.lines().count(), 60);
+        assert!(text.lines().next().unwrap().starts_with("0,"));
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn reads_libsvm_and_csv_inputs() {
+        let dir = std::env::temp_dir().join("popcorn_cli_inputs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let libsvm_path = dir.join("toy.libsvm");
+        std::fs::write(
+            &libsvm_path,
+            "0 1:1.0 2:0.5\n1 1:5.0 2:5.5\n0 1:1.2 2:0.4\n1 1:5.2 2:5.4\n",
+        )
+        .unwrap();
+        let args = CliArgs {
+            input: Some(libsvm_path.to_string_lossy().to_string()),
+            k: 2,
+            runs: 1,
+            max_iter: 5,
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert_eq!(summary.n, 4);
+        assert_eq!(summary.d, 2);
+
+        let csv_path = dir.join("toy.csv");
+        std::fs::write(&csv_path, "1.0,0.5\n5.0,5.5\n1.2,0.4\n5.2,5.4\n").unwrap();
+        let args = CliArgs { input: Some(csv_path.to_string_lossy().to_string()), ..args };
+        let summary = run(&args).unwrap();
+        assert_eq!(summary.n, 4);
+        std::fs::remove_file(&libsvm_path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn missing_input_file_is_an_error() {
+        let args = CliArgs {
+            input: Some("/nonexistent/popcorn.libsvm".to_string()),
+            ..quick_args()
+        };
+        assert!(run(&args).is_err());
+    }
+}

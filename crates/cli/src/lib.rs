@@ -1,0 +1,24 @@
+//! # popcorn-cli
+//!
+//! Library backing the `gpukmeans` binary — a command line driver mirroring
+//! the interface of the original Popcorn artifact (paper Appendix A.4):
+//!
+//! ```text
+//! gpukmeans -n INT -d INT -k INT [--runs INT] [-t FLOAT] [-m INT] [-c {0|1}]
+//!           [--init random|kmeans++] [-f linear|polynomial|gaussian|sigmoid]
+//!           [-i FILE] [-s INT] [-l {0|1|2}] [-o FILE]
+//! ```
+//!
+//! `-l` selects the implementation: `0` = the dense CUDA-baseline stand-in,
+//! `1` = the single-threaded CPU reference, `2` = Popcorn (default), matching
+//! the artifact's "0 runs the naive baseline, 2 runs Popcorn" convention.
+//!
+//! The argument parser is hand-rolled (no external CLI crate) and fully unit
+//! tested; the binary in `src/bin/gpukmeans.rs` is a thin wrapper around
+//! [`run`].
+
+pub mod args;
+pub mod driver;
+
+pub use args::{CliArgs, Implementation};
+pub use driver::{run, RunSummary};

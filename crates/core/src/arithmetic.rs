@@ -1,0 +1,118 @@
+//! Arithmetic-intensity formulas (paper §4.4, Eq. 16–17).
+//!
+//! The paper derives closed-form arithmetic intensities for the two
+//! compute-heavy parts of Popcorn, assuming single-precision values and
+//! 32-bit indices. These are reproduced here both for the roofline experiment
+//! (Figure 6) and as documentation of the cost accounting.
+
+/// Arithmetic intensity of computing the kernel matrix `K` (paper Eq. 16):
+///
+/// ```text
+/// AI_K = (F_K + 2 n² d) / (4 (B_K + 2 n d + n²))
+/// ```
+///
+/// where `F_K` / `B_K` are the FLOPs and memory operations of the elementwise
+/// kernel-function application.
+pub fn kernel_matrix_intensity(n: usize, d: usize, kernel_flops: u64, kernel_memops: u64) -> f64 {
+    let n = n as f64;
+    let d = d as f64;
+    let numerator = kernel_flops as f64 + 2.0 * n * n * d;
+    let denominator = 4.0 * (kernel_memops as f64 + 2.0 * n * d + n * n);
+    if denominator == 0.0 {
+        0.0
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Arithmetic intensity of one iteration of the distance computation
+/// (paper Eq. 17):
+///
+/// ```text
+/// AI_D = (2 n² + 2 n + 3 n k) / (4 (n² + 6 n + 4 k + 3 n k))
+/// ```
+pub fn distances_intensity(n: usize, k: usize) -> f64 {
+    let n = n as f64;
+    let k = k as f64;
+    let numerator = 2.0 * n * n + 2.0 * n + 3.0 * n * k;
+    let denominator = 4.0 * (n * n + 6.0 * n + 4.0 * k + 3.0 * n * k);
+    if denominator == 0.0 {
+        0.0
+    } else {
+        numerator / denominator
+    }
+}
+
+/// FLOPs of one distance iteration (numerator of Eq. 17): one SpMM (`2n²`),
+/// one SpMV (`2n`) and the three-way elementwise addition (`3nk` counting one
+/// add per operand pair per entry, as the paper does).
+pub fn distances_flops(n: usize, k: usize) -> u64 {
+    2 * (n as u64) * (n as u64) + 2 * n as u64 + 3 * (n as u64) * (k as u64)
+}
+
+/// Bytes of one distance iteration (denominator of Eq. 17, 4-byte elements).
+pub fn distances_bytes(n: usize, k: usize) -> u64 {
+    4 * ((n as u64) * (n as u64) + 6 * n as u64 + 4 * k as u64 + 3 * (n as u64) * (k as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_intensity_approaches_half() {
+        // For n >> k the expression tends to 2n² / 4n² = 0.5 FLOP/byte.
+        let ai = distances_intensity(1_000_000, 10);
+        assert!((ai - 0.5).abs() < 0.01, "ai = {ai}");
+    }
+
+    #[test]
+    fn distances_intensity_decreases_with_k() {
+        let small_k = distances_intensity(10_000, 10);
+        let large_k = distances_intensity(10_000, 1_000);
+        assert!(small_k > large_k);
+        assert!(large_k > 0.0);
+    }
+
+    #[test]
+    fn kernel_matrix_intensity_grows_with_d() {
+        // More features -> more FLOPs per byte of K produced.
+        let low_d = kernel_matrix_intensity(10_000, 10, 0, 0);
+        let high_d = kernel_matrix_intensity(10_000, 1_000, 0, 0);
+        assert!(high_d > 50.0 * low_d);
+        // Exactly d / (2 (1 + 2d/n)) when the kernel application is free.
+        let expected = 1_000.0 / (2.0 * (1.0 + 2.0 * 1_000.0 / 10_000.0));
+        assert!((high_d - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formulas_match_hand_computation() {
+        // n = 100, k = 10:
+        // numerator = 2*10000 + 200 + 3000 = 23200
+        // denominator = 4*(10000 + 600 + 40 + 3000) = 54560
+        let ai = distances_intensity(100, 10);
+        assert!((ai - 23_200.0 / 54_560.0).abs() < 1e-12);
+        assert_eq!(distances_flops(100, 10), 23_200);
+        assert_eq!(distances_bytes(100, 10), 54_560);
+
+        // Eq 16 with F_K = B_K = 0, n = 10, d = 4:
+        // (2*100*4) / (4*(80 + 100)) = 800 / 720
+        let k_ai = kernel_matrix_intensity(10, 4, 0, 0);
+        assert!((k_ai - 800.0 / 720.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(kernel_matrix_intensity(0, 0, 0, 0), 0.0);
+        assert_eq!(distances_intensity(0, 0), 0.0);
+    }
+
+    #[test]
+    fn intensity_is_consistent_with_flops_over_bytes() {
+        for (n, k) in [(100, 10), (5_000, 50), (20_000, 100)] {
+            let ai = distances_intensity(n, k);
+            let ratio = distances_flops(n, k) as f64 / distances_bytes(n, k) as f64;
+            assert!((ai - ratio).abs() < 1e-12);
+        }
+    }
+}

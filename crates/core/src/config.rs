@@ -1,0 +1,171 @@
+//! Solver configuration.
+
+use crate::errors::CoreError;
+use crate::init::Initialization;
+use crate::kernel::KernelFunction;
+use crate::strategy::KernelMatrixStrategy;
+use crate::Result;
+
+/// Configuration for the Popcorn kernel k-means solver (and for the baseline
+/// solvers, which accept the same options so comparisons are apples-to-apples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelKmeansConfig {
+    /// Number of clusters `k` (must satisfy `1 <= k <= n`).
+    pub k: usize,
+    /// Maximum number of iterations (the paper runs exactly 30 in its timing
+    /// experiments).
+    pub max_iter: usize,
+    /// Relative tolerance on the objective used by the convergence check.
+    pub tolerance: f64,
+    /// Whether to stop early when converged (`-c 1` in the artifact CLI) or
+    /// always run `max_iter` iterations (`-c 0`, used for timing).
+    pub check_convergence: bool,
+    /// Kernel function.
+    pub kernel: KernelFunction,
+    /// GEMM/SYRK selection strategy for the kernel-matrix computation.
+    pub strategy: KernelMatrixStrategy,
+    /// Initial assignment method.
+    pub init: Initialization,
+    /// RNG seed for the initial assignment.
+    pub seed: u64,
+    /// Repair empty clusters by reassigning the points currently farthest
+    /// from their centroid (the paper does not specify a policy; disabling
+    /// this leaves empty clusters empty, as the raw algorithm would).
+    pub repair_empty_clusters: bool,
+}
+
+impl Default for KernelKmeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            max_iter: 30,
+            tolerance: 1e-4,
+            check_convergence: false,
+            kernel: KernelFunction::paper_polynomial(),
+            strategy: KernelMatrixStrategy::default(),
+            init: Initialization::Random,
+            seed: 0,
+            repair_empty_clusters: true,
+        }
+    }
+}
+
+impl KernelKmeansConfig {
+    /// Configuration matching the paper's timing experiments: polynomial
+    /// kernel (γ = c = 1, r = 2), exactly 30 iterations, random init.
+    pub fn paper_defaults(k: usize) -> Self {
+        Self { k, ..Self::default() }
+    }
+
+    /// Builder-style setter for the kernel function.
+    pub fn with_kernel(mut self, kernel: KernelFunction) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder-style setter for the iteration budget.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the initialisation method.
+    pub fn with_init(mut self, init: Initialization) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Builder-style setter for convergence checking.
+    pub fn with_convergence_check(mut self, check: bool, tolerance: f64) -> Self {
+        self.check_convergence = check;
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Builder-style setter for the GEMM/SYRK strategy.
+    pub fn with_strategy(mut self, strategy: KernelMatrixStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Validate the configuration against a dataset of `n` points.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        if self.k == 0 {
+            return Err(CoreError::InvalidConfig("k must be at least 1".into()));
+        }
+        if n == 0 {
+            return Err(CoreError::InvalidInput("dataset has no points".into()));
+        }
+        if self.k > n {
+            return Err(CoreError::InvalidConfig(format!(
+                "k = {} exceeds the number of points n = {n}",
+                self.k
+            )));
+        }
+        if self.max_iter == 0 {
+            return Err(CoreError::InvalidConfig("max_iter must be at least 1".into()));
+        }
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "tolerance must be a non-negative finite number, got {}",
+                self.tolerance
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let c = KernelKmeansConfig::default();
+        assert_eq!(c.max_iter, 30);
+        assert!(!c.check_convergence);
+        assert_eq!(c.kernel, KernelFunction::paper_polynomial());
+        assert_eq!(c.init, Initialization::Random);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = KernelKmeansConfig::paper_defaults(50)
+            .with_kernel(KernelFunction::Linear)
+            .with_max_iter(5)
+            .with_seed(7)
+            .with_init(Initialization::KmeansPlusPlus)
+            .with_convergence_check(true, 1e-6)
+            .with_strategy(KernelMatrixStrategy::ForceGemm);
+        assert_eq!(c.k, 50);
+        assert_eq!(c.kernel, KernelFunction::Linear);
+        assert_eq!(c.max_iter, 5);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.init, Initialization::KmeansPlusPlus);
+        assert!(c.check_convergence);
+        assert_eq!(c.tolerance, 1e-6);
+        assert_eq!(c.strategy, KernelMatrixStrategy::ForceGemm);
+    }
+
+    #[test]
+    fn validation_rules() {
+        let c = KernelKmeansConfig::paper_defaults(10);
+        assert!(c.validate(100).is_ok());
+        assert!(c.validate(10).is_ok());
+        assert!(c.validate(9).is_err());
+        assert!(c.validate(0).is_err());
+        assert!(KernelKmeansConfig::paper_defaults(0).validate(10).is_err());
+        assert!(KernelKmeansConfig::paper_defaults(2).with_max_iter(0).validate(10).is_err());
+        let mut bad_tol = KernelKmeansConfig::paper_defaults(2);
+        bad_tol.tolerance = f64::NAN;
+        assert!(bad_tol.validate(10).is_err());
+        bad_tol.tolerance = -1.0;
+        assert!(bad_tol.validate(10).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the core algorithm.
+
+use popcorn_dense::DenseError;
+use popcorn_sparse::SparseError;
+use std::fmt;
+
+/// Errors produced by the kernel k-means solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter is invalid (k = 0, k > n, bad tolerance, ...).
+    InvalidConfig(String),
+    /// The input data is unusable (empty, wrong shape, non-finite values).
+    InvalidInput(String),
+    /// An underlying dense kernel failed.
+    Dense(DenseError),
+    /// An underlying sparse kernel failed.
+    Sparse(SparseError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::Dense(e) => write!(f, "dense kernel error: {e}"),
+            CoreError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DenseError> for CoreError {
+    fn from(e: DenseError) -> Self {
+        CoreError::Dense(e)
+    }
+}
+
+impl From<SparseError> for CoreError {
+    fn from(e: SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::InvalidConfig("k = 0".into()).to_string().contains("k = 0"));
+        assert!(CoreError::InvalidInput("empty".into()).to_string().contains("empty"));
+        let d: CoreError = DenseError::EmptyMatrix { op: "gemm" }.into();
+        assert!(d.to_string().contains("gemm"));
+        let s: CoreError = SparseError::Empty { op: "selection" }.into();
+        assert!(s.to_string().contains("selection"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Initial cluster assignments.
+//!
+//! The paper initialises Kernel K-means by giving every point a uniformly
+//! random cluster label (Alg. 2 line 3, artifact `--init random`). A kernel
+//! k-means++ seeding is provided as an extension: it selects well-spread
+//! initial "centres" in *feature space* using only kernel-matrix entries
+//! (`‖φ(pᵢ) − φ(p_c)‖² = K_ii + K_cc − 2K_ic`) and derives the initial
+//! labels from them.
+
+use crate::{CoreError, Result};
+use popcorn_dense::{DenseMatrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Initial assignment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initialization {
+    /// Uniformly random label per point (the paper's method).
+    Random,
+    /// Kernel-space k-means++ seeding followed by a nearest-centre assignment.
+    KmeansPlusPlus,
+}
+
+impl Initialization {
+    /// Name matching the artifact's `--init` flag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Initialization::Random => "random",
+            Initialization::KmeansPlusPlus => "kmeans++",
+        }
+    }
+}
+
+/// Produce random initial assignments (every label in `0..k`).
+pub fn random_assignments(n: usize, k: usize, seed: u64) -> Result<Vec<usize>> {
+    if k == 0 || n == 0 || k > n {
+        return Err(CoreError::InvalidConfig(format!(
+            "cannot initialise {k} clusters over {n} points"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok((0..n).map(|_| rng.gen_range(0..k)).collect())
+}
+
+/// Kernel k-means++ assignments: select `k` spread-out seed points in feature
+/// space (D² sampling on kernel-trick distances), then assign every point to
+/// its nearest seed.
+pub fn kmeanspp_assignments<T: Scalar>(
+    kernel_matrix: &DenseMatrix<T>,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    let n = kernel_matrix.rows();
+    if !kernel_matrix.is_square() {
+        return Err(CoreError::InvalidInput("kernel matrix must be square".into()));
+    }
+    if k == 0 || n == 0 || k > n {
+        return Err(CoreError::InvalidConfig(format!(
+            "cannot initialise {k} clusters over {n} points"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sq_dist = |i: usize, c: usize| -> f64 {
+        (kernel_matrix[(i, i)].to_f64() + kernel_matrix[(c, c)].to_f64()
+            - 2.0 * kernel_matrix[(i, c)].to_f64())
+        .max(0.0)
+    };
+
+    let mut centers = Vec::with_capacity(k);
+    centers.push(rng.gen_range(0..n));
+    let mut best_dist: Vec<f64> = (0..n).map(|i| sq_dist(i, centers[0])).collect();
+
+    while centers.len() < k {
+        let total: f64 = best_dist.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with existing centres; fall back
+            // to picking an unused index deterministically.
+            (0..n).find(|i| !centers.contains(i)).unwrap_or(0)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in best_dist.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centers.push(next);
+        for i in 0..n {
+            let d = sq_dist(i, next);
+            if d < best_dist[i] {
+                best_dist[i] = d;
+            }
+        }
+    }
+
+    // Assign every point to the nearest seed.
+    let labels = (0..n)
+        .map(|i| {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c_idx, &c) in centers.iter().enumerate() {
+                let d = sq_dist(i, c);
+                if d < best_d {
+                    best_d = d;
+                    best = c_idx;
+                }
+            }
+            best
+        })
+        .collect();
+    Ok(labels)
+}
+
+/// Dispatch on the configured initialisation method.
+pub fn initial_assignments<T: Scalar>(
+    kernel_matrix: &DenseMatrix<T>,
+    k: usize,
+    init: Initialization,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    match init {
+        Initialization::Random => random_assignments(kernel_matrix.rows(), k, seed),
+        Initialization::KmeansPlusPlus => kmeanspp_assignments(kernel_matrix, k, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{kernel_matrix_reference, KernelFunction};
+
+    #[test]
+    fn random_assignments_in_range_and_deterministic() {
+        let a = random_assignments(100, 7, 42).unwrap();
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&l| l < 7));
+        assert_eq!(a, random_assignments(100, 7, 42).unwrap());
+        assert_ne!(a, random_assignments(100, 7, 43).unwrap());
+    }
+
+    #[test]
+    fn random_assignments_use_all_clusters_for_large_n() {
+        let a = random_assignments(1000, 10, 1).unwrap();
+        let mut seen = vec![false; 10];
+        for &l in &a {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_assignments_validate_inputs() {
+        assert!(random_assignments(0, 3, 0).is_err());
+        assert!(random_assignments(10, 0, 0).is_err());
+        assert!(random_assignments(3, 10, 0).is_err());
+    }
+
+    fn two_blob_kernel() -> DenseMatrix<f64> {
+        // Two tight groups far apart; linear kernel.
+        let points = DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ])
+        .unwrap();
+        kernel_matrix_reference(&points, KernelFunction::Linear)
+    }
+
+    #[test]
+    fn kmeanspp_separates_obvious_blobs() {
+        let k = two_blob_kernel();
+        let labels = kmeanspp_assignments(&k, 2, 3).unwrap();
+        assert_eq!(labels.len(), 6);
+        // Points 0-2 share a label, points 3-5 share the other label.
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn kmeanspp_is_deterministic_given_seed() {
+        let k = two_blob_kernel();
+        assert_eq!(
+            kmeanspp_assignments(&k, 3, 11).unwrap(),
+            kmeanspp_assignments(&k, 3, 11).unwrap()
+        );
+    }
+
+    #[test]
+    fn kmeanspp_handles_duplicate_points() {
+        // All points identical: distances are all zero; must still terminate
+        // and produce valid labels.
+        let points = DenseMatrix::from_rows(&vec![vec![1.0, 1.0]; 5]).unwrap();
+        let k = kernel_matrix_reference(&points, KernelFunction::Linear);
+        let labels = kmeanspp_assignments(&k, 3, 0).unwrap();
+        assert_eq!(labels.len(), 5);
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn kmeanspp_validates_inputs() {
+        let k = two_blob_kernel();
+        assert!(kmeanspp_assignments(&k, 0, 0).is_err());
+        assert!(kmeanspp_assignments(&k, 100, 0).is_err());
+        let rect = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(kmeanspp_assignments(&rect, 1, 0).is_err());
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let k = two_blob_kernel();
+        let a = initial_assignments(&k, 2, Initialization::Random, 5).unwrap();
+        assert_eq!(a, random_assignments(6, 2, 5).unwrap());
+        let b = initial_assignments(&k, 2, Initialization::KmeansPlusPlus, 5).unwrap();
+        assert_eq!(b, kmeanspp_assignments(&k, 2, 5).unwrap());
+        assert_eq!(Initialization::Random.name(), "random");
+        assert_eq!(Initialization::KmeansPlusPlus.name(), "kmeans++");
+    }
+}

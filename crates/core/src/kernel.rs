@@ -1,0 +1,256 @@
+//! Kernel functions.
+//!
+//! The kernel trick (paper §2.2): instead of projecting points into the
+//! high-dimensional feature space, evaluate a kernel function `κ(x, y)` that
+//! equals the feature-space inner product. The paper implements the
+//! polynomial and Gaussian kernels (§3.2) and the artifact additionally
+//! exposes linear and sigmoid kernels via its `-f` flag; all four are
+//! provided here.
+//!
+//! All kernels are computed *from the Gram matrix* `B = P̂ P̂ᵀ`:
+//!
+//! * polynomial / linear / sigmoid need only `B[i][j]`,
+//! * the Gaussian kernel needs `B[i][j]`, `B[i][i]` and `B[j][j]`
+//!   (paper Eq. 12), i.e. the diagonal of `B` as well.
+
+use popcorn_dense::{DenseMatrix, Scalar};
+
+/// A kernel function `κ(x, y)` evaluated from Gram-matrix entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelFunction {
+    /// `κ(x, y) = xᵀy` — reduces kernel k-means to classical k-means in the
+    /// input space; useful for validation.
+    Linear,
+    /// `κ(x, y) = (γ·xᵀy + c)^r` — the kernel used in the paper's experiments
+    /// with γ = 1, c = 1, r = 2.
+    Polynomial {
+        /// Scale applied to the inner product.
+        gamma: f64,
+        /// Additive constant `c`.
+        coef0: f64,
+        /// Integer exponent `r`.
+        degree: i32,
+    },
+    /// `κ(x, y) = exp(−γ‖x − y‖² / σ²)` (paper §3.2).
+    Gaussian {
+        /// Numerator scale γ.
+        gamma: f64,
+        /// Bandwidth σ.
+        sigma: f64,
+    },
+    /// `κ(x, y) = tanh(γ·xᵀy + c)` — the artifact's `-f sigmoid` option.
+    Sigmoid {
+        /// Scale applied to the inner product.
+        gamma: f64,
+        /// Additive constant `c`.
+        coef0: f64,
+    },
+}
+
+impl KernelFunction {
+    /// The polynomial kernel with the parameters the paper uses in §5.1.3
+    /// (γ = 1, c = 1, r = 2).
+    pub fn paper_polynomial() -> Self {
+        KernelFunction::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 }
+    }
+
+    /// A Gaussian kernel with unit γ and σ.
+    pub fn default_gaussian() -> Self {
+        KernelFunction::Gaussian { gamma: 1.0, sigma: 1.0 }
+    }
+
+    /// Short name matching the artifact's `-f` flag values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelFunction::Linear => "linear",
+            KernelFunction::Polynomial { .. } => "polynomial",
+            KernelFunction::Gaussian { .. } => "gaussian",
+            KernelFunction::Sigmoid { .. } => "sigmoid",
+        }
+    }
+
+    /// `true` when the kernel needs the diagonal of `B` (the Gaussian does).
+    pub fn needs_diagonal(&self) -> bool {
+        matches!(self, KernelFunction::Gaussian { .. })
+    }
+
+    /// Evaluate the kernel from Gram-matrix entries: `b_ij = xᵀy`,
+    /// `b_ii = xᵀx`, `b_jj = yᵀy`.
+    pub fn apply(&self, b_ij: f64, b_ii: f64, b_jj: f64) -> f64 {
+        match *self {
+            KernelFunction::Linear => b_ij,
+            KernelFunction::Polynomial { gamma, coef0, degree } => {
+                (gamma * b_ij + coef0).powi(degree)
+            }
+            KernelFunction::Gaussian { gamma, sigma } => {
+                let sq_dist = b_ii + b_jj - 2.0 * b_ij;
+                (-gamma * sq_dist / (sigma * sigma)).exp()
+            }
+            KernelFunction::Sigmoid { gamma, coef0 } => (gamma * b_ij + coef0).tanh(),
+        }
+    }
+
+    /// Evaluate the kernel directly on two points (reference path used by
+    /// tests to validate the Gram-matrix path).
+    pub fn evaluate<T: Scalar>(&self, x: &[T], y: &[T]) -> f64 {
+        let b_ij: f64 = x.iter().zip(y.iter()).map(|(&a, &b)| a.to_f64() * b.to_f64()).sum();
+        let b_ii: f64 = x.iter().map(|&a| a.to_f64() * a.to_f64()).sum();
+        let b_jj: f64 = y.iter().map(|&b| b.to_f64() * b.to_f64()).sum();
+        self.apply(b_ij, b_ii, b_jj)
+    }
+
+    /// Transform a Gram matrix `B = P̂ P̂ᵀ` into the kernel matrix `K` in
+    /// place (paper Eq. 11–12). The diagonal of `B` is captured first so the
+    /// Gaussian kernel sees the original `xᵀx` values.
+    pub fn apply_to_gram<T: Scalar>(&self, b: &mut DenseMatrix<T>) {
+        let n = b.rows();
+        debug_assert!(b.is_square(), "Gram matrix must be square");
+        let diag: Vec<f64> = (0..n).map(|i| b[(i, i)].to_f64()).collect();
+        for i in 0..n {
+            let b_ii = diag[i];
+            let row = b.row_mut(i);
+            for (j, value) in row.iter_mut().enumerate() {
+                *value = T::from_f64(self.apply(value.to_f64(), b_ii, diag[j]));
+            }
+        }
+    }
+
+    /// Number of floating point operations the elementwise transform performs
+    /// per matrix entry (used for cost accounting).
+    pub fn flops_per_entry(&self) -> usize {
+        match self {
+            KernelFunction::Linear => 0,
+            KernelFunction::Polynomial { .. } => 4,
+            KernelFunction::Gaussian { .. } => 8,
+            KernelFunction::Sigmoid { .. } => 10,
+        }
+    }
+}
+
+/// Compute the full kernel matrix directly from points with `O(n²d)`
+/// pairwise evaluations. This is the slow reference used by tests; the
+/// production path goes through the Gram matrix (`kernel_matrix` module).
+pub fn kernel_matrix_reference<T: Scalar>(
+    points: &DenseMatrix<T>,
+    kernel: KernelFunction,
+) -> DenseMatrix<T> {
+    let n = points.rows();
+    DenseMatrix::from_fn(n, n, |i, j| T::from_f64(kernel.evaluate(points.row(i), points.row(j))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_dense::matmul_nt;
+
+    fn sample_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.5, -1.0, 1.0],
+            vec![0.0, 0.0, 0.0],
+            vec![2.0, 2.0, -1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn linear_kernel_is_inner_product() {
+        let k = KernelFunction::Linear;
+        assert_eq!(k.apply(3.5, 1.0, 2.0), 3.5);
+        assert_eq!(k.evaluate(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(k.flops_per_entry(), 0);
+        assert!(!k.needs_diagonal());
+    }
+
+    #[test]
+    fn polynomial_kernel_paper_parameters() {
+        let k = KernelFunction::paper_polynomial();
+        // (1*2 + 1)^2 = 9
+        assert_eq!(k.apply(2.0, 0.0, 0.0), 9.0);
+        assert_eq!(k.name(), "polynomial");
+    }
+
+    #[test]
+    fn gaussian_kernel_properties() {
+        let k = KernelFunction::Gaussian { gamma: 1.0, sigma: 1.0 };
+        // identical points -> distance 0 -> kernel 1
+        assert!((k.evaluate(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        // farther points -> smaller kernel value
+        let near = k.evaluate(&[0.0], &[0.1]);
+        let far = k.evaluate(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+        assert!(k.needs_diagonal());
+    }
+
+    #[test]
+    fn sigmoid_kernel_bounded() {
+        let k = KernelFunction::Sigmoid { gamma: 0.5, coef0: 0.0 };
+        for b in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let v = k.apply(b, 0.0, 0.0);
+            assert!(v >= -1.0 && v <= 1.0);
+        }
+        assert_eq!(k.name(), "sigmoid");
+    }
+
+    #[test]
+    fn apply_to_gram_matches_reference_all_kernels() {
+        let points = sample_points();
+        for kernel in [
+            KernelFunction::Linear,
+            KernelFunction::paper_polynomial(),
+            KernelFunction::Gaussian { gamma: 0.7, sigma: 1.3 },
+            KernelFunction::Sigmoid { gamma: 0.2, coef0: 0.1 },
+        ] {
+            let mut gram = matmul_nt(&points, &points).unwrap();
+            kernel.apply_to_gram(&mut gram);
+            let reference = kernel_matrix_reference(&points, kernel);
+            assert!(
+                gram.approx_eq(&reference, 1e-10, 1e-10),
+                "kernel {} disagrees with reference",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matrix_is_symmetric() {
+        let points = sample_points();
+        for kernel in [
+            KernelFunction::paper_polynomial(),
+            KernelFunction::Gaussian { gamma: 1.0, sigma: 2.0 },
+        ] {
+            let k = kernel_matrix_reference(&points, kernel);
+            for i in 0..points.rows() {
+                for j in 0..points.rows() {
+                    assert!((k[(i, j)] - k[(j, i)]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_diagonal_is_one() {
+        let points = sample_points();
+        let k = kernel_matrix_reference(&points, KernelFunction::default_gaussian());
+        for i in 0..points.rows() {
+            assert!((k[(i, i)] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flops_per_entry_positive_for_nonlinear() {
+        assert!(KernelFunction::paper_polynomial().flops_per_entry() > 0);
+        assert!(KernelFunction::default_gaussian().flops_per_entry() > 0);
+        assert!(KernelFunction::Sigmoid { gamma: 1.0, coef0: 0.0 }.flops_per_entry() > 0);
+    }
+
+    #[test]
+    fn f32_gram_path() {
+        let points: DenseMatrix<f32> = sample_points().cast();
+        let mut gram = matmul_nt(&points, &points).unwrap();
+        KernelFunction::paper_polynomial().apply_to_gram(&mut gram);
+        let reference = kernel_matrix_reference(&points, KernelFunction::paper_polynomial());
+        assert!(gram.approx_eq(&reference, 1e-4, 1e-4));
+    }
+}

@@ -1,0 +1,220 @@
+//! Kernel matrix computation (paper §3.2 and §4.2).
+//!
+//! `K` is computed in two steps: the Gram matrix `B = P̂ P̂ᵀ` with either GEMM
+//! or SYRK (chosen by [`KernelMatrixStrategy`]), then an elementwise
+//! application of the kernel function (`thrust::transform` in the original).
+//! Each step is charged to the simulator so the experiments can attribute
+//! time exactly as the paper's Figure 8 does.
+
+use crate::kernel::KernelFunction;
+use crate::strategy::{self, GramRoutine, KernelMatrixStrategy};
+use crate::Result;
+use popcorn_dense::{matmul_nt, syrk, symmetrize_lower, DenseMatrix, Scalar, Triangle};
+use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
+
+/// Width of the sparse index type assumed by the cost accounting (the paper
+/// assumes 32-bit indices in §4.4).
+pub const INDEX_BYTES: usize = 4;
+
+/// Compute the Gram matrix `B = P̂ P̂ᵀ` with the requested routine, charging
+/// the corresponding cuBLAS-like cost to the executor.
+pub fn compute_gram<T: Scalar>(
+    points: &DenseMatrix<T>,
+    routine: GramRoutine,
+    executor: &SimExecutor,
+) -> Result<DenseMatrix<T>> {
+    let n = points.rows();
+    let d = points.cols();
+    let elem = std::mem::size_of::<T>();
+    let gram = match routine {
+        GramRoutine::Gemm => executor.run(
+            format!("gemm B = P*P^T (n={n}, d={d})"),
+            Phase::KernelMatrix,
+            OpClass::Gemm,
+            OpCost::gemm(n, n, d, elem),
+            || matmul_nt(points, points),
+        )?,
+        GramRoutine::Syrk => {
+            let mut b = executor.run(
+                format!("syrk B = P*P^T lower (n={n}, d={d})"),
+                Phase::KernelMatrix,
+                OpClass::Syrk,
+                OpCost::syrk_with_mirror(n, d, elem)
+                    .with_utilization(strategy::syrk_utilization(n, d)),
+                || -> popcorn_dense::Result<DenseMatrix<T>> {
+                    let mut b = DenseMatrix::zeros(n, n);
+                    syrk(T::ONE, points, T::ZERO, &mut b, Triangle::Lower)?;
+                    symmetrize_lower(&mut b, Triangle::Lower)?;
+                    Ok(b)
+                },
+            )?;
+            // (the mirror copy's traffic is already part of syrk_with_mirror)
+            debug_assert!(b.is_square());
+            b.scale(T::ONE);
+            b
+        }
+    };
+    Ok(gram)
+}
+
+/// Compute the kernel matrix `K = kernel(P̂ P̂ᵀ)`, returning the matrix and
+/// the Gram routine that was selected.
+pub fn compute_kernel_matrix<T: Scalar>(
+    points: &DenseMatrix<T>,
+    kernel: KernelFunction,
+    strategy: KernelMatrixStrategy,
+    executor: &SimExecutor,
+) -> Result<(DenseMatrix<T>, GramRoutine)> {
+    let n = points.rows();
+    let d = points.cols();
+    let elem = std::mem::size_of::<T>();
+    let routine = strategy.select(n, d);
+    let mut gram = compute_gram(points, routine, executor)?;
+    executor.run(
+        format!("apply {} kernel to B (n={n})", kernel.name()),
+        Phase::KernelMatrix,
+        OpClass::Elementwise,
+        OpCost::elementwise(n * n, 1, 1, kernel.flops_per_entry().max(1), elem),
+        || kernel.apply_to_gram(&mut gram),
+    );
+    Ok((gram, routine))
+}
+
+/// Extract `diag(K)` — the squared feature-space norms of the points (`P̃`,
+/// paper §3.3) — charging the small elementwise gather to the executor.
+pub fn extract_point_norms<T: Scalar>(
+    kernel_matrix: &DenseMatrix<T>,
+    executor: &SimExecutor,
+) -> Result<Vec<T>> {
+    let n = kernel_matrix.rows();
+    let elem = std::mem::size_of::<T>();
+    let norms = executor.run(
+        "extract diag(K)",
+        Phase::KernelMatrix,
+        OpClass::Elementwise,
+        OpCost::elementwise(n, 1, 1, 0, elem),
+        || popcorn_dense::diagonal(kernel_matrix),
+    )?;
+    Ok(norms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::kernel_matrix_reference;
+
+    fn sample_points(n: usize, d: usize) -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(n, d, |i, j| ((i * d + j) as f64 * 0.17).sin())
+    }
+
+    #[test]
+    fn gemm_and_syrk_paths_agree() {
+        let points = sample_points(12, 5);
+        let exec = SimExecutor::a100_f32();
+        let via_gemm = compute_gram(&points, GramRoutine::Gemm, &exec).unwrap();
+        let via_syrk = compute_gram(&points, GramRoutine::Syrk, &exec).unwrap();
+        assert!(via_gemm.approx_eq(&via_syrk, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn kernel_matrix_matches_reference() {
+        let points = sample_points(10, 4);
+        let exec = SimExecutor::a100_f32();
+        for kernel in [
+            KernelFunction::Linear,
+            KernelFunction::paper_polynomial(),
+            KernelFunction::Gaussian { gamma: 0.5, sigma: 1.0 },
+        ] {
+            let (k, _) = compute_kernel_matrix(
+                &points,
+                kernel,
+                KernelMatrixStrategy::ForceGemm,
+                &exec,
+            )
+            .unwrap();
+            let reference = kernel_matrix_reference(&points, kernel);
+            assert!(k.approx_eq(&reference, 1e-9, 1e-9), "kernel {}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn strategy_selection_is_reported() {
+        let exec = SimExecutor::a100_f32();
+        let tall = sample_points(300, 2); // n/d = 150 -> GEMM
+        let (_, routine) = compute_kernel_matrix(
+            &tall,
+            KernelFunction::Linear,
+            KernelMatrixStrategy::default(),
+            &exec,
+        )
+        .unwrap();
+        assert_eq!(routine, GramRoutine::Gemm);
+
+        let wide = sample_points(20, 30); // n/d < 1 -> SYRK
+        let (_, routine) = compute_kernel_matrix(
+            &wide,
+            KernelFunction::Linear,
+            KernelMatrixStrategy::default(),
+            &exec,
+        )
+        .unwrap();
+        assert_eq!(routine, GramRoutine::Syrk);
+    }
+
+    #[test]
+    fn operations_are_charged_to_kernel_matrix_phase() {
+        let points = sample_points(16, 3);
+        let exec = SimExecutor::a100_f32();
+        let (k, _) = compute_kernel_matrix(
+            &points,
+            KernelFunction::paper_polynomial(),
+            KernelMatrixStrategy::ForceSyrk,
+            &exec,
+        )
+        .unwrap();
+        let norms = extract_point_norms(&k, &exec).unwrap();
+        assert_eq!(norms.len(), 16);
+        let trace = exec.trace();
+        assert!(trace.len() >= 3);
+        assert!(trace.phase_modeled_seconds(Phase::KernelMatrix) > 0.0);
+        assert_eq!(trace.phase_modeled_seconds(Phase::PairwiseDistances), 0.0);
+        // SYRK op class was used
+        let (syrk_time, _) = trace.class_summary(OpClass::Syrk);
+        assert!(syrk_time > 0.0);
+    }
+
+    #[test]
+    fn point_norms_are_kernel_diagonal() {
+        let points = sample_points(8, 3);
+        let exec = SimExecutor::a100_f32();
+        let (k, _) = compute_kernel_matrix(
+            &points,
+            KernelFunction::paper_polynomial(),
+            KernelMatrixStrategy::ForceGemm,
+            &exec,
+        )
+        .unwrap();
+        let norms = extract_point_norms(&k, &exec).unwrap();
+        for i in 0..8 {
+            assert_eq!(norms[i], k[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn modeled_syrk_beats_gemm_when_d_is_large() {
+        // Figure 2's right-hand regime: d comparable to n -> SYRK faster.
+        let exec_gemm = SimExecutor::a100_f32();
+        let exec_syrk = SimExecutor::a100_f32();
+        let points = sample_points(64, 64);
+        compute_gram(&points, GramRoutine::Gemm, &exec_gemm).unwrap();
+        compute_gram(&points, GramRoutine::Syrk, &exec_syrk).unwrap();
+        // At this tiny size launch overhead dominates, so compare the raw
+        // cost-model times for a paper-sized problem instead.
+        let model = exec_gemm.cost_model();
+        let n = 10_000;
+        let d = 10_000;
+        let t_gemm = model.time_seconds(OpClass::Gemm, &OpCost::gemm(n, n, d, 4));
+        let t_syrk = model.time_seconds(OpClass::Syrk, &OpCost::syrk_with_mirror(n, d, 4));
+        assert!(t_syrk < t_gemm, "SYRK should win for n == d");
+    }
+}

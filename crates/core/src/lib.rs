@@ -1,0 +1,45 @@
+//! # popcorn-core
+//!
+//! The paper's primary contribution: matrix-centric Kernel K-means
+//! ("Popcorn", PPoPP '25), formulated so that the per-iteration work is an
+//! SpMM, an SpMV and a handful of elementwise kernels.
+//!
+//! The pipeline (paper Algorithm 2):
+//!
+//! 1. `B = P̂ P̂ᵀ` with GEMM or SYRK, chosen dynamically from the ratio `n/d`
+//!    ([`strategy::KernelMatrixStrategy`], paper §4.2);
+//! 2. `K = kernel(B)` elementwise ([`kernel::KernelFunction`]);
+//! 3. `P̃ = diag(K)` once;
+//! 4. per iteration:
+//!    * `E = −2 K Vᵀ` via SpMM,
+//!    * `z_i = −0.5 · E[i, cluster(i)]`, `C̃ = V z` via SpMV (paper Eq. 14–15),
+//!    * `D = E + P̃ + C̃`,
+//!    * `cluster(i) = argmin_j D[i][j]`, rebuild `V`.
+//!
+//! [`popcorn::KernelKmeans`] drives the loop on top of the
+//! `popcorn-dense`/`popcorn-sparse` substrates while charging every operation
+//! to a `popcorn-gpusim` executor, producing both real results and modeled
+//! A100 timings.
+
+pub mod arithmetic;
+pub mod assignment;
+pub mod config;
+pub mod distances;
+pub mod errors;
+pub mod init;
+pub mod kernel;
+pub mod kernel_matrix;
+pub mod popcorn;
+pub mod result;
+pub mod strategy;
+
+pub use config::KernelKmeansConfig;
+pub use errors::CoreError;
+pub use init::Initialization;
+pub use kernel::KernelFunction;
+pub use popcorn::KernelKmeans;
+pub use result::{ClusteringResult, IterationStats, TimingBreakdown};
+pub use strategy::{GramRoutine, KernelMatrixStrategy};
+
+/// Result alias used across the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,360 @@
+//! The Popcorn kernel k-means solver (paper Algorithm 2).
+//!
+//! [`KernelKmeans`] wires the pieces together: kernel-matrix computation with
+//! dynamic GEMM/SYRK selection, the per-iteration SpMM + SpMV distance
+//! engine, argmin assignment and selection-matrix rebuild — all executed on
+//! the host substrates while every operation is charged to a
+//! [`SimExecutor`] so the result carries both measured host timings and
+//! modeled A100 timings broken down by phase.
+
+use crate::assignment::{assign_clusters, repair_empty_clusters};
+use crate::config::KernelKmeansConfig;
+use crate::distances::compute_distances;
+use crate::errors::CoreError;
+use crate::init::initial_assignments;
+use crate::kernel_matrix::{compute_kernel_matrix, extract_point_norms};
+use crate::result::{ClusteringResult, IterationStats, TimingBreakdown};
+use crate::Result;
+use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use popcorn_sparse::SelectionMatrix;
+
+/// The Popcorn kernel k-means solver.
+#[derive(Debug, Clone)]
+pub struct KernelKmeans {
+    config: KernelKmeansConfig,
+    executor: Option<SimExecutor>,
+}
+
+impl KernelKmeans {
+    /// Create a solver with the given configuration. The simulated device
+    /// defaults to the paper's A100 and is created lazily at `fit` time so
+    /// that the element width matches the scalar type used.
+    pub fn new(config: KernelKmeansConfig) -> Self {
+        Self { config, executor: None }
+    }
+
+    /// Use a specific simulator executor (e.g. a different device preset or a
+    /// shared profiler). The executor's trace is *not* reset by `fit`.
+    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    fn executor_for<T: Scalar>(&self) -> SimExecutor {
+        self.executor
+            .clone()
+            .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
+    }
+
+    /// Run the full pipeline on a point matrix `P̂` (n × d): upload, kernel
+    /// matrix, then the clustering iterations.
+    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> Result<ClusteringResult> {
+        let n = points.rows();
+        self.config.validate(n)?;
+        if points.cols() == 0 {
+            return Err(CoreError::InvalidInput("points have zero features".into()));
+        }
+        if points.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::InvalidInput("points contain non-finite values".into()));
+        }
+        let executor = self.executor_for::<T>();
+        let elem = std::mem::size_of::<T>();
+
+        // Data preparation: host -> device copy of P̂ (paper §4.1).
+        executor.charge(
+            format!("upload P ({} x {})", n, points.cols()),
+            Phase::DataPreparation,
+            OpClass::Transfer,
+            OpCost::transfer((n * points.cols() * elem) as u64),
+        );
+
+        let (kernel_matrix, _routine) =
+            compute_kernel_matrix(points, self.config.kernel, self.config.strategy, &executor)?;
+        self.fit_from_kernel_with_executor(&kernel_matrix, &executor)
+    }
+
+    /// Run only the clustering iterations on a precomputed kernel matrix.
+    /// Used by the distance-phase experiments (Figures 4–6), which exclude
+    /// the kernel-matrix time by design.
+    pub fn fit_from_kernel<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+    ) -> Result<ClusteringResult> {
+        let executor = self.executor_for::<T>();
+        self.fit_from_kernel_with_executor(kernel_matrix, &executor)
+    }
+
+    fn fit_from_kernel_with_executor<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> Result<ClusteringResult> {
+        let n = kernel_matrix.rows();
+        self.config.validate(n)?;
+        if !kernel_matrix.is_square() {
+            return Err(CoreError::InvalidInput(format!(
+                "kernel matrix must be square, got {}x{}",
+                kernel_matrix.rows(),
+                kernel_matrix.cols()
+            )));
+        }
+        let k = self.config.k;
+        let elem = std::mem::size_of::<T>();
+
+        // P̃ = diag(K), computed once (paper Alg. 2 line 2).
+        let point_norms = extract_point_norms(kernel_matrix, executor)?;
+
+        // Initial random assignment (line 3) and first V (line 4).
+        let mut labels =
+            initial_assignments(kernel_matrix, k, self.config.init, self.config.seed)?;
+
+        let mut history: Vec<IterationStats> = Vec::with_capacity(self.config.max_iter);
+        let mut converged = false;
+        let mut iterations = 0usize;
+        let mut prev_objective = f64::INFINITY;
+
+        for iteration in 0..self.config.max_iter {
+            // Rebuild V from the current assignment (lines 4 / 14; a small
+            // counting-sort kernel in the original implementation).
+            let selection = executor.run(
+                format!("rebuild V (iteration {iteration})"),
+                Phase::Assignment,
+                OpClass::Other,
+                OpCost::elementwise(n, 1, 3, 0, elem),
+                || SelectionMatrix::<T>::from_assignments(&labels, k),
+            )?;
+
+            // Distance matrix D (lines 7–10).
+            let distances = compute_distances(kernel_matrix, &point_norms, &selection, executor)?;
+
+            // Assignment update (lines 11–13).
+            let outcome = assign_clusters(&distances.distances, &labels, executor);
+            let mut new_labels = outcome.labels;
+            if self.config.repair_empty_clusters && outcome.empty_clusters > 0 {
+                repair_empty_clusters(&mut new_labels, &distances.distances, k);
+            }
+
+            history.push(IterationStats {
+                iteration,
+                objective: outcome.objective,
+                changed: outcome.changed,
+                empty_clusters: outcome.empty_clusters,
+            });
+            labels = new_labels;
+            iterations = iteration + 1;
+
+            // Convergence: assignments stopped changing, or the objective's
+            // relative improvement fell below the tolerance.
+            if self.config.check_convergence {
+                let rel_change = if prev_objective.is_finite() {
+                    (prev_objective - outcome.objective).abs()
+                        / outcome.objective.abs().max(f64::MIN_POSITIVE)
+                } else {
+                    f64::INFINITY
+                };
+                if outcome.changed == 0 || rel_change <= self.config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            prev_objective = outcome.objective;
+        }
+
+        let trace = executor.trace();
+        let objective = history.last().map(|h| h.objective).unwrap_or(f64::NAN);
+        Ok(ClusteringResult {
+            labels,
+            k,
+            iterations,
+            converged,
+            objective,
+            history,
+            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
+            host_timings: TimingBreakdown::from_trace_host(&trace),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initialization;
+    use crate::kernel::KernelFunction;
+    use crate::strategy::KernelMatrixStrategy;
+
+    /// Two well separated blobs in 2-D, 12 points each.
+    fn blob_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(24, 2, |i, j| {
+            let offset = if i < 12 { 0.0 } else { 20.0 };
+            offset + ((i * 2 + j) as f64 * 0.37).sin() * 0.5
+        })
+    }
+
+    fn quick_config(k: usize) -> KernelKmeansConfig {
+        KernelKmeansConfig::paper_defaults(k)
+            .with_kernel(KernelFunction::Linear)
+            .with_max_iter(20)
+            .with_convergence_check(true, 1e-9)
+            .with_seed(3)
+    }
+
+    #[test]
+    fn recovers_two_blobs_with_linear_kernel() {
+        let result = KernelKmeans::new(quick_config(2)).fit(&blob_points()).unwrap();
+        assert_eq!(result.labels.len(), 24);
+        assert!(result.converged);
+        // The two halves must be internally consistent and mutually distinct.
+        let first = result.labels[0];
+        let second = result.labels[12];
+        assert_ne!(first, second);
+        assert!(result.labels[..12].iter().all(|&l| l == first));
+        assert!(result.labels[12..].iter().all(|&l| l == second));
+    }
+
+    #[test]
+    fn objective_is_monotone_non_increasing() {
+        let result = KernelKmeans::new(
+            quick_config(3).with_convergence_check(false, 0.0).with_max_iter(10),
+        )
+        .fit(&blob_points())
+        .unwrap();
+        let history = result.objective_history();
+        assert_eq!(history.len(), 10);
+        for w in history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "objective increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn runs_exactly_max_iter_without_convergence_check() {
+        let result = KernelKmeans::new(quick_config(2).with_convergence_check(false, 0.0))
+            .fit(&blob_points())
+            .unwrap();
+        assert_eq!(result.iterations, 20);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn polynomial_and_gaussian_kernels_run() {
+        for kernel in [
+            KernelFunction::paper_polynomial(),
+            KernelFunction::Gaussian { gamma: 1.0, sigma: 5.0 },
+        ] {
+            let cfg = quick_config(2).with_kernel(kernel);
+            let result = KernelKmeans::new(cfg).fit(&blob_points()).unwrap();
+            assert_eq!(result.non_empty_clusters(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KernelKmeans::new(quick_config(3)).fit(&blob_points()).unwrap();
+        let b = KernelKmeans::new(quick_config(3)).fit(&blob_points()).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn kmeanspp_initialisation_works() {
+        let cfg = quick_config(2).with_init(Initialization::KmeansPlusPlus);
+        let result = KernelKmeans::new(cfg).fit(&blob_points()).unwrap();
+        assert_eq!(result.non_empty_clusters(), 2);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn timings_are_populated_per_phase() {
+        let result = KernelKmeans::new(quick_config(2)).fit(&blob_points()).unwrap();
+        assert!(result.modeled_timings.data_preparation > 0.0);
+        assert!(result.modeled_timings.kernel_matrix > 0.0);
+        assert!(result.modeled_timings.pairwise_distances > 0.0);
+        assert!(result.modeled_timings.assignment > 0.0);
+        assert!(result.modeled_timings.total() > 0.0);
+        assert!(result.host_timings.total() > 0.0);
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn fit_from_kernel_skips_kernel_matrix_phase() {
+        let points = blob_points();
+        let kernel_matrix =
+            crate::kernel::kernel_matrix_reference(&points, KernelFunction::Linear);
+        let result =
+            KernelKmeans::new(quick_config(2)).fit_from_kernel(&kernel_matrix).unwrap();
+        // No Gram-matrix product is performed — only the cheap diag(K)
+        // extraction is attributed to the kernel-matrix phase.
+        assert_eq!(result.trace.class_summary(OpClass::Gemm).0, 0.0);
+        assert_eq!(result.trace.class_summary(OpClass::Syrk).0, 0.0);
+        assert!(result.modeled_timings.pairwise_distances > 0.0);
+        assert!(
+            result.modeled_timings.kernel_matrix < result.modeled_timings.pairwise_distances
+        );
+        assert_eq!(result.non_empty_clusters(), 2);
+    }
+
+    #[test]
+    fn strategy_override_is_respected() {
+        // Both forced strategies produce the same clustering.
+        let a = KernelKmeans::new(quick_config(2).with_strategy(KernelMatrixStrategy::ForceGemm))
+            .fit(&blob_points())
+            .unwrap();
+        let b = KernelKmeans::new(quick_config(2).with_strategy(KernelMatrixStrategy::ForceSyrk))
+            .fit(&blob_points())
+            .unwrap();
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn input_validation_errors() {
+        let solver = KernelKmeans::new(quick_config(30));
+        assert!(matches!(
+            solver.fit(&blob_points()),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let nan_points = DenseMatrix::from_rows(&[vec![f64::NAN, 1.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            KernelKmeans::new(quick_config(2)).fit(&nan_points),
+            Err(CoreError::InvalidInput(_))
+        ));
+        let empty_features = DenseMatrix::<f64>::zeros(5, 0);
+        assert!(KernelKmeans::new(quick_config(2)).fit(&empty_features).is_err());
+        let rect = DenseMatrix::<f64>::zeros(4, 3);
+        assert!(KernelKmeans::new(quick_config(2)).fit_from_kernel(&rect).is_err());
+    }
+
+    #[test]
+    fn f32_path_produces_same_clustering_as_f64() {
+        let points64 = blob_points();
+        let points32: DenseMatrix<f32> = points64.cast();
+        let a = KernelKmeans::new(quick_config(2)).fit(&points64).unwrap();
+        let b = KernelKmeans::new(quick_config(2)).fit(&points32).unwrap();
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn shared_executor_accumulates_across_fits() {
+        let exec = SimExecutor::a100_f32();
+        let solver = KernelKmeans::new(quick_config(2)).with_executor(exec.clone());
+        solver.fit(&blob_points()).unwrap();
+        let after_one = exec.trace().len();
+        solver.fit(&blob_points()).unwrap();
+        assert!(exec.trace().len() > after_one);
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let points = DenseMatrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64 * 3.0);
+        let cfg = quick_config(6).with_max_iter(10);
+        let result = KernelKmeans::new(cfg).fit(&points).unwrap();
+        // With k = n and repair enabled every cluster ends up non-empty.
+        assert_eq!(result.non_empty_clusters(), 6);
+        assert!(result.objective < 1e-9);
+    }
+}

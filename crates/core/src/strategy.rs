@@ -1,0 +1,152 @@
+//! Dynamic GEMM / SYRK selection for the kernel-matrix computation.
+//!
+//! Paper §4.2: the Gram matrix `B = P̂ P̂ᵀ` can be computed with GEMM (full
+//! matrix, `2n²d` FLOPs) or SYRK (one triangle, `n²d` FLOPs, plus a mirror
+//! copy). SYRK saves FLOPs but pays the mirror; GEMM wins when the problem is
+//! compute-cheap but large in `n`. The paper finds the crossover at
+//! `n/d ≈ 100` on the A100 and leaves the threshold tunable; Popcorn computes
+//! `r = n/d` and picks GEMM when `r > t`.
+
+/// Which BLAS routine actually computes the Gram matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GramRoutine {
+    /// Full general matrix multiply.
+    Gemm,
+    /// Symmetric rank-k update of one triangle + mirror copy.
+    Syrk,
+}
+
+impl GramRoutine {
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GramRoutine::Gemm => "gemm",
+            GramRoutine::Syrk => "syrk",
+        }
+    }
+}
+
+/// Utilization hint for a SYRK on an `n × d` operand.
+///
+/// cuBLAS SYRK performs poorly on tall-skinny operands (n ≫ d): the
+/// triangular update is tiled over the output and skinny tiles leave most of
+/// the device idle, on top of the mirror copy the paper charges against the
+/// SYRK path. The hint decays towards a floor as `n/d` grows beyond the
+/// paper's measured crossover (`n/d ≈ 100`), which is what makes the modeled
+/// Figure 2 reproduce the GEMM-vs-SYRK crossover: GEMM wins for `n/d` well
+/// above 100 even though SYRK does half the FLOPs.
+pub fn syrk_utilization(n: usize, d: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    (KernelMatrixStrategy::PAPER_THRESHOLD * d as f64 / n as f64).clamp(0.25, 1.0)
+}
+
+/// Strategy for choosing the Gram routine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelMatrixStrategy {
+    /// Always use GEMM.
+    ForceGemm,
+    /// Always use SYRK.
+    ForceSyrk,
+    /// Choose dynamically from the `n/d` ratio: GEMM when `n/d > threshold`,
+    /// SYRK otherwise (paper §4.2 / §5.2).
+    Auto {
+        /// The architecture-dependent threshold `t`; the paper measures
+        /// `t ≈ 100` on the A100.
+        threshold: f64,
+    },
+}
+
+impl Default for KernelMatrixStrategy {
+    fn default() -> Self {
+        KernelMatrixStrategy::Auto { threshold: Self::PAPER_THRESHOLD }
+    }
+}
+
+impl KernelMatrixStrategy {
+    /// The threshold the paper derives for the A100 (§5.2 / §5.6).
+    pub const PAPER_THRESHOLD: f64 = 100.0;
+
+    /// Resolve the strategy for a dataset of `n` points and `d` features.
+    pub fn select(&self, n: usize, d: usize) -> GramRoutine {
+        match *self {
+            KernelMatrixStrategy::ForceGemm => GramRoutine::Gemm,
+            KernelMatrixStrategy::ForceSyrk => GramRoutine::Syrk,
+            KernelMatrixStrategy::Auto { threshold } => {
+                if d == 0 {
+                    return GramRoutine::Gemm;
+                }
+                let ratio = n as f64 / d as f64;
+                if ratio > threshold {
+                    GramRoutine::Gemm
+                } else {
+                    GramRoutine::Syrk
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_strategies() {
+        assert_eq!(KernelMatrixStrategy::ForceGemm.select(10, 1000), GramRoutine::Gemm);
+        assert_eq!(KernelMatrixStrategy::ForceSyrk.select(100_000, 10), GramRoutine::Syrk);
+    }
+
+    #[test]
+    fn auto_uses_ratio_threshold() {
+        let auto = KernelMatrixStrategy::default();
+        // acoustic: 78823 / 50 = 1576 -> GEMM
+        assert_eq!(auto.select(78_823, 50), GramRoutine::Gemm);
+        // letter: 10500 / 26 = 403 -> GEMM
+        assert_eq!(auto.select(10_500, 26), GramRoutine::Gemm);
+        // mnist: 60000 / 780 = 77 -> SYRK
+        assert_eq!(auto.select(60_000, 780), GramRoutine::Syrk);
+        // cifar-10: 50000 / 3072 = 16 -> SYRK
+        assert_eq!(auto.select(50_000, 3_072), GramRoutine::Syrk);
+        // scotus: 6400 / 126405 < 1 -> SYRK
+        assert_eq!(auto.select(6_400, 126_405), GramRoutine::Syrk);
+    }
+
+    #[test]
+    fn auto_boundary_behaviour() {
+        let auto = KernelMatrixStrategy::Auto { threshold: 100.0 };
+        // exactly at the threshold -> SYRK (strictly greater switches to GEMM)
+        assert_eq!(auto.select(100, 1), GramRoutine::Syrk);
+        assert_eq!(auto.select(101, 1), GramRoutine::Gemm);
+        // degenerate d = 0 -> GEMM (no work either way)
+        assert_eq!(auto.select(10, 0), GramRoutine::Gemm);
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let auto = KernelMatrixStrategy::Auto { threshold: 10.0 };
+        assert_eq!(auto.select(1_000, 50), GramRoutine::Gemm);
+        assert_eq!(auto.select(400, 50), GramRoutine::Syrk);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(GramRoutine::Gemm.name(), "gemm");
+        assert_eq!(GramRoutine::Syrk.name(), "syrk");
+    }
+
+    #[test]
+    fn syrk_utilization_depends_on_aspect_ratio() {
+        // Tall-skinny (n/d >> 100): heavily penalised.
+        assert_eq!(syrk_utilization(50_000, 100), 0.25);
+        // At the crossover ratio: full utilization.
+        assert_eq!(syrk_utilization(10_000, 100), 1.0);
+        // Square-ish operands: full utilization.
+        assert_eq!(syrk_utilization(10_000, 10_000), 1.0);
+        // Degenerate inputs stay in range.
+        assert_eq!(syrk_utilization(0, 10), 1.0);
+        let u = syrk_utilization(1_000_000, 1);
+        assert!(u >= 0.25 && u <= 1.0);
+    }
+}

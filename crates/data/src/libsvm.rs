@@ -1,0 +1,210 @@
+//! libSVM sparse text format reader / writer.
+//!
+//! The paper's datasets come from the libSVM repository and the original
+//! artifact reads them with `-i file.libsvm`. Each line is
+//! `label index:value index:value ...` with 1-based, strictly increasing
+//! feature indices; absent features are zero. Labels may be arbitrary
+//! integers (they are remapped to contiguous `0..c` class ids).
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use popcorn_dense::{DenseMatrix, Scalar};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parse libSVM-formatted text into a dataset.
+///
+/// `d_hint` optionally forces the number of features (useful when the tail
+/// features of the file happen to be all-zero); otherwise the maximum feature
+/// index seen determines `d`.
+pub fn parse_libsvm<T: Scalar>(
+    name: impl Into<String>,
+    text: &str,
+    d_hint: Option<usize>,
+) -> Result<Dataset<T>> {
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut max_index = 0usize;
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let label_tok = tokens.next().ok_or_else(|| DataError::Parse {
+            line: line_no + 1,
+            reason: "missing label".into(),
+        })?;
+        let label: i64 = label_tok.parse().map_err(|_| DataError::Parse {
+            line: line_no + 1,
+            reason: format!("label '{label_tok}' is not an integer"),
+        })?;
+        let mut features: Vec<(usize, f64)> = Vec::new();
+        let mut prev_index = 0usize;
+        for tok in tokens {
+            let (idx_str, val_str) = tok.split_once(':').ok_or_else(|| DataError::Parse {
+                line: line_no + 1,
+                reason: format!("feature '{tok}' is not index:value"),
+            })?;
+            let idx: usize = idx_str.parse().map_err(|_| DataError::Parse {
+                line: line_no + 1,
+                reason: format!("feature index '{idx_str}' is not an integer"),
+            })?;
+            if idx == 0 {
+                return Err(DataError::Parse {
+                    line: line_no + 1,
+                    reason: "libSVM feature indices are 1-based".into(),
+                });
+            }
+            if idx <= prev_index {
+                return Err(DataError::Parse {
+                    line: line_no + 1,
+                    reason: format!("feature indices not strictly increasing at {idx}"),
+                });
+            }
+            prev_index = idx;
+            let val: f64 = val_str.parse().map_err(|_| DataError::Parse {
+                line: line_no + 1,
+                reason: format!("feature value '{val_str}' is not a number"),
+            })?;
+            max_index = max_index.max(idx);
+            features.push((idx - 1, val));
+        }
+        raw_labels.push(label);
+        rows.push(features);
+    }
+
+    if rows.is_empty() {
+        return Err(DataError::Shape("libSVM input contains no data lines".into()));
+    }
+    let d = d_hint.unwrap_or(max_index).max(max_index);
+    let n = rows.len();
+    let mut points = DenseMatrix::<T>::zeros(n, d);
+    for (i, features) in rows.iter().enumerate() {
+        for &(j, v) in features {
+            points[(i, j)] = T::from_f64(v);
+        }
+    }
+
+    // Remap raw labels to contiguous class ids in sorted order.
+    let mut class_map: BTreeMap<i64, usize> = BTreeMap::new();
+    for &l in &raw_labels {
+        let next = class_map.len();
+        class_map.entry(l).or_insert(next);
+    }
+    let labels: Vec<usize> = raw_labels.iter().map(|l| class_map[l]).collect();
+    Dataset::with_labels(name, points, labels)
+}
+
+/// Read a libSVM file from disk.
+pub fn read_libsvm<T: Scalar>(path: impl AsRef<Path>, d_hint: Option<usize>) -> Result<Dataset<T>> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "libsvm".to_string());
+    parse_libsvm(name, &text, d_hint)
+}
+
+/// Serialise a dataset to libSVM text (zeros are omitted). Points without
+/// labels are written with label `0`.
+pub fn to_libsvm_string<T: Scalar>(dataset: &Dataset<T>) -> String {
+    let mut out = String::new();
+    for i in 0..dataset.n() {
+        let label = dataset.labels().map(|l| l[i]).unwrap_or(0);
+        out.push_str(&label.to_string());
+        for (j, &v) in dataset.points().row(i).iter().enumerate() {
+            if v != T::ZERO {
+                out.push_str(&format!(" {}:{}", j + 1, v.to_f64()));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataset to a libSVM file on disk.
+pub fn write_libsvm<T: Scalar>(dataset: &Dataset<T>, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, to_libsvm_string(dataset))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "1 1:0.5 3:2.0\n-1 2:1.5\n1 1:1.0 2:1.0 3:1.0\n";
+        let ds = parse_libsvm::<f64>("test", text, None).unwrap();
+        assert_eq!(ds.n(), 3);
+        assert_eq!(ds.d(), 3);
+        assert_eq!(ds.points()[(0, 0)], 0.5);
+        assert_eq!(ds.points()[(0, 1)], 0.0);
+        assert_eq!(ds.points()[(0, 2)], 2.0);
+        assert_eq!(ds.points()[(1, 1)], 1.5);
+        // labels -1 and 1 remapped to 0-based ids, order of first appearance
+        assert_eq!(ds.labels().unwrap(), &[0, 1, 0]);
+        assert_eq!(ds.num_classes(), 2);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let text = "# comment\n\n1 1:1.0\n";
+        let ds = parse_libsvm::<f32>("test", text, None).unwrap();
+        assert_eq!(ds.n(), 1);
+    }
+
+    #[test]
+    fn d_hint_expands_dimensions() {
+        let text = "0 1:1.0\n";
+        let ds = parse_libsvm::<f64>("test", text, Some(5)).unwrap();
+        assert_eq!(ds.d(), 5);
+        // a hint smaller than the data is ignored
+        let ds = parse_libsvm::<f64>("test", "0 1:1.0 4:2.0\n", Some(2)).unwrap();
+        assert_eq!(ds.d(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_libsvm::<f64>("t", "notanumber 1:1.0\n", None).is_err());
+        assert!(parse_libsvm::<f64>("t", "1 1\n", None).is_err());
+        assert!(parse_libsvm::<f64>("t", "1 0:1.0\n", None).is_err());
+        assert!(parse_libsvm::<f64>("t", "1 2:1.0 1:2.0\n", None).is_err());
+        assert!(parse_libsvm::<f64>("t", "1 a:1.0\n", None).is_err());
+        assert!(parse_libsvm::<f64>("t", "1 1:xyz\n", None).is_err());
+        assert!(parse_libsvm::<f64>("t", "\n\n", None).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_string() {
+        let text = "0 1:1.5 2:-2.0\n1 3:4.0\n";
+        let ds = parse_libsvm::<f64>("rt", text, None).unwrap();
+        let serialised = to_libsvm_string(&ds);
+        let ds2 = parse_libsvm::<f64>("rt", &serialised, Some(ds.d())).unwrap();
+        assert_eq!(ds.points(), ds2.points());
+        assert_eq!(ds.labels(), ds2.labels());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("popcorn_libsvm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.libsvm");
+        let ds = parse_libsvm::<f64>("toy", "0 1:1.0 2:2.0\n1 2:3.0\n", None).unwrap();
+        write_libsvm(&ds, &path).unwrap();
+        let back = read_libsvm::<f64>(&path, None).unwrap();
+        assert_eq!(back.n(), 2);
+        assert_eq!(back.points(), ds.points());
+        assert_eq!(back.name(), "toy");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = read_libsvm::<f64>("/nonexistent/path/file.libsvm", None).unwrap_err();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,227 @@
+//! Stand-ins for the six paper datasets (Table 2).
+//!
+//! | Dataset  | Description                      | n      | d      |
+//! |----------|----------------------------------|--------|--------|
+//! | Acoustic | vehicle sensor data              | 78 823 | 50     |
+//! | CIFAR-10 | 32×32 colour images              | 50 000 | 3 072  |
+//! | Ledgar   | large corpus of legal documents  | 70 000 | 19 996 |
+//! | Letter   | hand-written letters             | 10 500 | 26     |
+//! | MNIST    | hand-written digits              | 60 000 | 780    |
+//! | SCOTUS   | text of US Supreme Court rulings | 6 400  | 126 405|
+//!
+//! The runtime experiments only depend on the dataset *shape* (n, d) and on
+//! `k`, not on the actual values (the paper itself notes the kernel choice
+//! does not affect runtime). The stand-ins therefore generate labelled
+//! Gaussian-blob data of exactly the published shape — or a scaled-down
+//! version via `scale`, so the experiment harness can run in CI-sized
+//! environments while preserving the n/d ratios that drive the paper's
+//! GEMM/SYRK selection and runtime-breakdown effects.
+
+use crate::dataset::Dataset;
+use crate::synthetic::blobs_with_noise_dims;
+use popcorn_dense::Scalar;
+
+/// The six datasets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// Vehicle sensor data (n = 78 823, d = 50).
+    Acoustic,
+    /// 32×32 colour images (n = 50 000, d = 3 072).
+    Cifar10,
+    /// Legal document corpus (n = 70 000, d = 19 996).
+    Ledgar,
+    /// Hand-written letters (n = 10 500, d = 26).
+    Letter,
+    /// Hand-written digits (n = 60 000, d = 780).
+    Mnist,
+    /// US Supreme Court rulings (n = 6 400, d = 126 405).
+    Scotus,
+}
+
+impl PaperDataset {
+    /// All six datasets in the order Table 2 lists them.
+    pub const ALL: [PaperDataset; 6] = [
+        PaperDataset::Acoustic,
+        PaperDataset::Cifar10,
+        PaperDataset::Ledgar,
+        PaperDataset::Letter,
+        PaperDataset::Mnist,
+        PaperDataset::Scotus,
+    ];
+
+    /// Lower-case name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::Acoustic => "acoustic",
+            PaperDataset::Cifar10 => "cifar-10",
+            PaperDataset::Ledgar => "ledgar",
+            PaperDataset::Letter => "letter",
+            PaperDataset::Mnist => "mnist",
+            PaperDataset::Scotus => "scotus",
+        }
+    }
+
+    /// One-line description from Table 2.
+    pub fn description(&self) -> &'static str {
+        match self {
+            PaperDataset::Acoustic => "Vehicle sensor data",
+            PaperDataset::Cifar10 => "32x32 color images",
+            PaperDataset::Ledgar => "Large corpus of legal documents",
+            PaperDataset::Letter => "Hand-written letters",
+            PaperDataset::Mnist => "Hand-written digits dataset",
+            PaperDataset::Scotus => "Text of US Supreme Court rulings",
+        }
+    }
+
+    /// Published number of points `n`.
+    pub fn n(&self) -> usize {
+        match self {
+            PaperDataset::Acoustic => 78_823,
+            PaperDataset::Cifar10 => 50_000,
+            PaperDataset::Ledgar => 70_000,
+            PaperDataset::Letter => 10_500,
+            PaperDataset::Mnist => 60_000,
+            PaperDataset::Scotus => 6_400,
+        }
+    }
+
+    /// Published number of features `d`.
+    pub fn d(&self) -> usize {
+        match self {
+            PaperDataset::Acoustic => 50,
+            PaperDataset::Cifar10 => 3_072,
+            PaperDataset::Ledgar => 19_996,
+            PaperDataset::Letter => 26,
+            PaperDataset::Mnist => 780,
+            PaperDataset::Scotus => 126_405,
+        }
+    }
+
+    /// Number of ground-truth classes (used to label the stand-in data).
+    pub fn classes(&self) -> usize {
+        match self {
+            PaperDataset::Acoustic => 3,
+            PaperDataset::Cifar10 => 10,
+            PaperDataset::Ledgar => 100,
+            PaperDataset::Letter => 26,
+            PaperDataset::Mnist => 10,
+            PaperDataset::Scotus => 13,
+        }
+    }
+
+    /// `n / d` — the quantity Popcorn's GEMM/SYRK selection strategy
+    /// thresholds on (paper §4.2 and §5.2).
+    pub fn n_over_d(&self) -> f64 {
+        self.n() as f64 / self.d() as f64
+    }
+
+    /// Scaled shape `(n, d)`: both dimensions are multiplied by `scale`
+    /// (clamped so that n ≥ 32 and d ≥ 2). `scale = 1.0` is the published
+    /// shape.
+    pub fn scaled_shape(&self, scale: f64) -> (usize, usize) {
+        let n = ((self.n() as f64 * scale).round() as usize).max(32);
+        let d = ((self.d() as f64 * scale).round() as usize).max(2);
+        (n, d)
+    }
+
+    /// Generate the synthetic stand-in at the given scale. Points are
+    /// Gaussian blobs (one per ground-truth class) embedded in `d` dimensions
+    /// with a small informative subspace, which is enough structure for the
+    /// quality metrics to be non-trivial while the runtime behaviour matches
+    /// the published (n, d).
+    pub fn generate<T: Scalar>(&self, scale: f64, seed: u64) -> Dataset<T> {
+        let (n, d) = self.scaled_shape(scale);
+        let k = self.classes().min(n);
+        let d_informative = d.min(16);
+        let mut ds = blobs_with_noise_dims::<T>(n, d, d_informative, k, 0.5, 0.1, seed);
+        // Re-label the dataset with the paper name so downstream reports read
+        // like the paper's figures.
+        let labels = ds.labels().map(|l| l.to_vec());
+        let points = std::mem::replace(ds.points_mut(), popcorn_dense::DenseMatrix::zeros(0, 0));
+        match labels {
+            Some(l) => Dataset::with_labels(self.name(), points, l).expect("label count matches"),
+            None => Dataset::new(self.name(), points),
+        }
+    }
+
+    /// Parse a dataset name as used in the figures (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        let lower = name.to_lowercase();
+        Self::ALL.iter().copied().find(|d| {
+            d.name() == lower || d.name().replace('-', "") == lower.replace(['-', '_'], "")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_match_paper() {
+        assert_eq!(PaperDataset::Acoustic.n(), 78_823);
+        assert_eq!(PaperDataset::Acoustic.d(), 50);
+        assert_eq!(PaperDataset::Cifar10.n(), 50_000);
+        assert_eq!(PaperDataset::Cifar10.d(), 3_072);
+        assert_eq!(PaperDataset::Ledgar.n(), 70_000);
+        assert_eq!(PaperDataset::Ledgar.d(), 19_996);
+        assert_eq!(PaperDataset::Letter.n(), 10_500);
+        assert_eq!(PaperDataset::Letter.d(), 26);
+        assert_eq!(PaperDataset::Mnist.n(), 60_000);
+        assert_eq!(PaperDataset::Mnist.d(), 780);
+        assert_eq!(PaperDataset::Scotus.n(), 6_400);
+        assert_eq!(PaperDataset::Scotus.d(), 126_405);
+    }
+
+    #[test]
+    fn gemm_syrk_regimes() {
+        // Paper §5.6: GEMM is selected when n/d >= 100 (acoustic, letter,
+        // mnist), SYRK otherwise (cifar, ledgar, scotus).
+        assert!(PaperDataset::Acoustic.n_over_d() > 100.0);
+        assert!(PaperDataset::Letter.n_over_d() > 100.0);
+        assert!(PaperDataset::Mnist.n_over_d() < 100.0); // 60000/780 = 76.9 -> SYRK
+        assert!(PaperDataset::Cifar10.n_over_d() < 100.0);
+        assert!(PaperDataset::Ledgar.n_over_d() < 100.0);
+        assert!(PaperDataset::Scotus.n_over_d() < 1.0);
+    }
+
+    #[test]
+    fn scaled_shape_preserves_ratio_and_clamps() {
+        let (n, d) = PaperDataset::Mnist.scaled_shape(0.01);
+        assert_eq!(n, 600);
+        assert_eq!(d, 8);
+        let (n_min, d_min) = PaperDataset::Letter.scaled_shape(1e-9);
+        assert_eq!(n_min, 32);
+        assert_eq!(d_min, 2);
+        assert_eq!(PaperDataset::Letter.scaled_shape(1.0), (10_500, 26));
+    }
+
+    #[test]
+    fn generate_produces_named_labelled_dataset() {
+        let ds = PaperDataset::Letter.generate::<f64>(0.01, 3);
+        assert_eq!(ds.name(), "letter");
+        assert_eq!(ds.n(), 105);
+        assert_eq!(ds.d(), 2);
+        assert!(ds.labels().is_some());
+        // deterministic
+        let ds2 = PaperDataset::Letter.generate::<f64>(0.01, 3);
+        assert_eq!(ds.points(), ds2.points());
+    }
+
+    #[test]
+    fn from_name_round_trip() {
+        for d in PaperDataset::ALL {
+            assert_eq!(PaperDataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(PaperDataset::from_name("CIFAR10"), Some(PaperDataset::Cifar10));
+        assert_eq!(PaperDataset::from_name("MNIST"), Some(PaperDataset::Mnist));
+        assert_eq!(PaperDataset::from_name("unknown"), None);
+    }
+
+    #[test]
+    fn classes_do_not_exceed_scaled_points() {
+        let ds = PaperDataset::Ledgar.generate::<f32>(0.001, 1);
+        assert!(ds.num_classes() <= ds.n());
+        assert!(ds.n() >= 32);
+    }
+}

@@ -1,0 +1,193 @@
+//! Dataset preprocessing utilities.
+//!
+//! Standardisation / scaling mirror what practitioners do before running
+//! (kernel) k-means; shuffling and subsampling are used by the experiment
+//! harness when scaling datasets down for quick runs.
+
+use crate::dataset::Dataset;
+use popcorn_dense::Scalar;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-column z-score standardisation: each feature is shifted to zero mean
+/// and scaled to unit variance (columns with zero variance are left centred
+/// but unscaled).
+pub fn standardize<T: Scalar>(dataset: &mut Dataset<T>) {
+    let n = dataset.n();
+    let d = dataset.d();
+    if n == 0 || d == 0 {
+        return;
+    }
+    let points = dataset.points_mut();
+    for j in 0..d {
+        let mut mean = 0.0f64;
+        for i in 0..n {
+            mean += points[(i, j)].to_f64();
+        }
+        mean /= n as f64;
+        let mut var = 0.0f64;
+        for i in 0..n {
+            let diff = points[(i, j)].to_f64() - mean;
+            var += diff * diff;
+        }
+        var /= n as f64;
+        let std = var.sqrt();
+        for i in 0..n {
+            let centred = points[(i, j)].to_f64() - mean;
+            let value = if std > 0.0 { centred / std } else { centred };
+            points[(i, j)] = T::from_f64(value);
+        }
+    }
+}
+
+/// Per-column min-max scaling into `[0, 1]` (constant columns map to 0).
+pub fn min_max_scale<T: Scalar>(dataset: &mut Dataset<T>) {
+    let n = dataset.n();
+    let d = dataset.d();
+    if n == 0 || d == 0 {
+        return;
+    }
+    let points = dataset.points_mut();
+    for j in 0..d {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..n {
+            let v = points[(i, j)].to_f64();
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let range = max - min;
+        for i in 0..n {
+            let v = points[(i, j)].to_f64();
+            let scaled = if range > 0.0 { (v - min) / range } else { 0.0 };
+            points[(i, j)] = T::from_f64(scaled);
+        }
+    }
+}
+
+/// Return a new dataset with rows (and labels) permuted by a seeded shuffle.
+pub fn shuffle<T: Scalar>(dataset: &Dataset<T>, seed: u64) -> Dataset<T> {
+    let mut order: Vec<usize> = (0..dataset.n()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    reindex(dataset, &order)
+}
+
+/// Return a new dataset containing `m` points sampled without replacement
+/// (seeded). When `m >= n` the dataset is returned shuffled.
+pub fn subsample<T: Scalar>(dataset: &Dataset<T>, m: usize, seed: u64) -> Dataset<T> {
+    let shuffled = shuffle(dataset, seed);
+    shuffled.head(m)
+}
+
+fn reindex<T: Scalar>(dataset: &Dataset<T>, order: &[usize]) -> Dataset<T> {
+    let points = dataset.points().select_rows(order).expect("indices in range");
+    match dataset.labels() {
+        Some(labels) => {
+            let new_labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
+            Dataset::with_labels(dataset.name(), points, new_labels)
+                .expect("label count matches by construction")
+        }
+        None => Dataset::new(dataset.name(), points),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_dense::DenseMatrix;
+
+    fn toy() -> Dataset<f64> {
+        Dataset::with_labels(
+            "toy",
+            DenseMatrix::from_rows(&[
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+            ])
+            .unwrap(),
+            vec![0, 1, 2, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_variance() {
+        let mut ds = toy();
+        standardize(&mut ds);
+        for j in 0..2 {
+            let col: Vec<f64> = (0..4).map(|i| ds.points()[(i, j)]).collect();
+            let mean: f64 = col.iter().sum::<f64>() / 4.0;
+            let var: f64 = col.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardize_constant_column() {
+        let mut ds = Dataset::new(
+            "const",
+            DenseMatrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0]]).unwrap(),
+        );
+        standardize(&mut ds);
+        assert_eq!(ds.points()[(0, 0)], 0.0);
+        assert_eq!(ds.points()[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn min_max_into_unit_interval() {
+        let mut ds = toy();
+        min_max_scale(&mut ds);
+        for j in 0..2 {
+            assert_eq!(ds.points()[(0, j)], 0.0);
+            assert_eq!(ds.points()[(3, j)], 1.0);
+        }
+        let mut constant = Dataset::new(
+            "const",
+            DenseMatrix::from_rows(&[vec![7.0], vec![7.0]]).unwrap(),
+        );
+        min_max_scale(&mut constant);
+        assert_eq!(constant.points()[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_keeps_label_pairing() {
+        let ds = toy();
+        let sh = shuffle(&ds, 99);
+        assert_eq!(sh.n(), 4);
+        // Every original row appears exactly once, with its label.
+        let mut seen = vec![false; 4];
+        for i in 0..4 {
+            let first_feature = sh.points()[(i, 0)] as usize - 1;
+            assert!(!seen[first_feature]);
+            seen[first_feature] = true;
+            assert_eq!(sh.labels().unwrap()[i], first_feature);
+        }
+        assert!(seen.iter().all(|&s| s));
+        // deterministic
+        assert_eq!(shuffle(&ds, 99).points(), sh.points());
+    }
+
+    #[test]
+    fn subsample_sizes() {
+        let ds = toy();
+        let sub = subsample(&ds, 2, 7);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.labels().unwrap().len(), 2);
+        assert_eq!(subsample(&ds, 100, 7).n(), 4);
+    }
+
+    #[test]
+    fn unlabeled_dataset_survives_shuffle() {
+        let ds = Dataset::new(
+            "u",
+            DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap(),
+        );
+        let sh = shuffle(&ds, 1);
+        assert_eq!(sh.n(), 3);
+        assert!(sh.labels().is_none());
+    }
+}

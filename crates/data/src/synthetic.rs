@@ -1,0 +1,315 @@
+//! Seeded synthetic dataset generators.
+//!
+//! Two roles:
+//!
+//! * The GEMM/SYRK study (paper Figure 2) uses uniform random matrices with
+//!   controlled `n` and `d` — [`uniform_matrix`] / [`uniform_dataset`].
+//! * The clustering-quality examples need workloads where kernel k-means
+//!   demonstrably beats classical k-means: [`concentric_rings`] and
+//!   [`two_moons`] are the canonical non-linearly separable cases, while
+//!   [`gaussian_blobs`] is the linearly separable control.
+//!
+//! All generators are deterministic given a seed.
+
+use crate::dataset::Dataset;
+use popcorn_dense::{DenseMatrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Draw one standard-normal sample using the Box–Muller transform (avoids a
+/// dependency on `rand_distr`).
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// An `n × d` matrix with i.i.d. uniform entries in `[0, 1)`.
+pub fn uniform_matrix<T: Scalar>(n: usize, d: usize, seed: u64) -> DenseMatrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(n, d, |_, _| T::from_f64(rng.gen::<f64>()))
+}
+
+/// A dataset wrapping [`uniform_matrix`], named after its shape.
+pub fn uniform_dataset<T: Scalar>(n: usize, d: usize, seed: u64) -> Dataset<T> {
+    Dataset::new(format!("synthetic-uniform-n{n}-d{d}"), uniform_matrix(n, d, seed))
+}
+
+/// Isotropic Gaussian blobs: `k` cluster centres drawn uniformly in
+/// `[-center_box, center_box]^d`, each point drawn from a spherical Gaussian
+/// with the given standard deviation around its centre. Linearly separable
+/// when `std_dev` is small relative to the centre spacing.
+pub fn gaussian_blobs<T: Scalar>(
+    n: usize,
+    d: usize,
+    k: usize,
+    std_dev: f64,
+    seed: u64,
+) -> Dataset<T> {
+    assert!(k >= 1, "need at least one blob");
+    assert!(d >= 1, "need at least one feature");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center_box = 10.0;
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..d).map(|_| rng.gen_range(-center_box..center_box)).collect())
+        .collect();
+    let mut labels = Vec::with_capacity(n);
+    let points = DenseMatrix::from_fn(n, d, |i, j| {
+        if j == 0 {
+            labels.push(i % k);
+        }
+        let c = i % k;
+        T::from_f64(centers[c][j] + std_dev * sample_standard_normal(&mut rng))
+    });
+    Dataset::with_labels(format!("blobs-n{n}-d{d}-k{k}"), points, labels)
+        .expect("labels match points by construction")
+}
+
+/// Concentric rings in 2-D: ring `c` has radius `(c + 1) * radius_step` with
+/// Gaussian radial noise. Classical k-means cannot separate the rings; kernel
+/// k-means with a Gaussian or polynomial kernel can — this is the motivating
+/// example of the paper's introduction.
+pub fn concentric_rings<T: Scalar>(
+    n: usize,
+    rings: usize,
+    radius_step: f64,
+    noise: f64,
+    seed: u64,
+) -> Dataset<T> {
+    assert!(rings >= 1, "need at least one ring");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let ring = i % rings;
+        let radius = (ring + 1) as f64 * radius_step + noise * sample_standard_normal(&mut rng);
+        let theta = rng.gen_range(0.0..(2.0 * PI));
+        rows.push(vec![T::from_f64(radius * theta.cos()), T::from_f64(radius * theta.sin())]);
+        labels.push(ring);
+    }
+    let points = DenseMatrix::from_rows(&rows).expect("rows are uniform length 2");
+    Dataset::with_labels(format!("rings-n{n}-r{rings}"), points, labels)
+        .expect("labels match points by construction")
+}
+
+/// A dense Gaussian blob at the origin enclosed by a ring of the given
+/// radius — the textbook non-linearly separable workload: both clusters have
+/// (nearly) the same mean, so classical k-means cannot separate them, while
+/// kernel k-means with a Gaussian kernel separates them reliably.
+///
+/// Points alternate blob / ring, so labels are `i % 2` (0 = blob, 1 = ring).
+pub fn ring_with_blob<T: Scalar>(
+    n: usize,
+    ring_radius: f64,
+    blob_std: f64,
+    ring_noise: f64,
+    seed: u64,
+) -> Dataset<T> {
+    assert!(ring_radius > 0.0, "ring radius must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            rows.push(vec![
+                T::from_f64(blob_std * sample_standard_normal(&mut rng)),
+                T::from_f64(blob_std * sample_standard_normal(&mut rng)),
+            ]);
+            labels.push(0);
+        } else {
+            let theta = rng.gen_range(0.0..(2.0 * PI));
+            let radius = ring_radius + ring_noise * sample_standard_normal(&mut rng);
+            rows.push(vec![
+                T::from_f64(radius * theta.cos()),
+                T::from_f64(radius * theta.sin()),
+            ]);
+            labels.push(1);
+        }
+    }
+    let points = DenseMatrix::from_rows(&rows).expect("rows are uniform length 2");
+    Dataset::with_labels(format!("ring-with-blob-n{n}"), points, labels)
+        .expect("labels match points by construction")
+}
+
+/// The classic "two moons" dataset in 2-D: two interleaving half circles.
+/// Another non-linearly separable workload for the quality examples.
+pub fn two_moons<T: Scalar>(n: usize, noise: f64, seed: u64) -> Dataset<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let moon = i % 2;
+        let t = rng.gen_range(0.0..PI);
+        let (x, y) = if moon == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        rows.push(vec![
+            T::from_f64(x + noise * sample_standard_normal(&mut rng)),
+            T::from_f64(y + noise * sample_standard_normal(&mut rng)),
+        ]);
+        labels.push(moon);
+    }
+    let points = DenseMatrix::from_rows(&rows).expect("rows are uniform length 2");
+    Dataset::with_labels(format!("moons-n{n}"), points, labels)
+        .expect("labels match points by construction")
+}
+
+/// Gaussian blobs embedded in a higher-dimensional space with `d_informative`
+/// informative dimensions and `d - d_informative` pure-noise dimensions;
+/// loosely imitates image/text feature matrices where most variance lives in
+/// a low-dimensional subspace.
+pub fn blobs_with_noise_dims<T: Scalar>(
+    n: usize,
+    d: usize,
+    d_informative: usize,
+    k: usize,
+    std_dev: f64,
+    noise_scale: f64,
+    seed: u64,
+) -> Dataset<T> {
+    assert!(d_informative <= d, "informative dims exceed total dims");
+    let informative = gaussian_blobs::<f64>(n, d_informative.max(1), k, std_dev, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15));
+    let labels = informative.labels().expect("blobs are labelled").to_vec();
+    let points = DenseMatrix::from_fn(n, d, |i, j| {
+        if j < d_informative {
+            T::from_f64(informative.points()[(i, j)])
+        } else {
+            T::from_f64(noise_scale * sample_standard_normal(&mut rng))
+        }
+    });
+    Dataset::with_labels(format!("noisy-blobs-n{n}-d{d}-k{k}"), points, labels)
+        .expect("labels match points by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matrix_is_deterministic_and_in_range() {
+        let a = uniform_matrix::<f64>(20, 5, 42);
+        let b = uniform_matrix::<f64>(20, 5, 42);
+        let c = uniform_matrix::<f64>(20, 5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn blobs_shapes_and_labels() {
+        let d = gaussian_blobs::<f64>(30, 4, 3, 0.5, 7);
+        assert_eq!(d.n(), 30);
+        assert_eq!(d.d(), 4);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.labels().unwrap().len(), 30);
+        // deterministic
+        let d2 = gaussian_blobs::<f64>(30, 4, 3, 0.5, 7);
+        assert_eq!(d.points(), d2.points());
+    }
+
+    #[test]
+    fn blobs_are_roughly_separated() {
+        // With tiny noise, points of the same blob should be much closer to
+        // each other than to other blobs.
+        let ds = gaussian_blobs::<f64>(60, 3, 2, 0.01, 11);
+        let labels = ds.labels().unwrap();
+        let p = ds.points();
+        let dist = |a: usize, b: usize| -> f64 {
+            p.row(a).iter().zip(p.row(b)).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        let same = dist(0, 2); // both label of i%2 pattern
+        let diff = dist(0, 1);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+        assert!(same < diff);
+    }
+
+    #[test]
+    fn rings_radii_separate_clusters() {
+        let ds = concentric_rings::<f64>(200, 2, 5.0, 0.05, 3);
+        let labels = ds.labels().unwrap();
+        for i in 0..ds.n() {
+            let r = (ds.points()[(i, 0)].powi(2) + ds.points()[(i, 1)].powi(2)).sqrt();
+            if labels[i] == 0 {
+                assert!(r < 7.5, "inner ring point at radius {r}");
+            } else {
+                assert!(r > 7.5, "outer ring point at radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rings_are_not_linearly_separable_by_mean() {
+        // Both rings are centred at the origin, so their means coincide —
+        // the property that defeats classical k-means.
+        let ds = concentric_rings::<f64>(1000, 2, 4.0, 0.05, 9);
+        let labels = ds.labels().unwrap();
+        let mut means = [[0.0f64; 2]; 2];
+        let mut counts = [0usize; 2];
+        for i in 0..ds.n() {
+            means[labels[i]][0] += ds.points()[(i, 0)];
+            means[labels[i]][1] += ds.points()[(i, 1)];
+            counts[labels[i]] += 1;
+        }
+        for c in 0..2 {
+            means[c][0] /= counts[c] as f64;
+            means[c][1] /= counts[c] as f64;
+        }
+        let mean_dist = ((means[0][0] - means[1][0]).powi(2)
+            + (means[0][1] - means[1][1]).powi(2))
+        .sqrt();
+        assert!(mean_dist < 1.0, "ring means should nearly coincide, got {mean_dist}");
+    }
+
+    #[test]
+    fn ring_with_blob_structure() {
+        let ds = ring_with_blob::<f64>(300, 5.0, 0.3, 0.1, 17);
+        assert_eq!(ds.n(), 300);
+        assert_eq!(ds.d(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        let labels = ds.labels().unwrap();
+        for i in 0..ds.n() {
+            let r = (ds.points()[(i, 0)].powi(2) + ds.points()[(i, 1)].powi(2)).sqrt();
+            if labels[i] == 0 {
+                assert!(r < 2.5, "blob point at radius {r}");
+            } else {
+                assert!(r > 2.5, "ring point at radius {r}");
+            }
+        }
+        // deterministic
+        assert_eq!(ds.points(), ring_with_blob::<f64>(300, 5.0, 0.3, 0.1, 17).points());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring radius must be positive")]
+    fn ring_with_blob_rejects_bad_radius() {
+        let _ = ring_with_blob::<f64>(10, 0.0, 0.1, 0.1, 1);
+    }
+
+    #[test]
+    fn moons_shape() {
+        let ds = two_moons::<f32>(100, 0.05, 5);
+        assert_eq!(ds.n(), 100);
+        assert_eq!(ds.d(), 2);
+        assert_eq!(ds.num_classes(), 2);
+    }
+
+    #[test]
+    fn noisy_blobs_dimensions() {
+        let ds = blobs_with_noise_dims::<f64>(40, 10, 3, 4, 0.3, 1.0, 21);
+        assert_eq!(ds.d(), 10);
+        assert_eq!(ds.num_classes(), 4);
+        let d2 = blobs_with_noise_dims::<f64>(40, 10, 3, 4, 0.3, 1.0, 21);
+        assert_eq!(ds.points(), d2.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "informative dims exceed total dims")]
+    fn noisy_blobs_rejects_bad_dims() {
+        let _ = blobs_with_noise_dims::<f64>(10, 3, 5, 2, 0.3, 1.0, 1);
+    }
+}

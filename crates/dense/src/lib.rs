@@ -1,0 +1,41 @@
+//! # popcorn-dense
+//!
+//! Dense linear-algebra substrate for the Popcorn kernel k-means reproduction
+//! (PPoPP '25, "Popcorn: Accelerating Kernel K-means on GPUs through Sparse
+//! Linear Algebra").
+//!
+//! The paper offloads its dense work to cuBLAS (GEMM, SYRK) and small
+//! hand-written CUDA kernels (elementwise transforms, broadcast additions,
+//! row-wise argmin). This crate provides the same operations as portable,
+//! multi-threaded host implementations:
+//!
+//! * [`DenseMatrix`] — a row-major dense matrix over [`Scalar`] (`f32`/`f64`),
+//! * [`gemm`] — general matrix multiply with transpose options and blocking,
+//! * [`syrk`] — symmetric rank-k update computing only one triangle,
+//! * elementwise maps, broadcast additions, row norms, diagonals and row-wise
+//!   argmin in [`ops`] and [`norms`],
+//! * a tiny scoped-thread helper in [`parallel`] used by every kernel.
+//!
+//! The numerical semantics match the BLAS routines the paper uses so that the
+//! higher layers (`popcorn-sparse`, `popcorn-core`) can be validated against
+//! straightforward reference implementations.
+
+pub mod errors;
+pub mod gemm;
+pub mod matrix;
+pub mod norms;
+pub mod ops;
+pub mod parallel;
+pub mod scalar;
+pub mod syrk;
+
+pub use errors::DenseError;
+pub use gemm::{gemm, matmul, matmul_nt, matmul_tn, Transpose};
+pub use matrix::DenseMatrix;
+pub use norms::{diagonal, frobenius_norm, row_argmin, row_sq_norms};
+pub use ops::{add_col_broadcast, add_row_broadcast, axpy, hadamard, scale_in_place};
+pub use scalar::Scalar;
+pub use syrk::{symmetrize_lower, syrk, syrk_full, Triangle};
+
+/// Result alias used across the dense crate.
+pub type Result<T> = std::result::Result<T, DenseError>;

@@ -1,0 +1,224 @@
+//! Scoped-thread parallelism helpers.
+//!
+//! The GPU implementation in the paper relies on cuBLAS / cuSPARSE for
+//! parallelism; on the host side this crate parallelises its kernels by
+//! splitting output rows across a small number of scoped threads. The helpers
+//! here keep that policy in one place so every kernel (GEMM, SYRK, SpMM, ...)
+//! behaves identically and degrades gracefully to sequential execution on a
+//! single-core machine or when `POPCORN_NUM_THREADS=1`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable controlling the number of worker threads.
+pub const NUM_THREADS_ENV: &str = "POPCORN_NUM_THREADS";
+
+static CACHED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads used by the dense and sparse kernels.
+///
+/// Resolution order: `POPCORN_NUM_THREADS` environment variable (values `< 1`
+/// are clamped to 1), then [`std::thread::available_parallelism`], then 1.
+/// The value is computed once and cached for the lifetime of the process.
+pub fn num_threads() -> usize {
+    let cached = CACHED_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = match std::env::var(NUM_THREADS_ENV) {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    CACHED_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Split `0..total` into at most `parts` contiguous, nearly equal ranges.
+///
+/// Every element is covered exactly once; empty ranges are never produced.
+pub fn split_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    if total == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    ranges
+}
+
+/// Run `f` over every range of a row partition of `0..rows`, in parallel.
+///
+/// `f` must be safe to call concurrently on disjoint ranges. When only one
+/// worker thread is configured (or there is a single range) the closure runs
+/// on the calling thread with no spawning overhead.
+pub fn par_for_ranges<F>(rows: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let ranges = split_ranges(rows, num_threads());
+    if ranges.len() <= 1 {
+        for r in ranges {
+            f(r);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for r in ranges {
+            let f = &f;
+            scope.spawn(move || f(r));
+        }
+    });
+}
+
+/// Apply `f` to disjoint mutable row-chunks of `data` in parallel.
+///
+/// `data` is interpreted as a row-major matrix with `row_len` elements per
+/// row; the closure receives the starting row index of the chunk and the
+/// chunk itself.
+pub fn par_chunks_rows<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if row_len == 0 || data.is_empty() {
+        return;
+    }
+    debug_assert_eq!(data.len() % row_len, 0, "buffer is not a whole number of rows");
+    let rows = data.len() / row_len;
+    let ranges = split_ranges(rows, num_threads());
+    if ranges.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    // Split the buffer into per-thread slices that line up with the row ranges.
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    let mut consumed = 0;
+    for r in &ranges {
+        let take = (r.end - r.start) * row_len;
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push((consumed, head));
+        consumed += r.end - r.start;
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for (start_row, chunk) in chunks {
+            let f = &f;
+            scope.spawn(move || f(start_row, chunk));
+        }
+    });
+}
+
+/// Map a function over `0..n` in parallel, collecting the results in order.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    par_chunks_rows(&mut out, 1, |start, chunk| {
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + offset);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_covers_everything_exactly_once() {
+        for total in [0usize, 1, 2, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(total, parts);
+                let mut covered = vec![false; total];
+                for r in &ranges {
+                    assert!(!r.is_empty(), "empty range produced");
+                    for i in r.clone() {
+                        assert!(!covered[i], "element {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "total={total} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_zero_parts_is_empty() {
+        assert!(split_ranges(10, 0).is_empty());
+        assert!(split_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn split_is_balanced() {
+        let ranges = split_ranges(10, 3);
+        let sizes: Vec<_> = ranges.iter().map(|r| r.end - r.start).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn par_for_ranges_visits_all_rows() {
+        let sum = AtomicU64::new(0);
+        par_for_ranges(1000, |r| {
+            let local: u64 = r.map(|i| i as u64).sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_for_ranges_zero_rows() {
+        par_for_ranges(0, |_| panic!("should not be called"));
+    }
+
+    #[test]
+    fn par_chunks_rows_writes_disjoint() {
+        let mut data = vec![0u64; 12];
+        par_chunks_rows(&mut data, 3, |start_row, chunk| {
+            for (local_row, row) in chunk.chunks_exact_mut(3).enumerate() {
+                for x in row.iter_mut() {
+                    *x = (start_row + local_row) as u64;
+                }
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn par_chunks_rows_empty_inputs() {
+        let mut empty: Vec<u64> = Vec::new();
+        par_chunks_rows(&mut empty, 4, |_, _| panic!("no work expected"));
+        let mut data = vec![1u64; 4];
+        par_chunks_rows(&mut data, 0, |_, _| panic!("no work expected"));
+        assert_eq!(data, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn par_map_indexed_preserves_order() {
+        let out = par_map_indexed(257, |i| i * 2);
+        assert_eq!(out.len(), 257);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+        // Cached value must be stable.
+        assert_eq!(num_threads(), num_threads());
+    }
+}

@@ -1,0 +1,268 @@
+//! Symmetric rank-k update (SYRK).
+//!
+//! Section 4.2 of the paper: when `d` is close to (or larger than) `n`,
+//! Popcorn computes `B = P̂ P̂ᵀ` with cuBLAS SYRK, which only fills one
+//! triangle and therefore performs roughly half the FLOPs of GEMM. Because
+//! cuSPARSE SpMM/SpMV need the full matrix, the explicitly computed triangle
+//! is then mirrored into the other half — that copy is exactly the overhead
+//! the paper's GEMM/SYRK selection strategy trades off against the saved
+//! FLOPs. This module reproduces both the triangular product and the mirror.
+
+use crate::errors::DenseError;
+use crate::matrix::DenseMatrix;
+use crate::parallel::par_for_ranges;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Which triangle of the symmetric output is explicitly computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Triangle {
+    /// Fill the lower triangle (including the diagonal).
+    #[default]
+    Lower,
+    /// Fill the upper triangle (including the diagonal).
+    Upper,
+}
+
+/// FLOPs for a SYRK producing an `n x n` symmetric matrix from an `n x d`
+/// operand: roughly half of the corresponding GEMM (`n^2 d` vs `2 n^2 d`),
+/// counting the diagonal once. This is the `O(n^2 d / 2)` the paper quotes.
+pub fn syrk_flops(n: usize, d: usize) -> u64 {
+    // n*(n+1)/2 output entries, each a dot product of length d (mul+add).
+    (n as u64 * (n as u64 + 1) / 2) * 2 * d as u64
+}
+
+/// `C(tri) = alpha * A * Aᵀ + beta * C(tri)` — only the requested triangle of
+/// `C` is written; the other triangle is left untouched.
+///
+/// `A` is `n x d`, `C` must be `n x n`.
+pub fn syrk<T: Scalar>(
+    alpha: T,
+    a: &DenseMatrix<T>,
+    beta: T,
+    c: &mut DenseMatrix<T>,
+    triangle: Triangle,
+) -> Result<()> {
+    let n = a.rows();
+    if c.shape() != (n, n) {
+        return Err(DenseError::DimensionMismatch {
+            op: "syrk (output)",
+            expected: (n, n),
+            found: c.shape(),
+        });
+    }
+    if n == 0 {
+        return Ok(());
+    }
+
+    // The cells of the computed triangle are disjoint per output row, so
+    // parallelising over rows is race-free even though we only touch a
+    // triangular region.
+    let cols = n;
+    let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+    par_for_ranges(n, |range| {
+        let c_ptr = c_ptr;
+        for i in range {
+            let (j_start, j_end) = match triangle {
+                Triangle::Lower => (0, i + 1),
+                Triangle::Upper => (i, n),
+            };
+            let a_i = a.row(i);
+            for j in j_start..j_end {
+                let a_j = a.row(j);
+                let mut acc = T::ZERO;
+                for (x, y) in a_i.iter().zip(a_j.iter()) {
+                    acc = x.mul_add(*y, acc);
+                }
+                // SAFETY: each (i, j) cell is written by exactly one thread
+                // because rows are partitioned disjointly across threads.
+                unsafe {
+                    let cell = c_ptr.0.add(i * cols + j);
+                    let prev = if beta == T::ZERO { T::ZERO } else { beta * *cell };
+                    *cell = prev + alpha * acc;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Copy the explicitly computed triangle into the other half so the matrix is
+/// fully stored (the "mirror" step the paper charges against SYRK).
+pub fn symmetrize_lower<T: Scalar>(c: &mut DenseMatrix<T>, triangle: Triangle) -> Result<()> {
+    if !c.is_square() {
+        return Err(DenseError::NotSquare { op: "symmetrize", shape: c.shape() });
+    }
+    let n = c.rows();
+    for i in 0..n {
+        for j in 0..i {
+            match triangle {
+                Triangle::Lower => {
+                    let v = c[(i, j)];
+                    c[(j, i)] = v;
+                }
+                Triangle::Upper => {
+                    let v = c[(j, i)];
+                    c[(i, j)] = v;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Number of bytes moved by the mirror copy for an `n x n` matrix of
+/// element size `elem`: the strictly-triangular half is read and written.
+pub fn symmetrize_bytes(n: usize, elem: usize) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    let tri = n as u64 * (n as u64 - 1) / 2;
+    2 * tri * elem as u64
+}
+
+/// Convenience wrapper computing the full symmetric product `A Aᵀ` via SYRK +
+/// mirror, the exact sequence Popcorn's SYRK-based kernel-matrix algorithm
+/// performs.
+pub fn syrk_full<T: Scalar>(a: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
+    let mut c = DenseMatrix::zeros(a.rows(), a.rows());
+    syrk(T::ONE, a, T::ZERO, &mut c, Triangle::Lower)?;
+    symmetrize_lower(&mut c, Triangle::Lower)?;
+    Ok(c)
+}
+
+/// Wrapper around a raw pointer so it can be captured by the scoped threads.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: the parallel loop partitions output rows disjointly, so concurrent
+// writers never alias.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul_nt;
+
+    fn sample(n: usize, d: usize) -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(n, d, |i, j| ((i * d + j) as f64 * 0.37).sin() + 0.1 * i as f64)
+    }
+
+    #[test]
+    fn syrk_lower_matches_gemm_in_triangle() {
+        let a = sample(6, 4);
+        let full = matmul_nt(&a, &a).unwrap();
+        let mut c = DenseMatrix::zeros(6, 6);
+        syrk(1.0, &a, 0.0, &mut c, Triangle::Lower).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                if j <= i {
+                    assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-10, "({i},{j})");
+                } else {
+                    assert_eq!(c[(i, j)], 0.0, "upper triangle must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_upper_matches_gemm_in_triangle() {
+        let a = sample(5, 3);
+        let full = matmul_nt(&a, &a).unwrap();
+        let mut c = DenseMatrix::zeros(5, 5);
+        syrk(1.0, &a, 0.0, &mut c, Triangle::Upper).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                if j >= i {
+                    assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-10);
+                } else {
+                    assert_eq!(c[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_full_equals_gemm() {
+        let a = sample(9, 5);
+        let via_syrk = syrk_full(&a).unwrap();
+        let via_gemm = matmul_nt(&a, &a).unwrap();
+        assert!(via_syrk.approx_eq(&via_gemm, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn syrk_output_is_symmetric() {
+        let a = sample(8, 3);
+        let c = syrk_full(&a).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(c[(i, j)], c[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_alpha_beta() {
+        let a = sample(4, 2);
+        let mut c = DenseMatrix::identity(4);
+        // lower triangle: C = 2*A*Aᵀ + 3*C
+        syrk(2.0, &a, 3.0, &mut c, Triangle::Lower).unwrap();
+        let full = matmul_nt(&a, &a).unwrap();
+        for i in 0..4 {
+            for j in 0..=i {
+                let expected = 2.0 * full[(i, j)] + if i == j { 3.0 } else { 0.0 };
+                assert!((c[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_rejects_bad_output_shape() {
+        let a = sample(3, 2);
+        let mut c = DenseMatrix::<f64>::zeros(3, 4);
+        assert!(syrk(1.0, &a, 0.0, &mut c, Triangle::Lower).is_err());
+    }
+
+    #[test]
+    fn symmetrize_requires_square() {
+        let mut c = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(symmetrize_lower(&mut c, Triangle::Lower).is_err());
+    }
+
+    #[test]
+    fn symmetrize_upper_source() {
+        let mut c = DenseMatrix::<f64>::zeros(3, 3);
+        c[(0, 1)] = 5.0;
+        c[(0, 2)] = 7.0;
+        c[(1, 2)] = 9.0;
+        symmetrize_lower(&mut c, Triangle::Upper).unwrap();
+        assert_eq!(c[(1, 0)], 5.0);
+        assert_eq!(c[(2, 0)], 7.0);
+        assert_eq!(c[(2, 1)], 9.0);
+    }
+
+    #[test]
+    fn flop_and_byte_counts() {
+        // n=4, d=3: 10 entries * 2 * 3 = 60 flops
+        assert_eq!(syrk_flops(4, 3), 60);
+        // 4x4, 6 strictly-lower entries, read+write 4-byte floats
+        assert_eq!(symmetrize_bytes(4, 4), 48);
+        assert_eq!(symmetrize_bytes(0, 4), 0);
+        assert_eq!(symmetrize_bytes(1, 4), 0);
+    }
+
+    #[test]
+    fn syrk_empty_matrix() {
+        let a = DenseMatrix::<f64>::zeros(0, 0);
+        let mut c = DenseMatrix::<f64>::zeros(0, 0);
+        assert!(syrk(1.0, &a, 0.0, &mut c, Triangle::Lower).is_ok());
+    }
+
+    #[test]
+    fn syrk_larger_matches_gemm() {
+        let a = sample(120, 17);
+        let via_syrk = syrk_full(&a).unwrap();
+        let via_gemm = matmul_nt(&a, &a).unwrap();
+        assert!(via_syrk.approx_eq(&via_gemm, 1e-9, 1e-9));
+    }
+}

@@ -1,0 +1,168 @@
+//! Device specifications.
+//!
+//! The paper's testbed is an NVIDIA A100 (80 GB HBM2e) attached to a 64-core
+//! AMD EPYC 7763 over PCIe Gen4, with the CPU baseline (PRMLT) running on a
+//! single core. The presets below capture the published peak numbers of that
+//! hardware; they feed the cost model and the roofline.
+
+/// Static description of an execution device (GPU or CPU).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub fp32_peak_gflops: f64,
+    /// Peak double-precision throughput in GFLOP/s.
+    pub fp64_peak_gflops: f64,
+    /// Peak device-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Host-device interconnect bandwidth in GB/s (PCIe for the GPU presets).
+    pub interconnect_gbs: f64,
+    /// Fixed overhead charged per kernel launch / library call, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Number of streaming multiprocessors (GPU) or cores (CPU); informational
+    /// and used by utilization heuristics.
+    pub parallel_units: usize,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100 80 GB SXM: 19.5 TFLOP/s FP32, 9.7 TFLOP/s FP64,
+    /// 2039 GB/s HBM2e, PCIe Gen4 x16 host link, 108 SMs.
+    pub fn a100_80gb() -> Self {
+        Self {
+            name: "NVIDIA A100 80GB".to_string(),
+            fp32_peak_gflops: 19_500.0,
+            fp64_peak_gflops: 9_700.0,
+            mem_bandwidth_gbs: 2_039.0,
+            interconnect_gbs: 31.5,
+            launch_overhead_us: 5.0,
+            parallel_units: 108,
+        }
+    }
+
+    /// NVIDIA A100 40 GB PCIe: same compute, 1555 GB/s HBM2.
+    pub fn a100_40gb() -> Self {
+        Self {
+            name: "NVIDIA A100 40GB".to_string(),
+            fp32_peak_gflops: 19_500.0,
+            fp64_peak_gflops: 9_700.0,
+            mem_bandwidth_gbs: 1_555.0,
+            interconnect_gbs: 31.5,
+            launch_overhead_us: 5.0,
+            parallel_units: 108,
+        }
+    }
+
+    /// NVIDIA V100 16 GB: 15.7 TFLOP/s FP32, 900 GB/s HBM2.
+    pub fn v100() -> Self {
+        Self {
+            name: "NVIDIA V100".to_string(),
+            fp32_peak_gflops: 15_700.0,
+            fp64_peak_gflops: 7_800.0,
+            mem_bandwidth_gbs: 900.0,
+            interconnect_gbs: 15.75,
+            launch_overhead_us: 6.0,
+            parallel_units: 80,
+        }
+    }
+
+    /// A single core of the AMD EPYC 7763 host CPU, matching the paper's
+    /// single-threaded PRMLT (MATLAB) baseline: ~2.45 GHz sustained boost,
+    /// 2×256-bit FMA per cycle ≈ 39 GFLOP/s FP32 peak, ~20 GB/s effective
+    /// single-core DRAM bandwidth, negligible "launch" overhead.
+    pub fn epyc7763_single_core() -> Self {
+        Self {
+            name: "AMD EPYC 7763 (1 core)".to_string(),
+            fp32_peak_gflops: 39.2,
+            fp64_peak_gflops: 19.6,
+            mem_bandwidth_gbs: 20.0,
+            interconnect_gbs: 20.0,
+            launch_overhead_us: 0.0,
+            parallel_units: 1,
+        }
+    }
+
+    /// The full 64-core EPYC 7763 socket (not used by the paper's baseline,
+    /// provided for completeness / extra comparisons).
+    pub fn epyc7763_socket() -> Self {
+        Self {
+            name: "AMD EPYC 7763 (64 cores)".to_string(),
+            fp32_peak_gflops: 2_500.0,
+            fp64_peak_gflops: 1_250.0,
+            mem_bandwidth_gbs: 204.8,
+            interconnect_gbs: 204.8,
+            launch_overhead_us: 0.0,
+            parallel_units: 64,
+        }
+    }
+
+    /// Peak throughput for the given element width (4 = f32, 8 = f64).
+    pub fn peak_gflops_for(&self, elem_bytes: usize) -> f64 {
+        if elem_bytes >= 8 {
+            self.fp64_peak_gflops
+        } else {
+            self.fp32_peak_gflops
+        }
+    }
+
+    /// Arithmetic intensity (FLOP/byte) at which this device transitions from
+    /// memory-bound to compute-bound — the "ridge point" of its roofline.
+    pub fn ridge_point(&self, elem_bytes: usize) -> f64 {
+        self.peak_gflops_for(elem_bytes) / self.mem_bandwidth_gbs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_numbers_are_published_specs() {
+        let d = DeviceSpec::a100_80gb();
+        assert_eq!(d.fp32_peak_gflops, 19_500.0);
+        assert_eq!(d.mem_bandwidth_gbs, 2_039.0);
+        assert!(d.parallel_units == 108);
+    }
+
+    #[test]
+    fn ridge_point_is_peak_over_bandwidth() {
+        let d = DeviceSpec::a100_80gb();
+        let rp = d.ridge_point(4);
+        assert!((rp - 19_500.0 / 2_039.0).abs() < 1e-9);
+        // FP64 ridge point is lower.
+        assert!(d.ridge_point(8) < rp);
+    }
+
+    #[test]
+    fn gpu_is_faster_than_single_core_cpu() {
+        let gpu = DeviceSpec::a100_80gb();
+        let cpu = DeviceSpec::epyc7763_single_core();
+        assert!(gpu.fp32_peak_gflops / cpu.fp32_peak_gflops > 100.0);
+        assert!(gpu.mem_bandwidth_gbs / cpu.mem_bandwidth_gbs > 50.0);
+    }
+
+    #[test]
+    fn peak_selection_by_element_width() {
+        let d = DeviceSpec::v100();
+        assert_eq!(d.peak_gflops_for(4), 15_700.0);
+        assert_eq!(d.peak_gflops_for(8), 7_800.0);
+    }
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let names: Vec<String> = [
+            DeviceSpec::a100_80gb(),
+            DeviceSpec::a100_40gb(),
+            DeviceSpec::v100(),
+            DeviceSpec::epyc7763_single_core(),
+            DeviceSpec::epyc7763_socket(),
+        ]
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

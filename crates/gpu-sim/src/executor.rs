@@ -1,0 +1,169 @@
+//! Simulated device executor.
+//!
+//! [`SimExecutor`] is the seam between "run the real computation on the host"
+//! and "account for what it would have cost on the device". Solvers call
+//! [`SimExecutor::run`] with an operation description and a closure; the
+//! closure executes immediately (so results are real), its host wall-clock
+//! time is measured, and the modeled device time is computed from the cost
+//! model and recorded in the shared [`Profiler`].
+
+use crate::cost::{CostModel, OpClass, OpCost};
+use crate::device::DeviceSpec;
+use crate::profiler::Profiler;
+use crate::roofline::Roofline;
+use crate::trace::{OpRecord, OpTrace, Phase};
+use std::time::Instant;
+
+/// Executes host closures while accumulating modeled device time.
+#[derive(Debug, Clone)]
+pub struct SimExecutor {
+    cost_model: CostModel,
+    profiler: Profiler,
+}
+
+impl SimExecutor {
+    /// Create an executor for a device, assuming `elem_bytes`-wide scalars
+    /// (4 for `f32`, 8 for `f64`).
+    pub fn new(device: DeviceSpec, elem_bytes: usize) -> Self {
+        Self { cost_model: CostModel::new(device, elem_bytes), profiler: Profiler::new() }
+    }
+
+    /// Executor modeling the paper's platform: A100-80GB, single precision.
+    pub fn a100_f32() -> Self {
+        Self::new(DeviceSpec::a100_80gb(), 4)
+    }
+
+    /// Executor modeling the paper's CPU baseline platform: one EPYC core.
+    pub fn cpu_single_core_f32() -> Self {
+        Self::new(DeviceSpec::epyc7763_single_core(), 4)
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        self.cost_model.device()
+    }
+
+    /// The shared profiler collecting this executor's records.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// A roofline for the simulated device.
+    pub fn roofline(&self) -> Roofline {
+        Roofline::new(self.device().clone(), self.cost_model.elem_bytes())
+    }
+
+    /// Run `f` on the host, record its cost, and return its result.
+    pub fn run<R>(
+        &self,
+        name: impl Into<String>,
+        phase: Phase,
+        class: OpClass,
+        cost: OpCost,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let start = Instant::now();
+        let result = f();
+        let host_seconds = start.elapsed().as_secs_f64();
+        let modeled_seconds = self.cost_model.time_seconds(class, &cost);
+        self.profiler.record(OpRecord {
+            name: name.into(),
+            phase,
+            class,
+            cost,
+            modeled_seconds,
+            host_seconds,
+        });
+        result
+    }
+
+    /// Record an operation that has no host-side work (e.g. a modeled
+    /// host→device transfer of a dataset that is already in memory).
+    pub fn charge(&self, name: impl Into<String>, phase: Phase, class: OpClass, cost: OpCost) {
+        self.run(name, phase, class, cost, || ());
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn trace(&self) -> OpTrace {
+        self.profiler.snapshot()
+    }
+
+    /// Total modeled device time so far, in seconds.
+    pub fn total_modeled_seconds(&self) -> f64 {
+        self.profiler.total_modeled_seconds()
+    }
+
+    /// Clear the trace (e.g. between benchmark trials).
+    pub fn reset(&self) {
+        self.profiler.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_closure_and_records() {
+        let exec = SimExecutor::a100_f32();
+        let out = exec.run(
+            "gemm test",
+            Phase::KernelMatrix,
+            OpClass::Gemm,
+            OpCost::gemm(100, 100, 100, 4),
+            || 40 + 2,
+        );
+        assert_eq!(out, 42);
+        let trace = exec.trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.records()[0].name, "gemm test");
+        assert!(trace.records()[0].modeled_seconds > 0.0);
+        assert!(trace.records()[0].host_seconds >= 0.0);
+    }
+
+    #[test]
+    fn charge_records_without_work() {
+        let exec = SimExecutor::a100_f32();
+        exec.charge("upload", Phase::DataPreparation, OpClass::Transfer, OpCost::transfer(1 << 20));
+        assert_eq!(exec.trace().len(), 1);
+        assert!(exec.total_modeled_seconds() > 0.0);
+    }
+
+    #[test]
+    fn reset_clears_trace() {
+        let exec = SimExecutor::a100_f32();
+        exec.charge("x", Phase::Other, OpClass::Other, OpCost::new(1, 1, 1));
+        exec.reset();
+        assert!(exec.trace().is_empty());
+    }
+
+    #[test]
+    fn gpu_models_faster_than_cpu_for_same_op() {
+        let gpu = SimExecutor::a100_f32();
+        let cpu = SimExecutor::cpu_single_core_f32();
+        let cost = OpCost::gemm(2000, 2000, 100, 4);
+        gpu.charge("gemm", Phase::KernelMatrix, OpClass::Gemm, cost);
+        cpu.charge("gemm", Phase::KernelMatrix, OpClass::Gemm, cost);
+        assert!(cpu.total_modeled_seconds() / gpu.total_modeled_seconds() > 10.0);
+    }
+
+    #[test]
+    fn roofline_matches_device() {
+        let exec = SimExecutor::a100_f32();
+        assert_eq!(exec.roofline().peak_gflops(), 19_500.0);
+        assert_eq!(exec.device().name, "NVIDIA A100 80GB");
+    }
+
+    #[test]
+    fn clone_shares_profiler() {
+        let exec = SimExecutor::a100_f32();
+        let clone = exec.clone();
+        clone.charge("x", Phase::Other, OpClass::Other, OpCost::new(1, 1, 1));
+        assert_eq!(exec.trace().len(), 1);
+    }
+}

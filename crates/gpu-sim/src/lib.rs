@@ -1,0 +1,36 @@
+//! # popcorn-gpusim
+//!
+//! Analytical GPU execution simulator used as the stand-in for the NVIDIA
+//! A100 + CUDA 12.2 platform the paper evaluates on.
+//!
+//! All numerical work in this reproduction executes on the host (see
+//! `popcorn-dense` / `popcorn-sparse`), so results are bit-real. What a GPU
+//! would have contributed is *time*: this crate models that time analytically
+//! from first principles the paper itself uses in its §4.4 arithmetic
+//! intensity analysis and §5.5 roofline study:
+//!
+//! * [`device::DeviceSpec`] — peak FLOP/s, memory bandwidth, PCIe bandwidth
+//!   and kernel-launch overhead for A100-class GPUs and EPYC-class CPUs;
+//! * [`cost::CostModel`] — per-operation modeled time
+//!   `t = max(flops / (peak · eff_c · util), bytes / (bw · eff_m · util)) + launch`;
+//! * [`roofline::Roofline`] — attainable GFLOP/s at a given arithmetic
+//!   intensity (Figure 6);
+//! * [`trace::OpTrace`] / [`profiler::Profiler`] — Nsight-Compute-like per-op
+//!   records with phase breakdowns (Figures 5 and 8);
+//! * [`executor::SimExecutor`] — runs real host closures while accumulating
+//!   modeled device time, so the same driver code produces both wall-clock
+//!   and modeled measurements.
+
+pub mod cost;
+pub mod device;
+pub mod executor;
+pub mod profiler;
+pub mod roofline;
+pub mod trace;
+
+pub use cost::{CostModel, OpClass, OpCost};
+pub use device::DeviceSpec;
+pub use executor::SimExecutor;
+pub use profiler::Profiler;
+pub use roofline::Roofline;
+pub use trace::{OpRecord, OpTrace, Phase};

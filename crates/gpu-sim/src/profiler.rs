@@ -1,0 +1,116 @@
+//! Thread-safe trace collector.
+//!
+//! The profiler is shared between the executor and any code that wants to
+//! inspect intermediate state (e.g. the experiment harness reading the phase
+//! breakdown after every trial). It is a thin `parking_lot::Mutex` around an
+//! [`OpTrace`].
+
+use crate::trace::{OpRecord, OpTrace};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared, thread-safe collector of [`OpRecord`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    trace: Arc<Mutex<OpTrace>>,
+}
+
+impl Profiler {
+    /// Create an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn record(&self, record: OpRecord) {
+        self.trace.lock().push(record);
+    }
+
+    /// Snapshot of the trace collected so far.
+    pub fn snapshot(&self) -> OpTrace {
+        self.trace.lock().clone()
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.trace.lock().len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.trace.lock().is_empty()
+    }
+
+    /// Discard all collected records.
+    pub fn reset(&self) {
+        *self.trace.lock() = OpTrace::new();
+    }
+
+    /// Total modeled device time collected so far, in seconds.
+    pub fn total_modeled_seconds(&self) -> f64 {
+        self.trace.lock().total_modeled_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{OpClass, OpCost};
+    use crate::trace::Phase;
+
+    fn sample_record(t: f64) -> OpRecord {
+        OpRecord {
+            name: "x".into(),
+            phase: Phase::Other,
+            class: OpClass::Other,
+            cost: OpCost::new(1, 1, 0),
+            modeled_seconds: t,
+            host_seconds: t,
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let p = Profiler::new();
+        assert!(p.is_empty());
+        p.record(sample_record(1.0));
+        p.record(sample_record(2.0));
+        assert_eq!(p.len(), 2);
+        assert!((p.total_modeled_seconds() - 3.0).abs() < 1e-12);
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = Profiler::new();
+        p.record(sample_record(1.0));
+        p.reset();
+        assert!(p.is_empty());
+        assert_eq!(p.total_modeled_seconds(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Profiler::new();
+        let q = p.clone();
+        p.record(sample_record(1.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let p = Profiler::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        p.record(sample_record(0.001));
+                    }
+                });
+            }
+        });
+        assert_eq!(p.len(), 400);
+    }
+}

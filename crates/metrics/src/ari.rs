@@ -1,0 +1,105 @@
+//! Adjusted Rand Index (ARI).
+//!
+//! ARI measures agreement between two labellings, corrected for chance:
+//! 1.0 means identical partitions (up to label permutation), ~0.0 means the
+//! agreement expected from random labellings, negative values mean worse than
+//! random. The integration tests use ARI to show that kernel k-means recovers
+//! the rings/moons structure while classical k-means does not.
+
+use crate::contingency::{choose2, ContingencyTable};
+use crate::Result;
+
+/// Adjusted Rand Index between two labellings.
+pub fn adjusted_rand_index(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let table = ContingencyTable::new(truth, predicted)?;
+    let sum_cells: f64 = table
+        .counts()
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_rows: f64 = table.row_totals().iter().map(|&c| choose2(c)).sum();
+    let sum_cols: f64 = table.col_totals().iter().map(|&c| choose2(c)).sum();
+    let total_pairs = choose2(table.n());
+
+    if total_pairs == 0.0 {
+        // A single point: partitions trivially agree.
+        return Ok(1.0);
+    }
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    let denom = max_index - expected;
+    if denom.abs() < 1e-15 {
+        // Both partitions are single-cluster (or otherwise degenerate): they
+        // are identical partitions, so perfect agreement.
+        return Ok(1.0);
+    }
+    Ok((sum_cells - expected) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&labels, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_labels_still_score_one() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&truth, &pred).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value_from_literature() {
+        // Classic example (Hubert & Arabie style): sklearn gives 0.24242...
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 2];
+        let ari = adjusted_rand_index(&truth, &pred).unwrap();
+        assert!((ari - 0.571428571428).abs() < 1e-9, "ari = {ari}");
+    }
+
+    #[test]
+    fn sklearn_reference_value() {
+        // sklearn.metrics.adjusted_rand_score([0,0,1,2], [0,0,1,1]) == 0.5714285714285715
+        let a = adjusted_rand_index(&[0, 0, 1, 2], &[0, 0, 1, 1]).unwrap();
+        assert!((a - 0.5714285714285715).abs() < 1e-12);
+        // adjusted_rand_score([0,0,1,1], [0,1,0,1]) == -0.5
+        let b = adjusted_rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]).unwrap();
+        assert!((b + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_disagreement_is_near_zero_or_negative() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 0, 1];
+        let ari = adjusted_rand_index(&truth, &pred).unwrap();
+        assert!(ari < 0.1);
+    }
+
+    #[test]
+    fn single_cluster_degenerate_cases() {
+        // All points in one cluster in both labellings: identical partitions.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[5, 5, 5]).unwrap(), 1.0);
+        // One point.
+        assert_eq!(adjusted_rand_index(&[0], &[3]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0, 1, 1, 2, 2, 2, 0];
+        let b = [1, 1, 0, 2, 0, 2, 0];
+        let ab = adjusted_rand_index(&a, &b).unwrap();
+        let ba = adjusted_rand_index(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(adjusted_rand_index(&[0, 1], &[0]).is_err());
+    }
+}

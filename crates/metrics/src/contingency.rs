@@ -1,0 +1,144 @@
+//! Contingency table between two labellings.
+//!
+//! The ARI, NMI and purity metrics are all functions of the contingency
+//! table `N[i][j]` = number of points with true class `i` and predicted
+//! cluster `j`. Computing it once and sharing it keeps the metrics cheap and
+//! their implementations small.
+
+use crate::{MetricsError, Result};
+
+/// Contingency table between a "true" labelling and a "predicted" labelling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<usize>>,
+    row_totals: Vec<usize>,
+    col_totals: Vec<usize>,
+    n: usize,
+}
+
+impl ContingencyTable {
+    /// Build the table. Labels may be arbitrary `usize` values; rows/columns
+    /// are indexed by the distinct labels in sorted order.
+    pub fn new(truth: &[usize], predicted: &[usize]) -> Result<Self> {
+        if truth.len() != predicted.len() {
+            return Err(MetricsError::LengthMismatch { left: truth.len(), right: predicted.len() });
+        }
+        if truth.is_empty() {
+            return Err(MetricsError::Degenerate("no points".into()));
+        }
+        let row_ids = distinct(truth);
+        let col_ids = distinct(predicted);
+        let row_index = |label: usize| row_ids.binary_search(&label).expect("label present");
+        let col_index = |label: usize| col_ids.binary_search(&label).expect("label present");
+
+        let mut counts = vec![vec![0usize; col_ids.len()]; row_ids.len()];
+        for (&t, &p) in truth.iter().zip(predicted.iter()) {
+            counts[row_index(t)][col_index(p)] += 1;
+        }
+        let row_totals: Vec<usize> = counts.iter().map(|r| r.iter().sum()).collect();
+        let col_totals: Vec<usize> = (0..col_ids.len())
+            .map(|j| counts.iter().map(|r| r[j]).sum())
+            .collect();
+        Ok(Self { counts, row_totals, col_totals, n: truth.len() })
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct true classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of distinct predicted clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.col_totals.len()
+    }
+
+    /// The raw counts, `counts[class][cluster]`.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+
+    /// Points per true class.
+    pub fn row_totals(&self) -> &[usize] {
+        &self.row_totals
+    }
+
+    /// Points per predicted cluster.
+    pub fn col_totals(&self) -> &[usize] {
+        &self.col_totals
+    }
+}
+
+fn distinct(labels: &[usize]) -> Vec<usize> {
+    let mut v = labels.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Binomial coefficient "x choose 2" as f64 (0 when `x < 2`).
+pub fn choose2(x: usize) -> f64 {
+    if x < 2 {
+        0.0
+    } else {
+        x as f64 * (x as f64 - 1.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_table() {
+        let truth = [0, 0, 1, 1, 1];
+        let pred = [0, 1, 1, 1, 1];
+        let t = ContingencyTable::new(&truth, &pred).unwrap();
+        assert_eq!(t.n(), 5);
+        assert_eq!(t.num_classes(), 2);
+        assert_eq!(t.num_clusters(), 2);
+        assert_eq!(t.counts()[0], vec![1, 1]);
+        assert_eq!(t.counts()[1], vec![0, 3]);
+        assert_eq!(t.row_totals(), &[2, 3]);
+        assert_eq!(t.col_totals(), &[1, 4]);
+    }
+
+    #[test]
+    fn labels_need_not_be_contiguous() {
+        let truth = [10, 10, 99];
+        let pred = [7, 3, 3];
+        let t = ContingencyTable::new(&truth, &pred).unwrap();
+        assert_eq!(t.num_classes(), 2);
+        assert_eq!(t.num_clusters(), 2);
+        // class 10 -> row 0, class 99 -> row 1; cluster 3 -> col 0, 7 -> col 1
+        assert_eq!(t.counts()[0], vec![1, 1]);
+        assert_eq!(t.counts()[1], vec![1, 0]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(ContingencyTable::new(&[0, 1], &[0]).is_err());
+        assert!(ContingencyTable::new(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn choose2_values() {
+        assert_eq!(choose2(0), 0.0);
+        assert_eq!(choose2(1), 0.0);
+        assert_eq!(choose2(2), 1.0);
+        assert_eq!(choose2(5), 10.0);
+    }
+
+    #[test]
+    fn totals_sum_to_n() {
+        let truth = [0, 1, 2, 0, 1, 2, 2];
+        let pred = [1, 1, 0, 0, 2, 2, 2];
+        let t = ContingencyTable::new(&truth, &pred).unwrap();
+        assert_eq!(t.row_totals().iter().sum::<usize>(), 7);
+        assert_eq!(t.col_totals().iter().sum::<usize>(), 7);
+    }
+}

@@ -1,0 +1,171 @@
+//! Within-cluster objectives.
+//!
+//! * [`inertia`] — the classical k-means objective Σᵢ ‖pᵢ − c_{L(i)}‖² in the
+//!   input space, for a given assignment (centroids are the cluster means).
+//! * [`kernel_objective`] — the kernel k-means objective in feature space,
+//!   computed from the kernel matrix only (the same quantity the Popcorn
+//!   iteration minimises):
+//!   Σᵢ K[i][i] − Σ_j (1/|L_j|) Σ_{p,q ∈ L_j} K[p][q].
+//!
+//! Both are used by tests to assert that the solvers monotonically decrease
+//! their objective and that Popcorn and the dense baselines agree.
+
+use crate::{MetricsError, Result};
+use popcorn_dense::{DenseMatrix, Scalar};
+
+/// Classical k-means inertia (within-cluster sum of squared distances) of an
+/// assignment, with centroids taken as the cluster means of `points`.
+pub fn inertia<T: Scalar>(points: &DenseMatrix<T>, labels: &[usize]) -> Result<f64> {
+    let n = points.rows();
+    let d = points.cols();
+    if labels.len() != n {
+        return Err(MetricsError::LengthMismatch { left: n, right: labels.len() });
+    }
+    if n == 0 {
+        return Err(MetricsError::Degenerate("no points".into()));
+    }
+    let k = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut centroids = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for (i, &l) in labels.iter().enumerate() {
+        counts[l] += 1;
+        for (j, &v) in points.row(i).iter().enumerate() {
+            centroids[l][j] += v.to_f64();
+        }
+    }
+    for (c, &count) in centroids.iter_mut().zip(counts.iter()) {
+        if count > 0 {
+            for v in c.iter_mut() {
+                *v /= count as f64;
+            }
+        }
+    }
+    let mut total = 0.0f64;
+    for (i, &l) in labels.iter().enumerate() {
+        for (j, &v) in points.row(i).iter().enumerate() {
+            let diff = v.to_f64() - centroids[l][j];
+            total += diff * diff;
+        }
+    }
+    Ok(total)
+}
+
+/// Kernel k-means objective in feature space, computed from the kernel matrix
+/// `K` and an assignment. Equals the inertia of the (implicit) feature-space
+/// embedding, so it can be compared against [`inertia`] when the kernel is
+/// linear.
+pub fn kernel_objective<T: Scalar>(kernel: &DenseMatrix<T>, labels: &[usize]) -> Result<f64> {
+    let n = kernel.rows();
+    if !kernel.is_square() {
+        return Err(MetricsError::Degenerate("kernel matrix must be square".into()));
+    }
+    if labels.len() != n {
+        return Err(MetricsError::LengthMismatch { left: n, right: labels.len() });
+    }
+    if n == 0 {
+        return Err(MetricsError::Degenerate("no points".into()));
+    }
+    let k = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    // Σ_i K_ii
+    let trace: f64 = (0..n).map(|i| kernel[(i, i)].to_f64()).sum();
+    // Σ_j (1/|L_j|) Σ_{p,q in L_j} K_pq, accumulated via per-cluster row sums.
+    let mut cluster_sums = vec![0.0f64; k];
+    for p in 0..n {
+        let lp = labels[p];
+        let row = kernel.row(p);
+        // Sum over q in the same cluster as p.
+        let mut s = 0.0f64;
+        for (q, &v) in row.iter().enumerate() {
+            if labels[q] == lp {
+                s += v.to_f64();
+            }
+        }
+        cluster_sums[lp] += s;
+    }
+    let mut reduction = 0.0f64;
+    for (j, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            reduction += cluster_sums[j] / count as f64;
+        }
+    }
+    Ok(trace - reduction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popcorn_dense::matmul_nt;
+
+    fn toy_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![10.0, 0.0],
+            vec![12.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inertia_hand_computed() {
+        let points = toy_points();
+        // clusters {0,1} centroid (1,0), {2,3} centroid (11,0): inertia = 1+1+1+1 = 4
+        assert_eq!(inertia(&points, &[0, 0, 1, 1]).unwrap(), 4.0);
+        // everything in one cluster: centroid (6,0), inertia = 36+16+16+36 = 104
+        assert_eq!(inertia(&points, &[0, 0, 0, 0]).unwrap(), 104.0);
+    }
+
+    #[test]
+    fn better_assignment_has_lower_inertia() {
+        let points = toy_points();
+        let good = inertia(&points, &[0, 0, 1, 1]).unwrap();
+        let bad = inertia(&points, &[0, 1, 0, 1]).unwrap();
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn inertia_rejects_bad_inputs() {
+        let points = toy_points();
+        assert!(inertia(&points, &[0, 0]).is_err());
+        let empty = DenseMatrix::<f64>::zeros(0, 2);
+        assert!(inertia(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn kernel_objective_with_linear_kernel_matches_inertia() {
+        // With the linear kernel K = P Pᵀ the feature space *is* the input
+        // space, so the kernel objective equals the classical inertia.
+        let points = toy_points();
+        let kernel = matmul_nt(&points, &points).unwrap();
+        for labels in [vec![0, 0, 1, 1], vec![0, 1, 0, 1], vec![0, 0, 0, 0]] {
+            let a = inertia(&points, &labels).unwrap();
+            let b = kernel_objective(&kernel, &labels).unwrap();
+            assert!((a - b).abs() < 1e-9, "labels {labels:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn kernel_objective_rejects_bad_inputs() {
+        let points = toy_points();
+        let kernel = matmul_nt(&points, &points).unwrap();
+        assert!(kernel_objective(&kernel, &[0, 0]).is_err());
+        assert!(kernel_objective(&points, &[0, 0, 0, 0]).is_err());
+        let empty = DenseMatrix::<f64>::zeros(0, 0);
+        assert!(kernel_objective(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_cluster_labels_are_tolerated() {
+        // labels only use cluster 0 and 2 (cluster 1 empty)
+        let points = toy_points();
+        let v = inertia(&points, &[0, 0, 2, 2]).unwrap();
+        assert_eq!(v, 4.0);
+        let kernel = matmul_nt(&points, &points).unwrap();
+        let kv = kernel_objective(&kernel, &[0, 0, 2, 2]).unwrap();
+        assert!((kv - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! # popcorn-metrics
+//!
+//! Clustering-quality metrics and run statistics for the Popcorn kernel
+//! k-means reproduction.
+//!
+//! The paper evaluates *runtime*; this crate exists because a reproduction
+//! also has to demonstrate that the algorithms are *correct* — that kernel
+//! k-means recovers non-linearly separable structure classical k-means
+//! cannot (the motivation of the paper's introduction) and that Popcorn and
+//! the baselines agree. It provides:
+//!
+//! * external cluster validity: [`ari::adjusted_rand_index`],
+//!   [`nmi::normalized_mutual_information`], [`purity::purity`],
+//! * internal validity: [`silhouette::silhouette_score`],
+//!   [`inertia::inertia`] and [`inertia::kernel_objective`],
+//! * [`stats::RunStats`] — the mean/std/min/max summaries used when the
+//!   harness averages over trials (the paper averages over 4).
+
+pub mod ari;
+pub mod contingency;
+pub mod inertia;
+pub mod nmi;
+pub mod purity;
+pub mod silhouette;
+pub mod stats;
+
+pub use ari::adjusted_rand_index;
+pub use contingency::ContingencyTable;
+pub use inertia::{inertia, kernel_objective};
+pub use nmi::normalized_mutual_information;
+pub use purity::purity;
+pub use silhouette::silhouette_score;
+pub use stats::RunStats;
+
+/// Errors produced by metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The two label vectors have different lengths.
+    LengthMismatch {
+        /// Length of the first labelling.
+        left: usize,
+        /// Length of the second labelling.
+        right: usize,
+    },
+    /// The input is empty or otherwise degenerate for the requested metric.
+    Degenerate(String),
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { left, right } => {
+                write!(f, "label vectors have different lengths: {left} vs {right}")
+            }
+            MetricsError::Degenerate(msg) => write!(f, "degenerate input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Result alias used across the metrics crate.
+pub type Result<T> = std::result::Result<T, MetricsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = MetricsError::LengthMismatch { left: 3, right: 4 };
+        assert!(e.to_string().contains('3'));
+        let e = MetricsError::Degenerate("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+}

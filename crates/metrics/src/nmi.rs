@@ -1,0 +1,109 @@
+//! Normalized Mutual Information (NMI).
+//!
+//! NMI(U, V) = I(U; V) / sqrt(H(U) · H(V)) ∈ [0, 1], with the convention that
+//! two identical single-cluster partitions have NMI 1. Uses natural
+//! logarithms throughout (the normalisation cancels the base).
+
+use crate::contingency::ContingencyTable;
+use crate::Result;
+
+/// Normalized mutual information (geometric-mean normalisation).
+pub fn normalized_mutual_information(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let table = ContingencyTable::new(truth, predicted)?;
+    let n = table.n() as f64;
+
+    let mut mutual_information = 0.0f64;
+    for (i, row) in table.counts().iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let p_ij = c as f64 / n;
+            let p_i = table.row_totals()[i] as f64 / n;
+            let p_j = table.col_totals()[j] as f64 / n;
+            mutual_information += p_ij * (p_ij / (p_i * p_j)).ln();
+        }
+    }
+    let h_true = entropy(table.row_totals(), n);
+    let h_pred = entropy(table.col_totals(), n);
+
+    if h_true <= 0.0 && h_pred <= 0.0 {
+        // Both partitions are single clusters: identical, so full agreement.
+        return Ok(1.0);
+    }
+    if h_true <= 0.0 || h_pred <= 0.0 {
+        // One partition carries no information at all.
+        return Ok(0.0);
+    }
+    Ok((mutual_information / (h_true * h_pred).sqrt()).clamp(0.0, 1.0))
+}
+
+fn entropy(totals: &[usize], n: f64) -> f64 {
+    totals
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&labels, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        let truth = [0, 0, 1, 1];
+        let pred = [1, 1, 0, 0];
+        assert!((normalized_mutual_information(&truth, &pred).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_zero() {
+        // Predicted labels are independent of truth: each predicted cluster
+        // contains one point from each class.
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 0, 1];
+        let nmi = normalized_mutual_information(&truth, &pred).unwrap();
+        assert!(nmi.abs() < 1e-12, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn hand_computed_reference_value() {
+        // truth [0,0,1,1], pred [0,0,1,2]:
+        //   MI = ln 2, H(truth) = ln 2, H(pred) = (3/2) ln 2
+        //   NMI_geometric = ln2 / sqrt(ln2 * 1.5 ln2) = 1/sqrt(1.5) = 0.816496...
+        let nmi = normalized_mutual_information(&[0, 0, 1, 1], &[0, 0, 1, 2]).unwrap();
+        assert!((nmi - (1.0f64 / 1.5f64.sqrt())).abs() < 1e-12, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn degenerate_single_cluster_cases() {
+        assert_eq!(normalized_mutual_information(&[0, 0, 0], &[1, 1, 1]).unwrap(), 1.0);
+        assert_eq!(normalized_mutual_information(&[0, 0, 0], &[0, 1, 2]).unwrap(), 0.0);
+        assert_eq!(normalized_mutual_information(&[0, 1, 2], &[0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn symmetry_and_range() {
+        let a = [0, 1, 1, 2, 2, 2, 0, 1];
+        let b = [1, 1, 0, 2, 0, 2, 0, 1];
+        let ab = normalized_mutual_information(&a, &b).unwrap();
+        let ba = normalized_mutual_information(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(normalized_mutual_information(&[0], &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Cluster purity.
+//!
+//! Purity = (1/n) Σ_clusters max_class |cluster ∩ class| ∈ (0, 1]. Simple and
+//! interpretable, but not chance-corrected (a clustering with n singleton
+//! clusters trivially has purity 1), so it complements ARI/NMI rather than
+//! replacing them.
+
+use crate::contingency::ContingencyTable;
+use crate::Result;
+
+/// Purity of a predicted clustering against ground-truth classes.
+pub fn purity(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let table = ContingencyTable::new(truth, predicted)?;
+    let mut correct = 0usize;
+    for j in 0..table.num_clusters() {
+        let best = table.counts().iter().map(|row| row[j]).max().unwrap_or(0);
+        correct += best;
+    }
+    Ok(correct as f64 / table.n() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[1, 1, 0, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Manning IR book example: purity = (5 + 4 + 3) / 17
+        let truth = [
+            0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 2, 0, 2, 2, 2, 0,
+        ];
+        let pred = [
+            0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2,
+        ];
+        let p = purity(&truth, &pred).unwrap();
+        assert!((p - 12.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_clusters_have_purity_one() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[0, 1, 2, 3]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn single_cluster_purity_is_majority_fraction() {
+        let p = purity(&[0, 0, 0, 1], &[0, 0, 0, 0]).unwrap();
+        assert_eq!(p, 0.75);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(purity(&[0, 1], &[0]).is_err());
+    }
+}

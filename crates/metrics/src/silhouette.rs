@@ -1,0 +1,145 @@
+//! Silhouette coefficient.
+//!
+//! For point `i` with mean intra-cluster distance `a(i)` and smallest mean
+//! distance to another cluster `b(i)`, the silhouette is
+//! `s(i) = (b(i) − a(i)) / max(a(i), b(i))`; the score is the mean over all
+//! points. Values near 1 indicate compact, well-separated clusters. Used by
+//! the examples to compare kernel k-means and Lloyd's algorithm on the
+//! non-linear workloads.
+
+use crate::{MetricsError, Result};
+use popcorn_dense::{DenseMatrix, Scalar};
+
+/// Mean silhouette coefficient of a clustering, computed from the raw points
+/// with squared-Euclidean distances replaced by Euclidean distances.
+///
+/// Complexity is O(n² d); intended for the example/test-sized datasets.
+pub fn silhouette_score<T: Scalar>(points: &DenseMatrix<T>, labels: &[usize]) -> Result<f64> {
+    let n = points.rows();
+    if labels.len() != n {
+        return Err(MetricsError::LengthMismatch { left: n, right: labels.len() });
+    }
+    if n == 0 {
+        return Err(MetricsError::Degenerate("no points".into()));
+    }
+    let k = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut cluster_sizes = vec![0usize; k];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    let distinct = cluster_sizes.iter().filter(|&&c| c > 0).count();
+    if distinct < 2 {
+        return Err(MetricsError::Degenerate(
+            "silhouette requires at least two non-empty clusters".into(),
+        ));
+    }
+
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    // Reused per-point accumulator of summed distances to each cluster.
+    let mut sums = vec![0.0f64; k];
+    for i in 0..n {
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dist = euclidean(points.row(i), points.row(j));
+            sums[labels[j]] += dist;
+        }
+        let own = labels[i];
+        if cluster_sizes[own] <= 1 {
+            // Singleton clusters contribute silhouette 0 by convention.
+            counted += 1;
+            continue;
+        }
+        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+        counted += 1;
+    }
+    Ok(total / counted as f64)
+}
+
+fn euclidean<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x.to_f64() - y.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tight_blobs() -> (DenseMatrix<f64>, Vec<usize>) {
+        let points = DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ])
+        .unwrap();
+        (points, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (points, labels) = two_tight_blobs();
+        let s = silhouette_score(&points, &labels).unwrap();
+        assert!(s > 0.95, "s = {s}");
+    }
+
+    #[test]
+    fn bad_clustering_scores_lower() {
+        let (points, _) = two_tight_blobs();
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let good = vec![0, 0, 0, 1, 1, 1];
+        let s_bad = silhouette_score(&points, &bad).unwrap();
+        let s_good = silhouette_score(&points, &good).unwrap();
+        assert!(s_bad < s_good);
+        assert!(s_bad < 0.0);
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let points = DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![5.0, 5.0],
+        ])
+        .unwrap();
+        let s = silhouette_score(&points, &[0, 0, 1]).unwrap();
+        // point 2 contributes 0; the blob points contribute ~1
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        let points = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(silhouette_score(&points, &[0, 0]).is_err());
+        assert!(silhouette_score(&points, &[0]).is_err());
+        let empty = DenseMatrix::<f64>::zeros(0, 2);
+        assert!(silhouette_score(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn known_two_point_two_cluster_value() {
+        // Each cluster is a singleton -> both contribute 0.
+        let points = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let s = silhouette_score(&points, &[0, 1]).unwrap();
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Trial statistics.
+//!
+//! The paper reports averages over 4 trials; the experiment harness uses
+//! [`RunStats`] to summarise repeated measurements and to compute speedups
+//! between implementations.
+
+/// Summary statistics of a set of measurements (e.g. runtimes over trials).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    samples: Vec<f64>,
+}
+
+impl RunStats {
+    /// Build statistics from raw samples. Non-finite samples are dropped.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Self { samples: samples.iter().copied().filter(|x| x.is_finite()).collect() }
+    }
+
+    /// Number of (finite) samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).pipe_zero()
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_zero()
+    }
+
+    /// Median (0 when empty).
+    pub fn median(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        }
+    }
+}
+
+/// Speedup of `baseline` over `candidate` (how many times faster the
+/// candidate is). Returns 0 when the candidate time is not positive.
+pub fn speedup(baseline_seconds: f64, candidate_seconds: f64) -> f64 {
+    if candidate_seconds <= 0.0 {
+        0.0
+    } else {
+        baseline_seconds / candidate_seconds
+    }
+}
+
+trait PipeZero {
+    fn pipe_zero(self) -> f64;
+}
+
+impl PipeZero for f64 {
+    /// Map the ±∞ sentinels produced by folding an empty iterator to 0.
+    fn pipe_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = RunStats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std_dev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 4.5);
+    }
+
+    #[test]
+    fn odd_length_median() {
+        let s = RunStats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let empty = RunStats::from_samples(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+        assert_eq!(empty.median(), 0.0);
+
+        let one = RunStats::from_samples(&[3.5]);
+        assert_eq!(one.mean(), 3.5);
+        assert_eq!(one.std_dev(), 0.0);
+        assert_eq!(one.median(), 3.5);
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let s = RunStats::from_samples(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn speedup_values() {
+        assert_eq!(speedup(10.0, 2.0), 5.0);
+        assert_eq!(speedup(1.0, 0.0), 0.0);
+        assert!((speedup(2.6, 1.0) - 2.6).abs() < 1e-12);
+    }
+}

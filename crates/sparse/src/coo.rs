@@ -1,0 +1,200 @@
+//! Coordinate-format (COO) sparse matrix.
+//!
+//! COO is the natural construction format: triplets can be pushed in any
+//! order and converted to CSR/CSC once complete. The reproduction uses it as
+//! the assembly format for test fixtures and random sparse matrices.
+
+use crate::csr::CsrMatrix;
+use crate::errors::SparseError;
+use crate::Result;
+use popcorn_dense::{DenseMatrix, Scalar};
+
+/// A sparse matrix stored as `(row, col, value)` triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Create an empty COO matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Create a COO matrix from existing triplets, validating bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        entries: Vec<(usize, usize, T)>,
+    ) -> Result<Self> {
+        for &(r, c, _) in &entries {
+            if r >= rows {
+                return Err(SparseError::IndexOutOfBounds { index: r, bound: rows });
+            }
+            if c >= cols {
+                return Err(SparseError::IndexOutOfBounds { index: c, bound: cols });
+            }
+        }
+        Ok(Self { rows, cols, entries })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored triplets (before deduplication).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stored triplets.
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Append a triplet, validating bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: T) -> Result<()> {
+        if row >= self.rows {
+            return Err(SparseError::IndexOutOfBounds { index: row, bound: self.rows });
+        }
+        if col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds { index: col, bound: self.cols });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Convert to CSR, sorting triplets and summing duplicates.
+    ///
+    /// Explicit zeros produced by duplicate cancellation are retained, which
+    /// matches cuSPARSE semantics (structure is preserved).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut row_ptrs = vec![0usize; self.rows + 1];
+        let mut col_indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            col_indices.push(c);
+            values.push(v);
+            row_ptrs[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptrs[i + 1] += row_ptrs[i];
+        }
+        CsrMatrix::from_raw_unchecked(self.rows, self.cols, row_ptrs, col_indices, values)
+    }
+
+    /// Convert to a dense matrix (duplicates are summed).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            out[(r, c)] += v;
+        }
+        out
+    }
+
+    /// Build a COO matrix from the non-zero entries of a dense matrix.
+    pub fn from_dense(dense: &DenseMatrix<T>) -> Self {
+        let mut entries = Vec::new();
+        for i in 0..dense.rows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != T::ZERO {
+                    entries.push((i, j, v));
+                }
+            }
+        }
+        Self { rows: dense.rows(), cols: dense.cols(), entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut m = CooMatrix::<f64>::new(2, 3);
+        m.push(0, 0, 1.0).unwrap();
+        m.push(1, 2, 2.0).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 3, 1.0).is_err());
+        assert_eq!(m.shape(), (2, 3));
+    }
+
+    #[test]
+    fn from_triplets_validates() {
+        assert!(CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0f64)]).is_ok());
+        assert!(CooMatrix::from_triplets(2, 2, vec![(2, 0, 1.0f64)]).is_err());
+        assert!(CooMatrix::from_triplets(2, 2, vec![(0, 5, 1.0f64)]).is_err());
+    }
+
+    #[test]
+    fn to_dense_sums_duplicates() {
+        let m = CooMatrix::from_triplets(2, 2, vec![(0, 1, 2.0f64), (0, 1, 3.0), (1, 0, -1.0)])
+            .unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 1)], 5.0);
+        assert_eq!(d[(1, 0)], -1.0);
+        assert_eq!(d[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn to_csr_sorted_and_deduplicated() {
+        let m = CooMatrix::from_triplets(
+            3,
+            3,
+            vec![(2, 0, 1.0f64), (0, 2, 3.0), (0, 1, 2.0), (0, 2, 4.0)],
+        )
+        .unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_ptrs(), &[0, 2, 2, 3]);
+        assert_eq!(csr.col_indices(), &[1, 2, 0]);
+        assert_eq!(csr.values(), &[2.0, 7.0, 1.0]);
+        assert!(csr.to_dense().approx_eq(&m.to_dense(), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn from_dense_round_trip() {
+        let d = DenseMatrix::from_rows(&[vec![0.0f64, 1.0, 0.0], vec![2.0, 0.0, 3.0]]).unwrap();
+        let coo = CooMatrix::from_dense(&d);
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.to_dense(), d);
+        assert_eq!(coo.to_csr().to_dense(), d);
+    }
+
+    #[test]
+    fn empty_matrix_to_csr() {
+        let m = CooMatrix::<f32>::new(3, 4);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.shape(), (3, 4));
+        assert_eq!(csr.row_ptrs(), &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Compressed Sparse Column (CSC) matrix.
+//!
+//! The Popcorn algorithm multiplies by `Vᵀ` (an n×k matrix with one non-zero
+//! per *row*). Rather than materialising the transpose, cuSPARSE lets SpMM
+//! consume `V` with a transpose flag; on the host side the equivalent is a
+//! CSC view of `V`, which this module provides. It is also used by the SpGEMM
+//! ablation and by tests as an independent reference representation.
+
+use crate::csr::CsrMatrix;
+use crate::errors::SparseError;
+use crate::Result;
+use popcorn_dense::{DenseMatrix, Scalar};
+
+/// A sparse matrix in Compressed Sparse Column format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    col_ptrs: Vec<usize>,
+    row_indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Build a CSC matrix from raw arrays, validating the structure.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        col_ptrs: Vec<usize>,
+        row_indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if col_ptrs.len() != cols + 1 {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("col_ptrs length {} != cols + 1 = {}", col_ptrs.len(), cols + 1),
+            });
+        }
+        if col_ptrs[0] != 0 {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("col_ptrs[0] = {} (must be 0)", col_ptrs[0]),
+            });
+        }
+        if row_indices.len() != values.len()
+            || *col_ptrs.last().expect("non-empty col_ptrs") != values.len()
+        {
+            return Err(SparseError::InvalidStructure {
+                reason: "row_indices / values / col_ptrs lengths inconsistent".into(),
+            });
+        }
+        for j in 0..cols {
+            if col_ptrs[j] > col_ptrs[j + 1] {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("col_ptrs not monotone at column {j}"),
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for &r in &row_indices[col_ptrs[j]..col_ptrs[j + 1]] {
+                if r >= rows {
+                    return Err(SparseError::IndexOutOfBounds { index: r, bound: rows });
+                }
+                if let Some(p) = prev {
+                    if r <= p {
+                        return Err(SparseError::InvalidStructure {
+                            reason: format!("row indices not strictly increasing in column {j}"),
+                        });
+                    }
+                }
+                prev = Some(r);
+            }
+        }
+        Ok(Self { rows, cols, col_ptrs, row_indices, values })
+    }
+
+    /// Build a CSC matrix from raw arrays without validation (internal use).
+    pub fn from_raw_unchecked(
+        rows: usize,
+        cols: usize,
+        col_ptrs: Vec<usize>,
+        row_indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(col_ptrs.len(), cols + 1);
+        debug_assert_eq!(row_indices.len(), values.len());
+        let _ = rows;
+        Self { rows, cols, col_ptrs, row_indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (`cols + 1` entries).
+    pub fn col_ptrs(&self) -> &[usize] {
+        &self.col_ptrs
+    }
+
+    /// Row index array (`nnz` entries).
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_indices
+    }
+
+    /// Value array (`nnz` entries).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The `(row_indices, values)` slices of column `j`.
+    pub fn col(&self, j: usize) -> (&[usize], &[T]) {
+        let start = self.col_ptrs[j];
+        let end = self.col_ptrs[j + 1];
+        (&self.row_indices[start..end], &self.values[start..end])
+    }
+
+    /// Value at `(i, j)`, or zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(pos) => vals[pos],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Convert to CSR format.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // A CSC matrix of shape (rows, cols) has the same raw layout as a CSR
+        // matrix of shape (cols, rows); transposing that CSR matrix yields the
+        // CSR layout of the original matrix.
+        let as_csr_of_transpose = CsrMatrix::from_raw_unchecked(
+            self.cols,
+            self.rows,
+            self.col_ptrs.clone(),
+            self.row_indices.clone(),
+            self.values.clone(),
+        );
+        as_csr_of_transpose.transpose()
+    }
+
+    /// Convert to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals.iter()) {
+                out[(i, j)] = v;
+            }
+        }
+        out
+    }
+
+    /// Build a CSC matrix from the non-zero entries of a dense matrix.
+    pub fn from_dense(dense: &DenseMatrix<T>) -> Self {
+        CsrMatrix::from_dense(dense).to_csc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![3.0, 4.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_raw_valid_and_get() {
+        // column-major of sample_dense
+        let m = CscMatrix::from_raw(
+            3,
+            3,
+            vec![0, 2, 3, 4],
+            vec![0, 2, 2, 0],
+            vec![1.0, 3.0, 4.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.to_dense(), sample_dense());
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_structure() {
+        assert!(CscMatrix::<f64>::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::<f64>::from_raw(2, 2, vec![1, 1, 1], vec![], vec![]).is_err());
+        assert!(
+            CscMatrix::<f64>::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err()
+        );
+        assert!(CscMatrix::<f64>::from_raw(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err());
+        assert!(
+            CscMatrix::<f64>::from_raw(2, 2, vec![0, 2, 2], vec![1, 0], vec![1.0, 2.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn round_trip_via_csr() {
+        let d = sample_dense();
+        let csc = CscMatrix::from_dense(&d);
+        assert_eq!(csc.to_dense(), d);
+        let csr = csc.to_csr();
+        assert_eq!(csr.to_dense(), d);
+        assert_eq!(csr.to_csc().to_dense(), d);
+    }
+
+    #[test]
+    fn rectangular_round_trip() {
+        let d = DenseMatrix::from_rows(&[vec![0.0f64, 5.0, 0.0, 1.0], vec![2.0, 0.0, 0.0, 0.0]])
+            .unwrap();
+        let csc = CscMatrix::from_dense(&d);
+        assert_eq!(csc.shape(), (2, 4));
+        assert_eq!(csc.to_dense(), d);
+        assert_eq!(csc.nnz(), 3);
+    }
+
+    #[test]
+    fn column_access() {
+        let csc = CscMatrix::from_dense(&sample_dense());
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+        let (rows, vals) = csc.col(2);
+        assert_eq!(rows, &[0]);
+        assert_eq!(vals, &[2.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csc = CscMatrix::<f32>::from_dense(&DenseMatrix::zeros(3, 2));
+        assert_eq!(csc.nnz(), 0);
+        assert_eq!(csc.to_dense(), DenseMatrix::zeros(3, 2));
+    }
+}

@@ -1,0 +1,414 @@
+//! Compressed Sparse Row (CSR) matrix.
+//!
+//! CSR is the format cuSPARSE expects for SpMM and SpMV and the format the
+//! paper stores the selection matrix `V` in (§4.1): a `values` array, a
+//! `col_indices` array, and a `row_ptrs` array delimiting each row's slice of
+//! the other two.
+
+use crate::csc::CscMatrix;
+use crate::errors::SparseError;
+use crate::Result;
+use popcorn_dense::{DenseMatrix, Scalar};
+
+/// A sparse matrix in Compressed Sparse Row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    row_ptrs: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Build a CSR matrix from raw arrays, validating the structure:
+    /// `row_ptrs` must have length `rows + 1`, start at 0, be monotone
+    /// non-decreasing and end at `nnz`; every column index must be `< cols`
+    /// and strictly increasing within a row.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptrs: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptrs.len() != rows + 1 {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("row_ptrs length {} != rows + 1 = {}", row_ptrs.len(), rows + 1),
+            });
+        }
+        if row_ptrs[0] != 0 {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("row_ptrs[0] = {} (must be 0)", row_ptrs[0]),
+            });
+        }
+        if col_indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure {
+                reason: format!(
+                    "col_indices length {} != values length {}",
+                    col_indices.len(),
+                    values.len()
+                ),
+            });
+        }
+        if *row_ptrs.last().expect("non-empty row_ptrs") != values.len() {
+            return Err(SparseError::InvalidStructure {
+                reason: format!(
+                    "row_ptrs last entry {} != nnz {}",
+                    row_ptrs.last().unwrap(),
+                    values.len()
+                ),
+            });
+        }
+        for i in 0..rows {
+            if row_ptrs[i] > row_ptrs[i + 1] {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("row_ptrs not monotone at row {i}"),
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for &c in &col_indices[row_ptrs[i]..row_ptrs[i + 1]] {
+                if c >= cols {
+                    return Err(SparseError::IndexOutOfBounds { index: c, bound: cols });
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SparseError::InvalidStructure {
+                            reason: format!("column indices not strictly increasing in row {i}"),
+                        });
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(Self { rows, cols, row_ptrs, col_indices, values })
+    }
+
+    /// Build a CSR matrix from raw arrays without validation.
+    ///
+    /// Intended for internal constructors that guarantee well-formed inputs
+    /// (COO conversion, the selection-matrix builder, SpGEMM). Debug builds
+    /// still assert the basic length invariants.
+    pub fn from_raw_unchecked(
+        rows: usize,
+        cols: usize,
+        row_ptrs: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(row_ptrs.len(), rows + 1);
+        debug_assert_eq!(col_indices.len(), values.len());
+        debug_assert_eq!(*row_ptrs.last().unwrap_or(&0), values.len());
+        let _ = cols;
+        Self { rows, cols, row_ptrs, col_indices, values }
+    }
+
+    /// An empty (all-zero) CSR matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptrs: vec![0; rows + 1],
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n x n` identity as CSR.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptrs: (0..=n).collect(),
+            col_indices: (0..n).collect(),
+            values: vec![T::ONE; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    pub fn row_ptrs(&self) -> &[usize] {
+        &self.row_ptrs
+    }
+
+    /// Column index array (`nnz` entries).
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_indices
+    }
+
+    /// Value array (`nnz` entries).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable value array (structure stays fixed).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// The `(col_indices, values)` slices of row `i`.
+    pub fn row(&self, i: usize) -> (&[usize], &[T]) {
+        let start = self.row_ptrs[i];
+        let end = self.row_ptrs[i + 1];
+        (&self.col_indices[start..end], &self.values[start..end])
+    }
+
+    /// Number of stored entries in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptrs[i + 1] - self.row_ptrs[i]
+    }
+
+    /// Value at `(i, j)`, or zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Fraction of entries that are stored: `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Convert to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                out[(i, j)] = v;
+            }
+        }
+        out
+    }
+
+    /// Build a CSR matrix from the non-zero entries of a dense matrix.
+    pub fn from_dense(dense: &DenseMatrix<T>) -> Self {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mut row_ptrs = Vec::with_capacity(rows + 1);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        row_ptrs.push(0);
+        for i in 0..rows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != T::ZERO {
+                    col_indices.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptrs.push(values.len());
+        }
+        Self { rows, cols, row_ptrs, col_indices, values }
+    }
+
+    /// Transpose as a new CSR matrix (counting-sort over columns, O(nnz)).
+    pub fn transpose(&self) -> Self {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_indices {
+            counts[c + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptrs_t = counts.clone();
+        let mut col_indices_t = vec![0usize; self.nnz()];
+        let mut values_t = vec![T::ZERO; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                let pos = next[j];
+                col_indices_t[pos] = i;
+                values_t[pos] = v;
+                next[j] += 1;
+            }
+        }
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptrs: row_ptrs_t,
+            col_indices: col_indices_t,
+            values: values_t,
+        }
+    }
+
+    /// Convert to CSC format (equivalent to transposing the CSR structure).
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let t = self.transpose();
+        CscMatrix::from_raw_unchecked(self.rows, self.cols, t.row_ptrs, t.col_indices, t.values)
+    }
+
+    /// Scale every stored value in place.
+    pub fn scale(&mut self, alpha: T) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+
+    /// Memory footprint in bytes assuming `index_bytes`-wide indices, as used
+    /// by the cost model (the paper assumes 32-bit indices, §4.4).
+    pub fn storage_bytes(&self, value_bytes: usize, index_bytes: usize) -> u64 {
+        (self.values.len() * value_bytes
+            + self.col_indices.len() * index_bytes
+            + self.row_ptrs.len() * index_bytes) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_raw(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn from_raw_valid() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.row_nnz(1), 0);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_rowptr_length() {
+        let e = CsrMatrix::<f64>::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn from_raw_rejects_nonzero_start() {
+        let e = CsrMatrix::<f64>::from_raw(1, 2, vec![1, 1], vec![], vec![]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn from_raw_rejects_non_monotone() {
+        let e = CsrMatrix::<f64>::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure { .. })));
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_column() {
+        let e = CsrMatrix::<f64>::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::IndexOutOfBounds { index: 5, bound: 2 })));
+    }
+
+    #[test]
+    fn from_raw_rejects_unsorted_columns() {
+        let e = CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn from_raw_rejects_mismatched_nnz() {
+        let e = CsrMatrix::<f64>::from_raw(1, 3, vec![0, 3], vec![0, 1], vec![1.0, 2.0]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 1)], 0.0);
+        assert_eq!(d[(2, 1)], 4.0);
+        let back = CsrMatrix::from_dense(&d);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CsrMatrix::<f64>::identity(3);
+        assert_eq!(i.to_dense(), DenseMatrix::identity(3));
+        let z = CsrMatrix::<f64>::zeros(2, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.to_dense(), DenseMatrix::zeros(2, 5));
+        assert_eq!(z.density(), 0.0);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 3));
+        assert!(t.to_dense().approx_eq(&m.to_dense().transpose(), 1e-12, 1e-12));
+        // transpose twice is identity
+        assert_eq!(t.transpose().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let d = DenseMatrix::from_rows(&[vec![0.0f64, 1.0, 0.0, 2.0], vec![3.0, 0.0, 0.0, 0.0]])
+            .unwrap();
+        let m = CsrMatrix::from_dense(&d);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 2));
+        assert!(t.to_dense().approx_eq(&d.transpose(), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn csc_conversion_matches() {
+        let m = sample();
+        let csc = m.to_csc();
+        assert_eq!(csc.shape(), m.shape());
+        assert!(csc.to_dense().approx_eq(&m.to_dense(), 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn scale_values() {
+        let mut m = sample();
+        m.scale(-2.0);
+        assert_eq!(m.get(0, 0), -2.0);
+        assert_eq!(m.get(2, 1), -8.0);
+    }
+
+    #[test]
+    fn storage_bytes_accounting() {
+        let m = sample();
+        // 4 values * 4B + 4 col idx * 4B + 4 row ptrs * 4B = 48
+        assert_eq!(m.storage_bytes(4, 4), 48);
+    }
+
+    #[test]
+    fn empty_shape_edge_cases() {
+        let z = CsrMatrix::<f64>::zeros(0, 0);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.transpose().shape(), (0, 0));
+        assert_eq!(z.density(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full Popcorn pipeline against the
+//! baselines, quality metrics and the CLI-facing configuration surface.
+
+use popcorn::data::synthetic::{gaussian_blobs, ring_with_blob};
+use popcorn::metrics::{adjusted_rand_index, kernel_objective, purity};
+use popcorn::prelude::*;
+
+fn paper_protocol(k: usize, seed: u64) -> KernelKmeansConfig {
+    KernelKmeansConfig::paper_defaults(k)
+        .with_max_iter(20)
+        .with_convergence_check(true, 1e-9)
+        .with_seed(seed)
+}
+
+#[test]
+fn popcorn_and_both_baselines_agree_exactly() {
+    // Same initial assignment + same mathematics => identical label sequences
+    // for Popcorn, the dense GPU baseline and the CPU reference.
+    let dataset = gaussian_blobs::<f32>(150, 6, 4, 1.0, 9);
+    for k in [2, 4, 8] {
+        let config = paper_protocol(k, 21);
+        let popcorn = KernelKmeans::new(config.clone()).fit(dataset.points()).unwrap();
+        let dense = DenseGpuBaseline::new(config.clone()).fit(dataset.points()).unwrap();
+        let cpu = CpuKernelKmeans::new(config).fit(dataset.points()).unwrap();
+        assert_eq!(popcorn.labels, dense.labels, "k = {k}");
+        assert_eq!(popcorn.labels, cpu.labels, "k = {k}");
+        // Objectives agree up to f32 rounding differences between the SpMM
+        // path and the dense-loop paths.
+        let scale = popcorn.objective.abs().max(1.0);
+        assert!((popcorn.objective - dense.objective).abs() / scale < 1e-4);
+        assert!((popcorn.objective - cpu.objective).abs() / scale < 1e-4);
+    }
+}
+
+#[test]
+fn kernel_kmeans_beats_lloyd_on_nonlinear_data() {
+    // The motivating claim of the paper's introduction: kernel k-means finds
+    // non-linearly separable clusters that classical k-means cannot.
+    let dataset = ring_with_blob::<f32>(400, 5.0, 0.4, 0.15, 7);
+    let truth = dataset.labels().unwrap();
+
+    let lloyd = LloydKmeans::new(paper_protocol(2, 3).with_max_iter(100))
+        .fit(dataset.points())
+        .unwrap();
+    let lloyd_ari = adjusted_rand_index(truth, &lloyd.labels).unwrap();
+
+    let config = paper_protocol(2, 3)
+        .with_max_iter(100)
+        .with_kernel(KernelFunction::Gaussian { gamma: 1.0, sigma: 1.5 });
+    let popcorn = KernelKmeans::new(config).fit(dataset.points()).unwrap();
+    let popcorn_ari = adjusted_rand_index(truth, &popcorn.labels).unwrap();
+
+    assert!(popcorn_ari > 0.9, "kernel k-means ARI too low: {popcorn_ari}");
+    assert!(lloyd_ari < 0.5, "Lloyd unexpectedly separated the rings: {lloyd_ari}");
+    assert!(purity(truth, &popcorn.labels).unwrap() > 0.95);
+}
+
+#[test]
+fn kernel_kmeans_recovers_linearly_separable_blobs_too() {
+    let dataset = gaussian_blobs::<f32>(300, 5, 3, 0.3, 12);
+    let truth = dataset.labels().unwrap();
+    // Kernel-space k-means++ seeding avoids the poor local optima that purely
+    // random labelling can fall into on well-separated blobs.
+    let config = paper_protocol(3, 4).with_init(Initialization::KmeansPlusPlus);
+    let result = KernelKmeans::new(config).fit(dataset.points()).unwrap();
+    let ari = adjusted_rand_index(truth, &result.labels).unwrap();
+    assert!(ari > 0.95, "ARI = {ari}");
+}
+
+#[test]
+fn reported_objective_matches_metrics_definition() {
+    // The solver's internal objective must equal the independent
+    // kernel-objective computation from popcorn-metrics.
+    let dataset = gaussian_blobs::<f64>(80, 4, 3, 1.0, 5);
+    let config = paper_protocol(3, 8).with_max_iter(60).with_kernel(KernelFunction::Linear);
+    let result = KernelKmeans::new(config).fit(dataset.points()).unwrap();
+    let kernel_matrix = popcorn::core::kernel::kernel_matrix_reference(
+        dataset.points(),
+        KernelFunction::Linear,
+    );
+    let independent = kernel_objective(&kernel_matrix, &result.labels).unwrap();
+    // The solver's objective is measured one assignment step earlier than the
+    // final labels when repair kicks in, so allow a small relative slack.
+    let rel = (result.objective - independent).abs() / independent.abs().max(1e-12);
+    assert!(rel < 1e-6, "solver {} vs metrics {}", result.objective, independent);
+}
+
+#[test]
+fn simulated_timings_are_consistent() {
+    let dataset = gaussian_blobs::<f32>(200, 8, 4, 1.0, 2);
+    let result = KernelKmeans::new(paper_protocol(4, 1)).fit(dataset.points()).unwrap();
+    let t = result.modeled_timings;
+    // Every phase was exercised and the totals add up.
+    assert!(t.data_preparation > 0.0);
+    assert!(t.kernel_matrix > 0.0);
+    assert!(t.pairwise_distances > 0.0);
+    assert!(t.assignment > 0.0);
+    let sum = t.data_preparation + t.kernel_matrix + t.pairwise_distances + t.assignment + t.other;
+    assert!((sum - t.total()).abs() < 1e-12);
+    // The trace agrees with the aggregate.
+    assert!((result.trace.total_modeled_seconds() - t.total()).abs() < 1e-9);
+}
+
+#[test]
+fn paper_dataset_standins_cluster_end_to_end() {
+    for paper_dataset in [PaperDataset::Letter, PaperDataset::Acoustic] {
+        let dataset = paper_dataset.generate::<f32>(0.01, 3);
+        let k = 5.min(dataset.n());
+        let result = KernelKmeans::new(paper_protocol(k, 6)).fit(dataset.points()).unwrap();
+        assert_eq!(result.labels.len(), dataset.n());
+        assert!(result.non_empty_clusters() >= 1);
+        assert!(result.iterations >= 1);
+    }
+}
+
+#[test]
+fn different_seeds_explore_different_local_optima() {
+    let dataset = gaussian_blobs::<f32>(120, 4, 6, 2.0, 31);
+    let a = KernelKmeans::new(paper_protocol(6, 1)).fit(dataset.points()).unwrap();
+    let b = KernelKmeans::new(paper_protocol(6, 2)).fit(dataset.points()).unwrap();
+    // Not a strict requirement of the algorithm, but with 6 overlapping blobs
+    // the label vectors should differ for different random initialisations.
+    assert_ne!(a.labels, b.labels);
+}
