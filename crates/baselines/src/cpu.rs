@@ -6,12 +6,17 @@
 //! sequential loops (no SpMM/SpMV, no multi-threading), charged to the
 //! single-core EPYC 7763 cost model. Numerically it solves exactly the same
 //! problem as Popcorn, so the two can be cross-validated label-for-label.
+//!
+//! Sparse (CSR) inputs are supported through the shared SpGEMM Gram path:
+//! the kernel matrix is formed directly from the sparse rows — the points
+//! are never densified — and the clustering loop proceeds identically.
 
-use popcorn_core::assignment::repair_empty_clusters;
-use popcorn_core::init::initial_assignments;
 use popcorn_core::kernel::KernelFunction;
-use popcorn_core::result::{ClusteringResult, IterationStats, TimingBreakdown};
-use popcorn_core::{CoreError, KernelKmeansConfig};
+use popcorn_core::kernel_matrix::spgemm_gram_cost;
+use popcorn_core::pipeline::{self, DistanceEngine};
+use popcorn_core::result::ClusteringResult;
+use popcorn_core::solver::{FitInput, Solver};
+use popcorn_core::{KernelKmeansConfig, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
 
@@ -22,10 +27,44 @@ pub struct CpuKernelKmeans {
     executor: Option<SimExecutor>,
 }
 
+/// The PRMLT-style distance engine: one sequential pass over `K` per
+/// iteration, charged at CPU efficiencies.
+struct CpuEngine {
+    k: usize,
+}
+
+impl<T: Scalar> DistanceEngine<T> for CpuEngine {
+    fn distances(
+        &mut self,
+        iteration: usize,
+        kernel_matrix: &DenseMatrix<T>,
+        labels: &[usize],
+        executor: &SimExecutor,
+    ) -> Result<DenseMatrix<T>> {
+        let n = kernel_matrix.rows();
+        let k = self.k;
+        let elem = std::mem::size_of::<T>();
+        Ok(executor.run(
+            format!("cpu distances iteration {iteration} (n={n}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::Gemm, // dense arithmetic at CPU efficiencies
+            OpCost::new(
+                2 * (n as u64) * (n as u64),
+                (n * n * elem) as u64,
+                (n * k * elem) as u64,
+            ),
+            || distances_sequential(kernel_matrix, labels, k),
+        ))
+    }
+}
+
 impl CpuKernelKmeans {
     /// Create a solver with the given configuration (same options as Popcorn).
     pub fn new(config: KernelKmeansConfig) -> Self {
-        Self { config, executor: None }
+        Self {
+            config,
+            executor: None,
+        }
     }
 
     /// Use a specific executor (defaults to the single-core EPYC model).
@@ -45,143 +84,81 @@ impl CpuKernelKmeans {
         })
     }
 
-    /// Run the full pipeline: dense kernel matrix, then sequential iterations.
-    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> popcorn_core::Result<ClusteringResult> {
-        let n = points.rows();
-        let d = points.cols();
-        self.config.validate(n)?;
-        if d == 0 {
-            return Err(CoreError::InvalidInput("points have zero features".into()));
-        }
-        let executor = self.executor_for::<T>();
-        let elem = std::mem::size_of::<T>();
-
-        // Dense, sequential K = kernel(P Pᵀ): always the full GEMM-equivalent
-        // work (PRMLT does not use SYRK).
-        let kernel_matrix = executor.run(
-            format!("cpu dense kernel matrix (n={n}, d={d})"),
-            Phase::KernelMatrix,
-            OpClass::Gemm,
-            OpCost::gemm(n, n, d, elem),
-            || compute_kernel_matrix_sequential(points, self.config.kernel),
-        );
-        self.iterate(&kernel_matrix, &executor)
-    }
-
-    /// Run only the clustering iterations on a precomputed kernel matrix.
-    pub fn fit_from_kernel<T: Scalar>(
-        &self,
-        kernel_matrix: &DenseMatrix<T>,
-    ) -> popcorn_core::Result<ClusteringResult> {
-        let executor = self.executor_for::<T>();
-        self.iterate(kernel_matrix, &executor)
-    }
-
-    fn iterate<T: Scalar>(
+    fn iterate_with<T: Scalar>(
         &self,
         kernel_matrix: &DenseMatrix<T>,
         executor: &SimExecutor,
-    ) -> popcorn_core::Result<ClusteringResult> {
-        let n = kernel_matrix.rows();
-        self.config.validate(n)?;
-        if !kernel_matrix.is_square() {
-            return Err(CoreError::InvalidInput("kernel matrix must be square".into()));
-        }
-        let k = self.config.k;
+    ) -> Result<ClusteringResult> {
+        let mut engine = CpuEngine { k: self.config.k };
+        pipeline::iterate(kernel_matrix, &self.config, executor, &mut engine)
+    }
+}
+
+impl<T: Scalar> Solver<T> for CpuKernelKmeans {
+    fn name(&self) -> &'static str {
+        "cpu-reference"
+    }
+
+    fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline: dense sequential kernel matrix (or the SpGEMM
+    /// Gram path for CSR inputs), then sequential iterations.
+    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
+        self.config.validate(input.n())?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
         let elem = std::mem::size_of::<T>();
 
-        let mut labels =
-            initial_assignments(kernel_matrix, k, self.config.init, self.config.seed)?;
-        let mut history = Vec::with_capacity(self.config.max_iter);
-        let mut converged = false;
-        let mut iterations = 0usize;
-        let mut prev_objective = f64::INFINITY;
-
-        for iteration in 0..self.config.max_iter {
-            // One sequential pass over K computing the distance of every
-            // point to every cluster centroid via the kernel trick.
-            let distances = executor.run(
-                format!("cpu distances iteration {iteration} (n={n}, k={k})"),
-                Phase::PairwiseDistances,
-                OpClass::Gemm, // dense arithmetic at CPU efficiencies
-                OpCost::new(
-                    2 * (n as u64) * (n as u64),
-                    (n * n * elem) as u64,
-                    (n * k * elem) as u64,
-                ),
-                || distances_sequential(kernel_matrix, &labels, k),
-            );
-
-            let (new_labels, changed, objective, empty_clusters) = executor.run(
-                format!("cpu argmin iteration {iteration}"),
-                Phase::Assignment,
-                OpClass::Reduction,
-                OpCost::elementwise(n * k, 1, 0, 1, elem),
-                || {
-                    let mut changed = 0usize;
-                    let mut objective = 0.0f64;
-                    let mut new_labels = vec![0usize; n];
-                    for i in 0..n {
-                        let mut best = 0usize;
-                        let mut best_val = f64::INFINITY;
-                        for j in 0..k {
-                            let v = distances[(i, j)].to_f64();
-                            if v < best_val {
-                                best_val = v;
-                                best = j;
-                            }
-                        }
-                        new_labels[i] = best;
-                        objective += best_val;
-                        if best != labels[i] {
-                            changed += 1;
-                        }
-                    }
-                    let mut sizes = vec![0usize; k];
-                    for &l in &new_labels {
-                        sizes[l] += 1;
-                    }
-                    let empty = sizes.iter().filter(|&&c| c == 0).count();
-                    (new_labels, changed, objective, empty)
-                },
-            );
-
-            let mut new_labels = new_labels;
-            if self.config.repair_empty_clusters && empty_clusters > 0 {
-                repair_empty_clusters(&mut new_labels, &distances, k);
+        let kernel_matrix = match input {
+            // Dense, sequential K = kernel(P Pᵀ): always the full
+            // GEMM-equivalent work (PRMLT does not use SYRK).
+            FitInput::Dense(points) => {
+                let (n, d) = (points.rows(), points.cols());
+                executor.run(
+                    format!("cpu dense kernel matrix (n={n}, d={d})"),
+                    Phase::KernelMatrix,
+                    OpClass::Gemm,
+                    OpCost::gemm(n, n, d, elem),
+                    || compute_kernel_matrix_sequential(points, self.config.kernel),
+                )
             }
-            history.push(IterationStats { iteration, objective, changed, empty_clusters });
-            labels = new_labels;
-            iterations = iteration + 1;
-
-            if self.config.check_convergence {
-                let rel_change = if prev_objective.is_finite() {
-                    (prev_objective - objective).abs() / objective.abs().max(f64::MIN_POSITIVE)
-                } else {
-                    f64::INFINITY
-                };
-                if changed == 0 || rel_change <= self.config.tolerance {
-                    converged = true;
-                    break;
-                }
+            // CSR points stay sparse: a *sequential* Gustavson-style Gram
+            // product (this solver models a single core — the shared
+            // CsrMatrix::gram is multi-threaded), charged with the same
+            // SpGEMM cost definition the shared sparse path uses.
+            FitInput::Sparse(points) => {
+                let (n, d, nnz) = (points.rows(), points.cols(), points.nnz());
+                executor.run(
+                    format!("cpu spgemm kernel matrix (n={n}, d={d}, nnz={nnz})"),
+                    Phase::KernelMatrix,
+                    OpClass::SpGEMM,
+                    spgemm_gram_cost(points),
+                    || compute_kernel_matrix_sequential_csr(points, self.config.kernel),
+                )
             }
-            prev_objective = objective;
-        }
-
-        let trace = executor.trace();
-        let objective = history.last().map(|h: &IterationStats| h.objective).unwrap_or(f64::NAN);
-        Ok(ClusteringResult {
-            labels,
-            k,
-            iterations,
-            converged,
-            objective,
-            history,
-            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
-            host_timings: TimingBreakdown::from_trace_host(&trace),
-            trace,
-        })
+        };
+        self.iterate_with(&kernel_matrix, &executor)
     }
+
+    /// Run only the clustering iterations on a precomputed kernel matrix.
+    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
+        let executor = self.executor_for::<T>();
+        self.iterate_with(kernel_matrix, &executor)
+    }
+}
+
+/// Sequential sparse kernel-matrix computation: `CsrMatrix::gram_sequential`
+/// (one thread, one scatter buffer) plus the kernel application, honouring
+/// this solver's single-core contract.
+fn compute_kernel_matrix_sequential_csr<T: Scalar>(
+    points: &popcorn_sparse::CsrMatrix<T>,
+    kernel: KernelFunction,
+) -> DenseMatrix<T> {
+    let mut gram = points.gram_sequential();
+    kernel.apply_to_gram(&mut gram);
+    gram
 }
 
 /// Sequential dense kernel-matrix computation (no blocking, no threads).
@@ -247,6 +224,7 @@ fn distances_sequential<T: Scalar>(
 mod tests {
     use super::*;
     use popcorn_core::KernelKmeans;
+    use popcorn_sparse::CsrMatrix;
 
     fn blob_points() -> DenseMatrix<f64> {
         DenseMatrix::from_fn(20, 2, |i, j| {
@@ -287,6 +265,20 @@ mod tests {
     }
 
     #[test]
+    fn sparse_fit_matches_dense_fit() {
+        let points = blob_points();
+        let csr = CsrMatrix::from_dense(&points);
+        for k in [2, 3] {
+            let dense = CpuKernelKmeans::new(config(k)).fit(&points).unwrap();
+            let sparse = CpuKernelKmeans::new(config(k)).fit_sparse(&csr).unwrap();
+            assert_eq!(dense.labels, sparse.labels, "k = {k}");
+            assert!((dense.objective - sparse.objective).abs() < 1e-9);
+            // The sparse gram is charged as SpGEMM on the CPU model.
+            assert!(sparse.trace.class_summary(OpClass::SpGEMM).0 > 0.0);
+        }
+    }
+
+    #[test]
     fn objective_monotone() {
         let result = CpuKernelKmeans::new(config(3).with_convergence_check(false, 0.0))
             .fit(&blob_points())
@@ -314,11 +306,15 @@ mod tests {
 
     #[test]
     fn validates_config_and_inputs() {
-        assert!(CpuKernelKmeans::new(config(50)).fit(&blob_points()).is_err());
+        assert!(CpuKernelKmeans::new(config(50))
+            .fit(&blob_points())
+            .is_err());
         let no_features = DenseMatrix::<f64>::zeros(5, 0);
         assert!(CpuKernelKmeans::new(config(2)).fit(&no_features).is_err());
         let rect = DenseMatrix::<f64>::zeros(4, 3);
-        assert!(CpuKernelKmeans::new(config(2)).fit_from_kernel(&rect).is_err());
+        assert!(CpuKernelKmeans::new(config(2))
+            .fit_from_kernel(&rect)
+            .is_err());
     }
 
     #[test]

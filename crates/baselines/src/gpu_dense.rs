@@ -19,12 +19,17 @@
 //! Popcorn; what differs is the cost accounting: kernel 1 and 2 are charged
 //! as [`OpClass::HandwrittenReduction`] with a utilization that *decreases*
 //! with `k`, reproducing the measured baseline behaviour.
+//!
+//! Sparse (CSR) inputs are accepted for driver uniformity, but — faithfully
+//! to the original — the baseline cannot consume sparse operands: the points
+//! are densified up front and the conversion is charged to the simulator,
+//! which is exactly the cost asymmetry the paper's sparse datasets expose.
 
-use popcorn_core::assignment::repair_empty_clusters;
-use popcorn_core::init::initial_assignments;
-use popcorn_core::result::{ClusteringResult, IterationStats, TimingBreakdown};
-use popcorn_core::{CoreError, KernelKmeansConfig};
-use popcorn_dense::{matmul_nt, row_argmin, DenseMatrix, Scalar};
+use popcorn_core::pipeline::{self, DistanceEngine};
+use popcorn_core::result::ClusteringResult;
+use popcorn_core::solver::{FitInput, Solver};
+use popcorn_core::{KernelKmeansConfig, Result};
+use popcorn_dense::{matmul_nt, DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
 
 /// Utilization hint for the baseline's shared-memory row-reduction kernel.
@@ -45,10 +50,115 @@ pub struct DenseGpuBaseline {
     executor: Option<SimExecutor>,
 }
 
+/// The baseline's three-hand-written-kernels distance engine.
+struct BaselineEngine<T: Scalar> {
+    k: usize,
+    diag: Option<Vec<T>>,
+}
+
+impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
+    fn distances(
+        &mut self,
+        _iteration: usize,
+        kernel_matrix: &DenseMatrix<T>,
+        labels: &[usize],
+        executor: &SimExecutor,
+    ) -> Result<DenseMatrix<T>> {
+        let n = kernel_matrix.rows();
+        let k = self.k;
+        let elem = std::mem::size_of::<T>();
+
+        if self.diag.is_none() {
+            self.diag = Some((0..n).map(|i| kernel_matrix[(i, i)]).collect());
+        }
+        let diag = self.diag.as_ref().expect("just populated");
+
+        let mut sizes = vec![0usize; k];
+        for &l in labels {
+            sizes[l] += 1;
+        }
+
+        // Kernel 1: per-row reduction of K into an n x k buffer of
+        // cluster sums (the baseline's dominant kernel).
+        let row_sums = executor.run(
+            format!("baseline kernel 1: row reduction (n={n}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::HandwrittenReduction,
+            OpCost::new(
+                2 * (n as u64) * (n as u64),
+                (n * n * elem) as u64,
+                (n * k * elem) as u64,
+            )
+            .with_utilization(reduction_utilization(k)),
+            || {
+                let mut sums = DenseMatrix::<T>::zeros(n, k);
+                for i in 0..n {
+                    let row = kernel_matrix.row(i);
+                    let out = sums.row_mut(i);
+                    for (q, &v) in row.iter().enumerate() {
+                        out[labels[q]] += v;
+                    }
+                }
+                sums
+            },
+        );
+
+        // Kernel 2: reduce the buffer into per-cluster norms
+        // Σ_{p,q∈L_c} K_pq / |L_c|² (the role Popcorn's SpMV plays).
+        let centroid_norms = executor.run(
+            format!("baseline kernel 2: centroid norms (n={n}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::HandwrittenReduction,
+            OpCost::new(2 * n as u64, (n * elem) as u64, (k * elem) as u64)
+                .with_utilization(reduction_utilization(k)),
+            || {
+                let mut norms = vec![0.0f64; k];
+                for i in 0..n {
+                    norms[labels[i]] += row_sums[(i, labels[i])].to_f64();
+                }
+                norms
+                    .iter()
+                    .zip(sizes.iter())
+                    .map(|(&s, &card)| {
+                        if card == 0 {
+                            T::ZERO
+                        } else {
+                            T::from_f64(s / (card as f64 * card as f64))
+                        }
+                    })
+                    .collect::<Vec<T>>()
+            },
+        );
+
+        // Kernel 3: n*k threads assemble the distances.
+        Ok(executor.run(
+            format!("baseline kernel 3: distance assembly (n={n}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::Elementwise,
+            OpCost::elementwise(n * k, 2, 1, 3, elem),
+            || {
+                DenseMatrix::<T>::from_fn(n, k, |i, c| {
+                    if sizes[c] == 0 {
+                        return diag[i];
+                    }
+                    let card = sizes[c] as f64;
+                    T::from_f64(
+                        diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
+                            + centroid_norms[c].to_f64(),
+                    )
+                })
+            },
+        ))
+    }
+}
+
 impl DenseGpuBaseline {
     /// Create a solver with the given configuration.
     pub fn new(config: KernelKmeansConfig) -> Self {
-        Self { config, executor: None }
+        Self {
+            config,
+            executor: None,
+        }
     }
 
     /// Use a specific executor (defaults to the A100 model).
@@ -68,16 +178,55 @@ impl DenseGpuBaseline {
             .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
     }
 
+    fn iterate_with<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> Result<ClusteringResult> {
+        let mut engine = BaselineEngine {
+            k: self.config.k,
+            diag: None,
+        };
+        pipeline::iterate(kernel_matrix, &self.config, executor, &mut engine)
+    }
+}
+
+impl<T: Scalar> Solver<T> for DenseGpuBaseline {
+    fn name(&self) -> &'static str {
+        "dense-gpu-baseline"
+    }
+
+    fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
     /// Run the full pipeline: upload, GEMM kernel matrix, then iterations.
-    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> popcorn_core::Result<ClusteringResult> {
-        let n = points.rows();
-        let d = points.cols();
+    /// CSR inputs are densified first (and the densification is charged) —
+    /// the baseline is dense-only by design.
+    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
+        let n = input.n();
+        let d = input.d();
         self.config.validate(n)?;
-        if d == 0 {
-            return Err(CoreError::InvalidInput("points have zero features".into()));
-        }
+        input.validate()?;
         let executor = self.executor_for::<T>();
         let elem = std::mem::size_of::<T>();
+
+        // The baseline cannot stream CSR operands into cuBLAS: sparse inputs
+        // are expanded to the dense layout before upload.
+        let densified;
+        let points: &DenseMatrix<T> = match input {
+            FitInput::Dense(points) => points,
+            FitInput::Sparse(_) => {
+                densified = executor.run(
+                    format!("densify P ({n} x {d}, nnz={})", input.nnz()),
+                    Phase::DataPreparation,
+                    OpClass::Other,
+                    OpCost::elementwise(n * d, 1, 1, 0, elem),
+                    || input.to_dense(),
+                );
+                &densified
+            }
+        };
 
         executor.charge(
             format!("upload P ({n} x {d})"),
@@ -92,181 +241,20 @@ impl DenseGpuBaseline {
             Phase::KernelMatrix,
             OpClass::Gemm,
             OpCost::gemm(n, n, d, elem),
-            || -> popcorn_core::Result<DenseMatrix<T>> {
+            || -> Result<DenseMatrix<T>> {
                 let mut gram = matmul_nt(points, points)?;
                 self.config.kernel.apply_to_gram(&mut gram);
                 Ok(gram)
             },
         )?;
-        self.fit_from_kernel_with_executor(&kernel_matrix, &executor)
+        self.iterate_with(&kernel_matrix, &executor)
     }
 
     /// Run only the clustering iterations on a precomputed kernel matrix
     /// (used by the distance-phase comparison, Figure 4).
-    pub fn fit_from_kernel<T: Scalar>(
-        &self,
-        kernel_matrix: &DenseMatrix<T>,
-    ) -> popcorn_core::Result<ClusteringResult> {
+    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.fit_from_kernel_with_executor(kernel_matrix, &executor)
-    }
-
-    fn fit_from_kernel_with_executor<T: Scalar>(
-        &self,
-        kernel_matrix: &DenseMatrix<T>,
-        executor: &SimExecutor,
-    ) -> popcorn_core::Result<ClusteringResult> {
-        let n = kernel_matrix.rows();
-        self.config.validate(n)?;
-        if !kernel_matrix.is_square() {
-            return Err(CoreError::InvalidInput("kernel matrix must be square".into()));
-        }
-        let k = self.config.k;
-        let elem = std::mem::size_of::<T>();
-
-        let diag: Vec<T> = (0..n).map(|i| kernel_matrix[(i, i)]).collect();
-        let mut labels =
-            initial_assignments(kernel_matrix, k, self.config.init, self.config.seed)?;
-
-        let mut history = Vec::with_capacity(self.config.max_iter);
-        let mut converged = false;
-        let mut iterations = 0usize;
-        let mut prev_objective = f64::INFINITY;
-
-        for iteration in 0..self.config.max_iter {
-            let mut sizes = vec![0usize; k];
-            for &l in &labels {
-                sizes[l] += 1;
-            }
-
-            // Kernel 1: per-row reduction of K into an n x k buffer of
-            // cluster sums (the baseline's dominant kernel).
-            let row_sums = executor.run(
-                format!("baseline kernel 1: row reduction (n={n}, k={k})"),
-                Phase::PairwiseDistances,
-                OpClass::HandwrittenReduction,
-                OpCost::new(
-                    2 * (n as u64) * (n as u64),
-                    (n * n * elem) as u64,
-                    (n * k * elem) as u64,
-                )
-                .with_utilization(reduction_utilization(k)),
-                || {
-                    let mut sums = DenseMatrix::<T>::zeros(n, k);
-                    for i in 0..n {
-                        let row = kernel_matrix.row(i);
-                        let out = sums.row_mut(i);
-                        for (q, &v) in row.iter().enumerate() {
-                            out[labels[q]] += v;
-                        }
-                    }
-                    sums
-                },
-            );
-
-            // Kernel 2: reduce the buffer into per-cluster norms
-            // Σ_{p,q∈L_c} K_pq / |L_c|² (the role Popcorn's SpMV plays).
-            let centroid_norms = executor.run(
-                format!("baseline kernel 2: centroid norms (n={n}, k={k})"),
-                Phase::PairwiseDistances,
-                OpClass::HandwrittenReduction,
-                OpCost::new(2 * n as u64, (n * elem) as u64, (k * elem) as u64)
-                    .with_utilization(reduction_utilization(k)),
-                || {
-                    let mut norms = vec![0.0f64; k];
-                    for i in 0..n {
-                        norms[labels[i]] += row_sums[(i, labels[i])].to_f64();
-                    }
-                    norms
-                        .iter()
-                        .zip(sizes.iter())
-                        .map(|(&s, &card)| {
-                            if card == 0 {
-                                T::ZERO
-                            } else {
-                                T::from_f64(s / (card as f64 * card as f64))
-                            }
-                        })
-                        .collect::<Vec<T>>()
-                },
-            );
-
-            // Kernel 3: n*k threads assemble the distances.
-            let distances = executor.run(
-                format!("baseline kernel 3: distance assembly (n={n}, k={k})"),
-                Phase::PairwiseDistances,
-                OpClass::Elementwise,
-                OpCost::elementwise(n * k, 2, 1, 3, elem),
-                || {
-                    DenseMatrix::<T>::from_fn(n, k, |i, c| {
-                        if sizes[c] == 0 {
-                            return diag[i];
-                        }
-                        let card = sizes[c] as f64;
-                        T::from_f64(
-                            diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
-                                + centroid_norms[c].to_f64(),
-                        )
-                    })
-                },
-            );
-
-            // Argmin + cluster update (same RAPIDS-style reduction as Popcorn).
-            let new_labels = executor.run(
-                format!("baseline argmin (n={n}, k={k})"),
-                Phase::Assignment,
-                OpClass::Reduction,
-                OpCost::elementwise(n * k, 1, 0, 1, elem),
-                || row_argmin(&distances),
-            );
-            let changed =
-                new_labels.iter().zip(labels.iter()).filter(|(a, b)| a != b).count();
-            let objective: f64 = new_labels
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| distances[(i, l)].to_f64())
-                .sum();
-            let mut new_sizes = vec![0usize; k];
-            for &l in &new_labels {
-                new_sizes[l] += 1;
-            }
-            let empty_clusters = new_sizes.iter().filter(|&&c| c == 0).count();
-
-            let mut new_labels = new_labels;
-            if self.config.repair_empty_clusters && empty_clusters > 0 {
-                repair_empty_clusters(&mut new_labels, &distances, k);
-            }
-            history.push(IterationStats { iteration, objective, changed, empty_clusters });
-            labels = new_labels;
-            iterations = iteration + 1;
-
-            if self.config.check_convergence {
-                let rel_change = if prev_objective.is_finite() {
-                    (prev_objective - objective).abs() / objective.abs().max(f64::MIN_POSITIVE)
-                } else {
-                    f64::INFINITY
-                };
-                if changed == 0 || rel_change <= self.config.tolerance {
-                    converged = true;
-                    break;
-                }
-            }
-            prev_objective = objective;
-        }
-
-        let trace = executor.trace();
-        let objective = history.last().map(|h: &IterationStats| h.objective).unwrap_or(f64::NAN);
-        Ok(ClusteringResult {
-            labels,
-            k,
-            iterations,
-            converged,
-            objective,
-            history,
-            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
-            host_timings: TimingBreakdown::from_trace_host(&trace),
-            trace,
-        })
+        self.iterate_with(kernel_matrix, &executor)
     }
 }
 
@@ -275,6 +263,7 @@ mod tests {
     use super::*;
     use popcorn_core::kernel::KernelFunction;
     use popcorn_core::KernelKmeans;
+    use popcorn_sparse::CsrMatrix;
 
     fn blob_points() -> DenseMatrix<f64> {
         DenseMatrix::from_fn(24, 3, |i, j| {
@@ -298,7 +287,12 @@ mod tests {
                 let cfg = config(k).with_kernel(kernel);
                 let baseline = DenseGpuBaseline::new(cfg.clone()).fit(&points).unwrap();
                 let popcorn = KernelKmeans::new(cfg).fit(&points).unwrap();
-                assert_eq!(baseline.labels, popcorn.labels, "kernel {} k {k}", kernel.name());
+                assert_eq!(
+                    baseline.labels,
+                    popcorn.labels,
+                    "kernel {} k {k}",
+                    kernel.name()
+                );
                 assert!((baseline.objective - popcorn.objective).abs() < 1e-6);
             }
         }
@@ -306,16 +300,35 @@ mod tests {
 
     #[test]
     fn recovers_two_blobs() {
-        let result = DenseGpuBaseline::new(config(2)).fit(&blob_points()).unwrap();
+        let result = DenseGpuBaseline::new(config(2))
+            .fit(&blob_points())
+            .unwrap();
         assert!(result.converged);
         assert_eq!(result.non_empty_clusters(), 2);
     }
 
     #[test]
+    fn sparse_input_is_densified_and_charged() {
+        let points = blob_points();
+        let csr = CsrMatrix::from_dense(&points);
+        let dense = DenseGpuBaseline::new(config(3)).fit(&points).unwrap();
+        let via_sparse = DenseGpuBaseline::new(config(3)).fit_sparse(&csr).unwrap();
+        // Identical clustering, but the sparse route pays a densify op.
+        assert_eq!(dense.labels, via_sparse.labels);
+        assert!(via_sparse
+            .trace
+            .records()
+            .iter()
+            .any(|r| r.name.starts_with("densify P")));
+        assert_eq!(via_sparse.trace.len(), dense.trace.len() + 1);
+    }
+
+    #[test]
     fn uses_handwritten_kernel_class_not_spmm() {
-        let result = DenseGpuBaseline::new(config(3)).fit(&blob_points()).unwrap();
-        let (hand_time, hand_flops) =
-            result.trace.class_summary(OpClass::HandwrittenReduction);
+        let result = DenseGpuBaseline::new(config(3))
+            .fit(&blob_points())
+            .unwrap();
+        let (hand_time, hand_flops) = result.trace.class_summary(OpClass::HandwrittenReduction);
         assert!(hand_time > 0.0);
         assert!(hand_flops > 0);
         let (spmm_time, _) = result.trace.class_summary(OpClass::SpMM);
@@ -337,8 +350,7 @@ mod tests {
         let mut previous = 0.0f64;
         for k in [10usize, 50, 100] {
             let n = 20_000usize;
-            let popcorn_cost =
-                OpCost::spmm_kvt(n, k, 4, 4).with_utilization(spmm_utilization(k));
+            let popcorn_cost = OpCost::spmm_kvt(n, k, 4, 4).with_utilization(spmm_utilization(k));
             let baseline_cost = OpCost::new(
                 2 * (n as u64) * (n as u64),
                 (n * n * 4) as u64,
@@ -346,14 +358,16 @@ mod tests {
             )
             .with_utilization(reduction_utilization(k));
             let t_popcorn = model.time_seconds(OpClass::SpMM, &popcorn_cost);
-            let t_baseline =
-                model.time_seconds(OpClass::HandwrittenReduction, &baseline_cost);
+            let t_baseline = model.time_seconds(OpClass::HandwrittenReduction, &baseline_cost);
             let speedup = t_baseline / t_popcorn;
             assert!(
                 speedup > 1.2 && speedup < 3.0,
                 "k = {k}: modeled speedup {speedup:.2} out of the expected band"
             );
-            assert!(speedup > previous, "speedup should grow with k in the model");
+            assert!(
+                speedup > previous,
+                "speedup should grow with k in the model"
+            );
             previous = speedup;
         }
     }
@@ -380,9 +394,13 @@ mod tests {
 
     #[test]
     fn validates_inputs() {
-        assert!(DenseGpuBaseline::new(config(100)).fit(&blob_points()).is_err());
+        assert!(DenseGpuBaseline::new(config(100))
+            .fit(&blob_points())
+            .is_err());
         let rect = DenseMatrix::<f64>::zeros(3, 2);
-        assert!(DenseGpuBaseline::new(config(2)).fit_from_kernel(&rect).is_err());
+        assert!(DenseGpuBaseline::new(config(2))
+            .fit_from_kernel(&rect)
+            .is_err());
         let no_features = DenseMatrix::<f64>::zeros(5, 0);
         assert!(DenseGpuBaseline::new(config(2)).fit(&no_features).is_err());
     }

@@ -16,9 +16,10 @@
 //!   separable data that motivates kernel k-means in the first place.
 //!
 //! All solvers accept the same [`popcorn_core::KernelKmeansConfig`] (Lloyd
-//! ignores the kernel) and return the same
-//! [`popcorn_core::ClusteringResult`], so the experiment harness can swap
-//! them freely.
+//! ignores the kernel), implement the [`popcorn_core::Solver`] trait — so the
+//! CLI driver and experiment harness hold them as `Box<dyn Solver<T>>` and
+//! feed them dense or CSR points through [`popcorn_core::FitInput`] — and
+//! return the same [`popcorn_core::ClusteringResult`].
 
 pub mod cpu;
 pub mod gpu_dense;
@@ -27,3 +28,51 @@ pub mod lloyd;
 pub use cpu::CpuKernelKmeans;
 pub use gpu_dense::DenseGpuBaseline;
 pub use lloyd::LloydKmeans;
+
+use popcorn_core::{KernelKmeans, KernelKmeansConfig, Solver};
+use popcorn_dense::Scalar;
+
+/// Every implementation in the workspace, as data — the single registry the
+/// CLI driver and the experiment harness construct solvers from, so adding
+/// an implementation means adding exactly one arm here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Popcorn (sparse formulation).
+    Popcorn,
+    /// The dense GPU baseline.
+    DenseBaseline,
+    /// The single-threaded CPU reference.
+    Cpu,
+    /// Classical (linear) k-means via Lloyd's algorithm.
+    Lloyd,
+}
+
+impl SolverKind {
+    /// All implementations, in `-l 0..3` order.
+    pub const ALL: [SolverKind; 4] = [
+        SolverKind::DenseBaseline,
+        SolverKind::Cpu,
+        SolverKind::Popcorn,
+        SolverKind::Lloyd,
+    ];
+
+    /// Construct the implementation behind the unified [`Solver`] trait.
+    pub fn build<T: Scalar>(self, config: KernelKmeansConfig) -> Box<dyn Solver<T>> {
+        match self {
+            SolverKind::Popcorn => Box::new(KernelKmeans::new(config)),
+            SolverKind::DenseBaseline => Box::new(DenseGpuBaseline::new(config)),
+            SolverKind::Cpu => Box::new(CpuKernelKmeans::new(config)),
+            SolverKind::Lloyd => Box::new(LloydKmeans::new(config)),
+        }
+    }
+
+    /// Display name (matches `Solver::name` of the built implementation).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Popcorn => "popcorn",
+            SolverKind::DenseBaseline => "dense-gpu-baseline",
+            SolverKind::Cpu => "cpu-reference",
+            SolverKind::Lloyd => "lloyd",
+        }
+    }
+}

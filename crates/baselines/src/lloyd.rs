@@ -6,11 +6,20 @@
 //! Lloyd fails while kernel k-means succeeds; on plain Gaussian blobs the two
 //! agree. It also provides the `-l`-style alternative solver the artifact CLI
 //! exposes.
+//!
+//! Both dense and CSR points are supported natively: Lloyd's assignment step
+//! only needs point↔centroid distances, which for a sparse point `x` are
+//! evaluated as `‖x − c‖² = ‖c‖² + Σ_{j∈nz(x)} ((x_j − c_j)² − c_j²)` in
+//! `O(nnz(x))` per centroid — the points are never densified.
 
-use popcorn_core::result::{ClusteringResult, IterationStats, TimingBreakdown};
-use popcorn_core::{CoreError, KernelKmeansConfig};
+use popcorn_core::kernel_matrix::INDEX_BYTES;
+use popcorn_core::pipeline::finalize;
+use popcorn_core::result::{ClusteringResult, IterationStats};
+use popcorn_core::solver::{FitInput, Solver};
+use popcorn_core::{CoreError, KernelKmeansConfig, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use popcorn_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -22,11 +31,129 @@ pub struct LloydKmeans {
     executor: Option<SimExecutor>,
 }
 
+/// Layout-independent view of the points, private to Lloyd's loop.
+///
+/// Both `sq_dist` implementations evaluate the *same* expansion
+/// `‖x − c‖² = ‖c‖² + Σ_{x_j ≠ 0} ((x_j − c_j)² − c_j²)` — zero coordinates
+/// contribute exactly `0.0`, so skipping them changes nothing — which makes
+/// the dense and CSR layouts produce bit-identical distances and therefore
+/// identical argmin labels. The correction terms are summed apart from the
+/// large `‖c‖²` offset so their precision survives the final cancellation.
+trait LloydPoints {
+    fn n(&self) -> usize;
+    fn d(&self) -> usize;
+    /// Point `i` as a dense `f64` vector (used for centroid seeding).
+    fn point(&self, i: usize) -> Vec<f64>;
+    /// `‖pᵢ − c‖²`; `c_sq_norm` is the precomputed `‖c‖²`.
+    fn sq_dist(&self, i: usize, centroid: &[f64], c_sq_norm: f64) -> f64;
+    /// `acc += pᵢ` (used for the centroid update).
+    fn accumulate(&self, i: usize, acc: &mut [f64]);
+    /// Modeled cost of one assignment sweep over all points and centroids.
+    fn assignment_cost(&self, k: usize, elem: usize) -> OpCost;
+}
+
+impl<T: Scalar> LloydPoints for &DenseMatrix<T> {
+    fn n(&self) -> usize {
+        self.rows()
+    }
+
+    fn d(&self) -> usize {
+        self.cols()
+    }
+
+    fn point(&self, i: usize) -> Vec<f64> {
+        self.row(i).iter().map(|v| v.to_f64()).collect()
+    }
+
+    fn sq_dist(&self, i: usize, centroid: &[f64], c_sq_norm: f64) -> f64 {
+        // The correction sum is accumulated separately and `‖c‖²` added once
+        // at the end, so small per-coordinate terms are not absorbed by a
+        // large running accumulator (see the trait docs).
+        let mut correction = 0.0f64;
+        for (x, &cj) in self.row(i).iter().zip(centroid.iter()) {
+            let x = x.to_f64();
+            if x != 0.0 {
+                let diff = x - cj;
+                correction += diff * diff - cj * cj;
+            }
+        }
+        (c_sq_norm + correction).max(0.0)
+    }
+
+    fn accumulate(&self, i: usize, acc: &mut [f64]) {
+        for (j, v) in self.row(i).iter().enumerate() {
+            acc[j] += v.to_f64();
+        }
+    }
+
+    fn assignment_cost(&self, k: usize, elem: usize) -> OpCost {
+        let (n, d) = (self.rows(), self.cols());
+        OpCost::new(
+            3 * (n as u64) * (k as u64) * (d as u64),
+            ((n * d + k * d) * elem) as u64,
+            (n * elem) as u64,
+        )
+    }
+}
+
+impl<T: Scalar> LloydPoints for &CsrMatrix<T> {
+    fn n(&self) -> usize {
+        self.rows()
+    }
+
+    fn d(&self) -> usize {
+        self.cols()
+    }
+
+    fn point(&self, i: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.cols()];
+        let (cols, vals) = self.row(i);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            out[j] = v.to_f64();
+        }
+        out
+    }
+
+    fn sq_dist(&self, i: usize, centroid: &[f64], c_sq_norm: f64) -> f64 {
+        let (cols, vals) = self.row(i);
+        let mut correction = 0.0f64;
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            let x = v.to_f64();
+            if x != 0.0 {
+                let cj = centroid[j];
+                let diff = x - cj;
+                correction += diff * diff - cj * cj;
+            }
+        }
+        (c_sq_norm + correction).max(0.0)
+    }
+
+    fn accumulate(&self, i: usize, acc: &mut [f64]) {
+        let (cols, vals) = self.row(i);
+        for (&j, &v) in cols.iter().zip(vals.iter()) {
+            acc[j] += v.to_f64();
+        }
+    }
+
+    fn assignment_cost(&self, k: usize, elem: usize) -> OpCost {
+        let (n, d, nnz) = (self.rows(), self.cols(), self.nnz());
+        // Per centroid: one pass over the stored entries plus the ‖c‖² term.
+        OpCost::new(
+            (3 * nnz as u64 + n as u64) * k as u64,
+            (nnz * (elem + INDEX_BYTES) + k * d * elem) as u64,
+            (n * elem) as u64,
+        )
+    }
+}
+
 impl LloydKmeans {
     /// Create a solver. The `kernel` field of the configuration is ignored
     /// (Lloyd's algorithm works in the input space).
     pub fn new(config: KernelKmeansConfig) -> Self {
-        Self { config, executor: None }
+        Self {
+            config,
+            executor: None,
+        }
     }
 
     /// Use a specific executor (defaults to the A100 model, matching the GPU
@@ -47,27 +174,23 @@ impl LloydKmeans {
             .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
     }
 
-    /// Run Lloyd's algorithm.
-    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> popcorn_core::Result<ClusteringResult> {
-        let n = points.rows();
-        let d = points.cols();
-        self.config.validate(n)?;
-        if d == 0 {
-            return Err(CoreError::InvalidInput("points have zero features".into()));
-        }
+    /// Lloyd's loop over any point layout.
+    fn fit_points<P: LloydPoints>(
+        &self,
+        points: P,
+        elem: usize,
+        executor: &SimExecutor,
+    ) -> Result<ClusteringResult> {
+        let n = points.n();
+        let d = points.d();
         let k = self.config.k;
-        let elem = std::mem::size_of::<T>();
-        let executor = self.executor_for::<T>();
 
         // Initial centroids: k distinct points chosen uniformly at random
         // (the "random" initialisation of classical k-means).
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut indices: Vec<usize> = (0..n).collect();
         indices.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f64>> = indices[..k]
-            .iter()
-            .map(|&i| points.row(i).iter().map(|v| v.to_f64()).collect())
-            .collect();
+        let mut centroids: Vec<Vec<f64>> = indices[..k].iter().map(|&i| points.point(i)).collect();
 
         let mut labels = vec![0usize; n];
         let mut history = Vec::with_capacity(self.config.max_iter);
@@ -77,42 +200,40 @@ impl LloydKmeans {
 
         for iteration in 0..self.config.max_iter {
             // Assignment step: nearest centroid in Euclidean distance.
+            let centroid_sq_norms: Vec<f64> = centroids
+                .iter()
+                .map(|c| c.iter().map(|&x| x * x).sum())
+                .collect();
             let (new_labels, objective) = executor.run(
                 format!("lloyd assignment (n={n}, d={d}, k={k})"),
                 Phase::PairwiseDistances,
                 OpClass::Gemm,
-                OpCost::new(
-                    3 * (n as u64) * (k as u64) * (d as u64),
-                    ((n * d + k * d) * elem) as u64,
-                    (n * elem) as u64,
-                ),
+                points.assignment_cost(k, elem),
                 || {
                     let mut new_labels = vec![0usize; n];
                     let mut objective = 0.0f64;
-                    for i in 0..n {
-                        let row = points.row(i);
+                    for (i, slot) in new_labels.iter_mut().enumerate() {
                         let mut best = 0usize;
                         let mut best_d = f64::INFINITY;
                         for (c, centroid) in centroids.iter().enumerate() {
-                            let mut dist = 0.0f64;
-                            for (x, &cj) in row.iter().zip(centroid.iter()) {
-                                let diff = x.to_f64() - cj;
-                                dist += diff * diff;
-                            }
+                            let dist = points.sq_dist(i, centroid, centroid_sq_norms[c]);
                             if dist < best_d {
                                 best_d = dist;
                                 best = c;
                             }
                         }
-                        new_labels[i] = best;
+                        *slot = best;
                         objective += best_d;
                     }
                     (new_labels, objective)
                 },
             );
 
-            let changed =
-                new_labels.iter().zip(labels.iter()).filter(|(a, b)| a != b).count();
+            let changed = new_labels
+                .iter()
+                .zip(labels.iter())
+                .filter(|(a, b)| a != b)
+                .count();
             labels = new_labels;
 
             // Update step: new centroids are the cluster means.
@@ -126,9 +247,7 @@ impl LloydKmeans {
                     let mut counts = vec![0usize; k];
                     for (i, &l) in labels.iter().enumerate() {
                         counts[l] += 1;
-                        for (j, v) in points.row(i).iter().enumerate() {
-                            sums[l][j] += v.to_f64();
-                        }
+                        points.accumulate(i, &mut sums[l]);
                     }
                     let mut empty = 0usize;
                     for (c, count) in counts.iter().enumerate() {
@@ -136,8 +255,8 @@ impl LloydKmeans {
                             empty += 1;
                             continue; // keep the previous centroid
                         }
-                        for j in 0..d {
-                            sums[c][j] /= *count as f64;
+                        for value in &mut sums[c] {
+                            *value /= *count as f64;
                         }
                     }
                     // Preserve previous centroids for empty clusters.
@@ -151,7 +270,12 @@ impl LloydKmeans {
             );
             centroids = new_centroids;
 
-            history.push(IterationStats { iteration, objective, changed, empty_clusters });
+            history.push(IterationStats {
+                iteration,
+                objective,
+                changed,
+                empty_clusters,
+            });
             iterations = iteration + 1;
 
             if self.config.check_convergence {
@@ -168,19 +292,38 @@ impl LloydKmeans {
             prev_objective = objective;
         }
 
-        let trace = executor.trace();
-        let objective = history.last().map(|h: &IterationStats| h.objective).unwrap_or(f64::NAN);
-        Ok(ClusteringResult {
-            labels,
-            k,
-            iterations,
-            converged,
-            objective,
-            history,
-            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
-            host_timings: TimingBreakdown::from_trace_host(&trace),
-            trace,
-        })
+        Ok(finalize(
+            labels, k, iterations, converged, history, executor,
+        ))
+    }
+}
+
+impl<T: Scalar> Solver<T> for LloydKmeans {
+    fn name(&self) -> &'static str {
+        "lloyd"
+    }
+
+    fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    /// Run Lloyd's algorithm on dense or CSR points.
+    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
+        self.config.validate(input.n())?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let elem = std::mem::size_of::<T>();
+        match input {
+            FitInput::Dense(points) => self.fit_points(points, elem, &executor),
+            FitInput::Sparse(points) => self.fit_points(points, elem, &executor),
+        }
+    }
+
+    /// Lloyd's algorithm has no kernel-matrix formulation.
+    fn fit_from_kernel(&self, _kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
+        Err(CoreError::Unsupported(
+            "Lloyd's algorithm operates on raw points, not a kernel matrix".into(),
+        ))
     }
 }
 
@@ -232,6 +375,37 @@ mod tests {
     }
 
     #[test]
+    fn sparse_fit_matches_dense_fit() {
+        // Sparse-ish blobs: zero out a few coordinates so the CSR layout is
+        // non-trivial, then check both layouts agree label-for-label.
+        let points = DenseMatrix::from_fn(30, 4, |i, j| {
+            if (i + j) % 3 == 0 {
+                0.0
+            } else {
+                let offset = if i < 15 { 0.0 } else { 25.0 };
+                offset + ((i * 4 + j) as f64 * 0.53).sin()
+            }
+        });
+        let csr = popcorn_sparse::CsrMatrix::from_dense(&points);
+        let dense = LloydKmeans::new(config(2)).fit(&points).unwrap();
+        let sparse = LloydKmeans::new(config(2)).fit_sparse(&csr).unwrap();
+        assert_eq!(dense.labels, sparse.labels);
+        assert!(
+            (dense.objective - sparse.objective).abs() / dense.objective.abs().max(1e-12) < 1e-9
+        );
+    }
+
+    #[test]
+    fn fit_from_kernel_is_unsupported() {
+        let k_matrix = DenseMatrix::<f64>::identity(5);
+        let solver = LloydKmeans::new(config(2));
+        assert!(matches!(
+            Solver::<f64>::fit_from_kernel(&solver, &k_matrix),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
     fn objective_matches_inertia_definition() {
         let points = blob_points();
         let result = LloydKmeans::new(config(2)).fit(&points).unwrap();
@@ -244,7 +418,9 @@ mod tests {
     #[test]
     fn handles_k_equal_n() {
         let points = DenseMatrix::from_fn(5, 2, |i, j| (i * 2 + j) as f64 * 2.0);
-        let result = LloydKmeans::new(config(5).with_max_iter(5)).fit(&points).unwrap();
+        let result = LloydKmeans::new(config(5).with_max_iter(5))
+            .fit(&points)
+            .unwrap();
         assert_eq!(result.non_empty_clusters(), 5);
         assert!(result.objective < 1e-9);
     }

@@ -8,11 +8,11 @@
 //! analytic totals match the modeled totals produced by actually running the
 //! solvers through the simulator.
 
+use popcorn_baselines::gpu_dense::reduction_utilization;
 use popcorn_core::distances::spmm_utilization;
 use popcorn_core::kernel::KernelFunction;
 use popcorn_core::result::TimingBreakdown;
 use popcorn_core::strategy::{GramRoutine, KernelMatrixStrategy};
-use popcorn_baselines::gpu_dense::reduction_utilization;
 use popcorn_gpusim::{CostModel, DeviceSpec, OpClass, OpCost};
 
 /// Element width the paper assumes (single precision).
@@ -36,7 +36,12 @@ pub struct ModelWorkload {
 impl ModelWorkload {
     /// Convenience constructor with the paper's 30 iterations.
     pub fn new(n: usize, d: usize, k: usize) -> Self {
-        Self { n, d, k, iterations: 30 }
+        Self {
+            n,
+            d,
+            k,
+            iterations: 30,
+        }
     }
 
     /// Override the iteration count.
@@ -76,10 +81,30 @@ pub fn kernel_apply_seconds(n: usize, kernel: KernelFunction) -> f64 {
     )
 }
 
+/// Modeled time of the SpGEMM-based sparse Gram product over CSR points with
+/// `nnz` stored entries, assuming the non-zeros are spread uniformly over the
+/// `d` feature columns (so the FMA-pair count is `2·nnz²/d` — the analytic
+/// counterpart of `CsrMatrix::gram_flops`).
+pub fn gram_spgemm_seconds(n: usize, d: usize, nnz: usize) -> f64 {
+    let flops = if d == 0 {
+        0
+    } else {
+        2 * (nnz as u64).pow(2) / d as u64
+    };
+    let storage = (nnz * (ELEM + INDEX) + (n + 1) * INDEX) as u64;
+    let cost = OpCost::new(flops, 2 * storage, (n * n * ELEM) as u64);
+    a100().time_seconds(OpClass::SpGEMM, &cost)
+}
+
 /// Modeled per-phase times for Popcorn (paper Alg. 2) on the A100.
 pub fn popcorn_modeled(w: ModelWorkload, kernel: KernelFunction) -> TimingBreakdown {
     let model = a100();
-    let ModelWorkload { n, d, k, iterations } = w;
+    let ModelWorkload {
+        n,
+        d,
+        k,
+        iterations,
+    } = w;
 
     let data_preparation =
         model.time_seconds(OpClass::Transfer, &OpCost::transfer((n * d * ELEM) as u64));
@@ -88,20 +113,74 @@ pub fn popcorn_modeled(w: ModelWorkload, kernel: KernelFunction) -> TimingBreakd
     let gram = match routine {
         GramRoutine::Gemm => gram_gemm_seconds(n, d),
         GramRoutine::Syrk => gram_syrk_seconds(n, d),
+        // The dense strategy never selects the sparse routine; sparse-input
+        // replays go through `popcorn_sparse_modeled`.
+        GramRoutine::SpGemm => unreachable!("dense strategy selected SpGemm"),
     };
     let kernel_matrix = gram
         + kernel_apply_seconds(n, kernel)
         + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 0, ELEM));
 
-    let per_iter_distances = model.time_seconds(
+    let per_iter_distances = popcorn_distance_seconds(&model, n, k);
+    let per_iter_assignment = popcorn_assignment_seconds(&model, n, k);
+
+    TimingBreakdown {
+        data_preparation,
+        kernel_matrix,
+        pairwise_distances: per_iter_distances * iterations as f64,
+        assignment: per_iter_assignment * iterations as f64,
+        other: 0.0,
+    }
+}
+
+fn popcorn_distance_seconds(model: &CostModel, n: usize, k: usize) -> f64 {
+    model.time_seconds(
         OpClass::SpMM,
         &OpCost::spmm_kvt(n, k, ELEM, INDEX).with_utilization(spmm_utilization(k)),
     ) + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 1, ELEM))
         + model.time_seconds(OpClass::SpMV, &OpCost::spmv(n, k, n, ELEM, INDEX))
-        + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n * k, 1, 1, 2, ELEM));
-    let per_iter_assignment = model
-        .time_seconds(OpClass::Other, &OpCost::elementwise(n, 1, 3, 0, ELEM))
-        + model.time_seconds(OpClass::Reduction, &OpCost::elementwise(n * k, 1, 0, 1, ELEM));
+        + model.time_seconds(
+            OpClass::Elementwise,
+            &OpCost::elementwise(n * k, 1, 1, 2, ELEM),
+        )
+}
+
+fn popcorn_assignment_seconds(model: &CostModel, n: usize, k: usize) -> f64 {
+    model.time_seconds(OpClass::Other, &OpCost::elementwise(n, 1, 3, 0, ELEM))
+        + model.time_seconds(
+            OpClass::Reduction,
+            &OpCost::elementwise(n * k, 1, 0, 1, ELEM),
+        )
+}
+
+/// Modeled per-phase times for Popcorn fitting a **sparse (CSR)** input with
+/// `nnz` stored entries: CSR upload, SpGEMM Gram product, then the same
+/// per-iteration SpMM/SpMV engine as the dense path. This is the analytic
+/// replay of the paper's flagship sparse scenario — for scotus-shaped inputs
+/// the kernel-matrix phase collapses from hundreds of modeled seconds (dense
+/// SYRK over d = 126 405) to the SpGEMM cost of the actual non-zeros.
+pub fn popcorn_sparse_modeled(
+    w: ModelWorkload,
+    nnz: usize,
+    kernel: KernelFunction,
+) -> TimingBreakdown {
+    let model = a100();
+    let ModelWorkload {
+        n,
+        d,
+        k,
+        iterations,
+    } = w;
+
+    let csr_bytes = (nnz * (ELEM + INDEX) + (n + 1) * INDEX) as u64;
+    let data_preparation = model.time_seconds(OpClass::Transfer, &OpCost::transfer(csr_bytes));
+
+    let kernel_matrix = gram_spgemm_seconds(n, d, nnz)
+        + kernel_apply_seconds(n, kernel)
+        + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 0, ELEM));
+
+    let per_iter_distances = popcorn_distance_seconds(&model, n, k);
+    let per_iter_assignment = popcorn_assignment_seconds(&model, n, k);
 
     TimingBreakdown {
         data_preparation,
@@ -115,7 +194,12 @@ pub fn popcorn_modeled(w: ModelWorkload, kernel: KernelFunction) -> TimingBreakd
 /// Modeled per-phase times for the dense CUDA baseline (paper §5.3) on the A100.
 pub fn baseline_modeled(w: ModelWorkload, _kernel: KernelFunction) -> TimingBreakdown {
     let model = a100();
-    let ModelWorkload { n, d, k, iterations } = w;
+    let ModelWorkload {
+        n,
+        d,
+        k,
+        iterations,
+    } = w;
 
     let data_preparation =
         model.time_seconds(OpClass::Transfer, &OpCost::transfer((n * d * ELEM) as u64));
@@ -125,19 +209,27 @@ pub fn baseline_modeled(w: ModelWorkload, _kernel: KernelFunction) -> TimingBrea
 
     let kernel1 = model.time_seconds(
         OpClass::HandwrittenReduction,
-        &OpCost::new(2 * (n as u64) * (n as u64), (n * n * ELEM) as u64, (n * k * ELEM) as u64)
-            .with_utilization(reduction_utilization(k)),
+        &OpCost::new(
+            2 * (n as u64) * (n as u64),
+            (n * n * ELEM) as u64,
+            (n * k * ELEM) as u64,
+        )
+        .with_utilization(reduction_utilization(k)),
     );
     let kernel2 = model.time_seconds(
         OpClass::HandwrittenReduction,
         &OpCost::new(2 * n as u64, (n * ELEM) as u64, (k * ELEM) as u64)
             .with_utilization(reduction_utilization(k)),
     );
-    let kernel3 =
-        model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n * k, 2, 1, 3, ELEM));
+    let kernel3 = model.time_seconds(
+        OpClass::Elementwise,
+        &OpCost::elementwise(n * k, 2, 1, 3, ELEM),
+    );
     let per_iter_distances = kernel1 + kernel2 + kernel3;
-    let per_iter_assignment =
-        model.time_seconds(OpClass::Reduction, &OpCost::elementwise(n * k, 1, 0, 1, ELEM));
+    let per_iter_assignment = model.time_seconds(
+        OpClass::Reduction,
+        &OpCost::elementwise(n * k, 1, 0, 1, ELEM),
+    );
 
     TimingBreakdown {
         data_preparation,
@@ -158,14 +250,25 @@ pub fn baseline_modeled(w: ModelWorkload, _kernel: KernelFunction) -> TimingBrea
 pub fn cpu_modeled(w: ModelWorkload, _kernel: KernelFunction) -> TimingBreakdown {
     let socket = CostModel::new(DeviceSpec::epyc7763_socket(), ELEM);
     let core = cpu();
-    let ModelWorkload { n, d, k, iterations } = w;
+    let ModelWorkload {
+        n,
+        d,
+        k,
+        iterations,
+    } = w;
     let kernel_matrix = socket.time_seconds(OpClass::Gemm, &OpCost::gemm(n, n, d, ELEM));
     let per_iter_distances = core.time_seconds(
         OpClass::Gemm,
-        &OpCost::new(2 * (n as u64) * (n as u64), (n * n * ELEM) as u64, (n * k * ELEM) as u64),
+        &OpCost::new(
+            2 * (n as u64) * (n as u64),
+            (n * n * ELEM) as u64,
+            (n * k * ELEM) as u64,
+        ),
     );
-    let per_iter_assignment =
-        core.time_seconds(OpClass::Reduction, &OpCost::elementwise(n * k, 1, 0, 1, ELEM));
+    let per_iter_assignment = core.time_seconds(
+        OpClass::Reduction,
+        &OpCost::elementwise(n * k, 1, 0, 1, ELEM),
+    );
     TimingBreakdown {
         data_preparation: 0.0,
         kernel_matrix,
@@ -185,9 +288,12 @@ pub fn popcorn_spmm_gflops(n: usize, k: usize) -> f64 {
 /// Modeled throughput (GFLOP/s) of the baseline's first hand-written kernel.
 pub fn baseline_kernel1_gflops(n: usize, k: usize) -> f64 {
     let model = a100();
-    let cost =
-        OpCost::new(2 * (n as u64) * (n as u64), (n * n * ELEM) as u64, (n * k * ELEM) as u64)
-            .with_utilization(reduction_utilization(k));
+    let cost = OpCost::new(
+        2 * (n as u64) * (n as u64),
+        (n * n * ELEM) as u64,
+        (n * k * ELEM) as u64,
+    )
+    .with_utilization(reduction_utilization(k));
     model.achieved_gflops(OpClass::HandwrittenReduction, &cost)
 }
 
@@ -222,7 +328,10 @@ mod tests {
             let popcorn = popcorn_modeled(w, kernel).total();
             let baseline = baseline_modeled(w, kernel).total();
             let speedup = baseline / popcorn;
-            assert!(speedup > 1.2 && speedup < 3.0, "k={k}: speedup {speedup:.2}");
+            assert!(
+                speedup > 1.2 && speedup < 3.0,
+                "k={k}: speedup {speedup:.2}"
+            );
         }
     }
 
@@ -299,6 +408,35 @@ mod tests {
         assert!(acoustic.pairwise_distances > acoustic.kernel_matrix);
         // Assignment cost is trivial everywhere (paper §5.7).
         assert!(acoustic.assignment < 0.1 * acoustic.pairwise_distances);
+    }
+
+    #[test]
+    fn sparse_gram_crushes_dense_gram_on_scotus_shape() {
+        // The paper's flagship sparse scenario: scotus has n = 6 400,
+        // d = 126 405 and ~8 200 non-zeros per row (~6.5% density at row
+        // level). The dense Gram product pays O(n²d) FLOPs; the SpGEMM path
+        // pays only for stored-entry pairs — orders of magnitude less.
+        let (n, d) = (6_400, 126_405);
+        let nnz = n * 8_200;
+        let sparse = gram_spgemm_seconds(n, d, nnz);
+        let dense = gram_syrk_seconds(n, d).min(gram_gemm_seconds(n, d));
+        assert!(
+            sparse * 20.0 < dense,
+            "sparse {sparse:.3e}s should be >20x faster than dense {dense:.3e}s"
+        );
+
+        let w = ModelWorkload::new(n, d, 50);
+        let kernel = KernelFunction::paper_polynomial();
+        let sparse_total = popcorn_sparse_modeled(w, nnz, kernel).total();
+        let dense_total = popcorn_modeled(w, kernel).total();
+        assert!(
+            sparse_total < dense_total,
+            "{sparse_total:.3} vs {dense_total:.3}"
+        );
+        // The CSR upload is also far cheaper than shipping the dense matrix.
+        let sparse_prep = popcorn_sparse_modeled(w, nnz, kernel).data_preparation;
+        let dense_prep = popcorn_modeled(w, kernel).data_preparation;
+        assert!(sparse_prep < dense_prep);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use popcorn_bench::report::{format_seconds, Table};
 use popcorn_bench::ExperimentOptions;
 use popcorn_core::distances::compute_distances;
-use popcorn_core::kernel::{kernel_matrix_reference, KernelFunction};
 use popcorn_core::init::random_assignments;
+use popcorn_core::kernel::{kernel_matrix_reference, KernelFunction};
 use popcorn_data::PaperDataset;
 use popcorn_dense::diagonal;
 use popcorn_gpusim::{CostModel, DeviceSpec, OpClass, OpCost, SimExecutor};
@@ -37,10 +37,7 @@ fn main() {
             let spmv = model.time_seconds(OpClass::SpMV, &OpCost::spmv(n, k, n, 4, 4));
             // Explicit approach: multiply the already-computed K V^T (n x k dense)
             // by V (k x n sparse, n nonzeros) and read back the k diagonal entries.
-            let explicit = model.time_seconds(
-                OpClass::SpMM,
-                &OpCost::spmm(n, n, k, k, 4, 4),
-            );
+            let explicit = model.time_seconds(OpClass::SpMM, &OpCost::spmm(n, n, k, k, 4, 4));
             modeled.push_row(vec![
                 dataset.name().to_string(),
                 k.to_string(),
@@ -57,8 +54,15 @@ fn main() {
 
     // Executed correctness check on a scaled workload.
     let dataset = options.scaled_dataset(PaperDataset::Letter);
-    let kernel_matrix = kernel_matrix_reference(dataset.points(), KernelFunction::paper_polynomial());
-    let k = options.k_values.iter().copied().min().unwrap_or(10).min(dataset.n());
+    let kernel_matrix =
+        kernel_matrix_reference(dataset.points(), KernelFunction::paper_polynomial());
+    let k = options
+        .k_values
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or(10)
+        .min(dataset.n());
     let assignments = random_assignments(dataset.n(), k, options.seed).expect("assignments");
     let selection = SelectionMatrix::<f32>::from_assignments(&assignments, k).expect("selection");
     let point_norms = diagonal(&kernel_matrix).expect("diag");
@@ -93,5 +97,8 @@ fn main() {
         format_seconds(spmv_host),
         format_seconds(spgemm_host)
     );
-    assert!(max_diff < 1e-2, "centroid norms disagree between the two paths");
+    assert!(
+        max_diff < 1e-2,
+        "centroid norms disagree between the two paths"
+    );
 }

@@ -8,7 +8,7 @@
 
 use popcorn_bench::report::Table;
 use popcorn_bench::ExperimentOptions;
-use popcorn_core::{KernelKmeans, KernelKmeansConfig};
+use popcorn_core::{KernelKmeans, KernelKmeansConfig, Solver};
 use popcorn_data::PaperDataset;
 use popcorn_metrics::adjusted_rand_index;
 
@@ -16,10 +16,23 @@ fn main() {
     let options = ExperimentOptions::from_env();
 
     let mut table = Table::new(
-        format!("Ablation: f32 vs f64 Popcorn (executed at scale {})", options.scale),
-        &["dataset", "k", "ARI(f32,f64)", "objective rel diff", "modeled f64/f32"],
+        format!(
+            "Ablation: f32 vs f64 Popcorn (executed at scale {})",
+            options.scale
+        ),
+        &[
+            "dataset",
+            "k",
+            "ARI(f32,f64)",
+            "objective rel diff",
+            "modeled f64/f32",
+        ],
     );
-    for dataset in [PaperDataset::Letter, PaperDataset::Acoustic, PaperDataset::Mnist] {
+    for dataset in [
+        PaperDataset::Letter,
+        PaperDataset::Acoustic,
+        PaperDataset::Mnist,
+    ] {
         let data64 = dataset.generate::<f64>(options.scale, options.seed);
         let data32 = data64.cast::<f32>();
         for &k in &options.k_values {
@@ -27,8 +40,12 @@ fn main() {
                 continue;
             }
             let config: KernelKmeansConfig = options.config(k);
-            let r32 = KernelKmeans::new(config.clone()).fit(data32.points()).expect("f32 run");
-            let r64 = KernelKmeans::new(config).fit(data64.points()).expect("f64 run");
+            let r32 = KernelKmeans::new(config.clone())
+                .fit(data32.points())
+                .expect("f32 run");
+            let r64 = KernelKmeans::new(config)
+                .fit(data64.points())
+                .expect("f64 run");
             let ari = adjusted_rand_index(&r32.labels, &r64.labels).expect("ari");
             let rel_diff = (r32.objective - r64.objective).abs() / r64.objective.abs().max(1e-30);
             table.push_row(vec![

@@ -45,7 +45,10 @@ fn main() {
 
     if options.execute {
         let mut executed = Table::new(
-            format!("Figure 2 (executed at scale {}): host wall-clock", options.scale),
+            format!(
+                "Figure 2 (executed at scale {}): host wall-clock",
+                options.scale
+            ),
             &["n", "d", "gemm host", "syrk host", "gemm/syrk"],
         );
         for &n in &n_values {

@@ -41,8 +41,18 @@ fn main() {
 
     if options.execute {
         let mut executed = Table::new(
-            format!("Figure 3 (executed at scale {}): modeled speedups from traces", options.scale),
-            &["dataset", "k", "cpu modeled", "baseline modeled", "speedup", "labels agree"],
+            format!(
+                "Figure 3 (executed at scale {}): modeled speedups from traces",
+                options.scale
+            ),
+            &[
+                "dataset",
+                "k",
+                "cpu modeled",
+                "baseline modeled",
+                "speedup",
+                "labels agree",
+            ],
         );
         for dataset in PaperDataset::ALL {
             let data = options.scaled_dataset(dataset);
@@ -50,8 +60,7 @@ fn main() {
                 if k > data.n() {
                     continue;
                 }
-                let cpu_run =
-                    execute(Solver::Cpu, &data, options.config(k)).expect("cpu run");
+                let cpu_run = execute(Solver::Cpu, &data, options.config(k)).expect("cpu run");
                 let baseline_run =
                     execute(Solver::DenseBaseline, &data, options.config(k)).expect("baseline run");
                 let agree = cpu_run.result.labels == baseline_run.result.labels;

@@ -42,7 +42,14 @@ fn main() {
                 "Figure 4 (executed at scale {}): distance-phase times from traces",
                 options.scale
             ),
-            &["dataset", "k", "baseline modeled", "popcorn modeled", "speedup", "labels agree"],
+            &[
+                "dataset",
+                "k",
+                "baseline modeled",
+                "popcorn modeled",
+                "speedup",
+                "labels agree",
+            ],
         );
         for dataset in PaperDataset::ALL {
             let data = options.scaled_dataset(dataset);

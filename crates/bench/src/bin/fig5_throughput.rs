@@ -14,7 +14,13 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 5: distance-kernel throughput (modeled GFLOP/s, published sizes)",
-        &["dataset", "k", "popcorn spmm", "baseline kernel 1", "popcorn/baseline"],
+        &[
+            "dataset",
+            "k",
+            "popcorn spmm",
+            "baseline kernel 1",
+            "popcorn/baseline",
+        ],
     );
     for dataset in PaperDataset::ALL {
         for &k in &options.k_values {

@@ -41,8 +41,16 @@ fn main() {
         for &k in &options.k_values {
             let n = dataset.n();
             for (name, ai, achieved) in [
-                ("popcorn", popcorn_distance_intensity(n, k), popcorn_spmm_gflops(n, k)),
-                ("baseline", baseline_distance_intensity(n, k), baseline_kernel1_gflops(n, k)),
+                (
+                    "popcorn",
+                    popcorn_distance_intensity(n, k),
+                    popcorn_spmm_gflops(n, k),
+                ),
+                (
+                    "baseline",
+                    baseline_distance_intensity(n, k),
+                    baseline_kernel1_gflops(n, k),
+                ),
             ] {
                 let point = roofline.point(format!("{}/{k}/{name}", dataset.name()), ai, achieved);
                 table.push_row(vec![
@@ -65,7 +73,13 @@ fn main() {
     // The Eq. 16 / Eq. 17 closed forms of §4.4, evaluated per dataset.
     let mut ai_table = Table::new(
         "Section 4.4: arithmetic intensity formulas (Eq. 16 kernel matrix, Eq. 17 distances)",
-        &["dataset", "AI kernel matrix (Eq.16)", "AI distances k=10", "k=50", "k=100"],
+        &[
+            "dataset",
+            "AI kernel matrix (Eq.16)",
+            "AI distances k=10",
+            "k=50",
+            "k=100",
+        ],
     );
     for dataset in PaperDataset::ALL {
         let n = dataset.n();

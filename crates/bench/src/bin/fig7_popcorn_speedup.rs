@@ -37,8 +37,18 @@ fn main() {
 
     if options.execute {
         let mut executed = Table::new(
-            format!("Figure 7 (executed at scale {}): end-to-end modeled times", options.scale),
-            &["dataset", "k", "baseline modeled", "popcorn modeled", "speedup", "host popcorn"],
+            format!(
+                "Figure 7 (executed at scale {}): end-to-end modeled times",
+                options.scale
+            ),
+            &[
+                "dataset",
+                "k",
+                "baseline modeled",
+                "popcorn modeled",
+                "speedup",
+                "host popcorn",
+            ],
         );
         for dataset in PaperDataset::ALL {
             let data = options.scaled_dataset(dataset);
@@ -55,9 +65,7 @@ fn main() {
                     k.to_string(),
                     format_seconds(baseline_run.modeled().total()),
                     format_seconds(popcorn_run.modeled().total()),
-                    format_speedup(
-                        baseline_run.modeled().total() / popcorn_run.modeled().total(),
-                    ),
+                    format_speedup(baseline_run.modeled().total() / popcorn_run.modeled().total()),
                     format_seconds(popcorn_run.result.host_timings.total()),
                 ]);
             }

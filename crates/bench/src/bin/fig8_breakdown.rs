@@ -39,7 +39,10 @@ fn main() {
                 format_seconds(timings.pairwise_distances),
                 format_seconds(timings.assignment),
                 format!("{:.0}%", 100.0 * timings.kernel_matrix / clustering_total),
-                format!("{:.0}%", 100.0 * timings.pairwise_distances / clustering_total),
+                format!(
+                    "{:.0}%",
+                    100.0 * timings.pairwise_distances / clustering_total
+                ),
             ]);
         }
     }
@@ -50,8 +53,17 @@ fn main() {
 
     if options.execute {
         let mut executed = Table::new(
-            format!("Figure 8 (executed at scale {}): breakdown from traces", options.scale),
-            &["dataset", "k", "kernel matrix", "pairwise distances", "argmin + update"],
+            format!(
+                "Figure 8 (executed at scale {}): breakdown from traces",
+                options.scale
+            ),
+            &[
+                "dataset",
+                "k",
+                "kernel matrix",
+                "pairwise distances",
+                "argmin + update",
+            ],
         );
         for dataset in PaperDataset::ALL {
             let data = options.scaled_dataset(dataset);

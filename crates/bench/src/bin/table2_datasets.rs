@@ -8,8 +8,10 @@ use popcorn_data::PaperDataset;
 
 fn main() {
     let options = ExperimentOptions::from_env();
-    let mut table =
-        Table::new("Table 2: datasets", &["dataset", "description", "n", "d", "n/d", "gram routine"]);
+    let mut table = Table::new(
+        "Table 2: datasets",
+        &["dataset", "description", "n", "d", "n/d", "gram routine"],
+    );
     let strategy = KernelMatrixStrategy::default();
     for dataset in PaperDataset::ALL {
         table.push_row(vec![

@@ -1,12 +1,12 @@
 //! Executed-run harness and shared CLI options for the experiment binaries.
 
 use crate::analytic::ModelWorkload;
-use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline};
 use popcorn_core::result::TimingBreakdown;
-use popcorn_core::{ClusteringResult, KernelFunction, KernelKmeans, KernelKmeansConfig};
+use popcorn_core::solver::FitInput;
+use popcorn_core::{ClusteringResult, KernelKmeansConfig};
 use popcorn_data::paper::PaperDataset;
 use popcorn_data::synthetic::uniform_dataset;
-use popcorn_data::Dataset;
+use popcorn_data::{Dataset, SparseDataset};
 
 /// Options shared by every experiment binary.
 ///
@@ -140,7 +140,12 @@ impl ExperimentOptions {
 
     /// The model workload for a paper dataset at the *published* size.
     pub fn paper_workload(&self, dataset: PaperDataset, k: usize) -> ModelWorkload {
-        ModelWorkload { n: dataset.n(), d: dataset.d(), k, iterations: self.iterations }
+        ModelWorkload {
+            n: dataset.n(),
+            d: dataset.d(),
+            k,
+            iterations: self.iterations,
+        }
     }
 
     /// Generate the scaled stand-in dataset for executed runs.
@@ -164,16 +169,10 @@ impl ExperimentOptions {
     }
 }
 
-/// Which implementation an executed run used.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Solver {
-    /// Popcorn (sparse formulation).
-    Popcorn,
-    /// The dense GPU baseline.
-    DenseBaseline,
-    /// The single-threaded CPU reference.
-    Cpu,
-}
+/// Which implementation an executed run used — the shared registry from
+/// `popcorn-baselines` (`build` constructs a `Box<dyn Solver<T>>`, `name`
+/// gives the display name).
+pub use popcorn_baselines::SolverKind as Solver;
 
 /// Result of one executed run.
 #[derive(Debug, Clone)]
@@ -195,31 +194,58 @@ impl ExecutedRun {
     }
 }
 
-/// Execute one solver on a dataset with the paper's protocol.
+/// Execute one solver on a fit input with the paper's protocol — the single
+/// dispatch point every executed experiment goes through.
+pub fn execute_input(
+    solver: Solver,
+    dataset_name: &str,
+    input: FitInput<'_, f32>,
+    config: KernelKmeansConfig,
+) -> popcorn_core::Result<ExecutedRun> {
+    let k = config.k;
+    let result = solver.build(config).fit_input(input)?;
+    Ok(ExecutedRun {
+        solver,
+        dataset: dataset_name.to_string(),
+        k,
+        result,
+    })
+}
+
+/// Execute one solver on a dense dataset with the paper's protocol.
 pub fn execute(
     solver: Solver,
     dataset: &Dataset<f32>,
     config: KernelKmeansConfig,
 ) -> popcorn_core::Result<ExecutedRun> {
-    let kernel: KernelFunction = config.kernel;
-    let _ = kernel;
-    let result = match solver {
-        Solver::Popcorn => KernelKmeans::new(config.clone()).fit(dataset.points())?,
-        Solver::DenseBaseline => DenseGpuBaseline::new(config.clone()).fit(dataset.points())?,
-        Solver::Cpu => CpuKernelKmeans::new(config.clone()).fit(dataset.points())?,
-    };
-    Ok(ExecutedRun {
+    execute_input(
         solver,
-        dataset: dataset.name().to_string(),
-        k: config.k,
-        result,
-    })
+        dataset.name(),
+        FitInput::Dense(dataset.points()),
+        config,
+    )
+}
+
+/// Execute one solver on a CSR dataset with the paper's protocol; the points
+/// reach the solver without being densified.
+pub fn execute_sparse(
+    solver: Solver,
+    dataset: &SparseDataset<f32>,
+    config: KernelKmeansConfig,
+) -> popcorn_core::Result<ExecutedRun> {
+    execute_input(
+        solver,
+        dataset.name(),
+        FitInput::Sparse(dataset.points()),
+        config,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::analytic::{popcorn_modeled, ELEM};
+    use popcorn_core::KernelFunction;
 
     fn parse(tokens: &[&str]) -> Result<ExperimentOptions, String> {
         ExperimentOptions::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
@@ -233,8 +259,19 @@ mod tests {
         assert!(!defaults.execute);
 
         let opts = parse(&[
-            "--scale", "0.05", "--trials", "2", "--k", "5,25", "--iterations", "10",
-            "--execute", "--out-dir", "/tmp/out", "--seed", "9",
+            "--scale",
+            "0.05",
+            "--trials",
+            "2",
+            "--k",
+            "5,25",
+            "--iterations",
+            "10",
+            "--execute",
+            "--out-dir",
+            "/tmp/out",
+            "--seed",
+            "9",
         ])
         .unwrap();
         assert_eq!(opts.scale, 0.05);
@@ -258,7 +295,10 @@ mod tests {
 
     #[test]
     fn workload_and_dataset_helpers() {
-        let opts = ExperimentOptions { scale: 0.01, ..Default::default() };
+        let opts = ExperimentOptions {
+            scale: 0.01,
+            ..Default::default()
+        };
         let w = opts.paper_workload(PaperDataset::Mnist, 50);
         assert_eq!(w.n, 60_000);
         assert_eq!(w.d, 780);
@@ -288,7 +328,12 @@ mod tests {
         let run = execute(Solver::Popcorn, &dataset, config).unwrap();
         let executed_total = run.modeled().total();
         let analytic_total = popcorn_modeled(
-            ModelWorkload { n, d, k, iterations },
+            ModelWorkload {
+                n,
+                d,
+                k,
+                iterations,
+            },
             KernelFunction::paper_polynomial(),
         )
         .total();
@@ -302,13 +347,44 @@ mod tests {
 
     #[test]
     fn execute_all_solvers_small() {
-        let opts = ExperimentOptions { iterations: 3, ..Default::default() };
+        let opts = ExperimentOptions {
+            iterations: 3,
+            ..Default::default()
+        };
         let dataset = opts.scaled_dataset(PaperDataset::Letter);
-        for solver in [Solver::Popcorn, Solver::DenseBaseline, Solver::Cpu] {
+        for solver in Solver::ALL {
             let run = execute(solver, &dataset, opts.config(3)).unwrap();
             assert_eq!(run.result.labels.len(), dataset.n());
             assert_eq!(run.k, 3);
             assert!(run.modeled().total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn execute_sparse_drives_the_csr_path() {
+        use popcorn_data::synthetic::sparse_text_like;
+        use popcorn_gpusim::OpClass;
+        let dataset = sparse_text_like::<f32>(48, 2_000, 3, 16, 5);
+        let config = KernelKmeansConfig::paper_defaults(3)
+            .with_max_iter(5)
+            .with_convergence_check(false, 0.0)
+            .with_seed(2);
+        let run = execute_sparse(Solver::Popcorn, &dataset, config.clone()).unwrap();
+        assert_eq!(run.result.labels.len(), 48);
+        // The sparse gram is charged as SpGEMM, never as dense GEMM.
+        assert!(run.result.trace.class_summary(OpClass::SpGEMM).0 > 0.0);
+        assert_eq!(run.result.trace.class_summary(OpClass::Gemm).0, 0.0);
+        // And the clustering matches the densified equivalent exactly.
+        let dense = execute(Solver::Popcorn, &dataset.to_dense(), config).unwrap();
+        assert_eq!(run.result.labels, dense.result.labels);
+    }
+
+    #[test]
+    fn solver_enum_builds_every_implementation() {
+        for solver in Solver::ALL {
+            let built = solver.build::<f32>(KernelKmeansConfig::paper_defaults(2));
+            assert_eq!(built.name(), solver.name());
+            assert_eq!(built.config().k, 2);
         }
     }
 

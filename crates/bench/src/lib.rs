@@ -23,5 +23,5 @@ pub mod harness;
 pub mod report;
 
 pub use analytic::{baseline_modeled, cpu_modeled, popcorn_modeled, ModelWorkload};
-pub use harness::{ExperimentOptions, ExecutedRun};
+pub use harness::{ExecutedRun, ExperimentOptions};
 pub use report::Table;

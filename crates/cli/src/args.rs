@@ -3,24 +3,32 @@
 use popcorn_core::{Initialization, KernelFunction};
 
 /// Which implementation the `-l` flag selects (artifact: 0 = naive GPU
-/// baseline, 2 = Popcorn; we additionally expose 1 = CPU reference).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Implementation {
-    /// The dense GPU baseline (`-l 0`).
-    DenseBaseline,
-    /// The single-threaded CPU reference (`-l 1`).
-    Cpu,
-    /// Popcorn (`-l 2`, default).
-    Popcorn,
+/// baseline, 2 = Popcorn; we additionally expose 1 = CPU reference and
+/// 3 = classical Lloyd k-means). This is the shared solver registry from
+/// `popcorn-baselines` — the flag parses straight into it, so the CLI has no
+/// parallel enum to keep in sync.
+pub use popcorn_baselines::SolverKind as Implementation;
+
+/// Input file format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputFormat {
+    /// Comma-separated dense rows.
+    Csv,
+    /// libSVM sparse text (`label index:value ...`), kept sparse end to end.
+    Libsvm,
+    /// Decide from the file extension, falling back to content sniffing
+    /// (default).
+    #[default]
+    Auto,
 }
 
-impl Implementation {
-    /// Display name used in output.
+impl InputFormat {
+    /// Name matching the `--format` flag values.
     pub fn name(&self) -> &'static str {
         match self {
-            Implementation::DenseBaseline => "dense-gpu-baseline",
-            Implementation::Cpu => "cpu-reference",
-            Implementation::Popcorn => "popcorn",
+            InputFormat::Csv => "csv",
+            InputFormat::Libsvm => "libsvm",
+            InputFormat::Auto => "auto",
         }
     }
 }
@@ -46,9 +54,13 @@ pub struct CliArgs {
     pub init: Initialization,
     /// `-f`: kernel function.
     pub kernel: KernelFunction,
-    /// `-i`: optional input file (libSVM when the extension is `.libsvm` or
-    /// `.svm`, CSV otherwise). `None` generates a random dataset.
+    /// `-i`: optional input file. `None` generates a random dataset.
     pub input: Option<String>,
+    /// `--format`: how to parse the input file (default: auto-detect).
+    pub format: InputFormat,
+    /// `--repair {0|1}`: whether to repair empty clusters by reassigning the
+    /// points farthest from their centroids (default: on).
+    pub repair_empty_clusters: bool,
     /// `-s`: RNG seed.
     pub seed: u64,
     /// `-l`: implementation selector.
@@ -70,6 +82,8 @@ impl Default for CliArgs {
             init: Initialization::Random,
             kernel: KernelFunction::paper_polynomial(),
             input: None,
+            format: InputFormat::Auto,
+            repair_empty_clusters: true,
             seed: 0,
             implementation: Implementation::Popcorn,
             output: None,
@@ -94,10 +108,14 @@ OPTIONS:
   --init STR      centroid initialisation: random | kmeans++   [default: random]
   -f STR          kernel: linear | polynomial | gaussian | sigmoid
                                                                [default: polynomial]
-  -i FILE         input file (.libsvm/.svm or .csv); omit to generate data
+  -i FILE         input file; omit to generate data
+  --format STR    input format: csv | libsvm | auto            [default: auto]
+                  (auto = by extension, then content sniffing; libSVM inputs
+                  stay sparse end to end)
+  --repair {0|1}  1 = repair empty clusters, 0 = leave them    [default: 1]
   -s INT          RNG seed                                     [default: 0]
-  -l {0|1|2}      implementation: 0 = dense GPU baseline, 1 = CPU, 2 = Popcorn
-                                                               [default: 2]
+  -l {0|1|2|3}    implementation: 0 = dense GPU baseline, 1 = CPU,
+                  2 = Popcorn, 3 = Lloyd (classical k-means)   [default: 2]
   -o FILE         write the final cluster assignment to FILE
   -h, --help      print this help text
 ";
@@ -111,7 +129,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         flag: &str,
         iter: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
     ) -> Result<&'a String, String> {
-        iter.next().ok_or_else(|| format!("missing value for {flag}"))
+        iter.next()
+            .ok_or_else(|| format!("missing value for {flag}"))
     }
 
     while let Some(arg) = iter.next() {
@@ -123,8 +142,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--runs" => parsed.runs = parse_usize("--runs", value("--runs", &mut iter)?)?,
             "-t" => {
                 let v = value("-t", &mut iter)?;
-                parsed.tolerance =
-                    v.parse().map_err(|_| format!("-t expects a number, got '{v}'"))?;
+                parsed.tolerance = v
+                    .parse()
+                    .map_err(|_| format!("-t expects a number, got '{v}'"))?;
             }
             "-m" => parsed.max_iter = parse_usize("-m", value("-m", &mut iter)?)?,
             "-c" => {
@@ -149,7 +169,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     "linear" => KernelFunction::Linear,
                     "polynomial" => KernelFunction::paper_polynomial(),
                     "gaussian" | "rbf" => KernelFunction::default_gaussian(),
-                    "sigmoid" => KernelFunction::Sigmoid { gamma: 1.0, coef0: 0.0 },
+                    "sigmoid" => KernelFunction::Sigmoid {
+                        gamma: 1.0,
+                        coef0: 0.0,
+                    },
                     _ => {
                         return Err(format!(
                             "-f expects linear | polynomial | gaussian | sigmoid, got '{v}'"
@@ -158,6 +181,23 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 };
             }
             "-i" => parsed.input = Some(value("-i", &mut iter)?.clone()),
+            "--format" => {
+                let v = value("--format", &mut iter)?;
+                parsed.format = match v.as_str() {
+                    "csv" => InputFormat::Csv,
+                    "libsvm" | "svm" => InputFormat::Libsvm,
+                    "auto" => InputFormat::Auto,
+                    _ => return Err(format!("--format expects csv | libsvm | auto, got '{v}'")),
+                };
+            }
+            "--repair" => {
+                let v = value("--repair", &mut iter)?;
+                parsed.repair_empty_clusters = match v.as_str() {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(format!("--repair expects 0 or 1, got '{v}'")),
+                };
+            }
             "-s" => parsed.seed = parse_usize("-s", value("-s", &mut iter)?)? as u64,
             "-l" => {
                 let v = value("-l", &mut iter)?;
@@ -165,7 +205,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     "0" => Implementation::DenseBaseline,
                     "1" => Implementation::Cpu,
                     "2" => Implementation::Popcorn,
-                    _ => return Err(format!("-l expects 0, 1 or 2, got '{v}'")),
+                    "3" => Implementation::Lloyd,
+                    _ => return Err(format!("-l expects 0, 1, 2 or 3, got '{v}'")),
                 };
             }
             "-o" => parsed.output = Some(value("-o", &mut iter)?.clone()),
@@ -186,7 +227,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 }
 
 fn parse_usize(flag: &str, value: &str) -> Result<usize, String> {
-    value.parse().map_err(|_| format!("{flag} expects a non-negative integer, got '{value}'"))
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects a non-negative integer, got '{value}'"))
 }
 
 #[cfg(test)]
@@ -206,9 +249,32 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let args = parse(&[
-            "-n", "5000", "-d", "32", "-k", "50", "--runs", "4", "-t", "1e-6", "-m", "100",
-            "-c", "1", "--init", "kmeans++", "-f", "gaussian", "-i", "data.libsvm", "-s", "7",
-            "-l", "0", "-o", "out.csv",
+            "-n",
+            "5000",
+            "-d",
+            "32",
+            "-k",
+            "50",
+            "--runs",
+            "4",
+            "-t",
+            "1e-6",
+            "-m",
+            "100",
+            "-c",
+            "1",
+            "--init",
+            "kmeans++",
+            "-f",
+            "gaussian",
+            "-i",
+            "data.libsvm",
+            "-s",
+            "7",
+            "-l",
+            "0",
+            "-o",
+            "out.csv",
         ])
         .unwrap();
         assert_eq!(args.n, 5000);
@@ -228,16 +294,56 @@ mod tests {
 
     #[test]
     fn kernel_and_implementation_variants() {
-        assert_eq!(parse(&["-f", "linear"]).unwrap().kernel, KernelFunction::Linear);
+        assert_eq!(
+            parse(&["-f", "linear"]).unwrap().kernel,
+            KernelFunction::Linear
+        );
         assert_eq!(
             parse(&["-f", "sigmoid"]).unwrap().kernel,
-            KernelFunction::Sigmoid { gamma: 1.0, coef0: 0.0 }
+            KernelFunction::Sigmoid {
+                gamma: 1.0,
+                coef0: 0.0
+            }
         );
-        assert_eq!(parse(&["-l", "1"]).unwrap().implementation, Implementation::Cpu);
-        assert_eq!(parse(&["-l", "2"]).unwrap().implementation, Implementation::Popcorn);
+        assert_eq!(
+            parse(&["-l", "1"]).unwrap().implementation,
+            Implementation::Cpu
+        );
+        assert_eq!(
+            parse(&["-l", "2"]).unwrap().implementation,
+            Implementation::Popcorn
+        );
+        assert_eq!(
+            parse(&["-l", "3"]).unwrap().implementation,
+            Implementation::Lloyd
+        );
         assert_eq!(Implementation::Popcorn.name(), "popcorn");
         assert_eq!(Implementation::Cpu.name(), "cpu-reference");
         assert_eq!(Implementation::DenseBaseline.name(), "dense-gpu-baseline");
+        assert_eq!(Implementation::Lloyd.name(), "lloyd");
+    }
+
+    #[test]
+    fn format_and_repair_flags() {
+        assert_eq!(parse(&[]).unwrap().format, InputFormat::Auto);
+        assert_eq!(
+            parse(&["--format", "csv"]).unwrap().format,
+            InputFormat::Csv
+        );
+        assert_eq!(
+            parse(&["--format", "libsvm"]).unwrap().format,
+            InputFormat::Libsvm
+        );
+        assert_eq!(
+            parse(&["--format", "auto"]).unwrap().format,
+            InputFormat::Auto
+        );
+        assert_eq!(InputFormat::Csv.name(), "csv");
+        assert_eq!(InputFormat::Libsvm.name(), "libsvm");
+        assert_eq!(InputFormat::Auto.name(), "auto");
+        assert!(parse(&[]).unwrap().repair_empty_clusters);
+        assert!(!parse(&["--repair", "0"]).unwrap().repair_empty_clusters);
+        assert!(parse(&["--repair", "1"]).unwrap().repair_empty_clusters);
     }
 
     #[test]
@@ -247,6 +353,8 @@ mod tests {
         assert!(parse(&["-f", "unknown"]).is_err());
         assert!(parse(&["-l", "9"]).is_err());
         assert!(parse(&["--init", "zeros"]).is_err());
+        assert!(parse(&["--format", "parquet"]).is_err());
+        assert!(parse(&["--repair", "yes"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["-k"]).is_err());
         assert!(parse(&["-k", "0"]).is_err());

@@ -1,9 +1,14 @@
 //! Drives the selected solver from parsed CLI arguments.
+//!
+//! All four implementations are held behind `Box<dyn Solver<f32>>` and fed a
+//! [`FitInput`], so this module contains no per-solver fit plumbing: libSVM
+//! inputs flow to the solvers as CSR without ever being densified, CSV and
+//! generated inputs flow as dense matrices.
 
-use crate::args::{CliArgs, Implementation};
-use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline};
-use popcorn_core::{ClusteringResult, KernelKmeans, KernelKmeansConfig};
-use popcorn_data::dataset::Dataset;
+use crate::args::{CliArgs, Implementation, InputFormat};
+use popcorn_core::solver::{FitInput, Solver};
+use popcorn_core::{ClusteringResult, KernelKmeansConfig};
+use popcorn_data::dataset::{Dataset, SparseDataset};
 use popcorn_data::synthetic::uniform_dataset;
 use popcorn_data::{csv, libsvm};
 
@@ -16,6 +21,8 @@ pub struct RunSummary {
     pub n: usize,
     /// Number of features.
     pub d: usize,
+    /// Whether the points were fed to the solver in CSR form.
+    pub sparse: bool,
     /// Implementation used.
     pub implementation: Implementation,
     /// One clustering result per run.
@@ -28,7 +35,10 @@ impl RunSummary {
         if self.results.is_empty() {
             return 0.0;
         }
-        self.results.iter().map(|r| r.modeled_timings.total()).sum::<f64>()
+        self.results
+            .iter()
+            .map(|r| r.modeled_timings.total())
+            .sum::<f64>()
             / self.results.len() as f64
     }
 
@@ -37,17 +47,22 @@ impl RunSummary {
         if self.results.is_empty() {
             return 0.0;
         }
-        self.results.iter().map(|r| r.host_timings.total()).sum::<f64>() / self.results.len() as f64
+        self.results
+            .iter()
+            .map(|r| r.host_timings.total())
+            .sum::<f64>()
+            / self.results.len() as f64
     }
 
     /// Human-readable report, one line per run plus a summary footer.
     pub fn report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "dataset={} n={} d={} implementation={}\n",
+            "dataset={} n={} d={} layout={} implementation={}\n",
             self.dataset,
             self.n,
             self.d,
+            if self.sparse { "csr" } else { "dense" },
             self.implementation.name()
         ));
         for (run, result) in self.results.iter().enumerate() {
@@ -69,17 +84,112 @@ impl RunSummary {
     }
 }
 
-fn load_dataset(args: &CliArgs) -> Result<Dataset<f32>, String> {
-    match &args.input {
-        None => Ok(uniform_dataset::<f32>(args.n, args.d, args.seed)),
-        Some(path) => {
+/// Points in whichever layout the input source produced.
+enum LoadedPoints {
+    Dense(Dataset<f32>),
+    Sparse(SparseDataset<f32>),
+}
+
+impl LoadedPoints {
+    fn name(&self) -> &str {
+        match self {
+            LoadedPoints::Dense(ds) => ds.name(),
+            LoadedPoints::Sparse(ds) => ds.name(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        match self {
+            LoadedPoints::Dense(ds) => ds.n(),
+            LoadedPoints::Sparse(ds) => ds.n(),
+        }
+    }
+
+    fn d(&self) -> usize {
+        match self {
+            LoadedPoints::Dense(ds) => ds.d(),
+            LoadedPoints::Sparse(ds) => ds.d(),
+        }
+    }
+
+    fn fit_input(&self) -> FitInput<'_, f32> {
+        match self {
+            LoadedPoints::Dense(ds) => FitInput::Dense(ds.points()),
+            LoadedPoints::Sparse(ds) => FitInput::Sparse(ds.points()),
+        }
+    }
+}
+
+/// Decide between CSV and libSVM from the content: libSVM feature tokens
+/// contain a `:`, CSV rows contain a `,`. Lines showing neither are
+/// ambiguous and scanning continues until a decisive line is found.
+fn sniff_format(text: &str) -> InputFormat {
+    const SNIFF_LINES: usize = 200;
+    for line in text.lines().take(SNIFF_LINES) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line
+            .split_whitespace()
+            .skip(1)
+            .any(|token| token.contains(':'))
+        {
+            return InputFormat::Libsvm;
+        }
+        if line.contains(',') {
+            return InputFormat::Csv;
+        }
+        // Neither marker (e.g. a label-only libSVM row for an all-zero
+        // point, or a one-column CSV row): ambiguous, keep scanning.
+    }
+    InputFormat::Csv
+}
+
+/// Resolve `--format auto`: trust an unambiguous extension, otherwise sniff
+/// the content.
+fn resolve_format(path: &str, text: &str, requested: InputFormat) -> InputFormat {
+    match requested {
+        InputFormat::Csv | InputFormat::Libsvm => requested,
+        InputFormat::Auto => {
             let lower = path.to_lowercase();
-            if lower.ends_with(".libsvm") || lower.ends_with(".svm") || lower.ends_with(".txt") {
-                libsvm::read_libsvm::<f32>(path, None).map_err(|e| e.to_string())
+            if lower.ends_with(".libsvm") || lower.ends_with(".svm") {
+                InputFormat::Libsvm
+            } else if lower.ends_with(".csv") {
+                InputFormat::Csv
             } else {
-                csv::read_csv::<f32>(path, false).map_err(|e| e.to_string())
+                sniff_format(text)
             }
         }
+    }
+}
+
+fn load_dataset(args: &CliArgs) -> Result<LoadedPoints, String> {
+    let Some(path) = &args.input else {
+        return Ok(LoadedPoints::Dense(uniform_dataset::<f32>(
+            args.n, args.d, args.seed,
+        )));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let format = resolve_format(path, &text, args.format);
+    // Only suggest overriding the format when it was guessed, not chosen.
+    let hint = if args.format == InputFormat::Auto {
+        " (use --format to override the detected format)"
+    } else {
+        ""
+    };
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| path.clone());
+    match format {
+        InputFormat::Libsvm => libsvm::parse_libsvm_sparse::<f32>(name, &text, None)
+            .map(LoadedPoints::Sparse)
+            .map_err(|e| format!("failed to parse {path} as libsvm: {e}{hint}")),
+        InputFormat::Csv => csv::parse_csv::<f32>(name, &text, false)
+            .map(LoadedPoints::Dense)
+            .map_err(|e| format!("failed to parse {path} as csv: {e}{hint}")),
+        InputFormat::Auto => unreachable!("resolve_format never returns Auto"),
     }
 }
 
@@ -93,31 +203,36 @@ fn config_from(args: &CliArgs, run: usize) -> KernelKmeansConfig {
         strategy: Default::default(),
         init: args.init,
         seed: args.seed.wrapping_add(run as u64),
-        repair_empty_clusters: true,
+        repair_empty_clusters: args.repair_empty_clusters,
     }
+}
+
+/// Construct the selected implementation behind the unified [`Solver`] trait
+/// via the shared `popcorn-baselines` registry.
+pub fn build_solver(
+    implementation: Implementation,
+    config: KernelKmeansConfig,
+) -> Box<dyn Solver<f32>> {
+    implementation.build(config)
 }
 
 /// Run the requested clustering and return a summary (library entry point
 /// used by both the binary and the tests).
 pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
-    let dataset = load_dataset(args)?;
-    if args.k > dataset.n() {
-        return Err(format!("-k {} exceeds the number of points {}", args.k, dataset.n()));
+    let data = load_dataset(args)?;
+    if args.k > data.n() {
+        return Err(format!(
+            "-k {} exceeds the number of points {}",
+            args.k,
+            data.n()
+        ));
     }
     let mut results = Vec::with_capacity(args.runs);
     for run_idx in 0..args.runs {
-        let config = config_from(args, run_idx);
-        let result = match args.implementation {
-            Implementation::Popcorn => {
-                KernelKmeans::new(config).fit(dataset.points()).map_err(|e| e.to_string())?
-            }
-            Implementation::DenseBaseline => {
-                DenseGpuBaseline::new(config).fit(dataset.points()).map_err(|e| e.to_string())?
-            }
-            Implementation::Cpu => {
-                CpuKernelKmeans::new(config).fit(dataset.points()).map_err(|e| e.to_string())?
-            }
-        };
+        let solver = build_solver(args.implementation, config_from(args, run_idx));
+        let result = solver
+            .fit_input(data.fit_input())
+            .map_err(|e| e.to_string())?;
         results.push(result);
     }
 
@@ -132,9 +247,10 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
     }
 
     Ok(RunSummary {
-        dataset: dataset.name().to_string(),
-        n: dataset.n(),
-        d: dataset.d(),
+        dataset: data.name().to_string(),
+        n: data.n(),
+        d: data.d(),
+        sparse: matches!(data, LoadedPoints::Sparse(_)),
         implementation: args.implementation,
         results,
     })
@@ -162,17 +278,21 @@ mod tests {
         assert_eq!(summary.n, 60);
         assert_eq!(summary.d, 4);
         assert_eq!(summary.results.len(), 2);
+        assert!(!summary.sparse);
         assert!(summary.mean_modeled_seconds() > 0.0);
         assert!(summary.report().contains("run 0"));
         assert!(summary.report().contains("popcorn"));
+        assert!(summary.report().contains("layout=dense"));
     }
 
     #[test]
     fn runs_all_implementations() {
-        for implementation in
-            [Implementation::Popcorn, Implementation::DenseBaseline, Implementation::Cpu]
-        {
-            let args = CliArgs { implementation, runs: 1, ..quick_args() };
+        for implementation in Implementation::ALL {
+            let args = CliArgs {
+                implementation,
+                runs: 1,
+                ..quick_args()
+            };
             let summary = run(&args).unwrap();
             assert_eq!(summary.results.len(), 1);
             assert_eq!(summary.implementation, implementation);
@@ -182,7 +302,10 @@ mod tests {
 
     #[test]
     fn rejects_k_larger_than_n() {
-        let args = CliArgs { k: 100, ..quick_args() };
+        let args = CliArgs {
+            k: 100,
+            ..quick_args()
+        };
         assert!(run(&args).is_err());
     }
 
@@ -223,14 +346,177 @@ mod tests {
         let summary = run(&args).unwrap();
         assert_eq!(summary.n, 4);
         assert_eq!(summary.d, 2);
+        // libSVM inputs flow to the solver as CSR.
+        assert!(summary.sparse);
+        assert!(summary.report().contains("layout=csr"));
 
         let csv_path = dir.join("toy.csv");
         std::fs::write(&csv_path, "1.0,0.5\n5.0,5.5\n1.2,0.4\n5.2,5.4\n").unwrap();
-        let args = CliArgs { input: Some(csv_path.to_string_lossy().to_string()), ..args };
+        let args = CliArgs {
+            input: Some(csv_path.to_string_lossy().to_string()),
+            ..args
+        };
         let summary = run(&args).unwrap();
         assert_eq!(summary.n, 4);
+        assert!(!summary.sparse);
         std::fs::remove_file(&libsvm_path).ok();
         std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn sparse_and_dense_layouts_agree_for_all_kernel_solvers() {
+        // The same libSVM content driven once as CSR and once (via --format
+        // csv on an equivalent dense file) must cluster identically.
+        let dir = std::env::temp_dir().join("popcorn_cli_equiv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let libsvm_path = dir.join("points.libsvm");
+        std::fs::write(
+            &libsvm_path,
+            "0 1:1.0 2:0.5\n1 1:5.0 2:5.5\n0 1:1.2 2:0.4\n1 1:5.2 2:5.4\n0 1:0.9\n1 2:5.1\n",
+        )
+        .unwrap();
+        let csv_path = dir.join("points.csv");
+        std::fs::write(
+            &csv_path,
+            "1.0,0.5\n5.0,5.5\n1.2,0.4\n5.2,5.4\n0.9,0.0\n0.0,5.1\n",
+        )
+        .unwrap();
+        for implementation in Implementation::ALL {
+            let base = CliArgs {
+                k: 2,
+                runs: 1,
+                max_iter: 8,
+                implementation,
+                ..CliArgs::default()
+            };
+            let sparse = run(&CliArgs {
+                input: Some(libsvm_path.to_string_lossy().to_string()),
+                ..base.clone()
+            })
+            .unwrap();
+            let dense = run(&CliArgs {
+                input: Some(csv_path.to_string_lossy().to_string()),
+                ..base
+            })
+            .unwrap();
+            assert!(sparse.sparse && !dense.sparse);
+            assert_eq!(
+                sparse.results[0].labels,
+                dense.results[0].labels,
+                "{} disagrees across layouts",
+                implementation.name()
+            );
+        }
+        std::fs::remove_file(&libsvm_path).ok();
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn format_sniffing_handles_txt_extension() {
+        // A .txt file with libSVM content must parse as libSVM, and a .txt
+        // file with CSV content as CSV — the extension alone decides nothing.
+        let dir = std::env::temp_dir().join("popcorn_cli_sniff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svm_txt = dir.join("svm_style.txt");
+        std::fs::write(&svm_txt, "0 1:1.0\n1 1:5.0\n0 1:1.1\n1 1:5.1\n").unwrap();
+        let args = CliArgs {
+            input: Some(svm_txt.to_string_lossy().to_string()),
+            k: 2,
+            runs: 1,
+            max_iter: 3,
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert!(summary.sparse);
+
+        let csv_txt = dir.join("csv_style.txt");
+        std::fs::write(&csv_txt, "1.0,2.0\n5.0,6.0\n1.1,2.1\n5.1,6.1\n").unwrap();
+        let args = CliArgs {
+            input: Some(csv_txt.to_string_lossy().to_string()),
+            ..args
+        };
+        let summary = run(&args).unwrap();
+        assert!(!summary.sparse);
+        std::fs::remove_file(&svm_txt).ok();
+        std::fs::remove_file(&csv_txt).ok();
+    }
+
+    #[test]
+    fn explicit_format_overrides_extension() {
+        let dir = std::env::temp_dir().join("popcorn_cli_override");
+        std::fs::create_dir_all(&dir).unwrap();
+        // libSVM content behind a .csv extension: auto would mis-read it, the
+        // explicit flag routes it correctly.
+        let path = dir.join("mislabeled.csv");
+        std::fs::write(&path, "0 1:1.0\n1 1:5.0\n").unwrap();
+        let args = CliArgs {
+            input: Some(path.to_string_lossy().to_string()),
+            format: InputFormat::Libsvm,
+            k: 2,
+            runs: 1,
+            max_iter: 3,
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert!(summary.sparse);
+        assert_eq!(summary.n, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sniffing_skips_ambiguous_label_only_lines() {
+        // A libSVM file whose first row is label-only (a legal all-zero
+        // point) must still be detected as libSVM from the later rows.
+        let dir = std::env::temp_dir().join("popcorn_cli_labelonly");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("leading_zero_row.txt");
+        std::fs::write(&path, "0\n1 1:5.0\n0 2:1.5\n1 1:4.8\n").unwrap();
+        let args = CliArgs {
+            input: Some(path.to_string_lossy().to_string()),
+            k: 2,
+            runs: 1,
+            max_iter: 3,
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert!(summary.sparse);
+        assert_eq!(summary.n, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explicit_format_failure_has_no_override_hint() {
+        let dir = std::env::temp_dir().join("popcorn_cli_nohint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.libsvm");
+        std::fs::write(&path, "0 1:notanumber\n").unwrap();
+        let args = CliArgs {
+            input: Some(path.to_string_lossy().to_string()),
+            format: InputFormat::Libsvm,
+            ..quick_args()
+        };
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("as libsvm"), "unexpected error: {err}");
+        // The user chose the format explicitly; suggesting an override would
+        // point them at the wrong remedy.
+        assert!(!err.contains("--format"), "unexpected error: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_failures_name_the_format_and_suggest_override() {
+        let dir = std::env::temp_dir().join("popcorn_cli_badparse");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.libsvm");
+        std::fs::write(&path, "0 1:notanumber\n").unwrap();
+        let args = CliArgs {
+            input: Some(path.to_string_lossy().to_string()),
+            ..quick_args()
+        };
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("as libsvm"), "unexpected error: {err}");
+        assert!(err.contains("--format"), "unexpected error: {err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -240,5 +526,18 @@ mod tests {
             ..quick_args()
         };
         assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn repair_flag_reaches_solver_config() {
+        let args = CliArgs {
+            repair_empty_clusters: false,
+            ..quick_args()
+        };
+        let config = config_from(&args, 0);
+        assert!(!config.repair_empty_clusters);
+        let solver = build_solver(Implementation::Popcorn, config);
+        assert!(!solver.config().repair_empty_clusters);
+        assert_eq!(solver.name(), "popcorn");
     }
 }

@@ -54,7 +54,12 @@ pub fn assign_clusters<T: Scalar>(
         sizes[l] += 1;
     }
     let empty_clusters = sizes.iter().filter(|&&c| c == 0).count();
-    AssignmentOutcome { labels, changed, objective, empty_clusters }
+    AssignmentOutcome {
+        labels,
+        changed,
+        objective,
+        empty_clusters,
+    }
 }
 
 /// Repair empty clusters by moving, for each empty cluster, the point that is
@@ -138,11 +143,7 @@ mod tests {
 
     #[test]
     fn empty_cluster_detection() {
-        let d = DenseMatrix::from_rows(&[
-            vec![0.1, 5.0, 9.0],
-            vec![0.2, 5.0, 9.0],
-        ])
-        .unwrap();
+        let d = DenseMatrix::from_rows(&[vec![0.1, 5.0, 9.0], vec![0.2, 5.0, 9.0]]).unwrap();
         let exec = SimExecutor::a100_f32();
         let out = assign_clusters(&d, &[0, 0], &exec);
         assert_eq!(out.labels, vec![0, 0]);
@@ -196,7 +197,7 @@ mod tests {
         let repaired = repair_empty_clusters(&mut labels, &d, 4);
         assert_eq!(repaired, 3);
         // All four clusters are now non-empty.
-        let mut sizes = vec![0usize; 4];
+        let mut sizes = [0usize; 4];
         for &l in &labels {
             sizes[l] += 1;
         }

@@ -54,7 +54,10 @@ impl KernelKmeansConfig {
     /// Configuration matching the paper's timing experiments: polynomial
     /// kernel (γ = c = 1, r = 2), exactly 30 iterations, random init.
     pub fn paper_defaults(k: usize) -> Self {
-        Self { k, ..Self::default() }
+        Self {
+            k,
+            ..Self::default()
+        }
     }
 
     /// Builder-style setter for the kernel function.
@@ -94,6 +97,13 @@ impl KernelKmeansConfig {
         self
     }
 
+    /// Builder-style setter for the empty-cluster repair policy. Disabling it
+    /// leaves empty clusters empty, as the raw paper algorithm would.
+    pub fn with_repair_empty_clusters(mut self, repair: bool) -> Self {
+        self.repair_empty_clusters = repair;
+        self
+    }
+
     /// Validate the configuration against a dataset of `n` points.
     pub fn validate(&self, n: usize) -> Result<()> {
         if self.k == 0 {
@@ -109,7 +119,9 @@ impl KernelKmeansConfig {
             )));
         }
         if self.max_iter == 0 {
-            return Err(CoreError::InvalidConfig("max_iter must be at least 1".into()));
+            return Err(CoreError::InvalidConfig(
+                "max_iter must be at least 1".into(),
+            ));
         }
         if !self.tolerance.is_finite() || self.tolerance < 0.0 {
             return Err(CoreError::InvalidConfig(format!(
@@ -142,7 +154,8 @@ mod tests {
             .with_seed(7)
             .with_init(Initialization::KmeansPlusPlus)
             .with_convergence_check(true, 1e-6)
-            .with_strategy(KernelMatrixStrategy::ForceGemm);
+            .with_strategy(KernelMatrixStrategy::ForceGemm)
+            .with_repair_empty_clusters(false);
         assert_eq!(c.k, 50);
         assert_eq!(c.kernel, KernelFunction::Linear);
         assert_eq!(c.max_iter, 5);
@@ -151,6 +164,12 @@ mod tests {
         assert!(c.check_convergence);
         assert_eq!(c.tolerance, 1e-6);
         assert_eq!(c.strategy, KernelMatrixStrategy::ForceGemm);
+        assert!(!c.repair_empty_clusters);
+        assert!(
+            c.clone()
+                .with_repair_empty_clusters(true)
+                .repair_empty_clusters
+        );
     }
 
     #[test]
@@ -161,7 +180,10 @@ mod tests {
         assert!(c.validate(9).is_err());
         assert!(c.validate(0).is_err());
         assert!(KernelKmeansConfig::paper_defaults(0).validate(10).is_err());
-        assert!(KernelKmeansConfig::paper_defaults(2).with_max_iter(0).validate(10).is_err());
+        assert!(KernelKmeansConfig::paper_defaults(2)
+            .with_max_iter(0)
+            .validate(10)
+            .is_err());
         let mut bad_tol = KernelKmeansConfig::paper_defaults(2);
         bad_tol.tolerance = f64::NAN;
         assert!(bad_tol.validate(10).is_err());

@@ -92,7 +92,10 @@ pub fn compute_distances<T: Scalar>(
         || assemble(&mut e, point_norms, &centroid_norms),
     )?;
 
-    Ok(DistanceOutput { distances: e, centroid_norms })
+    Ok(DistanceOutput {
+        distances: e,
+        centroid_norms,
+    })
 }
 
 fn assemble<T: Scalar>(
@@ -141,7 +144,10 @@ pub fn compute_distances_reference<T: Scalar>(
             // An empty cluster has centroid at the origin of feature space.
             return T::from_f64(kernel_matrix[(i, i)].to_f64());
         }
-        let cross: f64 = m.iter().map(|&q| kernel_matrix[(i, q)].to_f64()).sum::<f64>()
+        let cross: f64 = m
+            .iter()
+            .map(|&q| kernel_matrix[(i, q)].to_f64())
+            .sum::<f64>()
             / m.len() as f64;
         T::from_f64(kernel_matrix[(i, i)].to_f64() - 2.0 * cross + cluster_self[j])
     })
@@ -165,7 +171,10 @@ mod tests {
         for kernel in [
             KernelFunction::Linear,
             KernelFunction::paper_polynomial(),
-            KernelFunction::Gaussian { gamma: 1.0, sigma: 1.5 },
+            KernelFunction::Gaussian {
+                gamma: 1.0,
+                sigma: 1.5,
+            },
         ] {
             let (k_matrix, assignments) = setup(kernel);
             let selection = SelectionMatrix::from_assignments(&assignments, 3).unwrap();
@@ -205,12 +214,8 @@ mod tests {
     #[test]
     fn distances_are_nonnegative_and_zero_for_singleton_own_cluster() {
         // A point alone in its cluster is its own centroid: distance 0.
-        let points = DenseMatrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![5.0, 5.0],
-            vec![1.1, 0.1],
-        ])
-        .unwrap();
+        let points =
+            DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![5.0, 5.0], vec![1.1, 0.1]]).unwrap();
         let k_matrix = kernel_matrix_reference(&points, KernelFunction::Linear);
         let assignments = vec![0, 1, 0];
         let selection = SelectionMatrix::from_assignments(&assignments, 2).unwrap();
@@ -219,7 +224,10 @@ mod tests {
         let out = compute_distances(&k_matrix, &p_norms, &selection, &exec).unwrap();
         for i in 0..3 {
             for j in 0..2 {
-                assert!(out.distances[(i, j)] > -1e-9, "negative distance at ({i},{j})");
+                assert!(
+                    out.distances[(i, j)] > -1e-9,
+                    "negative distance at ({i},{j})"
+                );
             }
         }
         assert!(out.distances[(1, 1)].abs() < 1e-9);

@@ -11,6 +11,9 @@ pub enum CoreError {
     InvalidConfig(String),
     /// The input data is unusable (empty, wrong shape, non-finite values).
     InvalidInput(String),
+    /// The requested operation is not supported by this solver (e.g. fitting
+    /// Lloyd's algorithm from a precomputed kernel matrix).
+    Unsupported(String),
     /// An underlying dense kernel failed.
     Dense(DenseError),
     /// An underlying sparse kernel failed.
@@ -22,6 +25,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             CoreError::Dense(e) => write!(f, "dense kernel error: {e}"),
             CoreError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
         }
@@ -48,8 +52,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::InvalidConfig("k = 0".into()).to_string().contains("k = 0"));
-        assert!(CoreError::InvalidInput("empty".into()).to_string().contains("empty"));
+        assert!(CoreError::InvalidConfig("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
+        assert!(CoreError::InvalidInput("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(CoreError::Unsupported("no kernel".into())
+            .to_string()
+            .contains("no kernel"));
         let d: CoreError = DenseError::EmptyMatrix { op: "gemm" }.into();
         assert!(d.to_string().contains("gemm"));
         let s: CoreError = SparseError::Empty { op: "selection" }.into();

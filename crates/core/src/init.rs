@@ -52,7 +52,9 @@ pub fn kmeanspp_assignments<T: Scalar>(
 ) -> Result<Vec<usize>> {
     let n = kernel_matrix.rows();
     if !kernel_matrix.is_square() {
-        return Err(CoreError::InvalidInput("kernel matrix must be square".into()));
+        return Err(CoreError::InvalidInput(
+            "kernel matrix must be square".into(),
+        ));
     }
     if k == 0 || n == 0 || k > n {
         return Err(CoreError::InvalidConfig(format!(
@@ -89,10 +91,10 @@ pub fn kmeanspp_assignments<T: Scalar>(
             chosen
         };
         centers.push(next);
-        for i in 0..n {
+        for (i, best) in best_dist.iter_mut().enumerate() {
             let d = sq_dist(i, next);
-            if d < best_dist[i] {
-                best_dist[i] = d;
+            if d < *best {
+                *best = d;
             }
         }
     }
@@ -145,7 +147,7 @@ mod tests {
     #[test]
     fn random_assignments_use_all_clusters_for_large_n() {
         let a = random_assignments(1000, 10, 1).unwrap();
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for &l in &a {
             seen[l] = true;
         }

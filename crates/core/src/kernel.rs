@@ -51,12 +51,19 @@ impl KernelFunction {
     /// The polynomial kernel with the parameters the paper uses in §5.1.3
     /// (γ = 1, c = 1, r = 2).
     pub fn paper_polynomial() -> Self {
-        KernelFunction::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 }
+        KernelFunction::Polynomial {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        }
     }
 
     /// A Gaussian kernel with unit γ and σ.
     pub fn default_gaussian() -> Self {
-        KernelFunction::Gaussian { gamma: 1.0, sigma: 1.0 }
+        KernelFunction::Gaussian {
+            gamma: 1.0,
+            sigma: 1.0,
+        }
     }
 
     /// Short name matching the artifact's `-f` flag values.
@@ -79,9 +86,11 @@ impl KernelFunction {
     pub fn apply(&self, b_ij: f64, b_ii: f64, b_jj: f64) -> f64 {
         match *self {
             KernelFunction::Linear => b_ij,
-            KernelFunction::Polynomial { gamma, coef0, degree } => {
-                (gamma * b_ij + coef0).powi(degree)
-            }
+            KernelFunction::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * b_ij + coef0).powi(degree),
             KernelFunction::Gaussian { gamma, sigma } => {
                 let sq_dist = b_ii + b_jj - 2.0 * b_ij;
                 (-gamma * sq_dist / (sigma * sigma)).exp()
@@ -93,7 +102,11 @@ impl KernelFunction {
     /// Evaluate the kernel directly on two points (reference path used by
     /// tests to validate the Gram-matrix path).
     pub fn evaluate<T: Scalar>(&self, x: &[T], y: &[T]) -> f64 {
-        let b_ij: f64 = x.iter().zip(y.iter()).map(|(&a, &b)| a.to_f64() * b.to_f64()).sum();
+        let b_ij: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| a.to_f64() * b.to_f64())
+            .sum();
         let b_ii: f64 = x.iter().map(|&a| a.to_f64() * a.to_f64()).sum();
         let b_jj: f64 = y.iter().map(|&b| b.to_f64() * b.to_f64()).sum();
         self.apply(b_ij, b_ii, b_jj)
@@ -135,7 +148,9 @@ pub fn kernel_matrix_reference<T: Scalar>(
     kernel: KernelFunction,
 ) -> DenseMatrix<T> {
     let n = points.rows();
-    DenseMatrix::from_fn(n, n, |i, j| T::from_f64(kernel.evaluate(points.row(i), points.row(j))))
+    DenseMatrix::from_fn(n, n, |i, j| {
+        T::from_f64(kernel.evaluate(points.row(i), points.row(j)))
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +187,10 @@ mod tests {
 
     #[test]
     fn gaussian_kernel_properties() {
-        let k = KernelFunction::Gaussian { gamma: 1.0, sigma: 1.0 };
+        let k = KernelFunction::Gaussian {
+            gamma: 1.0,
+            sigma: 1.0,
+        };
         // identical points -> distance 0 -> kernel 1
         assert!((k.evaluate(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
         // farther points -> smaller kernel value
@@ -185,10 +203,13 @@ mod tests {
 
     #[test]
     fn sigmoid_kernel_bounded() {
-        let k = KernelFunction::Sigmoid { gamma: 0.5, coef0: 0.0 };
+        let k = KernelFunction::Sigmoid {
+            gamma: 0.5,
+            coef0: 0.0,
+        };
         for b in [-100.0, -1.0, 0.0, 1.0, 100.0] {
             let v = k.apply(b, 0.0, 0.0);
-            assert!(v >= -1.0 && v <= 1.0);
+            assert!((-1.0..=1.0).contains(&v));
         }
         assert_eq!(k.name(), "sigmoid");
     }
@@ -199,8 +220,14 @@ mod tests {
         for kernel in [
             KernelFunction::Linear,
             KernelFunction::paper_polynomial(),
-            KernelFunction::Gaussian { gamma: 0.7, sigma: 1.3 },
-            KernelFunction::Sigmoid { gamma: 0.2, coef0: 0.1 },
+            KernelFunction::Gaussian {
+                gamma: 0.7,
+                sigma: 1.3,
+            },
+            KernelFunction::Sigmoid {
+                gamma: 0.2,
+                coef0: 0.1,
+            },
         ] {
             let mut gram = matmul_nt(&points, &points).unwrap();
             kernel.apply_to_gram(&mut gram);
@@ -218,7 +245,10 @@ mod tests {
         let points = sample_points();
         for kernel in [
             KernelFunction::paper_polynomial(),
-            KernelFunction::Gaussian { gamma: 1.0, sigma: 2.0 },
+            KernelFunction::Gaussian {
+                gamma: 1.0,
+                sigma: 2.0,
+            },
         ] {
             let k = kernel_matrix_reference(&points, kernel);
             for i in 0..points.rows() {
@@ -242,7 +272,14 @@ mod tests {
     fn flops_per_entry_positive_for_nonlinear() {
         assert!(KernelFunction::paper_polynomial().flops_per_entry() > 0);
         assert!(KernelFunction::default_gaussian().flops_per_entry() > 0);
-        assert!(KernelFunction::Sigmoid { gamma: 1.0, coef0: 0.0 }.flops_per_entry() > 0);
+        assert!(
+            KernelFunction::Sigmoid {
+                gamma: 1.0,
+                coef0: 0.0
+            }
+            .flops_per_entry()
+                > 0
+        );
     }
 
     #[test]

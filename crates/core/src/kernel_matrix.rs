@@ -6,11 +6,13 @@
 //! Each step is charged to the simulator so the experiments can attribute
 //! time exactly as the paper's Figure 8 does.
 
+use crate::errors::CoreError;
 use crate::kernel::KernelFunction;
 use crate::strategy::{self, GramRoutine, KernelMatrixStrategy};
 use crate::Result;
-use popcorn_dense::{matmul_nt, syrk, symmetrize_lower, DenseMatrix, Scalar, Triangle};
+use popcorn_dense::{matmul_nt, symmetrize_lower, syrk, DenseMatrix, Scalar, Triangle};
 use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
+use popcorn_sparse::CsrMatrix;
 
 /// Width of the sparse index type assumed by the cost accounting (the paper
 /// assumes 32-bit indices in §4.4).
@@ -53,8 +55,70 @@ pub fn compute_gram<T: Scalar>(
             b.scale(T::ONE);
             b
         }
+        GramRoutine::SpGemm => {
+            return Err(CoreError::InvalidInput(
+                "the SpGemm gram routine requires a sparse (CSR) input; \
+                 use compute_gram_csr"
+                    .into(),
+            ))
+        }
     };
     Ok(gram)
+}
+
+/// Modeled cost of the SpGEMM Gram product `B = P̂ P̂ᵀ` over CSR points.
+///
+/// Gustavson-style accounting: FLOPs are the stored-entry pairs (not
+/// `2n²d`), both CSR operands are streamed once and the dense n×n output is
+/// written once; the irregular access pattern is priced by the SpGEMM
+/// class's low compute/memory efficiencies. The single definition is shared
+/// by every execution path that charges a sparse Gram product.
+pub fn spgemm_gram_cost<T: Scalar>(points: &CsrMatrix<T>) -> OpCost {
+    let n = points.rows();
+    let elem = std::mem::size_of::<T>();
+    OpCost::new(
+        points.gram_flops(),
+        2 * points.storage_bytes(elem, INDEX_BYTES),
+        (n * n * elem) as u64,
+    )
+}
+
+/// Compute the Gram matrix `B = P̂ P̂ᵀ` directly from CSR points, charging the
+/// product to the executor as an SpGEMM (cuSPARSE-class, §4.4) rather than a
+/// dense GEMM — the sparse input never gets densified.
+pub fn compute_gram_csr<T: Scalar>(
+    points: &CsrMatrix<T>,
+    executor: &SimExecutor,
+) -> Result<DenseMatrix<T>> {
+    let n = points.rows();
+    let d = points.cols();
+    let nnz = points.nnz();
+    let gram = executor.run(
+        format!("spgemm B = P*P^T (n={n}, d={d}, nnz={nnz})"),
+        Phase::KernelMatrix,
+        OpClass::SpGEMM,
+        spgemm_gram_cost(points),
+        || points.gram(),
+    );
+    Ok(gram)
+}
+
+/// Apply the kernel function elementwise to a Gram matrix, charging the
+/// transform to the executor (shared tail of the dense and sparse paths).
+fn apply_kernel_to_gram<T: Scalar>(
+    gram: &mut DenseMatrix<T>,
+    kernel: KernelFunction,
+    executor: &SimExecutor,
+) {
+    let n = gram.rows();
+    let elem = std::mem::size_of::<T>();
+    executor.run(
+        format!("apply {} kernel to B (n={n})", kernel.name()),
+        Phase::KernelMatrix,
+        OpClass::Elementwise,
+        OpCost::elementwise(n * n, 1, 1, kernel.flops_per_entry().max(1), elem),
+        || kernel.apply_to_gram(gram),
+    );
 }
 
 /// Compute the kernel matrix `K = kernel(P̂ P̂ᵀ)`, returning the matrix and
@@ -65,19 +129,24 @@ pub fn compute_kernel_matrix<T: Scalar>(
     strategy: KernelMatrixStrategy,
     executor: &SimExecutor,
 ) -> Result<(DenseMatrix<T>, GramRoutine)> {
-    let n = points.rows();
-    let d = points.cols();
-    let elem = std::mem::size_of::<T>();
-    let routine = strategy.select(n, d);
+    let routine = strategy.select(points.rows(), points.cols());
     let mut gram = compute_gram(points, routine, executor)?;
-    executor.run(
-        format!("apply {} kernel to B (n={n})", kernel.name()),
-        Phase::KernelMatrix,
-        OpClass::Elementwise,
-        OpCost::elementwise(n * n, 1, 1, kernel.flops_per_entry().max(1), elem),
-        || kernel.apply_to_gram(&mut gram),
-    );
+    apply_kernel_to_gram(&mut gram, kernel, executor);
     Ok((gram, routine))
+}
+
+/// Compute the kernel matrix `K = kernel(P̂ P̂ᵀ)` from CSR points: SpGEMM Gram
+/// product followed by the same elementwise kernel application the dense path
+/// uses. The GEMM/SYRK strategy does not apply — the routine is always
+/// [`GramRoutine::SpGemm`].
+pub fn compute_kernel_matrix_csr<T: Scalar>(
+    points: &CsrMatrix<T>,
+    kernel: KernelFunction,
+    executor: &SimExecutor,
+) -> Result<(DenseMatrix<T>, GramRoutine)> {
+    let mut gram = compute_gram_csr(points, executor)?;
+    apply_kernel_to_gram(&mut gram, kernel, executor);
+    Ok((gram, GramRoutine::SpGemm))
 }
 
 /// Extract `diag(K)` — the squared feature-space norms of the points (`P̃`,
@@ -123,17 +192,20 @@ mod tests {
         for kernel in [
             KernelFunction::Linear,
             KernelFunction::paper_polynomial(),
-            KernelFunction::Gaussian { gamma: 0.5, sigma: 1.0 },
+            KernelFunction::Gaussian {
+                gamma: 0.5,
+                sigma: 1.0,
+            },
         ] {
-            let (k, _) = compute_kernel_matrix(
-                &points,
-                kernel,
-                KernelMatrixStrategy::ForceGemm,
-                &exec,
-            )
-            .unwrap();
+            let (k, _) =
+                compute_kernel_matrix(&points, kernel, KernelMatrixStrategy::ForceGemm, &exec)
+                    .unwrap();
             let reference = kernel_matrix_reference(&points, kernel);
-            assert!(k.approx_eq(&reference, 1e-9, 1e-9), "kernel {}", kernel.name());
+            assert!(
+                k.approx_eq(&reference, 1e-9, 1e-9),
+                "kernel {}",
+                kernel.name()
+            );
         }
     }
 

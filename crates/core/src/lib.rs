@@ -29,8 +29,10 @@ pub mod errors;
 pub mod init;
 pub mod kernel;
 pub mod kernel_matrix;
+pub mod pipeline;
 pub mod popcorn;
 pub mod result;
+pub mod solver;
 pub mod strategy;
 
 pub use config::KernelKmeansConfig;
@@ -39,6 +41,7 @@ pub use init::Initialization;
 pub use kernel::KernelFunction;
 pub use popcorn::KernelKmeans;
 pub use result::{ClusteringResult, IterationStats, TimingBreakdown};
+pub use solver::{FitInput, Solver};
 pub use strategy::{GramRoutine, KernelMatrixStrategy};
 
 /// Result alias used across the core crate.

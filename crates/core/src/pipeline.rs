@@ -1,0 +1,187 @@
+//! The shared kernel k-means iteration loop.
+//!
+//! Popcorn, the CPU reference and the dense GPU baseline all run the same
+//! outer loop (paper Alg. 2 lines 3–14): initial assignment, then per
+//! iteration a distance matrix, a row-wise argmin, optional empty-cluster
+//! repair and a convergence check. The three implementations differ **only**
+//! in how the distance matrix is produced — Popcorn's SpMM/SpMV engine, the
+//! PRMLT-style sequential loops, or the baseline's three hand-written
+//! kernels. [`iterate`] owns the loop; each solver supplies a
+//! [`DistanceEngine`] for its distance phase, so the convergence/repair
+//! plumbing exists exactly once.
+
+use crate::assignment::{assign_clusters, repair_empty_clusters};
+use crate::config::KernelKmeansConfig;
+use crate::errors::CoreError;
+use crate::init::initial_assignments;
+use crate::result::{ClusteringResult, IterationStats, TimingBreakdown};
+use crate::Result;
+use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::SimExecutor;
+
+/// Produces the `n × k` distance matrix for one iteration. Implementations
+/// charge their own operations to the executor.
+pub trait DistanceEngine<T: Scalar> {
+    /// Distances of every point to every centroid under `labels`.
+    fn distances(
+        &mut self,
+        iteration: usize,
+        kernel_matrix: &DenseMatrix<T>,
+        labels: &[usize],
+        executor: &SimExecutor,
+    ) -> Result<DenseMatrix<T>>;
+}
+
+/// Run the clustering iterations on a precomputed kernel matrix and assemble
+/// the [`ClusteringResult`] from the executor's trace.
+pub fn iterate<T: Scalar>(
+    kernel_matrix: &DenseMatrix<T>,
+    config: &KernelKmeansConfig,
+    executor: &SimExecutor,
+    engine: &mut dyn DistanceEngine<T>,
+) -> Result<ClusteringResult> {
+    let n = kernel_matrix.rows();
+    config.validate(n)?;
+    if !kernel_matrix.is_square() {
+        return Err(CoreError::InvalidInput(format!(
+            "kernel matrix must be square, got {}x{}",
+            kernel_matrix.rows(),
+            kernel_matrix.cols()
+        )));
+    }
+    let k = config.k;
+
+    // Initial assignment (Alg. 2 line 3).
+    let mut labels = initial_assignments(kernel_matrix, k, config.init, config.seed)?;
+
+    let mut history: Vec<IterationStats> = Vec::with_capacity(config.max_iter);
+    let mut converged = false;
+    let mut iterations = 0usize;
+    let mut prev_objective = f64::INFINITY;
+
+    for iteration in 0..config.max_iter {
+        // Distance matrix D (lines 4–10, solver-specific).
+        let distances = engine.distances(iteration, kernel_matrix, &labels, executor)?;
+
+        // Assignment update (lines 11–13).
+        let outcome = assign_clusters(&distances, &labels, executor);
+        let mut new_labels = outcome.labels;
+        if config.repair_empty_clusters && outcome.empty_clusters > 0 {
+            repair_empty_clusters(&mut new_labels, &distances, k);
+        }
+
+        history.push(IterationStats {
+            iteration,
+            objective: outcome.objective,
+            changed: outcome.changed,
+            empty_clusters: outcome.empty_clusters,
+        });
+        labels = new_labels;
+        iterations = iteration + 1;
+
+        // Convergence: assignments stopped changing, or the objective's
+        // relative improvement fell below the tolerance.
+        if config.check_convergence {
+            let rel_change = if prev_objective.is_finite() {
+                (prev_objective - outcome.objective).abs()
+                    / outcome.objective.abs().max(f64::MIN_POSITIVE)
+            } else {
+                f64::INFINITY
+            };
+            if outcome.changed == 0 || rel_change <= config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        prev_objective = outcome.objective;
+    }
+
+    Ok(finalize(
+        labels, k, iterations, converged, history, executor,
+    ))
+}
+
+/// Assemble a [`ClusteringResult`] from loop state and the executor's trace.
+pub fn finalize(
+    labels: Vec<usize>,
+    k: usize,
+    iterations: usize,
+    converged: bool,
+    history: Vec<IterationStats>,
+    executor: &SimExecutor,
+) -> ClusteringResult {
+    let trace = executor.trace();
+    let objective = history.last().map(|h| h.objective).unwrap_or(f64::NAN);
+    ClusteringResult {
+        labels,
+        k,
+        iterations,
+        converged,
+        objective,
+        history,
+        modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
+        host_timings: TimingBreakdown::from_trace_host(&trace),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distances::compute_distances_reference;
+    use crate::kernel::{kernel_matrix_reference, KernelFunction};
+
+    /// A trivially correct engine: the reference kernel-trick distances.
+    struct ReferenceEngine;
+
+    impl<T: Scalar> DistanceEngine<T> for ReferenceEngine {
+        fn distances(
+            &mut self,
+            _iteration: usize,
+            kernel_matrix: &DenseMatrix<T>,
+            labels: &[usize],
+            _executor: &SimExecutor,
+        ) -> Result<DenseMatrix<T>> {
+            let k = labels.iter().copied().max().unwrap_or(0) + 1;
+            Ok(compute_distances_reference(kernel_matrix, labels, k.max(2)))
+        }
+    }
+
+    #[test]
+    fn loop_converges_on_separated_blobs() {
+        let points = DenseMatrix::from_fn(20, 2, |i, j| {
+            let offset = if i < 10 { 0.0 } else { 30.0 };
+            offset + ((i * 2 + j) as f64 * 0.3).sin()
+        });
+        let kernel_matrix = kernel_matrix_reference(&points, KernelFunction::Linear);
+        let config = KernelKmeansConfig::paper_defaults(2)
+            .with_max_iter(20)
+            .with_convergence_check(true, 1e-12)
+            .with_seed(4);
+        let exec = SimExecutor::a100_f32();
+        let result = iterate(&kernel_matrix, &config, &exec, &mut ReferenceEngine).unwrap();
+        assert!(result.converged);
+        assert_eq!(result.labels.len(), 20);
+        assert_eq!(result.non_empty_clusters(), 2);
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn loop_validates_kernel_matrix_shape() {
+        let rect = DenseMatrix::<f64>::zeros(4, 3);
+        let config = KernelKmeansConfig::paper_defaults(2);
+        let exec = SimExecutor::a100_f32();
+        assert!(matches!(
+            iterate(&rect, &config, &exec, &mut ReferenceEngine),
+            Err(CoreError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn finalize_empty_history_gives_nan_objective() {
+        let exec = SimExecutor::a100_f32();
+        let result = finalize(vec![0, 1], 2, 0, false, Vec::new(), &exec);
+        assert!(result.objective.is_nan());
+        assert_eq!(result.iterations, 0);
+    }
+}

@@ -1,19 +1,19 @@
 //! The Popcorn kernel k-means solver (paper Algorithm 2).
 //!
-//! [`KernelKmeans`] wires the pieces together: kernel-matrix computation with
-//! dynamic GEMM/SYRK selection, the per-iteration SpMM + SpMV distance
-//! engine, argmin assignment and selection-matrix rebuild — all executed on
-//! the host substrates while every operation is charged to a
+//! [`KernelKmeans`] wires the pieces together through the shared
+//! [`crate::pipeline`]: kernel-matrix computation with dynamic GEMM/SYRK
+//! selection (or SpGEMM for sparse inputs), the per-iteration SpMM + SpMV
+//! distance engine, argmin assignment and selection-matrix rebuild — all
+//! executed on the host substrates while every operation is charged to a
 //! [`SimExecutor`] so the result carries both measured host timings and
 //! modeled A100 timings broken down by phase.
 
-use crate::assignment::{assign_clusters, repair_empty_clusters};
 use crate::config::KernelKmeansConfig;
 use crate::distances::compute_distances;
-use crate::errors::CoreError;
-use crate::init::initial_assignments;
-use crate::kernel_matrix::{compute_kernel_matrix, extract_point_norms};
-use crate::result::{ClusteringResult, IterationStats, TimingBreakdown};
+use crate::kernel_matrix::extract_point_norms;
+use crate::pipeline::{self, DistanceEngine};
+use crate::result::ClusteringResult;
+use crate::solver::{FitInput, Solver};
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
@@ -26,12 +26,55 @@ pub struct KernelKmeans {
     executor: Option<SimExecutor>,
 }
 
+/// Popcorn's matrix-centric distance engine: rebuild `V`, one SpMM, one
+/// gather, one SpMV and one assembly kernel per iteration (Alg. 2 lines
+/// 4–10). The point norms `P̃ = diag(K)` are extracted once on first use.
+struct PopcornEngine<T: Scalar> {
+    k: usize,
+    point_norms: Option<Vec<T>>,
+}
+
+impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
+    fn distances(
+        &mut self,
+        iteration: usize,
+        kernel_matrix: &DenseMatrix<T>,
+        labels: &[usize],
+        executor: &SimExecutor,
+    ) -> Result<DenseMatrix<T>> {
+        let n = kernel_matrix.rows();
+        let elem = std::mem::size_of::<T>();
+
+        // P̃ = diag(K), computed once (paper Alg. 2 line 2).
+        if self.point_norms.is_none() {
+            self.point_norms = Some(extract_point_norms(kernel_matrix, executor)?);
+        }
+        let point_norms = self.point_norms.as_ref().expect("just populated");
+
+        // Rebuild V from the current assignment (lines 4 / 14; a small
+        // counting-sort kernel in the original implementation).
+        let selection = executor.run(
+            format!("rebuild V (iteration {iteration})"),
+            Phase::Assignment,
+            OpClass::Other,
+            OpCost::elementwise(n, 1, 3, 0, elem),
+            || SelectionMatrix::<T>::from_assignments(labels, self.k),
+        )?;
+
+        // Distance matrix D (lines 7–10).
+        Ok(compute_distances(kernel_matrix, point_norms, &selection, executor)?.distances)
+    }
+}
+
 impl KernelKmeans {
     /// Create a solver with the given configuration. The simulated device
     /// defaults to the paper's A100 and is created lazily at `fit` time so
     /// that the element width matches the scalar type used.
     pub fn new(config: KernelKmeansConfig) -> Self {
-        Self { config, executor: None }
+        Self {
+            config,
+            executor: None,
+        }
     }
 
     /// Use a specific simulator executor (e.g. a different device preset or a
@@ -52,142 +95,61 @@ impl KernelKmeans {
             .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
     }
 
-    /// Run the full pipeline on a point matrix `P̂` (n × d): upload, kernel
-    /// matrix, then the clustering iterations.
-    pub fn fit<T: Scalar>(&self, points: &DenseMatrix<T>) -> Result<ClusteringResult> {
-        let n = points.rows();
-        self.config.validate(n)?;
-        if points.cols() == 0 {
-            return Err(CoreError::InvalidInput("points have zero features".into()));
-        }
-        if points.as_slice().iter().any(|v| !v.is_finite()) {
-            return Err(CoreError::InvalidInput("points contain non-finite values".into()));
-        }
+    fn iterate_with<T: Scalar>(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> Result<ClusteringResult> {
+        let mut engine = PopcornEngine {
+            k: self.config.k,
+            point_norms: None,
+        };
+        pipeline::iterate(kernel_matrix, &self.config, executor, &mut engine)
+    }
+}
+
+impl<T: Scalar> Solver<T> for KernelKmeans {
+    fn name(&self) -> &'static str {
+        "popcorn"
+    }
+
+    fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline on dense or CSR points: upload, kernel matrix
+    /// (GEMM/SYRK for dense, SpGEMM for sparse), then the clustering
+    /// iterations.
+    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
+        self.config.validate(input.n())?;
+        input.validate()?;
         let executor = self.executor_for::<T>();
-        let elem = std::mem::size_of::<T>();
 
         // Data preparation: host -> device copy of P̂ (paper §4.1).
-        executor.charge(
-            format!("upload P ({} x {})", n, points.cols()),
-            Phase::DataPreparation,
-            OpClass::Transfer,
-            OpCost::transfer((n * points.cols() * elem) as u64),
-        );
+        input.charge_upload(&executor);
 
         let (kernel_matrix, _routine) =
-            compute_kernel_matrix(points, self.config.kernel, self.config.strategy, &executor)?;
-        self.fit_from_kernel_with_executor(&kernel_matrix, &executor)
+            input.compute_kernel_matrix(self.config.kernel, self.config.strategy, &executor)?;
+        self.iterate_with(&kernel_matrix, &executor)
     }
 
     /// Run only the clustering iterations on a precomputed kernel matrix.
     /// Used by the distance-phase experiments (Figures 4–6), which exclude
     /// the kernel-matrix time by design.
-    pub fn fit_from_kernel<T: Scalar>(
-        &self,
-        kernel_matrix: &DenseMatrix<T>,
-    ) -> Result<ClusteringResult> {
+    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.fit_from_kernel_with_executor(kernel_matrix, &executor)
-    }
-
-    fn fit_from_kernel_with_executor<T: Scalar>(
-        &self,
-        kernel_matrix: &DenseMatrix<T>,
-        executor: &SimExecutor,
-    ) -> Result<ClusteringResult> {
-        let n = kernel_matrix.rows();
-        self.config.validate(n)?;
-        if !kernel_matrix.is_square() {
-            return Err(CoreError::InvalidInput(format!(
-                "kernel matrix must be square, got {}x{}",
-                kernel_matrix.rows(),
-                kernel_matrix.cols()
-            )));
-        }
-        let k = self.config.k;
-        let elem = std::mem::size_of::<T>();
-
-        // P̃ = diag(K), computed once (paper Alg. 2 line 2).
-        let point_norms = extract_point_norms(kernel_matrix, executor)?;
-
-        // Initial random assignment (line 3) and first V (line 4).
-        let mut labels =
-            initial_assignments(kernel_matrix, k, self.config.init, self.config.seed)?;
-
-        let mut history: Vec<IterationStats> = Vec::with_capacity(self.config.max_iter);
-        let mut converged = false;
-        let mut iterations = 0usize;
-        let mut prev_objective = f64::INFINITY;
-
-        for iteration in 0..self.config.max_iter {
-            // Rebuild V from the current assignment (lines 4 / 14; a small
-            // counting-sort kernel in the original implementation).
-            let selection = executor.run(
-                format!("rebuild V (iteration {iteration})"),
-                Phase::Assignment,
-                OpClass::Other,
-                OpCost::elementwise(n, 1, 3, 0, elem),
-                || SelectionMatrix::<T>::from_assignments(&labels, k),
-            )?;
-
-            // Distance matrix D (lines 7–10).
-            let distances = compute_distances(kernel_matrix, &point_norms, &selection, executor)?;
-
-            // Assignment update (lines 11–13).
-            let outcome = assign_clusters(&distances.distances, &labels, executor);
-            let mut new_labels = outcome.labels;
-            if self.config.repair_empty_clusters && outcome.empty_clusters > 0 {
-                repair_empty_clusters(&mut new_labels, &distances.distances, k);
-            }
-
-            history.push(IterationStats {
-                iteration,
-                objective: outcome.objective,
-                changed: outcome.changed,
-                empty_clusters: outcome.empty_clusters,
-            });
-            labels = new_labels;
-            iterations = iteration + 1;
-
-            // Convergence: assignments stopped changing, or the objective's
-            // relative improvement fell below the tolerance.
-            if self.config.check_convergence {
-                let rel_change = if prev_objective.is_finite() {
-                    (prev_objective - outcome.objective).abs()
-                        / outcome.objective.abs().max(f64::MIN_POSITIVE)
-                } else {
-                    f64::INFINITY
-                };
-                if outcome.changed == 0 || rel_change <= self.config.tolerance {
-                    converged = true;
-                    break;
-                }
-            }
-            prev_objective = outcome.objective;
-        }
-
-        let trace = executor.trace();
-        let objective = history.last().map(|h| h.objective).unwrap_or(f64::NAN);
-        Ok(ClusteringResult {
-            labels,
-            k,
-            iterations,
-            converged,
-            objective,
-            history,
-            modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
-            host_timings: TimingBreakdown::from_trace_host(&trace),
-            trace,
-        })
+        self.iterate_with(kernel_matrix, &executor)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::errors::CoreError;
     use crate::init::Initialization;
     use crate::kernel::KernelFunction;
     use crate::strategy::KernelMatrixStrategy;
+    use popcorn_sparse::CsrMatrix;
 
     /// Two well separated blobs in 2-D, 12 points each.
     fn blob_points() -> DenseMatrix<f64> {
@@ -207,7 +169,9 @@ mod tests {
 
     #[test]
     fn recovers_two_blobs_with_linear_kernel() {
-        let result = KernelKmeans::new(quick_config(2)).fit(&blob_points()).unwrap();
+        let result = KernelKmeans::new(quick_config(2))
+            .fit(&blob_points())
+            .unwrap();
         assert_eq!(result.labels.len(), 24);
         assert!(result.converged);
         // The two halves must be internally consistent and mutually distinct.
@@ -221,14 +185,21 @@ mod tests {
     #[test]
     fn objective_is_monotone_non_increasing() {
         let result = KernelKmeans::new(
-            quick_config(3).with_convergence_check(false, 0.0).with_max_iter(10),
+            quick_config(3)
+                .with_convergence_check(false, 0.0)
+                .with_max_iter(10),
         )
         .fit(&blob_points())
         .unwrap();
         let history = result.objective_history();
         assert_eq!(history.len(), 10);
         for w in history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "objective increased: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -245,7 +216,10 @@ mod tests {
     fn polynomial_and_gaussian_kernels_run() {
         for kernel in [
             KernelFunction::paper_polynomial(),
-            KernelFunction::Gaussian { gamma: 1.0, sigma: 5.0 },
+            KernelFunction::Gaussian {
+                gamma: 1.0,
+                sigma: 5.0,
+            },
         ] {
             let cfg = quick_config(2).with_kernel(kernel);
             let result = KernelKmeans::new(cfg).fit(&blob_points()).unwrap();
@@ -255,8 +229,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = KernelKmeans::new(quick_config(3)).fit(&blob_points()).unwrap();
-        let b = KernelKmeans::new(quick_config(3)).fit(&blob_points()).unwrap();
+        let a = KernelKmeans::new(quick_config(3))
+            .fit(&blob_points())
+            .unwrap();
+        let b = KernelKmeans::new(quick_config(3))
+            .fit(&blob_points())
+            .unwrap();
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.iterations, b.iterations);
     }
@@ -271,7 +249,9 @@ mod tests {
 
     #[test]
     fn timings_are_populated_per_phase() {
-        let result = KernelKmeans::new(quick_config(2)).fit(&blob_points()).unwrap();
+        let result = KernelKmeans::new(quick_config(2))
+            .fit(&blob_points())
+            .unwrap();
         assert!(result.modeled_timings.data_preparation > 0.0);
         assert!(result.modeled_timings.kernel_matrix > 0.0);
         assert!(result.modeled_timings.pairwise_distances > 0.0);
@@ -284,18 +264,16 @@ mod tests {
     #[test]
     fn fit_from_kernel_skips_kernel_matrix_phase() {
         let points = blob_points();
-        let kernel_matrix =
-            crate::kernel::kernel_matrix_reference(&points, KernelFunction::Linear);
-        let result =
-            KernelKmeans::new(quick_config(2)).fit_from_kernel(&kernel_matrix).unwrap();
+        let kernel_matrix = crate::kernel::kernel_matrix_reference(&points, KernelFunction::Linear);
+        let result = KernelKmeans::new(quick_config(2))
+            .fit_from_kernel(&kernel_matrix)
+            .unwrap();
         // No Gram-matrix product is performed — only the cheap diag(K)
         // extraction is attributed to the kernel-matrix phase.
         assert_eq!(result.trace.class_summary(OpClass::Gemm).0, 0.0);
         assert_eq!(result.trace.class_summary(OpClass::Syrk).0, 0.0);
         assert!(result.modeled_timings.pairwise_distances > 0.0);
-        assert!(
-            result.modeled_timings.kernel_matrix < result.modeled_timings.pairwise_distances
-        );
+        assert!(result.modeled_timings.kernel_matrix < result.modeled_timings.pairwise_distances);
         assert_eq!(result.non_empty_clusters(), 2);
     }
 
@@ -324,9 +302,13 @@ mod tests {
             Err(CoreError::InvalidInput(_))
         ));
         let empty_features = DenseMatrix::<f64>::zeros(5, 0);
-        assert!(KernelKmeans::new(quick_config(2)).fit(&empty_features).is_err());
+        assert!(KernelKmeans::new(quick_config(2))
+            .fit(&empty_features)
+            .is_err());
         let rect = DenseMatrix::<f64>::zeros(4, 3);
-        assert!(KernelKmeans::new(quick_config(2)).fit_from_kernel(&rect).is_err());
+        assert!(KernelKmeans::new(quick_config(2))
+            .fit_from_kernel(&rect)
+            .is_err());
     }
 
     #[test]
@@ -356,5 +338,34 @@ mod tests {
         // With k = n and repair enabled every cluster ends up non-empty.
         assert_eq!(result.non_empty_clusters(), 6);
         assert!(result.objective < 1e-9);
+    }
+
+    #[test]
+    fn sparse_fit_matches_dense_fit_exactly() {
+        // The headline of the API redesign: the same points fed as CSR must
+        // produce the identical clustering, with the Gram product charged as
+        // SpGEMM instead of GEMM/SYRK.
+        let points = blob_points();
+        let csr = CsrMatrix::from_dense(&points);
+        for kernel in [KernelFunction::Linear, KernelFunction::paper_polynomial()] {
+            let cfg = quick_config(3).with_kernel(kernel);
+            let dense = KernelKmeans::new(cfg.clone()).fit(&points).unwrap();
+            let sparse = KernelKmeans::new(cfg).fit_sparse(&csr).unwrap();
+            assert_eq!(dense.labels, sparse.labels, "kernel {}", kernel.name());
+            assert_eq!(dense.iterations, sparse.iterations);
+            assert!((dense.objective - sparse.objective).abs() < 1e-9);
+            let (spgemm_time, _) = sparse.trace.class_summary(OpClass::SpGEMM);
+            assert!(spgemm_time > 0.0, "sparse gram must be charged as SpGEMM");
+            assert_eq!(sparse.trace.class_summary(OpClass::Gemm).0, 0.0);
+        }
+    }
+
+    #[test]
+    fn dyn_solver_dispatch_works() {
+        let solver: Box<dyn Solver<f64>> = Box::new(KernelKmeans::new(quick_config(2)));
+        assert_eq!(solver.name(), "popcorn");
+        assert_eq!(solver.config().k, 2);
+        let result = solver.fit(&blob_points()).unwrap();
+        assert!(result.converged);
     }
 }

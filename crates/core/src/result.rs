@@ -184,8 +184,18 @@ mod tests {
             converged: true,
             objective: 1.5,
             history: vec![
-                IterationStats { iteration: 0, objective: 3.0, changed: 5, empty_clusters: 1 },
-                IterationStats { iteration: 1, objective: 1.5, changed: 0, empty_clusters: 1 },
+                IterationStats {
+                    iteration: 0,
+                    objective: 3.0,
+                    changed: 5,
+                    empty_clusters: 1,
+                },
+                IterationStats {
+                    iteration: 1,
+                    objective: 1.5,
+                    changed: 0,
+                    empty_clusters: 1,
+                },
             ],
             modeled_timings: TimingBreakdown::default(),
             host_timings: TimingBreakdown::default(),

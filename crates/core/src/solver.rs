@@ -1,0 +1,284 @@
+//! The unified solver API: [`Solver`] and [`FitInput`].
+//!
+//! Every clustering implementation in this workspace — Popcorn itself and the
+//! three baselines — exposes the same surface: construct with a
+//! [`KernelKmeansConfig`], then `fit` a dense point matrix, `fit_sparse` a
+//! CSR point matrix, or `fit_from_kernel` a precomputed kernel matrix. The
+//! CLI driver and the experiment harness dispatch over `&dyn Solver<T>`, so
+//! adding a solver never adds another match arm to the drivers.
+//!
+//! [`FitInput`] is the layout-erased borrow of the points. It owns the logic
+//! that used to be duplicated in every solver's `fit`: input validation, the
+//! modeled host→device upload, and the kernel-matrix computation — dense
+//! inputs go through the GEMM/SYRK strategy (paper §4.2), sparse inputs
+//! through the SpGEMM Gram path, so the paper's sparse text workloads
+//! (scotus: ~99.9% zeros) are clustered without ever materializing a dense
+//! copy of the points.
+
+use crate::config::KernelKmeansConfig;
+use crate::errors::CoreError;
+use crate::kernel::KernelFunction;
+use crate::kernel_matrix::{self, INDEX_BYTES};
+use crate::result::ClusteringResult;
+use crate::strategy::{GramRoutine, KernelMatrixStrategy};
+use crate::Result;
+use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
+use popcorn_sparse::CsrMatrix;
+
+/// A borrowed point matrix in whichever layout the caller has it.
+#[derive(Debug, Clone, Copy)]
+pub enum FitInput<'a, T: Scalar> {
+    /// Row-major dense points (`n × d`).
+    Dense(&'a DenseMatrix<T>),
+    /// CSR sparse points (`n × d`); kept sparse through validation, upload
+    /// accounting and the Gram product.
+    Sparse(&'a CsrMatrix<T>),
+}
+
+impl<'a, T: Scalar> From<&'a DenseMatrix<T>> for FitInput<'a, T> {
+    fn from(points: &'a DenseMatrix<T>) -> Self {
+        FitInput::Dense(points)
+    }
+}
+
+impl<'a, T: Scalar> From<&'a CsrMatrix<T>> for FitInput<'a, T> {
+    fn from(points: &'a CsrMatrix<T>) -> Self {
+        FitInput::Sparse(points)
+    }
+}
+
+impl<'a, T: Scalar> FitInput<'a, T> {
+    /// Number of points `n`.
+    pub fn n(&self) -> usize {
+        match self {
+            FitInput::Dense(p) => p.rows(),
+            FitInput::Sparse(p) => p.rows(),
+        }
+    }
+
+    /// Number of features `d`.
+    pub fn d(&self) -> usize {
+        match self {
+            FitInput::Dense(p) => p.cols(),
+            FitInput::Sparse(p) => p.cols(),
+        }
+    }
+
+    /// Number of stored entries (`n·d` for dense inputs).
+    pub fn nnz(&self) -> usize {
+        match self {
+            FitInput::Dense(p) => p.rows() * p.cols(),
+            FitInput::Sparse(p) => p.nnz(),
+        }
+    }
+
+    /// `true` for the CSR variant.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, FitInput::Sparse(_))
+    }
+
+    /// Stored-entry fraction (1.0 for dense inputs).
+    pub fn density(&self) -> f64 {
+        match self {
+            FitInput::Dense(_) => 1.0,
+            FitInput::Sparse(p) => p.density(),
+        }
+    }
+
+    /// Validate the points: at least one feature, and no NaN/∞ values.
+    pub fn validate(&self) -> Result<()> {
+        if self.d() == 0 {
+            return Err(CoreError::InvalidInput("points have zero features".into()));
+        }
+        let finite = match self {
+            FitInput::Dense(p) => p.as_slice().iter().all(|v| v.is_finite()),
+            FitInput::Sparse(p) => p.values().iter().all(|v| v.is_finite()),
+        };
+        if !finite {
+            return Err(CoreError::InvalidInput(
+                "points contain non-finite values".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bytes a host→device upload of these points moves: the dense array for
+    /// dense inputs, the three CSR arrays for sparse inputs (§4.1; 32-bit
+    /// indices per §4.4).
+    pub fn upload_bytes(&self) -> u64 {
+        let elem = std::mem::size_of::<T>();
+        match self {
+            FitInput::Dense(p) => (p.rows() * p.cols() * elem) as u64,
+            FitInput::Sparse(p) => p.storage_bytes(elem, INDEX_BYTES),
+        }
+    }
+
+    /// Charge the modeled host→device copy of the points to the executor.
+    pub fn charge_upload(&self, executor: &SimExecutor) {
+        let layout = if self.is_sparse() { "csr" } else { "dense" };
+        executor.charge(
+            format!("upload P {} ({} x {})", layout, self.n(), self.d()),
+            Phase::DataPreparation,
+            OpClass::Transfer,
+            OpCost::transfer(self.upload_bytes()),
+        );
+    }
+
+    /// Compute the kernel matrix `K = kernel(P̂ P̂ᵀ)` for these points,
+    /// selecting GEMM/SYRK for dense inputs and SpGEMM for sparse inputs.
+    pub fn compute_kernel_matrix(
+        &self,
+        kernel: KernelFunction,
+        strategy: KernelMatrixStrategy,
+        executor: &SimExecutor,
+    ) -> Result<(DenseMatrix<T>, GramRoutine)> {
+        match self {
+            FitInput::Dense(p) => {
+                kernel_matrix::compute_kernel_matrix(p, kernel, strategy, executor)
+            }
+            FitInput::Sparse(p) => kernel_matrix::compute_kernel_matrix_csr(p, kernel, executor),
+        }
+    }
+
+    /// A dense copy of the points. Only the dense GPU baseline uses this —
+    /// the paper's baseline implementation cannot consume sparse operands, so
+    /// it pays for the densification the other solvers avoid.
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        match self {
+            FitInput::Dense(p) => (*p).clone(),
+            FitInput::Sparse(p) => p.to_dense(),
+        }
+    }
+}
+
+/// The interface every clustering implementation exposes.
+///
+/// Object-safe: the CLI driver and bench harness hold solvers as
+/// `Box<dyn Solver<f32>>` and drive them uniformly.
+pub trait Solver<T: Scalar> {
+    /// Short display name ("popcorn", "cpu-reference", ...).
+    fn name(&self) -> &'static str;
+
+    /// The solver configuration.
+    fn config(&self) -> &KernelKmeansConfig;
+
+    /// Run the full pipeline on points in either layout: validate, upload,
+    /// kernel matrix, clustering iterations.
+    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult>;
+
+    /// Run only the clustering iterations on a precomputed kernel matrix
+    /// (used by the distance-phase experiments, Figures 4–6). Solvers that do
+    /// not operate on a kernel matrix (Lloyd) return
+    /// [`CoreError::Unsupported`].
+    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult>;
+
+    /// Convenience: fit dense points.
+    fn fit(&self, points: &DenseMatrix<T>) -> Result<ClusteringResult> {
+        self.fit_input(FitInput::Dense(points))
+    }
+
+    /// Convenience: fit CSR points without densifying them.
+    fn fit_sparse(&self, points: &CsrMatrix<T>) -> Result<ClusteringResult> {
+        self.fit_input(FitInput::Sparse(points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_points() -> CsrMatrix<f64> {
+        CsrMatrix::from_dense(
+            &DenseMatrix::from_rows(&[
+                vec![1.0, 0.0, 0.0, 2.0],
+                vec![0.0, 0.0, 3.0, 0.0],
+                vec![0.5, 0.0, 0.0, 0.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn accessors_match_layout() {
+        let dense = DenseMatrix::<f64>::filled(3, 4, 1.0);
+        let input = FitInput::from(&dense);
+        assert_eq!(input.n(), 3);
+        assert_eq!(input.d(), 4);
+        assert_eq!(input.nnz(), 12);
+        assert!(!input.is_sparse());
+        assert_eq!(input.density(), 1.0);
+
+        let csr = sparse_points();
+        let input = FitInput::from(&csr);
+        assert_eq!(input.n(), 3);
+        assert_eq!(input.d(), 4);
+        assert_eq!(input.nnz(), 4);
+        assert!(input.is_sparse());
+        assert!(input.density() < 0.5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_points() {
+        let empty = DenseMatrix::<f64>::zeros(3, 0);
+        assert!(FitInput::from(&empty).validate().is_err());
+        let nan = DenseMatrix::from_rows(&[vec![f64::NAN, 1.0]]).unwrap();
+        assert!(FitInput::from(&nan).validate().is_err());
+        let sparse_nan = CsrMatrix::from_dense(&nan);
+        assert!(FitInput::from(&sparse_nan).validate().is_err());
+        let ok = sparse_points();
+        assert!(FitInput::from(&ok).validate().is_ok());
+    }
+
+    #[test]
+    fn sparse_upload_is_smaller_than_dense() {
+        let csr = sparse_points();
+        let dense = csr.to_dense();
+        let sparse_bytes = FitInput::from(&csr).upload_bytes();
+        let dense_bytes = FitInput::from(&dense).upload_bytes();
+        assert!(
+            sparse_bytes < dense_bytes,
+            "{sparse_bytes} vs {dense_bytes}"
+        );
+    }
+
+    #[test]
+    fn kernel_matrix_agrees_across_layouts() {
+        let csr = sparse_points();
+        let dense = csr.to_dense();
+        let exec = SimExecutor::a100_f32();
+        for kernel in [
+            KernelFunction::Linear,
+            KernelFunction::paper_polynomial(),
+            KernelFunction::default_gaussian(),
+        ] {
+            let (from_dense, _) = FitInput::from(&dense)
+                .compute_kernel_matrix(kernel, KernelMatrixStrategy::default(), &exec)
+                .unwrap();
+            let (from_sparse, routine) = FitInput::from(&csr)
+                .compute_kernel_matrix(kernel, KernelMatrixStrategy::default(), &exec)
+                .unwrap();
+            assert_eq!(routine, GramRoutine::SpGemm);
+            assert!(from_dense.approx_eq(&from_sparse, 1e-12, 1e-12));
+        }
+    }
+
+    #[test]
+    fn sparse_gram_is_charged_as_spgemm() {
+        let csr = sparse_points();
+        let exec = SimExecutor::a100_f32();
+        FitInput::from(&csr)
+            .compute_kernel_matrix(
+                KernelFunction::paper_polynomial(),
+                KernelMatrixStrategy::default(),
+                &exec,
+            )
+            .unwrap();
+        let trace = exec.trace();
+        let (spgemm_time, spgemm_flops) = trace.class_summary(OpClass::SpGEMM);
+        assert!(spgemm_time > 0.0);
+        assert_eq!(spgemm_flops, csr.gram_flops());
+        assert_eq!(trace.class_summary(OpClass::Gemm).0, 0.0);
+        assert_eq!(trace.class_summary(OpClass::Syrk).0, 0.0);
+    }
+}

@@ -7,13 +7,16 @@
 //! `n/d ≈ 100` on the A100 and leaves the threshold tunable; Popcorn computes
 //! `r = n/d` and picks GEMM when `r > t`.
 
-/// Which BLAS routine actually computes the Gram matrix.
+/// Which routine actually computes the Gram matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GramRoutine {
     /// Full general matrix multiply.
     Gemm,
     /// Symmetric rank-k update of one triangle + mirror copy.
     Syrk,
+    /// Sparse × sparseᵀ product over CSR points — the routine selected
+    /// whenever the fit input is sparse (cuSPARSE SpGEMM in the original).
+    SpGemm,
 }
 
 impl GramRoutine {
@@ -22,6 +25,7 @@ impl GramRoutine {
         match self {
             GramRoutine::Gemm => "gemm",
             GramRoutine::Syrk => "syrk",
+            GramRoutine::SpGemm => "spgemm",
         }
     }
 }
@@ -60,7 +64,9 @@ pub enum KernelMatrixStrategy {
 
 impl Default for KernelMatrixStrategy {
     fn default() -> Self {
-        KernelMatrixStrategy::Auto { threshold: Self::PAPER_THRESHOLD }
+        KernelMatrixStrategy::Auto {
+            threshold: Self::PAPER_THRESHOLD,
+        }
     }
 }
 
@@ -94,8 +100,14 @@ mod tests {
 
     #[test]
     fn forced_strategies() {
-        assert_eq!(KernelMatrixStrategy::ForceGemm.select(10, 1000), GramRoutine::Gemm);
-        assert_eq!(KernelMatrixStrategy::ForceSyrk.select(100_000, 10), GramRoutine::Syrk);
+        assert_eq!(
+            KernelMatrixStrategy::ForceGemm.select(10, 1000),
+            GramRoutine::Gemm
+        );
+        assert_eq!(
+            KernelMatrixStrategy::ForceSyrk.select(100_000, 10),
+            GramRoutine::Syrk
+        );
     }
 
     #[test]
@@ -147,6 +159,6 @@ mod tests {
         // Degenerate inputs stay in range.
         assert_eq!(syrk_utilization(0, 10), 1.0);
         let u = syrk_utilization(1_000_000, 1);
-        assert!(u >= 0.25 && u <= 1.0);
+        assert!((0.25..=1.0).contains(&u));
     }
 }

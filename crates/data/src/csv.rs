@@ -66,7 +66,9 @@ pub fn parse_csv<T: Scalar>(
     }
     let d = width.unwrap_or(0);
     if d == 0 {
-        return Err(DataError::Shape("CSV rows contain no feature columns".into()));
+        return Err(DataError::Shape(
+            "CSV rows contain no feature columns".into(),
+        ));
     }
     let n = rows.len();
     let mut points = DenseMatrix::<T>::zeros(n, d);
@@ -98,8 +100,12 @@ pub fn read_csv<T: Scalar>(path: impl AsRef<Path>, has_labels: bool) -> Result<D
 pub fn to_csv_string<T: Scalar>(dataset: &Dataset<T>) -> String {
     let mut out = String::new();
     for i in 0..dataset.n() {
-        let mut cols: Vec<String> =
-            dataset.points().row(i).iter().map(|v| format!("{}", v.to_f64())).collect();
+        let mut cols: Vec<String> = dataset
+            .points()
+            .row(i)
+            .iter()
+            .map(|v| format!("{}", v.to_f64()))
+            .collect();
         if let Some(labels) = dataset.labels() {
             cols.push(labels[i].to_string());
         }
@@ -117,11 +123,7 @@ pub fn write_csv<T: Scalar>(dataset: &Dataset<T>, path: impl AsRef<Path>) -> Res
 
 /// Write a generic table (header + numeric rows) to CSV — used by every
 /// experiment binary to dump its measurements.
-pub fn write_table(
-    path: impl AsRef<Path>,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> Result<()> {
+pub fn write_table(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<String>]) -> Result<()> {
     let mut out = String::new();
     out.push_str(&header.join(","));
     out.push('\n');

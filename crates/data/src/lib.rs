@@ -23,7 +23,7 @@ pub mod paper;
 pub mod preprocess;
 pub mod synthetic;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, SparseDataset};
 pub use paper::PaperDataset;
 
 /// Errors produced by dataset parsing and generation.
@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DataError::Parse { line: 3, reason: "bad token".into() };
+        let e = DataError::Parse {
+            line: 3,
+            reason: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = DataError::Io("missing".into());
         assert!(e.to_string().contains("missing"));

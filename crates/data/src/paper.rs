@@ -213,7 +213,10 @@ mod tests {
         for d in PaperDataset::ALL {
             assert_eq!(PaperDataset::from_name(d.name()), Some(d));
         }
-        assert_eq!(PaperDataset::from_name("CIFAR10"), Some(PaperDataset::Cifar10));
+        assert_eq!(
+            PaperDataset::from_name("CIFAR10"),
+            Some(PaperDataset::Cifar10)
+        );
         assert_eq!(PaperDataset::from_name("MNIST"), Some(PaperDataset::Mnist));
         assert_eq!(PaperDataset::from_name("unknown"), None);
     }

@@ -82,7 +82,10 @@ pub fn subsample<T: Scalar>(dataset: &Dataset<T>, m: usize, seed: u64) -> Datase
 }
 
 fn reindex<T: Scalar>(dataset: &Dataset<T>, order: &[usize]) -> Dataset<T> {
-    let points = dataset.points().select_rows(order).expect("indices in range");
+    let points = dataset
+        .points()
+        .select_rows(order)
+        .expect("indices in range");
     match dataset.labels() {
         Some(labels) => {
             let new_labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
@@ -159,7 +162,7 @@ mod tests {
         let sh = shuffle(&ds, 99);
         assert_eq!(sh.n(), 4);
         // Every original row appears exactly once, with its label.
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for i in 0..4 {
             let first_feature = sh.points()[(i, 0)] as usize - 1;
             assert!(!seen[first_feature]);

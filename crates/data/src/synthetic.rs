@@ -11,10 +11,12 @@
 //!
 //! All generators are deterministic given a seed.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, SparseDataset};
 use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::f64::consts::PI;
 
 /// Draw one standard-normal sample using the Box–Muller transform (avoids a
@@ -33,7 +35,10 @@ pub fn uniform_matrix<T: Scalar>(n: usize, d: usize, seed: u64) -> DenseMatrix<T
 
 /// A dataset wrapping [`uniform_matrix`], named after its shape.
 pub fn uniform_dataset<T: Scalar>(n: usize, d: usize, seed: u64) -> Dataset<T> {
-    Dataset::new(format!("synthetic-uniform-n{n}-d{d}"), uniform_matrix(n, d, seed))
+    Dataset::new(
+        format!("synthetic-uniform-n{n}-d{d}"),
+        uniform_matrix(n, d, seed),
+    )
 }
 
 /// Isotropic Gaussian blobs: `k` cluster centres drawn uniformly in
@@ -52,7 +57,11 @@ pub fn gaussian_blobs<T: Scalar>(
     let mut rng = StdRng::seed_from_u64(seed);
     let center_box = 10.0;
     let centers: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..d).map(|_| rng.gen_range(-center_box..center_box)).collect())
+        .map(|_| {
+            (0..d)
+                .map(|_| rng.gen_range(-center_box..center_box))
+                .collect()
+        })
         .collect();
     let mut labels = Vec::with_capacity(n);
     let points = DenseMatrix::from_fn(n, d, |i, j| {
@@ -85,7 +94,10 @@ pub fn concentric_rings<T: Scalar>(
         let ring = i % rings;
         let radius = (ring + 1) as f64 * radius_step + noise * sample_standard_normal(&mut rng);
         let theta = rng.gen_range(0.0..(2.0 * PI));
-        rows.push(vec![T::from_f64(radius * theta.cos()), T::from_f64(radius * theta.sin())]);
+        rows.push(vec![
+            T::from_f64(radius * theta.cos()),
+            T::from_f64(radius * theta.sin()),
+        ]);
         labels.push(ring);
     }
     let points = DenseMatrix::from_rows(&rows).expect("rows are uniform length 2");
@@ -185,6 +197,63 @@ pub fn blobs_with_noise_dims<T: Scalar>(
         .expect("labels match points by construction")
 }
 
+/// A sparse, cluster-structured, bag-of-words-like dataset built directly in
+/// CSR form — the stand-in for the paper's text workloads (scotus:
+/// n = 6 400, d = 126 405, ~8 200 non-zeros per row; ledgar is similar).
+///
+/// The feature space is split into `k` disjoint vocabulary blocks plus a
+/// shared block of `d / (2k)` common "stop word" features. Each point draws
+/// `nnz_per_row` distinct features, ~80% from its cluster's block and the
+/// rest from the shared block, with positive tf-idf-like weights. The result
+/// is linearly clusterable in feature space while staying extremely sparse,
+/// so it exercises the sparse Gram path end to end.
+pub fn sparse_text_like<T: Scalar>(
+    n: usize,
+    d: usize,
+    k: usize,
+    nnz_per_row: usize,
+    seed: u64,
+) -> SparseDataset<T> {
+    assert!(k >= 1, "need at least one cluster");
+    assert!(d >= 2 * k, "need at least two features per cluster");
+    assert!(nnz_per_row >= 1, "need at least one non-zero per row");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let shared = (d / (2 * k)).max(1);
+    let block = (d - shared) / k;
+    let nnz_per_row = nnz_per_row.min(block + shared);
+
+    let mut row_ptrs = Vec::with_capacity(n + 1);
+    let mut col_indices = Vec::with_capacity(n * nnz_per_row);
+    let mut values = Vec::with_capacity(n * nnz_per_row);
+    let mut labels = Vec::with_capacity(n);
+    row_ptrs.push(0usize);
+
+    for i in 0..n {
+        let cluster = i % k;
+        let block_start = shared + cluster * block;
+        let mut features: BTreeSet<usize> = BTreeSet::new();
+        while features.len() < nnz_per_row {
+            let j = if rng.gen::<f64>() < 0.8 {
+                block_start + rng.gen_range(0..block)
+            } else {
+                rng.gen_range(0..shared)
+            };
+            features.insert(j);
+        }
+        for j in features {
+            col_indices.push(j);
+            values.push(T::from_f64(0.1 + rng.gen::<f64>()));
+        }
+        row_ptrs.push(values.len());
+        labels.push(cluster);
+    }
+
+    let points = CsrMatrix::from_raw_unchecked(n, d, row_ptrs, col_indices, values);
+    SparseDataset::with_labels(format!("sparse-text-n{n}-d{d}-k{k}"), points, labels)
+        .expect("labels match points by construction")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,7 +288,11 @@ mod tests {
         let labels = ds.labels().unwrap();
         let p = ds.points();
         let dist = |a: usize, b: usize| -> f64 {
-            p.row(a).iter().zip(p.row(b)).map(|(x, y)| (x - y).powi(2)).sum()
+            p.row(a)
+                .iter()
+                .zip(p.row(b))
+                .map(|(x, y)| (x - y).powi(2))
+                .sum()
         };
         let same = dist(0, 2); // both label of i%2 pattern
         let diff = dist(0, 1);
@@ -232,9 +305,9 @@ mod tests {
     fn rings_radii_separate_clusters() {
         let ds = concentric_rings::<f64>(200, 2, 5.0, 0.05, 3);
         let labels = ds.labels().unwrap();
-        for i in 0..ds.n() {
+        for (i, &label) in labels.iter().enumerate() {
             let r = (ds.points()[(i, 0)].powi(2) + ds.points()[(i, 1)].powi(2)).sqrt();
-            if labels[i] == 0 {
+            if label == 0 {
                 assert!(r < 7.5, "inner ring point at radius {r}");
             } else {
                 assert!(r > 7.5, "outer ring point at radius {r}");
@@ -259,10 +332,12 @@ mod tests {
             means[c][0] /= counts[c] as f64;
             means[c][1] /= counts[c] as f64;
         }
-        let mean_dist = ((means[0][0] - means[1][0]).powi(2)
-            + (means[0][1] - means[1][1]).powi(2))
-        .sqrt();
-        assert!(mean_dist < 1.0, "ring means should nearly coincide, got {mean_dist}");
+        let mean_dist =
+            ((means[0][0] - means[1][0]).powi(2) + (means[0][1] - means[1][1]).powi(2)).sqrt();
+        assert!(
+            mean_dist < 1.0,
+            "ring means should nearly coincide, got {mean_dist}"
+        );
     }
 
     #[test]
@@ -272,16 +347,19 @@ mod tests {
         assert_eq!(ds.d(), 2);
         assert_eq!(ds.num_classes(), 2);
         let labels = ds.labels().unwrap();
-        for i in 0..ds.n() {
+        for (i, &label) in labels.iter().enumerate() {
             let r = (ds.points()[(i, 0)].powi(2) + ds.points()[(i, 1)].powi(2)).sqrt();
-            if labels[i] == 0 {
+            if label == 0 {
                 assert!(r < 2.5, "blob point at radius {r}");
             } else {
                 assert!(r > 2.5, "ring point at radius {r}");
             }
         }
         // deterministic
-        assert_eq!(ds.points(), ring_with_blob::<f64>(300, 5.0, 0.3, 0.1, 17).points());
+        assert_eq!(
+            ds.points(),
+            ring_with_blob::<f64>(300, 5.0, 0.3, 0.1, 17).points()
+        );
     }
 
     #[test]
@@ -311,5 +389,44 @@ mod tests {
     #[should_panic(expected = "informative dims exceed total dims")]
     fn noisy_blobs_rejects_bad_dims() {
         let _ = blobs_with_noise_dims::<f64>(10, 3, 5, 2, 0.3, 1.0, 1);
+    }
+
+    #[test]
+    fn sparse_text_like_shape_and_sparsity() {
+        let ds = sparse_text_like::<f32>(64, 5_000, 4, 20, 7);
+        assert_eq!(ds.n(), 64);
+        assert_eq!(ds.d(), 5_000);
+        assert_eq!(ds.num_classes(), 4);
+        assert_eq!(ds.nnz(), 64 * 20);
+        assert!(ds.density() < 0.005, "density {}", ds.density());
+        // deterministic
+        let again = sparse_text_like::<f32>(64, 5_000, 4, 20, 7);
+        assert_eq!(ds.points(), again.points());
+        // all stored values positive, CSR structure valid
+        assert!(ds.points().values().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn sparse_text_like_clusters_use_disjoint_blocks() {
+        let ds = sparse_text_like::<f64>(40, 1_000, 2, 10, 3);
+        let labels = ds.labels().unwrap();
+        let shared = 1_000 / 4;
+        let block = (1_000 - shared) / 2;
+        for (i, &label) in labels.iter().enumerate() {
+            let (cols, _) = ds.points().row(i);
+            for &j in cols {
+                if j >= shared {
+                    // Non-shared features must fall in the point's own block.
+                    let block_index = (j - shared) / block;
+                    assert_eq!(block_index, label, "point {i} feature {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two features per cluster")]
+    fn sparse_text_like_rejects_tiny_d() {
+        let _ = sparse_text_like::<f64>(10, 3, 2, 2, 1);
     }
 }

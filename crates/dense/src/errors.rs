@@ -45,7 +45,11 @@ pub enum DenseError {
 impl fmt::Display for DenseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DenseError::DimensionMismatch { op, expected, found } => write!(
+            DenseError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
                 f,
                 "{op}: dimension mismatch, expected {}x{} but found {}x{}",
                 expected.0, expected.1, found.0, found.1
@@ -61,7 +65,11 @@ impl fmt::Display for DenseError {
                 index.0, index.1, shape.0, shape.1
             ),
             DenseError::NotSquare { op, shape } => {
-                write!(f, "{op}: requires a square matrix, found {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "{op}: requires a square matrix, found {}x{}",
+                    shape.0, shape.1
+                )
             }
         }
     }
@@ -88,7 +96,10 @@ mod tests {
 
     #[test]
     fn display_buffer_mismatch() {
-        let e = DenseError::BufferSizeMismatch { expected: 12, found: 10 };
+        let e = DenseError::BufferSizeMismatch {
+            expected: 12,
+            found: 10,
+        };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("10"));
     }
@@ -101,13 +112,19 @@ mod tests {
 
     #[test]
     fn display_out_of_bounds() {
-        let e = DenseError::IndexOutOfBounds { index: (5, 1), shape: (2, 2) };
+        let e = DenseError::IndexOutOfBounds {
+            index: (5, 1),
+            shape: (2, 2),
+        };
         assert!(e.to_string().contains("(5, 1)"));
     }
 
     #[test]
     fn display_not_square() {
-        let e = DenseError::NotSquare { op: "diag", shape: (2, 3) };
+        let e = DenseError::NotSquare {
+            op: "diag",
+            shape: (2, 3),
+        };
         assert!(e.to_string().contains("diag"));
     }
 

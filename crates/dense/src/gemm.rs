@@ -137,8 +137,8 @@ pub fn gemm<T: Scalar>(
                     let a_row = a_ref.row(i);
                     for k0 in (0..ka).step_by(TILE) {
                         let k_end = (k0 + TILE).min(ka);
-                        for k in k0..k_end {
-                            let aik = alpha * a_row[k];
+                        for (k, &a_ik) in a_row.iter().enumerate().take(k_end).skip(k0) {
+                            let aik = alpha * a_ik;
                             if aik == T::ZERO {
                                 continue;
                             }
@@ -299,7 +299,16 @@ mod tests {
         assert!(gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c).is_err());
         let b_ok = DenseMatrix::<f64>::zeros(3, 5);
         let mut c_bad = DenseMatrix::<f64>::zeros(2, 2);
-        assert!(gemm(1.0, &a, Transpose::No, &b_ok, Transpose::No, 0.0, &mut c_bad).is_err());
+        assert!(gemm(
+            1.0,
+            &a,
+            Transpose::No,
+            &b_ok,
+            Transpose::No,
+            0.0,
+            &mut c_bad
+        )
+        .is_err());
     }
 
     #[test]

@@ -23,12 +23,20 @@ pub struct DenseMatrix<T: Scalar> {
 impl<T: Scalar> DenseMatrix<T> {
     /// Create a matrix of zeros with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
     }
 
     /// Create a matrix filled with a constant value.
     pub fn filled(rows: usize, cols: usize, value: T) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create the `n x n` identity matrix.
@@ -72,7 +80,11 @@ impl<T: Scalar> DenseMatrix<T> {
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Build a matrix by evaluating `f(i, j)` for every element.
@@ -142,7 +154,10 @@ impl<T: Scalar> DenseMatrix<T> {
     /// Element access with bounds checking.
     pub fn get(&self, i: usize, j: usize) -> Result<T> {
         if i >= self.rows || j >= self.cols {
-            return Err(DenseError::IndexOutOfBounds { index: (i, j), shape: self.shape() });
+            return Err(DenseError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
         }
         Ok(self.data[i * self.cols + j])
     }
@@ -150,7 +165,10 @@ impl<T: Scalar> DenseMatrix<T> {
     /// Set an element with bounds checking.
     pub fn set(&mut self, i: usize, j: usize, value: T) -> Result<()> {
         if i >= self.rows || j >= self.cols {
-            return Err(DenseError::IndexOutOfBounds { index: (i, j), shape: self.shape() });
+            return Err(DenseError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
         }
         self.data[i * self.cols + j] = value;
         Ok(())
@@ -176,7 +194,9 @@ impl<T: Scalar> DenseMatrix<T> {
 
     /// Copy of column `j`.
     pub fn col(&self, j: usize) -> Vec<T> {
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Iterator over row slices.
@@ -243,7 +263,12 @@ impl<T: Scalar> DenseMatrix<T> {
         Ok(Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| a - b)
+                .collect(),
         })
     }
 
@@ -259,11 +284,18 @@ impl<T: Scalar> DenseMatrix<T> {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &i in indices {
             if i >= self.rows {
-                return Err(DenseError::IndexOutOfBounds { index: (i, 0), shape: self.shape() });
+                return Err(DenseError::IndexOutOfBounds {
+                    index: (i, 0),
+                    shape: self.shape(),
+                });
             }
             data.extend_from_slice(self.row(i));
         }
-        Ok(Self { rows: indices.len(), cols: self.cols, data })
+        Ok(Self {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Approximate elementwise equality with relative tolerance `rtol` and
@@ -309,7 +341,10 @@ impl<T: Scalar> Index<(usize, usize)> for DenseMatrix<T> {
 
     #[inline(always)]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -317,7 +352,10 @@ impl<T: Scalar> Index<(usize, usize)> for DenseMatrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for DenseMatrix<T> {
     #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -358,7 +396,13 @@ mod tests {
     fn from_vec_checks_size() {
         assert!(DenseMatrix::from_vec(2, 2, vec![1.0f64; 4]).is_ok());
         let err = DenseMatrix::from_vec(2, 2, vec![1.0f64; 3]).unwrap_err();
-        assert!(matches!(err, DenseError::BufferSizeMismatch { expected: 4, found: 3 }));
+        assert!(matches!(
+            err,
+            DenseError::BufferSizeMismatch {
+                expected: 4,
+                found: 3
+            }
+        ));
     }
 
     #[test]
@@ -432,12 +476,8 @@ mod tests {
 
     #[test]
     fn select_rows_subset() {
-        let m = DenseMatrix::from_rows(&[
-            vec![1.0f64, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let m =
+            DenseMatrix::from_rows(&[vec![1.0f64, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let s = m.select_rows(&[2, 0]).unwrap();
         assert_eq!(s.shape(), (2, 2));
         assert_eq!(s.row(0), &[5.0, 6.0]);

@@ -28,14 +28,21 @@ pub fn row_sq_norms<T: Scalar>(m: &DenseMatrix<T>) -> Vec<T> {
 /// Extract the main diagonal of a square matrix.
 pub fn diagonal<T: Scalar>(m: &DenseMatrix<T>) -> Result<Vec<T>> {
     if !m.is_square() {
-        return Err(DenseError::NotSquare { op: "diagonal", shape: m.shape() });
+        return Err(DenseError::NotSquare {
+            op: "diagonal",
+            shape: m.shape(),
+        });
     }
     Ok((0..m.rows()).map(|i| m[(i, i)]).collect())
 }
 
 /// Frobenius norm of a matrix, accumulated in `f64`.
 pub fn frobenius_norm<T: Scalar>(m: &DenseMatrix<T>) -> f64 {
-    m.as_slice().iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+    m.as_slice()
+        .iter()
+        .map(|x| x.to_f64() * x.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Index of the smallest element in each row (ties broken towards the lower
@@ -86,8 +93,8 @@ mod tests {
 
     #[test]
     fn row_sq_norms_known() {
-        let m = DenseMatrix::from_rows(&[vec![3.0f64, 4.0], vec![1.0, 1.0], vec![0.0, 0.0]])
-            .unwrap();
+        let m =
+            DenseMatrix::from_rows(&[vec![3.0f64, 4.0], vec![1.0, 1.0], vec![0.0, 0.0]]).unwrap();
         assert_eq!(row_sq_norms(&m), vec![25.0, 2.0, 0.0]);
     }
 
@@ -119,8 +126,8 @@ mod tests {
 
     #[test]
     fn argmin_with_infinities() {
-        let m = DenseMatrix::from_rows(&[vec![f64::INFINITY, 2.0], vec![1.0, f64::INFINITY]])
-            .unwrap();
+        let m =
+            DenseMatrix::from_rows(&[vec![f64::INFINITY, 2.0], vec![1.0, f64::INFINITY]]).unwrap();
         assert_eq!(row_argmin(&m), vec![1, 0]);
     }
 

@@ -15,7 +15,10 @@ use crate::Result;
 /// `y += alpha * x` over two equally long slices.
 pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) -> Result<()> {
     if x.len() != y.len() {
-        return Err(DenseError::BufferSizeMismatch { expected: y.len(), found: x.len() });
+        return Err(DenseError::BufferSizeMismatch {
+            expected: y.len(),
+            found: x.len(),
+        });
     }
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi = alpha.mul_add(*xi, *yi);
@@ -109,10 +112,16 @@ pub fn assemble_distances<T: Scalar>(
     c_norms: &[T],
 ) -> Result<()> {
     if p_norms.len() != e.rows() {
-        return Err(DenseError::BufferSizeMismatch { expected: e.rows(), found: p_norms.len() });
+        return Err(DenseError::BufferSizeMismatch {
+            expected: e.rows(),
+            found: p_norms.len(),
+        });
     }
     if c_norms.len() != e.cols() {
-        return Err(DenseError::BufferSizeMismatch { expected: e.cols(), found: c_norms.len() });
+        return Err(DenseError::BufferSizeMismatch {
+            expected: e.cols(),
+            found: c_norms.len(),
+        });
     }
     let cols = e.cols();
     if cols == 0 {
@@ -137,7 +146,10 @@ pub fn sum_all<T: Scalar>(m: &DenseMatrix<T>) -> f64 {
 /// Dot product of two equally long slices, accumulated in the scalar type.
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> Result<T> {
     if x.len() != y.len() {
-        return Err(DenseError::BufferSizeMismatch { expected: x.len(), found: y.len() });
+        return Err(DenseError::BufferSizeMismatch {
+            expected: x.len(),
+            found: y.len(),
+        });
     }
     let mut acc = T::ZERO;
     for (a, b) in x.iter().zip(y.iter()) {

@@ -27,7 +27,9 @@ pub fn num_threads() -> usize {
     }
     let n = match std::env::var(NUM_THREADS_ENV) {
         Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     };
     CACHED_THREADS.store(n, Ordering::Relaxed);
     n
@@ -52,6 +54,75 @@ pub fn split_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
     }
     debug_assert_eq!(start, total);
     ranges
+}
+
+/// Split `0..total` into at most `parts` contiguous ranges of nearly equal
+/// *triangular* weight (row `i` weighing `i + 1`) — the right partition for
+/// kernels that only touch the lower triangle, where equal row counts would
+/// leave the first workers mostly idle.
+pub fn triangular_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    if total == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(total);
+    let total_weight = total as f64 * (total as f64 + 1.0) / 2.0;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 1..=parts {
+        let end = if p == parts {
+            total
+        } else {
+            // Boundary where the cumulative weight e(e+1)/2 reaches p/parts
+            // of the total, clamped so every part keeps at least one row.
+            let target = total_weight * p as f64 / parts as f64;
+            let lo = start + 1;
+            let hi = total - (parts - p);
+            (((2.0 * target).sqrt()).round() as usize).clamp(lo, hi)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, total);
+    ranges
+}
+
+/// Apply `f` to disjoint mutable row-chunks of `data` cut at the given row
+/// ranges, in parallel — the explicit-partition variant of
+/// [`par_chunks_rows`], for kernels whose per-row work is non-uniform.
+///
+/// `ranges` must be contiguous, non-empty and cover `0..rows` exactly (as
+/// produced by [`split_ranges`] or [`triangular_ranges`]).
+pub fn par_chunks_rows_ranges<T, F>(data: &mut [T], row_len: usize, ranges: &[Range<usize>], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if row_len == 0 || data.is_empty() || ranges.is_empty() {
+        return;
+    }
+    debug_assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer is not a whole number of rows"
+    );
+    debug_assert_eq!(ranges.last().unwrap().end, data.len() / row_len);
+    if ranges.len() == 1 {
+        f(ranges[0].start, data);
+        return;
+    }
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut((r.end - r.start) * row_len);
+        chunks.push((r.start, head));
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for (start_row, chunk) in chunks {
+            let f = &f;
+            scope.spawn(move || f(start_row, chunk));
+        }
+    });
 }
 
 /// Run `f` over every range of a row partition of `0..rows`, in parallel.
@@ -91,7 +162,11 @@ where
     if row_len == 0 || data.is_empty() {
         return;
     }
-    debug_assert_eq!(data.len() % row_len, 0, "buffer is not a whole number of rows");
+    debug_assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer is not a whole number of rows"
+    );
     let rows = data.len() / row_len;
     let ranges = split_ranges(rows, num_threads());
     if ranges.len() <= 1 {
@@ -204,6 +279,49 @@ mod tests {
         let mut data = vec![1u64; 4];
         par_chunks_rows(&mut data, 0, |_, _| panic!("no work expected"));
         assert_eq!(data, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn triangular_ranges_cover_everything_with_balanced_weight() {
+        for total in [1usize, 2, 7, 100, 6400] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = triangular_ranges(total, parts);
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, total);
+                let mut covered = 0usize;
+                let mut weights = Vec::new();
+                for r in &ranges {
+                    assert!(!r.is_empty());
+                    assert_eq!(r.start, covered);
+                    covered = r.end;
+                    weights.push(r.clone().map(|i| (i + 1) as u64).sum::<u64>());
+                }
+                assert_eq!(covered, total);
+                // Weights are near-balanced once there is enough work to split.
+                if total >= 100 && parts > 1 {
+                    let max = *weights.iter().max().unwrap() as f64;
+                    let mean = weights.iter().sum::<u64>() as f64 / weights.len() as f64;
+                    assert!(max / mean < 1.5, "total={total} parts={parts}: {weights:?}");
+                }
+            }
+        }
+        assert!(triangular_ranges(0, 4).is_empty());
+        assert!(triangular_ranges(10, 0).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_rows_ranges_matches_even_partition() {
+        let mut data = vec![0u64; 30];
+        let ranges = triangular_ranges(10, 3);
+        par_chunks_rows_ranges(&mut data, 3, &ranges, |start_row, chunk| {
+            for (local_row, row) in chunk.chunks_exact_mut(3).enumerate() {
+                for x in row.iter_mut() {
+                    *x = (start_row + local_row) as u64;
+                }
+            }
+        });
+        let expected: Vec<u64> = (0..10u64).flat_map(|r| [r, r, r]).collect();
+        assert_eq!(data, expected);
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
     fn constants_f32() {
         assert_eq!(<f32 as Scalar>::ZERO, 0.0f32);
         assert_eq!(<f32 as Scalar>::ONE, 1.0f32);
-        assert!(<f32 as Scalar>::EPSILON > 0.0);
+        const { assert!(<f32 as Scalar>::EPSILON > 0.0) }
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub fn syrk<T: Scalar>(
     let cols = n;
     let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
     par_for_ranges(n, |range| {
-        let c_ptr = c_ptr;
+        // Going through the method keeps the closure capturing the whole
+        // `SendPtr` wrapper (Send + Sync), not its raw-pointer field.
+        let c_base = c_ptr.get();
         for i in range {
             let (j_start, j_end) = match triangle {
                 Triangle::Lower => (0, i + 1),
@@ -77,8 +79,12 @@ pub fn syrk<T: Scalar>(
                 // SAFETY: each (i, j) cell is written by exactly one thread
                 // because rows are partitioned disjointly across threads.
                 unsafe {
-                    let cell = c_ptr.0.add(i * cols + j);
-                    let prev = if beta == T::ZERO { T::ZERO } else { beta * *cell };
+                    let cell = c_base.add(i * cols + j);
+                    let prev = if beta == T::ZERO {
+                        T::ZERO
+                    } else {
+                        beta * *cell
+                    };
                     *cell = prev + alpha * acc;
                 }
             }
@@ -91,7 +97,10 @@ pub fn syrk<T: Scalar>(
 /// fully stored (the "mirror" step the paper charges against SYRK).
 pub fn symmetrize_lower<T: Scalar>(c: &mut DenseMatrix<T>, triangle: Triangle) -> Result<()> {
     if !c.is_square() {
-        return Err(DenseError::NotSquare { op: "symmetrize", shape: c.shape() });
+        return Err(DenseError::NotSquare {
+            op: "symmetrize",
+            shape: c.shape(),
+        });
     }
     let n = c.rows();
     for i in 0..n {
@@ -134,6 +143,12 @@ pub fn syrk_full<T: Scalar>(a: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
 /// Wrapper around a raw pointer so it can be captured by the scoped threads.
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
 // SAFETY: the parallel loop partitions output rows disjointly, so concurrent
 // writers never alias.
 unsafe impl<T> Send for SendPtr<T> {}
@@ -145,7 +160,9 @@ mod tests {
     use crate::gemm::matmul_nt;
 
     fn sample(n: usize, d: usize) -> DenseMatrix<f64> {
-        DenseMatrix::from_fn(n, d, |i, j| ((i * d + j) as f64 * 0.37).sin() + 0.1 * i as f64)
+        DenseMatrix::from_fn(n, d, |i, j| {
+            ((i * d + j) as f64 * 0.37).sin() + 0.1 * i as f64
+        })
     }
 
     #[test]

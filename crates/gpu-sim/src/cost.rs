@@ -102,7 +102,12 @@ pub struct OpCost {
 impl OpCost {
     /// A cost record with explicit FLOPs and bytes and full utilization.
     pub fn new(flops: u64, bytes_read: u64, bytes_written: u64) -> Self {
-        Self { flops, bytes_read, bytes_written, utilization: 1.0 }
+        Self {
+            flops,
+            bytes_read,
+            bytes_written,
+            utilization: 1.0,
+        }
     }
 
     /// Override the utilization hint (clamped to `(0, 1]`).
@@ -193,7 +198,13 @@ impl OpCost {
     /// Cost of an elementwise transform touching `n` elements with `reads`
     /// input streams and `writes` output streams and `flops_per_element`
     /// floating point operations each.
-    pub fn elementwise(n: usize, reads: usize, writes: usize, flops_per_element: usize, elem: usize) -> Self {
+    pub fn elementwise(
+        n: usize,
+        reads: usize,
+        writes: usize,
+        flops_per_element: usize,
+        elem: usize,
+    ) -> Self {
         Self::new(
             (n * flops_per_element) as u64,
             (n * reads * elem) as u64,
@@ -337,9 +348,7 @@ mod tests {
         let m = model();
         let full = OpCost::spmm_kvt(10_000, 100, 4, 4);
         let starved = full.with_utilization(0.5);
-        assert!(
-            m.time_seconds(OpClass::SpMM, &starved) > m.time_seconds(OpClass::SpMM, &full)
-        );
+        assert!(m.time_seconds(OpClass::SpMM, &starved) > m.time_seconds(OpClass::SpMM, &full));
     }
 
     #[test]
@@ -349,7 +358,11 @@ mod tests {
         let cost = OpCost::spmm_kvt(20_000, 50, 4, 4);
         let popcorn = m.time_seconds(OpClass::SpMM, &cost);
         let baseline = m.time_seconds(OpClass::HandwrittenReduction, &cost);
-        assert!(baseline / popcorn > 1.4, "expected >1.4x, got {}", baseline / popcorn);
+        assert!(
+            baseline / popcorn > 1.4,
+            "expected >1.4x, got {}",
+            baseline / popcorn
+        );
     }
 
     #[test]
@@ -374,7 +387,8 @@ mod tests {
         let gpu = model();
         let cpu = CostModel::new(DeviceSpec::epyc7763_single_core(), 4);
         let cost = OpCost::gemm(5000, 5000, 128, 4);
-        let speedup = cpu.time_seconds(OpClass::Gemm, &cost) / gpu.time_seconds(OpClass::Gemm, &cost);
+        let speedup =
+            cpu.time_seconds(OpClass::Gemm, &cost) / gpu.time_seconds(OpClass::Gemm, &cost);
         assert!(speedup > 50.0, "GPU should be much faster, got {speedup}");
     }
 

@@ -25,7 +25,10 @@ impl SimExecutor {
     /// Create an executor for a device, assuming `elem_bytes`-wide scalars
     /// (4 for `f32`, 8 for `f64`).
     pub fn new(device: DeviceSpec, elem_bytes: usize) -> Self {
-        Self { cost_model: CostModel::new(device, elem_bytes), profiler: Profiler::new() }
+        Self {
+            cost_model: CostModel::new(device, elem_bytes),
+            profiler: Profiler::new(),
+        }
     }
 
     /// Executor modeling the paper's platform: A100-80GB, single precision.
@@ -129,7 +132,12 @@ mod tests {
     #[test]
     fn charge_records_without_work() {
         let exec = SimExecutor::a100_f32();
-        exec.charge("upload", Phase::DataPreparation, OpClass::Transfer, OpCost::transfer(1 << 20));
+        exec.charge(
+            "upload",
+            Phase::DataPreparation,
+            OpClass::Transfer,
+            OpCost::transfer(1 << 20),
+        );
         assert_eq!(exec.trace().len(), 1);
         assert!(exec.total_modeled_seconds() > 0.0);
     }

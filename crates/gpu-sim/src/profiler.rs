@@ -2,12 +2,10 @@
 //!
 //! The profiler is shared between the executor and any code that wants to
 //! inspect intermediate state (e.g. the experiment harness reading the phase
-//! breakdown after every trial). It is a thin `parking_lot::Mutex` around an
-//! [`OpTrace`].
+//! breakdown after every trial). It is a thin mutex around an [`OpTrace`].
 
 use crate::trace::{OpRecord, OpTrace};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Shared, thread-safe collector of [`OpRecord`]s.
 #[derive(Debug, Clone, Default)]
@@ -21,34 +19,43 @@ impl Profiler {
         Self::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, OpTrace> {
+        // A panic while holding the lock cannot leave the trace in an
+        // inconsistent state (every critical section is a single push/read),
+        // so poisoning is safe to ignore.
+        self.trace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Append a record.
     pub fn record(&self, record: OpRecord) {
-        self.trace.lock().push(record);
+        self.lock().push(record);
     }
 
     /// Snapshot of the trace collected so far.
     pub fn snapshot(&self) -> OpTrace {
-        self.trace.lock().clone()
+        self.lock().clone()
     }
 
     /// Number of records collected so far.
     pub fn len(&self) -> usize {
-        self.trace.lock().len()
+        self.lock().len()
     }
 
     /// `true` when nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.trace.lock().is_empty()
+        self.lock().is_empty()
     }
 
     /// Discard all collected records.
     pub fn reset(&self) {
-        *self.trace.lock() = OpTrace::new();
+        *self.lock() = OpTrace::new();
     }
 
     /// Total modeled device time collected so far, in seconds.
     pub fn total_modeled_seconds(&self) -> f64 {
-        self.trace.lock().total_modeled_seconds()
+        self.lock().total_modeled_seconds()
     }
 }
 

@@ -96,8 +96,7 @@ impl Roofline {
         let log_max = ai_max.ln();
         (0..samples)
             .map(|i| {
-                let ai =
-                    (log_min + (log_max - log_min) * i as f64 / (samples - 1) as f64).exp();
+                let ai = (log_min + (log_max - log_min) * i as f64 / (samples - 1) as f64).exp();
                 (ai, self.attainable_gflops(ai))
             })
             .collect()

@@ -148,7 +148,9 @@ impl OpTrace {
         self.records
             .iter()
             .filter(|r| r.class == class)
-            .fold((0.0, 0u64), |(t, f), r| (t + r.modeled_seconds, f + r.cost.flops))
+            .fold((0.0, 0u64), |(t, f), r| {
+                (t + r.modeled_seconds, f + r.cost.flops)
+            })
     }
 
     /// Aggregate achieved throughput (GFLOP/s, modeled) of all operations in
@@ -170,7 +172,9 @@ impl OpTrace {
             .records
             .iter()
             .filter(|r| r.class == class)
-            .fold((0u64, 0u64), |(f, b), r| (f + r.cost.flops, b + r.cost.total_bytes()));
+            .fold((0u64, 0u64), |(f, b), r| {
+                (f + r.cost.flops, b + r.cost.total_bytes())
+            });
         if bytes == 0 {
             0.0
         } else {
@@ -229,8 +233,20 @@ mod tests {
     #[test]
     fn class_summaries() {
         let mut trace = OpTrace::new();
-        trace.push(record(Phase::PairwiseDistances, OpClass::SpMM, 4_000_000_000, 1000, 2.0));
-        trace.push(record(Phase::PairwiseDistances, OpClass::SpMM, 4_000_000_000, 1000, 2.0));
+        trace.push(record(
+            Phase::PairwiseDistances,
+            OpClass::SpMM,
+            4_000_000_000,
+            1000,
+            2.0,
+        ));
+        trace.push(record(
+            Phase::PairwiseDistances,
+            OpClass::SpMM,
+            4_000_000_000,
+            1000,
+            2.0,
+        ));
         trace.push(record(Phase::Assignment, OpClass::Reduction, 10, 10, 1.0));
         let (t, f) = trace.class_summary(OpClass::SpMM);
         assert!((t - 4.0).abs() < 1e-12);

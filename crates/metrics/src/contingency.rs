@@ -21,7 +21,10 @@ impl ContingencyTable {
     /// are indexed by the distinct labels in sorted order.
     pub fn new(truth: &[usize], predicted: &[usize]) -> Result<Self> {
         if truth.len() != predicted.len() {
-            return Err(MetricsError::LengthMismatch { left: truth.len(), right: predicted.len() });
+            return Err(MetricsError::LengthMismatch {
+                left: truth.len(),
+                right: predicted.len(),
+            });
         }
         if truth.is_empty() {
             return Err(MetricsError::Degenerate("no points".into()));
@@ -39,7 +42,12 @@ impl ContingencyTable {
         let col_totals: Vec<usize> = (0..col_ids.len())
             .map(|j| counts.iter().map(|r| r[j]).sum())
             .collect();
-        Ok(Self { counts, row_totals, col_totals, n: truth.len() })
+        Ok(Self {
+            counts,
+            row_totals,
+            col_totals,
+            n: truth.len(),
+        })
     }
 
     /// Number of points.

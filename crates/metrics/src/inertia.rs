@@ -19,7 +19,10 @@ pub fn inertia<T: Scalar>(points: &DenseMatrix<T>, labels: &[usize]) -> Result<f
     let n = points.rows();
     let d = points.cols();
     if labels.len() != n {
-        return Err(MetricsError::LengthMismatch { left: n, right: labels.len() });
+        return Err(MetricsError::LengthMismatch {
+            left: n,
+            right: labels.len(),
+        });
     }
     if n == 0 {
         return Err(MetricsError::Degenerate("no points".into()));
@@ -57,10 +60,15 @@ pub fn inertia<T: Scalar>(points: &DenseMatrix<T>, labels: &[usize]) -> Result<f
 pub fn kernel_objective<T: Scalar>(kernel: &DenseMatrix<T>, labels: &[usize]) -> Result<f64> {
     let n = kernel.rows();
     if !kernel.is_square() {
-        return Err(MetricsError::Degenerate("kernel matrix must be square".into()));
+        return Err(MetricsError::Degenerate(
+            "kernel matrix must be square".into(),
+        ));
     }
     if labels.len() != n {
-        return Err(MetricsError::LengthMismatch { left: n, right: labels.len() });
+        return Err(MetricsError::LengthMismatch {
+            left: n,
+            right: labels.len(),
+        });
     }
     if n == 0 {
         return Err(MetricsError::Degenerate("no points".into()));

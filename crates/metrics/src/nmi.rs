@@ -82,14 +82,26 @@ mod tests {
         //   MI = ln 2, H(truth) = ln 2, H(pred) = (3/2) ln 2
         //   NMI_geometric = ln2 / sqrt(ln2 * 1.5 ln2) = 1/sqrt(1.5) = 0.816496...
         let nmi = normalized_mutual_information(&[0, 0, 1, 1], &[0, 0, 1, 2]).unwrap();
-        assert!((nmi - (1.0f64 / 1.5f64.sqrt())).abs() < 1e-12, "nmi = {nmi}");
+        assert!(
+            (nmi - (1.0f64 / 1.5f64.sqrt())).abs() < 1e-12,
+            "nmi = {nmi}"
+        );
     }
 
     #[test]
     fn degenerate_single_cluster_cases() {
-        assert_eq!(normalized_mutual_information(&[0, 0, 0], &[1, 1, 1]).unwrap(), 1.0);
-        assert_eq!(normalized_mutual_information(&[0, 0, 0], &[0, 1, 2]).unwrap(), 0.0);
-        assert_eq!(normalized_mutual_information(&[0, 1, 2], &[0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(
+            normalized_mutual_information(&[0, 0, 0], &[1, 1, 1]).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            normalized_mutual_information(&[0, 0, 0], &[0, 1, 2]).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            normalized_mutual_information(&[0, 1, 2], &[0, 0, 0]).unwrap(),
+            0.0
+        );
     }
 
     #[test]

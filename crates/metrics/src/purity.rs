@@ -31,12 +31,8 @@ mod tests {
     #[test]
     fn textbook_example() {
         // Manning IR book example: purity = (5 + 4 + 3) / 17
-        let truth = [
-            0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 2, 0, 2, 2, 2, 0,
-        ];
-        let pred = [
-            0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2,
-        ];
+        let truth = [0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 2, 0, 2, 2, 2, 0];
+        let pred = [0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2];
         let p = purity(&truth, &pred).unwrap();
         assert!((p - 12.0 / 17.0).abs() < 1e-12);
     }

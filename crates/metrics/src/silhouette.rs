@@ -17,7 +17,10 @@ use popcorn_dense::{DenseMatrix, Scalar};
 pub fn silhouette_score<T: Scalar>(points: &DenseMatrix<T>, labels: &[usize]) -> Result<f64> {
     let n = points.rows();
     if labels.len() != n {
-        return Err(MetricsError::LengthMismatch { left: n, right: labels.len() });
+        return Err(MetricsError::LengthMismatch {
+            left: n,
+            right: labels.len(),
+        });
     }
     if n == 0 {
         return Err(MetricsError::Degenerate("no points".into()));
@@ -115,12 +118,8 @@ mod tests {
 
     #[test]
     fn singleton_cluster_contributes_zero() {
-        let points = DenseMatrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.1, 0.1],
-            vec![5.0, 5.0],
-        ])
-        .unwrap();
+        let points =
+            DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.1], vec![5.0, 5.0]]).unwrap();
         let s = silhouette_score(&points, &[0, 0, 1]).unwrap();
         // point 2 contributes 0; the blob points contribute ~1
         assert!(s > 0.5 && s < 1.0);

@@ -13,7 +13,9 @@ pub struct RunStats {
 impl RunStats {
     /// Build statistics from raw samples. Non-finite samples are dropped.
     pub fn from_samples(samples: &[f64]) -> Self {
-        Self { samples: samples.iter().copied().filter(|x| x.is_finite()).collect() }
+        Self {
+            samples: samples.iter().copied().filter(|x| x.is_finite()).collect(),
+        }
     }
 
     /// Number of (finite) samples.
@@ -48,12 +50,20 @@ impl RunStats {
 
     /// Smallest sample (0 when empty).
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).pipe_zero()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .pipe_zero()
     }
 
     /// Largest sample (0 when empty).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_zero()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_zero()
     }
 
     /// Median (0 when empty).

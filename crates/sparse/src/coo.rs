@@ -20,7 +20,11 @@ pub struct CooMatrix<T: Scalar> {
 impl<T: Scalar> CooMatrix<T> {
     /// Create an empty COO matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Create a COO matrix from existing triplets, validating bounds.
@@ -31,13 +35,23 @@ impl<T: Scalar> CooMatrix<T> {
     ) -> Result<Self> {
         for &(r, c, _) in &entries {
             if r >= rows {
-                return Err(SparseError::IndexOutOfBounds { index: r, bound: rows });
+                return Err(SparseError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                });
             }
             if c >= cols {
-                return Err(SparseError::IndexOutOfBounds { index: c, bound: cols });
+                return Err(SparseError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                });
             }
         }
-        Ok(Self { rows, cols, entries })
+        Ok(Self {
+            rows,
+            cols,
+            entries,
+        })
     }
 
     /// Number of rows.
@@ -68,10 +82,16 @@ impl<T: Scalar> CooMatrix<T> {
     /// Append a triplet, validating bounds.
     pub fn push(&mut self, row: usize, col: usize, value: T) -> Result<()> {
         if row >= self.rows {
-            return Err(SparseError::IndexOutOfBounds { index: row, bound: self.rows });
+            return Err(SparseError::IndexOutOfBounds {
+                index: row,
+                bound: self.rows,
+            });
         }
         if col >= self.cols {
-            return Err(SparseError::IndexOutOfBounds { index: col, bound: self.cols });
+            return Err(SparseError::IndexOutOfBounds {
+                index: col,
+                bound: self.cols,
+            });
         }
         self.entries.push((row, col, value));
         Ok(())
@@ -83,7 +103,7 @@ impl<T: Scalar> CooMatrix<T> {
     /// matches cuSPARSE semantics (structure is preserved).
     pub fn to_csr(&self) -> CsrMatrix<T> {
         let mut sorted = self.entries.clone();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|a| (a.0, a.1));
 
         let mut row_ptrs = vec![0usize; self.rows + 1];
         let mut col_indices = Vec::with_capacity(sorted.len());
@@ -128,7 +148,11 @@ impl<T: Scalar> CooMatrix<T> {
                 }
             }
         }
-        Self { rows: dense.rows(), cols: dense.cols(), entries }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            entries,
+        }
     }
 }
 

@@ -32,7 +32,11 @@ impl<T: Scalar> CscMatrix<T> {
     ) -> Result<Self> {
         if col_ptrs.len() != cols + 1 {
             return Err(SparseError::InvalidStructure {
-                reason: format!("col_ptrs length {} != cols + 1 = {}", col_ptrs.len(), cols + 1),
+                reason: format!(
+                    "col_ptrs length {} != cols + 1 = {}",
+                    col_ptrs.len(),
+                    cols + 1
+                ),
             });
         }
         if col_ptrs[0] != 0 {
@@ -56,7 +60,10 @@ impl<T: Scalar> CscMatrix<T> {
             let mut prev: Option<usize> = None;
             for &r in &row_indices[col_ptrs[j]..col_ptrs[j + 1]] {
                 if r >= rows {
-                    return Err(SparseError::IndexOutOfBounds { index: r, bound: rows });
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: r,
+                        bound: rows,
+                    });
                 }
                 if let Some(p) = prev {
                     if r <= p {
@@ -68,7 +75,13 @@ impl<T: Scalar> CscMatrix<T> {
                 prev = Some(r);
             }
         }
-        Ok(Self { rows, cols, col_ptrs, row_indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            col_ptrs,
+            row_indices,
+            values,
+        })
     }
 
     /// Build a CSC matrix from raw arrays without validation (internal use).
@@ -82,7 +95,13 @@ impl<T: Scalar> CscMatrix<T> {
         debug_assert_eq!(col_ptrs.len(), cols + 1);
         debug_assert_eq!(row_indices.len(), values.len());
         let _ = rows;
-        Self { rows, cols, col_ptrs, row_indices, values }
+        Self {
+            rows,
+            cols,
+            col_ptrs,
+            row_indices,
+            values,
+        }
     }
 
     /// Number of rows.

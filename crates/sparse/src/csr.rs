@@ -34,7 +34,11 @@ impl<T: Scalar> CsrMatrix<T> {
     ) -> Result<Self> {
         if row_ptrs.len() != rows + 1 {
             return Err(SparseError::InvalidStructure {
-                reason: format!("row_ptrs length {} != rows + 1 = {}", row_ptrs.len(), rows + 1),
+                reason: format!(
+                    "row_ptrs length {} != rows + 1 = {}",
+                    row_ptrs.len(),
+                    rows + 1
+                ),
             });
         }
         if row_ptrs[0] != 0 {
@@ -69,7 +73,10 @@ impl<T: Scalar> CsrMatrix<T> {
             let mut prev: Option<usize> = None;
             for &c in &col_indices[row_ptrs[i]..row_ptrs[i + 1]] {
                 if c >= cols {
-                    return Err(SparseError::IndexOutOfBounds { index: c, bound: cols });
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: c,
+                        bound: cols,
+                    });
                 }
                 if let Some(p) = prev {
                     if c <= p {
@@ -81,7 +88,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 prev = Some(c);
             }
         }
-        Ok(Self { rows, cols, row_ptrs, col_indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_ptrs,
+            col_indices,
+            values,
+        })
     }
 
     /// Build a CSR matrix from raw arrays without validation.
@@ -100,7 +113,13 @@ impl<T: Scalar> CsrMatrix<T> {
         debug_assert_eq!(col_indices.len(), values.len());
         debug_assert_eq!(*row_ptrs.last().unwrap_or(&0), values.len());
         let _ = cols;
-        Self { rows, cols, row_ptrs, col_indices, values }
+        Self {
+            rows,
+            cols,
+            row_ptrs,
+            col_indices,
+            values,
+        }
     }
 
     /// An empty (all-zero) CSR matrix of the given shape.
@@ -225,7 +244,13 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             row_ptrs.push(values.len());
         }
-        Self { rows, cols, row_ptrs, col_indices, values }
+        Self {
+            rows,
+            cols,
+            row_ptrs,
+            col_indices,
+            values,
+        }
     }
 
     /// Transpose as a new CSR matrix (counting-sort over columns, O(nnz)).
@@ -279,6 +304,101 @@ impl<T: Scalar> CsrMatrix<T> {
             + self.col_indices.len() * index_bytes
             + self.row_ptrs.len() * index_bytes) as u64
     }
+
+    /// The Gram matrix `B = A Aᵀ` of this matrix's rows, as a dense
+    /// `rows × rows` output.
+    ///
+    /// This is the sparse analogue of the GEMM/SYRK Gram computation the
+    /// paper performs on dense point matrices (§3.2): `B[i][j]` is the inner
+    /// product of sparse rows `i` and `j`, so the kernel matrix of a sparse
+    /// dataset can be formed without ever densifying the points. The output
+    /// is dense because row inner products of real feature matrices are
+    /// almost never structurally zero — and the downstream algorithm consumes
+    /// a dense kernel matrix anyway.
+    ///
+    /// Work is distributed over output rows; each worker scatters its source
+    /// row into a dense accumulator of length `cols` once, then streams the
+    /// rows of its lower triangle against it (the upper triangle is mirrored,
+    /// like the dense SYRK path), giving `O(rows · nnz / 2)` inner-product
+    /// work independent of the (possibly enormous) feature dimension.
+    pub fn gram(&self) -> DenseMatrix<T> {
+        let n = self.rows;
+        let mut out = DenseMatrix::zeros(n, n);
+        if n == 0 {
+            return out;
+        }
+        // Row i of the lower triangle streams i+1 rows, so the partition is
+        // balanced by triangular weight, not row count.
+        let ranges =
+            popcorn_dense::parallel::triangular_ranges(n, popcorn_dense::parallel::num_threads());
+        popcorn_dense::parallel::par_chunks_rows_ranges(
+            out.as_mut_slice(),
+            n,
+            &ranges,
+            |start_row, chunk| {
+                let mut scatter = vec![T::ZERO; self.cols];
+                self.gram_fill_lower_rows(start_row, chunk, &mut scatter);
+            },
+        );
+        popcorn_dense::symmetrize_lower(&mut out, popcorn_dense::Triangle::Lower)
+            .expect("gram output is square");
+        out
+    }
+
+    /// Single-threaded variant of [`CsrMatrix::gram`], for callers that model
+    /// strictly sequential hosts (e.g. the single-core CPU reference solver).
+    pub fn gram_sequential(&self) -> DenseMatrix<T> {
+        let n = self.rows;
+        let mut out = DenseMatrix::zeros(n, n);
+        if n == 0 {
+            return out;
+        }
+        let mut scatter = vec![T::ZERO; self.cols];
+        self.gram_fill_lower_rows(0, out.as_mut_slice(), &mut scatter);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// Compute the lower-triangle Gram entries for a contiguous block of
+    /// output rows (the shared kernel behind [`CsrMatrix::gram`] and
+    /// [`CsrMatrix::gram_sequential`]).
+    fn gram_fill_lower_rows(&self, start_row: usize, chunk: &mut [T], scatter: &mut [T]) {
+        let n = self.rows;
+        for (local_i, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = start_row + local_i;
+            let (cols_i, vals_i) = self.row(i);
+            for (&c, &v) in cols_i.iter().zip(vals_i.iter()) {
+                scatter[c] = v;
+            }
+            for (j, out_ij) in out_row.iter_mut().enumerate().take(i + 1) {
+                let (cols_j, vals_j) = self.row(j);
+                let mut acc = T::ZERO;
+                for (&c, &v) in cols_j.iter().zip(vals_j.iter()) {
+                    acc = v.mul_add(scatter[c], acc);
+                }
+                *out_ij = acc;
+            }
+            for &c in cols_i {
+                scatter[c] = T::ZERO;
+            }
+        }
+    }
+
+    /// FMA-pair FLOP count of a Gustavson-style SpGEMM forming `A Aᵀ`: every
+    /// pair of stored entries sharing a column contributes one multiply-add
+    /// (2 FLOPs). Used to charge the sparse Gram computation to the cost
+    /// model as an SpGEMM rather than a dense GEMM.
+    pub fn gram_flops(&self) -> u64 {
+        let mut column_counts = vec![0u64; self.cols];
+        for &c in &self.col_indices {
+            column_counts[c] += 1;
+        }
+        column_counts.iter().map(|&c| 2 * c * c).sum()
+    }
 }
 
 #[cfg(test)]
@@ -289,8 +409,14 @@ mod tests {
         // [1 0 2]
         // [0 0 0]
         // [3 4 0]
-        CsrMatrix::from_raw(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap()
+        CsrMatrix::from_raw(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -325,7 +451,10 @@ mod tests {
     #[test]
     fn from_raw_rejects_bad_column() {
         let e = CsrMatrix::<f64>::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]);
-        assert!(matches!(e, Err(SparseError::IndexOutOfBounds { index: 5, bound: 2 })));
+        assert!(matches!(
+            e,
+            Err(SparseError::IndexOutOfBounds { index: 5, bound: 2 })
+        ));
     }
 
     #[test]
@@ -366,7 +495,9 @@ mod tests {
         let m = sample();
         let t = m.transpose();
         assert_eq!(t.shape(), (3, 3));
-        assert!(t.to_dense().approx_eq(&m.to_dense().transpose(), 1e-12, 1e-12));
+        assert!(t
+            .to_dense()
+            .approx_eq(&m.to_dense().transpose(), 1e-12, 1e-12));
         // transpose twice is identity
         assert_eq!(t.transpose().to_dense(), m.to_dense());
     }
@@ -410,5 +541,73 @@ mod tests {
         assert_eq!(z.nnz(), 0);
         assert_eq!(z.transpose().shape(), (0, 0));
         assert_eq!(z.density(), 0.0);
+    }
+
+    #[test]
+    fn gram_matches_dense_reference() {
+        let dense = DenseMatrix::from_rows(&[
+            vec![1.0f64, 0.0, 2.0, 0.0],
+            vec![0.0, 3.0, 0.0, 0.0],
+            vec![-1.0, 0.0, 0.5, 4.0],
+        ])
+        .unwrap();
+        let sparse = CsrMatrix::from_dense(&dense);
+        let gram = sparse.gram();
+        let reference = popcorn_dense::matmul_nt(&dense, &dense).unwrap();
+        assert!(gram.approx_eq(&reference, 1e-12, 1e-12));
+        // symmetric by construction
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(gram[(i, j)], gram[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_of_wide_sparse_matrix() {
+        // scotus-shaped: many more features than points, ~99% zeros.
+        let dense = DenseMatrix::from_fn(8, 400, |i, j| {
+            if (i * 131 + j * 17) % 97 == 0 {
+                1.0 + (i + j) as f64 * 0.01
+            } else {
+                0.0
+            }
+        });
+        let sparse = CsrMatrix::from_dense(&dense);
+        assert!(sparse.density() < 0.05);
+        let gram = sparse.gram();
+        let reference = popcorn_dense::matmul_nt(&dense, &dense).unwrap();
+        assert!(gram.approx_eq(&reference, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn gram_sequential_matches_parallel_gram() {
+        let dense = DenseMatrix::from_fn(9, 40, |i, j| {
+            if (i * 13 + j * 7) % 5 == 0 {
+                (i + j) as f64 * 0.3 - 1.0
+            } else {
+                0.0
+            }
+        });
+        let sparse = CsrMatrix::from_dense(&dense);
+        assert_eq!(sparse.gram_sequential(), sparse.gram());
+    }
+
+    #[test]
+    fn gram_flops_counts_column_pairs() {
+        // Column 0 has 2 entries, column 1 has 1: 2*(2^2) + 2*(1^2) = 10.
+        let m = CsrMatrix::from_dense(
+            &DenseMatrix::from_rows(&[vec![1.0f64, 0.0], vec![2.0, 3.0]]).unwrap(),
+        );
+        assert_eq!(m.gram_flops(), 10);
+        assert_eq!(CsrMatrix::<f64>::zeros(3, 3).gram_flops(), 0);
+    }
+
+    #[test]
+    fn gram_empty_matrix() {
+        let z = CsrMatrix::<f64>::zeros(0, 0);
+        assert_eq!(z.gram().shape(), (0, 0));
+        let no_entries = CsrMatrix::<f64>::zeros(3, 5);
+        assert_eq!(no_entries.gram(), DenseMatrix::zeros(3, 3));
     }
 }

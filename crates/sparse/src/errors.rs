@@ -45,7 +45,11 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::DimensionMismatch { op, expected, found } => write!(
+            SparseError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
                 f,
                 "{op}: dimension mismatch, expected {}x{} but found {}x{}",
                 expected.0, expected.1, found.0, found.1
@@ -72,13 +76,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = SparseError::DimensionMismatch { op: "spmm", expected: (2, 3), found: (4, 5) };
+        let e = SparseError::DimensionMismatch {
+            op: "spmm",
+            expected: (2, 3),
+            found: (4, 5),
+        };
         assert!(e.to_string().contains("spmm"));
-        let e = SparseError::InvalidStructure { reason: "rowptr not monotone".into() };
+        let e = SparseError::InvalidStructure {
+            reason: "rowptr not monotone".into(),
+        };
         assert!(e.to_string().contains("monotone"));
         let e = SparseError::IndexOutOfBounds { index: 9, bound: 5 };
         assert!(e.to_string().contains('9'));
-        let e = SparseError::InvalidAssignment { point: 3, label: 7, k: 4 };
+        let e = SparseError::InvalidAssignment {
+            point: 3,
+            label: 7,
+            k: 4,
+        };
         assert!(e.to_string().contains("cluster 7"));
         let e = SparseError::Empty { op: "selection" };
         assert!(e.to_string().contains("selection"));

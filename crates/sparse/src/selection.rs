@@ -40,11 +40,15 @@ impl<T: Scalar> SelectionMatrix<T> {
     /// how to repair them (see `popcorn-core`'s empty-cluster handling).
     pub fn from_assignments(assignments: &[usize], k: usize) -> Result<Self> {
         if k == 0 {
-            return Err(SparseError::Empty { op: "selection matrix (k = 0)" });
+            return Err(SparseError::Empty {
+                op: "selection matrix (k = 0)",
+            });
         }
         let n = assignments.len();
         if n == 0 {
-            return Err(SparseError::Empty { op: "selection matrix (no points)" });
+            return Err(SparseError::Empty {
+                op: "selection matrix (no points)",
+            });
         }
         let mut cardinalities = vec![0usize; k];
         for (i, &label) in assignments.iter().enumerate() {
@@ -73,7 +77,11 @@ impl<T: Scalar> SelectionMatrix<T> {
         // Point indices are visited in increasing order, so each row's column
         // indices are already strictly increasing.
         let csr = CsrMatrix::from_raw_unchecked(k, n, row_ptrs, col_indices, values);
-        Ok(Self { csr, assignments: assignments.to_vec(), cardinalities })
+        Ok(Self {
+            csr,
+            assignments: assignments.to_vec(),
+            cardinalities,
+        })
     }
 
     /// The underlying CSR matrix (k×n, entries `1/|L_j|`).
@@ -126,7 +134,12 @@ impl<T: Scalar> SelectionMatrix<T> {
                 found: e.shape(),
             });
         }
-        Ok(self.assignments.iter().enumerate().map(|(i, &c)| e[(i, c)]).collect())
+        Ok(self
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| e[(i, c)])
+            .collect())
     }
 }
 
@@ -203,7 +216,11 @@ mod tests {
     fn rejects_invalid_inputs() {
         assert!(matches!(
             SelectionMatrix::<f64>::from_assignments(&[0, 5, 1], 3),
-            Err(SparseError::InvalidAssignment { point: 1, label: 5, k: 3 })
+            Err(SparseError::InvalidAssignment {
+                point: 1,
+                label: 5,
+                k: 3
+            })
         ));
         assert!(SelectionMatrix::<f64>::from_assignments(&[], 3).is_err());
         assert!(SelectionMatrix::<f64>::from_assignments(&[0, 1], 0).is_err());
@@ -220,12 +237,8 @@ mod tests {
     #[test]
     fn gather_z_picks_assigned_column() {
         let v = SelectionMatrix::<f64>::from_assignments(&[1, 0, 1], 2).unwrap();
-        let e = DenseMatrix::from_rows(&[
-            vec![10.0, 11.0],
-            vec![20.0, 21.0],
-            vec![30.0, 31.0],
-        ])
-        .unwrap();
+        let e = DenseMatrix::from_rows(&[vec![10.0, 11.0], vec![20.0, 21.0], vec![30.0, 31.0]])
+            .unwrap();
         assert_eq!(v.gather_z(&e).unwrap(), vec![11.0, 20.0, 31.0]);
         let bad = DenseMatrix::<f64>::zeros(3, 3);
         assert!(v.gather_z(&bad).is_err());

@@ -58,7 +58,13 @@ pub fn spgemm<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix
         }
         row_ptrs.push(values.len());
     }
-    Ok(CsrMatrix::from_raw_unchecked(m, n, row_ptrs, col_indices, values))
+    Ok(CsrMatrix::from_raw_unchecked(
+        m,
+        n,
+        row_ptrs,
+        col_indices,
+        values,
+    ))
 }
 
 /// Number of multiply-add FLOPs an SpGEMM performs (the "compression-free"
@@ -193,8 +199,7 @@ mod tests {
         let k = CsrMatrix::from_dense(&k_dense);
         let vk = spgemm(&v, &k).unwrap();
         let vkvt = spgemm(&vk, &v.transpose()).unwrap();
-        let dense_ref =
-            matmul(&matmul(&v_dense, &k_dense).unwrap(), &v_dense.transpose()).unwrap();
+        let dense_ref = matmul(&matmul(&v_dense, &k_dense).unwrap(), &v_dense.transpose()).unwrap();
         let diag = csr_diagonal(&vkvt).unwrap();
         for i in 0..2 {
             assert!((diag[i] - dense_ref[(i, i)]).abs() < 1e-12);

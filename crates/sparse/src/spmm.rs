@@ -29,11 +29,7 @@ pub fn spmm_flops(nnz: usize, n_cols: usize) -> u64 {
 ///
 /// Output rows are distributed across threads; each output row is a sparse
 /// combination of rows of `B`, so the inner loop streams contiguous memory.
-pub fn spmm<T: Scalar>(
-    alpha: T,
-    a: &CsrMatrix<T>,
-    b: &DenseMatrix<T>,
-) -> Result<DenseMatrix<T>> {
+pub fn spmm<T: Scalar>(alpha: T, a: &CsrMatrix<T>, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>> {
     if a.cols() != b.rows() {
         return Err(SparseError::DimensionMismatch {
             op: "spmm",
@@ -121,12 +117,7 @@ mod tests {
     #[test]
     fn spmm_matches_dense_reference() {
         let a = sparse_sample();
-        let b = DenseMatrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let b = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let c = spmm(1.0, &a, &b).unwrap();
         let reference = matmul(&a.to_dense(), &b).unwrap();
         assert!(c.approx_eq(&reference, 1e-12, 1e-12));
@@ -170,11 +161,7 @@ mod tests {
         // K (4x4 symmetric-ish dense) times Vᵀ where V is 2x4 sparse
         let k = DenseMatrix::<f64>::from_fn(4, 4, |i, j| ((i + j) as f64).sin() + 0.5);
         let v = CsrMatrix::from_dense(
-            &DenseMatrix::from_rows(&[
-                vec![0.5, 0.5, 0.0, 0.0],
-                vec![0.0, 0.0, 1.0, 0.0],
-            ])
-            .unwrap(),
+            &DenseMatrix::from_rows(&[vec![0.5, 0.5, 0.0, 0.0], vec![0.0, 0.0, 1.0, 0.0]]).unwrap(),
         );
         let fast = spmm_transpose_b(-2.0, &k, &v).unwrap();
         let mut reference = matmul(&k, &v.to_dense().transpose()).unwrap();

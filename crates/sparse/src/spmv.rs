@@ -46,8 +46,8 @@ pub fn spmv_transpose<T: Scalar>(alpha: T, a: &CsrMatrix<T>, x: &[T]) -> Result<
         });
     }
     let mut y = vec![T::ZERO; a.cols()];
-    for i in 0..a.rows() {
-        let xi = alpha * x[i];
+    for (i, &x_i) in x.iter().enumerate() {
+        let xi = alpha * x_i;
         if xi == T::ZERO {
             continue;
         }

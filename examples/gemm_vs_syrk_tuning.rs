@@ -16,8 +16,14 @@ use popcorn::prelude::*;
 fn main() {
     let model = CostModel::new(DeviceSpec::a100_80gb(), 4);
     let n = 50_000usize;
-    println!("sweeping d for fixed n = {n} on the modeled {}\n", model.device().name);
-    println!("{:>8}  {:>10}  {:>12}  {:>12}  {:>10}", "d", "n/d", "gemm (s)", "syrk (s)", "winner");
+    println!(
+        "sweeping d for fixed n = {n} on the modeled {}\n",
+        model.device().name
+    );
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>12}  {:>10}",
+        "d", "n/d", "gemm (s)", "syrk (s)", "winner"
+    );
 
     let mut crossover: Option<f64> = None;
     let mut previous_winner_gemm = true;

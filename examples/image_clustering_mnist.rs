@@ -25,9 +25,13 @@ fn main() {
         dataset.d()
     );
 
-    let config = KernelKmeansConfig::paper_defaults(k).with_max_iter(30).with_seed(1);
+    let config = KernelKmeansConfig::paper_defaults(k)
+        .with_max_iter(30)
+        .with_seed(1);
 
-    let popcorn = KernelKmeans::new(config.clone()).fit(dataset.points()).unwrap();
+    let popcorn = KernelKmeans::new(config.clone())
+        .fit(dataset.points())
+        .unwrap();
     let baseline = DenseGpuBaseline::new(config).fit(dataset.points()).unwrap();
 
     // Both formulations compute the same mathematics.
@@ -38,14 +42,27 @@ fn main() {
     let b = baseline.modeled_timings;
     println!("\nmodeled A100 times (seconds):");
     println!("                      popcorn    baseline");
-    println!("  kernel matrix     {:>9.4}   {:>9.4}", p.kernel_matrix, b.kernel_matrix);
+    println!(
+        "  kernel matrix     {:>9.4}   {:>9.4}",
+        p.kernel_matrix, b.kernel_matrix
+    );
     println!(
         "  pairwise distances{:>9.4}   {:>9.4}",
         p.pairwise_distances, b.pairwise_distances
     );
-    println!("  argmin + update   {:>9.4}   {:>9.4}", p.assignment, b.assignment);
-    println!("  total             {:>9.4}   {:>9.4}", p.total(), b.total());
-    println!("\nmodeled end-to-end speedup of Popcorn: {:.2}x", b.total() / p.total());
+    println!(
+        "  argmin + update   {:>9.4}   {:>9.4}",
+        p.assignment, b.assignment
+    );
+    println!(
+        "  total             {:>9.4}   {:>9.4}",
+        p.total(),
+        b.total()
+    );
+    println!(
+        "\nmodeled end-to-end speedup of Popcorn: {:.2}x",
+        b.total() / p.total()
+    );
     println!(
         "host wall-clock: popcorn {:.3} s, baseline {:.3} s",
         popcorn.host_timings.total(),

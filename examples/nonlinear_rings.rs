@@ -26,14 +26,20 @@ fn main() {
         .with_max_iter(100)
         .with_convergence_check(true, 1e-8)
         .with_seed(3);
-    let lloyd = LloydKmeans::new(base_config.clone()).fit(dataset.points()).unwrap();
+    let lloyd = LloydKmeans::new(base_config.clone())
+        .fit(dataset.points())
+        .unwrap();
     let lloyd_ari = adjusted_rand_index(truth, &lloyd.labels).unwrap();
     let lloyd_nmi = normalized_mutual_information(truth, &lloyd.labels).unwrap();
 
     // Kernel k-means with a Gaussian kernel (Popcorn formulation).
-    let popcorn_config =
-        base_config.with_kernel(KernelFunction::Gaussian { gamma: 1.0, sigma: 1.5 });
-    let popcorn = KernelKmeans::new(popcorn_config).fit(dataset.points()).unwrap();
+    let popcorn_config = base_config.with_kernel(KernelFunction::Gaussian {
+        gamma: 1.0,
+        sigma: 1.5,
+    });
+    let popcorn = KernelKmeans::new(popcorn_config)
+        .fit(dataset.points())
+        .unwrap();
     let popcorn_ari = adjusted_rand_index(truth, &popcorn.labels).unwrap();
     let popcorn_nmi = normalized_mutual_information(truth, &popcorn.labels).unwrap();
 

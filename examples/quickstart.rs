@@ -28,7 +28,9 @@ fn main() {
     // 3. Fit. All numerical work runs on the host; every operation is also
     //    charged to a simulated NVIDIA A100 so the result carries modeled
     //    device timings broken down by phase.
-    let result = KernelKmeans::new(config).fit(dataset.points()).expect("clustering failed");
+    let result = KernelKmeans::new(config)
+        .fit(dataset.points())
+        .expect("clustering failed");
 
     println!(
         "finished in {} iterations (converged: {})",
@@ -42,10 +44,25 @@ fn main() {
 
     let timings = result.modeled_timings;
     println!("\nmodeled A100 time breakdown:");
-    println!("  data preparation   : {:>10.3} ms", timings.data_preparation * 1e3);
-    println!("  kernel matrix      : {:>10.3} ms", timings.kernel_matrix * 1e3);
-    println!("  pairwise distances : {:>10.3} ms", timings.pairwise_distances * 1e3);
-    println!("  argmin + update    : {:>10.3} ms", timings.assignment * 1e3);
+    println!(
+        "  data preparation   : {:>10.3} ms",
+        timings.data_preparation * 1e3
+    );
+    println!(
+        "  kernel matrix      : {:>10.3} ms",
+        timings.kernel_matrix * 1e3
+    );
+    println!(
+        "  pairwise distances : {:>10.3} ms",
+        timings.pairwise_distances * 1e3
+    );
+    println!(
+        "  argmin + update    : {:>10.3} ms",
+        timings.assignment * 1e3
+    );
     println!("  total              : {:>10.3} ms", timings.total() * 1e3);
-    println!("\nhost wall-clock total: {:.3} ms", result.host_timings.total() * 1e3);
+    println!(
+        "\nhost wall-clock total: {:.3} ms",
+        result.host_timings.total() * 1e3
+    );
 }

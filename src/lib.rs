@@ -41,13 +41,15 @@ pub use popcorn_baselines as baselines;
 pub mod prelude {
     pub use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline, LloydKmeans};
     pub use popcorn_core::{
-        ClusteringResult, Initialization, KernelFunction, KernelKmeans, KernelKmeansConfig,
-        KernelMatrixStrategy, TimingBreakdown,
+        ClusteringResult, FitInput, Initialization, KernelFunction, KernelKmeans,
+        KernelKmeansConfig, KernelMatrixStrategy, Solver, TimingBreakdown,
     };
-    pub use popcorn_data::{Dataset, PaperDataset};
+    pub use popcorn_data::{Dataset, PaperDataset, SparseDataset};
     pub use popcorn_dense::{DenseMatrix, Scalar};
     pub use popcorn_gpusim::{DeviceSpec, SimExecutor};
-    pub use popcorn_metrics::{adjusted_rand_index, normalized_mutual_information, silhouette_score};
+    pub use popcorn_metrics::{
+        adjusted_rand_index, normalized_mutual_information, silhouette_score,
+    };
     pub use popcorn_sparse::{CsrMatrix, SelectionMatrix};
 }
 

@@ -19,8 +19,12 @@ fn popcorn_and_both_baselines_agree_exactly() {
     let dataset = gaussian_blobs::<f32>(150, 6, 4, 1.0, 9);
     for k in [2, 4, 8] {
         let config = paper_protocol(k, 21);
-        let popcorn = KernelKmeans::new(config.clone()).fit(dataset.points()).unwrap();
-        let dense = DenseGpuBaseline::new(config.clone()).fit(dataset.points()).unwrap();
+        let popcorn = KernelKmeans::new(config.clone())
+            .fit(dataset.points())
+            .unwrap();
+        let dense = DenseGpuBaseline::new(config.clone())
+            .fit(dataset.points())
+            .unwrap();
         let cpu = CpuKernelKmeans::new(config).fit(dataset.points()).unwrap();
         assert_eq!(popcorn.labels, dense.labels, "k = {k}");
         assert_eq!(popcorn.labels, cpu.labels, "k = {k}");
@@ -46,12 +50,21 @@ fn kernel_kmeans_beats_lloyd_on_nonlinear_data() {
 
     let config = paper_protocol(2, 3)
         .with_max_iter(100)
-        .with_kernel(KernelFunction::Gaussian { gamma: 1.0, sigma: 1.5 });
+        .with_kernel(KernelFunction::Gaussian {
+            gamma: 1.0,
+            sigma: 1.5,
+        });
     let popcorn = KernelKmeans::new(config).fit(dataset.points()).unwrap();
     let popcorn_ari = adjusted_rand_index(truth, &popcorn.labels).unwrap();
 
-    assert!(popcorn_ari > 0.9, "kernel k-means ARI too low: {popcorn_ari}");
-    assert!(lloyd_ari < 0.5, "Lloyd unexpectedly separated the rings: {lloyd_ari}");
+    assert!(
+        popcorn_ari > 0.9,
+        "kernel k-means ARI too low: {popcorn_ari}"
+    );
+    assert!(
+        lloyd_ari < 0.5,
+        "Lloyd unexpectedly separated the rings: {lloyd_ari}"
+    );
     assert!(purity(truth, &popcorn.labels).unwrap() > 0.95);
 }
 
@@ -72,23 +85,30 @@ fn reported_objective_matches_metrics_definition() {
     // The solver's internal objective must equal the independent
     // kernel-objective computation from popcorn-metrics.
     let dataset = gaussian_blobs::<f64>(80, 4, 3, 1.0, 5);
-    let config = paper_protocol(3, 8).with_max_iter(60).with_kernel(KernelFunction::Linear);
+    let config = paper_protocol(3, 8)
+        .with_max_iter(60)
+        .with_kernel(KernelFunction::Linear);
     let result = KernelKmeans::new(config).fit(dataset.points()).unwrap();
-    let kernel_matrix = popcorn::core::kernel::kernel_matrix_reference(
-        dataset.points(),
-        KernelFunction::Linear,
-    );
+    let kernel_matrix =
+        popcorn::core::kernel::kernel_matrix_reference(dataset.points(), KernelFunction::Linear);
     let independent = kernel_objective(&kernel_matrix, &result.labels).unwrap();
     // The solver's objective is measured one assignment step earlier than the
     // final labels when repair kicks in, so allow a small relative slack.
     let rel = (result.objective - independent).abs() / independent.abs().max(1e-12);
-    assert!(rel < 1e-6, "solver {} vs metrics {}", result.objective, independent);
+    assert!(
+        rel < 1e-6,
+        "solver {} vs metrics {}",
+        result.objective,
+        independent
+    );
 }
 
 #[test]
 fn simulated_timings_are_consistent() {
     let dataset = gaussian_blobs::<f32>(200, 8, 4, 1.0, 2);
-    let result = KernelKmeans::new(paper_protocol(4, 1)).fit(dataset.points()).unwrap();
+    let result = KernelKmeans::new(paper_protocol(4, 1))
+        .fit(dataset.points())
+        .unwrap();
     let t = result.modeled_timings;
     // Every phase was exercised and the totals add up.
     assert!(t.data_preparation > 0.0);
@@ -106,7 +126,9 @@ fn paper_dataset_standins_cluster_end_to_end() {
     for paper_dataset in [PaperDataset::Letter, PaperDataset::Acoustic] {
         let dataset = paper_dataset.generate::<f32>(0.01, 3);
         let k = 5.min(dataset.n());
-        let result = KernelKmeans::new(paper_protocol(k, 6)).fit(dataset.points()).unwrap();
+        let result = KernelKmeans::new(paper_protocol(k, 6))
+            .fit(dataset.points())
+            .unwrap();
         assert_eq!(result.labels.len(), dataset.n());
         assert!(result.non_empty_clusters() >= 1);
         assert!(result.iterations >= 1);
@@ -116,8 +138,12 @@ fn paper_dataset_standins_cluster_end_to_end() {
 #[test]
 fn different_seeds_explore_different_local_optima() {
     let dataset = gaussian_blobs::<f32>(120, 4, 6, 2.0, 31);
-    let a = KernelKmeans::new(paper_protocol(6, 1)).fit(dataset.points()).unwrap();
-    let b = KernelKmeans::new(paper_protocol(6, 2)).fit(dataset.points()).unwrap();
+    let a = KernelKmeans::new(paper_protocol(6, 1))
+        .fit(dataset.points())
+        .unwrap();
+    let b = KernelKmeans::new(paper_protocol(6, 2))
+        .fit(dataset.points())
+        .unwrap();
     // Not a strict requirement of the algorithm, but with 6 overlapping blobs
     // the label vectors should differ for different random initialisations.
     assert_ne!(a.labels, b.labels);

@@ -22,9 +22,7 @@ fn dense_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Dense
 fn sparse_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
     (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec((0..r, 0..c, -5.0f64..5.0), 0..=(r * c).min(40))
-            .prop_map(move |entries| {
-                CooMatrix::from_triplets(r, c, entries).unwrap().to_csr()
-            })
+            .prop_map(move |entries| CooMatrix::from_triplets(r, c, entries).unwrap().to_csr())
     })
 }
 

@@ -1,0 +1,223 @@
+//! Property tests for the dense/sparse fit equivalence at the heart of the
+//! `Solver` + `FitInput` API: fitting the same points as a `DenseMatrix` and
+//! as a `CsrMatrix` (same seed, same config) must yield identical labels and
+//! matching objectives, across kernels, solvers and sparsity patterns —
+//! including a scotus-shaped synthetic text workload.
+
+use popcorn::data::synthetic::sparse_text_like;
+use popcorn::prelude::*;
+use proptest::prelude::*;
+
+fn equiv_config(k: usize, seed: u64, kernel: KernelFunction) -> KernelKmeansConfig {
+    KernelKmeansConfig::paper_defaults(k)
+        .with_kernel(kernel)
+        .with_max_iter(8)
+        .with_convergence_check(true, 1e-10)
+        .with_seed(seed)
+}
+
+/// Strategy: a random sparse point set with controlled shape and density,
+/// returned as the dense matrix (the CSR view is derived in the tests).
+fn sparse_points(max_n: usize, max_d: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
+    (4..=max_n, 2..=max_d).prop_flat_map(|(n, d)| {
+        proptest::collection::vec((0..n, 0..d, 0.1f64..4.0), n..=(3 * n)).prop_map(move |entries| {
+            let mut m = DenseMatrix::zeros(n, d);
+            // Guarantee no all-zero rows (degenerate but legal; avoiding
+            // them keeps the clusterings non-trivial).
+            for i in 0..n {
+                m[(i, i % d)] = 1.0 + (i as f64) * 0.25;
+            }
+            for (i, j, v) in entries {
+                m[(i, j)] = v;
+            }
+            m
+        })
+    })
+}
+
+fn assert_dense_sparse_agree<S: Solver<f64>>(
+    build: impl Fn(KernelKmeansConfig) -> S,
+    points: &DenseMatrix<f64>,
+    config: KernelKmeansConfig,
+) -> Result<(), TestCaseError> {
+    let csr = CsrMatrix::from_dense(points);
+    let dense = build(config.clone())
+        .fit(points)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let sparse = build(config)
+        .fit_sparse(&csr)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    prop_assert_eq!(
+        &dense.labels,
+        &sparse.labels,
+        "labels diverge between layouts"
+    );
+    prop_assert_eq!(dense.iterations, sparse.iterations);
+    let scale = dense.objective.abs().max(1.0);
+    prop_assert!(
+        (dense.objective - sparse.objective).abs() / scale < 1e-9,
+        "objectives diverge: {} vs {}",
+        dense.objective,
+        sparse.objective
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn popcorn_dense_and_sparse_fits_are_identical(
+        points in sparse_points(24, 10),
+        k in 2usize..4,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(k <= points.rows());
+        for kernel in [
+            KernelFunction::Linear,
+            KernelFunction::paper_polynomial(),
+            KernelFunction::Gaussian { gamma: 1.0, sigma: 2.0 },
+        ] {
+            assert_dense_sparse_agree(
+                KernelKmeans::new,
+                &points,
+                equiv_config(k, seed, kernel),
+            )?;
+        }
+    }
+
+    #[test]
+    fn cpu_baseline_dense_and_sparse_fits_are_identical(
+        points in sparse_points(20, 8),
+        seed in 0u64..100,
+    ) {
+        assert_dense_sparse_agree(
+            CpuKernelKmeans::new,
+            &points,
+            equiv_config(2, seed, KernelFunction::paper_polynomial()),
+        )?;
+    }
+
+    #[test]
+    fn lloyd_dense_and_sparse_fits_are_identical(
+        points in sparse_points(20, 8),
+        seed in 0u64..100,
+    ) {
+        let config = equiv_config(2, seed, KernelFunction::Linear);
+        let csr = CsrMatrix::from_dense(&points);
+        let dense = LloydKmeans::new(config.clone()).fit(&points).unwrap();
+        let sparse = LloydKmeans::new(config).fit_sparse(&csr).unwrap();
+        prop_assert_eq!(&dense.labels, &sparse.labels);
+        let scale = dense.objective.abs().max(1.0);
+        prop_assert!((dense.objective - sparse.objective).abs() / scale < 1e-9);
+    }
+}
+
+#[test]
+fn scotus_shaped_sparse_fit_matches_densified_fit() {
+    // A scaled-down scotus: d >> n, ~1% density, cluster-structured like a
+    // bag-of-words corpus. The CSR fit must reproduce the densified fit
+    // exactly while charging the Gram product as SpGEMM.
+    let dataset = sparse_text_like::<f32>(96, 4_000, 6, 40, 11);
+    assert!(dataset.density() < 0.011, "density {}", dataset.density());
+    let dense = dataset.to_dense();
+
+    for kernel in [
+        KernelFunction::Linear,
+        KernelFunction::paper_polynomial(),
+        KernelFunction::Gaussian {
+            gamma: 1.0,
+            sigma: 50.0,
+        },
+    ] {
+        let config = KernelKmeansConfig::paper_defaults(6)
+            .with_kernel(kernel)
+            .with_max_iter(12)
+            .with_convergence_check(true, 1e-10)
+            .with_seed(3);
+        let via_sparse = KernelKmeans::new(config.clone())
+            .fit_sparse(dataset.points())
+            .unwrap();
+        let via_dense = KernelKmeans::new(config).fit(dense.points()).unwrap();
+        assert_eq!(
+            via_sparse.labels,
+            via_dense.labels,
+            "kernel {}",
+            kernel.name()
+        );
+        let scale = via_dense.objective.abs().max(1.0);
+        assert!(
+            (via_sparse.objective - via_dense.objective).abs() / scale < 1e-5,
+            "kernel {}: objectives {} vs {}",
+            kernel.name(),
+            via_sparse.objective,
+            via_dense.objective
+        );
+        // Sparse route: SpGEMM charged, no dense Gram product, smaller upload.
+        use popcorn::gpusim::OpClass;
+        assert!(via_sparse.trace.class_summary(OpClass::SpGEMM).0 > 0.0);
+        assert_eq!(via_sparse.trace.class_summary(OpClass::Gemm).0, 0.0);
+        assert_eq!(via_sparse.trace.class_summary(OpClass::Syrk).0, 0.0);
+        assert!(
+            via_sparse.modeled_timings.data_preparation
+                < via_dense.modeled_timings.data_preparation
+        );
+    }
+}
+
+#[test]
+fn scotus_shaped_clustering_recovers_ground_truth() {
+    // The sparse generator plants disjoint vocabulary blocks per class.
+    // With enough non-zeros per row for same-cluster points to share
+    // vocabulary, a linear-kernel clustering recovers the classes nearly
+    // perfectly straight from the CSR input. k-means is restart-sensitive,
+    // so (like the paper's multi-run protocol) the best of a few seeds by
+    // objective is what gets scored.
+    let dataset = sparse_text_like::<f32>(160, 800, 4, 100, 17);
+    let truth = dataset.labels().unwrap();
+    let best = (0..5u64)
+        .map(|seed| {
+            let config = KernelKmeansConfig::paper_defaults(4)
+                .with_kernel(KernelFunction::Linear)
+                .with_max_iter(40)
+                .with_convergence_check(true, 1e-9)
+                .with_init(Initialization::KmeansPlusPlus)
+                .with_seed(seed);
+            KernelKmeans::new(config)
+                .fit_sparse(dataset.points())
+                .unwrap()
+        })
+        .min_by(|a, b| a.objective.total_cmp(&b.objective))
+        .unwrap();
+    let ari = adjusted_rand_index(truth, &best.labels).unwrap();
+    assert!(ari > 0.9, "ARI = {ari}");
+}
+
+#[test]
+fn all_four_solvers_run_through_dyn_dispatch_on_both_layouts() {
+    let dataset = sparse_text_like::<f32>(40, 500, 2, 12, 23);
+    let dense = dataset.to_dense();
+    let config = KernelKmeansConfig::paper_defaults(2)
+        .with_max_iter(6)
+        .with_convergence_check(true, 1e-9)
+        .with_seed(1);
+    let solvers: Vec<Box<dyn Solver<f32>>> = vec![
+        Box::new(KernelKmeans::new(config.clone())),
+        Box::new(CpuKernelKmeans::new(config.clone())),
+        Box::new(DenseGpuBaseline::new(config.clone())),
+        Box::new(LloydKmeans::new(config)),
+    ];
+    for solver in &solvers {
+        let from_sparse = solver
+            .fit_input(FitInput::Sparse(dataset.points()))
+            .unwrap();
+        let from_dense = solver.fit_input(FitInput::Dense(dense.points())).unwrap();
+        assert_eq!(
+            from_sparse.labels,
+            from_dense.labels,
+            "{} disagrees across layouts",
+            solver.name()
+        );
+        assert_eq!(from_sparse.labels.len(), 40);
+    }
+}
