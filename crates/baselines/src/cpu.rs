@@ -11,6 +11,7 @@
 //! the kernel matrix is formed directly from the sparse rows — the points
 //! are never densified — and the clustering loop proceeds identically.
 
+use popcorn_core::batch::{self, BatchResult, FitJob};
 use popcorn_core::kernel::KernelFunction;
 use popcorn_core::kernel_matrix::spgemm_gram_cost;
 use popcorn_core::pipeline::{self, DistanceEngine};
@@ -87,10 +88,48 @@ impl CpuKernelKmeans {
     fn iterate_with<T: Scalar>(
         &self,
         kernel_matrix: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
         executor: &SimExecutor,
     ) -> Result<ClusteringResult> {
-        let mut engine = CpuEngine { k: self.config.k };
-        pipeline::iterate(kernel_matrix, &self.config, executor, &mut engine)
+        let mut engine = CpuEngine { k: config.k };
+        pipeline::iterate(kernel_matrix, config, executor, &mut engine)
+    }
+
+    /// The PRMLT-style kernel matrix, charged at CPU efficiencies: dense
+    /// sequential K = kernel(P Pᵀ) (always the full GEMM-equivalent work —
+    /// PRMLT does not use SYRK), or a *sequential* Gustavson-style Gram
+    /// product for CSR points (this solver models a single core — the shared
+    /// `CsrMatrix::gram` is multi-threaded), charged with the same SpGEMM
+    /// cost definition the shared sparse path uses.
+    fn compute_kernel_matrix<T: Scalar>(
+        &self,
+        input: FitInput<'_, T>,
+        kernel: KernelFunction,
+        executor: &SimExecutor,
+    ) -> DenseMatrix<T> {
+        let elem = std::mem::size_of::<T>();
+        match input {
+            FitInput::Dense(points) => {
+                let (n, d) = (points.rows(), points.cols());
+                executor.run(
+                    format!("cpu dense kernel matrix (n={n}, d={d})"),
+                    Phase::KernelMatrix,
+                    OpClass::Gemm,
+                    OpCost::gemm(n, n, d, elem),
+                    || compute_kernel_matrix_sequential(points, kernel),
+                )
+            }
+            FitInput::Sparse(points) => {
+                let (n, d, nnz) = (points.rows(), points.cols(), points.nnz());
+                executor.run(
+                    format!("cpu spgemm kernel matrix (n={n}, d={d}, nnz={nnz})"),
+                    Phase::KernelMatrix,
+                    OpClass::SpGEMM,
+                    spgemm_gram_cost(points),
+                    || compute_kernel_matrix_sequential_csr(points, kernel),
+                )
+            }
+        }
     }
 }
 
@@ -105,47 +144,40 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
 
     /// Run the full pipeline: dense sequential kernel matrix (or the SpGEMM
     /// Gram path for CSR inputs), then sequential iterations.
-    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
-        self.config.validate(input.n())?;
+    fn fit_input_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
+        config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let elem = std::mem::size_of::<T>();
-
-        let kernel_matrix = match input {
-            // Dense, sequential K = kernel(P Pᵀ): always the full
-            // GEMM-equivalent work (PRMLT does not use SYRK).
-            FitInput::Dense(points) => {
-                let (n, d) = (points.rows(), points.cols());
-                executor.run(
-                    format!("cpu dense kernel matrix (n={n}, d={d})"),
-                    Phase::KernelMatrix,
-                    OpClass::Gemm,
-                    OpCost::gemm(n, n, d, elem),
-                    || compute_kernel_matrix_sequential(points, self.config.kernel),
-                )
-            }
-            // CSR points stay sparse: a *sequential* Gustavson-style Gram
-            // product (this solver models a single core — the shared
-            // CsrMatrix::gram is multi-threaded), charged with the same
-            // SpGEMM cost definition the shared sparse path uses.
-            FitInput::Sparse(points) => {
-                let (n, d, nnz) = (points.rows(), points.cols(), points.nnz());
-                executor.run(
-                    format!("cpu spgemm kernel matrix (n={n}, d={d}, nnz={nnz})"),
-                    Phase::KernelMatrix,
-                    OpClass::SpGEMM,
-                    spgemm_gram_cost(points),
-                    || compute_kernel_matrix_sequential_csr(points, self.config.kernel),
-                )
-            }
-        };
-        self.iterate_with(&kernel_matrix, &executor)
+        let kernel_matrix = self.compute_kernel_matrix(input, config.kernel, &executor);
+        self.iterate_with(&kernel_matrix, config, &executor)
     }
 
     /// Run only the clustering iterations on a precomputed kernel matrix.
-    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
+    fn fit_from_kernel_with(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.iterate_with(kernel_matrix, &executor)
+        self.iterate_with(kernel_matrix, config, &executor)
+    }
+
+    /// The restart protocol on one core: compute the sequential kernel matrix
+    /// exactly once, then run every job's iterations over the shared matrix.
+    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+        let (kernel, _strategy) = batch::validate_jobs(&input, jobs)?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let mark = executor.trace().len();
+        let kernel_matrix = self.compute_kernel_matrix(input, kernel, &executor);
+        let shared_trace = batch::trace_since(&executor, mark);
+        batch::drive_shared_kernel(jobs, &executor, shared_trace, |job, job_executor| {
+            self.iterate_with(&kernel_matrix, &job.config, job_executor)
+        })
     }
 }
 

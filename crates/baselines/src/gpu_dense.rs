@@ -25,6 +25,8 @@
 //! are densified up front and the conversion is charged to the simulator,
 //! which is exactly the cost asymmetry the paper's sparse datasets expose.
 
+use popcorn_core::batch::{self, BatchResult, FitJob};
+use popcorn_core::kernel::KernelFunction;
 use popcorn_core::pipeline::{self, DistanceEngine};
 use popcorn_core::result::ClusteringResult;
 use popcorn_core::solver::{FitInput, Solver};
@@ -181,34 +183,28 @@ impl DenseGpuBaseline {
     fn iterate_with<T: Scalar>(
         &self,
         kernel_matrix: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
         executor: &SimExecutor,
     ) -> Result<ClusteringResult> {
         let mut engine = BaselineEngine {
-            k: self.config.k,
+            k: config.k,
             diag: None,
         };
-        pipeline::iterate(kernel_matrix, &self.config, executor, &mut engine)
-    }
-}
-
-impl<T: Scalar> Solver<T> for DenseGpuBaseline {
-    fn name(&self) -> &'static str {
-        "dense-gpu-baseline"
+        pipeline::iterate(kernel_matrix, config, executor, &mut engine)
     }
 
-    fn config(&self) -> &KernelKmeansConfig {
-        &self.config
-    }
-
-    /// Run the full pipeline: upload, GEMM kernel matrix, then iterations.
-    /// CSR inputs are densified first (and the densification is charged) —
-    /// the baseline is dense-only by design.
-    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
+    /// The baseline's data preparation and kernel matrix: densify CSR inputs
+    /// (the baseline cannot stream sparse operands into cuBLAS), charge the
+    /// dense upload, then always GEMM (§5.3 — never SYRK, never the dynamic
+    /// selection).
+    fn prepare_kernel_matrix<T: Scalar>(
+        &self,
+        input: FitInput<'_, T>,
+        kernel: KernelFunction,
+        executor: &SimExecutor,
+    ) -> Result<DenseMatrix<T>> {
         let n = input.n();
         let d = input.d();
-        self.config.validate(n)?;
-        input.validate()?;
-        let executor = self.executor_for::<T>();
         let elem = std::mem::size_of::<T>();
 
         // The baseline cannot stream CSR operands into cuBLAS: sparse inputs
@@ -236,25 +232,67 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
         );
 
         // The baseline always uses GEMM for the kernel matrix (§5.3).
-        let kernel_matrix = executor.run(
+        executor.run(
             format!("gemm kernel matrix (n={n}, d={d})"),
             Phase::KernelMatrix,
             OpClass::Gemm,
             OpCost::gemm(n, n, d, elem),
             || -> Result<DenseMatrix<T>> {
                 let mut gram = matmul_nt(points, points)?;
-                self.config.kernel.apply_to_gram(&mut gram);
+                kernel.apply_to_gram(&mut gram);
                 Ok(gram)
             },
-        )?;
-        self.iterate_with(&kernel_matrix, &executor)
+        )
+    }
+}
+
+impl<T: Scalar> Solver<T> for DenseGpuBaseline {
+    fn name(&self) -> &'static str {
+        "dense-gpu-baseline"
+    }
+
+    fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline: upload, GEMM kernel matrix, then iterations.
+    /// CSR inputs are densified first (and the densification is charged) —
+    /// the baseline is dense-only by design.
+    fn fit_input_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
+        config.validate(input.n())?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let kernel_matrix = self.prepare_kernel_matrix(input, config.kernel, &executor)?;
+        self.iterate_with(&kernel_matrix, config, &executor)
     }
 
     /// Run only the clustering iterations on a precomputed kernel matrix
     /// (used by the distance-phase comparison, Figure 4).
-    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
+    fn fit_from_kernel_with(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.iterate_with(kernel_matrix, &executor)
+        self.iterate_with(kernel_matrix, config, &executor)
+    }
+
+    /// The restart protocol on the baseline: densify (if needed), upload and
+    /// GEMM exactly once, then run every job over the shared matrix.
+    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+        let (kernel, _strategy) = batch::validate_jobs(&input, jobs)?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let mark = executor.trace().len();
+        let kernel_matrix = self.prepare_kernel_matrix(input, kernel, &executor)?;
+        let shared_trace = batch::trace_since(&executor, mark);
+        batch::drive_shared_kernel(jobs, &executor, shared_trace, |job, job_executor| {
+            self.iterate_with(&kernel_matrix, &job.config, job_executor)
+        })
     }
 }
 

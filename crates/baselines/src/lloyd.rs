@@ -178,27 +178,28 @@ impl LloydKmeans {
     fn fit_points<P: LloydPoints>(
         &self,
         points: P,
+        config: &KernelKmeansConfig,
         elem: usize,
         executor: &SimExecutor,
     ) -> Result<ClusteringResult> {
         let n = points.n();
         let d = points.d();
-        let k = self.config.k;
+        let k = config.k;
 
         // Initial centroids: k distinct points chosen uniformly at random
         // (the "random" initialisation of classical k-means).
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed);
         let mut indices: Vec<usize> = (0..n).collect();
         indices.shuffle(&mut rng);
         let mut centroids: Vec<Vec<f64>> = indices[..k].iter().map(|&i| points.point(i)).collect();
 
         let mut labels = vec![0usize; n];
-        let mut history = Vec::with_capacity(self.config.max_iter);
+        let mut history = Vec::with_capacity(config.max_iter);
         let mut converged = false;
         let mut iterations = 0usize;
         let mut prev_objective = f64::INFINITY;
 
-        for iteration in 0..self.config.max_iter {
+        for iteration in 0..config.max_iter {
             // Assignment step: nearest centroid in Euclidean distance.
             let centroid_sq_norms: Vec<f64> = centroids
                 .iter()
@@ -278,13 +279,13 @@ impl LloydKmeans {
             });
             iterations = iteration + 1;
 
-            if self.config.check_convergence {
+            if config.check_convergence {
                 let rel_change = if prev_objective.is_finite() {
                     (prev_objective - objective).abs() / objective.abs().max(f64::MIN_POSITIVE)
                 } else {
                     f64::INFINITY
                 };
-                if changed == 0 || rel_change <= self.config.tolerance {
+                if changed == 0 || rel_change <= config.tolerance {
                     converged = true;
                     break;
                 }
@@ -308,19 +309,31 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
     }
 
     /// Run Lloyd's algorithm on dense or CSR points.
-    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
-        self.config.validate(input.n())?;
+    ///
+    /// `fit_batch` keeps the trait's default independent-fits implementation:
+    /// Lloyd has no kernel matrix, so there is nothing to share between
+    /// restarts.
+    fn fit_input_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
+        config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
         let elem = std::mem::size_of::<T>();
         match input {
-            FitInput::Dense(points) => self.fit_points(points, elem, &executor),
-            FitInput::Sparse(points) => self.fit_points(points, elem, &executor),
+            FitInput::Dense(points) => self.fit_points(points, config, elem, &executor),
+            FitInput::Sparse(points) => self.fit_points(points, config, elem, &executor),
         }
     }
 
     /// Lloyd's algorithm has no kernel-matrix formulation.
-    fn fit_from_kernel(&self, _kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
+    fn fit_from_kernel_with(
+        &self,
+        _kernel_matrix: &DenseMatrix<T>,
+        _config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
         Err(CoreError::Unsupported(
             "Lloyd's algorithm operates on raw points, not a kernel matrix".into(),
         ))

@@ -1,6 +1,7 @@
 //! Executed-run harness and shared CLI options for the experiment binaries.
 
 use crate::analytic::ModelWorkload;
+use popcorn_core::batch::{BatchResult, FitJob};
 use popcorn_core::result::TimingBreakdown;
 use popcorn_core::solver::FitInput;
 use popcorn_core::{ClusteringResult, KernelKmeansConfig};
@@ -15,6 +16,7 @@ use popcorn_data::{Dataset, SparseDataset};
 /// --trials INT      number of trials to average over (paper: 4)
 /// --k LIST          comma-separated k values (paper: 10,50,100)
 /// --iterations INT  clustering iterations per run (paper: 30)
+/// --restarts INT    seeds per configuration for the batched protocol (paper: 4)
 /// --execute         actually run the solvers (default: analytic model only)
 /// --out-dir DIR     where to write the CSV output
 /// --seed INT        RNG seed
@@ -29,6 +31,8 @@ pub struct ExperimentOptions {
     pub k_values: Vec<usize>,
     /// Clustering iterations per run.
     pub iterations: usize,
+    /// Seeds per configuration for the batched restart protocol.
+    pub restarts: usize,
     /// Whether to execute the solvers in addition to the analytic model.
     pub execute: bool,
     /// Output directory for CSV files.
@@ -44,6 +48,7 @@ impl Default for ExperimentOptions {
             trials: 4,
             k_values: vec![10, 50, 100],
             iterations: 30,
+            restarts: 4,
             execute: false,
             out_dir: "experiment-results".to_string(),
             seed: 1,
@@ -96,6 +101,15 @@ impl ExperimentOptions {
                         .parse()
                         .map_err(|_| format!("--iterations expects an integer, got '{v}'"))?;
                 }
+                "--restarts" => {
+                    let v = iter.next().ok_or("missing value for --restarts")?;
+                    options.restarts = v
+                        .parse()
+                        .map_err(|_| format!("--restarts expects an integer, got '{v}'"))?;
+                    if options.restarts == 0 {
+                        return Err("--restarts must be at least 1".to_string());
+                    }
+                }
                 "--execute" => options.execute = true,
                 "--out-dir" => {
                     options.out_dir =
@@ -108,7 +122,7 @@ impl ExperimentOptions {
                 }
                 "-h" | "--help" => {
                     return Err(
-                        "options: --scale F --trials N --k LIST --iterations N --execute --out-dir DIR --seed N"
+                        "options: --scale F --trials N --k LIST --iterations N --restarts N --execute --out-dir DIR --seed N"
                             .to_string(),
                     )
                 }
@@ -226,6 +240,37 @@ pub fn execute(
     )
 }
 
+/// Result of one executed batch (the restart protocol).
+#[derive(Debug, Clone)]
+pub struct ExecutedBatch {
+    /// Which solver ran.
+    pub solver: Solver,
+    /// Dataset name.
+    pub dataset: String,
+    /// The batch outcome: per-job results, best index, cost accounting.
+    pub batch: BatchResult,
+}
+
+/// Execute the restart protocol: `restarts` seeded jobs per `k` in
+/// `k_values`, driven as one `fit_batch` so the kernel matrix is computed
+/// once and shared across every job (Lloyd falls back to independent fits).
+pub fn execute_batch(
+    solver: Solver,
+    dataset_name: &str,
+    input: FitInput<'_, f32>,
+    base_config: KernelKmeansConfig,
+    k_values: &[usize],
+    restarts: usize,
+) -> popcorn_core::Result<ExecutedBatch> {
+    let jobs = FitJob::k_sweep(&base_config, k_values, restarts);
+    let batch = solver.build(base_config).fit_batch(input, &jobs)?;
+    Ok(ExecutedBatch {
+        solver,
+        dataset: dataset_name.to_string(),
+        batch,
+    })
+}
+
 /// Execute one solver on a CSR dataset with the paper's protocol; the points
 /// reach the solver without being densified.
 pub fn execute_sparse(
@@ -281,6 +326,53 @@ mod tests {
         assert!(opts.execute);
         assert_eq!(opts.out_dir, "/tmp/out");
         assert_eq!(opts.seed, 9);
+    }
+
+    #[test]
+    fn parses_restarts() {
+        assert_eq!(parse(&[]).unwrap().restarts, 4);
+        assert_eq!(parse(&["--restarts", "7"]).unwrap().restarts, 7);
+        assert!(parse(&["--restarts", "0"]).is_err());
+        assert!(parse(&["--restarts", "x"]).is_err());
+    }
+
+    #[test]
+    fn execute_batch_matches_independent_executions() {
+        let opts = ExperimentOptions {
+            iterations: 4,
+            ..Default::default()
+        };
+        let dataset = opts.scaled_dataset(PaperDataset::Letter);
+        let k_values = [2usize, 3];
+        let restarts = 2;
+        let batch = execute_batch(
+            Solver::Popcorn,
+            dataset.name(),
+            FitInput::Dense(dataset.points()),
+            opts.config(2),
+            &k_values,
+            restarts,
+        )
+        .unwrap();
+        assert_eq!(batch.batch.results.len(), 4);
+        assert!(batch.batch.report.reuse_speedup() > 1.0);
+        // Every job reproduces the standalone run bit for bit.
+        for (job, result) in batch
+            .batch
+            .report
+            .jobs
+            .iter()
+            .zip(batch.batch.results.iter())
+        {
+            let mut config = opts.config(job.k);
+            config.seed = job.seed;
+            let standalone = execute(Solver::Popcorn, &dataset, config).unwrap();
+            assert_eq!(standalone.result.labels, result.labels);
+            assert_eq!(
+                standalone.result.objective.to_bits(),
+                result.objective.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod harness;
 pub mod report;
 
 pub use analytic::{baseline_modeled, cpu_modeled, popcorn_modeled, ModelWorkload};
-pub use harness::{ExecutedRun, ExperimentOptions};
+pub use harness::{ExecutedBatch, ExecutedRun, ExperimentOptions, Solver};
 pub use report::Table;

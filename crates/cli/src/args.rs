@@ -44,6 +44,12 @@ pub struct CliArgs {
     pub k: usize,
     /// `--runs`: number of repetitions.
     pub runs: usize,
+    /// `--restarts`: seeds per configuration, driven as one batch over a
+    /// shared kernel matrix (`> 1` enables batch mode).
+    pub restarts: usize,
+    /// `--k-sweep`: cluster counts to sweep in one batch over a shared
+    /// kernel matrix (empty = just `-k`; non-empty enables batch mode).
+    pub k_sweep: Vec<usize>,
     /// `-t`: convergence tolerance.
     pub tolerance: f64,
     /// `-m`: maximum iterations.
@@ -76,6 +82,8 @@ impl Default for CliArgs {
             d: 16,
             k: 10,
             runs: 1,
+            restarts: 1,
+            k_sweep: Vec::new(),
             tolerance: 1e-4,
             max_iter: 30,
             check_convergence: false,
@@ -102,6 +110,12 @@ OPTIONS:
   -d INT          number of features for the generated dataset [default: 16]
   -k INT          number of clusters                           [default: 10]
   --runs INT      number of clustering runs                    [default: 1]
+  --restarts INT  seeds per configuration, run as ONE batch that computes
+                  the kernel matrix once and reuses it across all restarts
+                  (the paper's multi-run protocol)              [default: 1]
+  --k-sweep LIST  comma-separated k values swept in the same batch (shares
+                  the kernel matrix with the restarts; overrides -k)
+                  (batch mode ignores --runs; best run selected by objective)
   -t FLOAT        convergence tolerance                        [default: 1e-4]
   -m INT          maximum number of iterations                 [default: 30]
   -c {0|1}        1 = stop at convergence, 0 = run all iterations [default: 0]
@@ -140,6 +154,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "-d" => parsed.d = parse_usize("-d", value("-d", &mut iter)?)?,
             "-k" => parsed.k = parse_usize("-k", value("-k", &mut iter)?)?,
             "--runs" => parsed.runs = parse_usize("--runs", value("--runs", &mut iter)?)?,
+            "--restarts" => {
+                parsed.restarts = parse_usize("--restarts", value("--restarts", &mut iter)?)?
+            }
+            "--k-sweep" => {
+                let v = value("--k-sweep", &mut iter)?;
+                let mut values = Vec::new();
+                for tok in v.split(',') {
+                    values.push(parse_usize("--k-sweep", tok.trim())?);
+                }
+                parsed.k_sweep = values;
+            }
             "-t" => {
                 let v = value("-t", &mut iter)?;
                 parsed.tolerance = v
@@ -219,6 +244,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if parsed.runs == 0 {
         return Err("--runs must be at least 1".to_string());
+    }
+    if parsed.restarts == 0 {
+        return Err("--restarts must be at least 1".to_string());
+    }
+    if parsed.k_sweep.contains(&0) {
+        return Err("--k-sweep values must be at least 1".to_string());
     }
     if parsed.input.is_none() && (parsed.n == 0 || parsed.d == 0) {
         return Err("-n and -d must be positive when generating a dataset".to_string());
@@ -360,6 +391,21 @@ mod tests {
         assert!(parse(&["-k", "0"]).is_err());
         assert!(parse(&["--runs", "0"]).is_err());
         assert!(parse(&["-n", "0"]).is_err());
+    }
+
+    #[test]
+    fn restart_and_sweep_flags() {
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.restarts, 1);
+        assert!(defaults.k_sweep.is_empty());
+        let args = parse(&["--restarts", "4", "--k-sweep", "2, 5,10"]).unwrap();
+        assert_eq!(args.restarts, 4);
+        assert_eq!(args.k_sweep, vec![2, 5, 10]);
+        assert!(parse(&["--restarts", "0"]).is_err());
+        assert!(parse(&["--restarts", "x"]).is_err());
+        assert!(parse(&["--k-sweep", "3,0"]).is_err());
+        assert!(parse(&["--k-sweep", ""]).is_err());
+        assert!(parse(&["--k-sweep"]).is_err());
     }
 
     #[test]

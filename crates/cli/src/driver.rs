@@ -6,6 +6,7 @@
 //! generated inputs flow as dense matrices.
 
 use crate::args::{CliArgs, Implementation, InputFormat};
+use popcorn_core::batch::{BatchReport, FitJob};
 use popcorn_core::solver::{FitInput, Solver};
 use popcorn_core::{ClusteringResult, KernelKmeansConfig};
 use popcorn_data::dataset::{Dataset, SparseDataset};
@@ -25,8 +26,11 @@ pub struct RunSummary {
     pub sparse: bool,
     /// Implementation used.
     pub implementation: Implementation,
-    /// One clustering result per run.
+    /// One clustering result per run (per job in batch mode).
     pub results: Vec<ClusteringResult>,
+    /// Batch accounting when `--restarts`/`--k-sweep` drove a batched fit:
+    /// the report plus the index of the best job by objective.
+    pub batch: Option<(usize, BatchReport)>,
 }
 
 impl RunSummary {
@@ -65,6 +69,33 @@ impl RunSummary {
             if self.sparse { "csr" } else { "dense" },
             self.implementation.name()
         ));
+        if let Some((best, report)) = &self.batch {
+            for (job, result) in report.jobs.iter().zip(self.results.iter()) {
+                out.push_str(&format!(
+                    "job k={} seed={}: iterations={} converged={} objective={:.6e} modeled={:.6}s\n",
+                    job.k,
+                    job.seed,
+                    result.iterations,
+                    result.converged,
+                    result.objective,
+                    job.modeled_seconds,
+                ));
+            }
+            out.push_str(&format!(
+                "kernel matrix computed once for {} jobs: shared {:.6} s, amortized total {:.6} s vs {:.6} s independent ({:.2}x reuse speedup)\n",
+                report.jobs.len(),
+                report.shared_modeled_seconds(),
+                report.amortized_modeled_seconds(),
+                report.independent_modeled_seconds(),
+                report.reuse_speedup(),
+            ));
+            let best_job = &report.jobs[*best];
+            out.push_str(&format!(
+                "best job: k={} seed={} objective={:.6e}\n",
+                best_job.k, best_job.seed, best_job.objective
+            ));
+            return out;
+        }
         for (run, result) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "run {run}: iterations={} converged={} objective={:.6e} modeled={:.6}s host={:.6}s\n",
@@ -216,30 +247,55 @@ pub fn build_solver(
     implementation.build(config)
 }
 
+/// `true` when the arguments ask for the batched (shared kernel matrix)
+/// driver rather than independent `--runs` repetitions.
+fn batch_mode(args: &CliArgs) -> bool {
+    args.restarts > 1 || !args.k_sweep.is_empty()
+}
+
 /// Run the requested clustering and return a summary (library entry point
 /// used by both the binary and the tests).
 pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
     let data = load_dataset(args)?;
-    if args.k > data.n() {
-        return Err(format!(
-            "-k {} exceeds the number of points {}",
-            args.k,
-            data.n()
-        ));
+    let k_values: Vec<usize> = if args.k_sweep.is_empty() {
+        vec![args.k]
+    } else {
+        args.k_sweep.clone()
+    };
+    if let Some(&k) = k_values.iter().find(|&&k| k > data.n()) {
+        return Err(format!("-k {k} exceeds the number of points {}", data.n()));
     }
-    let mut results = Vec::with_capacity(args.runs);
-    for run_idx in 0..args.runs {
-        let solver = build_solver(args.implementation, config_from(args, run_idx));
-        let result = solver
-            .fit_input(data.fit_input())
+
+    let (results, batch) = if batch_mode(args) {
+        // One batch: the kernel matrix is computed once and every
+        // (k, seed) job iterates over it; `--runs` does not apply.
+        let jobs = FitJob::k_sweep(&config_from(args, 0), &k_values, args.restarts);
+        let solver = build_solver(args.implementation, config_from(args, 0));
+        let batch = solver
+            .fit_batch(data.fit_input(), &jobs)
             .map_err(|e| e.to_string())?;
-        results.push(result);
-    }
+        (batch.results, Some((batch.best, batch.report)))
+    } else {
+        let mut results = Vec::with_capacity(args.runs);
+        for run_idx in 0..args.runs {
+            let solver = build_solver(args.implementation, config_from(args, run_idx));
+            let result = solver
+                .fit_input(data.fit_input())
+                .map_err(|e| e.to_string())?;
+            results.push(result);
+        }
+        (results, None)
+    };
 
     if let Some(path) = &args.output {
         let mut text = String::new();
-        if let Some(last) = results.last() {
-            for (i, label) in last.labels.iter().enumerate() {
+        // Batch mode writes the best job's assignment, plain runs the last.
+        let chosen = match &batch {
+            Some((best, _)) => results.get(*best),
+            None => results.last(),
+        };
+        if let Some(result) = chosen {
+            for (i, label) in result.labels.iter().enumerate() {
                 text.push_str(&format!("{i},{label}\n"));
             }
         }
@@ -253,6 +309,7 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         sparse: matches!(data, LoadedPoints::Sparse(_)),
         implementation: args.implementation,
         results,
+        batch,
     })
 }
 
@@ -307,6 +364,90 @@ mod tests {
             ..quick_args()
         };
         assert!(run(&args).is_err());
+        let args = CliArgs {
+            k_sweep: vec![2, 100],
+            ..quick_args()
+        };
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn restarts_run_as_one_batch_and_match_independent_runs() {
+        // `--restarts R` must produce the same per-run clusterings as
+        // `--runs R` (identical seed schedule), while computing the kernel
+        // matrix once and saying so in the report.
+        let base = quick_args();
+        let batched = run(&CliArgs {
+            restarts: 3,
+            runs: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        let independent = run(&CliArgs { runs: 3, ..base }).unwrap();
+        assert_eq!(batched.results.len(), 3);
+        let (best, report) = batched.batch.as_ref().unwrap();
+        assert_eq!(report.jobs.len(), 3);
+        assert!(*best < 3);
+        for (a, b) in batched.results.iter().zip(independent.results.iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        assert!(report.reuse_speedup() > 1.0);
+        let text = batched.report();
+        assert!(text.contains("kernel matrix computed once for 3 jobs"));
+        assert!(text.contains("best job"));
+    }
+
+    #[test]
+    fn k_sweep_batches_all_implementations() {
+        for implementation in Implementation::ALL {
+            let args = CliArgs {
+                implementation,
+                k_sweep: vec![2, 4],
+                restarts: 2,
+                ..quick_args()
+            };
+            let summary = run(&args).unwrap();
+            assert_eq!(summary.results.len(), 4, "{}", implementation.name());
+            let (_, report) = summary.batch.as_ref().unwrap();
+            assert_eq!(
+                report.jobs.iter().map(|j| j.k).collect::<Vec<_>>(),
+                vec![2, 2, 4, 4]
+            );
+            // Lloyd shares nothing (no kernel matrix); the others do.
+            if implementation == Implementation::Lloyd {
+                assert!(report.shared_trace.is_empty());
+            } else {
+                assert!(report.shared_modeled_seconds() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_output_writes_best_assignment() {
+        let dir = std::env::temp_dir().join("popcorn_cli_batch_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("best.csv");
+        let args = CliArgs {
+            restarts: 3,
+            output: Some(out.to_string_lossy().to_string()),
+            ..quick_args()
+        };
+        let summary = run(&args).unwrap();
+        let (best, _) = summary.batch.as_ref().unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let first_label: usize = text
+            .lines()
+            .next()
+            .unwrap()
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(first_label, summary.results[*best].labels[0]);
+        assert_eq!(text.lines().count(), summary.n);
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Batched multi-fit (restart) driver over a shared kernel matrix.
+//!
+//! The paper's evaluation protocol runs kernel k-means many times per dataset
+//! — several seeds per `k`, several `k` values per dataset — and the dominant
+//! cost, the `n × n` kernel matrix, is identical across every one of those
+//! runs. [`crate::Solver::fit_batch`] exploits that: the points are uploaded
+//! and the kernel matrix computed **exactly once** (charged once to the
+//! simulator), then every job's clustering iterations borrow the same shared
+//! `K`. Each per-job result is bit-identical to the equivalent standalone
+//! `fit_input` call — sharing changes the accounting, never the arithmetic.
+//!
+//! The kernel solvers (Popcorn, CPU reference, dense GPU baseline) override
+//! `fit_batch` with the shared-`K` driver in this module; Lloyd's algorithm
+//! has no kernel matrix to share and keeps the default independent-fits
+//! implementation. [`BatchReport`] records what the sharing bought: the
+//! modeled cost of the batch as executed (shared phase charged once) next to
+//! the modeled cost of the same jobs run independently.
+
+use crate::config::KernelKmeansConfig;
+use crate::errors::CoreError;
+use crate::kernel::KernelFunction;
+use crate::result::ClusteringResult;
+use crate::solver::{FitInput, Solver};
+use crate::strategy::KernelMatrixStrategy;
+use crate::Result;
+use popcorn_dense::Scalar;
+use popcorn_gpusim::{OpTrace, SimExecutor};
+
+/// One unit of a batch: a full solver configuration (the `(config, seed)`
+/// pair of the restart protocol — the seed lives inside the config).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitJob {
+    /// The configuration this job runs with.
+    pub config: KernelKmeansConfig,
+}
+
+impl FitJob {
+    /// A job from a base configuration and the seed that distinguishes it.
+    pub fn new(config: KernelKmeansConfig, seed: u64) -> Self {
+        Self {
+            config: config.with_seed(seed),
+        }
+    }
+
+    /// The restart protocol: one job per seed, all sharing `base`.
+    pub fn restarts(base: &KernelKmeansConfig, seeds: impl IntoIterator<Item = u64>) -> Vec<Self> {
+        seeds
+            .into_iter()
+            .map(|seed| Self::new(base.clone(), seed))
+            .collect()
+    }
+
+    /// The sweep protocol: `restarts` seeded jobs per `k` value (seeds
+    /// `base.seed, base.seed + 1, …`), the full grid the paper's tables run.
+    pub fn k_sweep(base: &KernelKmeansConfig, k_values: &[usize], restarts: usize) -> Vec<Self> {
+        let mut jobs = Vec::with_capacity(k_values.len() * restarts);
+        for &k in k_values {
+            for r in 0..restarts {
+                let mut config = base.clone();
+                config.k = k;
+                jobs.push(Self::new(config, base.seed.wrapping_add(r as u64)));
+            }
+        }
+        jobs
+    }
+}
+
+impl From<KernelKmeansConfig> for FitJob {
+    fn from(config: KernelKmeansConfig) -> Self {
+        Self { config }
+    }
+}
+
+/// Per-job summary kept in the [`BatchReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Number of clusters this job requested.
+    pub k: usize,
+    /// RNG seed this job ran with.
+    pub seed: u64,
+    /// Final objective.
+    pub objective: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the job stopped on convergence.
+    pub converged: bool,
+    /// Modeled device time of this job's own operations (the clustering
+    /// iterations — the shared upload/kernel-matrix work is not included).
+    pub modeled_seconds: f64,
+}
+
+impl JobReport {
+    fn new(job: &FitJob, result: &ClusteringResult, modeled_seconds: f64) -> Self {
+        Self {
+            k: job.config.k,
+            seed: job.config.seed,
+            objective: result.objective,
+            iterations: result.iterations,
+            converged: result.converged,
+            modeled_seconds,
+        }
+    }
+}
+
+/// Cost accounting for one batch: what was charged once, what was charged
+/// per job, and what the same jobs would have cost as independent fits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Trace of the operations charged once for the whole batch (upload and
+    /// kernel-matrix computation). Empty when nothing was shared (Lloyd).
+    pub shared_trace: OpTrace,
+    /// One summary per job, in job order.
+    pub jobs: Vec<JobReport>,
+}
+
+impl BatchReport {
+    /// Modeled device time of the shared (charged once) phase.
+    pub fn shared_modeled_seconds(&self) -> f64 {
+        self.shared_trace.total_modeled_seconds()
+    }
+
+    /// Modeled device time summed over every job's own iterations.
+    pub fn jobs_modeled_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.modeled_seconds).sum()
+    }
+
+    /// Modeled cost of the batch as executed: shared phase once, then the
+    /// per-job iterations.
+    pub fn amortized_modeled_seconds(&self) -> f64 {
+        self.shared_modeled_seconds() + self.jobs_modeled_seconds()
+    }
+
+    /// Modeled cost of running the same jobs as independent `fit_input`
+    /// calls, each recomputing the shared phase. The cost model is
+    /// deterministic, so this is exact, not an estimate.
+    pub fn independent_modeled_seconds(&self) -> f64 {
+        self.jobs.len() as f64 * self.shared_modeled_seconds() + self.jobs_modeled_seconds()
+    }
+
+    /// How much faster the batch is than the equivalent independent fits
+    /// (1.0 when nothing was shared).
+    pub fn reuse_speedup(&self) -> f64 {
+        let amortized = self.amortized_modeled_seconds();
+        if amortized <= 0.0 {
+            1.0
+        } else {
+            self.independent_modeled_seconds() / amortized
+        }
+    }
+}
+
+/// The outcome of one `fit_batch` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One clustering result per job, in job order; each is bit-identical to
+    /// the equivalent standalone `fit_input` call.
+    pub results: Vec<ClusteringResult>,
+    /// Index of the best job by final objective (the restart protocol's
+    /// selection rule; ties keep the earliest job).
+    pub best: usize,
+    /// Cost accounting for the batch.
+    pub report: BatchReport,
+}
+
+impl BatchResult {
+    /// The best run by objective.
+    pub fn best_result(&self) -> &ClusteringResult {
+        &self.results[self.best]
+    }
+
+    /// Index of the best job restricted to one `k` (restart selection inside
+    /// a k-sweep), or `None` if no job ran with that `k`.
+    pub fn best_for_k(&self, k: usize) -> Option<usize> {
+        // Tie-break on the index so equal objectives keep the earliest job
+        // (`min_by` alone would return the last of tied minima).
+        self.results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.k == k)
+            .min_by(|(ia, a), (ib, b)| a.objective.total_cmp(&b.objective).then(ia.cmp(ib)))
+            .map(|(i, _)| i)
+    }
+
+    /// Every operation the batch charged, in execution order: the shared
+    /// phase followed by each job's own operations.
+    pub fn combined_trace(&self) -> OpTrace {
+        let mut trace = self.report.shared_trace.clone();
+        for result in &self.results {
+            trace.extend(&result.trace);
+        }
+        trace
+    }
+}
+
+/// Validate a batch against an input: jobs must be non-empty, every config
+/// valid for `n`, and — because one `K` is shared — every job must use the
+/// same kernel function and Gram strategy. Returns the shared pair.
+pub fn validate_jobs<T: Scalar>(
+    input: &FitInput<'_, T>,
+    jobs: &[FitJob],
+) -> Result<(KernelFunction, KernelMatrixStrategy)> {
+    let Some(first) = jobs.first() else {
+        return Err(CoreError::InvalidConfig(
+            "fit_batch requires at least one job".into(),
+        ));
+    };
+    let kernel = first.config.kernel;
+    let strategy = first.config.strategy;
+    for job in jobs {
+        job.config.validate(input.n())?;
+        if job.config.kernel != kernel || job.config.strategy != strategy {
+            return Err(CoreError::InvalidConfig(
+                "all jobs in a batch must share the kernel function and Gram strategy \
+                 so the kernel matrix can be shared; split differing kernels into \
+                 separate batches"
+                    .into(),
+            ));
+        }
+    }
+    Ok((kernel, strategy))
+}
+
+/// The records appended to `executor` since it held `mark` records — the
+/// shared-phase slice of a batch.
+pub fn trace_since(executor: &SimExecutor, mark: usize) -> OpTrace {
+    let snapshot = executor.trace();
+    let mut trace = OpTrace::new();
+    for record in snapshot.records().iter().skip(mark) {
+        trace.push(record.clone());
+    }
+    trace
+}
+
+/// Drive every job's clustering iterations over a shared kernel matrix.
+///
+/// The caller has already charged the shared phase (upload + kernel matrix)
+/// to `shared_executor` and sliced it into `shared_trace`; `run_job` runs one
+/// job's iterations on the executor it is handed. Each job runs on a fork of
+/// the shared executor so its [`ClusteringResult`] carries only its own
+/// operations; the fork's records are absorbed back so a caller-attached
+/// executor still accumulates the complete batch history.
+pub fn drive_shared_kernel(
+    jobs: &[FitJob],
+    shared_executor: &SimExecutor,
+    shared_trace: OpTrace,
+    mut run_job: impl FnMut(&FitJob, &SimExecutor) -> Result<ClusteringResult>,
+) -> Result<BatchResult> {
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut job_reports = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let job_executor = shared_executor.fork();
+        let result = run_job(job, &job_executor)?;
+        let job_trace = job_executor.trace();
+        shared_executor.absorb(&job_trace);
+        job_reports.push(JobReport::new(
+            job,
+            &result,
+            job_trace.total_modeled_seconds(),
+        ));
+        results.push(result);
+    }
+    Ok(assemble(results, shared_trace, job_reports))
+}
+
+/// The default `fit_batch`: independent `fit_input_with` calls, one per job —
+/// correct for any solver, shares nothing. Solvers that operate on a kernel
+/// matrix override `fit_batch` with the shared-`K` driver instead.
+pub fn fit_batch_independent<T: Scalar, S: Solver<T> + ?Sized>(
+    solver: &S,
+    input: FitInput<'_, T>,
+    jobs: &[FitJob],
+) -> Result<BatchResult> {
+    if jobs.is_empty() {
+        return Err(CoreError::InvalidConfig(
+            "fit_batch requires at least one job".into(),
+        ));
+    }
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut job_reports = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let result = solver.fit_input_with(input, &job.config)?;
+        job_reports.push(JobReport::new(job, &result, result.modeled_timings.total()));
+        results.push(result);
+    }
+    Ok(assemble(results, OpTrace::new(), job_reports))
+}
+
+fn assemble(
+    results: Vec<ClusteringResult>,
+    shared_trace: OpTrace,
+    jobs: Vec<JobReport>,
+) -> BatchResult {
+    // Tie-break on the index so equal objectives keep the earliest job
+    // (`min_by` alone would return the last of tied minima).
+    let best = results
+        .iter()
+        .enumerate()
+        .min_by(|(ia, a), (ib, b)| a.objective.total_cmp(&b.objective).then(ia.cmp(ib)))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    BatchResult {
+        results,
+        best,
+        report: BatchReport { shared_trace, jobs },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popcorn::KernelKmeans;
+    use popcorn_dense::DenseMatrix;
+    use popcorn_gpusim::{OpClass, OpCost, Phase};
+
+    fn blob_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(24, 3, |i, j| {
+            let offset = if i < 12 { 0.0 } else { 18.0 };
+            offset + ((i * 3 + j) as f64 * 0.31).sin() * 0.4
+        })
+    }
+
+    fn config(k: usize) -> KernelKmeansConfig {
+        KernelKmeansConfig::paper_defaults(k)
+            .with_max_iter(10)
+            .with_convergence_check(true, 1e-10)
+    }
+
+    #[test]
+    fn job_constructors() {
+        let base = config(3).with_seed(5);
+        let job = FitJob::new(base.clone(), 9);
+        assert_eq!(job.config.seed, 9);
+        assert_eq!(job.config.k, 3);
+
+        let restarts = FitJob::restarts(&base, 0..4);
+        assert_eq!(restarts.len(), 4);
+        assert_eq!(restarts[2].config.seed, 2);
+        assert!(restarts.iter().all(|j| j.config.k == 3));
+
+        let sweep = FitJob::k_sweep(&base, &[2, 4], 3);
+        assert_eq!(sweep.len(), 6);
+        assert_eq!(sweep[0].config.k, 2);
+        assert_eq!(sweep[0].config.seed, 5);
+        assert_eq!(sweep[4].config.k, 4);
+        assert_eq!(sweep[4].config.seed, 6);
+
+        let from: FitJob = base.clone().into();
+        assert_eq!(from.config, base);
+    }
+
+    #[test]
+    fn validate_jobs_rules() {
+        let points = blob_points();
+        let input = FitInput::from(&points);
+        assert!(validate_jobs(&input, &[]).is_err());
+        let ok = FitJob::restarts(&config(2), 0..2);
+        assert!(validate_jobs(&input, &ok).is_ok());
+        // k exceeding n fails through the per-job config validation.
+        let too_big = vec![FitJob::new(config(100), 0)];
+        assert!(validate_jobs(&input, &too_big).is_err());
+        // Mixed kernels cannot share one K.
+        let mixed = vec![
+            FitJob::new(config(2).with_kernel(KernelFunction::Linear), 0),
+            FitJob::new(config(2).with_kernel(KernelFunction::paper_polynomial()), 1),
+        ];
+        let err = validate_jobs(&input, &mixed).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+        // Mixed strategies cannot guarantee bit-identical Grams either.
+        let mixed_strategy = vec![
+            FitJob::new(config(2).with_strategy(KernelMatrixStrategy::ForceGemm), 0),
+            FitJob::new(config(2).with_strategy(KernelMatrixStrategy::ForceSyrk), 1),
+        ];
+        assert!(validate_jobs(&input, &mixed_strategy).is_err());
+    }
+
+    #[test]
+    fn trace_since_slices_the_tail() {
+        let exec = SimExecutor::a100_f32();
+        exec.charge("before", Phase::Other, OpClass::Other, OpCost::new(1, 1, 1));
+        let mark = exec.trace().len();
+        exec.charge("after", Phase::Other, OpClass::Other, OpCost::new(2, 2, 2));
+        let tail = trace_since(&exec, mark);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail.records()[0].name, "after");
+    }
+
+    #[test]
+    fn report_accounting_adds_up() {
+        let points = blob_points();
+        let jobs = FitJob::restarts(&config(2), 0..3);
+        let batch = KernelKmeans::new(config(2))
+            .fit_batch(FitInput::from(&points), &jobs)
+            .unwrap();
+        let report = &batch.report;
+        assert_eq!(report.jobs.len(), 3);
+        assert!(report.shared_modeled_seconds() > 0.0);
+        assert!(report.jobs_modeled_seconds() > 0.0);
+        let amortized = report.amortized_modeled_seconds();
+        let independent = report.independent_modeled_seconds();
+        assert!(
+            (independent - amortized - 2.0 * report.shared_modeled_seconds()).abs() < 1e-15,
+            "independent must charge the shared phase once per extra job"
+        );
+        assert!(report.reuse_speedup() > 1.0);
+        // The combined trace partitions the amortized total.
+        assert!((batch.combined_trace().total_modeled_seconds() - amortized).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_selection_minimizes_objective() {
+        let points = blob_points();
+        let jobs = FitJob::k_sweep(&config(2), &[2, 3], 2);
+        let batch = KernelKmeans::new(config(2))
+            .fit_batch(FitInput::from(&points), &jobs)
+            .unwrap();
+        let best_objective = batch.best_result().objective;
+        assert!(batch.results.iter().all(|r| best_objective <= r.objective));
+        // Per-k selection stays within the k it was asked for.
+        let best_k3 = batch.best_for_k(3).unwrap();
+        assert_eq!(batch.results[best_k3].k, 3);
+        assert!(batch
+            .results
+            .iter()
+            .filter(|r| r.k == 3)
+            .all(|r| batch.results[best_k3].objective <= r.objective));
+        assert_eq!(batch.best_for_k(7), None);
+    }
+
+    #[test]
+    fn tied_objectives_keep_the_earliest_job() {
+        // Duplicate seeds produce bit-identical objectives; the documented
+        // selection rule keeps the first of the tied jobs.
+        let points = blob_points();
+        let jobs = vec![
+            FitJob::new(config(2), 3),
+            FitJob::new(config(2), 3),
+            FitJob::new(config(2), 3),
+        ];
+        let batch = KernelKmeans::new(config(2))
+            .fit_batch(FitInput::from(&points), &jobs)
+            .unwrap();
+        assert_eq!(
+            batch.results[0].objective.to_bits(),
+            batch.results[2].objective.to_bits()
+        );
+        assert_eq!(batch.best, 0);
+        assert_eq!(batch.best_for_k(2), Some(0));
+    }
+}

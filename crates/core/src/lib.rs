@@ -23,6 +23,7 @@
 
 pub mod arithmetic;
 pub mod assignment;
+pub mod batch;
 pub mod config;
 pub mod distances;
 pub mod errors;
@@ -35,6 +36,7 @@ pub mod result;
 pub mod solver;
 pub mod strategy;
 
+pub use batch::{BatchReport, BatchResult, FitJob, JobReport};
 pub use config::KernelKmeansConfig;
 pub use errors::CoreError;
 pub use init::Initialization;

@@ -8,6 +8,7 @@
 //! [`SimExecutor`] so the result carries both measured host timings and
 //! modeled A100 timings broken down by phase.
 
+use crate::batch::{self, BatchResult, FitJob};
 use crate::config::KernelKmeansConfig;
 use crate::distances::compute_distances;
 use crate::kernel_matrix::extract_point_norms;
@@ -98,13 +99,14 @@ impl KernelKmeans {
     fn iterate_with<T: Scalar>(
         &self,
         kernel_matrix: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
         executor: &SimExecutor,
     ) -> Result<ClusteringResult> {
         let mut engine = PopcornEngine {
-            k: self.config.k,
+            k: config.k,
             point_norms: None,
         };
-        pipeline::iterate(kernel_matrix, &self.config, executor, &mut engine)
+        pipeline::iterate(kernel_matrix, config, executor, &mut engine)
     }
 }
 
@@ -120,8 +122,12 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
     /// Run the full pipeline on dense or CSR points: upload, kernel matrix
     /// (GEMM/SYRK for dense, SpGEMM for sparse), then the clustering
     /// iterations.
-    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
-        self.config.validate(input.n())?;
+    fn fit_input_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
+        config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
 
@@ -129,16 +135,35 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         input.charge_upload(&executor);
 
         let (kernel_matrix, _routine) =
-            input.compute_kernel_matrix(self.config.kernel, self.config.strategy, &executor)?;
-        self.iterate_with(&kernel_matrix, &executor)
+            input.compute_kernel_matrix(config.kernel, config.strategy, &executor)?;
+        self.iterate_with(&kernel_matrix, config, &executor)
     }
 
     /// Run only the clustering iterations on a precomputed kernel matrix.
     /// Used by the distance-phase experiments (Figures 4–6), which exclude
     /// the kernel-matrix time by design.
-    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
+    fn fit_from_kernel_with(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.iterate_with(kernel_matrix, &executor)
+        self.iterate_with(kernel_matrix, config, &executor)
+    }
+
+    /// The restart protocol: upload the points and compute `K` exactly once,
+    /// then run every job's iterations over the shared matrix.
+    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+        let (kernel, strategy) = batch::validate_jobs(&input, jobs)?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let mark = executor.trace().len();
+        input.charge_upload(&executor);
+        let (kernel_matrix, _routine) = input.compute_kernel_matrix(kernel, strategy, &executor)?;
+        let shared_trace = batch::trace_since(&executor, mark);
+        batch::drive_shared_kernel(jobs, &executor, shared_trace, |job, job_executor| {
+            self.iterate_with(&kernel_matrix, &job.config, job_executor)
+        })
     }
 }
 

@@ -15,6 +15,7 @@
 //! (scotus: ~99.9% zeros) are clustered without ever materializing a dense
 //! copy of the points.
 
+use crate::batch::{self, BatchResult, FitJob};
 use crate::config::KernelKmeansConfig;
 use crate::errors::CoreError;
 use crate::kernel::KernelFunction;
@@ -156,6 +157,12 @@ impl<'a, T: Scalar> FitInput<'a, T> {
 ///
 /// Object-safe: the CLI driver and bench harness hold solvers as
 /// `Box<dyn Solver<f32>>` and drive them uniformly.
+///
+/// The `_with` variants take an explicit configuration instead of the
+/// solver's own — they are the per-job entry points of the batched multi-fit
+/// driver ([`Solver::fit_batch`]), which runs many `(config, seed)` jobs over
+/// one solver instance. `fit_input` / `fit_from_kernel` forward
+/// `self.config()` to them.
 pub trait Solver<T: Scalar> {
     /// Short display name ("popcorn", "cpu-reference", ...).
     fn name(&self) -> &'static str;
@@ -165,13 +172,48 @@ pub trait Solver<T: Scalar> {
 
     /// Run the full pipeline on points in either layout: validate, upload,
     /// kernel matrix, clustering iterations.
-    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult>;
+    fn fit_input(&self, input: FitInput<'_, T>) -> Result<ClusteringResult> {
+        self.fit_input_with(input, self.config())
+    }
+
+    /// Run the full pipeline with an explicit configuration (the batch
+    /// driver's per-job entry point).
+    fn fit_input_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult>;
 
     /// Run only the clustering iterations on a precomputed kernel matrix
     /// (used by the distance-phase experiments, Figures 4–6). Solvers that do
     /// not operate on a kernel matrix (Lloyd) return
     /// [`CoreError::Unsupported`].
-    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult>;
+    fn fit_from_kernel(&self, kernel_matrix: &DenseMatrix<T>) -> Result<ClusteringResult> {
+        self.fit_from_kernel_with(kernel_matrix, self.config())
+    }
+
+    /// Run only the clustering iterations on a **borrowed** precomputed
+    /// kernel matrix with an explicit configuration. Batch paths call this
+    /// once per job with the same shared `&K` — implementations must not
+    /// copy the matrix.
+    fn fit_from_kernel_with(
+        &self,
+        kernel_matrix: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult>;
+
+    /// Fit every job of a batch over the same input, sharing whatever work
+    /// is identical across jobs.
+    ///
+    /// The default implementation shares nothing (independent `fit_input`
+    /// calls). The kernel-matrix solvers override it with the shared-`K`
+    /// driver from [`crate::batch`]: the upload and the kernel matrix are
+    /// charged exactly once for the whole batch, and every job's clustering
+    /// iterations borrow the shared matrix. Per-job results are bit-identical
+    /// to standalone `fit_input` calls either way.
+    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+        batch::fit_batch_independent(self, input, jobs)
+    }
 
     /// Convenience: fit dense points.
     fn fit(&self, points: &DenseMatrix<T>) -> Result<ClusteringResult> {

@@ -91,6 +91,25 @@ impl SimExecutor {
         self.run(name, phase, class, cost, || ());
     }
 
+    /// A new executor with the same cost model but an empty trace.
+    ///
+    /// Batched drivers fork one executor per job so each job's trace contains
+    /// only its own operations, while the parent keeps the shared (charged
+    /// once) work; [`SimExecutor::absorb`] merges a fork's records back.
+    pub fn fork(&self) -> Self {
+        Self {
+            cost_model: self.cost_model.clone(),
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// Append the records of `trace` to this executor's profiler, so a
+    /// caller holding a shared executor still sees the complete history
+    /// after per-job work ran on forked executors.
+    pub fn absorb(&self, trace: &OpTrace) {
+        self.profiler.extend(trace);
+    }
+
     /// Snapshot of everything recorded so far.
     pub fn trace(&self) -> OpTrace {
         self.profiler.snapshot()
@@ -165,6 +184,38 @@ mod tests {
         let exec = SimExecutor::a100_f32();
         assert_eq!(exec.roofline().peak_gflops(), 19_500.0);
         assert_eq!(exec.device().name, "NVIDIA A100 80GB");
+    }
+
+    #[test]
+    fn fork_starts_empty_and_absorb_merges_back() {
+        let exec = SimExecutor::a100_f32();
+        exec.charge(
+            "shared",
+            Phase::KernelMatrix,
+            OpClass::Gemm,
+            OpCost::new(8, 8, 8),
+        );
+        let fork = exec.fork();
+        assert!(fork.trace().is_empty(), "fork must not inherit records");
+        assert_eq!(fork.device().name, exec.device().name);
+        fork.charge(
+            "job",
+            Phase::PairwiseDistances,
+            OpClass::SpMM,
+            OpCost::new(4, 4, 4),
+        );
+        // The fork's records do not leak into the parent until absorbed.
+        assert_eq!(exec.trace().len(), 1);
+        exec.absorb(&fork.trace());
+        let trace = exec.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.records()[1].name, "job");
+        // Same cost model: identical op, identical modeled time.
+        let cost = OpCost::gemm(64, 64, 8, 4);
+        assert_eq!(
+            exec.cost_model().time_seconds(OpClass::Gemm, &cost),
+            fork.cost_model().time_seconds(OpClass::Gemm, &cost)
+        );
     }
 
     #[test]

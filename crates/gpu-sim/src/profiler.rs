@@ -33,6 +33,12 @@ impl Profiler {
         self.lock().push(record);
     }
 
+    /// Append every record of `trace` (used to merge a forked executor's
+    /// trace back into a shared one — see `SimExecutor::absorb`).
+    pub fn extend(&self, trace: &OpTrace) {
+        self.lock().extend(trace);
+    }
+
     /// Snapshot of the trace collected so far.
     pub fn snapshot(&self) -> OpTrace {
         self.lock().clone()

@@ -41,8 +41,9 @@ pub use popcorn_baselines as baselines;
 pub mod prelude {
     pub use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline, LloydKmeans};
     pub use popcorn_core::{
-        ClusteringResult, FitInput, Initialization, KernelFunction, KernelKmeans,
-        KernelKmeansConfig, KernelMatrixStrategy, Solver, TimingBreakdown,
+        BatchReport, BatchResult, ClusteringResult, FitInput, FitJob, Initialization, JobReport,
+        KernelFunction, KernelKmeans, KernelKmeansConfig, KernelMatrixStrategy, Solver,
+        TimingBreakdown,
     };
     pub use popcorn_data::{Dataset, PaperDataset, SparseDataset};
     pub use popcorn_dense::{DenseMatrix, Scalar};

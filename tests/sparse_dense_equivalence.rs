@@ -194,6 +194,68 @@ fn scotus_shaped_clustering_recovers_ground_truth() {
 }
 
 #[test]
+fn batched_restarts_are_deterministic_across_calls_and_layouts() {
+    // Determinism regression for the batch API: the same seeds must yield
+    // identical labels and bit-identical objectives across (a) repeated
+    // `fit_batch` calls, and (b) the dense and CSR layouts of the same
+    // points — for every solver that shares a kernel matrix, plus Lloyd's
+    // independent fallback.
+    use popcorn::core::batch::FitJob;
+    let dataset = sparse_text_like::<f32>(48, 600, 3, 14, 29);
+    let dense = dataset.to_dense();
+    let base = KernelKmeansConfig::paper_defaults(3)
+        .with_max_iter(7)
+        .with_convergence_check(true, 1e-10)
+        .with_seed(4);
+    let jobs = FitJob::restarts(&base, 0..3);
+    let solvers: Vec<Box<dyn Solver<f32>>> = vec![
+        Box::new(KernelKmeans::new(base.clone())),
+        Box::new(CpuKernelKmeans::new(base.clone())),
+        Box::new(DenseGpuBaseline::new(base.clone())),
+        Box::new(LloydKmeans::new(base)),
+    ];
+    for solver in &solvers {
+        let sparse_a = solver
+            .fit_batch(FitInput::Sparse(dataset.points()), &jobs)
+            .unwrap();
+        let sparse_b = solver
+            .fit_batch(FitInput::Sparse(dataset.points()), &jobs)
+            .unwrap();
+        let dense_a = solver
+            .fit_batch(FitInput::Dense(dense.points()), &jobs)
+            .unwrap();
+        assert_eq!(sparse_a.best, sparse_b.best, "{}", solver.name());
+        assert_eq!(sparse_a.best, dense_a.best, "{}", solver.name());
+        for ((a, b), c) in sparse_a
+            .results
+            .iter()
+            .zip(sparse_b.results.iter())
+            .zip(dense_a.results.iter())
+        {
+            // Repeated calls: bit-identical.
+            assert_eq!(a.labels, b.labels, "{}", solver.name());
+            assert_eq!(
+                a.objective.to_bits(),
+                b.objective.to_bits(),
+                "{}",
+                solver.name()
+            );
+            // Across layouts: identical labels, matching objectives (the
+            // dense and sparse Gram paths agree to rounding).
+            assert_eq!(a.labels, c.labels, "{}", solver.name());
+            let scale = a.objective.abs().max(1.0);
+            assert!(
+                (a.objective - c.objective).abs() / scale < 1e-5,
+                "{}: {} vs {}",
+                solver.name(),
+                a.objective,
+                c.objective
+            );
+        }
+    }
+}
+
+#[test]
 fn all_four_solvers_run_through_dyn_dispatch_on_both_layouts() {
     let dataset = sparse_text_like::<f32>(40, 500, 2, 12, 23);
     let dense = dataset.to_dense();
