@@ -11,15 +11,18 @@
 //! the kernel matrix is formed directly from the sparse rows — the points
 //! are never densified — and the clustering loop proceeds identically.
 
+use crate::rowsum::RowSumFold;
 use popcorn_core::batch::{self, BatchResult, FitJob};
 use popcorn_core::kernel::KernelFunction;
 use popcorn_core::kernel_matrix::spgemm_gram_cost;
+use popcorn_core::kernel_source::{run_with_source, KernelSource};
 use popcorn_core::pipeline::{self, DistanceEngine};
 use popcorn_core::result::ClusteringResult;
 use popcorn_core::solver::{FitInput, Solver};
 use popcorn_core::{KernelKmeansConfig, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use std::ops::Range;
 
 /// Single-threaded dense CPU kernel k-means.
 #[derive(Debug, Clone)]
@@ -29,32 +32,99 @@ pub struct CpuKernelKmeans {
 }
 
 /// The PRMLT-style distance engine: one sequential pass over `K` per
-/// iteration, charged at CPU efficiencies.
-struct CpuEngine {
-    k: usize,
+/// iteration, charged at CPU efficiencies. The pass streams `K` row by row,
+/// so it consumes the kernel matrix tile-wise without changing a single
+/// arithmetic operation: per tile it folds the shared [`RowSumFold`]
+/// accumulator (collecting `diag(K)` on the way during the first iteration),
+/// and the finish step assembles the distances from those sums.
+struct CpuEngine<T: Scalar> {
+    fold: RowSumFold<T>,
 }
 
-impl<T: Scalar> DistanceEngine<T> for CpuEngine {
-    fn distances(
+impl<T: Scalar> CpuEngine<T> {
+    fn new(k: usize) -> Self {
+        Self {
+            fold: RowSumFold::new(k),
+        }
+    }
+}
+
+impl<T: Scalar> DistanceEngine<T> for CpuEngine<T> {
+    fn begin_iteration(
         &mut self,
         iteration: usize,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         labels: &[usize],
         executor: &SimExecutor,
-    ) -> Result<DenseMatrix<T>> {
-        let n = kernel_matrix.rows();
-        let k = self.k;
+    ) -> Result<()> {
+        self.fold
+            .begin_iteration(iteration, source.n(), labels, executor);
+        Ok(())
+    }
+
+    fn consume_tile(
+        &mut self,
+        rows: Range<usize>,
+        tile: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> Result<()> {
+        let n = tile.cols();
+        let t = rows.len();
+        let k = self.fold.k();
         let elem = std::mem::size_of::<T>();
-        Ok(executor.run(
-            format!("cpu distances iteration {iteration} (n={n}, k={k})"),
+        let iteration = self.fold.iteration();
+        let fold = &mut self.fold;
+        executor.run(
+            format!(
+                "cpu distances iteration {iteration} rows {}..{} (n={n}, k={k})",
+                rows.start, rows.end
+            ),
             Phase::PairwiseDistances,
             OpClass::Gemm, // dense arithmetic at CPU efficiencies
             OpCost::new(
-                2 * (n as u64) * (n as u64),
-                (n * n * elem) as u64,
-                (n * k * elem) as u64,
+                2 * t as u64 * n as u64,
+                t as u64 * n as u64 * elem as u64,
+                t as u64 * k as u64 * elem as u64,
             ),
-            || distances_sequential(kernel_matrix, labels, k),
+            || fold.accumulate_tile(rows.clone(), tile),
+        );
+        Ok(())
+    }
+
+    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+        let row_sums = self.fold.take_row_sums();
+        let diag = self.fold.diag();
+        let labels = self.fold.labels();
+        let sizes = self.fold.sizes();
+        let k = self.fold.k();
+        let n = diag.len();
+        let iteration = self.fold.iteration();
+        // The assembly's modeled footprint is already part of the row-sum
+        // pass's charge (it covered the n x k write); run it under a
+        // zero-cost record so its measured host time stays attributed to the
+        // distance phase, as it was when one closure did the whole pass.
+        Ok(executor.run(
+            format!("cpu distances assembly iteration {iteration} (n={n}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::Other,
+            OpCost::new(0, 0, 0),
+            || {
+                // Per-cluster self terms
+                // Σ_{p,q ∈ L_c} K_pq = Σ_{p ∈ L_c} row_sums[p][c].
+                let mut cluster_self = vec![0.0f64; k];
+                for i in 0..n {
+                    cluster_self[labels[i]] += row_sums[(i, labels[i])].to_f64();
+                }
+                DenseMatrix::from_fn(n, k, |i, c| {
+                    if sizes[c] == 0 {
+                        return diag[i];
+                    }
+                    let card = sizes[c] as f64;
+                    let value = diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
+                        + cluster_self[c] / (card * card);
+                    T::from_f64(value)
+                })
+            },
         ))
     }
 }
@@ -85,14 +155,14 @@ impl CpuKernelKmeans {
         })
     }
 
-    fn iterate_with<T: Scalar>(
+    fn iterate_source<T: Scalar>(
         &self,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
         executor: &SimExecutor,
     ) -> Result<ClusteringResult> {
-        let mut engine = CpuEngine { k: config.k };
-        pipeline::iterate(kernel_matrix, config, executor, &mut engine)
+        let mut engine = CpuEngine::<T>::new(config.k);
+        pipeline::iterate(source, config, executor, &mut engine)
     }
 
     /// The PRMLT-style kernel matrix, charged at CPU efficiencies: dense
@@ -108,6 +178,8 @@ impl CpuKernelKmeans {
         executor: &SimExecutor,
     ) -> DenseMatrix<T> {
         let elem = std::mem::size_of::<T>();
+        // The full n x n matrix becomes resident under the host-memory model.
+        executor.track_alloc(input.n() as u64 * input.n() as u64 * elem as u64);
         match input {
             FitInput::Dense(points) => {
                 let (n, d) = (points.rows(), points.cols());
@@ -143,7 +215,8 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
     }
 
     /// Run the full pipeline: dense sequential kernel matrix (or the SpGEMM
-    /// Gram path for CSR inputs), then sequential iterations.
+    /// Gram path for CSR inputs) when it fits the host-memory model, a
+    /// streamed [`TiledKernel`] otherwise, then sequential iterations.
     fn fit_input_with(
         &self,
         input: FitInput<'_, T>,
@@ -152,32 +225,53 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let kernel_matrix = self.compute_kernel_matrix(input, config.kernel, &executor);
-        self.iterate_with(&kernel_matrix, config, &executor)
+        let _residency = executor.scoped_residency();
+        run_with_source(
+            input,
+            config.kernel,
+            config.tiling,
+            config.k,
+            &executor,
+            || Ok(self.compute_kernel_matrix(input, config.kernel, &executor)),
+            |source| self.iterate_source(source, config, &executor),
+        )
     }
 
-    /// Run only the clustering iterations on a precomputed kernel matrix.
-    fn fit_from_kernel_with(
+    /// Run only the clustering iterations over a kernel source.
+    fn fit_from_source_with(
         &self,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
     ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.iterate_with(kernel_matrix, config, &executor)
+        let _residency = executor.scoped_residency();
+        self.iterate_source(source, config, &executor)
     }
 
     /// The restart protocol on one core: compute the sequential kernel matrix
-    /// exactly once, then run every job's iterations over the shared matrix.
+    /// exactly once (or stream tiles where one pass per iteration feeds every
+    /// job), then run every job's iterations over the shared source.
     fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
-        let (kernel, _strategy) = batch::validate_jobs(&input, jobs)?;
+        let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
+        let _residency = executor.scoped_residency();
         let mark = executor.trace().len();
-        let kernel_matrix = self.compute_kernel_matrix(input, kernel, &executor);
-        let shared_trace = batch::trace_since(&executor, mark);
-        batch::drive_shared_kernel(jobs, &executor, shared_trace, |job, job_executor| {
-            self.iterate_with(&kernel_matrix, &job.config, job_executor)
-        })
+        // The lockstep driver keeps every job's n x k buffer live at once.
+        let k_budget = jobs.iter().map(|j| j.config.k).sum();
+        run_with_source(
+            input,
+            plan.kernel,
+            plan.tiling,
+            k_budget,
+            &executor,
+            || Ok(self.compute_kernel_matrix(input, plan.kernel, &executor)),
+            |source| {
+                batch::drive_shared_source(jobs, source, &executor, mark, |job| {
+                    Box::new(CpuEngine::<T>::new(job.config.k))
+                })
+            },
+        )
     }
 }
 
@@ -215,46 +309,10 @@ fn compute_kernel_matrix_sequential<T: Scalar>(
     gram
 }
 
-/// Sequential kernel-trick distance computation:
-/// `D[i][c] = K_ii − (2/|L_c|) Σ_{q∈L_c} K_iq + (1/|L_c|²) Σ_{p,q∈L_c} K_pq`.
-fn distances_sequential<T: Scalar>(
-    kernel_matrix: &DenseMatrix<T>,
-    labels: &[usize],
-    k: usize,
-) -> DenseMatrix<T> {
-    let n = kernel_matrix.rows();
-    let mut sizes = vec![0usize; k];
-    for &l in labels {
-        sizes[l] += 1;
-    }
-    // Per-point, per-cluster row sums Σ_{q ∈ L_c} K_iq.
-    let mut row_sums = DenseMatrix::<T>::zeros(n, k);
-    for i in 0..n {
-        let row = kernel_matrix.row(i);
-        let out = row_sums.row_mut(i);
-        for (q, &v) in row.iter().enumerate() {
-            out[labels[q]] += v;
-        }
-    }
-    // Per-cluster self terms Σ_{p,q ∈ L_c} K_pq = Σ_{p ∈ L_c} row_sums[p][c].
-    let mut cluster_self = vec![0.0f64; k];
-    for i in 0..n {
-        cluster_self[labels[i]] += row_sums[(i, labels[i])].to_f64();
-    }
-    DenseMatrix::from_fn(n, k, |i, c| {
-        if sizes[c] == 0 {
-            return kernel_matrix[(i, i)];
-        }
-        let card = sizes[c] as f64;
-        let value = kernel_matrix[(i, i)].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
-            + cluster_self[c] / (card * card);
-        T::from_f64(value)
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use popcorn_core::kernel_source::FullKernel;
     use popcorn_core::KernelKmeans;
     use popcorn_sparse::CsrMatrix;
 
@@ -350,14 +408,23 @@ mod tests {
     }
 
     #[test]
-    fn sequential_distance_helper_matches_core_reference() {
+    fn cpu_engine_matches_core_reference() {
         let points = blob_points();
         let kernel_matrix = popcorn_core::kernel::kernel_matrix_reference(
             &points,
             KernelFunction::paper_polynomial(),
         );
         let labels: Vec<usize> = (0..points.rows()).map(|i| i % 3).collect();
-        let ours = distances_sequential(&kernel_matrix, &labels, 3);
+        let exec = SimExecutor::cpu_single_core_f32();
+        let source = FullKernel::new(&kernel_matrix).unwrap();
+        let mut engine = CpuEngine::<f64>::new(3);
+        engine.begin_iteration(0, &source, &labels, &exec).unwrap();
+        source
+            .for_each_tile(&exec, &mut |rows, tile| {
+                engine.consume_tile(rows, tile, &exec)
+            })
+            .unwrap();
+        let ours = engine.finish_iteration(&exec).unwrap();
         let reference =
             popcorn_core::distances::compute_distances_reference(&kernel_matrix, &labels, 3);
         assert!(ours.approx_eq(&reference, 1e-9, 1e-9));

@@ -25,14 +25,17 @@
 //! are densified up front and the conversion is charged to the simulator,
 //! which is exactly the cost asymmetry the paper's sparse datasets expose.
 
+use crate::rowsum::RowSumFold;
 use popcorn_core::batch::{self, BatchResult, FitJob};
 use popcorn_core::kernel::KernelFunction;
+use popcorn_core::kernel_source::{run_with_source, KernelSource};
 use popcorn_core::pipeline::{self, DistanceEngine};
 use popcorn_core::result::ClusteringResult;
-use popcorn_core::solver::{FitInput, Solver};
+use popcorn_core::solver::{dense_upload_bytes, FitInput, Solver};
 use popcorn_core::{KernelKmeansConfig, Result};
 use popcorn_dense::{matmul_nt, DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use std::ops::Range;
 
 /// Utilization hint for the baseline's shared-memory row-reduction kernel.
 ///
@@ -52,58 +55,77 @@ pub struct DenseGpuBaseline {
     executor: Option<SimExecutor>,
 }
 
-/// The baseline's three-hand-written-kernels distance engine.
+/// The baseline's three-hand-written-kernels distance engine. Kernel 1 (the
+/// dominant row reduction) streams `K` row by row, so it consumes the matrix
+/// tile-wise — one launch per tile, one launch total for an in-core source —
+/// folding the shared [`RowSumFold`] accumulator (which collects `diag(K)`
+/// during the first iteration); kernels 2 and 3 run once per iteration after
+/// the last tile.
 struct BaselineEngine<T: Scalar> {
-    k: usize,
-    diag: Option<Vec<T>>,
+    fold: RowSumFold<T>,
+}
+
+impl<T: Scalar> BaselineEngine<T> {
+    fn new(k: usize) -> Self {
+        Self {
+            fold: RowSumFold::new(k),
+        }
+    }
 }
 
 impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
-    fn distances(
+    fn begin_iteration(
         &mut self,
-        _iteration: usize,
-        kernel_matrix: &DenseMatrix<T>,
+        iteration: usize,
+        source: &dyn KernelSource<T>,
         labels: &[usize],
         executor: &SimExecutor,
-    ) -> Result<DenseMatrix<T>> {
-        let n = kernel_matrix.rows();
-        let k = self.k;
+    ) -> Result<()> {
+        self.fold
+            .begin_iteration(iteration, source.n(), labels, executor);
+        Ok(())
+    }
+
+    fn consume_tile(
+        &mut self,
+        rows: Range<usize>,
+        tile: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> Result<()> {
+        let n = tile.cols();
+        let t = rows.len();
+        let k = self.fold.k();
         let elem = std::mem::size_of::<T>();
-
-        if self.diag.is_none() {
-            self.diag = Some((0..n).map(|i| kernel_matrix[(i, i)]).collect());
-        }
-        let diag = self.diag.as_ref().expect("just populated");
-
-        let mut sizes = vec![0usize; k];
-        for &l in labels {
-            sizes[l] += 1;
-        }
+        let fold = &mut self.fold;
 
         // Kernel 1: per-row reduction of K into an n x k buffer of
         // cluster sums (the baseline's dominant kernel).
-        let row_sums = executor.run(
-            format!("baseline kernel 1: row reduction (n={n}, k={k})"),
+        executor.run(
+            format!(
+                "baseline kernel 1: row reduction rows {}..{} (n={n}, k={k})",
+                rows.start, rows.end
+            ),
             Phase::PairwiseDistances,
             OpClass::HandwrittenReduction,
             OpCost::new(
-                2 * (n as u64) * (n as u64),
-                (n * n * elem) as u64,
-                (n * k * elem) as u64,
+                2 * t as u64 * n as u64,
+                t as u64 * n as u64 * elem as u64,
+                t as u64 * k as u64 * elem as u64,
             )
             .with_utilization(reduction_utilization(k)),
-            || {
-                let mut sums = DenseMatrix::<T>::zeros(n, k);
-                for i in 0..n {
-                    let row = kernel_matrix.row(i);
-                    let out = sums.row_mut(i);
-                    for (q, &v) in row.iter().enumerate() {
-                        out[labels[q]] += v;
-                    }
-                }
-                sums
-            },
+            || fold.accumulate_tile(rows.clone(), tile),
         );
+        Ok(())
+    }
+
+    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+        let row_sums = self.fold.take_row_sums();
+        let diag = self.fold.diag();
+        let labels = self.fold.labels();
+        let sizes = self.fold.sizes();
+        let n = diag.len();
+        let k = self.fold.k();
+        let elem = std::mem::size_of::<T>();
 
         // Kernel 2: reduce the buffer into per-cluster norms
         // Σ_{p,q∈L_c} K_pq / |L_c|² (the role Popcorn's SpMV plays).
@@ -111,7 +133,7 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
             format!("baseline kernel 2: centroid norms (n={n}, k={k})"),
             Phase::PairwiseDistances,
             OpClass::HandwrittenReduction,
-            OpCost::new(2 * n as u64, (n * elem) as u64, (k * elem) as u64)
+            OpCost::new(2 * n as u64, n as u64 * elem as u64, k as u64 * elem as u64)
                 .with_utilization(reduction_utilization(k)),
             || {
                 let mut norms = vec![0.0f64; k];
@@ -137,7 +159,7 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
             format!("baseline kernel 3: distance assembly (n={n}, k={k})"),
             Phase::PairwiseDistances,
             OpClass::Elementwise,
-            OpCost::elementwise(n * k, 2, 1, 3, elem),
+            OpCost::elementwise_elems(n as u64 * k as u64, 2, 1, 3, elem),
             || {
                 DenseMatrix::<T>::from_fn(n, k, |i, c| {
                     if sizes[c] == 0 {
@@ -180,59 +202,69 @@ impl DenseGpuBaseline {
             .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
     }
 
-    fn iterate_with<T: Scalar>(
+    fn iterate_source<T: Scalar>(
         &self,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
         executor: &SimExecutor,
     ) -> Result<ClusteringResult> {
-        let mut engine = BaselineEngine {
-            k: config.k,
-            diag: None,
-        };
-        pipeline::iterate(kernel_matrix, config, executor, &mut engine)
+        let mut engine = BaselineEngine::<T>::new(config.k);
+        pipeline::iterate(source, config, executor, &mut engine)
     }
 
-    /// The baseline's data preparation and kernel matrix: densify CSR inputs
-    /// (the baseline cannot stream sparse operands into cuBLAS), charge the
-    /// dense upload, then always GEMM (§5.3 — never SYRK, never the dynamic
-    /// selection).
-    fn prepare_kernel_matrix<T: Scalar>(
+    /// The baseline's data preparation: densify CSR inputs (the baseline
+    /// cannot stream sparse operands into cuBLAS), charge the dense upload,
+    /// and hand the borrowed dense points to `f` — the single dispatch the
+    /// standalone and batched fits share.
+    fn with_dense_points<T: Scalar, R>(
         &self,
         input: FitInput<'_, T>,
-        kernel: KernelFunction,
         executor: &SimExecutor,
-    ) -> Result<DenseMatrix<T>> {
+        f: impl FnOnce(&DenseMatrix<T>) -> Result<R>,
+    ) -> Result<R> {
         let n = input.n();
         let d = input.d();
         let elem = std::mem::size_of::<T>();
 
         // The baseline cannot stream CSR operands into cuBLAS: sparse inputs
         // are expanded to the dense layout before upload.
-        let densified;
-        let points: &DenseMatrix<T> = match input {
-            FitInput::Dense(points) => points,
-            FitInput::Sparse(_) => {
-                densified = executor.run(
-                    format!("densify P ({n} x {d}, nnz={})", input.nnz()),
-                    Phase::DataPreparation,
-                    OpClass::Other,
-                    OpCost::elementwise(n * d, 1, 1, 0, elem),
-                    || input.to_dense(),
-                );
-                &densified
-            }
+        let densified = match input {
+            FitInput::Dense(_) => None,
+            FitInput::Sparse(_) => Some(executor.run(
+                format!("densify P ({n} x {d}, nnz={})", input.nnz()),
+                Phase::DataPreparation,
+                OpClass::Other,
+                OpCost::elementwise_elems(n as u64 * d as u64, 1, 1, 0, elem),
+                || input.to_dense(),
+            )),
         };
 
         executor.charge(
             format!("upload P ({n} x {d})"),
             Phase::DataPreparation,
             OpClass::Transfer,
-            OpCost::transfer((n * d * elem) as u64),
+            OpCost::transfer(dense_upload_bytes(n, d, elem)),
         );
+        executor.track_alloc(dense_upload_bytes(n, d, elem));
+        match (&densified, input) {
+            (Some(dense), _) => f(dense),
+            (None, FitInput::Dense(p)) => f(p),
+            (None, FitInput::Sparse(_)) => unreachable!("sparse inputs are densified"),
+        }
+    }
 
-        // The baseline always uses GEMM for the kernel matrix (§5.3).
-        executor.run(
+    /// The baseline's kernel matrix: always GEMM (§5.3 — never SYRK, never
+    /// the dynamic selection).
+    fn compute_kernel_matrix<T: Scalar>(
+        &self,
+        points: &DenseMatrix<T>,
+        kernel: KernelFunction,
+        executor: &SimExecutor,
+    ) -> Result<DenseMatrix<T>> {
+        let n = points.rows();
+        let d = points.cols();
+        let elem = std::mem::size_of::<T>();
+        let kernel_matrix = executor.run(
             format!("gemm kernel matrix (n={n}, d={d})"),
             Phase::KernelMatrix,
             OpClass::Gemm,
@@ -242,7 +274,9 @@ impl DenseGpuBaseline {
                 kernel.apply_to_gram(&mut gram);
                 Ok(gram)
             },
-        )
+        )?;
+        executor.track_alloc(n as u64 * n as u64 * elem as u64);
+        Ok(kernel_matrix)
     }
 }
 
@@ -255,9 +289,10 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
         &self.config
     }
 
-    /// Run the full pipeline: upload, GEMM kernel matrix, then iterations.
-    /// CSR inputs are densified first (and the densification is charged) —
-    /// the baseline is dense-only by design.
+    /// Run the full pipeline: densify CSR inputs (the baseline is dense-only
+    /// by design, and the densification is charged), upload, then a GEMM
+    /// kernel matrix when it fits — or streamed GEMM tiles when the planner
+    /// says the full matrix cannot be resident — and the iterations.
     fn fit_input_with(
         &self,
         input: FitInput<'_, T>,
@@ -266,32 +301,57 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let kernel_matrix = self.prepare_kernel_matrix(input, config.kernel, &executor)?;
-        self.iterate_with(&kernel_matrix, config, &executor)
+        let _residency = executor.scoped_residency();
+        self.with_dense_points(input, &executor, |points| {
+            run_with_source(
+                FitInput::Dense(points),
+                config.kernel,
+                config.tiling,
+                config.k,
+                &executor,
+                || self.compute_kernel_matrix(points, config.kernel, &executor),
+                |source| self.iterate_source(source, config, &executor),
+            )
+        })
     }
 
-    /// Run only the clustering iterations on a precomputed kernel matrix
-    /// (used by the distance-phase comparison, Figure 4).
-    fn fit_from_kernel_with(
+    /// Run only the clustering iterations over a kernel source (used by the
+    /// distance-phase comparison, Figure 4).
+    fn fit_from_source_with(
         &self,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
     ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.iterate_with(kernel_matrix, config, &executor)
+        let _residency = executor.scoped_residency();
+        self.iterate_source(source, config, &executor)
     }
 
     /// The restart protocol on the baseline: densify (if needed), upload and
-    /// GEMM exactly once, then run every job over the shared matrix.
+    /// GEMM exactly once — or stream GEMM tiles with one pass per iteration
+    /// feeding every job — then run every job over the shared source.
     fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
-        let (kernel, _strategy) = batch::validate_jobs(&input, jobs)?;
+        let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
+        let _residency = executor.scoped_residency();
         let mark = executor.trace().len();
-        let kernel_matrix = self.prepare_kernel_matrix(input, kernel, &executor)?;
-        let shared_trace = batch::trace_since(&executor, mark);
-        batch::drive_shared_kernel(jobs, &executor, shared_trace, |job, job_executor| {
-            self.iterate_with(&kernel_matrix, &job.config, job_executor)
+        // The lockstep driver keeps every job's n x k buffer live at once.
+        let k_budget = jobs.iter().map(|j| j.config.k).sum();
+        self.with_dense_points(input, &executor, |points| {
+            run_with_source(
+                FitInput::Dense(points),
+                plan.kernel,
+                plan.tiling,
+                k_budget,
+                &executor,
+                || self.compute_kernel_matrix(points, plan.kernel, &executor),
+                |source| {
+                    batch::drive_shared_source(jobs, source, &executor, mark, |job| {
+                        Box::new(BaselineEngine::<T>::new(job.config.k))
+                    })
+                },
+            )
         })
     }
 }

@@ -24,6 +24,7 @@
 pub mod cpu;
 pub mod gpu_dense;
 pub mod lloyd;
+mod rowsum;
 
 pub use cpu::CpuKernelKmeans;
 pub use gpu_dense::DenseGpuBaseline;
@@ -31,6 +32,7 @@ pub use lloyd::LloydKmeans;
 
 use popcorn_core::{KernelKmeans, KernelKmeansConfig, Solver};
 use popcorn_dense::Scalar;
+use popcorn_gpusim::{DeviceSpec, SimExecutor};
 
 /// Every implementation in the workspace, as data — the single registry the
 /// CLI driver and the experiment harness construct solvers from, so adding
@@ -63,6 +65,33 @@ impl SolverKind {
             SolverKind::DenseBaseline => Box::new(DenseGpuBaseline::new(config)),
             SolverKind::Cpu => Box::new(CpuKernelKmeans::new(config)),
             SolverKind::Lloyd => Box::new(LloydKmeans::new(config)),
+        }
+    }
+
+    /// Construct the implementation with an explicit simulator executor —
+    /// e.g. a device whose memory capacity was overridden by the CLI's
+    /// `--device-mem` flag.
+    pub fn build_with_executor<T: Scalar>(
+        self,
+        config: KernelKmeansConfig,
+        executor: SimExecutor,
+    ) -> Box<dyn Solver<T>> {
+        match self {
+            SolverKind::Popcorn => Box::new(KernelKmeans::new(config).with_executor(executor)),
+            SolverKind::DenseBaseline => {
+                Box::new(DenseGpuBaseline::new(config).with_executor(executor))
+            }
+            SolverKind::Cpu => Box::new(CpuKernelKmeans::new(config).with_executor(executor)),
+            SolverKind::Lloyd => Box::new(LloydKmeans::new(config).with_executor(executor)),
+        }
+    }
+
+    /// The device this implementation models by default (the paper's A100,
+    /// except the CPU reference's single EPYC core).
+    pub fn default_device(self) -> DeviceSpec {
+        match self {
+            SolverKind::Cpu => DeviceSpec::epyc7763_single_core(),
+            _ => DeviceSpec::a100_80gb(),
         }
     }
 

@@ -12,7 +12,9 @@
 //! evaluated as `‖x − c‖² = ‖c‖² + Σ_{j∈nz(x)} ((x_j − c_j)² − c_j²)` in
 //! `O(nnz(x))` per centroid — the points are never densified.
 
+use popcorn_core::batch::{self, BatchResult, FitJob};
 use popcorn_core::kernel_matrix::INDEX_BYTES;
+use popcorn_core::kernel_source::KernelSource;
 use popcorn_core::pipeline::finalize;
 use popcorn_core::result::{ClusteringResult, IterationStats};
 use popcorn_core::solver::{FitInput, Solver};
@@ -87,12 +89,13 @@ impl<T: Scalar> LloydPoints for &DenseMatrix<T> {
     }
 
     fn assignment_cost(&self, k: usize, elem: usize) -> OpCost {
-        let (n, d) = (self.rows(), self.cols());
-        OpCost::new(
-            3 * (n as u64) * (k as u64) * (d as u64),
-            ((n * d + k * d) * elem) as u64,
-            (n * elem) as u64,
-        )
+        let (n, d, k, elem) = (
+            self.rows() as u64,
+            self.cols() as u64,
+            k as u64,
+            elem as u64,
+        );
+        OpCost::new(3 * n * k * d, (n * d + k * d) * elem, n * elem)
     }
 }
 
@@ -136,12 +139,13 @@ impl<T: Scalar> LloydPoints for &CsrMatrix<T> {
     }
 
     fn assignment_cost(&self, k: usize, elem: usize) -> OpCost {
-        let (n, d, nnz) = (self.rows(), self.cols(), self.nnz());
+        let (n, d, nnz) = (self.rows() as u64, self.cols() as u64, self.nnz() as u64);
+        let (k, elem, index) = (k as u64, elem as u64, INDEX_BYTES as u64);
         // Per centroid: one pass over the stored entries plus the ‖c‖² term.
         OpCost::new(
-            (3 * nnz as u64 + n as u64) * k as u64,
-            (nnz * (elem + INDEX_BYTES) + k * d * elem) as u64,
-            (n * elem) as u64,
+            (3 * nnz + n) * k,
+            nnz * (elem + index) + k * d * elem,
+            n * elem,
         )
     }
 }
@@ -242,7 +246,11 @@ impl LloydKmeans {
                 format!("lloyd centroid update (n={n}, d={d}, k={k})"),
                 Phase::Assignment,
                 OpClass::Reduction,
-                OpCost::new((n * d) as u64, (n * d * elem) as u64, (k * d * elem) as u64),
+                OpCost::new(
+                    n as u64 * d as u64,
+                    n as u64 * d as u64 * elem as u64,
+                    k as u64 * d as u64 * elem as u64,
+                ),
                 || {
                     let mut sums = vec![vec![0.0f64; d]; k];
                     let mut counts = vec![0usize; k];
@@ -308,11 +316,8 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
         &self.config
     }
 
-    /// Run Lloyd's algorithm on dense or CSR points.
-    ///
-    /// `fit_batch` keeps the trait's default independent-fits implementation:
-    /// Lloyd has no kernel matrix, so there is nothing to share between
-    /// restarts.
+    /// Run Lloyd's algorithm on dense or CSR points. The modeled host→device
+    /// copy of the points is charged like every other solver's.
     fn fit_input_with(
         &self,
         input: FitInput<'_, T>,
@@ -321,6 +326,8 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
+        let _residency = executor.scoped_residency();
+        input.charge_upload(&executor);
         let elem = std::mem::size_of::<T>();
         match input {
             FitInput::Dense(points) => self.fit_points(points, config, elem, &executor),
@@ -329,14 +336,41 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
     }
 
     /// Lloyd's algorithm has no kernel-matrix formulation.
-    fn fit_from_kernel_with(
+    fn fit_from_source_with(
         &self,
-        _kernel_matrix: &DenseMatrix<T>,
+        _source: &dyn KernelSource<T>,
         _config: &KernelKmeansConfig,
     ) -> Result<ClusteringResult> {
         Err(CoreError::Unsupported(
             "Lloyd's algorithm operates on raw points, not a kernel matrix".into(),
         ))
+    }
+
+    /// The restart protocol on Lloyd: there is no kernel matrix to share, but
+    /// the points still cross PCIe — so the batch charges the upload exactly
+    /// once and every job's iterations run over the shared, resident points.
+    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+        // Only the per-job configs need validating: Lloyd evaluates no kernel
+        // function, so jobs may freely mix kernel/strategy/tiling settings.
+        batch::validate_job_configs(&input, jobs)?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let _residency = executor.scoped_residency();
+        let mark = executor.trace().len();
+        input.charge_upload(&executor);
+        let shared_trace = batch::trace_since(&executor, mark);
+        let elem = std::mem::size_of::<T>();
+        batch::drive_shared_kernel(
+            jobs,
+            &executor,
+            shared_trace,
+            |job, job_executor| match input {
+                FitInput::Dense(points) => self.fit_points(points, &job.config, elem, job_executor),
+                FitInput::Sparse(points) => {
+                    self.fit_points(points, &job.config, elem, job_executor)
+                }
+            },
+        )
     }
 }
 

@@ -1,0 +1,116 @@
+//! Shared tile-wise row-sum accumulator for the baseline distance engines.
+//!
+//! Both the CPU reference and the dense GPU baseline compute their distances
+//! from the same intermediate: per-point, per-cluster row sums
+//! `Σ_{q ∈ L_c} K[i][q]`, folded row by row over the kernel matrix, with
+//! `diag(K)` collected for free on the first pass. Only the *charging* (which
+//! simulated kernel, which utilization) and the finishing arithmetic differ
+//! between the two solvers, so the fold itself lives here exactly once —
+//! keeping the two engines bit-for-bit in lockstep by construction.
+
+use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::SimExecutor;
+use std::ops::Range;
+
+/// Per-iteration row-sum state shared by `CpuEngine` and `BaselineEngine`.
+pub(crate) struct RowSumFold<T: Scalar> {
+    k: usize,
+    iteration: usize,
+    diag: Option<Vec<T>>,
+    diag_pending: Vec<T>,
+    sizes: Vec<usize>,
+    labels: Vec<usize>,
+    row_sums: Option<DenseMatrix<T>>,
+}
+
+impl<T: Scalar> RowSumFold<T> {
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            iteration: 0,
+            diag: None,
+            diag_pending: Vec::new(),
+            sizes: Vec::new(),
+            labels: Vec::new(),
+            row_sums: None,
+        }
+    }
+
+    /// Number of clusters `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The iteration currently being folded (0-based).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Cluster cardinalities of the current labels.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The labels of the current iteration.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// `diag(K)`, available once the first iteration's tiles were folded and
+    /// [`RowSumFold::take_row_sums`] sealed them.
+    pub fn diag(&self) -> &[T] {
+        self.diag.as_ref().expect("first iteration folded")
+    }
+
+    /// Start one iteration: rebuild sizes, reset the row-sum buffer, and (on
+    /// the first iteration) track the buffer's modeled residency.
+    pub fn begin_iteration(
+        &mut self,
+        iteration: usize,
+        n: usize,
+        labels: &[usize],
+        executor: &SimExecutor,
+    ) {
+        self.iteration = iteration;
+        // Reuse the allocation across iterations; the copy itself is O(n),
+        // noise next to the O(n^2) row-sum fold it feeds.
+        self.labels.clear();
+        self.labels.extend_from_slice(labels);
+        self.sizes = vec![0usize; self.k];
+        for &l in labels {
+            self.sizes[l] += 1;
+        }
+        if iteration == 0 {
+            self.diag_pending = vec![T::ZERO; n];
+            executor.track_alloc(n as u64 * self.k as u64 * std::mem::size_of::<T>() as u64);
+        }
+        self.row_sums = Some(DenseMatrix::zeros(n, self.k));
+    }
+
+    /// Fold one row tile of `K` into the row sums (collecting the diagonal
+    /// during the first iteration). Callers wrap this in their own charged
+    /// `executor.run` so each solver models its own kernel.
+    pub fn accumulate_tile(&mut self, rows: Range<usize>, tile: &DenseMatrix<T>) {
+        let row_sums = self.row_sums.as_mut().expect("begin_iteration ran");
+        let collect_diag = self.diag.is_none();
+        for (local, i) in rows.enumerate() {
+            let row = tile.row(local);
+            if collect_diag {
+                self.diag_pending[i] = row[i];
+            }
+            let out = row_sums.row_mut(i);
+            for (q, &v) in row.iter().enumerate() {
+                out[self.labels[q]] += v;
+            }
+        }
+    }
+
+    /// Seal the iteration: hand the finished row sums to the caller (and, on
+    /// the first iteration, promote the collected diagonal).
+    pub fn take_row_sums(&mut self) -> DenseMatrix<T> {
+        if self.diag.is_none() {
+            self.diag = Some(std::mem::take(&mut self.diag_pending));
+        }
+        self.row_sums.take().expect("begin_iteration ran")
+    }
+}

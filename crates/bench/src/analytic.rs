@@ -77,7 +77,13 @@ pub fn gram_syrk_seconds(n: usize, d: usize) -> f64 {
 pub fn kernel_apply_seconds(n: usize, kernel: KernelFunction) -> f64 {
     a100().time_seconds(
         OpClass::Elementwise,
-        &OpCost::elementwise(n * n, 1, 1, kernel.flops_per_entry().max(1), ELEM),
+        &OpCost::elementwise_elems(
+            n as u64 * n as u64,
+            1,
+            1,
+            kernel.flops_per_entry().max(1),
+            ELEM,
+        ),
     )
 }
 
@@ -141,7 +147,7 @@ fn popcorn_distance_seconds(model: &CostModel, n: usize, k: usize) -> f64 {
         + model.time_seconds(OpClass::SpMV, &OpCost::spmv(n, k, n, ELEM, INDEX))
         + model.time_seconds(
             OpClass::Elementwise,
-            &OpCost::elementwise(n * k, 1, 1, 2, ELEM),
+            &OpCost::elementwise_elems(n as u64 * k as u64, 1, 1, 2, ELEM),
         )
 }
 
@@ -149,7 +155,7 @@ fn popcorn_assignment_seconds(model: &CostModel, n: usize, k: usize) -> f64 {
     model.time_seconds(OpClass::Other, &OpCost::elementwise(n, 1, 3, 0, ELEM))
         + model.time_seconds(
             OpClass::Reduction,
-            &OpCost::elementwise(n * k, 1, 0, 1, ELEM),
+            &OpCost::elementwise_elems(n as u64 * k as u64, 1, 0, 1, ELEM),
         )
 }
 
@@ -223,12 +229,12 @@ pub fn baseline_modeled(w: ModelWorkload, _kernel: KernelFunction) -> TimingBrea
     );
     let kernel3 = model.time_seconds(
         OpClass::Elementwise,
-        &OpCost::elementwise(n * k, 2, 1, 3, ELEM),
+        &OpCost::elementwise_elems(n as u64 * k as u64, 2, 1, 3, ELEM),
     );
     let per_iter_distances = kernel1 + kernel2 + kernel3;
     let per_iter_assignment = model.time_seconds(
         OpClass::Reduction,
-        &OpCost::elementwise(n * k, 1, 0, 1, ELEM),
+        &OpCost::elementwise_elems(n as u64 * k as u64, 1, 0, 1, ELEM),
     );
 
     TimingBreakdown {
@@ -267,7 +273,7 @@ pub fn cpu_modeled(w: ModelWorkload, _kernel: KernelFunction) -> TimingBreakdown
     );
     let per_iter_assignment = core.time_seconds(
         OpClass::Reduction,
-        &OpCost::elementwise(n * k, 1, 0, 1, ELEM),
+        &OpCost::elementwise_elems(n as u64 * k as u64, 1, 0, 1, ELEM),
     );
     TimingBreakdown {
         data_preparation: 0.0,
@@ -276,6 +282,138 @@ pub fn cpu_modeled(w: ModelWorkload, _kernel: KernelFunction) -> TimingBreakdown
         assignment: per_iter_assignment * iterations as f64,
         other: 0.0,
     }
+}
+
+/// Number of row tiles a tile height of `tile_rows` splits `n` rows into.
+fn tile_count(n: usize, tile_rows: usize) -> usize {
+    n.div_ceil(tile_rows.max(1))
+}
+
+/// Modeled time of one full tile pass over `K`: `ceil(n / tile_rows)` GEMM
+/// panels plus the elementwise kernel application — the per-iteration
+/// recompute cost of the streaming (out-of-core) kernel-matrix path.
+pub fn tiled_pass_seconds(n: usize, d: usize, tile_rows: usize, kernel: KernelFunction) -> f64 {
+    let model = a100();
+    let tiles = tile_count(n, tile_rows);
+    let mut total = 0.0;
+    let mut r0 = 0usize;
+    for _ in 0..tiles {
+        let r1 = (r0 + tile_rows).min(n);
+        let t = r1 - r0;
+        total += model.time_seconds(OpClass::Gemm, &OpCost::gemm(t, n, d, ELEM));
+        total += model.time_seconds(
+            OpClass::Elementwise,
+            &OpCost::elementwise_elems(
+                t as u64 * n as u64,
+                1,
+                1,
+                kernel.flops_per_entry().max(1),
+                ELEM,
+            ),
+        );
+        r0 = r1;
+    }
+    total
+}
+
+/// Modeled per-phase times for Popcorn with a **streamed/tiled** kernel
+/// matrix: no upfront Gram product, but every iteration pays one tile pass
+/// (charged to the kernel-matrix phase) on top of the tile-split distance
+/// SpMM. This is the analytic replay of `TiledKernel` + the streaming
+/// iteration pipeline.
+pub fn popcorn_tiled_modeled(
+    w: ModelWorkload,
+    kernel: KernelFunction,
+    tile_rows: usize,
+) -> TimingBreakdown {
+    let model = a100();
+    let ModelWorkload {
+        n,
+        d,
+        k,
+        iterations,
+    } = w;
+
+    let data_preparation = model.time_seconds(
+        OpClass::Transfer,
+        &OpCost::transfer(n as u64 * d as u64 * ELEM as u64),
+    );
+    // Gram diagonal once, then one tile pass per iteration.
+    let diag = model.time_seconds(
+        OpClass::Elementwise,
+        &OpCost::new(
+            2 * (n as u64) * (d as u64),
+            n as u64 * d as u64 * ELEM as u64,
+            n as u64 * ELEM as u64,
+        ),
+    ) + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 0, ELEM));
+    let kernel_matrix = diag + tiled_pass_seconds(n, d, tile_rows, kernel) * iterations as f64;
+
+    let per_iter_distances = popcorn_tiled_distance_seconds(&model, n, k, tile_rows);
+    let per_iter_assignment = popcorn_assignment_seconds(&model, n, k);
+
+    TimingBreakdown {
+        data_preparation,
+        kernel_matrix,
+        pairwise_distances: per_iter_distances * iterations as f64,
+        assignment: per_iter_assignment * iterations as f64,
+        other: 0.0,
+    }
+}
+
+fn popcorn_tiled_distance_seconds(model: &CostModel, n: usize, k: usize, tile_rows: usize) -> f64 {
+    let tiles = tile_count(n, tile_rows);
+    let mut spmm = 0.0;
+    let mut r0 = 0usize;
+    for _ in 0..tiles {
+        let r1 = (r0 + tile_rows).min(n);
+        spmm += model.time_seconds(
+            OpClass::SpMM,
+            &OpCost::spmm_kvt_rows(r1 - r0, n, k, ELEM, INDEX)
+                .with_utilization(spmm_utilization(k)),
+        );
+        r0 = r1;
+    }
+    spmm + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 1, ELEM))
+        + model.time_seconds(OpClass::SpMV, &OpCost::spmv(n, k, n, ELEM, INDEX))
+        + model.time_seconds(
+            OpClass::Elementwise,
+            &OpCost::elementwise_elems(n as u64 * k as u64, 1, 1, 2, ELEM),
+        )
+}
+
+/// Modeled total seconds of the **batched-tiled** restart protocol: the
+/// upload, the diagonal and — thanks to the lockstep batch driver — one tile
+/// pass per iteration shared by all `restarts` jobs, plus every job's own
+/// per-iteration distance/assignment work.
+pub fn popcorn_batched_tiled_seconds(
+    w: ModelWorkload,
+    kernel: KernelFunction,
+    tile_rows: usize,
+    restarts: usize,
+) -> f64 {
+    let tiled = popcorn_tiled_modeled(w, kernel, tile_rows);
+    // Shared across the batch: upload + diag + per-iteration tile passes.
+    let shared = tiled.data_preparation + tiled.kernel_matrix;
+    // Per job: the distance/assignment iterations.
+    let per_job = tiled.pairwise_distances + tiled.assignment;
+    shared + per_job * restarts as f64
+}
+
+/// Modeled peak device residency (bytes) of the tiled path: points + one
+/// tile + the n×k distance buffer + the point-norm vector.
+pub fn tiled_peak_bytes(n: usize, d: usize, k: usize, tile_rows: usize) -> u128 {
+    let input = n as u64 * d as u64 * ELEM as u64;
+    popcorn_core::kernel_source::workspace_bytes(n, k, ELEM, input)
+        + popcorn_core::kernel_source::tile_bytes(tile_rows, n, ELEM) as u128
+}
+
+/// Modeled peak device residency (bytes) of the in-core path: points + the
+/// full n×n matrix + the n×k distance buffer + the point-norm vector.
+pub fn full_peak_bytes(n: usize, d: usize, k: usize) -> u128 {
+    let input = n as u64 * d as u64 * ELEM as u64;
+    popcorn_core::kernel_source::workspace_bytes(n, k, ELEM, input)
+        + popcorn_core::kernel_source::full_kernel_matrix_bytes(n, ELEM)
 }
 
 /// Modeled throughput (GFLOP/s) of Popcorn's distance SpMM for one iteration.
@@ -437,6 +575,55 @@ mod tests {
         let sparse_prep = popcorn_sparse_modeled(w, nnz, kernel).data_preparation;
         let dense_prep = popcorn_modeled(w, kernel).data_preparation;
         assert!(sparse_prep < dense_prep);
+    }
+
+    #[test]
+    fn tiled_replay_reduces_to_full_replay_at_one_tile_minus_recompute() {
+        // With tile_rows == n the tile pass is one GEMM + one transform — the
+        // same work the in-core path does once. The tiled path repeats it per
+        // iteration, so its kernel-matrix phase is ~iterations x the in-core
+        // one while the distance/assignment phases match.
+        let kernel = KernelFunction::paper_polynomial();
+        let w = ModelWorkload::new(60_000, 780, 50).with_iterations(30);
+        let full = popcorn_modeled(w, kernel);
+        let tiled = popcorn_tiled_modeled(w, kernel, w.n);
+        assert!((tiled.pairwise_distances / full.pairwise_distances - 1.0).abs() < 1e-9);
+        assert!((tiled.assignment / full.assignment - 1.0).abs() < 1e-9);
+        // ~30x the one-shot Gram cost (somewhat more when the in-core path
+        // gets to use the cheaper SYRK, which tiles never do).
+        let ratio = tiled.kernel_matrix / full.kernel_matrix;
+        assert!(
+            ratio > 20.0 && ratio < 70.0,
+            "tile recompute should cost ~iterations kernel matrices, got {ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn batched_tiled_amortizes_the_tile_passes() {
+        // The lockstep driver shares every tile pass across the restart
+        // sweep: R tiled restarts cost far less than R independent tiled
+        // fits, and the per-restart amortized cost approaches the in-core
+        // per-restart cost as R grows.
+        let kernel = KernelFunction::paper_polynomial();
+        let w = ModelWorkload::new(200_000, 780, 50).with_iterations(30);
+        let tile_rows = 50_000;
+        let single = popcorn_tiled_modeled(w, kernel, tile_rows).total();
+        let restarts = 8;
+        let batch = popcorn_batched_tiled_seconds(w, kernel, tile_rows, restarts);
+        assert!(batch < restarts as f64 * single);
+        let speedup = restarts as f64 * single / batch;
+        assert!(speedup > 1.5, "batched-tiled reuse speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn peak_bytes_models_order_correctly() {
+        // At n = 500k/f32 the full working set is ~1 TB; a 16k-row tile keeps
+        // the streaming working set in the tens of GB.
+        let (n, d, k) = (500_000, 780, 50);
+        assert!(full_peak_bytes(n, d, k) > 1_000_000_000_000);
+        let tiled = tiled_peak_bytes(n, d, k, 16_384);
+        assert!(tiled < 80 * (1u128 << 30));
+        assert!(tiled < full_peak_bytes(n, d, k) / 10);
     }
 
     #[test]

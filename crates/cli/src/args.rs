@@ -1,6 +1,6 @@
 //! Command line argument parsing for `gpukmeans`.
 
-use popcorn_core::{Initialization, KernelFunction};
+use popcorn_core::{Initialization, KernelFunction, TilePolicy};
 
 /// Which implementation the `-l` flag selects (artifact: 0 = naive GPU
 /// baseline, 2 = Popcorn; we additionally expose 1 = CPU reference and
@@ -67,6 +67,13 @@ pub struct CliArgs {
     /// `--repair {0|1}`: whether to repair empty clusters by reassigning the
     /// points farthest from their centroids (default: on).
     pub repair_empty_clusters: bool,
+    /// `--tile-rows {auto|full|N}`: kernel-matrix residency policy — keep the
+    /// full `n × n` matrix, stream row tiles of `N` rows, or let the planner
+    /// pick the largest layout fitting device memory (default).
+    pub tiling: TilePolicy,
+    /// `--device-mem GB`: override the simulated device's memory capacity in
+    /// gigabytes (`None` keeps the device preset's capacity).
+    pub device_mem_gb: Option<f64>,
     /// `-s`: RNG seed.
     pub seed: u64,
     /// `-l`: implementation selector.
@@ -92,6 +99,8 @@ impl Default for CliArgs {
             input: None,
             format: InputFormat::Auto,
             repair_empty_clusters: true,
+            tiling: TilePolicy::Auto,
+            device_mem_gb: None,
             seed: 0,
             implementation: Implementation::Popcorn,
             output: None,
@@ -127,6 +136,13 @@ OPTIONS:
                   (auto = by extension, then content sniffing; libSVM inputs
                   stay sparse end to end)
   --repair {0|1}  1 = repair empty clusters, 0 = leave them    [default: 1]
+  --tile-rows V   kernel-matrix residency: auto (largest layout that fits
+                  device memory), full (always materialize n x n), or an
+                  integer row count streamed per tile           [default: auto]
+  --device-mem GB simulated device memory capacity in decimal GB (1 GB =
+                  1e9 bytes; accepts fractions, e.g. 0.5). Note the device
+                  presets use binary GiB, so --device-mem 80 is ~7% smaller
+                  than the A100-80GB preset. Default: the preset's capacity
   -s INT          RNG seed                                     [default: 0]
   -l {0|1|2|3}    implementation: 0 = dense GPU baseline, 1 = CPU,
                   2 = Popcorn, 3 = Lloyd (classical k-means)   [default: 2]
@@ -223,6 +239,24 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     _ => return Err(format!("--repair expects 0 or 1, got '{v}'")),
                 };
             }
+            "--tile-rows" => {
+                let v = value("--tile-rows", &mut iter)?;
+                parsed.tiling = match v.as_str() {
+                    "auto" => TilePolicy::Auto,
+                    "full" => TilePolicy::Full,
+                    other => TilePolicy::Rows(parse_usize("--tile-rows", other)?),
+                };
+            }
+            "--device-mem" => {
+                let v = value("--device-mem", &mut iter)?;
+                let gb: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--device-mem expects a number of GB, got '{v}'"))?;
+                if !gb.is_finite() || gb <= 0.0 {
+                    return Err(format!("--device-mem must be positive, got '{v}'"));
+                }
+                parsed.device_mem_gb = Some(gb);
+            }
             "-s" => parsed.seed = parse_usize("-s", value("-s", &mut iter)?)? as u64,
             "-l" => {
                 let v = value("-l", &mut iter)?;
@@ -250,6 +284,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if parsed.k_sweep.contains(&0) {
         return Err("--k-sweep values must be at least 1".to_string());
+    }
+    if parsed.tiling == TilePolicy::Rows(0) {
+        return Err("--tile-rows must be at least 1".to_string());
     }
     if parsed.input.is_none() && (parsed.n == 0 || parsed.d == 0) {
         return Err("-n and -d must be positive when generating a dataset".to_string());
@@ -375,6 +412,40 @@ mod tests {
         assert!(parse(&[]).unwrap().repair_empty_clusters);
         assert!(!parse(&["--repair", "0"]).unwrap().repair_empty_clusters);
         assert!(parse(&["--repair", "1"]).unwrap().repair_empty_clusters);
+    }
+
+    #[test]
+    fn tile_rows_and_device_mem_flags() {
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.tiling, TilePolicy::Auto);
+        assert_eq!(defaults.device_mem_gb, None);
+        assert_eq!(
+            parse(&["--tile-rows", "auto"]).unwrap().tiling,
+            TilePolicy::Auto
+        );
+        assert_eq!(
+            parse(&["--tile-rows", "full"]).unwrap().tiling,
+            TilePolicy::Full
+        );
+        assert_eq!(
+            parse(&["--tile-rows", "4096"]).unwrap().tiling,
+            TilePolicy::Rows(4096)
+        );
+        assert_eq!(
+            parse(&["--device-mem", "40"]).unwrap().device_mem_gb,
+            Some(40.0)
+        );
+        assert_eq!(
+            parse(&["--device-mem", "0.5"]).unwrap().device_mem_gb,
+            Some(0.5)
+        );
+        assert!(parse(&["--tile-rows", "0"]).is_err());
+        assert!(parse(&["--tile-rows", "some"]).is_err());
+        assert!(parse(&["--tile-rows"]).is_err());
+        assert!(parse(&["--device-mem", "0"]).is_err());
+        assert!(parse(&["--device-mem", "-1"]).is_err());
+        assert!(parse(&["--device-mem", "NaN"]).is_err());
+        assert!(parse(&["--device-mem", "lots"]).is_err());
     }
 
     #[test]

@@ -8,10 +8,11 @@
 use crate::args::{CliArgs, Implementation, InputFormat};
 use popcorn_core::batch::{BatchReport, FitJob};
 use popcorn_core::solver::{FitInput, Solver};
-use popcorn_core::{ClusteringResult, KernelKmeansConfig};
+use popcorn_core::{ClusteringResult, KernelKmeansConfig, TilePolicy};
 use popcorn_data::dataset::{Dataset, SparseDataset};
 use popcorn_data::synthetic::uniform_dataset;
 use popcorn_data::{csv, libsvm};
+use popcorn_gpusim::SimExecutor;
 
 /// Summary of one CLI invocation (one run per entry in `results`).
 #[derive(Debug, Clone)]
@@ -31,6 +32,10 @@ pub struct RunSummary {
     /// Batch accounting when `--restarts`/`--k-sweep` drove a batched fit:
     /// the report plus the index of the best job by objective.
     pub batch: Option<(usize, BatchReport)>,
+    /// Kernel-matrix residency policy the runs used.
+    pub tiling: TilePolicy,
+    /// Simulated device memory capacity in bytes, when overridden.
+    pub device_mem_bytes: Option<u64>,
 }
 
 impl RunSummary {
@@ -58,17 +63,41 @@ impl RunSummary {
             / self.results.len() as f64
     }
 
+    /// High-water mark of the modeled device residency: the batch-level peak
+    /// in batch mode (the lockstep driver keeps every job's buffers live at
+    /// once), the worst single run otherwise.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        if let Some((_, report)) = &self.batch {
+            return report.peak_resident_bytes;
+        }
+        self.results
+            .iter()
+            .map(|r| r.peak_resident_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Human-readable report, one line per run plus a summary footer.
     pub fn report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "dataset={} n={} d={} layout={} implementation={}\n",
+            "dataset={} n={} d={} layout={} implementation={} tile-rows={}\n",
             self.dataset,
             self.n,
             self.d,
             if self.sparse { "csr" } else { "dense" },
-            self.implementation.name()
+            self.implementation.name(),
+            self.tiling.describe(),
         ));
+        let peak_mb = self.peak_resident_bytes() as f64 / 1e6;
+        match self.device_mem_bytes {
+            Some(mem) => out.push_str(&format!(
+                "peak modeled device residency: {:.3} MB of {:.3} MB capacity\n",
+                peak_mb,
+                mem as f64 / 1e6
+            )),
+            None => out.push_str(&format!("peak modeled device residency: {peak_mb:.3} MB\n")),
+        }
         if let Some((best, report)) = &self.batch {
             for (job, result) in report.jobs.iter().zip(self.results.iter()) {
                 out.push_str(&format!(
@@ -235,6 +264,7 @@ fn config_from(args: &CliArgs, run: usize) -> KernelKmeansConfig {
         init: args.init,
         seed: args.seed.wrapping_add(run as u64),
         repair_empty_clusters: args.repair_empty_clusters,
+        tiling: args.tiling,
     }
 }
 
@@ -245,6 +275,24 @@ pub fn build_solver(
     config: KernelKmeansConfig,
 ) -> Box<dyn Solver<f32>> {
     implementation.build(config)
+}
+
+/// Memory-capacity override in bytes implied by `--device-mem`.
+fn device_mem_bytes(args: &CliArgs) -> Option<u64> {
+    args.device_mem_gb.map(|gb| (gb * 1e9) as u64)
+}
+
+/// Build the solver for one run, overriding the simulated device's memory
+/// capacity when `--device-mem` was given.
+fn build_solver_for(args: &CliArgs, config: KernelKmeansConfig) -> Box<dyn Solver<f32>> {
+    match device_mem_bytes(args) {
+        None => args.implementation.build(config),
+        Some(mem) => {
+            let device = args.implementation.default_device().with_mem_bytes(mem);
+            let executor = SimExecutor::new(device, std::mem::size_of::<f32>());
+            args.implementation.build_with_executor(config, executor)
+        }
+    }
 }
 
 /// `true` when the arguments ask for the batched (shared kernel matrix)
@@ -267,10 +315,11 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
     }
 
     let (results, batch) = if batch_mode(args) {
-        // One batch: the kernel matrix is computed once and every
+        // One batch: the kernel matrix is computed once (or its tiles are
+        // streamed once per iteration for the whole batch) and every
         // (k, seed) job iterates over it; `--runs` does not apply.
         let jobs = FitJob::k_sweep(&config_from(args, 0), &k_values, args.restarts);
-        let solver = build_solver(args.implementation, config_from(args, 0));
+        let solver = build_solver_for(args, config_from(args, 0));
         let batch = solver
             .fit_batch(data.fit_input(), &jobs)
             .map_err(|e| e.to_string())?;
@@ -278,7 +327,7 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
     } else {
         let mut results = Vec::with_capacity(args.runs);
         for run_idx in 0..args.runs {
-            let solver = build_solver(args.implementation, config_from(args, run_idx));
+            let solver = build_solver_for(args, config_from(args, run_idx));
             let result = solver
                 .fit_input(data.fit_input())
                 .map_err(|e| e.to_string())?;
@@ -310,6 +359,8 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         implementation: args.implementation,
         results,
         batch,
+        tiling: args.tiling,
+        device_mem_bytes: device_mem_bytes(args),
     })
 }
 
@@ -414,13 +465,82 @@ mod tests {
                 report.jobs.iter().map(|j| j.k).collect::<Vec<_>>(),
                 vec![2, 2, 4, 4]
             );
-            // Lloyd shares nothing (no kernel matrix); the others do.
+            // Lloyd shares only the upload (no kernel matrix); the kernel
+            // solvers share the kernel-matrix computation.
+            assert!(report.shared_modeled_seconds() > 0.0);
+            let shared_kernel_matrix = report
+                .shared_trace
+                .phase_modeled_seconds(popcorn_gpusim::Phase::KernelMatrix);
             if implementation == Implementation::Lloyd {
-                assert!(report.shared_trace.is_empty());
+                assert_eq!(report.shared_trace.len(), 1);
+                assert_eq!(shared_kernel_matrix, 0.0);
             } else {
-                assert!(report.shared_modeled_seconds() > 0.0);
+                assert!(shared_kernel_matrix > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn tiled_runs_match_full_runs_and_report_residency() {
+        // --tile-rows N must not change any label, and the report shows the
+        // tiling and the peak modeled residency.
+        let full = run(&CliArgs {
+            tiling: TilePolicy::Full,
+            runs: 1,
+            ..quick_args()
+        })
+        .unwrap();
+        let tiled = run(&CliArgs {
+            tiling: TilePolicy::Rows(7),
+            runs: 1,
+            ..quick_args()
+        })
+        .unwrap();
+        assert_eq!(full.results[0].labels, tiled.results[0].labels);
+        assert_eq!(
+            full.results[0].objective.to_bits(),
+            tiled.results[0].objective.to_bits()
+        );
+        // Streaming keeps less resident than the in-core plan.
+        assert!(tiled.peak_resident_bytes() < full.peak_resident_bytes());
+        let text = tiled.report();
+        assert!(text.contains("tile-rows=7"), "{text}");
+        assert!(text.contains("peak modeled device residency"), "{text}");
+    }
+
+    #[test]
+    fn device_mem_override_forces_auto_tiling_past_the_wall() {
+        // 400 points of f32: K is 640 KB. Cap the device at 0.5 MB total:
+        // the full matrix + workspace cannot fit, auto-tiling kicks in, and
+        // the labels still match an unconstrained run.
+        let args = CliArgs {
+            n: 400,
+            d: 8,
+            k: 3,
+            runs: 1,
+            max_iter: 4,
+            ..CliArgs::default()
+        };
+        let unconstrained = run(&args).unwrap();
+        let constrained = run(&CliArgs {
+            device_mem_gb: Some(0.0005),
+            ..args.clone()
+        })
+        .unwrap();
+        assert_eq!(
+            unconstrained.results[0].labels,
+            constrained.results[0].labels
+        );
+        assert!(constrained.peak_resident_bytes() <= 500_000);
+        assert!(constrained.report().contains("of 0.500 MB capacity"));
+        // Forcing the full plan on the starved device is rejected.
+        let err = run(&CliArgs {
+            device_mem_gb: Some(0.0005),
+            tiling: TilePolicy::Full,
+            ..args
+        })
+        .unwrap_err();
+        assert!(err.contains("device memory exceeded"), "{err}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub fn assign_clusters<T: Scalar>(
         format!("argmin over D rows (n={n}, k={k})"),
         Phase::Assignment,
         OpClass::Reduction,
-        OpCost::elementwise(n * k, 1, 0, 1, elem),
+        OpCost::elementwise_elems(n as u64 * k as u64, 1, 0, 1, elem),
         || row_argmin(distances),
     );
     let changed = labels

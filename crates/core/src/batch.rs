@@ -10,15 +10,22 @@
 //! `fit_input` call — sharing changes the accounting, never the arithmetic.
 //!
 //! The kernel solvers (Popcorn, CPU reference, dense GPU baseline) override
-//! `fit_batch` with the shared-`K` driver in this module; Lloyd's algorithm
-//! has no kernel matrix to share and keeps the default independent-fits
-//! implementation. [`BatchReport`] records what the sharing bought: the
-//! modeled cost of the batch as executed (shared phase charged once) next to
-//! the modeled cost of the same jobs run independently.
+//! `fit_batch` with the shared-source **lockstep** driver in this module
+//! ([`drive_shared_source`]): all jobs advance one iteration at a time so a
+//! single tile pass over the [`KernelSource`] feeds every job — which is what
+//! makes the batched-tiled combination pay off when `K` is recomputed per
+//! tile. Lloyd's algorithm has no kernel matrix to share but still charges
+//! its single points upload once per batch ([`drive_shared_kernel`]).
+//! [`BatchReport`] records what the sharing bought: the modeled cost of the
+//! batch as executed (shared phase charged once) next to the modeled cost of
+//! the same jobs run independently.
 
 use crate::config::KernelKmeansConfig;
 use crate::errors::CoreError;
+use crate::init::initial_assignments_source;
 use crate::kernel::KernelFunction;
+use crate::kernel_source::{KernelSource, TilePolicy};
+use crate::pipeline::{DistanceEngine, LoopState};
 use crate::result::ClusteringResult;
 use crate::solver::{FitInput, Solver};
 use crate::strategy::KernelMatrixStrategy;
@@ -106,11 +113,17 @@ impl JobReport {
 /// per job, and what the same jobs would have cost as independent fits.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
-    /// Trace of the operations charged once for the whole batch (upload and
-    /// kernel-matrix computation). Empty when nothing was shared (Lloyd).
+    /// Trace of the operations charged once for the whole batch: the upload,
+    /// the kernel-matrix computation (in-core) or the per-iteration tile
+    /// recomputations (tiled). Empty when nothing was shared.
     pub shared_trace: OpTrace,
     /// One summary per job, in job order.
     pub jobs: Vec<JobReport>,
+    /// High-water mark of the batch's modeled device residency. For the
+    /// lockstep driver this is the shared baseline plus the **sum** of every
+    /// job's concurrently-live buffers — higher than any single job's
+    /// [`ClusteringResult::peak_resident_bytes`], which only sees its own.
+    pub peak_resident_bytes: u64,
 }
 
 impl BatchReport {
@@ -131,8 +144,15 @@ impl BatchReport {
     }
 
     /// Modeled cost of running the same jobs as independent `fit_input`
-    /// calls, each recomputing the shared phase. The cost model is
-    /// deterministic, so this is exact, not an estimate.
+    /// calls, each recomputing the shared phase.
+    ///
+    /// For in-core batches (shared phase = upload + one kernel matrix) the
+    /// deterministic cost model makes this exact. For lockstep **tiled**
+    /// batches the shared phase holds one tile pass per *global* iteration
+    /// (the max over jobs), so this is exact when every job runs the full
+    /// iteration budget (the paper's timing protocol) and an upper bound on
+    /// the independent cost when early convergence lets some jobs stop
+    /// before others.
     pub fn independent_modeled_seconds(&self) -> f64 {
         self.jobs.len() as f64 * self.shared_modeled_seconds() + self.jobs_modeled_seconds()
     }
@@ -192,23 +212,49 @@ impl BatchResult {
     }
 }
 
-/// Validate a batch against an input: jobs must be non-empty, every config
-/// valid for `n`, and — because one `K` is shared — every job must use the
-/// same kernel function and Gram strategy. Returns the shared pair.
-pub fn validate_jobs<T: Scalar>(
-    input: &FitInput<'_, T>,
-    jobs: &[FitJob],
-) -> Result<(KernelFunction, KernelMatrixStrategy)> {
-    let Some(first) = jobs.first() else {
+/// Validate the per-job configurations of a batch against an input: jobs
+/// must be non-empty and every config valid for `n`. This is the whole
+/// contract for solvers that share no kernel matrix (Lloyd — its jobs may
+/// freely mix kernels it never evaluates); kernel-matrix solvers
+/// additionally go through [`validate_jobs`].
+pub fn validate_job_configs<T: Scalar>(input: &FitInput<'_, T>, jobs: &[FitJob]) -> Result<()> {
+    if jobs.is_empty() {
         return Err(CoreError::InvalidConfig(
             "fit_batch requires at least one job".into(),
         ));
-    };
-    let kernel = first.config.kernel;
-    let strategy = first.config.strategy;
+    }
     for job in jobs {
         job.config.validate(input.n())?;
-        if job.config.kernel != kernel || job.config.strategy != strategy {
+    }
+    Ok(())
+}
+
+/// Everything a batch shares across its jobs: the kernel function and Gram
+/// strategy (one `K`), plus the tiling policy (one residency plan).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedFitPlan {
+    /// Kernel function shared by every job.
+    pub kernel: KernelFunction,
+    /// Gram routine selection strategy shared by every job.
+    pub strategy: KernelMatrixStrategy,
+    /// Kernel-matrix residency policy shared by every job.
+    pub tiling: TilePolicy,
+}
+
+/// Validate a batch against an input: jobs must be non-empty, every config
+/// valid for `n`, and — because one `K` (or one tile stream) is shared —
+/// every job must use the same kernel function, Gram strategy and tiling
+/// policy. Returns the shared plan.
+pub fn validate_jobs<T: Scalar>(input: &FitInput<'_, T>, jobs: &[FitJob]) -> Result<SharedFitPlan> {
+    validate_job_configs(input, jobs)?;
+    let first = jobs.first().expect("validated non-empty");
+    let plan = SharedFitPlan {
+        kernel: first.config.kernel,
+        strategy: first.config.strategy,
+        tiling: first.config.tiling,
+    };
+    for job in jobs {
+        if job.config.kernel != plan.kernel || job.config.strategy != plan.strategy {
             return Err(CoreError::InvalidConfig(
                 "all jobs in a batch must share the kernel function and Gram strategy \
                  so the kernel matrix can be shared; split differing kernels into \
@@ -216,8 +262,15 @@ pub fn validate_jobs<T: Scalar>(
                     .into(),
             ));
         }
+        if job.config.tiling != plan.tiling {
+            return Err(CoreError::InvalidConfig(
+                "all jobs in a batch must share the tiling policy so one residency \
+                 plan (and one tile stream) can serve the whole batch"
+                    .into(),
+            ));
+        }
     }
-    Ok((kernel, strategy))
+    Ok(plan)
 }
 
 /// The records appended to `executor` since it held `mark` records — the
@@ -231,14 +284,15 @@ pub fn trace_since(executor: &SimExecutor, mark: usize) -> OpTrace {
     trace
 }
 
-/// Drive every job's clustering iterations over a shared kernel matrix.
+/// Drive every job's clustering iterations over shared per-batch state whose
+/// trace the caller has already sliced into `shared_trace` (e.g. Lloyd's
+/// single shared upload).
 ///
-/// The caller has already charged the shared phase (upload + kernel matrix)
-/// to `shared_executor` and sliced it into `shared_trace`; `run_job` runs one
-/// job's iterations on the executor it is handed. Each job runs on a fork of
-/// the shared executor so its [`ClusteringResult`] carries only its own
-/// operations; the fork's records are absorbed back so a caller-attached
-/// executor still accumulates the complete batch history.
+/// `run_job` runs one job's iterations on the executor it is handed. Each job
+/// runs on a fork of the shared executor so its [`ClusteringResult`] carries
+/// only its own operations; the fork's records (and residency peak) are
+/// absorbed back so a caller-attached executor still accumulates the complete
+/// batch history.
 pub fn drive_shared_kernel(
     jobs: &[FitJob],
     shared_executor: &SimExecutor,
@@ -252,6 +306,7 @@ pub fn drive_shared_kernel(
         let result = run_job(job, &job_executor)?;
         let job_trace = job_executor.trace();
         shared_executor.absorb(&job_trace);
+        shared_executor.merge_peak(job_executor.peak_resident_bytes());
         job_reports.push(JobReport::new(
             job,
             &result,
@@ -259,7 +314,147 @@ pub fn drive_shared_kernel(
         ));
         results.push(result);
     }
-    Ok(assemble(results, shared_trace, job_reports))
+    let peak = shared_executor.peak_resident_bytes();
+    Ok(assemble(results, shared_trace, job_reports, peak))
+}
+
+/// Drive every job's clustering iterations over one shared [`KernelSource`]
+/// in **lockstep**: per global iteration, a single tile pass over `K` feeds
+/// every still-active job.
+///
+/// This is what makes the batched-tiled combination pay off — with a
+/// [`crate::TiledKernel`] the (expensive) per-iteration tile recomputation is
+/// charged once to the shared executor and serves the whole restart/k-sweep,
+/// instead of once per job; with a single-tile [`crate::FullKernel`] the
+/// pass is free and this reduces to the classic shared-`K` driver. Each
+/// job's own operations (SpMM over the tile, argmin, ...) run on a forked
+/// executor, so per-job results stay bit-identical to standalone
+/// `fit_input` calls and per-job modeled times stay attributable. The caller
+/// charged the shared phase (upload, and the kernel matrix when in-core)
+/// starting at trace index `mark`; everything the tile stream charges during
+/// the loop lands on the shared executor and joins that shared slice.
+pub fn drive_shared_source<T: Scalar>(
+    jobs: &[FitJob],
+    source: &dyn KernelSource<T>,
+    shared_executor: &SimExecutor,
+    mark: usize,
+    mut make_engine: impl FnMut(&FitJob) -> Box<dyn DistanceEngine<T>>,
+) -> Result<BatchResult> {
+    struct JobRun<T: Scalar> {
+        executor: SimExecutor,
+        engine: Box<dyn DistanceEngine<T>>,
+        state: LoopState,
+    }
+    if jobs.is_empty() {
+        return Err(CoreError::InvalidConfig(
+            "fit_batch requires at least one job".into(),
+        ));
+    }
+    // diag(K) is identical across jobs; kernel k-means++ seeding reads it
+    // for every job, so compute and charge it once in the shared phase
+    // instead of on whichever job's fork happens to seed first.
+    if jobs
+        .iter()
+        .any(|j| j.config.init == crate::init::Initialization::KmeansPlusPlus)
+    {
+        source.diag(shared_executor)?;
+    }
+    // Residency at fork time: the shared state (points, kernel matrix or
+    // tile buffer) every job's executor starts from.
+    let shared_baseline = shared_executor.resident_bytes();
+    let mut runs: Vec<JobRun<T>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let executor = shared_executor.fork();
+        let labels = initial_assignments_source(
+            source,
+            job.config.k,
+            job.config.init,
+            job.config.seed,
+            &executor,
+        )?;
+        runs.push(JobRun {
+            executor,
+            engine: make_engine(job),
+            state: LoopState::new(labels, job.config.k),
+        });
+    }
+
+    loop {
+        let mut any_active = false;
+        for (job, run) in jobs.iter().zip(runs.iter_mut()) {
+            if run.state.active(&job.config) {
+                any_active = true;
+                run.engine.begin_iteration(
+                    run.state.iteration(),
+                    source,
+                    run.state.labels(),
+                    &run.executor,
+                )?;
+            }
+        }
+        if !any_active {
+            break;
+        }
+        // One tile pass over K serves every active job; a tiled source
+        // charges the recomputation here, once, to the shared executor.
+        source.for_each_tile(shared_executor, &mut |rows, tile| {
+            for (job, run) in jobs.iter().zip(runs.iter_mut()) {
+                if run.state.active(&job.config) {
+                    run.engine.consume_tile(rows.clone(), tile, &run.executor)?;
+                }
+            }
+            Ok(())
+        })?;
+        for (job, run) in jobs.iter().zip(runs.iter_mut()) {
+            if run.state.active(&job.config) {
+                let distances = run.engine.finish_iteration(&run.executor)?;
+                run.state.step(&distances, &job.config, &run.executor);
+            }
+        }
+    }
+
+    // Slice the shared phase before absorbing per-job records on top of it.
+    let shared_trace = trace_since(shared_executor, mark);
+    // Lockstep means every job's *persistent* buffers (still resident at the
+    // end) are live at the same time, so they SUM into the batch peak; the
+    // host loop itself is sequential, so transient spikes (e.g. a job's
+    // kmeans++ seeding rows, freed before the loop) never overlap and only
+    // the largest one counts.
+    let mut persistent_sum = 0u64;
+    let mut max_transient = 0u64;
+    for run in &runs {
+        let persistent = run
+            .executor
+            .resident_bytes()
+            .saturating_sub(shared_baseline);
+        let transient = run
+            .executor
+            .peak_resident_bytes()
+            .saturating_sub(shared_baseline)
+            .saturating_sub(persistent);
+        persistent_sum = persistent_sum.saturating_add(persistent);
+        max_transient = max_transient.max(transient);
+    }
+    shared_executor.merge_peak(
+        shared_baseline
+            .saturating_add(persistent_sum)
+            .saturating_add(max_transient),
+    );
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut job_reports = Vec::with_capacity(jobs.len());
+    for (job, run) in jobs.iter().zip(runs) {
+        let job_trace = run.executor.trace();
+        shared_executor.absorb(&job_trace);
+        let result = run.state.into_result(&run.executor);
+        job_reports.push(JobReport::new(
+            job,
+            &result,
+            job_trace.total_modeled_seconds(),
+        ));
+        results.push(result);
+    }
+    let peak = shared_executor.peak_resident_bytes();
+    Ok(assemble(results, shared_trace, job_reports, peak))
 }
 
 /// The default `fit_batch`: independent `fit_input_with` calls, one per job —
@@ -282,13 +477,19 @@ pub fn fit_batch_independent<T: Scalar, S: Solver<T> + ?Sized>(
         job_reports.push(JobReport::new(job, &result, result.modeled_timings.total()));
         results.push(result);
     }
-    Ok(assemble(results, OpTrace::new(), job_reports))
+    let peak = results
+        .iter()
+        .map(|r| r.peak_resident_bytes)
+        .max()
+        .unwrap_or(0);
+    Ok(assemble(results, OpTrace::new(), job_reports, peak))
 }
 
 fn assemble(
     results: Vec<ClusteringResult>,
     shared_trace: OpTrace,
     jobs: Vec<JobReport>,
+    peak_resident_bytes: u64,
 ) -> BatchResult {
     // Tie-break on the index so equal objectives keep the earliest job
     // (`min_by` alone would return the last of tied minima).
@@ -301,7 +502,11 @@ fn assemble(
     BatchResult {
         results,
         best,
-        report: BatchReport { shared_trace, jobs },
+        report: BatchReport {
+            shared_trace,
+            jobs,
+            peak_resident_bytes,
+        },
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::errors::CoreError;
 use crate::init::Initialization;
 use crate::kernel::KernelFunction;
+use crate::kernel_source::TilePolicy;
 use crate::strategy::KernelMatrixStrategy;
 use crate::Result;
 
@@ -32,6 +33,12 @@ pub struct KernelKmeansConfig {
     /// from their centroid (the paper does not specify a policy; disabling
     /// this leaves empty clusters empty, as the raw algorithm would).
     pub repair_empty_clusters: bool,
+    /// Kernel-matrix residency policy: keep the full `n × n` matrix on the
+    /// device, stream it in row tiles recomputed from the retained points, or
+    /// let the planner pick the largest layout that fits
+    /// ([`TilePolicy::Auto`], the default). Tiling never changes results —
+    /// only what is resident and what the simulator charges.
+    pub tiling: TilePolicy,
 }
 
 impl Default for KernelKmeansConfig {
@@ -46,6 +53,7 @@ impl Default for KernelKmeansConfig {
             init: Initialization::Random,
             seed: 0,
             repair_empty_clusters: true,
+            tiling: TilePolicy::Auto,
         }
     }
 }
@@ -104,6 +112,12 @@ impl KernelKmeansConfig {
         self
     }
 
+    /// Builder-style setter for the kernel-matrix residency policy.
+    pub fn with_tiling(mut self, tiling: TilePolicy) -> Self {
+        self.tiling = tiling;
+        self
+    }
+
     /// Validate the configuration against a dataset of `n` points.
     pub fn validate(&self, n: usize) -> Result<()> {
         if self.k == 0 {
@@ -128,6 +142,11 @@ impl KernelKmeansConfig {
                 "tolerance must be a non-negative finite number, got {}",
                 self.tolerance
             )));
+        }
+        if self.tiling == TilePolicy::Rows(0) {
+            return Err(CoreError::InvalidConfig(
+                "tile_rows must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -189,5 +208,19 @@ mod tests {
         assert!(bad_tol.validate(10).is_err());
         bad_tol.tolerance = -1.0;
         assert!(bad_tol.validate(10).is_err());
+    }
+
+    #[test]
+    fn tiling_policy_builder_and_validation() {
+        let c = KernelKmeansConfig::paper_defaults(2);
+        assert_eq!(c.tiling, TilePolicy::Auto);
+        let c = c.with_tiling(TilePolicy::Rows(512));
+        assert_eq!(c.tiling, TilePolicy::Rows(512));
+        assert!(c.validate(1_000).is_ok());
+        assert!(c.with_tiling(TilePolicy::Rows(0)).validate(1_000).is_err());
+        assert!(KernelKmeansConfig::paper_defaults(2)
+            .with_tiling(TilePolicy::Full)
+            .validate(10)
+            .is_ok());
     }
 }

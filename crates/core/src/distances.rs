@@ -17,7 +17,7 @@ use crate::kernel_matrix::INDEX_BYTES;
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
-use popcorn_sparse::{spmm_transpose_b, spmv, SelectionMatrix};
+use popcorn_sparse::{spmm_transpose_b_into, spmv, SelectionMatrix};
 
 /// Utilization hint for the distance SpMM as a function of `k`.
 ///
@@ -40,26 +40,58 @@ pub struct DistanceOutput<T: Scalar> {
     pub centroid_norms: Vec<T>,
 }
 
-/// Compute `D = −2KVᵀ + P̃ + C̃` for the current assignment.
-pub fn compute_distances<T: Scalar>(
-    kernel_matrix: &DenseMatrix<T>,
+/// Accumulate one row tile's slice of `E = −2 K Vᵀ` into `e`.
+///
+/// The SpMM computes each output row independently from the matching row of
+/// `K`, so assembling `E` tile by tile is bit-identical to the one-shot full
+/// product — this is what lets the streaming kernel-matrix path reproduce the
+/// in-core results exactly. Charged as a cuSPARSE-class SpMM over the tile
+/// (with `rows == n`, the charge equals the classic full-matrix SpMM).
+pub fn accumulate_distance_tile<T: Scalar>(
+    e: &mut DenseMatrix<T>,
+    rows: std::ops::Range<usize>,
+    tile: &DenseMatrix<T>,
+    selection: &SelectionMatrix<T>,
+    executor: &SimExecutor,
+) -> Result<()> {
+    let n = selection.n();
+    let k = selection.k();
+    let elem = std::mem::size_of::<T>();
+    let minus_two = T::from_f64(-2.0);
+    let name = if rows.len() == n {
+        format!("spmm E = -2*K*V^T (n={n}, k={k})")
+    } else {
+        format!(
+            "spmm E[{}..{}] = -2*K_tile*V^T (n={n}, k={k})",
+            rows.start, rows.end
+        )
+    };
+    // Rows r0..r1 of the row-major accumulator are contiguous, so the SpMM
+    // writes the tile's slice of E in place — no intermediate matrix.
+    let out = &mut e.as_mut_slice()[rows.start * k..rows.end * k];
+    executor.run(
+        name,
+        Phase::PairwiseDistances,
+        OpClass::SpMM,
+        OpCost::spmm_kvt_rows(rows.len(), n, k, elem, INDEX_BYTES)
+            .with_utilization(spmm_utilization(k)),
+        || spmm_transpose_b_into(minus_two, tile, selection.csr(), out),
+    )?;
+    Ok(())
+}
+
+/// Finish one iteration's distance matrix from the fully accumulated
+/// `E = −2 K Vᵀ`: the gather, the SpMV centroid-norm trick and the assembly
+/// kernel (paper Alg. 2 lines 8–10).
+pub fn finish_distances<T: Scalar>(
+    mut e: DenseMatrix<T>,
     point_norms: &[T],
     selection: &SelectionMatrix<T>,
     executor: &SimExecutor,
 ) -> Result<DistanceOutput<T>> {
-    let n = kernel_matrix.rows();
+    let n = selection.n();
     let k = selection.k();
     let elem = std::mem::size_of::<T>();
-
-    // E = −2 K Vᵀ  (SpMM; paper Alg. 2 line 7)
-    let minus_two = T::from_f64(-2.0);
-    let mut e = executor.run(
-        format!("spmm E = -2*K*V^T (n={n}, k={k})"),
-        Phase::PairwiseDistances,
-        OpClass::SpMM,
-        OpCost::spmm_kvt(n, k, elem, INDEX_BYTES).with_utilization(spmm_utilization(k)),
-        || spmm_transpose_b(minus_two, kernel_matrix, selection.csr()),
-    )?;
 
     // z_i = −0.5 · E[i, cluster(i)]  (gather; paper Alg. 2 line 8)
     let minus_half = T::from_f64(-0.5);
@@ -88,7 +120,7 @@ pub fn compute_distances<T: Scalar>(
         format!("assemble D = E + P~ + C~ (n={n}, k={k})"),
         Phase::PairwiseDistances,
         OpClass::Elementwise,
-        OpCost::elementwise(n * k, 1, 1, 2, elem),
+        OpCost::elementwise_elems(n as u64 * k as u64, 1, 1, 2, elem),
         || assemble(&mut e, point_norms, &centroid_norms),
     )?;
 
@@ -96,6 +128,22 @@ pub fn compute_distances<T: Scalar>(
         distances: e,
         centroid_norms,
     })
+}
+
+/// Compute `D = −2KVᵀ + P̃ + C̃` for the current assignment from a resident
+/// kernel matrix (the single-tile case of the streaming path; used directly
+/// by the distance-phase experiments and benches).
+pub fn compute_distances<T: Scalar>(
+    kernel_matrix: &DenseMatrix<T>,
+    point_norms: &[T],
+    selection: &SelectionMatrix<T>,
+    executor: &SimExecutor,
+) -> Result<DistanceOutput<T>> {
+    let n = kernel_matrix.rows();
+    let k = selection.k();
+    let mut e = DenseMatrix::zeros(n, k);
+    accumulate_distance_tile(&mut e, 0..n, kernel_matrix, selection, executor)?;
+    finish_distances(e, point_norms, selection, executor)
 }
 
 fn assemble<T: Scalar>(
@@ -249,6 +297,58 @@ mod tests {
         assert_eq!(spmm_flops, 2 * 9 * 9);
         let (spmv_time, _) = trace.class_summary(OpClass::SpMV);
         assert!(spmv_time > 0.0);
+    }
+
+    #[test]
+    fn tiled_accumulation_is_bit_identical_to_one_shot_spmm() {
+        // The distance SpMM computes each output row from the matching row of
+        // K, so assembling E from row tiles must reproduce the one-shot
+        // product bit for bit — the invariant the streaming path rests on.
+        let (k_matrix, assignments) = setup(KernelFunction::paper_polynomial());
+        let selection = SelectionMatrix::from_assignments(&assignments, 3).unwrap();
+        let p_norms = diagonal(&k_matrix).unwrap();
+        let exec = SimExecutor::a100_f32();
+        let full = compute_distances(&k_matrix, &p_norms, &selection, &exec).unwrap();
+        for tile_rows in [1usize, 2, 4, 9] {
+            let mut e = DenseMatrix::zeros(9, 3);
+            let mut r0 = 0;
+            while r0 < 9 {
+                let r1 = (r0 + tile_rows).min(9);
+                let tile =
+                    DenseMatrix::from_vec(r1 - r0, 9, k_matrix.as_slice()[r0 * 9..r1 * 9].to_vec())
+                        .unwrap();
+                accumulate_distance_tile(&mut e, r0..r1, &tile, &selection, &exec).unwrap();
+                r0 = r1;
+            }
+            let tiled = finish_distances(e, &p_norms, &selection, &exec).unwrap();
+            for i in 0..9 {
+                for j in 0..3 {
+                    assert_eq!(
+                        tiled.distances[(i, j)].to_bits(),
+                        full.distances[(i, j)].to_bits(),
+                        "tile_rows {tile_rows} entry ({i},{j})"
+                    );
+                }
+            }
+            assert_eq!(tiled.centroid_norms, full.centroid_norms);
+        }
+    }
+
+    #[test]
+    fn tile_charges_sum_to_the_full_spmm_flops() {
+        let (k_matrix, assignments) = setup(KernelFunction::Linear);
+        let selection = SelectionMatrix::from_assignments(&assignments, 3).unwrap();
+        let exec = SimExecutor::a100_f32();
+        let mut e = DenseMatrix::zeros(9, 3);
+        for (r0, r1) in [(0usize, 4usize), (4, 9)] {
+            let tile =
+                DenseMatrix::from_vec(r1 - r0, 9, k_matrix.as_slice()[r0 * 9..r1 * 9].to_vec())
+                    .unwrap();
+            accumulate_distance_tile(&mut e, r0..r1, &tile, &selection, &exec).unwrap();
+        }
+        let (_, spmm_flops) = exec.trace().class_summary(OpClass::SpMM);
+        assert_eq!(spmm_flops, 2 * 9 * 9, "tiles cover the full 2n² FLOPs");
+        assert_eq!(exec.trace().len(), 2);
     }
 
     #[test]

@@ -14,6 +14,15 @@ pub enum CoreError {
     /// The requested operation is not supported by this solver (e.g. fitting
     /// Lloyd's algorithm from a precomputed kernel matrix).
     Unsupported(String),
+    /// The modeled working set does not fit in the simulated device's memory
+    /// under the requested tiling policy (and, for `TilePolicy::Auto`, cannot
+    /// be made to fit by shrinking the tile).
+    DeviceMemoryExceeded {
+        /// Bytes the configuration would need resident at once.
+        required_bytes: u64,
+        /// The device's modeled memory capacity.
+        available_bytes: u64,
+    },
     /// An underlying dense kernel failed.
     Dense(DenseError),
     /// An underlying sparse kernel failed.
@@ -26,6 +35,15 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            CoreError::DeviceMemoryExceeded {
+                required_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "device memory exceeded: the working set needs {required_bytes} bytes resident \
+                 but the device holds {available_bytes} bytes; use a smaller --tile-rows, the \
+                 auto tiling policy, or a larger --device-mem"
+            ),
             CoreError::Dense(e) => write!(f, "dense kernel error: {e}"),
             CoreError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
         }

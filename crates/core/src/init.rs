@@ -7,8 +7,10 @@
 //! (`‖φ(pᵢ) − φ(p_c)‖² = K_ii + K_cc − 2K_ic`) and derives the initial
 //! labels from them.
 
+use crate::kernel_source::KernelSource;
 use crate::{CoreError, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::SimExecutor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,76 +47,19 @@ pub fn random_assignments(n: usize, k: usize, seed: u64) -> Result<Vec<usize>> {
 /// Kernel k-means++ assignments: select `k` spread-out seed points in feature
 /// space (D² sampling on kernel-trick distances), then assign every point to
 /// its nearest seed.
+///
+/// This is the in-core convenience wrapper over
+/// [`kmeanspp_assignments_source`] — one algorithm, one RNG draw sequence, so
+/// streamed and resident kernel matrices seed identically by construction.
+/// The simulator charges of the source accessors are discarded (the callers
+/// of this wrapper do not account device time).
 pub fn kmeanspp_assignments<T: Scalar>(
     kernel_matrix: &DenseMatrix<T>,
     k: usize,
     seed: u64,
 ) -> Result<Vec<usize>> {
-    let n = kernel_matrix.rows();
-    if !kernel_matrix.is_square() {
-        return Err(CoreError::InvalidInput(
-            "kernel matrix must be square".into(),
-        ));
-    }
-    if k == 0 || n == 0 || k > n {
-        return Err(CoreError::InvalidConfig(format!(
-            "cannot initialise {k} clusters over {n} points"
-        )));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sq_dist = |i: usize, c: usize| -> f64 {
-        (kernel_matrix[(i, i)].to_f64() + kernel_matrix[(c, c)].to_f64()
-            - 2.0 * kernel_matrix[(i, c)].to_f64())
-        .max(0.0)
-    };
-
-    let mut centers = Vec::with_capacity(k);
-    centers.push(rng.gen_range(0..n));
-    let mut best_dist: Vec<f64> = (0..n).map(|i| sq_dist(i, centers[0])).collect();
-
-    while centers.len() < k {
-        let total: f64 = best_dist.iter().sum();
-        let next = if total <= 0.0 {
-            // All remaining points coincide with existing centres; fall back
-            // to picking an unused index deterministically.
-            (0..n).find(|i| !centers.contains(i)).unwrap_or(0)
-        } else {
-            let mut target = rng.gen_range(0.0..total);
-            let mut chosen = n - 1;
-            for (i, &d) in best_dist.iter().enumerate() {
-                if target < d {
-                    chosen = i;
-                    break;
-                }
-                target -= d;
-            }
-            chosen
-        };
-        centers.push(next);
-        for (i, best) in best_dist.iter_mut().enumerate() {
-            let d = sq_dist(i, next);
-            if d < *best {
-                *best = d;
-            }
-        }
-    }
-
-    // Assign every point to the nearest seed.
-    let labels = (0..n)
-        .map(|i| {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c_idx, &c) in centers.iter().enumerate() {
-                let d = sq_dist(i, c);
-                if d < best_d {
-                    best_d = d;
-                    best = c_idx;
-                }
-            }
-            best
-        })
-        .collect();
-    Ok(labels)
+    let source = crate::kernel_source::FullKernel::new(kernel_matrix)?;
+    kmeanspp_assignments_source(&source, k, seed, &SimExecutor::a100_f32())
 }
 
 /// Dispatch on the configured initialisation method.
@@ -127,6 +72,121 @@ pub fn initial_assignments<T: Scalar>(
     match init {
         Initialization::Random => random_assignments(kernel_matrix.rows(), k, seed),
         Initialization::KmeansPlusPlus => kmeanspp_assignments(kernel_matrix, k, seed),
+    }
+}
+
+/// Kernel k-means++ over a streamed kernel matrix: identical sampling to
+/// [`kmeanspp_assignments`] — the needed entries (`diag(K)` plus the rows of
+/// the chosen seed points) are pulled from the [`KernelSource`], so the full
+/// matrix never has to be resident. Given the same seed, the chosen centres
+/// and labels match the in-core function exactly.
+pub fn kmeanspp_assignments_source<T: Scalar>(
+    source: &dyn KernelSource<T>,
+    k: usize,
+    seed: u64,
+    executor: &SimExecutor,
+) -> Result<Vec<usize>> {
+    let n = source.n();
+    if k == 0 || n == 0 || k > n {
+        return Err(CoreError::InvalidConfig(format!(
+            "cannot initialise {k} clusters over {n} points"
+        )));
+    }
+    let diag = source.diag(executor)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rows of K for the chosen centres, fetched once per centre. These (plus
+    // the best-distance vector) are resident for the whole seeding phase, so
+    // their footprint counts towards the modeled peak; the guard frees it on
+    // every exit path, so an error mid-seeding cannot leak tracked bytes
+    // into a caller-attached executor's residency.
+    struct SeedingResidency<'a> {
+        executor: &'a SimExecutor,
+        bytes: u64,
+    }
+    impl Drop for SeedingResidency<'_> {
+        fn drop(&mut self) {
+            self.executor.track_free(self.bytes);
+        }
+    }
+    let seeding_bytes = (k as u64 * n as u64) * std::mem::size_of::<T>() as u64 + n as u64 * 8;
+    executor.track_alloc(seeding_bytes);
+    let _seeding = SeedingResidency {
+        executor,
+        bytes: seeding_bytes,
+    };
+    let mut center_rows: Vec<(usize, Vec<T>)> = Vec::with_capacity(k);
+    let sq_dist = |diag: &[T], row_c: &[T], c: usize, i: usize| -> f64 {
+        (diag[i].to_f64() + diag[c].to_f64() - 2.0 * row_c[i].to_f64()).max(0.0)
+    };
+
+    let first = rng.gen_range(0..n);
+    let first_row = source.row(first, executor)?;
+    let mut best_dist: Vec<f64> = (0..n)
+        .map(|i| sq_dist(&diag, &first_row, first, i))
+        .collect();
+    center_rows.push((first, first_row));
+
+    while center_rows.len() < k {
+        let total: f64 = best_dist.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with existing centres; fall back
+            // to picking an unused index deterministically.
+            (0..n)
+                .find(|i| !center_rows.iter().any(|(c, _)| c == i))
+                .unwrap_or(0)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in best_dist.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        let next_row = source.row(next, executor)?;
+        for (i, best) in best_dist.iter_mut().enumerate() {
+            let d = sq_dist(&diag, &next_row, next, i);
+            if d < *best {
+                *best = d;
+            }
+        }
+        center_rows.push((next, next_row));
+    }
+
+    // Assign every point to the nearest seed.
+    let labels = (0..n)
+        .map(|i| {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c_idx, (c, row_c)) in center_rows.iter().enumerate() {
+                let d = sq_dist(&diag, row_c, *c, i);
+                if d < best_d {
+                    best_d = d;
+                    best = c_idx;
+                }
+            }
+            best
+        })
+        .collect();
+    Ok(labels)
+}
+
+/// Dispatch on the configured initialisation method over a [`KernelSource`].
+/// Random initialisation needs only `n`; kernel k-means++ streams the entries
+/// it needs.
+pub fn initial_assignments_source<T: Scalar>(
+    source: &dyn KernelSource<T>,
+    k: usize,
+    init: Initialization,
+    seed: u64,
+    executor: &SimExecutor,
+) -> Result<Vec<usize>> {
+    match init {
+        Initialization::Random => random_assignments(source.n(), k, seed),
+        Initialization::KmeansPlusPlus => kmeanspp_assignments_source(source, k, seed, executor),
     }
 }
 
@@ -215,6 +275,21 @@ mod tests {
         assert!(kmeanspp_assignments(&k, 100, 0).is_err());
         let rect = DenseMatrix::<f64>::zeros(2, 3);
         assert!(kmeanspp_assignments(&rect, 1, 0).is_err());
+    }
+
+    #[test]
+    fn source_kmeanspp_matches_in_core_kmeanspp() {
+        use crate::kernel_source::FullKernel;
+        let k_matrix = two_blob_kernel();
+        let exec = SimExecutor::a100_f32();
+        let source = FullKernel::new(&k_matrix).unwrap();
+        for seed in [0u64, 3, 11, 29] {
+            let via_source = kmeanspp_assignments_source(&source, 2, seed, &exec).unwrap();
+            let in_core = kmeanspp_assignments(&k_matrix, 2, seed).unwrap();
+            assert_eq!(via_source, in_core, "seed {seed}");
+        }
+        assert!(kmeanspp_assignments_source(&source, 0, 0, &exec).is_err());
+        assert!(kmeanspp_assignments_source(&source, 100, 0, &exec).is_err());
     }
 
     #[test]

@@ -119,11 +119,30 @@ impl KernelFunction {
         let n = b.rows();
         debug_assert!(b.is_square(), "Gram matrix must be square");
         let diag: Vec<f64> = (0..n).map(|i| b[(i, i)].to_f64()).collect();
-        for i in 0..n {
-            let b_ii = diag[i];
-            let row = b.row_mut(i);
+        self.apply_to_gram_tile(b, 0, &diag);
+    }
+
+    /// Transform a row tile `B[row_offset .. row_offset + tile.rows(), :]` of
+    /// a Gram matrix into the corresponding kernel-matrix rows in place.
+    ///
+    /// `gram_diag` holds the **full** Gram diagonal (`xᵀx` per point, as
+    /// `f64` exactly as [`KernelFunction::apply_to_gram`] captures it) — the
+    /// Gaussian kernel needs the diagonal entries of both the tile's rows and
+    /// every column. The full-matrix transform above is the single-tile
+    /// special case, so tiled and in-core kernel matrices agree bit for bit.
+    pub fn apply_to_gram_tile<T: Scalar>(
+        &self,
+        tile: &mut DenseMatrix<T>,
+        row_offset: usize,
+        gram_diag: &[f64],
+    ) {
+        debug_assert!(row_offset + tile.rows() <= gram_diag.len());
+        debug_assert_eq!(tile.cols(), gram_diag.len());
+        for local_i in 0..tile.rows() {
+            let b_ii = gram_diag[row_offset + local_i];
+            let row = tile.row_mut(local_i);
             for (j, value) in row.iter_mut().enumerate() {
-                *value = T::from_f64(self.apply(value.to_f64(), b_ii, diag[j]));
+                *value = T::from_f64(self.apply(value.to_f64(), b_ii, gram_diag[j]));
             }
         }
     }

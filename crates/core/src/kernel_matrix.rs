@@ -63,6 +63,8 @@ pub fn compute_gram<T: Scalar>(
             ))
         }
     };
+    // The full n x n matrix becomes device-resident.
+    executor.track_alloc(n as u64 * n as u64 * elem as u64);
     Ok(gram)
 }
 
@@ -79,7 +81,7 @@ pub fn spgemm_gram_cost<T: Scalar>(points: &CsrMatrix<T>) -> OpCost {
     OpCost::new(
         points.gram_flops(),
         2 * points.storage_bytes(elem, INDEX_BYTES),
-        (n * n * elem) as u64,
+        n as u64 * n as u64 * elem as u64,
     )
 }
 
@@ -100,6 +102,9 @@ pub fn compute_gram_csr<T: Scalar>(
         spgemm_gram_cost(points),
         || points.gram(),
     );
+    // The full n x n matrix becomes device-resident.
+    let elem = std::mem::size_of::<T>();
+    executor.track_alloc(n as u64 * n as u64 * elem as u64);
     Ok(gram)
 }
 
@@ -116,7 +121,13 @@ fn apply_kernel_to_gram<T: Scalar>(
         format!("apply {} kernel to B (n={n})", kernel.name()),
         Phase::KernelMatrix,
         OpClass::Elementwise,
-        OpCost::elementwise(n * n, 1, 1, kernel.flops_per_entry().max(1), elem),
+        OpCost::elementwise_elems(
+            n as u64 * n as u64,
+            1,
+            1,
+            kernel.flops_per_entry().max(1),
+            elem,
+        ),
         || kernel.apply_to_gram(gram),
     );
 }

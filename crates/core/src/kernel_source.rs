@@ -1,0 +1,800 @@
+//! Streaming access to the kernel matrix: [`KernelSource`] and its two
+//! backends.
+//!
+//! The paper's formulation materializes the full `n × n` kernel matrix `K` on
+//! the device, which caps the reachable problem size at whatever fits in
+//! device memory (~144k points of f32 on an 80 GB A100). Every consumer of
+//! `K` in this workspace, however, only ever needs it **row tile by row
+//! tile**: the distance SpMM, the baselines' row reductions and the CPU
+//! reference all stream complete rows. [`KernelSource`] captures exactly that
+//! access pattern — `for_each_tile` hands out contiguous row panels
+//! `K[r0..r1, :]` — so the iteration pipeline no longer cares whether `K` is
+//! resident or recomputed:
+//!
+//! * [`FullKernel`] wraps a precomputed dense matrix; one tile spans all rows
+//!   and nothing extra is charged. This is the in-core fast path and is what
+//!   every fit used before this abstraction existed.
+//! * [`TiledKernel`] retains only the (dense or CSR) points and recomputes
+//!   `K[r0..r1, :]` per tile — a GEMM panel for dense points, a Gustavson
+//!   SpGEMM panel for CSR points, each followed by the elementwise kernel
+//!   application — never holding more than `tile_rows × n` scalars of `K`.
+//!   Results are **bit-identical** to the in-core path: the panel kernels
+//!   reproduce the full computation's per-entry accumulation order exactly
+//!   (see `CsrMatrix::gram_panel` and the dense GEMM's per-entry dot
+//!   products), so labels, objectives and histories match to the last bit.
+//!
+//! [`plan_tile_rows`] is the residency planner: given the device's
+//! [`DeviceSpec::mem_bytes`] capacity it keeps the full matrix when it fits,
+//! picks the largest fitting tile under [`TilePolicy::Auto`], or rejects the
+//! configuration outright — the simulator refuses to model a working set the
+//! device could never hold.
+
+use crate::errors::CoreError;
+use crate::kernel::KernelFunction;
+use crate::kernel_matrix::{extract_point_norms, INDEX_BYTES};
+use crate::solver::FitInput;
+use crate::Result;
+use popcorn_dense::{matmul_nt_rows, DenseMatrix, Scalar};
+use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// Kernel-matrix residency policy (surfaced on the CLI as `--tile-rows`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TilePolicy {
+    /// Keep the full matrix when it fits in device memory, otherwise stream
+    /// the largest row tile that does (the default).
+    #[default]
+    Auto,
+    /// Always materialize the full matrix; error if it cannot fit.
+    Full,
+    /// Stream row tiles of exactly this many rows (clamped to `n`); error if
+    /// even that does not fit.
+    Rows(usize),
+}
+
+impl TilePolicy {
+    /// Name matching the CLI flag values (`auto`, `full`, or the row count).
+    pub fn describe(&self) -> String {
+        match self {
+            TilePolicy::Auto => "auto".to_string(),
+            TilePolicy::Full => "full".to_string(),
+            TilePolicy::Rows(r) => r.to_string(),
+        }
+    }
+}
+
+/// The tile-visitor callback type of [`KernelSource::for_each_tile`].
+pub type TileVisitor<'a, T> = dyn FnMut(Range<usize>, &DenseMatrix<T>) -> Result<()> + 'a;
+
+/// Row-tile access to the kernel matrix `K`.
+///
+/// The iteration pipeline and the batch driver consume `K` exclusively
+/// through this trait; whether the matrix is resident ([`FullKernel`]) or
+/// recomputed per tile ([`TiledKernel`]) is invisible to them — including in
+/// the results, which are bit-identical across backends.
+pub trait KernelSource<T: Scalar> {
+    /// Number of points `n` (the matrix is `n × n`).
+    fn n(&self) -> usize;
+
+    /// Rows per tile handed to [`KernelSource::for_each_tile`] (equals `n`
+    /// for the in-core backend).
+    fn tile_rows(&self) -> usize;
+
+    /// Modeled bytes of `K` this source keeps resident while streaming: the
+    /// whole matrix for [`FullKernel`], one tile for [`TiledKernel`].
+    fn resident_bytes(&self) -> u64;
+
+    /// `true` when a single tile spans every row (the in-core case).
+    fn is_full(&self) -> bool {
+        self.tile_rows() >= self.n()
+    }
+
+    /// `diag(K)` — the squared feature-space point norms `P̃` (paper §3.3).
+    /// Charged to the executor on first call, cached afterwards.
+    fn diag(&self, executor: &SimExecutor) -> Result<Vec<T>>;
+
+    /// One full row `K[i, :]` (kernel k-means++ seeding needs point↔seed
+    /// distances, i.e. arbitrary rows).
+    fn row(&self, i: usize, executor: &SimExecutor) -> Result<Vec<T>>;
+
+    /// Stream the matrix as contiguous row tiles, calling
+    /// `f(r0..r1, &tile)` with `tile` holding rows `r0..r1` (shape
+    /// `(r1 - r0) × n`). [`TiledKernel`] charges each tile's recomputation to
+    /// the executor here; [`FullKernel`] charges nothing.
+    fn for_each_tile(&self, executor: &SimExecutor, f: &mut TileVisitor<'_, T>) -> Result<()>;
+}
+
+/// The in-core backend: a borrowed, precomputed kernel matrix. One tile spans
+/// all rows and streaming charges nothing — the matrix was already computed
+/// (and charged) by the kernel-matrix phase.
+pub struct FullKernel<'a, T: Scalar> {
+    matrix: &'a DenseMatrix<T>,
+    diag_cache: RefCell<Option<Vec<T>>>,
+}
+
+impl<'a, T: Scalar> FullKernel<'a, T> {
+    /// Wrap a precomputed kernel matrix (must be square).
+    pub fn new(matrix: &'a DenseMatrix<T>) -> Result<Self> {
+        if !matrix.is_square() {
+            return Err(CoreError::InvalidInput(format!(
+                "kernel matrix must be square, got {}x{}",
+                matrix.rows(),
+                matrix.cols()
+            )));
+        }
+        Ok(Self {
+            matrix,
+            diag_cache: RefCell::new(None),
+        })
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &DenseMatrix<T> {
+        self.matrix
+    }
+}
+
+impl<T: Scalar> KernelSource<T> for FullKernel<'_, T> {
+    fn n(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn tile_rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let n = self.matrix.rows() as u64;
+        n * n * std::mem::size_of::<T>() as u64
+    }
+
+    fn diag(&self, executor: &SimExecutor) -> Result<Vec<T>> {
+        if let Some(diag) = self.diag_cache.borrow().as_ref() {
+            return Ok(diag.clone());
+        }
+        let diag = extract_point_norms(self.matrix, executor)?;
+        *self.diag_cache.borrow_mut() = Some(diag.clone());
+        Ok(diag)
+    }
+
+    fn row(&self, i: usize, _executor: &SimExecutor) -> Result<Vec<T>> {
+        Ok(self.matrix.row(i).to_vec())
+    }
+
+    fn for_each_tile(&self, _executor: &SimExecutor, f: &mut TileVisitor<'_, T>) -> Result<()> {
+        f(0..self.matrix.rows(), self.matrix)
+    }
+}
+
+/// The out-of-core backend: retains the points (dense or CSR) and recomputes
+/// `K[r0..r1, :]` per tile via GEMM / SpGEMM panels plus the elementwise
+/// kernel application, charging every panel to the executor. Never holds more
+/// than `tile_rows × n` scalars of `K`.
+pub struct TiledKernel<'a, T: Scalar> {
+    points: FitInput<'a, T>,
+    kernel: KernelFunction,
+    tile_rows: usize,
+    /// The Gram diagonal `xᵀx` per point, captured as `f64` exactly the way
+    /// `KernelFunction::apply_to_gram` captures it from a full Gram matrix —
+    /// the Gaussian kernel reads it for every entry, and `diag()` derives the
+    /// kernel diagonal `P̃` from it.
+    gram_diag: Vec<f64>,
+    /// Per-column stored-entry counts of CSR points, computed once so each
+    /// tile's SpGEMM pricing costs `O(panel nnz)` instead of a full rescan.
+    column_counts: Option<Vec<u64>>,
+    diag_cache: RefCell<Option<Vec<T>>>,
+}
+
+impl<'a, T: Scalar> TiledKernel<'a, T> {
+    /// Build a tiled source over retained points. Computes (and charges) the
+    /// Gram diagonal once; tracks the tile buffer's modeled residency.
+    pub fn new(
+        points: FitInput<'a, T>,
+        kernel: KernelFunction,
+        tile_rows: usize,
+        executor: &SimExecutor,
+    ) -> Result<Self> {
+        let n = points.n();
+        if tile_rows == 0 {
+            return Err(CoreError::InvalidConfig(
+                "tile_rows must be at least 1".into(),
+            ));
+        }
+        if n == 0 {
+            return Err(CoreError::InvalidInput("dataset has no points".into()));
+        }
+        let tile_rows = tile_rows.min(n);
+        let elem = std::mem::size_of::<T>();
+        let nnz = points.nnz();
+        // One pass over the stored entries: gram_diag[i] = <p_i, p_i>,
+        // accumulated exactly as the full Gram computation accumulates its
+        // diagonal entries so downstream values match bit for bit.
+        let gram_diag = executor.run(
+            format!("tiled gram diag (n={n})"),
+            Phase::KernelMatrix,
+            OpClass::Elementwise,
+            OpCost::new(
+                2 * nnz as u64,
+                nnz as u64 * elem as u64,
+                n as u64 * elem as u64,
+            ),
+            || Self::compute_gram_diag(&points),
+        );
+        executor.track_alloc(tile_bytes(tile_rows, n, elem) + n as u64 * elem as u64);
+        let column_counts = match &points {
+            FitInput::Dense(_) => None,
+            FitInput::Sparse(p) => Some(p.column_counts()),
+        };
+        Ok(Self {
+            points,
+            kernel,
+            tile_rows,
+            gram_diag,
+            column_counts,
+            diag_cache: RefCell::new(None),
+        })
+    }
+
+    /// The Gram diagonal as captured for the kernel application.
+    pub fn gram_diag(&self) -> &[f64] {
+        &self.gram_diag
+    }
+
+    fn compute_gram_diag(points: &FitInput<'_, T>) -> Vec<f64> {
+        match points {
+            FitInput::Dense(p) => (0..p.rows())
+                .map(|i| {
+                    let row = p.row(i);
+                    let mut acc = T::ZERO;
+                    for &x in row {
+                        acc = x.mul_add(x, acc);
+                    }
+                    // The dense GEMM/SYRK paths write `0 + 1·acc` into the
+                    // output cell; replay that exact arithmetic.
+                    (T::ZERO + T::ONE * acc).to_f64()
+                })
+                .collect(),
+            FitInput::Sparse(p) => (0..p.rows())
+                .map(|i| {
+                    let (_, vals) = p.row(i);
+                    let mut acc = T::ZERO;
+                    for &v in vals {
+                        acc = v.mul_add(v, acc);
+                    }
+                    // The CSR Gram writes the accumulator directly.
+                    acc.to_f64()
+                })
+                .collect(),
+        }
+    }
+
+    /// Compute rows `r0..r1` of the **Gram** matrix, charged as a GEMM or
+    /// SpGEMM panel, bit-identical to the same rows of the full Gram.
+    fn gram_panel(&self, r0: usize, r1: usize, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+        let t = r1 - r0;
+        let n = self.points.n();
+        let d = self.points.d();
+        let elem = std::mem::size_of::<T>();
+        match &self.points {
+            FitInput::Dense(p) => {
+                let panel = executor.run(
+                    format!("gemm K tile rows {r0}..{r1} (n={n}, d={d})"),
+                    Phase::KernelMatrix,
+                    OpClass::Gemm,
+                    OpCost::gemm(t, n, d, elem),
+                    || matmul_nt_rows(p, r0, r1, p),
+                )?;
+                Ok(panel)
+            }
+            FitInput::Sparse(p) => {
+                let storage = p.storage_bytes(elem, INDEX_BYTES);
+                let column_counts = self
+                    .column_counts
+                    .as_ref()
+                    .expect("computed at construction for sparse points");
+                let cost = OpCost::new(
+                    p.gram_panel_flops_with(column_counts, r0, r1),
+                    // The panel's CSR rows are streamed once against the full
+                    // operand, mirroring the full SpGEMM's 2×storage reads.
+                    storage + storage * t as u64 / n.max(1) as u64,
+                    tile_bytes(t, n, elem),
+                );
+                let panel = executor.run(
+                    format!("spgemm K tile rows {r0}..{r1} (n={n}, d={d})"),
+                    Phase::KernelMatrix,
+                    OpClass::SpGEMM,
+                    cost,
+                    || p.gram_panel(r0, r1),
+                );
+                Ok(panel)
+            }
+        }
+    }
+}
+
+impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
+    fn n(&self) -> usize {
+        self.points.n()
+    }
+
+    fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        tile_bytes(self.tile_rows, self.points.n(), std::mem::size_of::<T>())
+    }
+
+    fn diag(&self, executor: &SimExecutor) -> Result<Vec<T>> {
+        if let Some(diag) = self.diag_cache.borrow().as_ref() {
+            return Ok(diag.clone());
+        }
+        let n = self.points.n();
+        let elem = std::mem::size_of::<T>();
+        let kernel = self.kernel;
+        let gram_diag = &self.gram_diag;
+        let diag = executor.run(
+            "extract diag(K) (tiled)",
+            Phase::KernelMatrix,
+            OpClass::Elementwise,
+            OpCost::elementwise(n, 1, 1, 0, elem),
+            || -> Vec<T> {
+                gram_diag
+                    .iter()
+                    .map(|&g| T::from_f64(kernel.apply(g, g, g)))
+                    .collect()
+            },
+        );
+        *self.diag_cache.borrow_mut() = Some(diag.clone());
+        Ok(diag)
+    }
+
+    fn row(&self, i: usize, executor: &SimExecutor) -> Result<Vec<T>> {
+        let n = self.points.n();
+        let elem = std::mem::size_of::<T>();
+        let mut panel = self.gram_panel(i, i + 1, executor)?;
+        let kernel = self.kernel;
+        let gram_diag = &self.gram_diag;
+        executor.run(
+            format!("apply {} kernel to K row {i}", kernel.name()),
+            Phase::KernelMatrix,
+            OpClass::Elementwise,
+            OpCost::elementwise(n, 1, 1, kernel.flops_per_entry().max(1), elem),
+            || kernel.apply_to_gram_tile(&mut panel, i, gram_diag),
+        );
+        Ok(panel.row(0).to_vec())
+    }
+
+    fn for_each_tile(&self, executor: &SimExecutor, f: &mut TileVisitor<'_, T>) -> Result<()> {
+        let n = self.points.n();
+        let elem = std::mem::size_of::<T>();
+        let mut r0 = 0usize;
+        while r0 < n {
+            let r1 = (r0 + self.tile_rows).min(n);
+            let mut tile = self.gram_panel(r0, r1, executor)?;
+            let kernel = self.kernel;
+            let gram_diag = &self.gram_diag;
+            executor.run(
+                format!("apply {} kernel to K tile rows {r0}..{r1}", kernel.name()),
+                Phase::KernelMatrix,
+                OpClass::Elementwise,
+                OpCost::elementwise_elems(
+                    (r1 - r0) as u64 * n as u64,
+                    1,
+                    1,
+                    kernel.flops_per_entry().max(1),
+                    elem,
+                ),
+                || kernel.apply_to_gram_tile(&mut tile, r0, gram_diag),
+            );
+            f(r0..r1, &tile)?;
+            r0 = r1;
+        }
+        Ok(())
+    }
+}
+
+/// Plan the residency for one fit and run it over the chosen source: the
+/// single dispatch point between the in-core and streaming paths.
+///
+/// When the planner keeps the full matrix, `compute_full` produces it (each
+/// solver computes and charges its kernel matrix its own way) and `run`
+/// receives a [`FullKernel`] over it; otherwise `run` receives a
+/// [`TiledKernel`] over the retained points. `k_budget` sizes the modeled
+/// `n × k` iteration workspace — a standalone fit passes its `k`, a batch
+/// passes the **sum** of its jobs' `k`s because the lockstep driver keeps
+/// every job's buffer live at once.
+pub fn run_with_source<T: Scalar, R>(
+    input: FitInput<'_, T>,
+    kernel: KernelFunction,
+    tiling: TilePolicy,
+    k_budget: usize,
+    executor: &SimExecutor,
+    compute_full: impl FnOnce() -> Result<DenseMatrix<T>>,
+    run: impl FnOnce(&dyn KernelSource<T>) -> Result<R>,
+) -> Result<R> {
+    let tile_rows = plan_tile_rows(
+        input.n(),
+        k_budget,
+        std::mem::size_of::<T>(),
+        input.upload_bytes(),
+        tiling,
+        executor.device(),
+    )?;
+    if tile_rows == input.n() {
+        let kernel_matrix = compute_full()?;
+        let source = FullKernel::new(&kernel_matrix)?;
+        run(&source)
+    } else {
+        let source = TiledKernel::new(input, kernel, tile_rows, executor)?;
+        run(&source)
+    }
+}
+
+/// Bytes of one `rows × n` tile of `elem`-byte scalars (u64-safe).
+pub fn tile_bytes(rows: usize, n: usize, elem: usize) -> u64 {
+    rows as u64 * n as u64 * elem as u64
+}
+
+/// Bytes of the full `n × n` kernel matrix — computed in `u128` because past
+/// `n ≈ 2×10⁶` the product no longer fits in `u64`.
+pub fn full_kernel_matrix_bytes(n: usize, elem: usize) -> u128 {
+    n as u128 * n as u128 * elem as u128
+}
+
+/// Modeled working-set bytes a fit needs *besides* the kernel matrix: the
+/// uploaded points, the `n × k` distance/E buffer, the point-norm vector and
+/// the per-point `f64` bookkeeping vector kernel k-means++ seeding holds
+/// while it samples (its `k × n` seed rows reuse the distance buffer's
+/// budget, so only the bookkeeping is extra).
+pub fn workspace_bytes(n: usize, k: usize, elem: usize, input_bytes: u64) -> u128 {
+    input_bytes as u128
+        + n as u128 * k as u128 * elem as u128
+        + n as u128 * elem as u128
+        + n as u128 * 8
+}
+
+/// The residency planner: how many kernel-matrix rows fit per tile on
+/// `device` for an `n`-point, `k`-cluster fit whose uploaded points occupy
+/// `input_bytes`.
+///
+/// Returns `n` when the full matrix fits (or is demanded by
+/// [`TilePolicy::Full`]); otherwise the tile height the policy allows. Errors
+/// with [`CoreError::DeviceMemoryExceeded`] when the requested (or any)
+/// layout cannot fit. All arithmetic is `u128` — a 10⁷-point f32 kernel
+/// matrix is 400 TB and must not wrap.
+pub fn plan_tile_rows(
+    n: usize,
+    k: usize,
+    elem: usize,
+    input_bytes: u64,
+    policy: TilePolicy,
+    device: &DeviceSpec,
+) -> Result<usize> {
+    let mem = device.mem_bytes as u128;
+    let workspace = workspace_bytes(n, k, elem, input_bytes);
+    let full = full_kernel_matrix_bytes(n, elem);
+    let row = n as u128 * elem as u128;
+    let fits_full = workspace + full <= mem;
+    let reject = |required: u128| -> CoreError {
+        CoreError::DeviceMemoryExceeded {
+            required_bytes: u64::try_from(required).unwrap_or(u64::MAX),
+            available_bytes: device.mem_bytes,
+        }
+    };
+    match policy {
+        TilePolicy::Full => {
+            if fits_full {
+                Ok(n)
+            } else {
+                Err(reject(workspace + full))
+            }
+        }
+        TilePolicy::Rows(rows) => {
+            if rows == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "tile_rows must be at least 1".into(),
+                ));
+            }
+            let rows = rows.min(n);
+            if workspace + rows as u128 * row <= mem {
+                Ok(rows)
+            } else {
+                Err(reject(workspace + rows as u128 * row))
+            }
+        }
+        TilePolicy::Auto => {
+            if fits_full {
+                return Ok(n);
+            }
+            if row == 0 {
+                return Ok(n.max(1));
+            }
+            let budget = mem.saturating_sub(workspace);
+            let rows = (budget / row) as usize;
+            if rows == 0 {
+                Err(reject(workspace + row))
+            } else {
+                Ok(rows.min(n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel_matrix::compute_kernel_matrix;
+    use crate::strategy::KernelMatrixStrategy;
+    use popcorn_gpusim::GIB;
+    use popcorn_sparse::CsrMatrix;
+
+    fn sample_points(n: usize, d: usize) -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(n, d, |i, j| {
+            if (i + 2 * j) % 5 == 0 {
+                0.0
+            } else {
+                ((i * d + j) as f64 * 0.23).sin() * 1.5
+            }
+        })
+    }
+
+    fn collect_tiles<T: Scalar>(
+        source: &dyn KernelSource<T>,
+        executor: &SimExecutor,
+    ) -> DenseMatrix<T> {
+        let n = source.n();
+        let mut out = DenseMatrix::zeros(n, n);
+        source
+            .for_each_tile(executor, &mut |rows, tile| {
+                for (local, i) in rows.clone().enumerate() {
+                    out.row_mut(i).copy_from_slice(tile.row(local));
+                }
+                Ok(())
+            })
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn full_kernel_is_one_uncharged_tile() {
+        let points = sample_points(10, 4);
+        let exec = SimExecutor::a100_f32();
+        let (k, _) = compute_kernel_matrix(
+            &points,
+            KernelFunction::paper_polynomial(),
+            KernelMatrixStrategy::default(),
+            &exec,
+        )
+        .unwrap();
+        let source = FullKernel::new(&k).unwrap();
+        assert_eq!(KernelSource::n(&source), 10);
+        assert!(source.is_full());
+        let before = exec.trace().len();
+        let mut tiles = 0;
+        source
+            .for_each_tile(&exec, &mut |rows, tile| {
+                tiles += 1;
+                assert_eq!(rows, 0..10);
+                assert_eq!(tile.shape(), (10, 10));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(tiles, 1);
+        assert_eq!(exec.trace().len(), before, "streaming must charge nothing");
+        // diag is charged once, then served from the cache.
+        let diag = source.diag(&exec).unwrap();
+        assert_eq!(diag.len(), 10);
+        let after_first = exec.trace().len();
+        assert_eq!(after_first, before + 1);
+        let again = source.diag(&exec).unwrap();
+        assert_eq!(diag, again);
+        assert_eq!(exec.trace().len(), after_first);
+        assert!(FullKernel::new(&DenseMatrix::<f64>::zeros(3, 4)).is_err());
+    }
+
+    #[test]
+    fn tiled_kernel_matches_full_kernel_bit_for_bit_dense() {
+        let points = sample_points(13, 5);
+        for kernel in [
+            KernelFunction::Linear,
+            KernelFunction::paper_polynomial(),
+            KernelFunction::default_gaussian(),
+        ] {
+            for strategy in [
+                KernelMatrixStrategy::ForceGemm,
+                KernelMatrixStrategy::ForceSyrk,
+            ] {
+                let exec = SimExecutor::a100_f32();
+                let (full, _) = compute_kernel_matrix(&points, kernel, strategy, &exec).unwrap();
+                for tile_rows in [1usize, 2, 5, 13, 40] {
+                    let source =
+                        TiledKernel::new(FitInput::Dense(&points), kernel, tile_rows, &exec)
+                            .unwrap();
+                    let assembled = collect_tiles(&source, &exec);
+                    for i in 0..13 {
+                        for j in 0..13 {
+                            assert_eq!(
+                                assembled[(i, j)].to_bits(),
+                                full[(i, j)].to_bits(),
+                                "kernel {} strategy {strategy:?} tile_rows {tile_rows} ({i},{j})",
+                                kernel.name()
+                            );
+                        }
+                    }
+                    // diag and row also reproduce the full matrix bits.
+                    let diag = source.diag(&exec).unwrap();
+                    for i in 0..13 {
+                        assert_eq!(diag[i].to_bits(), full[(i, i)].to_bits());
+                    }
+                    let row = source.row(4, &exec).unwrap();
+                    for j in 0..13 {
+                        assert_eq!(row[j].to_bits(), full[(4, j)].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_matches_full_kernel_bit_for_bit_csr() {
+        let points = sample_points(11, 7);
+        let csr = CsrMatrix::from_dense(&points);
+        for kernel in [
+            KernelFunction::paper_polynomial(),
+            KernelFunction::default_gaussian(),
+        ] {
+            let exec = SimExecutor::a100_f32();
+            let (full, _) =
+                crate::kernel_matrix::compute_kernel_matrix_csr(&csr, kernel, &exec).unwrap();
+            for tile_rows in [1usize, 3, 4, 11] {
+                let source =
+                    TiledKernel::new(FitInput::Sparse(&csr), kernel, tile_rows, &exec).unwrap();
+                let assembled = collect_tiles(&source, &exec);
+                for i in 0..11 {
+                    for j in 0..11 {
+                        assert_eq!(
+                            assembled[(i, j)].to_bits(),
+                            full[(i, j)].to_bits(),
+                            "kernel {} tile_rows {tile_rows} ({i},{j})",
+                            kernel.name()
+                        );
+                    }
+                }
+                let diag = source.diag(&exec).unwrap();
+                for i in 0..11 {
+                    assert_eq!(diag[i].to_bits(), full[(i, i)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_charges_panels_and_tracks_residency() {
+        let points = sample_points(12, 4);
+        let exec = SimExecutor::a100_f32();
+        let source = TiledKernel::new(
+            FitInput::Dense(&points),
+            KernelFunction::paper_polynomial(),
+            5,
+            &exec,
+        )
+        .unwrap();
+        assert_eq!(source.tile_rows(), 5);
+        assert!(!source.is_full());
+        assert_eq!(source.resident_bytes(), 5 * 12 * 8);
+        assert!(exec.peak_resident_bytes() >= source.resident_bytes());
+        let before = exec.trace().len();
+        let mut tile_shapes = Vec::new();
+        source
+            .for_each_tile(&exec, &mut |rows, tile| {
+                tile_shapes.push((rows, tile.rows()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(tile_shapes, vec![(0..5, 5), (5..10, 5), (10..12, 2)]);
+        // Each of the three tiles charges a GEMM panel + a kernel transform.
+        let trace = exec.trace();
+        assert_eq!(trace.len() - before, 6);
+        let (gemm_time, gemm_flops) = trace.class_summary(OpClass::Gemm);
+        assert!(gemm_time > 0.0);
+        // Three panels perform exactly the full Gram's FLOPs.
+        assert_eq!(gemm_flops, OpCost::gemm(12, 12, 4, 8).flops);
+    }
+
+    #[test]
+    fn csr_tile_pass_charges_the_full_gram_flops_as_spgemm() {
+        let points = sample_points(10, 6);
+        let csr = CsrMatrix::from_dense(&points);
+        let exec = SimExecutor::a100_f32();
+        let source = TiledKernel::new(
+            FitInput::Sparse(&csr),
+            KernelFunction::paper_polynomial(),
+            4,
+            &exec,
+        )
+        .unwrap();
+        let mark = exec.trace().len();
+        source.for_each_tile(&exec, &mut |_, _| Ok(())).unwrap();
+        let trace = exec.trace();
+        let (_, spgemm_flops) = trace.class_summary(OpClass::SpGEMM);
+        assert_eq!(spgemm_flops, csr.gram_flops());
+        assert_eq!(trace.class_summary(OpClass::Gemm).0, 0.0);
+        assert!(trace.len() > mark);
+    }
+
+    #[test]
+    fn planner_keeps_full_matrix_when_it_fits() {
+        let device = DeviceSpec::a100_80gb();
+        // 10k f32 points: K is 400 MB, trivially resident on 80 GB.
+        let rows = plan_tile_rows(10_000, 50, 4, 10_000 * 16 * 4, TilePolicy::Auto, &device);
+        assert_eq!(rows.unwrap(), 10_000);
+        let rows = plan_tile_rows(10_000, 50, 4, 10_000 * 16 * 4, TilePolicy::Full, &device);
+        assert_eq!(rows.unwrap(), 10_000);
+    }
+
+    #[test]
+    fn planner_auto_tiles_past_the_memory_wall() {
+        let device = DeviceSpec::a100_80gb();
+        // 500k f32 points: K alone is 1 TB — far past 80 GB.
+        let n = 500_000;
+        let input = n as u64 * 780 * 4;
+        let rows = plan_tile_rows(n, 50, 4, input, TilePolicy::Auto, &device).unwrap();
+        assert!(rows < n, "must tile");
+        assert!(rows > 0);
+        // The chosen tile fits together with the workspace...
+        assert!(
+            workspace_bytes(n, 50, 4, input) + tile_bytes(rows, n, 4) as u128 <= 80 * GIB as u128
+        );
+        // ...and one more row would not.
+        assert!(
+            workspace_bytes(n, 50, 4, input) + tile_bytes(rows + 1, n, 4) as u128
+                > 80 * GIB as u128
+        );
+        // Full is rejected outright at this size.
+        let err = plan_tile_rows(n, 50, 4, input, TilePolicy::Full, &device).unwrap_err();
+        assert!(matches!(err, CoreError::DeviceMemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn planner_honours_and_validates_explicit_rows() {
+        let device = DeviceSpec::a100_80gb().with_mem_bytes(GIB);
+        let n = 20_000;
+        // Forced tile height is respected (clamped to n).
+        assert_eq!(
+            plan_tile_rows(n, 10, 4, 0, TilePolicy::Rows(1_000), &device).unwrap(),
+            1_000
+        );
+        assert_eq!(
+            plan_tile_rows(100, 10, 4, 0, TilePolicy::Rows(1_000), &device).unwrap(),
+            100
+        );
+        assert!(plan_tile_rows(n, 10, 4, 0, TilePolicy::Rows(0), &device).is_err());
+        // A forced tile that cannot fit is rejected, not silently shrunk.
+        let err = plan_tile_rows(n, 10, 4, 0, TilePolicy::Rows(15_000), &device).unwrap_err();
+        assert!(matches!(err, CoreError::DeviceMemoryExceeded { .. }));
+        // Even a single row may be too much when the workspace fills the card.
+        let tiny = DeviceSpec::a100_80gb().with_mem_bytes(1024);
+        let err = plan_tile_rows(n, 10, 4, 0, TilePolicy::Auto, &tiny).unwrap_err();
+        assert!(matches!(err, CoreError::DeviceMemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn byte_helpers_use_wide_arithmetic() {
+        // 10^7-point f32 kernel matrix: 4×10^14 bytes — representable in
+        // u128, would truncate in u32/usize-on-32-bit math.
+        assert_eq!(full_kernel_matrix_bytes(10_000_000, 4), 400_000_000_000_000);
+        assert_eq!(tile_bytes(70_000, 70_000, 4), 70_000u64 * 70_000 * 4);
+        let ws = workspace_bytes(10_000_000, 100, 4, u64::MAX);
+        assert!(ws > u64::MAX as u128);
+    }
+
+    #[test]
+    fn tile_policy_describe() {
+        assert_eq!(TilePolicy::Auto.describe(), "auto");
+        assert_eq!(TilePolicy::Full.describe(), "full");
+        assert_eq!(TilePolicy::Rows(4096).describe(), "4096");
+        assert_eq!(TilePolicy::default(), TilePolicy::Auto);
+    }
+}

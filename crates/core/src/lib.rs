@@ -30,6 +30,7 @@ pub mod errors;
 pub mod init;
 pub mod kernel;
 pub mod kernel_matrix;
+pub mod kernel_source;
 pub mod pipeline;
 pub mod popcorn;
 pub mod result;
@@ -41,6 +42,7 @@ pub use config::KernelKmeansConfig;
 pub use errors::CoreError;
 pub use init::Initialization;
 pub use kernel::KernelFunction;
+pub use kernel_source::{FullKernel, KernelSource, TilePolicy, TileVisitor, TiledKernel};
 pub use popcorn::KernelKmeans;
 pub use result::{ClusteringResult, IterationStats, TimingBreakdown};
 pub use solver::{FitInput, Solver};

@@ -9,96 +9,178 @@
 //! kernels. [`iterate`] owns the loop; each solver supplies a
 //! [`DistanceEngine`] for its distance phase, so the convergence/repair
 //! plumbing exists exactly once.
+//!
+//! The kernel matrix reaches the loop as a [`KernelSource`], never as a
+//! borrowed full matrix: every iteration streams `K` in row tiles
+//! (`begin_iteration` → one `consume_tile` per tile → `finish_iteration`),
+//! which is the in-core path unchanged when the source is a single-tile
+//! [`crate::FullKernel`] and the out-of-core compute-consume path when it is
+//! a [`crate::TiledKernel`]. [`LoopState`] factors the per-iteration
+//! assignment/convergence bookkeeping out of the loop so the batched
+//! lockstep driver (`crate::batch`) can run many jobs over one tile pass.
 
 use crate::assignment::{assign_clusters, repair_empty_clusters};
 use crate::config::KernelKmeansConfig;
-use crate::errors::CoreError;
-use crate::init::initial_assignments;
+use crate::init::initial_assignments_source;
+use crate::kernel_source::KernelSource;
 use crate::result::{ClusteringResult, IterationStats, TimingBreakdown};
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::SimExecutor;
+use std::ops::Range;
 
-/// Produces the `n × k` distance matrix for one iteration. Implementations
-/// charge their own operations to the executor.
+/// Produces the `n × k` distance matrix for one iteration, consuming the
+/// kernel matrix as a stream of row tiles. Implementations charge their own
+/// operations to the executor.
+///
+/// Call protocol per iteration: one `begin_iteration`, then `consume_tile`
+/// for every tile of the source (a single call spanning all rows for in-core
+/// sources), then one `finish_iteration` returning the distances.
 pub trait DistanceEngine<T: Scalar> {
-    /// Distances of every point to every centroid under `labels`.
-    fn distances(
+    /// Start one iteration: rebuild per-iteration state from the current
+    /// labels (selection matrix, cluster sizes, output buffers).
+    fn begin_iteration(
         &mut self,
         iteration: usize,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         labels: &[usize],
         executor: &SimExecutor,
-    ) -> Result<DenseMatrix<T>>;
+    ) -> Result<()>;
+
+    /// Fold one row tile `K[rows, :]` into the iteration state.
+    fn consume_tile(
+        &mut self,
+        rows: Range<usize>,
+        tile: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> Result<()>;
+
+    /// Produce the `n × k` distance matrix once every tile was consumed.
+    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>>;
 }
 
-/// Run the clustering iterations on a precomputed kernel matrix and assemble
-/// the [`ClusteringResult`] from the executor's trace.
-pub fn iterate<T: Scalar>(
-    kernel_matrix: &DenseMatrix<T>,
-    config: &KernelKmeansConfig,
-    executor: &SimExecutor,
-    engine: &mut dyn DistanceEngine<T>,
-) -> Result<ClusteringResult> {
-    let n = kernel_matrix.rows();
-    config.validate(n)?;
-    if !kernel_matrix.is_square() {
-        return Err(CoreError::InvalidInput(format!(
-            "kernel matrix must be square, got {}x{}",
-            kernel_matrix.rows(),
-            kernel_matrix.cols()
-        )));
+/// Per-run loop bookkeeping: labels, history, convergence. Shared by the
+/// single-fit loop below and the batched lockstep driver, so the
+/// assignment/repair/convergence semantics exist exactly once.
+#[derive(Debug, Clone)]
+pub struct LoopState {
+    labels: Vec<usize>,
+    history: Vec<IterationStats>,
+    converged: bool,
+    iterations: usize,
+    prev_objective: f64,
+    k: usize,
+}
+
+impl LoopState {
+    /// Start a run from its initial assignment.
+    pub fn new(labels: Vec<usize>, k: usize) -> Self {
+        Self {
+            labels,
+            history: Vec::new(),
+            converged: false,
+            iterations: 0,
+            prev_objective: f64::INFINITY,
+            k,
+        }
     }
-    let k = config.k;
 
-    // Initial assignment (Alg. 2 line 3).
-    let mut labels = initial_assignments(kernel_matrix, k, config.init, config.seed)?;
+    /// `true` while the run wants more iterations under `config`.
+    pub fn active(&self, config: &KernelKmeansConfig) -> bool {
+        !self.converged && self.iterations < config.max_iter
+    }
 
-    let mut history: Vec<IterationStats> = Vec::with_capacity(config.max_iter);
-    let mut converged = false;
-    let mut iterations = 0usize;
-    let mut prev_objective = f64::INFINITY;
+    /// The iteration the next `step` will account to (0-based).
+    pub fn iteration(&self) -> usize {
+        self.iterations
+    }
 
-    for iteration in 0..config.max_iter {
-        // Distance matrix D (lines 4–10, solver-specific).
-        let distances = engine.distances(iteration, kernel_matrix, &labels, executor)?;
+    /// Current labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
 
-        // Assignment update (lines 11–13).
-        let outcome = assign_clusters(&distances, &labels, executor);
+    /// Apply one iteration's distance matrix: argmin assignment, optional
+    /// empty-cluster repair, history update and the convergence check
+    /// (paper Alg. 2 lines 11–14).
+    pub fn step<T: Scalar>(
+        &mut self,
+        distances: &DenseMatrix<T>,
+        config: &KernelKmeansConfig,
+        executor: &SimExecutor,
+    ) {
+        let iteration = self.iterations;
+        let outcome = assign_clusters(distances, &self.labels, executor);
         let mut new_labels = outcome.labels;
         if config.repair_empty_clusters && outcome.empty_clusters > 0 {
-            repair_empty_clusters(&mut new_labels, &distances, k);
+            repair_empty_clusters(&mut new_labels, distances, self.k);
         }
 
-        history.push(IterationStats {
+        self.history.push(IterationStats {
             iteration,
             objective: outcome.objective,
             changed: outcome.changed,
             empty_clusters: outcome.empty_clusters,
         });
-        labels = new_labels;
-        iterations = iteration + 1;
+        self.labels = new_labels;
+        self.iterations = iteration + 1;
 
         // Convergence: assignments stopped changing, or the objective's
         // relative improvement fell below the tolerance.
         if config.check_convergence {
-            let rel_change = if prev_objective.is_finite() {
-                (prev_objective - outcome.objective).abs()
+            let rel_change = if self.prev_objective.is_finite() {
+                (self.prev_objective - outcome.objective).abs()
                     / outcome.objective.abs().max(f64::MIN_POSITIVE)
             } else {
                 f64::INFINITY
             };
             if outcome.changed == 0 || rel_change <= config.tolerance {
-                converged = true;
-                break;
+                self.converged = true;
             }
         }
-        prev_objective = outcome.objective;
+        self.prev_objective = outcome.objective;
     }
 
-    Ok(finalize(
-        labels, k, iterations, converged, history, executor,
-    ))
+    /// Assemble the [`ClusteringResult`] from the loop state and the
+    /// executor's trace.
+    pub fn into_result(self, executor: &SimExecutor) -> ClusteringResult {
+        finalize(
+            self.labels,
+            self.k,
+            self.iterations,
+            self.converged,
+            self.history,
+            executor,
+        )
+    }
+}
+
+/// Run the clustering iterations over a kernel source and assemble the
+/// [`ClusteringResult`] from the executor's trace.
+pub fn iterate<T: Scalar>(
+    source: &dyn KernelSource<T>,
+    config: &KernelKmeansConfig,
+    executor: &SimExecutor,
+    engine: &mut dyn DistanceEngine<T>,
+) -> Result<ClusteringResult> {
+    let n = source.n();
+    config.validate(n)?;
+    let k = config.k;
+
+    // Initial assignment (Alg. 2 line 3).
+    let labels = initial_assignments_source(source, k, config.init, config.seed, executor)?;
+    let mut state = LoopState::new(labels, k);
+
+    while state.active(config) {
+        engine.begin_iteration(state.iteration(), source, state.labels(), executor)?;
+        source.for_each_tile(executor, &mut |rows, tile| {
+            engine.consume_tile(rows, tile, executor)
+        })?;
+        let distances = engine.finish_iteration(executor)?;
+        state.step(&distances, config, executor);
+    }
+
+    Ok(state.into_result(executor))
 }
 
 /// Assemble a [`ClusteringResult`] from loop state and the executor's trace.
@@ -121,6 +203,7 @@ pub fn finalize(
         history,
         modeled_timings: TimingBreakdown::from_trace_modeled(&trace),
         host_timings: TimingBreakdown::from_trace_host(&trace),
+        peak_resident_bytes: executor.peak_resident_bytes(),
         trace,
     }
 }
@@ -129,21 +212,60 @@ pub fn finalize(
 mod tests {
     use super::*;
     use crate::distances::compute_distances_reference;
+    use crate::errors::CoreError;
     use crate::kernel::{kernel_matrix_reference, KernelFunction};
+    use crate::kernel_source::FullKernel;
 
-    /// A trivially correct engine: the reference kernel-trick distances.
-    struct ReferenceEngine;
+    /// A trivially correct engine: the reference kernel-trick distances,
+    /// assembled from whatever tiles the source hands out.
+    struct ReferenceEngine {
+        k_rows: Option<DenseMatrix<f64>>,
+        labels: Vec<usize>,
+    }
 
-    impl<T: Scalar> DistanceEngine<T> for ReferenceEngine {
-        fn distances(
+    impl ReferenceEngine {
+        fn new() -> Self {
+            Self {
+                k_rows: None,
+                labels: Vec::new(),
+            }
+        }
+    }
+
+    impl DistanceEngine<f64> for ReferenceEngine {
+        fn begin_iteration(
             &mut self,
             _iteration: usize,
-            kernel_matrix: &DenseMatrix<T>,
+            source: &dyn KernelSource<f64>,
             labels: &[usize],
             _executor: &SimExecutor,
-        ) -> Result<DenseMatrix<T>> {
-            let k = labels.iter().copied().max().unwrap_or(0) + 1;
-            Ok(compute_distances_reference(kernel_matrix, labels, k.max(2)))
+        ) -> Result<()> {
+            self.k_rows = Some(DenseMatrix::zeros(source.n(), source.n()));
+            self.labels = labels.to_vec();
+            Ok(())
+        }
+
+        fn consume_tile(
+            &mut self,
+            rows: Range<usize>,
+            tile: &DenseMatrix<f64>,
+            _executor: &SimExecutor,
+        ) -> Result<()> {
+            let buffer = self.k_rows.as_mut().expect("begin_iteration ran");
+            for (local, i) in rows.enumerate() {
+                buffer.row_mut(i).copy_from_slice(tile.row(local));
+            }
+            Ok(())
+        }
+
+        fn finish_iteration(&mut self, _executor: &SimExecutor) -> Result<DenseMatrix<f64>> {
+            let kernel_matrix = self.k_rows.take().expect("begin_iteration ran");
+            let k = self.labels.iter().copied().max().unwrap_or(0) + 1;
+            Ok(compute_distances_reference(
+                &kernel_matrix,
+                &self.labels,
+                k.max(2),
+            ))
         }
     }
 
@@ -159,7 +281,8 @@ mod tests {
             .with_convergence_check(true, 1e-12)
             .with_seed(4);
         let exec = SimExecutor::a100_f32();
-        let result = iterate(&kernel_matrix, &config, &exec, &mut ReferenceEngine).unwrap();
+        let source = FullKernel::new(&kernel_matrix).unwrap();
+        let result = iterate(&source, &config, &exec, &mut ReferenceEngine::new()).unwrap();
         assert!(result.converged);
         assert_eq!(result.labels.len(), 20);
         assert_eq!(result.non_empty_clusters(), 2);
@@ -169,10 +292,8 @@ mod tests {
     #[test]
     fn loop_validates_kernel_matrix_shape() {
         let rect = DenseMatrix::<f64>::zeros(4, 3);
-        let config = KernelKmeansConfig::paper_defaults(2);
-        let exec = SimExecutor::a100_f32();
         assert!(matches!(
-            iterate(&rect, &config, &exec, &mut ReferenceEngine),
+            FullKernel::new(&rect),
             Err(CoreError::InvalidInput(_))
         ));
     }
@@ -183,5 +304,28 @@ mod tests {
         let result = finalize(vec![0, 1], 2, 0, false, Vec::new(), &exec);
         assert!(result.objective.is_nan());
         assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn loop_state_tracks_convergence_and_history() {
+        let exec = SimExecutor::a100_f32();
+        let config = KernelKmeansConfig::paper_defaults(2)
+            .with_max_iter(5)
+            .with_convergence_check(true, 1e-12);
+        let mut state = LoopState::new(vec![0, 0, 1], 2);
+        assert!(state.active(&config));
+        assert_eq!(state.iteration(), 0);
+        // Distances that pin every point to its current cluster: converges on
+        // the second step (no changes).
+        let d = DenseMatrix::from_rows(&[vec![0.1, 9.0], vec![0.2, 9.0], vec![9.0, 0.3]]).unwrap();
+        state.step(&d, &config, &exec);
+        assert_eq!(state.iteration(), 1);
+        state.step(&d, &config, &exec);
+        assert!(!state.active(&config), "no label changed -> converged");
+        let result = state.into_result(&exec);
+        assert!(result.converged);
+        assert_eq!(result.iterations, 2);
+        assert_eq!(result.history.len(), 2);
+        assert_eq!(result.labels, vec![0, 0, 1]);
     }
 }

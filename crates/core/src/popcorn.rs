@@ -10,8 +10,8 @@
 
 use crate::batch::{self, BatchResult, FitJob};
 use crate::config::KernelKmeansConfig;
-use crate::distances::compute_distances;
-use crate::kernel_matrix::extract_point_norms;
+use crate::distances::{accumulate_distance_tile, finish_distances};
+use crate::kernel_source::{run_with_source, KernelSource};
 use crate::pipeline::{self, DistanceEngine};
 use crate::result::ClusteringResult;
 use crate::solver::{FitInput, Solver};
@@ -19,6 +19,7 @@ use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
 use popcorn_sparse::SelectionMatrix;
+use std::ops::Range;
 
 /// The Popcorn kernel k-means solver.
 #[derive(Debug, Clone)]
@@ -27,30 +28,44 @@ pub struct KernelKmeans {
     executor: Option<SimExecutor>,
 }
 
-/// Popcorn's matrix-centric distance engine: rebuild `V`, one SpMM, one
-/// gather, one SpMV and one assembly kernel per iteration (Alg. 2 lines
-/// 4–10). The point norms `P̃ = diag(K)` are extracted once on first use.
-struct PopcornEngine<T: Scalar> {
+/// Popcorn's matrix-centric distance engine: rebuild `V`, one SpMM per kernel
+/// tile, one gather, one SpMV and one assembly kernel per iteration (Alg. 2
+/// lines 4–10). The point norms `P̃ = diag(K)` are extracted once on first
+/// use. With an in-core source (one tile) the per-iteration trace is the
+/// classic SpMM + gather + SpMV + assembly quartet.
+pub(crate) struct PopcornEngine<T: Scalar> {
     k: usize,
     point_norms: Option<Vec<T>>,
+    selection: Option<SelectionMatrix<T>>,
+    e: Option<DenseMatrix<T>>,
+}
+
+impl<T: Scalar> PopcornEngine<T> {
+    pub(crate) fn new(k: usize) -> Self {
+        Self {
+            k,
+            point_norms: None,
+            selection: None,
+            e: None,
+        }
+    }
 }
 
 impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
-    fn distances(
+    fn begin_iteration(
         &mut self,
         iteration: usize,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         labels: &[usize],
         executor: &SimExecutor,
-    ) -> Result<DenseMatrix<T>> {
-        let n = kernel_matrix.rows();
+    ) -> Result<()> {
+        let n = source.n();
         let elem = std::mem::size_of::<T>();
 
         // P̃ = diag(K), computed once (paper Alg. 2 line 2).
         if self.point_norms.is_none() {
-            self.point_norms = Some(extract_point_norms(kernel_matrix, executor)?);
+            self.point_norms = Some(source.diag(executor)?);
         }
-        let point_norms = self.point_norms.as_ref().expect("just populated");
 
         // Rebuild V from the current assignment (lines 4 / 14; a small
         // counting-sort kernel in the original implementation).
@@ -61,9 +76,32 @@ impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
             OpCost::elementwise(n, 1, 3, 0, elem),
             || SelectionMatrix::<T>::from_assignments(labels, self.k),
         )?;
+        self.selection = Some(selection);
 
-        // Distance matrix D (lines 7–10).
-        Ok(compute_distances(kernel_matrix, point_norms, &selection, executor)?.distances)
+        // The n x k accumulator for E = -2 K V^T (becomes D in place).
+        if iteration == 0 {
+            executor.track_alloc(n as u64 * self.k as u64 * elem as u64);
+        }
+        self.e = Some(DenseMatrix::zeros(n, self.k));
+        Ok(())
+    }
+
+    fn consume_tile(
+        &mut self,
+        rows: Range<usize>,
+        tile: &DenseMatrix<T>,
+        executor: &SimExecutor,
+    ) -> Result<()> {
+        let e = self.e.as_mut().expect("begin_iteration ran");
+        let selection = self.selection.as_ref().expect("begin_iteration ran");
+        accumulate_distance_tile(e, rows, tile, selection, executor)
+    }
+
+    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+        let e = self.e.take().expect("begin_iteration ran");
+        let selection = self.selection.as_ref().expect("begin_iteration ran");
+        let point_norms = self.point_norms.as_ref().expect("populated in begin");
+        Ok(finish_distances(e, point_norms, selection, executor)?.distances)
     }
 }
 
@@ -96,17 +134,14 @@ impl KernelKmeans {
             .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
     }
 
-    fn iterate_with<T: Scalar>(
+    fn iterate_source<T: Scalar>(
         &self,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
         executor: &SimExecutor,
     ) -> Result<ClusteringResult> {
-        let mut engine = PopcornEngine {
-            k: config.k,
-            point_norms: None,
-        };
-        pipeline::iterate(kernel_matrix, config, executor, &mut engine)
+        let mut engine = PopcornEngine::new(config.k);
+        pipeline::iterate(source, config, executor, &mut engine)
     }
 }
 
@@ -119,9 +154,11 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         &self.config
     }
 
-    /// Run the full pipeline on dense or CSR points: upload, kernel matrix
-    /// (GEMM/SYRK for dense, SpGEMM for sparse), then the clustering
-    /// iterations.
+    /// Run the full pipeline on dense or CSR points: upload, then — per the
+    /// tiling plan — either a precomputed kernel matrix (GEMM/SYRK for dense,
+    /// SpGEMM for sparse) or a streamed [`TiledKernel`] that recomputes row
+    /// tiles every iteration, then the clustering iterations. Tiling never
+    /// changes the results, only what is resident and what is charged.
     fn fit_input_with(
         &self,
         input: FitInput<'_, T>,
@@ -130,40 +167,73 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
+        let _residency = executor.scoped_residency();
 
         // Data preparation: host -> device copy of P̂ (paper §4.1).
         input.charge_upload(&executor);
 
-        let (kernel_matrix, _routine) =
-            input.compute_kernel_matrix(config.kernel, config.strategy, &executor)?;
-        self.iterate_with(&kernel_matrix, config, &executor)
+        run_with_source(
+            input,
+            config.kernel,
+            config.tiling,
+            config.k,
+            &executor,
+            || {
+                Ok(input
+                    .compute_kernel_matrix(config.kernel, config.strategy, &executor)?
+                    .0)
+            },
+            |source| self.iterate_source(source, config, &executor),
+        )
     }
 
-    /// Run only the clustering iterations on a precomputed kernel matrix.
-    /// Used by the distance-phase experiments (Figures 4–6), which exclude
-    /// the kernel-matrix time by design.
-    fn fit_from_kernel_with(
+    /// Run only the clustering iterations over a kernel source. Used by the
+    /// distance-phase experiments (Figures 4–6), which exclude the
+    /// kernel-matrix time by design.
+    fn fit_from_source_with(
         &self,
-        kernel_matrix: &DenseMatrix<T>,
+        source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
     ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        self.iterate_with(kernel_matrix, config, &executor)
+        let _residency = executor.scoped_residency();
+        self.iterate_source(source, config, &executor)
     }
 
-    /// The restart protocol: upload the points and compute `K` exactly once,
-    /// then run every job's iterations over the shared matrix.
+    /// The restart protocol: upload the points once, then either compute `K`
+    /// exactly once (in-core) or stream recomputed tiles where **one tile
+    /// pass per iteration feeds every job** (out-of-core) — the lockstep
+    /// driver in [`crate::batch`].
     fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
-        let (kernel, strategy) = batch::validate_jobs(&input, jobs)?;
+        let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
+        let _residency = executor.scoped_residency();
         let mark = executor.trace().len();
         input.charge_upload(&executor);
-        let (kernel_matrix, _routine) = input.compute_kernel_matrix(kernel, strategy, &executor)?;
-        let shared_trace = batch::trace_since(&executor, mark);
-        batch::drive_shared_kernel(jobs, &executor, shared_trace, |job, job_executor| {
-            self.iterate_with(&kernel_matrix, &job.config, job_executor)
-        })
+        // The lockstep driver keeps every job's n x k buffer live at once, so
+        // the residency plan budgets the sum of the jobs' k values.
+        let k_budget = jobs.iter().map(|j| j.config.k).sum();
+        run_with_source(
+            input,
+            plan.kernel,
+            plan.tiling,
+            k_budget,
+            &executor,
+            || {
+                Ok(input
+                    .compute_kernel_matrix(plan.kernel, plan.strategy, &executor)?
+                    .0)
+            },
+            |source| {
+                // P̃ = diag(K) is identical across jobs: compute and charge it
+                // once in the shared phase; per-job engines read the cache.
+                source.diag(&executor)?;
+                batch::drive_shared_source(jobs, source, &executor, mark, |job| {
+                    Box::new(PopcornEngine::new(job.config.k))
+                })
+            },
+        )
     }
 }
 

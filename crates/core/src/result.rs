@@ -103,6 +103,11 @@ pub struct ClusteringResult {
     pub modeled_timings: TimingBreakdown,
     /// Measured host-time breakdown.
     pub host_timings: TimingBreakdown,
+    /// High-water mark of the modeled device-memory residency over the run
+    /// (points + kernel matrix or tile + iteration buffers). Tiled fits keep
+    /// this under [`popcorn_gpusim::DeviceSpec::mem_bytes`] even when the
+    /// full `n × n` matrix would not fit.
+    pub peak_resident_bytes: u64,
     /// Full operation trace (kept for profiling experiments; may be empty for
     /// solvers that do not run through the simulator).
     pub trace: OpTrace,
@@ -199,6 +204,7 @@ mod tests {
             ],
             modeled_timings: TimingBreakdown::default(),
             host_timings: TimingBreakdown::default(),
+            peak_resident_bytes: 0,
             trace: OpTrace::new(),
         };
         assert_eq!(result.objective_history(), vec![3.0, 1.5]);

@@ -20,6 +20,7 @@ use crate::config::KernelKmeansConfig;
 use crate::errors::CoreError;
 use crate::kernel::KernelFunction;
 use crate::kernel_matrix::{self, INDEX_BYTES};
+use crate::kernel_source::{FullKernel, KernelSource};
 use crate::result::ClusteringResult;
 use crate::strategy::{GramRoutine, KernelMatrixStrategy};
 use crate::Result;
@@ -106,16 +107,18 @@ impl<'a, T: Scalar> FitInput<'a, T> {
 
     /// Bytes a host→device upload of these points moves: the dense array for
     /// dense inputs, the three CSR arrays for sparse inputs (§4.1; 32-bit
-    /// indices per §4.4).
+    /// indices per §4.4). Computed in `u64` so `n · d` products past the
+    /// 32-bit boundary never truncate on narrow targets.
     pub fn upload_bytes(&self) -> u64 {
         let elem = std::mem::size_of::<T>();
         match self {
-            FitInput::Dense(p) => (p.rows() * p.cols() * elem) as u64,
+            FitInput::Dense(p) => dense_upload_bytes(p.rows(), p.cols(), elem),
             FitInput::Sparse(p) => p.storage_bytes(elem, INDEX_BYTES),
         }
     }
 
-    /// Charge the modeled host→device copy of the points to the executor.
+    /// Charge the modeled host→device copy of the points to the executor and
+    /// track their device residency.
     pub fn charge_upload(&self, executor: &SimExecutor) {
         let layout = if self.is_sparse() { "csr" } else { "dense" };
         executor.charge(
@@ -124,6 +127,7 @@ impl<'a, T: Scalar> FitInput<'a, T> {
             OpClass::Transfer,
             OpCost::transfer(self.upload_bytes()),
         );
+        executor.track_alloc(self.upload_bytes());
     }
 
     /// Compute the kernel matrix `K = kernel(P̂ P̂ᵀ)` for these points,
@@ -151,6 +155,13 @@ impl<'a, T: Scalar> FitInput<'a, T> {
             FitInput::Sparse(p) => p.to_dense(),
         }
     }
+}
+
+/// Upload bytes of a dense `rows × cols` matrix of `elem`-byte scalars,
+/// computed in `u64` before any product — the `n · d` intermediate exceeds
+/// `u32::MAX` well inside the paper's dataset range.
+pub fn dense_upload_bytes(rows: usize, cols: usize, elem: usize) -> u64 {
+    rows as u64 * cols as u64 * elem as u64
 }
 
 /// The interface every clustering implementation exposes.
@@ -192,15 +203,30 @@ pub trait Solver<T: Scalar> {
         self.fit_from_kernel_with(kernel_matrix, self.config())
     }
 
+    /// Run only the clustering iterations over a [`KernelSource`] — the
+    /// layer every kernel-matrix consumer goes through, whether the matrix
+    /// is resident ([`crate::FullKernel`]) or streamed in recomputed row
+    /// tiles ([`crate::TiledKernel`]). Solvers that do not operate on a
+    /// kernel matrix (Lloyd) return [`CoreError::Unsupported`].
+    fn fit_from_source_with(
+        &self,
+        source: &dyn KernelSource<T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<ClusteringResult>;
+
     /// Run only the clustering iterations on a **borrowed** precomputed
-    /// kernel matrix with an explicit configuration. Batch paths call this
-    /// once per job with the same shared `&K` — implementations must not
-    /// copy the matrix.
+    /// kernel matrix with an explicit configuration (the single-tile special
+    /// case of [`Solver::fit_from_source_with`]). Batch paths call this once
+    /// per job with the same shared `&K` — implementations must not copy the
+    /// matrix.
     fn fit_from_kernel_with(
         &self,
         kernel_matrix: &DenseMatrix<T>,
         config: &KernelKmeansConfig,
-    ) -> Result<ClusteringResult>;
+    ) -> Result<ClusteringResult> {
+        let source = FullKernel::new(kernel_matrix)?;
+        self.fit_from_source_with(&source, config)
+    }
 
     /// Fit every job of a batch over the same input, sharing whatever work
     /// is identical across jobs.
@@ -282,6 +308,30 @@ mod tests {
             sparse_bytes < dense_bytes,
             "{sparse_bytes} vs {dense_bytes}"
         );
+    }
+
+    #[test]
+    fn upload_bytes_survive_32bit_product_boundaries() {
+        // The u64-first arithmetic: an n·d product past u32::MAX must not
+        // truncate (it would on a 32-bit usize with the old usize math).
+        assert_eq!(
+            dense_upload_bytes(70_000, 70_000, 4),
+            70_000u64 * 70_000 * 4
+        );
+        assert!(dense_upload_bytes(1 << 20, 1 << 14, 8) > u32::MAX as u64);
+        // And the small-matrix case still matches the definition exactly.
+        let dense = DenseMatrix::<f64>::filled(3, 4, 1.0);
+        assert_eq!(FitInput::from(&dense).upload_bytes(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn charge_upload_tracks_residency() {
+        let dense = DenseMatrix::<f64>::filled(6, 5, 1.0);
+        let input = FitInput::from(&dense);
+        let exec = SimExecutor::a100_f32();
+        input.charge_upload(&exec);
+        assert_eq!(exec.resident_bytes(), input.upload_bytes());
+        assert_eq!(exec.peak_resident_bytes(), input.upload_bytes());
     }
 
     #[test]

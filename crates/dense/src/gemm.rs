@@ -179,6 +179,57 @@ pub fn matmul_tn<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> Result<De
     Ok(c)
 }
 
+/// Rows `r0..r1` of `A * Bᵀ` without materializing the row panel of `A` —
+/// the compute kernel of the streaming (tiled) Gram path, where copying the
+/// panel operand once per tile per iteration would be pure waste.
+///
+/// Each output entry is the same sequential `mul_add` dot product the full
+/// [`matmul_nt`] computes (same `TILE`-blocked column order, same
+/// `0 + α·acc` write), so the panel is **bit-identical** to the matching
+/// rows of the full product.
+pub fn matmul_nt_rows<T: Scalar>(
+    a: &DenseMatrix<T>,
+    r0: usize,
+    r1: usize,
+    b: &DenseMatrix<T>,
+) -> Result<DenseMatrix<T>> {
+    if a.cols() != b.cols() {
+        return Err(DenseError::DimensionMismatch {
+            op: "matmul_nt_rows (inner dimension)",
+            expected: (a.cols(), a.cols()),
+            found: (b.cols(), b.cols()),
+        });
+    }
+    if r0 > r1 || r1 > a.rows() {
+        return Err(DenseError::IndexOutOfBounds {
+            index: (r0, r1),
+            shape: a.shape(),
+        });
+    }
+    let n = b.rows();
+    let mut c = DenseMatrix::zeros(r1 - r0, n);
+    if r0 == r1 || n == 0 || a.cols() == 0 {
+        return Ok(c);
+    }
+    par_chunks_rows(c.as_mut_slice(), n, |start_row, chunk| {
+        for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let a_row = a.row(r0 + start_row + local_i);
+            for (jb, c_block) in c_row.chunks_mut(TILE).enumerate() {
+                let j0 = jb * TILE;
+                for (dj, c_ij) in c_block.iter_mut().enumerate() {
+                    let b_row = b.row(j0 + dj);
+                    let mut acc = T::ZERO;
+                    for (x, y) in a_row.iter().zip(b_row.iter()) {
+                        acc = x.mul_add(*y, acc);
+                    }
+                    *c_ij += T::ONE * acc;
+                }
+            }
+        }
+    });
+    Ok(c)
+}
+
 /// Naive triple-loop reference GEMM used by tests and property checks.
 pub fn gemm_reference<T: Scalar>(
     a: &DenseMatrix<T>,
@@ -336,6 +387,30 @@ mod tests {
         let fast = matmul(&a, &b).unwrap();
         let slow = gemm_reference(&a, Transpose::No, &b, Transpose::No).unwrap();
         assert!(fast.approx_eq(&slow, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn matmul_nt_rows_is_bit_identical_to_full_product_rows() {
+        let n = TILE + 9; // cross the TILE boundary
+        let a = DenseMatrix::<f64>::from_fn(n, 7, |i, j| ((i * 7 + j) as f64 * 0.13).sin());
+        let full = matmul_nt(&a, &a).unwrap();
+        for (r0, r1) in [(0, n), (0, 1), (3, 17), (TILE, n), (5, 5)] {
+            let panel = matmul_nt_rows(&a, r0, r1, &a).unwrap();
+            assert_eq!(panel.shape(), (r1 - r0, n));
+            for i in r0..r1 {
+                for j in 0..n {
+                    assert_eq!(
+                        panel[(i - r0, j)].to_bits(),
+                        full[(i, j)].to_bits(),
+                        "panel {r0}..{r1} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+        assert!(matmul_nt_rows(&a, 3, 2, &a).is_err());
+        assert!(matmul_nt_rows(&a, 0, n + 1, &a).is_err());
+        let bad = DenseMatrix::<f64>::zeros(4, 9);
+        assert!(matmul_nt_rows(&a, 0, 1, &bad).is_err());
     }
 
     #[test]

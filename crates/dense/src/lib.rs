@@ -30,7 +30,7 @@ pub mod scalar;
 pub mod syrk;
 
 pub use errors::DenseError;
-pub use gemm::{gemm, matmul, matmul_nt, matmul_tn, Transpose};
+pub use gemm::{gemm, matmul, matmul_nt, matmul_nt_rows, matmul_tn, Transpose};
 pub use matrix::DenseMatrix;
 pub use norms::{diagonal, frobenius_norm, row_argmin, row_sq_norms};
 pub use ops::{add_col_broadcast, add_row_broadcast, axpy, hadamard, scale_in_place};

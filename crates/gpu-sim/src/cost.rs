@@ -133,25 +133,24 @@ impl OpCost {
 
     /// Cost of a dense GEMM `(m×k) · (k×n)` with `elem`-byte scalars:
     /// `2mnk` FLOPs, reads both operands once, writes the output once.
+    ///
+    /// All byte/FLOP arithmetic in these constructors is performed in `u64`
+    /// *before* any product is taken, so shapes whose products exceed
+    /// `usize::MAX` on 32-bit targets (an `n × n` matrix past `n ≈ 2^16`
+    /// already does) never overflow the intermediate `usize` math.
     pub fn gemm(m: usize, n: usize, k: usize, elem: usize) -> Self {
-        Self::new(
-            2 * (m as u64) * (n as u64) * (k as u64),
-            ((m * k + k * n) * elem) as u64,
-            (m * n * elem) as u64,
-        )
+        let (m, n, k, elem) = (m as u64, n as u64, k as u64, elem as u64);
+        Self::new(2 * m * n * k, (m * k + k * n) * elem, m * n * elem)
     }
 
     /// Cost of a SYRK producing an `n×n` symmetric matrix from an `n×d`
     /// operand (half the GEMM FLOPs) plus the triangular mirror copy the
     /// paper charges against the SYRK-based algorithm (§4.2).
     pub fn syrk_with_mirror(n: usize, d: usize, elem: usize) -> Self {
-        let tri = n as u64 * (n as u64 + 1) / 2;
-        let mirror = n as u64 * n.saturating_sub(1) as u64 / 2 * elem as u64;
-        Self::new(
-            tri * 2 * d as u64,
-            (n * d * elem) as u64 + mirror,
-            tri * elem as u64 + mirror,
-        )
+        let (n, d, elem) = (n as u64, d as u64, elem as u64);
+        let tri = n * (n + 1) / 2;
+        let mirror = n * n.saturating_sub(1) / 2 * elem;
+        Self::new(tri * 2 * d, n * d * elem + mirror, tri * elem + mirror)
     }
 
     /// Cost of a generic SpMM `C = A_sparse · B_dense` where `A` is CSR with
@@ -166,10 +165,17 @@ impl OpCost {
         elem: usize,
         index_bytes: usize,
     ) -> Self {
+        let (nnz, dense_rows, dense_cols, out_rows) = (
+            nnz as u64,
+            dense_rows as u64,
+            dense_cols as u64,
+            out_rows as u64,
+        );
+        let (elem, index_bytes) = (elem as u64, index_bytes as u64);
         Self::new(
-            2 * nnz as u64 * dense_cols as u64,
-            (dense_rows * dense_cols * elem + nnz * (elem + index_bytes)) as u64,
-            (out_rows * dense_cols * elem) as u64,
+            2 * nnz * dense_cols,
+            dense_rows * dense_cols * elem + nnz * (elem + index_bytes),
+            out_rows * dense_cols * elem,
         )
     }
 
@@ -178,26 +184,54 @@ impl OpCost {
     /// non-zeros, so the product performs `2n²` FLOPs, reads `K` once and
     /// `V` once, and writes the `n×k` output.
     pub fn spmm_kvt(n: usize, k: usize, elem: usize, index_bytes: usize) -> Self {
+        Self::spmm_kvt_rows(n, n, k, elem, index_bytes)
+    }
+
+    /// Cost of the distance SpMM restricted to a row tile of `K`:
+    /// `E[r0..r1, :] = −2 K[r0..r1, :] Vᵀ` with `rows = r1 − r0`. The tile is
+    /// read once, `V` (all `n` stored entries) is read once per tile, and the
+    /// tile's slice of the output is written. With `rows == n` this is
+    /// exactly [`OpCost::spmm_kvt`].
+    pub fn spmm_kvt_rows(rows: usize, n: usize, k: usize, elem: usize, index_bytes: usize) -> Self {
+        let (rows, n, k, elem, index_bytes) = (
+            rows as u64,
+            n as u64,
+            k as u64,
+            elem as u64,
+            index_bytes as u64,
+        );
         Self::new(
-            2 * (n as u64) * (n as u64),
-            (n * n * elem + n * (elem + index_bytes)) as u64,
-            (n * k * elem) as u64,
+            2 * rows * n,
+            rows * n * elem + n * (elem + index_bytes),
+            rows * k * elem,
         )
     }
 
     /// Cost of an SpMV over a CSR matrix with `nnz` entries and an `x` vector
     /// of length `cols`, producing `rows` outputs.
     pub fn spmv(nnz: usize, rows: usize, cols: usize, elem: usize, index_bytes: usize) -> Self {
+        let (nnz, rows, cols, elem, index_bytes) = (
+            nnz as u64,
+            rows as u64,
+            cols as u64,
+            elem as u64,
+            index_bytes as u64,
+        );
         Self::new(
-            2 * nnz as u64,
-            (nnz * (elem + index_bytes) + cols * elem) as u64,
-            (rows * elem) as u64,
+            2 * nnz,
+            nnz * (elem + index_bytes) + cols * elem,
+            rows * elem,
         )
     }
 
     /// Cost of an elementwise transform touching `n` elements with `reads`
     /// input streams and `writes` output streams and `flops_per_element`
     /// floating point operations each.
+    ///
+    /// Call sites whose element count is itself a product (`n * n`, `t * n`,
+    /// `n * k`) must use [`OpCost::elementwise_elems`] and multiply in `u64`
+    /// — a `usize` product at the call site would wrap on 32-bit targets
+    /// before this constructor's widening can help.
     pub fn elementwise(
         n: usize,
         reads: usize,
@@ -205,11 +239,25 @@ impl OpCost {
         flops_per_element: usize,
         elem: usize,
     ) -> Self {
-        Self::new(
-            (n * flops_per_element) as u64,
-            (n * reads * elem) as u64,
-            (n * writes * elem) as u64,
-        )
+        Self::elementwise_elems(n as u64, reads, writes, flops_per_element, elem)
+    }
+
+    /// [`OpCost::elementwise`] with a `u64` element count, for footprints
+    /// whose element count is a product of dimensions.
+    pub fn elementwise_elems(
+        n: u64,
+        reads: usize,
+        writes: usize,
+        flops_per_element: usize,
+        elem: usize,
+    ) -> Self {
+        let (reads, writes, flops_per_element, elem) = (
+            reads as u64,
+            writes as u64,
+            flops_per_element as u64,
+            elem as u64,
+        );
+        Self::new(n * flops_per_element, n * reads * elem, n * writes * elem)
     }
 
     /// Cost of a host↔device transfer of `bytes` bytes.
@@ -312,6 +360,40 @@ mod tests {
         assert_eq!(c10.flops, c100.flops);
         // but the output traffic grows with k
         assert!(c100.bytes_written > c10.bytes_written);
+    }
+
+    #[test]
+    fn cost_arithmetic_survives_32bit_product_boundaries() {
+        // n × n products past n = 2^16 overflow a 32-bit usize; the
+        // constructors promote to u64 before multiplying, so these exact
+        // values hold on every target width.
+        let n = 70_000usize; // n * n * 4 = 1.96e10 > u32::MAX
+        let g = OpCost::gemm(n, n, 100, 4);
+        assert_eq!(g.flops, 2 * 70_000u64 * 70_000 * 100);
+        assert_eq!(g.bytes_written, 70_000u64 * 70_000 * 4);
+        let s = OpCost::syrk_with_mirror(n, 100, 4);
+        assert!(s.bytes_written > u32::MAX as u64);
+        let kvt = OpCost::spmm_kvt(n, 10, 4, 4);
+        assert_eq!(kvt.flops, 2 * 70_000u64 * 70_000);
+        assert_eq!(kvt.bytes_read, 70_000u64 * 70_000 * 4 + 70_000 * 8);
+        let e = OpCost::elementwise(n * n / 4, 1, 1, 1, 4);
+        assert!(e.total_bytes() > u32::MAX as u64);
+        let m = OpCost::spmm(n, n, n, n, 4, 4);
+        assert_eq!(m.bytes_written, 70_000u64 * 70_000 * 4);
+    }
+
+    #[test]
+    fn spmm_kvt_rows_is_the_tile_restriction() {
+        let full = OpCost::spmm_kvt(1_000, 20, 4, 4);
+        let as_rows = OpCost::spmm_kvt_rows(1_000, 1_000, 20, 4, 4);
+        assert_eq!(full, as_rows);
+        let tile = OpCost::spmm_kvt_rows(100, 1_000, 20, 4, 4);
+        assert_eq!(tile.flops, 2 * 100 * 1_000);
+        // Ten tiles cover the FLOPs and output of the full product but re-read
+        // V once per tile.
+        assert_eq!(10 * tile.flops, full.flops);
+        assert_eq!(10 * tile.bytes_written, full.bytes_written);
+        assert!(10 * tile.bytes_read > full.bytes_read);
     }
 
     #[test]

@@ -23,7 +23,14 @@ pub struct DeviceSpec {
     /// Number of streaming multiprocessors (GPU) or cores (CPU); informational
     /// and used by utilization heuristics.
     pub parallel_units: usize,
+    /// Device memory capacity in bytes (HBM for the GPU presets, host RAM for
+    /// the CPU presets). Workloads whose modeled working set exceeds this
+    /// capacity must be tiled or rejected by the planner.
+    pub mem_bytes: u64,
 }
+
+/// One gibibyte, the unit the memory-capacity presets are expressed in.
+pub const GIB: u64 = 1 << 30;
 
 impl DeviceSpec {
     /// NVIDIA A100 80 GB SXM: 19.5 TFLOP/s FP32, 9.7 TFLOP/s FP64,
@@ -37,6 +44,7 @@ impl DeviceSpec {
             interconnect_gbs: 31.5,
             launch_overhead_us: 5.0,
             parallel_units: 108,
+            mem_bytes: 80 * GIB,
         }
     }
 
@@ -50,6 +58,7 @@ impl DeviceSpec {
             interconnect_gbs: 31.5,
             launch_overhead_us: 5.0,
             parallel_units: 108,
+            mem_bytes: 40 * GIB,
         }
     }
 
@@ -63,6 +72,7 @@ impl DeviceSpec {
             interconnect_gbs: 15.75,
             launch_overhead_us: 6.0,
             parallel_units: 80,
+            mem_bytes: 16 * GIB,
         }
     }
 
@@ -79,6 +89,7 @@ impl DeviceSpec {
             interconnect_gbs: 20.0,
             launch_overhead_us: 0.0,
             parallel_units: 1,
+            mem_bytes: 256 * GIB,
         }
     }
 
@@ -93,6 +104,7 @@ impl DeviceSpec {
             interconnect_gbs: 204.8,
             launch_overhead_us: 0.0,
             parallel_units: 64,
+            mem_bytes: 256 * GIB,
         }
     }
 
@@ -110,6 +122,14 @@ impl DeviceSpec {
     pub fn ridge_point(&self, elem_bytes: usize) -> f64 {
         self.peak_gflops_for(elem_bytes) / self.mem_bandwidth_gbs
     }
+
+    /// Builder-style override of the memory capacity, e.g. to model a smaller
+    /// card or to force the tiling planner's hand in tests and experiments
+    /// (the CLI's `--device-mem` flag goes through this).
+    pub fn with_mem_bytes(mut self, mem_bytes: u64) -> Self {
+        self.mem_bytes = mem_bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +142,22 @@ mod tests {
         assert_eq!(d.fp32_peak_gflops, 19_500.0);
         assert_eq!(d.mem_bandwidth_gbs, 2_039.0);
         assert!(d.parallel_units == 108);
+        assert_eq!(d.mem_bytes, 80 * GIB);
+    }
+
+    #[test]
+    fn memory_capacities_match_the_marketing_names() {
+        assert_eq!(DeviceSpec::a100_40gb().mem_bytes, 40 * GIB);
+        assert_eq!(DeviceSpec::v100().mem_bytes, 16 * GIB);
+        // The CPU presets model host RAM, far larger than any HBM part.
+        assert!(DeviceSpec::epyc7763_single_core().mem_bytes > DeviceSpec::a100_80gb().mem_bytes);
+    }
+
+    #[test]
+    fn with_mem_bytes_overrides_capacity_only() {
+        let d = DeviceSpec::a100_80gb().with_mem_bytes(GIB);
+        assert_eq!(d.mem_bytes, GIB);
+        assert_eq!(d.fp32_peak_gflops, DeviceSpec::a100_80gb().fp32_peak_gflops);
     }
 
     #[test]

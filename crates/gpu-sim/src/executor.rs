@@ -95,11 +95,13 @@ impl SimExecutor {
     ///
     /// Batched drivers fork one executor per job so each job's trace contains
     /// only its own operations, while the parent keeps the shared (charged
-    /// once) work; [`SimExecutor::absorb`] merges a fork's records back.
+    /// once) work; [`SimExecutor::absorb`] merges a fork's records back. The
+    /// fork's residency counter starts at the parent's current residency so a
+    /// job's peak accounts for the shared allocations still on the device.
     pub fn fork(&self) -> Self {
         Self {
             cost_model: self.cost_model.clone(),
-            profiler: Profiler::new(),
+            profiler: Profiler::with_resident(self.profiler.resident_bytes()),
         }
     }
 
@@ -108,6 +110,52 @@ impl SimExecutor {
     /// after per-job work ran on forked executors.
     pub fn absorb(&self, trace: &OpTrace) {
         self.profiler.extend(trace);
+    }
+
+    /// Record a modeled device allocation of `bytes` bytes (points, kernel
+    /// matrix or tile, per-iteration buffers). Feeds the peak-residency
+    /// accounting the tiling planner's capacity model is validated against.
+    pub fn track_alloc(&self, bytes: u64) {
+        self.profiler.track_alloc(bytes);
+    }
+
+    /// Record a modeled device free of `bytes` bytes.
+    pub fn track_free(&self, bytes: u64) {
+        self.profiler.track_free(bytes);
+    }
+
+    /// Bytes currently resident under the modeled allocations.
+    pub fn resident_bytes(&self) -> u64 {
+        self.profiler.resident_bytes()
+    }
+
+    /// High-water mark of the modeled residency.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.profiler.peak_resident_bytes()
+    }
+
+    /// Raise this executor's residency peak to at least `peak` (merging a
+    /// forked executor's memory history back, the residency counterpart of
+    /// [`SimExecutor::absorb`]).
+    pub fn merge_peak(&self, peak: u64) {
+        self.profiler.merge_peak(peak);
+    }
+
+    /// Memory capacity of the simulated device, in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        self.device().mem_bytes
+    }
+
+    /// Scope the residency of one fit: everything tracked between this call
+    /// and the guard's drop is freed again, so a reused (`with_executor`)
+    /// executor does not accumulate the buffers of completed fits into the
+    /// next fit's residency. The peak is a lifetime high-water mark and is
+    /// unaffected by the free.
+    pub fn scoped_residency(&self) -> ResidencyScope<'_> {
+        ResidencyScope {
+            executor: self,
+            baseline: self.resident_bytes(),
+        }
     }
 
     /// Snapshot of everything recorded so far.
@@ -123,6 +171,21 @@ impl SimExecutor {
     /// Clear the trace (e.g. between benchmark trials).
     pub fn reset(&self) {
         self.profiler.reset();
+    }
+}
+
+/// Guard returned by [`SimExecutor::scoped_residency`]: on drop, frees every
+/// byte tracked since the guard was created (a completed fit's buffers leave
+/// the device).
+pub struct ResidencyScope<'a> {
+    executor: &'a SimExecutor,
+    baseline: u64,
+}
+
+impl Drop for ResidencyScope<'_> {
+    fn drop(&mut self) {
+        let now = self.executor.resident_bytes();
+        self.executor.track_free(now.saturating_sub(self.baseline));
     }
 }
 
@@ -224,5 +287,28 @@ mod tests {
         let clone = exec.clone();
         clone.charge("x", Phase::Other, OpClass::Other, OpCost::new(1, 1, 1));
         assert_eq!(exec.trace().len(), 1);
+    }
+
+    #[test]
+    fn fork_inherits_residency_baseline() {
+        let exec = SimExecutor::a100_f32();
+        exec.track_alloc(1_000);
+        let fork = exec.fork();
+        assert_eq!(fork.resident_bytes(), 1_000);
+        fork.track_alloc(500);
+        assert_eq!(fork.peak_resident_bytes(), 1_500);
+        // The fork's allocations do not move the parent's counter...
+        assert_eq!(exec.resident_bytes(), 1_000);
+        assert_eq!(exec.peak_resident_bytes(), 1_000);
+        // ...until the peak is merged back.
+        exec.merge_peak(fork.peak_resident_bytes());
+        assert_eq!(exec.peak_resident_bytes(), 1_500);
+    }
+
+    #[test]
+    fn device_capacity_is_exposed() {
+        let exec = SimExecutor::a100_f32();
+        assert_eq!(exec.mem_bytes(), exec.device().mem_bytes);
+        assert!(exec.mem_bytes() > 0);
     }
 }

@@ -29,7 +29,7 @@ pub mod roofline;
 pub mod trace;
 
 pub use cost::{CostModel, OpClass, OpCost};
-pub use device::DeviceSpec;
+pub use device::{DeviceSpec, GIB};
 pub use executor::SimExecutor;
 pub use profiler::Profiler;
 pub use roofline::Roofline;

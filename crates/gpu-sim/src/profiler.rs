@@ -2,21 +2,45 @@
 //!
 //! The profiler is shared between the executor and any code that wants to
 //! inspect intermediate state (e.g. the experiment harness reading the phase
-//! breakdown after every trial). It is a thin mutex around an [`OpTrace`].
+//! breakdown after every trial). It is a thin mutex around an [`OpTrace`],
+//! plus the modeled device-memory residency counters the tiling planner and
+//! the memory-capacity experiments read.
 
 use crate::trace::{OpRecord, OpTrace};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-/// Shared, thread-safe collector of [`OpRecord`]s.
+/// Modeled device-memory residency: how many bytes the tracked allocations
+/// currently occupy and the high-water mark they reached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct MemStats {
+    resident: u64,
+    peak: u64,
+}
+
+/// Shared, thread-safe collector of [`OpRecord`]s and modeled memory
+/// residency.
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
     trace: Arc<Mutex<OpTrace>>,
+    mem: Arc<Mutex<MemStats>>,
 }
 
 impl Profiler {
     /// Create an empty profiler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty profiler whose residency counter starts at `resident` bytes —
+    /// used by forked executors so a fork's peak accounts for the shared
+    /// allocations (points, kernel matrix) that are still on the device.
+    pub fn with_resident(resident: u64) -> Self {
+        let p = Self::default();
+        *p.lock_mem() = MemStats {
+            resident,
+            peak: resident,
+        };
+        p
     }
 
     fn lock(&self) -> MutexGuard<'_, OpTrace> {
@@ -26,6 +50,42 @@ impl Profiler {
         self.trace
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lock_mem(&self) -> MutexGuard<'_, MemStats> {
+        self.mem
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Record a modeled device allocation of `bytes` bytes.
+    pub fn track_alloc(&self, bytes: u64) {
+        let mut mem = self.lock_mem();
+        mem.resident = mem.resident.saturating_add(bytes);
+        mem.peak = mem.peak.max(mem.resident);
+    }
+
+    /// Record a modeled device free of `bytes` bytes.
+    pub fn track_free(&self, bytes: u64) {
+        let mut mem = self.lock_mem();
+        mem.resident = mem.resident.saturating_sub(bytes);
+    }
+
+    /// Bytes currently resident under the modeled allocations.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock_mem().resident
+    }
+
+    /// High-water mark of the modeled residency.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.lock_mem().peak
+    }
+
+    /// Raise the peak to at least `peak` (used when merging a forked
+    /// executor's residency history back into the shared one).
+    pub fn merge_peak(&self, peak: u64) {
+        let mut mem = self.lock_mem();
+        mem.peak = mem.peak.max(peak);
     }
 
     /// Append a record.
@@ -54,9 +114,10 @@ impl Profiler {
         self.lock().is_empty()
     }
 
-    /// Discard all collected records.
+    /// Discard all collected records and reset the residency counters.
     pub fn reset(&self) {
         *self.lock() = OpTrace::new();
+        *self.lock_mem() = MemStats::default();
     }
 
     /// Total modeled device time collected so far, in seconds.
@@ -98,9 +159,44 @@ mod tests {
     fn reset_clears() {
         let p = Profiler::new();
         p.record(sample_record(1.0));
+        p.track_alloc(100);
         p.reset();
         assert!(p.is_empty());
         assert_eq!(p.total_modeled_seconds(), 0.0);
+        assert_eq!(p.resident_bytes(), 0);
+        assert_eq!(p.peak_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn residency_tracks_peak_not_just_current() {
+        let p = Profiler::new();
+        p.track_alloc(100);
+        p.track_alloc(50);
+        assert_eq!(p.resident_bytes(), 150);
+        assert_eq!(p.peak_resident_bytes(), 150);
+        p.track_free(120);
+        assert_eq!(p.resident_bytes(), 30);
+        assert_eq!(p.peak_resident_bytes(), 150);
+        p.track_alloc(40);
+        assert_eq!(p.resident_bytes(), 70);
+        assert_eq!(p.peak_resident_bytes(), 150);
+        // Freeing more than resident saturates at zero instead of wrapping.
+        p.track_free(1_000);
+        assert_eq!(p.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn with_resident_seeds_baseline_and_merge_peak_raises() {
+        let p = Profiler::with_resident(200);
+        assert_eq!(p.resident_bytes(), 200);
+        assert_eq!(p.peak_resident_bytes(), 200);
+        p.track_alloc(25);
+        assert_eq!(p.peak_resident_bytes(), 225);
+        let shared = Profiler::with_resident(200);
+        shared.merge_peak(p.peak_resident_bytes());
+        assert_eq!(shared.peak_resident_bytes(), 225);
+        shared.merge_peak(10); // lower peaks never shrink the mark
+        assert_eq!(shared.peak_resident_bytes(), 225);
     }
 
     #[test]

@@ -399,6 +399,107 @@ impl<T: Scalar> CsrMatrix<T> {
         }
         column_counts.iter().map(|&c| 2 * c * c).sum()
     }
+
+    /// A contiguous row panel `B[r0..r1, :]` of the Gram matrix `B = A Aᵀ`,
+    /// **bit-identical** to the same rows of [`CsrMatrix::gram`] /
+    /// [`CsrMatrix::gram_sequential`].
+    ///
+    /// This is the compute kernel of the streaming/tiled kernel-matrix path:
+    /// out-of-core fits recompute one panel at a time instead of holding the
+    /// full `n × n` Gram matrix, and clustering results must not depend on
+    /// that choice. Bit-identity requires reproducing `gram`'s exact
+    /// accumulation orders: entries with `j ≤ i` iterate row `j`'s stored
+    /// entries against a scatter of row `i` (the lower-triangle order), while
+    /// entries with `j > i` — which `gram` fills by mirroring `B[j][i]` —
+    /// iterate row `i`'s stored entries against row `j` (a merge join standing
+    /// in for the scatter of row `j`, multiplying by an exact `0` where row
+    /// `j` has no entry, just as the scatter buffer would).
+    pub fn gram_panel(&self, r0: usize, r1: usize) -> DenseMatrix<T> {
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "panel rows {r0}..{r1} out of range for {} rows",
+            self.rows
+        );
+        let n = self.rows;
+        let mut out = DenseMatrix::zeros(r1 - r0, n);
+        if n == 0 || r0 == r1 {
+            return out;
+        }
+        let mut scatter = vec![T::ZERO; self.cols];
+        for (local_i, out_row) in out.as_mut_slice().chunks_exact_mut(n).enumerate() {
+            let i = r0 + local_i;
+            let (cols_i, vals_i) = self.row(i);
+            // Lower triangle (j <= i): identical loop to gram_fill_lower_rows.
+            for (&c, &v) in cols_i.iter().zip(vals_i.iter()) {
+                scatter[c] = v;
+            }
+            for (j, out_ij) in out_row.iter_mut().enumerate().take(i + 1) {
+                let (cols_j, vals_j) = self.row(j);
+                let mut acc = T::ZERO;
+                for (&c, &v) in cols_j.iter().zip(vals_j.iter()) {
+                    acc = v.mul_add(scatter[c], acc);
+                }
+                *out_ij = acc;
+            }
+            for &c in cols_i {
+                scatter[c] = T::ZERO;
+            }
+            // Mirror region (j > i): gram computes B[j][i] with row i's
+            // entries driving the accumulation; replay that order here.
+            for (j, out_ij) in out_row.iter_mut().enumerate().skip(i + 1) {
+                let (cols_j, vals_j) = self.row(j);
+                let mut cursor = 0usize;
+                let mut acc = T::ZERO;
+                for (&c, &v) in cols_i.iter().zip(vals_i.iter()) {
+                    while cursor < cols_j.len() && cols_j[cursor] < c {
+                        cursor += 1;
+                    }
+                    let other = if cursor < cols_j.len() && cols_j[cursor] == c {
+                        vals_j[cursor]
+                    } else {
+                        T::ZERO
+                    };
+                    acc = v.mul_add(other, acc);
+                }
+                *out_ij = acc;
+            }
+        }
+        out
+    }
+
+    /// Stored entries per column — the histogram the Gustavson FLOP counts
+    /// are computed from. Depends only on the (immutable) structure, so
+    /// repeat panel pricers compute it once and reuse it via
+    /// [`CsrMatrix::gram_panel_flops_with`].
+    pub fn column_counts(&self) -> Vec<u64> {
+        let mut column_counts = vec![0u64; self.cols];
+        for &c in &self.col_indices {
+            column_counts[c] += 1;
+        }
+        column_counts
+    }
+
+    /// Gustavson FLOP count of [`CsrMatrix::gram_panel`] for rows `r0..r1`:
+    /// each pair of stored entries sharing a column, with one member in the
+    /// panel rows, contributes one multiply-add. Summing over a disjoint
+    /// cover of `0..rows` reproduces [`CsrMatrix::gram_flops`] exactly.
+    pub fn gram_panel_flops(&self, r0: usize, r1: usize) -> u64 {
+        self.gram_panel_flops_with(&self.column_counts(), r0, r1)
+    }
+
+    /// [`CsrMatrix::gram_panel_flops`] against a precomputed
+    /// [`CsrMatrix::column_counts`] histogram, so per-tile pricing costs
+    /// `O(panel nnz)` instead of rescanning the whole matrix per tile.
+    pub fn gram_panel_flops_with(&self, column_counts: &[u64], r0: usize, r1: usize) -> u64 {
+        let mut flops = 0u64;
+        for i in r0..r1 {
+            let (cols_i, _) = self.row(i);
+            for &c in cols_i {
+                flops += 2 * column_counts[c];
+            }
+        }
+        flops
+    }
 }
 
 #[cfg(test)]
@@ -609,5 +710,59 @@ mod tests {
         assert_eq!(z.gram().shape(), (0, 0));
         let no_entries = CsrMatrix::<f64>::zeros(3, 5);
         assert_eq!(no_entries.gram(), DenseMatrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn gram_panel_is_bit_identical_to_full_gram_rows() {
+        // The invariant the streaming kernel-matrix path rests on: any row
+        // panel reproduces the full Gram's rows bit for bit, including the
+        // mirrored upper triangle.
+        let dense = DenseMatrix::from_fn(11, 60, |i, j| {
+            if (i * 13 + j * 7) % 4 == 0 {
+                ((i * 60 + j) as f64 * 0.31).sin() * 2.0
+            } else {
+                0.0
+            }
+        });
+        let sparse = CsrMatrix::from_dense(&dense);
+        let full = sparse.gram();
+        for (r0, r1) in [(0, 11), (0, 1), (3, 7), (10, 11), (5, 5)] {
+            let panel = sparse.gram_panel(r0, r1);
+            assert_eq!(panel.shape(), (r1 - r0, 11));
+            for i in r0..r1 {
+                for j in 0..11 {
+                    assert_eq!(
+                        panel[(i - r0, j)].to_bits(),
+                        full[(i, j)].to_bits(),
+                        "panel {r0}..{r1} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_panel_flops_partition_the_full_count() {
+        let dense = DenseMatrix::from_fn(10, 30, |i, j| {
+            if (i + j) % 3 == 0 {
+                (i * 30 + j) as f64 * 0.1
+            } else {
+                0.0
+            }
+        });
+        let sparse = CsrMatrix::from_dense(&dense);
+        let total: u64 = sparse.gram_panel_flops(0, 4)
+            + sparse.gram_panel_flops(4, 9)
+            + sparse.gram_panel_flops(9, 10);
+        assert_eq!(total, sparse.gram_flops());
+        assert_eq!(sparse.gram_panel_flops(0, 10), sparse.gram_flops());
+        assert_eq!(sparse.gram_panel_flops(3, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gram_panel_rejects_out_of_range_rows() {
+        let m = CsrMatrix::<f64>::zeros(3, 3);
+        m.gram_panel(1, 4);
     }
 }

@@ -31,7 +31,7 @@ pub use csr::CsrMatrix;
 pub use errors::SparseError;
 pub use selection::SelectionMatrix;
 pub use spgemm::spgemm;
-pub use spmm::{spmm, spmm_transpose_b};
+pub use spmm::{spmm, spmm_transpose_b, spmm_transpose_b_into};
 pub use spmv::spmv;
 
 /// Result alias used across the sparse crate.

@@ -71,6 +71,23 @@ pub fn spmm_transpose_b<T: Scalar>(
     b: &DenseMatrix<T>,
     a: &CsrMatrix<T>,
 ) -> Result<DenseMatrix<T>> {
+    let mut c = DenseMatrix::zeros(b.rows(), a.rows());
+    spmm_transpose_b_into(alpha, b, a, c.as_mut_slice())?;
+    Ok(c)
+}
+
+/// [`spmm_transpose_b`] writing into a caller-provided row-major buffer of
+/// `b.rows() × a.rows()` entries (every cell is overwritten). The streaming
+/// kernel-matrix path uses this to compute a row tile's slice of
+/// `E = −2 K Vᵀ` directly into the shared accumulator, with no intermediate
+/// matrix: output values are identical to the allocating variant bit for bit
+/// (each cell is an independent overwrite).
+pub fn spmm_transpose_b_into<T: Scalar>(
+    alpha: T,
+    b: &DenseMatrix<T>,
+    a: &CsrMatrix<T>,
+    out: &mut [T],
+) -> Result<()> {
     if b.cols() != a.cols() {
         return Err(SparseError::DimensionMismatch {
             op: "spmm_transpose_b",
@@ -80,11 +97,17 @@ pub fn spmm_transpose_b<T: Scalar>(
     }
     let m = b.rows();
     let n = a.rows();
-    let mut c = DenseMatrix::zeros(m, n);
-    if m == 0 || n == 0 {
-        return Ok(c);
+    if out.len() != m * n {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmm_transpose_b_into (output)",
+            expected: (m, n),
+            found: (out.len(), 1),
+        });
     }
-    par_chunks_rows(c.as_mut_slice(), n, |start_row, chunk| {
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    par_chunks_rows(out, n, |start_row, chunk| {
         for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
             let i = start_row + local_i;
             let b_row = b.row(i);
@@ -98,7 +121,7 @@ pub fn spmm_transpose_b<T: Scalar>(
             }
         }
     });
-    Ok(c)
+    Ok(())
 }
 
 #[cfg(test)]

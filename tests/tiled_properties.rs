@@ -1,0 +1,459 @@
+//! Property tests for the streaming/tiled kernel-matrix path: tiling is a
+//! **residency** decision, never a numerical one. For any dataset, any
+//! solver, either point layout, any tile height in `[1, n]`, standalone or
+//! batched — the labels, iteration counts, objectives and objective histories
+//! are bit-identical to the in-core full-matrix fit. The memory-capacity
+//! model is exercised the other way around: a device too small for the full
+//! `n × n` matrix auto-tiles (and stays under its capacity), or rejects
+//! configurations that cannot fit at all.
+
+use popcorn::core::batch::FitJob;
+use popcorn::core::kernel_source::plan_tile_rows;
+use popcorn::core::CoreError;
+use popcorn::gpusim::{OpClass, GIB};
+use popcorn::prelude::*;
+use proptest::prelude::*;
+
+/// A dense point set with a sprinkling of structural zeros so the CSR layout
+/// is non-trivial.
+fn mixed_points(max_n: usize, max_d: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
+    (6..=max_n, 2..=max_d).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-4.0f64..4.0, n * d).prop_map(move |mut data| {
+            for (i, v) in data.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            DenseMatrix::from_vec(n, d, data).unwrap()
+        })
+    })
+}
+
+fn base_config(k: usize) -> KernelKmeansConfig {
+    KernelKmeansConfig::paper_defaults(k)
+        .with_max_iter(6)
+        .with_convergence_check(true, 1e-10)
+}
+
+fn all_solvers(config: &KernelKmeansConfig) -> Vec<Box<dyn Solver<f64>>> {
+    vec![
+        Box::new(KernelKmeans::new(config.clone())),
+        Box::new(CpuKernelKmeans::new(config.clone())),
+        Box::new(DenseGpuBaseline::new(config.clone())),
+        Box::new(LloydKmeans::new(config.clone())),
+    ]
+}
+
+/// Assert a tiled fit reproduces the full fit bit for bit.
+fn assert_bit_identical(
+    name: &str,
+    full: &ClusteringResult,
+    tiled: &ClusteringResult,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        &full.labels,
+        &tiled.labels,
+        "{}: labels diverge {}",
+        name,
+        context
+    );
+    prop_assert_eq!(full.iterations, tiled.iterations, "{}: {}", name, context);
+    prop_assert_eq!(full.converged, tiled.converged, "{}: {}", name, context);
+    prop_assert_eq!(
+        full.objective.to_bits(),
+        tiled.objective.to_bits(),
+        "{}: objectives diverge ({} vs {}) {}",
+        name,
+        full.objective,
+        tiled.objective,
+        context
+    );
+    let full_history: Vec<u64> = full.history.iter().map(|h| h.objective.to_bits()).collect();
+    let tiled_history: Vec<u64> = tiled
+        .history
+        .iter()
+        .map(|h| h.objective.to_bits())
+        .collect();
+    prop_assert_eq!(
+        full_history,
+        tiled_history,
+        "{}: history diverges {}",
+        name,
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: every solver, both layouts, any tile height —
+    /// `TilePolicy::Rows(t)` is bit-identical to `TilePolicy::Full`.
+    #[test]
+    fn tiled_fit_is_bit_identical_to_full_fit_for_all_solvers(
+        points in mixed_points(20, 6),
+        k in 2usize..4,
+        seed in 0u64..50,
+        tile_fraction in 0.0f64..1.0,
+    ) {
+        prop_assume!(k <= points.rows());
+        let n = points.rows();
+        // Any tile height in [1, n].
+        let tile_rows = 1 + ((n - 1) as f64 * tile_fraction) as usize;
+        let csr = CsrMatrix::from_dense(&points);
+        let full_config = base_config(k).with_seed(seed).with_tiling(TilePolicy::Full);
+        let tiled_config = base_config(k)
+            .with_seed(seed)
+            .with_tiling(TilePolicy::Rows(tile_rows));
+        for (full_solver, tiled_solver) in
+            all_solvers(&full_config).iter().zip(all_solvers(&tiled_config).iter())
+        {
+            for (layout, input) in [
+                ("dense", FitInput::Dense(&points)),
+                ("csr", FitInput::Sparse(&csr)),
+            ] {
+                let full = full_solver
+                    .fit_input(input)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", full_solver.name())))?;
+                let tiled = tiled_solver
+                    .fit_input(input)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", tiled_solver.name())))?;
+                assert_bit_identical(
+                    full_solver.name(),
+                    &full,
+                    &tiled,
+                    &format!("(layout {layout}, tile_rows {tile_rows}/{n})"),
+                )?;
+            }
+        }
+    }
+
+    /// The SYRK wrinkle: the in-core path may compute the Gram via SYRK +
+    /// mirror while tiles always use GEMM panels; both accumulate dot
+    /// products identically, so results still match bit for bit.
+    #[test]
+    fn tiled_fit_matches_forced_syrk_full_fit(
+        points in mixed_points(16, 6),
+        seed in 0u64..50,
+        tile_rows in 1usize..16,
+    ) {
+        prop_assume!(tile_rows <= points.rows());
+        let full_config = base_config(2)
+            .with_seed(seed)
+            .with_strategy(KernelMatrixStrategy::ForceSyrk)
+            .with_tiling(TilePolicy::Full);
+        let tiled_config = full_config.clone().with_tiling(TilePolicy::Rows(tile_rows));
+        let full = KernelKmeans::new(full_config).fit(&points).unwrap();
+        let tiled = KernelKmeans::new(tiled_config).fit(&points).unwrap();
+        assert_bit_identical("popcorn/syrk", &full, &tiled, "(forced SYRK full path)")?;
+    }
+
+    /// Kernel k-means++ seeding streams diag(K) and seed rows from the
+    /// source; the sampled centres (hence everything downstream) match the
+    /// in-core path exactly.
+    #[test]
+    fn tiled_kmeanspp_matches_full_kmeanspp(
+        points in mixed_points(14, 5),
+        seed in 0u64..50,
+        tile_rows in 1usize..14,
+    ) {
+        prop_assume!(tile_rows <= points.rows());
+        let full_config = base_config(3)
+            .with_seed(seed)
+            .with_init(Initialization::KmeansPlusPlus)
+            .with_tiling(TilePolicy::Full);
+        prop_assume!(3 <= points.rows());
+        let tiled_config = full_config.clone().with_tiling(TilePolicy::Rows(tile_rows));
+        let full = KernelKmeans::new(full_config).fit(&points).unwrap();
+        let tiled = KernelKmeans::new(tiled_config).fit(&points).unwrap();
+        assert_bit_identical("popcorn/kmeans++", &full, &tiled, "")?;
+    }
+
+    /// `fit_batch` over a tiled source: every per-job result is bit-identical
+    /// to both the standalone tiled fit and the full-matrix batch.
+    #[test]
+    fn tiled_batch_is_bit_identical_to_full_batch_and_standalone(
+        points in mixed_points(16, 5),
+        k in 2usize..4,
+        base_seed in 0u64..50,
+        tile_rows in 1usize..16,
+    ) {
+        prop_assume!(k <= points.rows());
+        prop_assume!(tile_rows <= points.rows());
+        let csr = CsrMatrix::from_dense(&points);
+        let full_base = base_config(k).with_tiling(TilePolicy::Full);
+        let tiled_base = base_config(k).with_tiling(TilePolicy::Rows(tile_rows));
+        let full_jobs = FitJob::restarts(&full_base, base_seed..base_seed + 3);
+        let tiled_jobs = FitJob::restarts(&tiled_base, base_seed..base_seed + 3);
+        for (full_solver, tiled_solver) in
+            all_solvers(&full_base).iter().zip(all_solvers(&tiled_base).iter())
+        {
+            for (layout, input) in [
+                ("dense", FitInput::Dense(&points)),
+                ("csr", FitInput::Sparse(&csr)),
+            ] {
+                let full_batch = full_solver
+                    .fit_batch(input, &full_jobs)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", full_solver.name())))?;
+                let tiled_batch = tiled_solver
+                    .fit_batch(input, &tiled_jobs)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", tiled_solver.name())))?;
+                prop_assert_eq!(tiled_batch.results.len(), tiled_jobs.len());
+                prop_assert_eq!(full_batch.best, tiled_batch.best);
+                for ((job, full), tiled) in tiled_jobs
+                    .iter()
+                    .zip(full_batch.results.iter())
+                    .zip(tiled_batch.results.iter())
+                {
+                    let context = format!(
+                        "(layout {layout}, tile_rows {tile_rows}, seed {})",
+                        job.config.seed
+                    );
+                    assert_bit_identical(tiled_solver.name(), full, tiled, &context)?;
+                    let standalone = tiled_solver
+                        .fit_input_with(input, &job.config)
+                        .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                    assert_bit_identical(
+                        tiled_solver.name(),
+                        &standalone,
+                        tiled,
+                        &format!("standalone-vs-batch {context}"),
+                    )?;
+                }
+            }
+        }
+    }
+}
+
+// --- the memory wall, exercised for real -----------------------------------
+
+/// A device cap (in bytes) under which the full kernel matrix of `n` f64
+/// points cannot be resident but a tile can.
+const SMALL_DEVICE_BYTES: u64 = 4 << 20; // 4 MiB
+
+fn wall_points() -> DenseMatrix<f64> {
+    // 800 x 8 f64 points: K is 800*800*8 = 5.12 MB > 4 MiB cap, points are
+    // 51 KB — the full matrix cannot be resident but row tiles easily fit.
+    DenseMatrix::from_fn(800, 8, |i, j| {
+        let offset = if i < 400 { 0.0 } else { 9.0 };
+        offset + ((i * 8 + j) as f64 * 0.37).sin()
+    })
+}
+
+fn small_device() -> DeviceSpec {
+    DeviceSpec::a100_80gb().with_mem_bytes(SMALL_DEVICE_BYTES)
+}
+
+/// The acceptance demonstration: at an `n` where the full `n × n` matrix
+/// exceeds `DeviceSpec::mem_bytes`, the auto policy tiles, the run completes,
+/// its modeled peak residency stays under the cap, and the clustering is
+/// bit-identical to an unconstrained full-matrix fit.
+#[test]
+fn auto_tiling_crosses_the_memory_wall_under_the_residency_cap() {
+    let points = wall_points();
+    let n = points.rows();
+    let elem = std::mem::size_of::<f64>();
+    let full_matrix_bytes = (n * n * elem) as u64;
+    assert!(
+        full_matrix_bytes > SMALL_DEVICE_BYTES,
+        "test premise: the full K must not fit"
+    );
+
+    let config = base_config(2).with_seed(7); // TilePolicy::Auto default
+    let executor = SimExecutor::new(small_device(), elem);
+    let constrained = KernelKmeans::new(config.clone()).with_executor(executor.clone());
+    let result = constrained.fit(&points).unwrap();
+
+    // The run stayed under the cap while the full matrix never could have.
+    assert!(
+        result.peak_resident_bytes <= SMALL_DEVICE_BYTES,
+        "peak residency {} exceeds the {} byte cap",
+        result.peak_resident_bytes,
+        SMALL_DEVICE_BYTES
+    );
+    assert!(result.peak_resident_bytes > 0);
+    assert_eq!(executor.peak_resident_bytes(), result.peak_resident_bytes);
+
+    // Tiling is visible in the trace: several GEMM panels per iteration
+    // instead of a single upfront Gram product.
+    let gemm_ops = result
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.class == OpClass::Gemm)
+        .count();
+    assert!(
+        gemm_ops > result.iterations,
+        "expected per-iteration tile panels, saw {gemm_ops} GEMMs over {} iterations",
+        result.iterations
+    );
+
+    // And the clustering is the one an unconstrained device computes.
+    let unconstrained = KernelKmeans::new(config).fit(&points).unwrap();
+    assert_eq!(result.labels, unconstrained.labels);
+    assert_eq!(
+        result.objective.to_bits(),
+        unconstrained.objective.to_bits()
+    );
+}
+
+#[test]
+fn full_policy_is_rejected_past_the_memory_wall() {
+    let points = wall_points();
+    let config = base_config(2).with_tiling(TilePolicy::Full);
+    let executor = SimExecutor::new(small_device(), std::mem::size_of::<f64>());
+    let err = KernelKmeans::new(config)
+        .with_executor(executor)
+        .fit(&points)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::DeviceMemoryExceeded { .. }));
+    let message = err.to_string();
+    assert!(message.contains("device memory exceeded"), "{message}");
+}
+
+#[test]
+fn batched_tiled_pass_is_shared_across_restarts() {
+    // One tile pass per iteration feeds the whole restart sweep: the tile
+    // recomputation lands in the shared trace, charged once per global
+    // iteration, not once per job.
+    let points = wall_points();
+    let jobs = FitJob::restarts(&base_config(2).with_convergence_check(false, 0.0), 0..3);
+    let executor = SimExecutor::new(small_device(), std::mem::size_of::<f64>());
+    let batch = KernelKmeans::new(base_config(2))
+        .with_executor(executor)
+        .fit_batch(FitInput::Dense(&points), &jobs)
+        .unwrap();
+
+    // All tile GEMM panels live in the shared trace...
+    let shared_gemms = batch
+        .report
+        .shared_trace
+        .records()
+        .iter()
+        .filter(|r| r.class == OpClass::Gemm)
+        .count();
+    assert!(shared_gemms > 0, "tile recomputation must be shared");
+    // ...and no job pays for them again.
+    for result in &batch.results {
+        assert_eq!(
+            result
+                .trace
+                .records()
+                .iter()
+                .filter(|r| r.class == OpClass::Gemm)
+                .count(),
+            0,
+            "per-job traces must not recompute tiles"
+        );
+    }
+    // The pass count scales with iterations, not iterations x jobs: every
+    // job runs the full 6 iterations (no convergence check), so the shared
+    // stream holds one pass per global iteration.
+    let max_iterations = batch.results.iter().map(|r| r.iterations).max().unwrap();
+    let tiles_per_pass = shared_gemms / max_iterations;
+    assert_eq!(shared_gemms, max_iterations * tiles_per_pass);
+    assert!(tiles_per_pass >= 2, "the wall forces at least two tiles");
+    // Sharing the passes beats recomputing them per job.
+    assert!(batch.report.reuse_speedup() > 1.0);
+}
+
+#[test]
+fn lockstep_batch_peak_models_all_jobs_concurrent_buffers() {
+    // The lockstep driver keeps every job's n x k buffer live at once, so the
+    // batch's modeled peak must exceed any single job's view (shared baseline
+    // + its own buffer) — summing, not maxing, the per-fork residency.
+    let points = wall_points();
+    let jobs = FitJob::restarts(&base_config(3).with_convergence_check(false, 0.0), 0..4);
+    let executor = SimExecutor::new(small_device(), std::mem::size_of::<f64>());
+    let batch = KernelKmeans::new(base_config(3))
+        .with_executor(executor.clone())
+        .fit_batch(FitInput::Dense(&points), &jobs)
+        .unwrap();
+    let max_job_peak = batch
+        .results
+        .iter()
+        .map(|r| r.peak_resident_bytes)
+        .max()
+        .unwrap();
+    let buffer = (points.rows() * 3 * std::mem::size_of::<f64>()) as u64;
+    assert!(
+        executor.peak_resident_bytes() >= max_job_peak + 3 * buffer,
+        "batch peak {} must account for 4 concurrent {} byte buffers (max job view {})",
+        executor.peak_resident_bytes(),
+        buffer,
+        max_job_peak
+    );
+    // The batch report surfaces the same batch-level peak to callers that
+    // never see the executor (e.g. the CLI driver).
+    assert_eq!(
+        batch.report.peak_resident_bytes,
+        executor.peak_resident_bytes()
+    );
+}
+
+#[test]
+fn planner_rejects_before_any_work_is_charged() {
+    // The reject happens at planning time: nothing lands in the trace.
+    let points = wall_points();
+    let config = base_config(2).with_tiling(TilePolicy::Rows(0));
+    assert!(KernelKmeans::new(config).fit(&points).is_err());
+
+    let executor = SimExecutor::new(
+        DeviceSpec::a100_80gb().with_mem_bytes(1024),
+        std::mem::size_of::<f64>(),
+    );
+    let trace_before = executor.trace().len();
+    let err = KernelKmeans::new(base_config(2))
+        .with_executor(executor.clone())
+        .fit(&points)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::DeviceMemoryExceeded { .. }));
+    // Only the upload charge precedes planning.
+    assert!(executor.trace().len() <= trace_before + 1);
+}
+
+#[test]
+fn completed_fits_release_their_residency_on_reused_executors() {
+    // A fit's buffers leave the device when it finishes: two fits on one
+    // shared executor must not stack their residency (which would inflate
+    // the second fit's reported peak past what the planner approved).
+    let points = wall_points();
+    let exec = SimExecutor::new(small_device(), std::mem::size_of::<f64>());
+    let solver = KernelKmeans::new(base_config(2).with_seed(3)).with_executor(exec.clone());
+    let first = solver.fit(&points).unwrap();
+    assert_eq!(
+        exec.resident_bytes(),
+        0,
+        "a completed fit must free its tracked residency"
+    );
+    let second = solver.fit(&points).unwrap();
+    assert_eq!(
+        first.peak_resident_bytes, second.peak_resident_bytes,
+        "identical back-to-back fits must report the same peak"
+    );
+    assert!(second.peak_resident_bytes <= SMALL_DEVICE_BYTES);
+    assert_eq!(first.labels, second.labels);
+}
+
+#[test]
+fn default_device_fits_paper_scale_but_not_a_million_points() {
+    // Sanity of the capacity model at realistic scales (f32): MNIST-sized
+    // n = 60k keeps the full matrix (14.4 GB < 80 GiB); n = 10^6 (4 TB)
+    // must tile.
+    let device = DeviceSpec::a100_80gb();
+    assert_eq!(device.mem_bytes, 80 * GIB);
+    let rows = plan_tile_rows(60_000, 100, 4, 60_000 * 780 * 4, TilePolicy::Auto, &device).unwrap();
+    assert_eq!(rows, 60_000);
+    let rows = plan_tile_rows(
+        1_000_000,
+        100,
+        4,
+        1_000_000 * 780 * 4,
+        TilePolicy::Auto,
+        &device,
+    )
+    .unwrap();
+    assert!(rows < 1_000_000);
+    assert!(rows > 0);
+}
