@@ -21,14 +21,17 @@ use popcorn_core::result::ClusteringResult;
 use popcorn_core::solver::{FitInput, Solver};
 use popcorn_core::{KernelKmeansConfig, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{
+    DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase, ResidencyScope, SimExecutor,
+};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Single-threaded dense CPU kernel k-means.
 #[derive(Debug, Clone)]
 pub struct CpuKernelKmeans {
     config: KernelKmeansConfig,
-    executor: Option<SimExecutor>,
+    executor: Option<Arc<dyn Executor>>,
 }
 
 /// The PRMLT-style distance engine: one sequential pass over `K` per
@@ -55,7 +58,7 @@ impl<T: Scalar> DistanceEngine<T> for CpuEngine<T> {
         iteration: usize,
         source: &dyn KernelSource<T>,
         labels: &[usize],
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()> {
         self.fold
             .begin_iteration(iteration, source.n(), labels, executor);
@@ -66,7 +69,7 @@ impl<T: Scalar> DistanceEngine<T> for CpuEngine<T> {
         &mut self,
         rows: Range<usize>,
         tile: &DenseMatrix<T>,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()> {
         let n = tile.cols();
         let t = rows.len();
@@ -91,7 +94,7 @@ impl<T: Scalar> DistanceEngine<T> for CpuEngine<T> {
         Ok(())
     }
 
-    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+    fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>> {
         let row_sums = self.fold.take_row_sums();
         let diag = self.fold.diag();
         let labels = self.fold.labels();
@@ -139,7 +142,13 @@ impl CpuKernelKmeans {
     }
 
     /// Use a specific executor (defaults to the single-core EPYC model).
-    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+    pub fn with_executor(self, executor: impl Executor + 'static) -> Self {
+        self.with_shared_executor(Arc::new(executor))
+    }
+
+    /// Use an already-shared executor handle (the CLI's sharded topology
+    /// goes through this).
+    pub fn with_shared_executor(mut self, executor: Arc<dyn Executor>) -> Self {
         self.executor = Some(executor);
         self
     }
@@ -149,9 +158,12 @@ impl CpuKernelKmeans {
         &self.config
     }
 
-    fn executor_for<T: Scalar>(&self) -> SimExecutor {
+    fn executor_for<T: Scalar>(&self) -> Arc<dyn Executor> {
         self.executor.clone().unwrap_or_else(|| {
-            SimExecutor::new(DeviceSpec::epyc7763_single_core(), std::mem::size_of::<T>())
+            Arc::new(SimExecutor::new(
+                DeviceSpec::epyc7763_single_core(),
+                std::mem::size_of::<T>(),
+            ))
         })
     }
 
@@ -159,7 +171,7 @@ impl CpuKernelKmeans {
         &self,
         source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<ClusteringResult> {
         let mut engine = CpuEngine::<T>::new(config.k);
         pipeline::iterate(source, config, executor, &mut engine)
@@ -175,7 +187,7 @@ impl CpuKernelKmeans {
         &self,
         input: FitInput<'_, T>,
         kernel: KernelFunction,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> DenseMatrix<T> {
         let elem = std::mem::size_of::<T>();
         // The full n x n matrix becomes resident under the host-memory model.
@@ -216,7 +228,8 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
 
     /// Run the full pipeline: dense sequential kernel matrix (or the SpGEMM
     /// Gram path for CSR inputs) when it fits the host-memory model, a
-    /// streamed [`TiledKernel`] otherwise, then sequential iterations.
+    /// streamed [`popcorn_core::TiledKernel`] otherwise, then sequential
+    /// iterations.
     fn fit_input_with(
         &self,
         input: FitInput<'_, T>,
@@ -225,7 +238,7 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         run_with_source(
             input,
             config.kernel,
@@ -244,7 +257,7 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
         config: &KernelKmeansConfig,
     ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         self.iterate_source(source, config, &executor)
     }
 
@@ -255,7 +268,7 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
         let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         let mark = executor.trace().len();
         // The lockstep driver keeps every job's n x k buffer live at once.
         let k_budget = jobs.iter().map(|j| j.config.k).sum();

@@ -34,8 +34,11 @@ use popcorn_core::result::ClusteringResult;
 use popcorn_core::solver::{dense_upload_bytes, FitInput, Solver};
 use popcorn_core::{KernelKmeansConfig, Result};
 use popcorn_dense::{matmul_nt, DenseMatrix, Scalar};
-use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{
+    DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase, ResidencyScope, SimExecutor,
+};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Utilization hint for the baseline's shared-memory row-reduction kernel.
 ///
@@ -52,7 +55,7 @@ pub fn reduction_utilization(k: usize) -> f64 {
 #[derive(Debug, Clone)]
 pub struct DenseGpuBaseline {
     config: KernelKmeansConfig,
-    executor: Option<SimExecutor>,
+    executor: Option<Arc<dyn Executor>>,
 }
 
 /// The baseline's three-hand-written-kernels distance engine. Kernel 1 (the
@@ -79,7 +82,7 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
         iteration: usize,
         source: &dyn KernelSource<T>,
         labels: &[usize],
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()> {
         self.fold
             .begin_iteration(iteration, source.n(), labels, executor);
@@ -90,7 +93,7 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
         &mut self,
         rows: Range<usize>,
         tile: &DenseMatrix<T>,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()> {
         let n = tile.cols();
         let t = rows.len();
@@ -118,7 +121,7 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
         Ok(())
     }
 
-    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+    fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>> {
         let row_sums = self.fold.take_row_sums();
         let diag = self.fold.diag();
         let labels = self.fold.labels();
@@ -186,7 +189,13 @@ impl DenseGpuBaseline {
     }
 
     /// Use a specific executor (defaults to the A100 model).
-    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+    pub fn with_executor(self, executor: impl Executor + 'static) -> Self {
+        self.with_shared_executor(Arc::new(executor))
+    }
+
+    /// Use an already-shared executor handle (the CLI's sharded topology
+    /// goes through this).
+    pub fn with_shared_executor(mut self, executor: Arc<dyn Executor>) -> Self {
         self.executor = Some(executor);
         self
     }
@@ -196,17 +205,20 @@ impl DenseGpuBaseline {
         &self.config
     }
 
-    fn executor_for<T: Scalar>(&self) -> SimExecutor {
-        self.executor
-            .clone()
-            .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
+    fn executor_for<T: Scalar>(&self) -> Arc<dyn Executor> {
+        self.executor.clone().unwrap_or_else(|| {
+            Arc::new(SimExecutor::new(
+                DeviceSpec::a100_80gb(),
+                std::mem::size_of::<T>(),
+            ))
+        })
     }
 
     fn iterate_source<T: Scalar>(
         &self,
         source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<ClusteringResult> {
         let mut engine = BaselineEngine::<T>::new(config.k);
         pipeline::iterate(source, config, executor, &mut engine)
@@ -219,7 +231,7 @@ impl DenseGpuBaseline {
     fn with_dense_points<T: Scalar, R>(
         &self,
         input: FitInput<'_, T>,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
         f: impl FnOnce(&DenseMatrix<T>) -> Result<R>,
     ) -> Result<R> {
         let n = input.n();
@@ -259,7 +271,7 @@ impl DenseGpuBaseline {
         &self,
         points: &DenseMatrix<T>,
         kernel: KernelFunction,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<DenseMatrix<T>> {
         let n = points.rows();
         let d = points.cols();
@@ -301,7 +313,7 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         self.with_dense_points(input, &executor, |points| {
             run_with_source(
                 FitInput::Dense(points),
@@ -323,7 +335,7 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
         config: &KernelKmeansConfig,
     ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         self.iterate_source(source, config, &executor)
     }
 
@@ -334,7 +346,7 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
         let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         let mark = executor.trace().len();
         // The lockstep driver keeps every job's n x k buffer live at once.
         let k_budget = jobs.iter().map(|j| j.config.k).sum();

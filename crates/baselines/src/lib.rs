@@ -32,7 +32,8 @@ pub use lloyd::LloydKmeans;
 
 use popcorn_core::{KernelKmeans, KernelKmeansConfig, Solver};
 use popcorn_dense::Scalar;
-use popcorn_gpusim::{DeviceSpec, SimExecutor};
+use popcorn_gpusim::{DeviceSpec, Executor};
+use std::sync::Arc;
 
 /// Every implementation in the workspace, as data — the single registry the
 /// CLI driver and the experiment harness construct solvers from, so adding
@@ -70,19 +71,24 @@ impl SolverKind {
 
     /// Construct the implementation with an explicit simulator executor —
     /// e.g. a device whose memory capacity was overridden by the CLI's
-    /// `--device-mem` flag.
+    /// `--device-mem` flag, or a multi-device
+    /// [`popcorn_gpusim::ShardedExecutor`] built from `--devices N`.
     pub fn build_with_executor<T: Scalar>(
         self,
         config: KernelKmeansConfig,
-        executor: SimExecutor,
+        executor: Arc<dyn Executor>,
     ) -> Box<dyn Solver<T>> {
         match self {
-            SolverKind::Popcorn => Box::new(KernelKmeans::new(config).with_executor(executor)),
-            SolverKind::DenseBaseline => {
-                Box::new(DenseGpuBaseline::new(config).with_executor(executor))
+            SolverKind::Popcorn => {
+                Box::new(KernelKmeans::new(config).with_shared_executor(executor))
             }
-            SolverKind::Cpu => Box::new(CpuKernelKmeans::new(config).with_executor(executor)),
-            SolverKind::Lloyd => Box::new(LloydKmeans::new(config).with_executor(executor)),
+            SolverKind::DenseBaseline => {
+                Box::new(DenseGpuBaseline::new(config).with_shared_executor(executor))
+            }
+            SolverKind::Cpu => {
+                Box::new(CpuKernelKmeans::new(config).with_shared_executor(executor))
+            }
+            SolverKind::Lloyd => Box::new(LloydKmeans::new(config).with_shared_executor(executor)),
         }
     }
 

@@ -20,17 +20,20 @@ use popcorn_core::result::{ClusteringResult, IterationStats};
 use popcorn_core::solver::{FitInput, Solver};
 use popcorn_core::{CoreError, KernelKmeansConfig, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{
+    DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase, ResidencyScope, SimExecutor,
+};
 use popcorn_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Classical k-means via Lloyd's algorithm on the raw points.
 #[derive(Debug, Clone)]
 pub struct LloydKmeans {
     config: KernelKmeansConfig,
-    executor: Option<SimExecutor>,
+    executor: Option<Arc<dyn Executor>>,
 }
 
 /// Layout-independent view of the points, private to Lloyd's loop.
@@ -162,7 +165,13 @@ impl LloydKmeans {
 
     /// Use a specific executor (defaults to the A100 model, matching the GPU
     /// classical-k-means implementations the paper cites).
-    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+    pub fn with_executor(self, executor: impl Executor + 'static) -> Self {
+        self.with_shared_executor(Arc::new(executor))
+    }
+
+    /// Use an already-shared executor handle (the CLI's sharded topology
+    /// goes through this).
+    pub fn with_shared_executor(mut self, executor: Arc<dyn Executor>) -> Self {
         self.executor = Some(executor);
         self
     }
@@ -172,10 +181,13 @@ impl LloydKmeans {
         &self.config
     }
 
-    fn executor_for<T: Scalar>(&self) -> SimExecutor {
-        self.executor
-            .clone()
-            .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
+    fn executor_for<T: Scalar>(&self) -> Arc<dyn Executor> {
+        self.executor.clone().unwrap_or_else(|| {
+            Arc::new(SimExecutor::new(
+                DeviceSpec::a100_80gb(),
+                std::mem::size_of::<T>(),
+            ))
+        })
     }
 
     /// Lloyd's loop over any point layout.
@@ -184,7 +196,7 @@ impl LloydKmeans {
         points: P,
         config: &KernelKmeansConfig,
         elem: usize,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<ClusteringResult> {
         let n = points.n();
         let d = points.d();
@@ -326,7 +338,7 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         input.charge_upload(&executor);
         let elem = std::mem::size_of::<T>();
         match input {
@@ -355,7 +367,7 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
         batch::validate_job_configs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let _residency = ResidencyScope::new(&*executor);
         let mark = executor.trace().len();
         input.charge_upload(&executor);
         let shared_trace = batch::trace_since(&executor, mark);

@@ -9,7 +9,7 @@
 //! keeping the two engines bit-for-bit in lockstep by construction.
 
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::SimExecutor;
+use popcorn_gpusim::Executor;
 use std::ops::Range;
 
 /// Per-iteration row-sum state shared by `CpuEngine` and `BaselineEngine`.
@@ -69,7 +69,7 @@ impl<T: Scalar> RowSumFold<T> {
         iteration: usize,
         n: usize,
         labels: &[usize],
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) {
         self.iteration = iteration;
         // Reuse the allocation across iterations; the copy itself is O(n),

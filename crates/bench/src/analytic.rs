@@ -127,8 +127,8 @@ pub fn popcorn_modeled(w: ModelWorkload, kernel: KernelFunction) -> TimingBreakd
         + kernel_apply_seconds(n, kernel)
         + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 0, ELEM));
 
-    let per_iter_distances = popcorn_distance_seconds(&model, n, k);
-    let per_iter_assignment = popcorn_assignment_seconds(&model, n, k);
+    let per_iter_distances = popcorn_distance_seconds(n, k);
+    let per_iter_assignment = model_assignment_seconds(n, k);
 
     TimingBreakdown {
         data_preparation,
@@ -139,11 +139,24 @@ pub fn popcorn_modeled(w: ModelWorkload, kernel: KernelFunction) -> TimingBreakd
     }
 }
 
-fn popcorn_distance_seconds(model: &CostModel, n: usize, k: usize) -> f64 {
-    model.time_seconds(
+fn popcorn_distance_seconds(n: usize, k: usize) -> f64 {
+    distance_spmm_tile_seconds(n, k, n) + popcorn_distance_finish_seconds(n, k)
+}
+
+/// Modeled seconds of Popcorn's distance SpMM over one `rows × n` tile of
+/// `K` (the per-device concurrent piece of a sharded iteration).
+pub fn distance_spmm_tile_seconds(n: usize, k: usize, rows: usize) -> f64 {
+    a100().time_seconds(
         OpClass::SpMM,
-        &OpCost::spmm_kvt(n, k, ELEM, INDEX).with_utilization(spmm_utilization(k)),
-    ) + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 1, ELEM))
+        &OpCost::spmm_kvt_rows(rows, n, k, ELEM, INDEX).with_utilization(spmm_utilization(k)),
+    )
+}
+
+/// Modeled seconds of the per-iteration distance **finish** step (gather +
+/// SpMV centroid norms + assembly) — serial in the sharded model.
+pub fn popcorn_distance_finish_seconds(n: usize, k: usize) -> f64 {
+    let model = a100();
+    model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 1, ELEM))
         + model.time_seconds(OpClass::SpMV, &OpCost::spmv(n, k, n, ELEM, INDEX))
         + model.time_seconds(
             OpClass::Elementwise,
@@ -151,12 +164,47 @@ fn popcorn_distance_seconds(model: &CostModel, n: usize, k: usize) -> f64 {
         )
 }
 
-fn popcorn_assignment_seconds(model: &CostModel, n: usize, k: usize) -> f64 {
+/// Modeled seconds of the per-iteration assignment step (argmin + V rebuild)
+/// — serial in the sharded model.
+pub fn model_assignment_seconds(n: usize, k: usize) -> f64 {
+    let model = a100();
     model.time_seconds(OpClass::Other, &OpCost::elementwise(n, 1, 3, 0, ELEM))
         + model.time_seconds(
             OpClass::Reduction,
             &OpCost::elementwise_elems(n as u64 * k as u64, 1, 0, 1, ELEM),
         )
+}
+
+/// Modeled seconds of recomputing one `rows × n` kernel-matrix tile: the
+/// GEMM panel plus the elementwise kernel application (the per-device
+/// concurrent recompute piece of the tiled and sharded paths).
+pub fn tile_recompute_seconds(n: usize, d: usize, rows: usize, kernel: KernelFunction) -> f64 {
+    let model = a100();
+    model.time_seconds(OpClass::Gemm, &OpCost::gemm(rows, n, d, ELEM))
+        + model.time_seconds(
+            OpClass::Elementwise,
+            &OpCost::elementwise_elems(
+                rows as u64 * n as u64,
+                1,
+                1,
+                kernel.flops_per_entry().max(1),
+                ELEM,
+            ),
+        )
+}
+
+/// Modeled seconds of computing the Gram diagonal once from the retained
+/// points plus deriving `diag(K)` (the streamed paths' once-only prelude).
+pub fn tiled_gram_diag_seconds(n: usize, d: usize) -> f64 {
+    let model = a100();
+    model.time_seconds(
+        OpClass::Elementwise,
+        &OpCost::new(
+            2 * (n as u64) * (d as u64),
+            n as u64 * d as u64 * ELEM as u64,
+            n as u64 * ELEM as u64,
+        ),
+    ) + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 0, ELEM))
 }
 
 /// Modeled per-phase times for Popcorn fitting a **sparse (CSR)** input with
@@ -185,8 +233,8 @@ pub fn popcorn_sparse_modeled(
         + kernel_apply_seconds(n, kernel)
         + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 0, ELEM));
 
-    let per_iter_distances = popcorn_distance_seconds(&model, n, k);
-    let per_iter_assignment = popcorn_assignment_seconds(&model, n, k);
+    let per_iter_distances = popcorn_distance_seconds(n, k);
+    let per_iter_assignment = model_assignment_seconds(n, k);
 
     TimingBreakdown {
         data_preparation,
@@ -293,24 +341,12 @@ fn tile_count(n: usize, tile_rows: usize) -> usize {
 /// panels plus the elementwise kernel application — the per-iteration
 /// recompute cost of the streaming (out-of-core) kernel-matrix path.
 pub fn tiled_pass_seconds(n: usize, d: usize, tile_rows: usize, kernel: KernelFunction) -> f64 {
-    let model = a100();
     let tiles = tile_count(n, tile_rows);
     let mut total = 0.0;
     let mut r0 = 0usize;
     for _ in 0..tiles {
         let r1 = (r0 + tile_rows).min(n);
-        let t = r1 - r0;
-        total += model.time_seconds(OpClass::Gemm, &OpCost::gemm(t, n, d, ELEM));
-        total += model.time_seconds(
-            OpClass::Elementwise,
-            &OpCost::elementwise_elems(
-                t as u64 * n as u64,
-                1,
-                1,
-                kernel.flops_per_entry().max(1),
-                ELEM,
-            ),
-        );
+        total += tile_recompute_seconds(n, d, r1 - r0, kernel);
         r0 = r1;
     }
     total
@@ -339,18 +375,11 @@ pub fn popcorn_tiled_modeled(
         &OpCost::transfer(n as u64 * d as u64 * ELEM as u64),
     );
     // Gram diagonal once, then one tile pass per iteration.
-    let diag = model.time_seconds(
-        OpClass::Elementwise,
-        &OpCost::new(
-            2 * (n as u64) * (d as u64),
-            n as u64 * d as u64 * ELEM as u64,
-            n as u64 * ELEM as u64,
-        ),
-    ) + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 0, ELEM));
-    let kernel_matrix = diag + tiled_pass_seconds(n, d, tile_rows, kernel) * iterations as f64;
+    let kernel_matrix = tiled_gram_diag_seconds(n, d)
+        + tiled_pass_seconds(n, d, tile_rows, kernel) * iterations as f64;
 
-    let per_iter_distances = popcorn_tiled_distance_seconds(&model, n, k, tile_rows);
-    let per_iter_assignment = popcorn_assignment_seconds(&model, n, k);
+    let per_iter_distances = popcorn_tiled_distance_seconds(n, k, tile_rows);
+    let per_iter_assignment = model_assignment_seconds(n, k);
 
     TimingBreakdown {
         data_preparation,
@@ -361,25 +390,16 @@ pub fn popcorn_tiled_modeled(
     }
 }
 
-fn popcorn_tiled_distance_seconds(model: &CostModel, n: usize, k: usize, tile_rows: usize) -> f64 {
+fn popcorn_tiled_distance_seconds(n: usize, k: usize, tile_rows: usize) -> f64 {
     let tiles = tile_count(n, tile_rows);
     let mut spmm = 0.0;
     let mut r0 = 0usize;
     for _ in 0..tiles {
         let r1 = (r0 + tile_rows).min(n);
-        spmm += model.time_seconds(
-            OpClass::SpMM,
-            &OpCost::spmm_kvt_rows(r1 - r0, n, k, ELEM, INDEX)
-                .with_utilization(spmm_utilization(k)),
-        );
+        spmm += distance_spmm_tile_seconds(n, k, r1 - r0);
         r0 = r1;
     }
-    spmm + model.time_seconds(OpClass::Elementwise, &OpCost::elementwise(n, 1, 1, 1, ELEM))
-        + model.time_seconds(OpClass::SpMV, &OpCost::spmv(n, k, n, ELEM, INDEX))
-        + model.time_seconds(
-            OpClass::Elementwise,
-            &OpCost::elementwise_elems(n as u64 * k as u64, 1, 1, 2, ELEM),
-        )
+    spmm + popcorn_distance_finish_seconds(n, k)
 }
 
 /// Modeled total seconds of the **batched-tiled** restart protocol: the

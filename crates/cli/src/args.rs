@@ -1,6 +1,35 @@
 //! Command line argument parsing for `gpukmeans`.
 
 use popcorn_core::{Initialization, KernelFunction, TilePolicy};
+use popcorn_gpusim::LinkSpec;
+
+/// Device↔device interconnect selected by `--interconnect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interconnect {
+    /// NVLink 3.0 (the default for multi-device topologies).
+    #[default]
+    Nvlink,
+    /// PCIe Gen4 x16 peer transfers.
+    Pcie,
+}
+
+impl Interconnect {
+    /// Name matching the `--interconnect` flag values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Interconnect::Nvlink => "nvlink",
+            Interconnect::Pcie => "pcie",
+        }
+    }
+
+    /// The simulator link specification this choice stands for.
+    pub fn link_spec(&self) -> LinkSpec {
+        match self {
+            Interconnect::Nvlink => LinkSpec::nvlink(),
+            Interconnect::Pcie => LinkSpec::pcie_gen4(),
+        }
+    }
+}
 
 /// Which implementation the `-l` flag selects (artifact: 0 = naive GPU
 /// baseline, 2 = Popcorn; we additionally expose 1 = CPU reference and
@@ -72,8 +101,15 @@ pub struct CliArgs {
     /// pick the largest layout fitting device memory (default).
     pub tiling: TilePolicy,
     /// `--device-mem GB`: override the simulated device's memory capacity in
-    /// gigabytes (`None` keeps the device preset's capacity).
+    /// gigabytes (`None` keeps the device preset's capacity). Rejected in
+    /// combination with a multi-device preset topology (`--devices` ≥ 2).
     pub device_mem_gb: Option<f64>,
+    /// `--devices N`: number of modeled devices kernel-matrix rows are
+    /// sharded across (1 = the classic single-device run).
+    pub devices: usize,
+    /// `--interconnect {nvlink|pcie}`: the device↔device link of a
+    /// multi-device topology; only meaningful with `--devices` ≥ 2.
+    pub interconnect: Option<Interconnect>,
     /// `-s`: RNG seed.
     pub seed: u64,
     /// `-l`: implementation selector.
@@ -101,6 +137,8 @@ impl Default for CliArgs {
             repair_empty_clusters: true,
             tiling: TilePolicy::Auto,
             device_mem_gb: None,
+            devices: 1,
+            interconnect: None,
             seed: 0,
             implementation: Implementation::Popcorn,
             output: None,
@@ -142,7 +180,14 @@ OPTIONS:
   --device-mem GB simulated device memory capacity in decimal GB (1 GB =
                   1e9 bytes; accepts fractions, e.g. 0.5). Note the device
                   presets use binary GiB, so --device-mem 80 is ~7% smaller
-                  than the A100-80GB preset. Default: the preset's capacity
+                  than the A100-80GB preset. Default: the preset's capacity.
+                  Incompatible with --devices >= 2 (preset topologies fix
+                  each device's capacity)
+  --devices INT   number of modeled devices to shard kernel-matrix rows
+                  across; the report then shows per-device residency and the
+                  modeled multi-device speedup                 [default: 1]
+  --interconnect  device link for --devices >= 2: nvlink | pcie
+                                                               [default: nvlink]
   -s INT          RNG seed                                     [default: 0]
   -l {0|1|2|3}    implementation: 0 = dense GPU baseline, 1 = CPU,
                   2 = Popcorn, 3 = Lloyd (classical k-means)   [default: 2]
@@ -257,6 +302,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 }
                 parsed.device_mem_gb = Some(gb);
             }
+            "--devices" => {
+                parsed.devices = parse_usize("--devices", value("--devices", &mut iter)?)?
+            }
+            "--interconnect" => {
+                let v = value("--interconnect", &mut iter)?;
+                parsed.interconnect = Some(match v.as_str() {
+                    "nvlink" => Interconnect::Nvlink,
+                    "pcie" => Interconnect::Pcie,
+                    _ => return Err(format!("--interconnect expects nvlink or pcie, got '{v}'")),
+                });
+            }
             "-s" => parsed.seed = parse_usize("-s", value("-s", &mut iter)?)? as u64,
             "-l" => {
                 let v = value("-l", &mut iter)?;
@@ -290,6 +346,21 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if parsed.input.is_none() && (parsed.n == 0 || parsed.d == 0) {
         return Err("-n and -d must be positive when generating a dataset".to_string());
+    }
+    // Contradictory device flags are rejected here, not silently forwarded
+    // to the driver.
+    if parsed.devices == 0 {
+        return Err("--devices must be at least 1".to_string());
+    }
+    if parsed.devices >= 2 && parsed.device_mem_gb.is_some() {
+        return Err(
+            "--device-mem cannot be combined with --devices >= 2: the multi-device \
+             preset topology fixes each device's capacity"
+                .to_string(),
+        );
+    }
+    if parsed.interconnect.is_some() && parsed.devices < 2 {
+        return Err("--interconnect requires --devices >= 2".to_string());
     }
     Ok(parsed)
 }
@@ -446,6 +517,52 @@ mod tests {
         assert!(parse(&["--device-mem", "-1"]).is_err());
         assert!(parse(&["--device-mem", "NaN"]).is_err());
         assert!(parse(&["--device-mem", "lots"]).is_err());
+    }
+
+    #[test]
+    fn devices_and_interconnect_flags() {
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.devices, 1);
+        assert_eq!(defaults.interconnect, None);
+        let args = parse(&["--devices", "4"]).unwrap();
+        assert_eq!(args.devices, 4);
+        let args = parse(&["--devices", "8", "--interconnect", "pcie"]).unwrap();
+        assert_eq!(args.interconnect, Some(Interconnect::Pcie));
+        assert_eq!(
+            parse(&["--devices", "2", "--interconnect", "nvlink"])
+                .unwrap()
+                .interconnect,
+            Some(Interconnect::Nvlink)
+        );
+        assert_eq!(Interconnect::Nvlink.name(), "nvlink");
+        assert_eq!(Interconnect::Pcie.name(), "pcie");
+        assert_eq!(Interconnect::Nvlink.link_spec().name, "NVLink3");
+        assert_eq!(Interconnect::Pcie.link_spec().name, "PCIe Gen4 x16");
+    }
+
+    #[test]
+    fn contradictory_device_flags_are_rejected_with_clear_errors() {
+        // --devices 0 names the offending flag.
+        let err = parse(&["--devices", "0"]).unwrap_err();
+        assert!(err.contains("--devices must be at least 1"), "{err}");
+        // --device-mem with a preset topology cannot pass through silently.
+        let err = parse(&["--devices", "4", "--device-mem", "40"]).unwrap_err();
+        assert!(err.contains("--device-mem cannot be combined"), "{err}");
+        let err = parse(&["--device-mem", "40", "--devices", "4"]).unwrap_err();
+        assert!(err.contains("--device-mem cannot be combined"), "{err}");
+        // --interconnect without a multi-device topology is meaningless.
+        let err = parse(&["--interconnect", "nvlink"]).unwrap_err();
+        assert!(
+            err.contains("--interconnect requires --devices >= 2"),
+            "{err}"
+        );
+        let err = parse(&["--devices", "1", "--interconnect", "pcie"]).unwrap_err();
+        assert!(err.contains("requires --devices >= 2"), "{err}");
+        // Unknown link names are rejected at parse time.
+        assert!(parse(&["--devices", "2", "--interconnect", "infiniband"]).is_err());
+        // Single-device --device-mem stays legal.
+        assert!(parse(&["--device-mem", "40"]).is_ok());
+        assert!(parse(&["--devices", "1", "--device-mem", "40"]).is_ok());
     }
 
     #[test]

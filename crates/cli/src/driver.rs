@@ -12,7 +12,8 @@ use popcorn_core::{ClusteringResult, KernelKmeansConfig, TilePolicy};
 use popcorn_data::dataset::{Dataset, SparseDataset};
 use popcorn_data::synthetic::uniform_dataset;
 use popcorn_data::{csv, libsvm};
-use popcorn_gpusim::SimExecutor;
+use popcorn_gpusim::{Executor, ShardedExecutor, SimExecutor};
+use std::sync::Arc;
 
 /// Summary of one CLI invocation (one run per entry in `results`).
 #[derive(Debug, Clone)]
@@ -36,6 +37,90 @@ pub struct RunSummary {
     pub tiling: TilePolicy,
     /// Simulated device memory capacity in bytes, when overridden.
     pub device_mem_bytes: Option<u64>,
+    /// Multi-device accounting when `--devices` sharded the run.
+    pub sharding: Option<ShardingSummary>,
+}
+
+/// What the multi-device sharded run cost, per device and in aggregate —
+/// read back from the [`ShardedExecutor`] after the fits.
+#[derive(Debug, Clone)]
+pub struct ShardingSummary {
+    /// Device name shared by the homogeneous topology.
+    pub device_name: String,
+    /// Interconnect name.
+    pub interconnect: String,
+    /// Per-device memory capacity in bytes.
+    pub device_mem_bytes: u64,
+    /// Per-device concurrent modeled seconds and peak residency, in shard
+    /// order.
+    pub per_device: Vec<(f64, u64)>,
+    /// Modeled seconds of the serial (non-sharded) stream.
+    pub serial_seconds: f64,
+    /// Modeled seconds of the device↔device all-reduces.
+    pub comm_seconds: f64,
+    /// Overlap-aware modeled wall-clock (serial + comm + busiest device).
+    pub wallclock_seconds: f64,
+    /// Serialized single-device total of the same operations.
+    pub serialized_seconds: f64,
+    /// Modeled speedup over serializing on one device.
+    pub speedup: f64,
+}
+
+impl ShardingSummary {
+    fn from_executor(executor: &ShardedExecutor) -> Self {
+        let topology = executor.device_topology();
+        let per_device = executor
+            .per_device_modeled_seconds()
+            .into_iter()
+            .zip(executor.per_device_peak_resident_bytes())
+            .collect();
+        Self {
+            device_name: topology.devices[0].name.clone(),
+            interconnect: topology.interconnect.name.clone(),
+            device_mem_bytes: topology.devices[0].mem_bytes,
+            per_device,
+            serial_seconds: executor.serial_modeled_seconds(),
+            comm_seconds: executor.comm_modeled_seconds(),
+            wallclock_seconds: executor.modeled_wallclock_seconds(),
+            serialized_seconds: executor.serialized_single_device_seconds(),
+            speedup: executor.modeled_speedup(),
+        }
+    }
+
+    /// The busiest single device's residency high-water mark.
+    pub fn max_device_peak_bytes(&self) -> u64 {
+        self.per_device
+            .iter()
+            .map(|&(_, peak)| peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Human-readable per-device block of the run report.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "sharded over {} x {} via {}: modeled wall-clock {:.6} s vs {:.6} s \
+             serialized on one device ({:.2}x modeled speedup; serial {:.6} s, \
+             all-reduce {:.6} s)\n",
+            self.per_device.len(),
+            self.device_name,
+            self.interconnect,
+            self.wallclock_seconds,
+            self.serialized_seconds,
+            self.speedup,
+            self.serial_seconds,
+            self.comm_seconds,
+        );
+        for (device, (seconds, peak)) in self.per_device.iter().enumerate() {
+            out.push_str(&format!(
+                "device {device}: busy {:.6} s, peak residency {:.3} MB of {:.3} MB capacity\n",
+                seconds,
+                *peak as f64 / 1e6,
+                self.device_mem_bytes as f64 / 1e6,
+            ));
+        }
+        out
+    }
 }
 
 impl RunSummary {
@@ -89,14 +174,27 @@ impl RunSummary {
             self.implementation.name(),
             self.tiling.describe(),
         ));
-        let peak_mb = self.peak_resident_bytes() as f64 / 1e6;
-        match self.device_mem_bytes {
-            Some(mem) => out.push_str(&format!(
-                "peak modeled device residency: {:.3} MB of {:.3} MB capacity\n",
-                peak_mb,
-                mem as f64 / 1e6
-            )),
-            None => out.push_str(&format!("peak modeled device residency: {peak_mb:.3} MB\n")),
+        if let Some(sharding) = &self.sharding {
+            out.push_str(&sharding.report());
+            // Under sharding the per-fit aggregate counter spans the whole
+            // topology (replicated + every shard's buffers) — no single
+            // device ever holds it, so headline the busiest device instead.
+            out.push_str(&format!(
+                "peak modeled device residency: {:.3} MB on the busiest device \
+                 ({:.3} MB summed across the topology)\n",
+                sharding.max_device_peak_bytes() as f64 / 1e6,
+                self.peak_resident_bytes() as f64 / 1e6,
+            ));
+        } else {
+            let peak_mb = self.peak_resident_bytes() as f64 / 1e6;
+            match self.device_mem_bytes {
+                Some(mem) => out.push_str(&format!(
+                    "peak modeled device residency: {:.3} MB of {:.3} MB capacity\n",
+                    peak_mb,
+                    mem as f64 / 1e6
+                )),
+                None => out.push_str(&format!("peak modeled device residency: {peak_mb:.3} MB\n")),
+            }
         }
         if let Some((best, report)) = &self.batch {
             for (job, result) in report.jobs.iter().zip(self.results.iter()) {
@@ -282,14 +380,41 @@ fn device_mem_bytes(args: &CliArgs) -> Option<u64> {
     args.device_mem_gb.map(|gb| (gb * 1e9) as u64)
 }
 
-/// Build the solver for one run, overriding the simulated device's memory
-/// capacity when `--device-mem` was given.
-fn build_solver_for(args: &CliArgs, config: KernelKmeansConfig) -> Box<dyn Solver<f32>> {
+/// The row-sharded topology `--devices` asks for, built once per invocation
+/// so the summary covers every run (fits scope their residency; seconds and
+/// peaks accumulate across runs on purpose).
+fn sharded_executor_for(args: &CliArgs) -> Option<Arc<ShardedExecutor>> {
+    if args.devices <= 1 {
+        return None;
+    }
+    let link = args.interconnect.unwrap_or_default().link_spec();
+    Some(Arc::new(ShardedExecutor::homogeneous(
+        args.implementation.default_device(),
+        args.devices,
+        link,
+        std::mem::size_of::<f32>(),
+    )))
+}
+
+/// Build the solver for one run: the invocation-wide sharded topology when
+/// `--devices` asked for one, a memory-capped device when `--device-mem` was
+/// given, the default single-device executor otherwise.
+fn build_solver_for(
+    args: &CliArgs,
+    config: KernelKmeansConfig,
+    sharded: &Option<Arc<ShardedExecutor>>,
+) -> Box<dyn Solver<f32>> {
+    if let Some(executor) = sharded {
+        return args
+            .implementation
+            .build_with_executor(config, executor.clone() as Arc<dyn Executor>);
+    }
     match device_mem_bytes(args) {
         None => args.implementation.build(config),
         Some(mem) => {
             let device = args.implementation.default_device().with_mem_bytes(mem);
-            let executor = SimExecutor::new(device, std::mem::size_of::<f32>());
+            let executor: Arc<dyn Executor> =
+                Arc::new(SimExecutor::new(device, std::mem::size_of::<f32>()));
             args.implementation.build_with_executor(config, executor)
         }
     }
@@ -314,12 +439,15 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         return Err(format!("-k {k} exceeds the number of points {}", data.n()));
     }
 
+    // One sharded topology for the whole invocation, so the summary covers
+    // every run (not just the last one).
+    let sharded_executor = sharded_executor_for(args);
     let (results, batch) = if batch_mode(args) {
         // One batch: the kernel matrix is computed once (or its tiles are
         // streamed once per iteration for the whole batch) and every
         // (k, seed) job iterates over it; `--runs` does not apply.
         let jobs = FitJob::k_sweep(&config_from(args, 0), &k_values, args.restarts);
-        let solver = build_solver_for(args, config_from(args, 0));
+        let solver = build_solver_for(args, config_from(args, 0), &sharded_executor);
         let batch = solver
             .fit_batch(data.fit_input(), &jobs)
             .map_err(|e| e.to_string())?;
@@ -327,7 +455,7 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
     } else {
         let mut results = Vec::with_capacity(args.runs);
         for run_idx in 0..args.runs {
-            let solver = build_solver_for(args, config_from(args, run_idx));
+            let solver = build_solver_for(args, config_from(args, run_idx), &sharded_executor);
             let result = solver
                 .fit_input(data.fit_input())
                 .map_err(|e| e.to_string())?;
@@ -335,6 +463,9 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         }
         (results, None)
     };
+    let sharding = sharded_executor
+        .as_deref()
+        .map(ShardingSummary::from_executor);
 
     if let Some(path) = &args.output {
         let mut text = String::new();
@@ -361,6 +492,7 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         batch,
         tiling: args.tiling,
         device_mem_bytes: device_mem_bytes(args),
+        sharding,
     })
 }
 
@@ -541,6 +673,65 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("device memory exceeded"), "{err}");
+    }
+
+    #[test]
+    fn sharded_run_matches_single_device_and_reports_devices() {
+        let base = CliArgs {
+            n: 200,
+            d: 6,
+            k: 3,
+            runs: 1,
+            max_iter: 5,
+            ..CliArgs::default()
+        };
+        let single = run(&base).unwrap();
+        let sharded = run(&CliArgs {
+            devices: 4,
+            interconnect: Some(crate::args::Interconnect::Nvlink),
+            ..base.clone()
+        })
+        .unwrap();
+        // Sharding only moves where tiles are priced — the clustering is
+        // bit-identical.
+        assert_eq!(single.results[0].labels, sharded.results[0].labels);
+        assert_eq!(
+            single.results[0].objective.to_bits(),
+            sharded.results[0].objective.to_bits()
+        );
+        let summary = sharded.sharding.as_ref().unwrap();
+        assert_eq!(summary.per_device.len(), 4);
+        assert!(summary.speedup > 1.0);
+        assert!(summary.comm_seconds > 0.0);
+        assert!(summary.per_device.iter().all(|&(s, b)| s > 0.0 && b > 0));
+        let text = sharded.report();
+        assert!(
+            text.contains("sharded over 4 x NVIDIA A100 80GB via NVLink3"),
+            "{text}"
+        );
+        assert!(text.contains("device 3: busy"), "{text}");
+        assert!(text.contains("modeled speedup"), "{text}");
+        assert!(single.sharding.is_none());
+    }
+
+    #[test]
+    fn sharded_batch_matches_single_device_batch() {
+        let base = CliArgs {
+            n: 150,
+            d: 5,
+            k: 3,
+            restarts: 3,
+            max_iter: 4,
+            ..CliArgs::default()
+        };
+        let single = run(&base).unwrap();
+        let sharded = run(&CliArgs { devices: 3, ..base }).unwrap();
+        assert_eq!(single.results.len(), sharded.results.len());
+        for (a, b) in single.results.iter().zip(sharded.results.iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        assert!(sharded.sharding.is_some());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! that keeps `k` effective clusters alive.
 
 use popcorn_dense::{row_argmin, DenseMatrix, Scalar};
-use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
 
 /// Result of one assignment step.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +27,7 @@ pub struct AssignmentOutcome {
 pub fn assign_clusters<T: Scalar>(
     distances: &DenseMatrix<T>,
     previous: &[usize],
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> AssignmentOutcome {
     let n = distances.rows();
     let k = distances.cols();
@@ -110,6 +110,7 @@ pub fn repair_empty_clusters<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use popcorn_gpusim::SimExecutor;
 
     fn distances() -> DenseMatrix<f64> {
         // 4 points, 3 clusters

@@ -31,7 +31,7 @@ use crate::solver::{FitInput, Solver};
 use crate::strategy::KernelMatrixStrategy;
 use crate::Result;
 use popcorn_dense::Scalar;
-use popcorn_gpusim::{OpTrace, SimExecutor};
+use popcorn_gpusim::{Executor, OpTrace};
 
 /// One unit of a batch: a full solver configuration (the `(config, seed)`
 /// pair of the restart protocol — the seed lives inside the config).
@@ -275,7 +275,7 @@ pub fn validate_jobs<T: Scalar>(input: &FitInput<'_, T>, jobs: &[FitJob]) -> Res
 
 /// The records appended to `executor` since it held `mark` records — the
 /// shared-phase slice of a batch.
-pub fn trace_since(executor: &SimExecutor, mark: usize) -> OpTrace {
+pub fn trace_since(executor: &dyn Executor, mark: usize) -> OpTrace {
     let snapshot = executor.trace();
     let mut trace = OpTrace::new();
     for record in snapshot.records().iter().skip(mark) {
@@ -295,9 +295,9 @@ pub fn trace_since(executor: &SimExecutor, mark: usize) -> OpTrace {
 /// batch history.
 pub fn drive_shared_kernel(
     jobs: &[FitJob],
-    shared_executor: &SimExecutor,
+    shared_executor: &dyn Executor,
     shared_trace: OpTrace,
-    mut run_job: impl FnMut(&FitJob, &SimExecutor) -> Result<ClusteringResult>,
+    mut run_job: impl FnMut(&FitJob, &dyn Executor) -> Result<ClusteringResult>,
 ) -> Result<BatchResult> {
     let mut results = Vec::with_capacity(jobs.len());
     let mut job_reports = Vec::with_capacity(jobs.len());
@@ -336,12 +336,12 @@ pub fn drive_shared_kernel(
 pub fn drive_shared_source<T: Scalar>(
     jobs: &[FitJob],
     source: &dyn KernelSource<T>,
-    shared_executor: &SimExecutor,
+    shared_executor: &dyn Executor,
     mark: usize,
     mut make_engine: impl FnMut(&FitJob) -> Box<dyn DistanceEngine<T>>,
 ) -> Result<BatchResult> {
     struct JobRun<T: Scalar> {
-        executor: SimExecutor,
+        executor: Box<dyn Executor>,
         engine: Box<dyn DistanceEngine<T>>,
         state: LoopState,
     }
@@ -515,6 +515,7 @@ mod tests {
     use super::*;
     use crate::popcorn::KernelKmeans;
     use popcorn_dense::DenseMatrix;
+    use popcorn_gpusim::SimExecutor;
     use popcorn_gpusim::{OpClass, OpCost, Phase};
 
     fn blob_points() -> DenseMatrix<f64> {

@@ -16,7 +16,7 @@
 use crate::kernel_matrix::INDEX_BYTES;
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
 use popcorn_sparse::{spmm_transpose_b_into, spmv, SelectionMatrix};
 
 /// Utilization hint for the distance SpMM as a function of `k`.
@@ -52,7 +52,7 @@ pub fn accumulate_distance_tile<T: Scalar>(
     rows: std::ops::Range<usize>,
     tile: &DenseMatrix<T>,
     selection: &SelectionMatrix<T>,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<()> {
     let n = selection.n();
     let k = selection.k();
@@ -87,7 +87,7 @@ pub fn finish_distances<T: Scalar>(
     mut e: DenseMatrix<T>,
     point_norms: &[T],
     selection: &SelectionMatrix<T>,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<DistanceOutput<T>> {
     let n = selection.n();
     let k = selection.k();
@@ -137,7 +137,7 @@ pub fn compute_distances<T: Scalar>(
     kernel_matrix: &DenseMatrix<T>,
     point_norms: &[T],
     selection: &SelectionMatrix<T>,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<DistanceOutput<T>> {
     let n = kernel_matrix.rows();
     let k = selection.k();
@@ -206,6 +206,7 @@ mod tests {
     use super::*;
     use crate::kernel::{kernel_matrix_reference, KernelFunction};
     use popcorn_dense::diagonal;
+    use popcorn_gpusim::SimExecutor;
 
     fn setup(kernel: KernelFunction) -> (DenseMatrix<f64>, Vec<usize>) {
         let points = DenseMatrix::from_fn(9, 3, |i, j| ((i * 3 + j) as f64 * 0.31).cos());

@@ -10,7 +10,7 @@
 use crate::kernel_source::KernelSource;
 use crate::{CoreError, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::SimExecutor;
+use popcorn_gpusim::{Executor, SimExecutor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -84,7 +84,7 @@ pub fn kmeanspp_assignments_source<T: Scalar>(
     source: &dyn KernelSource<T>,
     k: usize,
     seed: u64,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<Vec<usize>> {
     let n = source.n();
     if k == 0 || n == 0 || k > n {
@@ -100,7 +100,7 @@ pub fn kmeanspp_assignments_source<T: Scalar>(
     // every exit path, so an error mid-seeding cannot leak tracked bytes
     // into a caller-attached executor's residency.
     struct SeedingResidency<'a> {
-        executor: &'a SimExecutor,
+        executor: &'a dyn Executor,
         bytes: u64,
     }
     impl Drop for SeedingResidency<'_> {
@@ -182,7 +182,7 @@ pub fn initial_assignments_source<T: Scalar>(
     k: usize,
     init: Initialization,
     seed: u64,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<Vec<usize>> {
     match init {
         Initialization::Random => random_assignments(source.n(), k, seed),

@@ -11,7 +11,7 @@ use crate::kernel::KernelFunction;
 use crate::strategy::{self, GramRoutine, KernelMatrixStrategy};
 use crate::Result;
 use popcorn_dense::{matmul_nt, symmetrize_lower, syrk, DenseMatrix, Scalar, Triangle};
-use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
 use popcorn_sparse::CsrMatrix;
 
 /// Width of the sparse index type assumed by the cost accounting (the paper
@@ -23,7 +23,7 @@ pub const INDEX_BYTES: usize = 4;
 pub fn compute_gram<T: Scalar>(
     points: &DenseMatrix<T>,
     routine: GramRoutine,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<DenseMatrix<T>> {
     let n = points.rows();
     let d = points.cols();
@@ -90,7 +90,7 @@ pub fn spgemm_gram_cost<T: Scalar>(points: &CsrMatrix<T>) -> OpCost {
 /// dense GEMM — the sparse input never gets densified.
 pub fn compute_gram_csr<T: Scalar>(
     points: &CsrMatrix<T>,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<DenseMatrix<T>> {
     let n = points.rows();
     let d = points.cols();
@@ -113,7 +113,7 @@ pub fn compute_gram_csr<T: Scalar>(
 fn apply_kernel_to_gram<T: Scalar>(
     gram: &mut DenseMatrix<T>,
     kernel: KernelFunction,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) {
     let n = gram.rows();
     let elem = std::mem::size_of::<T>();
@@ -138,7 +138,7 @@ pub fn compute_kernel_matrix<T: Scalar>(
     points: &DenseMatrix<T>,
     kernel: KernelFunction,
     strategy: KernelMatrixStrategy,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<(DenseMatrix<T>, GramRoutine)> {
     let routine = strategy.select(points.rows(), points.cols());
     let mut gram = compute_gram(points, routine, executor)?;
@@ -153,7 +153,7 @@ pub fn compute_kernel_matrix<T: Scalar>(
 pub fn compute_kernel_matrix_csr<T: Scalar>(
     points: &CsrMatrix<T>,
     kernel: KernelFunction,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<(DenseMatrix<T>, GramRoutine)> {
     let mut gram = compute_gram_csr(points, executor)?;
     apply_kernel_to_gram(&mut gram, kernel, executor);
@@ -164,7 +164,7 @@ pub fn compute_kernel_matrix_csr<T: Scalar>(
 /// paper §3.3) — charging the small elementwise gather to the executor.
 pub fn extract_point_norms<T: Scalar>(
     kernel_matrix: &DenseMatrix<T>,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> Result<Vec<T>> {
     let n = kernel_matrix.rows();
     let elem = std::mem::size_of::<T>();
@@ -182,6 +182,7 @@ pub fn extract_point_norms<T: Scalar>(
 mod tests {
     use super::*;
     use crate::kernel::kernel_matrix_reference;
+    use popcorn_gpusim::SimExecutor;
 
     fn sample_points(n: usize, d: usize) -> DenseMatrix<f64> {
         DenseMatrix::from_fn(n, d, |i, j| ((i * d + j) as f64 * 0.17).sin())

@@ -35,7 +35,7 @@ use crate::kernel_matrix::{extract_point_norms, INDEX_BYTES};
 use crate::solver::FitInput;
 use crate::Result;
 use popcorn_dense::{matmul_nt_rows, DenseMatrix, Scalar};
-use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase};
 use std::cell::RefCell;
 use std::ops::Range;
 
@@ -92,17 +92,17 @@ pub trait KernelSource<T: Scalar> {
 
     /// `diag(K)` — the squared feature-space point norms `P̃` (paper §3.3).
     /// Charged to the executor on first call, cached afterwards.
-    fn diag(&self, executor: &SimExecutor) -> Result<Vec<T>>;
+    fn diag(&self, executor: &dyn Executor) -> Result<Vec<T>>;
 
     /// One full row `K[i, :]` (kernel k-means++ seeding needs point↔seed
     /// distances, i.e. arbitrary rows).
-    fn row(&self, i: usize, executor: &SimExecutor) -> Result<Vec<T>>;
+    fn row(&self, i: usize, executor: &dyn Executor) -> Result<Vec<T>>;
 
     /// Stream the matrix as contiguous row tiles, calling
     /// `f(r0..r1, &tile)` with `tile` holding rows `r0..r1` (shape
     /// `(r1 - r0) × n`). [`TiledKernel`] charges each tile's recomputation to
     /// the executor here; [`FullKernel`] charges nothing.
-    fn for_each_tile(&self, executor: &SimExecutor, f: &mut TileVisitor<'_, T>) -> Result<()>;
+    fn for_each_tile(&self, executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()>;
 }
 
 /// The in-core backend: a borrowed, precomputed kernel matrix. One tile spans
@@ -149,7 +149,7 @@ impl<T: Scalar> KernelSource<T> for FullKernel<'_, T> {
         n * n * std::mem::size_of::<T>() as u64
     }
 
-    fn diag(&self, executor: &SimExecutor) -> Result<Vec<T>> {
+    fn diag(&self, executor: &dyn Executor) -> Result<Vec<T>> {
         if let Some(diag) = self.diag_cache.borrow().as_ref() {
             return Ok(diag.clone());
         }
@@ -158,11 +158,11 @@ impl<T: Scalar> KernelSource<T> for FullKernel<'_, T> {
         Ok(diag)
     }
 
-    fn row(&self, i: usize, _executor: &SimExecutor) -> Result<Vec<T>> {
+    fn row(&self, i: usize, _executor: &dyn Executor) -> Result<Vec<T>> {
         Ok(self.matrix.row(i).to_vec())
     }
 
-    fn for_each_tile(&self, _executor: &SimExecutor, f: &mut TileVisitor<'_, T>) -> Result<()> {
+    fn for_each_tile(&self, _executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()> {
         f(0..self.matrix.rows(), self.matrix)
     }
 }
@@ -193,7 +193,20 @@ impl<'a, T: Scalar> TiledKernel<'a, T> {
         points: FitInput<'a, T>,
         kernel: KernelFunction,
         tile_rows: usize,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
+    ) -> Result<Self> {
+        Self::build(points, kernel, tile_rows, executor, true)
+    }
+
+    /// [`TiledKernel::new`] with the residency tracking made optional: the
+    /// row-sharded source plans and tracks *per-device* tile buffers itself,
+    /// so it suppresses this constructor's single-device tracking.
+    pub(crate) fn build(
+        points: FitInput<'a, T>,
+        kernel: KernelFunction,
+        tile_rows: usize,
+        executor: &dyn Executor,
+        track_residency: bool,
     ) -> Result<Self> {
         let n = points.n();
         if tile_rows == 0 {
@@ -221,7 +234,9 @@ impl<'a, T: Scalar> TiledKernel<'a, T> {
             ),
             || Self::compute_gram_diag(&points),
         );
-        executor.track_alloc(tile_bytes(tile_rows, n, elem) + n as u64 * elem as u64);
+        if track_residency {
+            executor.track_alloc(tile_bytes(tile_rows, n, elem) + n as u64 * elem as u64);
+        }
         let column_counts = match &points {
             FitInput::Dense(_) => None,
             FitInput::Sparse(p) => Some(p.column_counts()),
@@ -239,6 +254,37 @@ impl<'a, T: Scalar> TiledKernel<'a, T> {
     /// The Gram diagonal as captured for the kernel application.
     pub fn gram_diag(&self) -> &[f64] {
         &self.gram_diag
+    }
+
+    /// Compute (and charge) one finished kernel-matrix tile `K[r0..r1, :]`:
+    /// the Gram panel followed by the elementwise kernel application — the
+    /// step both this source's own streaming loop and the row-sharded source
+    /// price per tile.
+    pub(crate) fn compute_tile(
+        &self,
+        r0: usize,
+        r1: usize,
+        executor: &dyn Executor,
+    ) -> Result<DenseMatrix<T>> {
+        let n = self.points.n();
+        let elem = std::mem::size_of::<T>();
+        let mut tile = self.gram_panel(r0, r1, executor)?;
+        let kernel = self.kernel;
+        let gram_diag = &self.gram_diag;
+        executor.run(
+            format!("apply {} kernel to K tile rows {r0}..{r1}", kernel.name()),
+            Phase::KernelMatrix,
+            OpClass::Elementwise,
+            OpCost::elementwise_elems(
+                (r1 - r0) as u64 * n as u64,
+                1,
+                1,
+                kernel.flops_per_entry().max(1),
+                elem,
+            ),
+            || kernel.apply_to_gram_tile(&mut tile, r0, gram_diag),
+        );
+        Ok(tile)
     }
 
     fn compute_gram_diag(points: &FitInput<'_, T>) -> Vec<f64> {
@@ -271,7 +317,7 @@ impl<'a, T: Scalar> TiledKernel<'a, T> {
 
     /// Compute rows `r0..r1` of the **Gram** matrix, charged as a GEMM or
     /// SpGEMM panel, bit-identical to the same rows of the full Gram.
-    fn gram_panel(&self, r0: usize, r1: usize, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+    fn gram_panel(&self, r0: usize, r1: usize, executor: &dyn Executor) -> Result<DenseMatrix<T>> {
         let t = r1 - r0;
         let n = self.points.n();
         let d = self.points.d();
@@ -326,7 +372,7 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
         tile_bytes(self.tile_rows, self.points.n(), std::mem::size_of::<T>())
     }
 
-    fn diag(&self, executor: &SimExecutor) -> Result<Vec<T>> {
+    fn diag(&self, executor: &dyn Executor) -> Result<Vec<T>> {
         if let Some(diag) = self.diag_cache.borrow().as_ref() {
             return Ok(diag.clone());
         }
@@ -350,7 +396,7 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
         Ok(diag)
     }
 
-    fn row(&self, i: usize, executor: &SimExecutor) -> Result<Vec<T>> {
+    fn row(&self, i: usize, executor: &dyn Executor) -> Result<Vec<T>> {
         let n = self.points.n();
         let elem = std::mem::size_of::<T>();
         let mut panel = self.gram_panel(i, i + 1, executor)?;
@@ -366,28 +412,12 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
         Ok(panel.row(0).to_vec())
     }
 
-    fn for_each_tile(&self, executor: &SimExecutor, f: &mut TileVisitor<'_, T>) -> Result<()> {
+    fn for_each_tile(&self, executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()> {
         let n = self.points.n();
-        let elem = std::mem::size_of::<T>();
         let mut r0 = 0usize;
         while r0 < n {
             let r1 = (r0 + self.tile_rows).min(n);
-            let mut tile = self.gram_panel(r0, r1, executor)?;
-            let kernel = self.kernel;
-            let gram_diag = &self.gram_diag;
-            executor.run(
-                format!("apply {} kernel to K tile rows {r0}..{r1}", kernel.name()),
-                Phase::KernelMatrix,
-                OpClass::Elementwise,
-                OpCost::elementwise_elems(
-                    (r1 - r0) as u64 * n as u64,
-                    1,
-                    1,
-                    kernel.flops_per_entry().max(1),
-                    elem,
-                ),
-                || kernel.apply_to_gram_tile(&mut tile, r0, gram_diag),
-            );
+            let tile = self.compute_tile(r0, r1, executor)?;
             f(r0..r1, &tile)?;
             r0 = r1;
         }
@@ -396,11 +426,17 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
 }
 
 /// Plan the residency for one fit and run it over the chosen source: the
-/// single dispatch point between the in-core and streaming paths.
+/// single dispatch point between the in-core, streaming and multi-device
+/// paths.
 ///
-/// When the planner keeps the full matrix, `compute_full` produces it (each
-/// solver computes and charges its kernel matrix its own way) and `run`
-/// receives a [`FullKernel`] over it; otherwise `run` receives a
+/// When the executor shards work across several devices
+/// ([`Executor::topology`], e.g. a [`popcorn_gpusim::ShardedExecutor`]), the
+/// kernel-matrix rows are partitioned by a [`crate::shard::ShardPlan`] and
+/// `run` receives a [`crate::shard::ShardedKernelSource`] — engines and the
+/// lockstep batch driver work unchanged, only *where* tiles are priced moves.
+/// Otherwise, when the planner keeps the full matrix, `compute_full` produces
+/// it (each solver computes and charges its kernel matrix its own way) and
+/// `run` receives a [`FullKernel`] over it; otherwise `run` receives a
 /// [`TiledKernel`] over the retained points. `k_budget` sizes the modeled
 /// `n × k` iteration workspace — a standalone fit passes its `k`, a batch
 /// passes the **sum** of its jobs' `k`s because the lockstep driver keeps
@@ -410,10 +446,31 @@ pub fn run_with_source<T: Scalar, R>(
     kernel: KernelFunction,
     tiling: TilePolicy,
     k_budget: usize,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
     compute_full: impl FnOnce() -> Result<DenseMatrix<T>>,
     run: impl FnOnce(&dyn KernelSource<T>) -> Result<R>,
 ) -> Result<R> {
+    if executor.shard_count() > 1 {
+        let Some(topology) = executor.topology() else {
+            return Err(CoreError::InvalidConfig(
+                "the executor reports multiple shards but no device topology; \
+                 an Executor implementation overriding shard_count() must also \
+                 override topology()"
+                    .into(),
+            ));
+        };
+        let plan = crate::shard::ShardPlan::balanced(
+            input.n(),
+            k_budget,
+            std::mem::size_of::<T>(),
+            input.upload_bytes(),
+            tiling,
+            topology,
+        )?;
+        let source =
+            crate::shard::ShardedKernelSource::new(input, kernel, plan, k_budget, executor)?;
+        return run(&source);
+    }
     let tile_rows = plan_tile_rows(
         input.n(),
         k_budget,
@@ -527,6 +584,7 @@ mod tests {
     use super::*;
     use crate::kernel_matrix::compute_kernel_matrix;
     use crate::strategy::KernelMatrixStrategy;
+    use popcorn_gpusim::SimExecutor;
     use popcorn_gpusim::GIB;
     use popcorn_sparse::CsrMatrix;
 
@@ -542,7 +600,7 @@ mod tests {
 
     fn collect_tiles<T: Scalar>(
         source: &dyn KernelSource<T>,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> DenseMatrix<T> {
         let n = source.n();
         let mut out = DenseMatrix::zeros(n, n);

@@ -34,6 +34,7 @@ pub mod kernel_source;
 pub mod pipeline;
 pub mod popcorn;
 pub mod result;
+pub mod shard;
 pub mod solver;
 pub mod strategy;
 
@@ -45,6 +46,7 @@ pub use kernel::KernelFunction;
 pub use kernel_source::{FullKernel, KernelSource, TilePolicy, TileVisitor, TiledKernel};
 pub use popcorn::KernelKmeans;
 pub use result::{ClusteringResult, IterationStats, TimingBreakdown};
+pub use shard::{DeviceShard, ShardPlan, ShardedKernelSource};
 pub use solver::{FitInput, Solver};
 pub use strategy::{GramRoutine, KernelMatrixStrategy};
 

@@ -26,7 +26,7 @@ use crate::kernel_source::KernelSource;
 use crate::result::{ClusteringResult, IterationStats, TimingBreakdown};
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::SimExecutor;
+use popcorn_gpusim::Executor;
 use std::ops::Range;
 
 /// Produces the `n × k` distance matrix for one iteration, consuming the
@@ -44,7 +44,7 @@ pub trait DistanceEngine<T: Scalar> {
         iteration: usize,
         source: &dyn KernelSource<T>,
         labels: &[usize],
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()>;
 
     /// Fold one row tile `K[rows, :]` into the iteration state.
@@ -52,11 +52,11 @@ pub trait DistanceEngine<T: Scalar> {
         &mut self,
         rows: Range<usize>,
         tile: &DenseMatrix<T>,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()>;
 
     /// Produce the `n × k` distance matrix once every tile was consumed.
-    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>>;
+    fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>>;
 }
 
 /// Per-run loop bookkeeping: labels, history, convergence. Shared by the
@@ -107,7 +107,7 @@ impl LoopState {
         &mut self,
         distances: &DenseMatrix<T>,
         config: &KernelKmeansConfig,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) {
         let iteration = self.iterations;
         let outcome = assign_clusters(distances, &self.labels, executor);
@@ -143,7 +143,7 @@ impl LoopState {
 
     /// Assemble the [`ClusteringResult`] from the loop state and the
     /// executor's trace.
-    pub fn into_result(self, executor: &SimExecutor) -> ClusteringResult {
+    pub fn into_result(self, executor: &dyn Executor) -> ClusteringResult {
         finalize(
             self.labels,
             self.k,
@@ -160,7 +160,7 @@ impl LoopState {
 pub fn iterate<T: Scalar>(
     source: &dyn KernelSource<T>,
     config: &KernelKmeansConfig,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
     engine: &mut dyn DistanceEngine<T>,
 ) -> Result<ClusteringResult> {
     let n = source.n();
@@ -190,7 +190,7 @@ pub fn finalize(
     iterations: usize,
     converged: bool,
     history: Vec<IterationStats>,
-    executor: &SimExecutor,
+    executor: &dyn Executor,
 ) -> ClusteringResult {
     let trace = executor.trace();
     let objective = history.last().map(|h| h.objective).unwrap_or(f64::NAN);
@@ -215,6 +215,7 @@ mod tests {
     use crate::errors::CoreError;
     use crate::kernel::{kernel_matrix_reference, KernelFunction};
     use crate::kernel_source::FullKernel;
+    use popcorn_gpusim::SimExecutor;
 
     /// A trivially correct engine: the reference kernel-trick distances,
     /// assembled from whatever tiles the source hands out.
@@ -238,7 +239,7 @@ mod tests {
             _iteration: usize,
             source: &dyn KernelSource<f64>,
             labels: &[usize],
-            _executor: &SimExecutor,
+            _executor: &dyn Executor,
         ) -> Result<()> {
             self.k_rows = Some(DenseMatrix::zeros(source.n(), source.n()));
             self.labels = labels.to_vec();
@@ -249,7 +250,7 @@ mod tests {
             &mut self,
             rows: Range<usize>,
             tile: &DenseMatrix<f64>,
-            _executor: &SimExecutor,
+            _executor: &dyn Executor,
         ) -> Result<()> {
             let buffer = self.k_rows.as_mut().expect("begin_iteration ran");
             for (local, i) in rows.enumerate() {
@@ -258,7 +259,7 @@ mod tests {
             Ok(())
         }
 
-        fn finish_iteration(&mut self, _executor: &SimExecutor) -> Result<DenseMatrix<f64>> {
+        fn finish_iteration(&mut self, _executor: &dyn Executor) -> Result<DenseMatrix<f64>> {
             let kernel_matrix = self.k_rows.take().expect("begin_iteration ran");
             let k = self.labels.iter().copied().max().unwrap_or(0) + 1;
             Ok(compute_distances_reference(

@@ -17,15 +17,18 @@ use crate::result::ClusteringResult;
 use crate::solver::{FitInput, Solver};
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::{DeviceSpec, OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{
+    DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase, ResidencyScope, SimExecutor,
+};
 use popcorn_sparse::SelectionMatrix;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// The Popcorn kernel k-means solver.
 #[derive(Debug, Clone)]
 pub struct KernelKmeans {
     config: KernelKmeansConfig,
-    executor: Option<SimExecutor>,
+    executor: Option<Arc<dyn Executor>>,
 }
 
 /// Popcorn's matrix-centric distance engine: rebuild `V`, one SpMM per kernel
@@ -57,7 +60,7 @@ impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
         iteration: usize,
         source: &dyn KernelSource<T>,
         labels: &[usize],
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()> {
         let n = source.n();
         let elem = std::mem::size_of::<T>();
@@ -90,14 +93,14 @@ impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
         &mut self,
         rows: Range<usize>,
         tile: &DenseMatrix<T>,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<()> {
         let e = self.e.as_mut().expect("begin_iteration ran");
         let selection = self.selection.as_ref().expect("begin_iteration ran");
         accumulate_distance_tile(e, rows, tile, selection, executor)
     }
 
-    fn finish_iteration(&mut self, executor: &SimExecutor) -> Result<DenseMatrix<T>> {
+    fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>> {
         let e = self.e.take().expect("begin_iteration ran");
         let selection = self.selection.as_ref().expect("begin_iteration ran");
         let point_norms = self.point_norms.as_ref().expect("populated in begin");
@@ -116,9 +119,16 @@ impl KernelKmeans {
         }
     }
 
-    /// Use a specific simulator executor (e.g. a different device preset or a
-    /// shared profiler). The executor's trace is *not* reset by `fit`.
-    pub fn with_executor(mut self, executor: SimExecutor) -> Self {
+    /// Use a specific simulator executor (e.g. a different device preset, a
+    /// shared profiler, or a multi-device [`popcorn_gpusim::ShardedExecutor`]).
+    /// The executor's trace is *not* reset by `fit`.
+    pub fn with_executor(self, executor: impl Executor + 'static) -> Self {
+        self.with_shared_executor(Arc::new(executor))
+    }
+
+    /// Use an already-shared executor handle (the CLI's sharded topology
+    /// goes through this).
+    pub fn with_shared_executor(mut self, executor: Arc<dyn Executor>) -> Self {
         self.executor = Some(executor);
         self
     }
@@ -128,17 +138,20 @@ impl KernelKmeans {
         &self.config
     }
 
-    fn executor_for<T: Scalar>(&self) -> SimExecutor {
-        self.executor
-            .clone()
-            .unwrap_or_else(|| SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<T>()))
+    fn executor_for<T: Scalar>(&self) -> Arc<dyn Executor> {
+        self.executor.clone().unwrap_or_else(|| {
+            Arc::new(SimExecutor::new(
+                DeviceSpec::a100_80gb(),
+                std::mem::size_of::<T>(),
+            ))
+        })
     }
 
     fn iterate_source<T: Scalar>(
         &self,
         source: &dyn KernelSource<T>,
         config: &KernelKmeansConfig,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<ClusteringResult> {
         let mut engine = PopcornEngine::new(config.k);
         pipeline::iterate(source, config, executor, &mut engine)
@@ -156,7 +169,7 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
 
     /// Run the full pipeline on dense or CSR points: upload, then — per the
     /// tiling plan — either a precomputed kernel matrix (GEMM/SYRK for dense,
-    /// SpGEMM for sparse) or a streamed [`TiledKernel`] that recomputes row
+    /// SpGEMM for sparse) or a streamed [`crate::TiledKernel`] that recomputes row
     /// tiles every iteration, then the clustering iterations. Tiling never
     /// changes the results, only what is resident and what is charged.
     fn fit_input_with(
@@ -167,23 +180,24 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         config.validate(input.n())?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let executor: &dyn Executor = &*executor;
+        let _residency = ResidencyScope::new(executor);
 
         // Data preparation: host -> device copy of P̂ (paper §4.1).
-        input.charge_upload(&executor);
+        input.charge_upload(executor);
 
         run_with_source(
             input,
             config.kernel,
             config.tiling,
             config.k,
-            &executor,
+            executor,
             || {
                 Ok(input
-                    .compute_kernel_matrix(config.kernel, config.strategy, &executor)?
+                    .compute_kernel_matrix(config.kernel, config.strategy, executor)?
                     .0)
             },
-            |source| self.iterate_source(source, config, &executor),
+            |source| self.iterate_source(source, config, executor),
         )
     }
 
@@ -196,8 +210,9 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         config: &KernelKmeansConfig,
     ) -> Result<ClusteringResult> {
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
-        self.iterate_source(source, config, &executor)
+        let executor: &dyn Executor = &*executor;
+        let _residency = ResidencyScope::new(executor);
+        self.iterate_source(source, config, executor)
     }
 
     /// The restart protocol: upload the points once, then either compute `K`
@@ -208,9 +223,10 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
-        let _residency = executor.scoped_residency();
+        let executor: &dyn Executor = &*executor;
+        let _residency = ResidencyScope::new(executor);
         let mark = executor.trace().len();
-        input.charge_upload(&executor);
+        input.charge_upload(executor);
         // The lockstep driver keeps every job's n x k buffer live at once, so
         // the residency plan budgets the sum of the jobs' k values.
         let k_budget = jobs.iter().map(|j| j.config.k).sum();
@@ -219,17 +235,17 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
             plan.kernel,
             plan.tiling,
             k_budget,
-            &executor,
+            executor,
             || {
                 Ok(input
-                    .compute_kernel_matrix(plan.kernel, plan.strategy, &executor)?
+                    .compute_kernel_matrix(plan.kernel, plan.strategy, executor)?
                     .0)
             },
             |source| {
                 // P̃ = diag(K) is identical across jobs: compute and charge it
                 // once in the shared phase; per-job engines read the cache.
-                source.diag(&executor)?;
-                batch::drive_shared_source(jobs, source, &executor, mark, |job| {
+                source.diag(executor)?;
+                batch::drive_shared_source(jobs, source, executor, mark, |job| {
                     Box::new(PopcornEngine::new(job.config.k))
                 })
             },

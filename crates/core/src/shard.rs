@@ -1,0 +1,592 @@
+//! Multi-device row sharding of the kernel matrix: [`ShardPlan`] and
+//! [`ShardedKernelSource`].
+//!
+//! Built exactly the way the roadmap prescribed — on [`KernelSource`]: a
+//! sharded source hands each device its own contiguous row range of `K`, so
+//! the distance engines and the lockstep batch driver work **unchanged**.
+//! Per-device residency planning reuses [`plan_tile_rows`] against each
+//! device's [`popcorn_gpusim::DeviceSpec::mem_bytes`]: a device either keeps
+//! its whole shard resident or streams it in sub-tiles, and a topology whose
+//! devices cannot hold even one row each is rejected up front.
+//!
+//! Sharding changes **where tiles are priced, never what is computed**: the
+//! tiles are produced by the same panel kernels as [`TiledKernel`] (which are
+//! bit-identical to the in-core path), they are visited in global row order,
+//! and every per-entry fold order is untouched — so sharded fits equal
+//! single-device fits to the last bit, for every solver, both layouts,
+//! standalone and batched. What the sharding adds is attribution: while a
+//! device's tiles stream, the executor's active shard points at that device
+//! ([`popcorn_gpusim::Executor::activate_shard`]), so the tile recomputation
+//! *and* the engine work folded over the tile are charged to the owning
+//! device's concurrent bucket. After each full pass the `n × k` distance
+//! partials and per-cluster statistics are all-reduced across the topology's
+//! link ([`popcorn_gpusim::LinkSpec`]), charged as one
+//! [`OpClass::AllReduce`] operation.
+//!
+//! Sharding also *aggregates memory*: a shard small enough to sit resident
+//! on its device ([`DeviceShard::is_resident`]) is computed — and charged —
+//! exactly once, then replayed from device memory on later passes, exactly
+//! like the in-core [`crate::FullKernel`] path. Enough devices therefore
+//! recover charge-once semantics at an `n` where every single device would
+//! have to recompute tiles each iteration.
+
+use crate::kernel::KernelFunction;
+use crate::kernel_source::{
+    plan_tile_rows, tile_bytes, KernelSource, TilePolicy, TileVisitor, TiledKernel,
+};
+use crate::solver::FitInput;
+use crate::{CoreError, Result};
+use popcorn_dense::Scalar;
+use popcorn_gpusim::{DeviceTopology, Executor, ExecutorExt, OpClass, OpCost, Phase};
+use std::ops::Range;
+
+/// One device's slice of the kernel matrix rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceShard {
+    /// Index of the owning device in the topology.
+    pub device: usize,
+    /// The contiguous row range `K[rows, :]` this device prices.
+    pub rows: Range<usize>,
+    /// Sub-tile height this device streams its shard in (equals
+    /// `rows.len()` when the whole shard is resident; 0 for an empty shard).
+    pub tile_rows: usize,
+}
+
+impl DeviceShard {
+    /// `true` when this device keeps its entire shard resident (one tile).
+    pub fn is_resident(&self) -> bool {
+        self.tile_rows >= self.rows.len()
+    }
+}
+
+/// How `n` kernel-matrix rows are partitioned across a [`DeviceTopology`],
+/// with a per-device sub-tiling plan from [`plan_tile_rows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    n: usize,
+    shards: Vec<DeviceShard>,
+}
+
+impl ShardPlan {
+    /// Partition `0..n` into contiguous, balanced row ranges — one per device
+    /// of `topology` — and plan each device's sub-tiling for a fit with
+    /// `k_budget` total distance columns and `input_bytes` of uploaded
+    /// points.
+    pub fn balanced(
+        n: usize,
+        k_budget: usize,
+        elem: usize,
+        input_bytes: u64,
+        tiling: TilePolicy,
+        topology: &DeviceTopology,
+    ) -> Result<Self> {
+        let p = topology.devices.len();
+        let boundaries: Vec<usize> = (1..p).map(|d| d * n / p).collect();
+        Self::with_boundaries(
+            n,
+            &boundaries,
+            k_budget,
+            elem,
+            input_bytes,
+            tiling,
+            topology,
+        )
+    }
+
+    /// Partition `0..n` at the given ascending split points (device `d` gets
+    /// `boundaries[d-1]..boundaries[d]`); `boundaries.len()` must be one less
+    /// than the device count. Property tests use this to prove results are
+    /// independent of the partition.
+    pub fn with_boundaries(
+        n: usize,
+        boundaries: &[usize],
+        k_budget: usize,
+        elem: usize,
+        input_bytes: u64,
+        tiling: TilePolicy,
+        topology: &DeviceTopology,
+    ) -> Result<Self> {
+        let p = topology.devices.len();
+        if boundaries.len() + 1 != p {
+            return Err(CoreError::InvalidConfig(format!(
+                "a {p}-device topology needs {} shard boundaries, got {}",
+                p - 1,
+                boundaries.len()
+            )));
+        }
+        let mut shards = Vec::with_capacity(p);
+        let mut start = 0usize;
+        for (device, &end) in boundaries.iter().chain(std::iter::once(&n)).enumerate() {
+            if end < start || end > n {
+                return Err(CoreError::InvalidConfig(format!(
+                    "shard boundaries must be ascending and at most n = {n}"
+                )));
+            }
+            let shard_rows = end - start;
+            let tile_rows = if shard_rows == 0 {
+                0
+            } else {
+                plan_shard_tile_rows(
+                    n,
+                    shard_rows,
+                    k_budget,
+                    elem,
+                    input_bytes,
+                    tiling,
+                    topology,
+                    device,
+                )?
+            };
+            shards.push(DeviceShard {
+                device,
+                rows: start..end,
+                tile_rows,
+            });
+            start = end;
+        }
+        Ok(Self { n, shards })
+    }
+
+    /// Number of points `n` the plan covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-device shards, in row order.
+    pub fn shards(&self) -> &[DeviceShard] {
+        &self.shards
+    }
+
+    /// Number of devices in the plan.
+    pub fn device_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The device owning row `i`.
+    pub fn device_of(&self, row: usize) -> usize {
+        self.shards
+            .iter()
+            .find(|s| s.rows.contains(&row))
+            .map(|s| s.device)
+            .unwrap_or(0)
+    }
+
+    /// The largest per-device sub-tile height in the plan.
+    pub fn max_tile_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.tile_rows).max().unwrap_or(0)
+    }
+}
+
+/// Per-device tile planning: map the fit-level [`TilePolicy`] onto one
+/// device's shard, reusing [`plan_tile_rows`] for the capacity math.
+#[allow(clippy::too_many_arguments)]
+fn plan_shard_tile_rows(
+    n: usize,
+    shard_rows: usize,
+    k_budget: usize,
+    elem: usize,
+    input_bytes: u64,
+    tiling: TilePolicy,
+    topology: &DeviceTopology,
+    device: usize,
+) -> Result<usize> {
+    let spec = &topology.devices[device];
+    match tiling {
+        // "Full" on a sharded fit means: every device keeps its whole shard
+        // resident; reject the topology if a device cannot.
+        TilePolicy::Full => plan_tile_rows(
+            n,
+            k_budget,
+            elem,
+            input_bytes,
+            TilePolicy::Rows(shard_rows),
+            spec,
+        ),
+        TilePolicy::Rows(rows) => {
+            if rows == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "tile_rows must be at least 1".into(),
+                ));
+            }
+            plan_tile_rows(
+                n,
+                k_budget,
+                elem,
+                input_bytes,
+                TilePolicy::Rows(rows.min(shard_rows)),
+                spec,
+            )
+        }
+        TilePolicy::Auto => {
+            let rows = plan_tile_rows(n, k_budget, elem, input_bytes, TilePolicy::Auto, spec)?;
+            Ok(rows.min(shard_rows))
+        }
+    }
+}
+
+/// Restores "no active shard" on drop, so an error inside a shard's tile
+/// stream cannot leave the executor attributing unrelated work to a device.
+struct ActiveShard<'a> {
+    executor: &'a dyn Executor,
+}
+
+impl<'a> ActiveShard<'a> {
+    fn activate(executor: &'a dyn Executor, device: usize) -> Self {
+        executor.activate_shard(Some(device));
+        Self { executor }
+    }
+}
+
+impl Drop for ActiveShard<'_> {
+    fn drop(&mut self) {
+        self.executor.activate_shard(None);
+    }
+}
+
+/// A [`KernelSource`] that streams `K` in global row order while attributing
+/// each device's rows — recomputation *and* the engine work folded over them
+/// — to that device, then charges the per-pass all-reduce of the distance
+/// partials against the topology's link.
+pub struct ShardedKernelSource<'a, T: Scalar> {
+    inner: TiledKernel<'a, T>,
+    plan: ShardPlan,
+    k_budget: usize,
+    /// Resident shards (`DeviceShard::is_resident`) are computed — and
+    /// charged to their device — exactly once, then replayed from this cache
+    /// on later passes, the multi-device analogue of [`crate::FullKernel`]'s
+    /// charge-once semantics. Streaming (sub-tiled) shards never cache: their
+    /// device cannot hold more than one tile.
+    resident: std::cell::RefCell<Vec<Option<popcorn_dense::DenseMatrix<T>>>>,
+}
+
+impl<'a, T: Scalar> ShardedKernelSource<'a, T> {
+    /// Build a sharded source over retained points. Charges the (replicated)
+    /// Gram-diagonal computation once, tracks the replicated bookkeeping on
+    /// every device and each device's tile buffer on that device alone.
+    pub fn new(
+        points: FitInput<'a, T>,
+        kernel: KernelFunction,
+        plan: ShardPlan,
+        k_budget: usize,
+        executor: &dyn Executor,
+    ) -> Result<Self> {
+        let n = points.n();
+        if plan.n() != n {
+            return Err(CoreError::InvalidConfig(format!(
+                "shard plan covers {} rows but the input has {n} points",
+                plan.n()
+            )));
+        }
+        let elem = std::mem::size_of::<T>();
+        let inner =
+            TiledKernel::build(points, kernel, plan.max_tile_rows().max(1), executor, false)?;
+        // The kernel diagonal is read by every device's tile transform:
+        // replicated bookkeeping, tracked on all devices.
+        executor.track_alloc(n as u64 * elem as u64);
+        for shard in plan.shards() {
+            if shard.tile_rows == 0 {
+                continue;
+            }
+            let _active = ActiveShard::activate(executor, shard.device);
+            executor.track_alloc(tile_bytes(shard.tile_rows, n, elem));
+        }
+        let resident = std::cell::RefCell::new(vec![None; plan.shards().len()]);
+        Ok(Self {
+            inner,
+            plan,
+            k_budget,
+            resident,
+        })
+    }
+
+    /// The row partition and per-device tiling in effect.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Modeled payload of the per-pass all-reduce: every device's rows of the
+    /// `n × k` distance partials plus the `k`-length cluster statistics.
+    fn all_reduce_bytes(&self) -> u64 {
+        let elem = std::mem::size_of::<T>() as u64;
+        (self.inner.n() as u64 + 1) * self.k_budget as u64 * elem
+    }
+}
+
+impl<T: Scalar> KernelSource<T> for ShardedKernelSource<'_, T> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn tile_rows(&self) -> usize {
+        self.plan.max_tile_rows()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let n = self.inner.n();
+        let elem = std::mem::size_of::<T>();
+        self.plan
+            .shards()
+            .iter()
+            .map(|s| tile_bytes(s.tile_rows, n, elem))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn diag(&self, executor: &dyn Executor) -> Result<Vec<T>> {
+        // Computed from the replicated Gram diagonal: serial/replicated work.
+        self.inner.diag(executor)
+    }
+
+    fn row(&self, i: usize, executor: &dyn Executor) -> Result<Vec<T>> {
+        // Seed rows are produced by (and priced on) the device owning them.
+        let _active = ActiveShard::activate(executor, self.plan.device_of(i));
+        self.inner.row(i, executor)
+    }
+
+    fn for_each_tile(&self, executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()> {
+        // Global row order, so engines fold tiles exactly as a single-device
+        // stream would — only the pricing attribution moves between devices.
+        for (index, shard) in self.plan.shards().iter().enumerate() {
+            if shard.rows.is_empty() {
+                continue;
+            }
+            let _active = ActiveShard::activate(executor, shard.device);
+            if shard.is_resident() {
+                // The device holds its whole shard: compute (and charge) it
+                // on the first pass, replay it for free afterwards.
+                if self.resident.borrow()[index].is_none() {
+                    let tile =
+                        self.inner
+                            .compute_tile(shard.rows.start, shard.rows.end, executor)?;
+                    self.resident.borrow_mut()[index] = Some(tile);
+                }
+                let cache = self.resident.borrow();
+                let tile = cache[index].as_ref().expect("populated above");
+                f(shard.rows.clone(), tile)?;
+                continue;
+            }
+            let mut r0 = shard.rows.start;
+            while r0 < shard.rows.end {
+                let r1 = (r0 + shard.tile_rows.max(1)).min(shard.rows.end);
+                let tile = self.inner.compute_tile(r0, r1, executor)?;
+                f(r0..r1, &tile)?;
+                r0 = r1;
+            }
+        }
+        if self.plan.device_count() > 1 {
+            executor.charge(
+                format!(
+                    "all-reduce distance partials (n={}, k={})",
+                    self.inner.n(),
+                    self.k_budget
+                ),
+                Phase::PairwiseDistances,
+                OpClass::AllReduce,
+                OpCost::transfer(self.all_reduce_bytes()),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel_matrix::compute_kernel_matrix;
+    use crate::strategy::KernelMatrixStrategy;
+    use popcorn_dense::DenseMatrix;
+    use popcorn_gpusim::{DeviceSpec, LinkSpec, ShardedExecutor, SimExecutor, GIB};
+
+    fn topo(p: usize) -> DeviceTopology {
+        DeviceTopology::homogeneous(DeviceSpec::a100_80gb(), p, LinkSpec::nvlink())
+    }
+
+    fn sample_points(n: usize, d: usize) -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(n, d, |i, j| {
+            if (i + j) % 4 == 0 {
+                0.0
+            } else {
+                ((i * d + j) as f64 * 0.29).sin() * 2.0
+            }
+        })
+    }
+
+    #[test]
+    fn balanced_plan_partitions_all_rows() {
+        for p in [1usize, 2, 3, 4, 7, 16] {
+            let plan = ShardPlan::balanced(100, 10, 8, 1000, TilePolicy::Auto, &topo(p)).unwrap();
+            assert_eq!(plan.device_count(), p);
+            let mut next = 0usize;
+            for (d, shard) in plan.shards().iter().enumerate() {
+                assert_eq!(shard.device, d);
+                assert_eq!(shard.rows.start, next);
+                next = shard.rows.end;
+                // Balanced shards differ by at most one row.
+                assert!(shard.rows.len() >= 100 / p);
+                assert!(shard.rows.len() <= 100 / p + 1);
+                // Plenty of memory: every shard is fully resident.
+                assert!(shard.is_resident());
+            }
+            assert_eq!(next, 100);
+            assert_eq!(plan.device_of(0), 0);
+            assert_eq!(plan.device_of(99), p - 1);
+        }
+    }
+
+    #[test]
+    fn more_devices_than_rows_leaves_empty_shards() {
+        let plan = ShardPlan::balanced(3, 2, 8, 100, TilePolicy::Auto, &topo(8)).unwrap();
+        let occupied: usize = plan.shards().iter().filter(|s| !s.rows.is_empty()).count();
+        assert_eq!(occupied, 3);
+        let total: usize = plan.shards().iter().map(|s| s.rows.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn with_boundaries_validates_shape() {
+        let t = topo(3);
+        assert!(ShardPlan::with_boundaries(10, &[4], 2, 8, 0, TilePolicy::Auto, &t).is_err());
+        assert!(
+            ShardPlan::with_boundaries(10, &[7, 4], 2, 8, 0, TilePolicy::Auto, &t).is_err(),
+            "descending boundaries must be rejected"
+        );
+        assert!(ShardPlan::with_boundaries(10, &[4, 11], 2, 8, 0, TilePolicy::Auto, &t).is_err());
+        let plan = ShardPlan::with_boundaries(10, &[2, 9], 2, 8, 0, TilePolicy::Auto, &t).unwrap();
+        assert_eq!(plan.shards()[0].rows, 0..2);
+        assert_eq!(plan.shards()[1].rows, 2..9);
+        assert_eq!(plan.shards()[2].rows, 9..10);
+    }
+
+    #[test]
+    fn full_policy_rejects_devices_too_small_for_their_shard() {
+        // 20k rows over 2 devices: each shard is 10k x 20k f64 = 1.6 GB.
+        let n = 20_000;
+        let small = DeviceTopology::homogeneous(
+            DeviceSpec::a100_80gb().with_mem_bytes(GIB),
+            2,
+            LinkSpec::nvlink(),
+        );
+        let err = ShardPlan::balanced(n, 10, 8, 0, TilePolicy::Full, &small).unwrap_err();
+        assert!(matches!(err, CoreError::DeviceMemoryExceeded { .. }));
+        // Auto succeeds by sub-tiling inside each shard.
+        let plan = ShardPlan::balanced(n, 10, 8, 0, TilePolicy::Auto, &small).unwrap();
+        assert!(plan.shards().iter().all(|s| s.tile_rows < s.rows.len()));
+        // And an explicit row height is clamped to the shard.
+        let plan = ShardPlan::balanced(n, 10, 8, 0, TilePolicy::Rows(1_000), &small).unwrap();
+        assert!(plan.shards().iter().all(|s| s.tile_rows == 1_000));
+    }
+
+    #[test]
+    fn sharded_source_reassembles_the_full_kernel_matrix_bit_for_bit() {
+        let points = sample_points(17, 5);
+        let exec = SimExecutor::a100_f32();
+        let (full, _) = compute_kernel_matrix(
+            &points,
+            KernelFunction::paper_polynomial(),
+            KernelMatrixStrategy::default(),
+            &exec,
+        )
+        .unwrap();
+        for p in [2usize, 3, 5] {
+            let sharded_exec =
+                ShardedExecutor::homogeneous(DeviceSpec::a100_80gb(), p, LinkSpec::nvlink(), 8);
+            let plan = ShardPlan::balanced(
+                17,
+                3,
+                8,
+                17 * 5 * 8,
+                TilePolicy::Auto,
+                sharded_exec.device_topology(),
+            )
+            .unwrap();
+            let source = ShardedKernelSource::new(
+                FitInput::Dense(&points),
+                KernelFunction::paper_polynomial(),
+                plan,
+                3,
+                &sharded_exec,
+            )
+            .unwrap();
+            let mut out = DenseMatrix::<f64>::zeros(17, 17);
+            let mut last_end = 0usize;
+            source
+                .for_each_tile(&sharded_exec, &mut |rows, tile| {
+                    assert_eq!(rows.start, last_end, "tiles must arrive in row order");
+                    last_end = rows.end;
+                    for (local, i) in rows.clone().enumerate() {
+                        out.row_mut(i).copy_from_slice(tile.row(local));
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(last_end, 17);
+            for i in 0..17 {
+                for j in 0..17 {
+                    assert_eq!(
+                        out[(i, j)].to_bits(),
+                        full[(i, j)].to_bits(),
+                        "p={p} ({i},{j})"
+                    );
+                }
+            }
+            // Every occupied device did concurrent work, and the pass ended
+            // with exactly one all-reduce priced on the link.
+            let busy = sharded_exec
+                .per_device_modeled_seconds()
+                .into_iter()
+                .filter(|&s| s > 0.0)
+                .count();
+            assert_eq!(busy, p.min(17));
+            assert!(sharded_exec.comm_modeled_seconds() > 0.0);
+            let trace = sharded_exec.trace();
+            let all_reduces = trace
+                .records()
+                .iter()
+                .filter(|r| r.class == OpClass::AllReduce)
+                .count();
+            assert_eq!(all_reduces, 1);
+            // No shard left active after the pass.
+            sharded_exec.charge("probe", Phase::Other, OpClass::Other, OpCost::new(1, 1, 1));
+            let serial_before = sharded_exec.serial_modeled_seconds();
+            assert!(serial_before > 0.0, "post-pass ops must be serial");
+        }
+    }
+
+    #[test]
+    fn sharded_rows_are_priced_on_their_owning_device() {
+        let points = sample_points(12, 4);
+        let sharded_exec =
+            ShardedExecutor::homogeneous(DeviceSpec::a100_80gb(), 3, LinkSpec::nvlink(), 8);
+        let plan = ShardPlan::balanced(
+            12,
+            2,
+            8,
+            12 * 4 * 8,
+            TilePolicy::Auto,
+            sharded_exec.device_topology(),
+        )
+        .unwrap();
+        let source = ShardedKernelSource::new(
+            FitInput::Dense(&points),
+            KernelFunction::Linear,
+            plan,
+            2,
+            &sharded_exec,
+        )
+        .unwrap();
+        // Row 11 lives on device 2.
+        let row = source.row(11, &sharded_exec).unwrap();
+        assert_eq!(row.len(), 12);
+        let seconds = sharded_exec.per_device_modeled_seconds();
+        assert!(seconds[2] > 0.0);
+        assert_eq!(seconds[1], 0.0);
+        // diag is replicated/serial.
+        let before = sharded_exec.serial_modeled_seconds();
+        source.diag(&sharded_exec).unwrap();
+        assert!(sharded_exec.serial_modeled_seconds() > before);
+        // Per-device tile buffers were tracked on their owners only; the
+        // diag bookkeeping on every device.
+        let peaks = sharded_exec.per_device_peak_resident_bytes();
+        assert!(peaks.iter().all(|&b| b > 0));
+    }
+}

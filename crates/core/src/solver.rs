@@ -25,7 +25,7 @@ use crate::result::ClusteringResult;
 use crate::strategy::{GramRoutine, KernelMatrixStrategy};
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::{OpClass, OpCost, Phase, SimExecutor};
+use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
 use popcorn_sparse::CsrMatrix;
 
 /// A borrowed point matrix in whichever layout the caller has it.
@@ -119,7 +119,7 @@ impl<'a, T: Scalar> FitInput<'a, T> {
 
     /// Charge the modeled host→device copy of the points to the executor and
     /// track their device residency.
-    pub fn charge_upload(&self, executor: &SimExecutor) {
+    pub fn charge_upload(&self, executor: &dyn Executor) {
         let layout = if self.is_sparse() { "csr" } else { "dense" };
         executor.charge(
             format!("upload P {} ({} x {})", layout, self.n(), self.d()),
@@ -136,7 +136,7 @@ impl<'a, T: Scalar> FitInput<'a, T> {
         &self,
         kernel: KernelFunction,
         strategy: KernelMatrixStrategy,
-        executor: &SimExecutor,
+        executor: &dyn Executor,
     ) -> Result<(DenseMatrix<T>, GramRoutine)> {
         match self {
             FitInput::Dense(p) => {
@@ -255,6 +255,7 @@ pub trait Solver<T: Scalar> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use popcorn_gpusim::SimExecutor;
 
     fn sparse_points() -> CsrMatrix<f64> {
         CsrMatrix::from_dense(

@@ -10,8 +10,8 @@
 //! multi-threaded host implementations:
 //!
 //! * [`DenseMatrix`] — a row-major dense matrix over [`Scalar`] (`f32`/`f64`),
-//! * [`gemm`] — general matrix multiply with transpose options and blocking,
-//! * [`syrk`] — symmetric rank-k update computing only one triangle,
+//! * [`mod@gemm`] — general matrix multiply with transpose options and blocking,
+//! * [`mod@syrk`] — symmetric rank-k update computing only one triangle,
 //! * elementwise maps, broadcast additions, row norms, diagonals and row-wise
 //!   argmin in [`ops`] and [`norms`],
 //! * a tiny scoped-thread helper in [`parallel`] used by every kernel.

@@ -42,6 +42,10 @@ pub enum OpClass {
     HandwrittenReduction,
     /// Host ↔ device transfer over the interconnect.
     Transfer,
+    /// NCCL-style device↔device all-reduce of per-shard partials. A
+    /// multi-device executor prices this against its topology's `LinkSpec`;
+    /// a single-device cost model falls back to the host interconnect.
+    AllReduce,
     /// Anything else (bookkeeping kernels, V rebuild, ...).
     Other,
 }
@@ -59,6 +63,7 @@ impl OpClass {
             OpClass::Reduction => 0.50,
             OpClass::HandwrittenReduction => 0.35,
             OpClass::Transfer => 1.0,
+            OpClass::AllReduce => 1.0,
             OpClass::Other => 0.50,
         }
     }
@@ -78,6 +83,7 @@ impl OpClass {
             OpClass::Reduction => 0.80,
             OpClass::HandwrittenReduction => 0.30,
             OpClass::Transfer => 0.90,
+            OpClass::AllReduce => 0.85,
             OpClass::Other => 0.60,
         }
     }
@@ -294,8 +300,8 @@ impl CostModel {
     pub fn time_seconds(&self, class: OpClass, cost: &OpCost) -> f64 {
         let util = cost.utilization.clamp(1e-3, 1.0);
         let launch = self.device.launch_overhead_us * 1e-6;
-        if class == OpClass::Transfer {
-            let bw = self.device.interconnect_gbs * 1e9 * OpClass::Transfer.memory_efficiency();
+        if class == OpClass::Transfer || class == OpClass::AllReduce {
+            let bw = self.device.interconnect_gbs * 1e9 * class.memory_efficiency();
             return cost.bytes_read as f64 / bw + launch;
         }
         let peak_flops = self.device.peak_gflops_for(self.elem_bytes) * 1e9;
@@ -486,6 +492,7 @@ mod tests {
             OpClass::Reduction,
             OpClass::HandwrittenReduction,
             OpClass::Transfer,
+            OpClass::AllReduce,
             OpClass::Other,
         ] {
             assert!(class.compute_efficiency() > 0.0 && class.compute_efficiency() <= 1.0);

@@ -62,6 +62,22 @@ impl DeviceSpec {
         }
     }
 
+    /// NVIDIA H100 80 GB SXM5: 67 TFLOP/s FP32, 33.5 TFLOP/s FP64,
+    /// 3352 GB/s HBM3, PCIe Gen5 x16 host link, 132 SMs. The next-generation
+    /// preset the multi-device sharding experiments scale onto.
+    pub fn h100_80gb() -> Self {
+        Self {
+            name: "NVIDIA H100 80GB".to_string(),
+            fp32_peak_gflops: 67_000.0,
+            fp64_peak_gflops: 33_500.0,
+            mem_bandwidth_gbs: 3_352.0,
+            interconnect_gbs: 63.0,
+            launch_overhead_us: 5.0,
+            parallel_units: 132,
+            mem_bytes: 80 * GIB,
+        }
+    }
+
     /// NVIDIA V100 16 GB: 15.7 TFLOP/s FP32, 900 GB/s HBM2.
     pub fn v100() -> Self {
         Self {
@@ -132,6 +148,87 @@ impl DeviceSpec {
     }
 }
 
+/// Device↔device interconnect used by a multi-device topology.
+///
+/// The sharded cost model charges the per-iteration all-reduce of the
+/// `n × k` distance partials (and cluster statistics) against this link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable link name.
+    pub name: String,
+    /// Per-device unidirectional bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-hop latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// NVLink 3.0 (A100 generation): 600 GB/s per GPU, ~2 µs hop latency.
+    pub fn nvlink() -> Self {
+        Self {
+            name: "NVLink3".to_string(),
+            bandwidth_gbs: 600.0,
+            latency_us: 2.0,
+        }
+    }
+
+    /// PCIe Gen4 x16: 31.5 GB/s effective per direction, ~10 µs hop latency
+    /// (peer transfers bounce through the switch/root complex).
+    pub fn pcie_gen4() -> Self {
+        Self {
+            name: "PCIe Gen4 x16".to_string(),
+            bandwidth_gbs: 31.5,
+            latency_us: 10.0,
+        }
+    }
+
+    /// Modeled seconds to move `bytes` once across the link.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.bandwidth_gbs * 1e9) + self.latency_us * 1e-6
+    }
+
+    /// Modeled seconds of a ring all-reduce of a `payload_bytes` buffer over
+    /// `devices` participants: each device sends and receives
+    /// `2·(p−1)/p · payload` bytes in `2·(p−1)` latency-bound steps. With one
+    /// device the reduction is a no-op and costs nothing.
+    pub fn all_reduce_seconds(&self, payload_bytes: u64, devices: usize) -> f64 {
+        if devices <= 1 {
+            return 0.0;
+        }
+        let p = devices as f64;
+        let steps = 2.0 * (p - 1.0);
+        let bytes_per_device = 2.0 * (p - 1.0) / p * payload_bytes as f64;
+        bytes_per_device / (self.bandwidth_gbs * 1e9) + steps * self.latency_us * 1e-6
+    }
+}
+
+/// A multi-device execution platform: the devices kernel-matrix rows are
+/// sharded across, plus the link their partial results are reduced over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTopology {
+    /// The participating devices, in shard order.
+    pub devices: Vec<DeviceSpec>,
+    /// The device↔device interconnect.
+    pub interconnect: LinkSpec,
+}
+
+impl DeviceTopology {
+    /// A topology of `count` identical devices (the common homogeneous case
+    /// the CLI's `--devices N` builds). `count` must be at least 1.
+    pub fn homogeneous(device: DeviceSpec, count: usize, interconnect: LinkSpec) -> Self {
+        assert!(count >= 1, "a topology needs at least one device");
+        Self {
+            devices: vec![device; count],
+            interconnect,
+        }
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,10 +282,77 @@ mod tests {
     }
 
     #[test]
+    fn h100_numbers_are_published_specs() {
+        // Pin the constants the sharded cost model scales onto: H100 SXM5
+        // published peaks (FP32/FP64 TFLOP/s, HBM3 bandwidth, SM count).
+        let d = DeviceSpec::h100_80gb();
+        assert_eq!(d.fp32_peak_gflops, 67_000.0);
+        assert_eq!(d.fp64_peak_gflops, 33_500.0);
+        assert_eq!(d.mem_bandwidth_gbs, 3_352.0);
+        assert_eq!(d.interconnect_gbs, 63.0);
+        assert_eq!(d.parallel_units, 132);
+        assert_eq!(d.mem_bytes, 80 * GIB);
+        // The generation step over the A100 the presets must preserve.
+        let a100 = DeviceSpec::a100_80gb();
+        assert!(d.fp32_peak_gflops > 3.0 * a100.fp32_peak_gflops);
+        assert!(d.mem_bandwidth_gbs > a100.mem_bandwidth_gbs);
+    }
+
+    #[test]
+    fn link_table_pins_the_sharded_cost_constants() {
+        // The LinkSpec table the sharded all-reduce model is priced against.
+        let nvlink = LinkSpec::nvlink();
+        assert_eq!(nvlink.bandwidth_gbs, 600.0);
+        assert_eq!(nvlink.latency_us, 2.0);
+        let pcie = LinkSpec::pcie_gen4();
+        assert_eq!(pcie.bandwidth_gbs, 31.5);
+        assert_eq!(pcie.latency_us, 10.0);
+        assert_ne!(nvlink.name, pcie.name);
+        // NVLink must beat PCIe for any transfer.
+        let bytes = 1u64 << 30;
+        assert!(nvlink.transfer_seconds(bytes) < pcie.transfer_seconds(bytes));
+    }
+
+    #[test]
+    fn all_reduce_model_shape() {
+        let link = LinkSpec::nvlink();
+        // One device: free.
+        assert_eq!(link.all_reduce_seconds(1 << 20, 1), 0.0);
+        // The ring all-reduce per-device traffic 2(p−1)/p·payload grows
+        // (towards 2·payload) with p, so the time is monotone in p for a
+        // fixed payload.
+        let t2 = link.all_reduce_seconds(1 << 30, 2);
+        let t4 = link.all_reduce_seconds(1 << 30, 4);
+        let t16 = link.all_reduce_seconds(1 << 30, 16);
+        assert!(t2 > 0.0);
+        assert!(t4 > t2);
+        assert!(t16 > t4);
+        // 2 devices move exactly one payload per device: 1 GiB at 600 GB/s
+        // plus two hops.
+        let expected = (1u64 << 30) as f64 / 600e9 + 2.0 * 2e-6;
+        assert!((t2 - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_topology_replicates_the_device() {
+        let topo = DeviceTopology::homogeneous(DeviceSpec::a100_80gb(), 4, LinkSpec::nvlink());
+        assert_eq!(topo.device_count(), 4);
+        assert!(topo.devices.iter().all(|d| d.name == "NVIDIA A100 80GB"));
+        assert_eq!(topo.interconnect, LinkSpec::nvlink());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_topology_is_rejected() {
+        DeviceTopology::homogeneous(DeviceSpec::a100_80gb(), 0, LinkSpec::nvlink());
+    }
+
+    #[test]
     fn presets_have_distinct_names() {
         let names: Vec<String> = [
             DeviceSpec::a100_80gb(),
             DeviceSpec::a100_40gb(),
+            DeviceSpec::h100_80gb(),
             DeviceSpec::v100(),
             DeviceSpec::epyc7763_single_core(),
             DeviceSpec::epyc7763_socket(),

@@ -1,18 +1,215 @@
-//! Simulated device executor.
+//! Simulated device execution: the [`Executor`] trait and its single-device
+//! implementation, [`SimExecutor`].
 //!
-//! [`SimExecutor`] is the seam between "run the real computation on the host"
-//! and "account for what it would have cost on the device". Solvers call
-//! [`SimExecutor::run`] with an operation description and a closure; the
-//! closure executes immediately (so results are real), its host wall-clock
-//! time is measured, and the modeled device time is computed from the cost
-//! model and recorded in the shared [`Profiler`].
+//! [`Executor`] is the seam between "run the real computation on the host"
+//! and "account for what it would have cost on the device(s)". Engines, the
+//! iteration pipeline and the batch driver hold executors as
+//! `&dyn Executor`, so they are oblivious to whether the run is priced
+//! against one modeled device ([`SimExecutor`]) or a row-sharded multi-device
+//! topology ([`crate::ShardedExecutor`]). The trait's primitive is
+//! [`Executor::record`] (price one described operation); the generic
+//! conveniences [`ExecutorExt::run`] and [`ExecutorExt::charge`] — a closure
+//! executes immediately (so results are real), its host wall-clock time is
+//! measured, and the modeled device time is computed from the cost model —
+//! live in the blanket [`ExecutorExt`] extension so they stay available on
+//! trait objects.
 
 use crate::cost::{CostModel, OpClass, OpCost};
-use crate::device::DeviceSpec;
+use crate::device::{DeviceSpec, DeviceTopology};
 use crate::profiler::Profiler;
 use crate::roofline::Roofline;
 use crate::trace::{OpRecord, OpTrace, Phase};
 use std::time::Instant;
+
+/// The execution surface every simulated device (or device group) offers.
+///
+/// Object-safe by construction: all consumers hold `&dyn Executor` (or a
+/// `Box<dyn Executor>` fork) and never name the concrete executor. Methods
+/// with host closures and generic returns live in [`ExecutorExt`].
+pub trait Executor: std::fmt::Debug + Send + Sync {
+    /// Price and record one operation that took `host_seconds` of measured
+    /// host time (the primitive `run`/`charge` build on). Implementations
+    /// decide which device's cost model prices the operation.
+    fn record(&self, name: String, phase: Phase, class: OpClass, cost: OpCost, host_seconds: f64);
+
+    /// The primary simulated device (the only device for [`SimExecutor`],
+    /// shard 0's device for a sharded executor).
+    fn device(&self) -> &DeviceSpec;
+
+    /// The primary device's cost model.
+    fn cost_model(&self) -> &CostModel;
+
+    /// Snapshot of everything recorded so far, in execution order.
+    fn trace(&self) -> OpTrace;
+
+    /// Total modeled device time recorded so far, in seconds. For a sharded
+    /// executor this is the *serialized* sum over every device's operations —
+    /// the overlap-aware number is its `modeled_wallclock_seconds`.
+    fn total_modeled_seconds(&self) -> f64;
+
+    /// Append the records of `trace` (merging a fork's history back — see
+    /// [`Executor::fork`]).
+    fn absorb(&self, trace: &OpTrace);
+
+    /// A new executor with the same cost model(s) but an empty trace, whose
+    /// residency counter starts at this executor's current residency.
+    ///
+    /// Batched drivers fork one executor per job so each job's trace contains
+    /// only its own operations; [`Executor::absorb`] merges a fork's records
+    /// back. The returned fork is a **drop guard**: when it is dropped — on
+    /// success *or on an error path* — its residency peak is merged into this
+    /// executor automatically, so a fork abandoned mid-job can never lose its
+    /// high-water mark. Callers may still call [`Executor::merge_peak`]
+    /// explicitly (e.g. to merge a *sum* of concurrent forks); the merge is a
+    /// `max`, so doing both is harmless.
+    fn fork(&self) -> Box<dyn Executor>;
+
+    /// Record a modeled device allocation of `bytes` bytes (points, kernel
+    /// matrix or tile, per-iteration buffers). Feeds the peak-residency
+    /// accounting the tiling planner's capacity model is validated against.
+    fn track_alloc(&self, bytes: u64);
+
+    /// Record a modeled device free of `bytes` bytes.
+    fn track_free(&self, bytes: u64);
+
+    /// Bytes currently resident under the modeled allocations.
+    fn resident_bytes(&self) -> u64;
+
+    /// High-water mark of the modeled residency.
+    fn peak_resident_bytes(&self) -> u64;
+
+    /// Raise this executor's residency peak to at least `peak` (merging a
+    /// forked executor's memory history back, the residency counterpart of
+    /// [`Executor::absorb`]).
+    fn merge_peak(&self, peak: u64);
+
+    /// Memory capacity of the primary simulated device, in bytes.
+    fn mem_bytes(&self) -> u64 {
+        self.device().mem_bytes
+    }
+
+    /// Clear the trace and residency counters (e.g. between bench trials).
+    fn reset(&self);
+
+    /// The multi-device topology behind this executor, when it shards work
+    /// across devices. `None` for single-device executors; the streaming
+    /// kernel-source layer uses this to build a row-sharded plan.
+    fn topology(&self) -> Option<&DeviceTopology> {
+        None
+    }
+
+    /// Number of device shards operations can be attributed to (1 for
+    /// single-device executors).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Attribute subsequently recorded operations (and tracked allocations)
+    /// to device shard `shard`, or to the serial/replicated stream with
+    /// `None`. A no-op on single-device executors. The active shard is shared
+    /// with forks of this executor, so a tile stream activating a shard on
+    /// the shared executor also routes the per-job engine work charged on
+    /// forked executors.
+    fn activate_shard(&self, shard: Option<usize>) {
+        let _ = shard;
+    }
+}
+
+/// Generic conveniences over any [`Executor`] (including trait objects).
+pub trait ExecutorExt: Executor {
+    /// Run `f` on the host, record its cost, and return its result.
+    fn run<R>(
+        &self,
+        name: impl Into<String>,
+        phase: Phase,
+        class: OpClass,
+        cost: OpCost,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let start = Instant::now();
+        let result = f();
+        let host_seconds = start.elapsed().as_secs_f64();
+        self.record(name.into(), phase, class, cost, host_seconds);
+        result
+    }
+
+    /// Record an operation that has no host-side work (e.g. a modeled
+    /// host→device transfer of a dataset that is already in memory).
+    fn charge(&self, name: impl Into<String>, phase: Phase, class: OpClass, cost: OpCost) {
+        self.record(name.into(), phase, class, cost, 0.0);
+    }
+}
+
+impl<E: Executor + ?Sized> ExecutorExt for E {}
+
+macro_rules! delegate_executor {
+    ($wrapper:ty) => {
+        impl<E: Executor + ?Sized> Executor for $wrapper {
+            fn record(
+                &self,
+                name: String,
+                phase: Phase,
+                class: OpClass,
+                cost: OpCost,
+                host_seconds: f64,
+            ) {
+                (**self).record(name, phase, class, cost, host_seconds)
+            }
+            fn device(&self) -> &DeviceSpec {
+                (**self).device()
+            }
+            fn cost_model(&self) -> &CostModel {
+                (**self).cost_model()
+            }
+            fn trace(&self) -> OpTrace {
+                (**self).trace()
+            }
+            fn total_modeled_seconds(&self) -> f64 {
+                (**self).total_modeled_seconds()
+            }
+            fn absorb(&self, trace: &OpTrace) {
+                (**self).absorb(trace)
+            }
+            fn fork(&self) -> Box<dyn Executor> {
+                (**self).fork()
+            }
+            fn track_alloc(&self, bytes: u64) {
+                (**self).track_alloc(bytes)
+            }
+            fn track_free(&self, bytes: u64) {
+                (**self).track_free(bytes)
+            }
+            fn resident_bytes(&self) -> u64 {
+                (**self).resident_bytes()
+            }
+            fn peak_resident_bytes(&self) -> u64 {
+                (**self).peak_resident_bytes()
+            }
+            fn merge_peak(&self, peak: u64) {
+                (**self).merge_peak(peak)
+            }
+            fn mem_bytes(&self) -> u64 {
+                (**self).mem_bytes()
+            }
+            fn reset(&self) {
+                (**self).reset()
+            }
+            fn topology(&self) -> Option<&DeviceTopology> {
+                (**self).topology()
+            }
+            fn shard_count(&self) -> usize {
+                (**self).shard_count()
+            }
+            fn activate_shard(&self, shard: Option<usize>) {
+                (**self).activate_shard(shard)
+            }
+        }
+    };
+}
+
+delegate_executor!(Box<E>);
+delegate_executor!(std::sync::Arc<E>);
+delegate_executor!(&E);
 
 /// Executes host closures while accumulating modeled device time.
 #[derive(Debug, Clone)]
@@ -34,6 +231,12 @@ impl SimExecutor {
     /// Executor modeling the paper's platform: A100-80GB, single precision.
     pub fn a100_f32() -> Self {
         Self::new(DeviceSpec::a100_80gb(), 4)
+    }
+
+    /// Executor modeling the next-generation platform: H100-80GB, single
+    /// precision.
+    pub fn h100_f32() -> Self {
+        Self::new(DeviceSpec::h100_80gb(), 4)
     }
 
     /// Executor modeling the paper's CPU baseline platform: one EPYC core.
@@ -73,22 +276,14 @@ impl SimExecutor {
         let start = Instant::now();
         let result = f();
         let host_seconds = start.elapsed().as_secs_f64();
-        let modeled_seconds = self.cost_model.time_seconds(class, &cost);
-        self.profiler.record(OpRecord {
-            name: name.into(),
-            phase,
-            class,
-            cost,
-            modeled_seconds,
-            host_seconds,
-        });
+        Executor::record(self, name.into(), phase, class, cost, host_seconds);
         result
     }
 
     /// Record an operation that has no host-side work (e.g. a modeled
     /// host→device transfer of a dataset that is already in memory).
     pub fn charge(&self, name: impl Into<String>, phase: Phase, class: OpClass, cost: OpCost) {
-        self.run(name, phase, class, cost, || ());
+        Executor::record(self, name.into(), phase, class, cost, 0.0);
     }
 
     /// A new executor with the same cost model but an empty trace.
@@ -98,6 +293,15 @@ impl SimExecutor {
     /// once) work; [`SimExecutor::absorb`] merges a fork's records back. The
     /// fork's residency counter starts at the parent's current residency so a
     /// job's peak accounts for the shared allocations still on the device.
+    ///
+    /// **Residency-baseline contract:** absorbing the trace is not enough —
+    /// the fork's [`SimExecutor::peak_resident_bytes`] must also be merged
+    /// back via [`SimExecutor::merge_peak`], *including on error paths*, or
+    /// the parent's high-water mark silently under-reports the fork's
+    /// allocations. This inherent method returns a bare executor and leaves
+    /// that merge to the caller; the trait-level [`Executor::fork`] returns a
+    /// drop guard that performs the peak merge automatically when the fork is
+    /// dropped.
     pub fn fork(&self) -> Self {
         Self {
             cost_model: self.cost_model.clone(),
@@ -152,10 +356,7 @@ impl SimExecutor {
     /// next fit's residency. The peak is a lifetime high-water mark and is
     /// unaffected by the free.
     pub fn scoped_residency(&self) -> ResidencyScope<'_> {
-        ResidencyScope {
-            executor: self,
-            baseline: self.resident_bytes(),
-        }
+        ResidencyScope::new(self)
     }
 
     /// Snapshot of everything recorded so far.
@@ -174,12 +375,186 @@ impl SimExecutor {
     }
 }
 
-/// Guard returned by [`SimExecutor::scoped_residency`]: on drop, frees every
-/// byte tracked since the guard was created (a completed fit's buffers leave
-/// the device).
+impl Executor for SimExecutor {
+    fn record(&self, name: String, phase: Phase, class: OpClass, cost: OpCost, host_seconds: f64) {
+        let modeled_seconds = self.cost_model.time_seconds(class, &cost);
+        self.profiler.record(OpRecord {
+            name,
+            phase,
+            class,
+            cost,
+            modeled_seconds,
+            host_seconds,
+        });
+    }
+
+    fn device(&self) -> &DeviceSpec {
+        SimExecutor::device(self)
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        SimExecutor::cost_model(self)
+    }
+
+    fn trace(&self) -> OpTrace {
+        SimExecutor::trace(self)
+    }
+
+    fn total_modeled_seconds(&self) -> f64 {
+        SimExecutor::total_modeled_seconds(self)
+    }
+
+    fn absorb(&self, trace: &OpTrace) {
+        SimExecutor::absorb(self, trace)
+    }
+
+    fn fork(&self) -> Box<dyn Executor> {
+        Box::new(ForkGuard::new(
+            SimExecutor::fork(self),
+            self.profiler.clone(),
+        ))
+    }
+
+    fn track_alloc(&self, bytes: u64) {
+        SimExecutor::track_alloc(self, bytes)
+    }
+
+    fn track_free(&self, bytes: u64) {
+        SimExecutor::track_free(self, bytes)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        SimExecutor::resident_bytes(self)
+    }
+
+    fn peak_resident_bytes(&self) -> u64 {
+        SimExecutor::peak_resident_bytes(self)
+    }
+
+    fn merge_peak(&self, peak: u64) {
+        SimExecutor::merge_peak(self, peak)
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        SimExecutor::mem_bytes(self)
+    }
+
+    fn reset(&self) {
+        SimExecutor::reset(self)
+    }
+}
+
+/// A forked executor that merges its residency peak back into the parent's
+/// profiler when dropped — the drop guard behind [`Executor::fork`] that
+/// makes the [`SimExecutor::fork`] residency-baseline contract (merge the
+/// peak even on error paths) impossible to forget.
+#[derive(Debug)]
+pub struct ForkGuard<E: Executor> {
+    child: E,
+    parent: Profiler,
+}
+
+impl<E: Executor> ForkGuard<E> {
+    /// Wrap a forked executor so `parent` receives its peak on drop.
+    pub fn new(child: E, parent: Profiler) -> Self {
+        Self { child, parent }
+    }
+}
+
+impl<E: Executor> Drop for ForkGuard<E> {
+    fn drop(&mut self) {
+        self.parent.merge_peak(self.child.peak_resident_bytes());
+    }
+}
+
+impl<E: Executor> Executor for ForkGuard<E> {
+    fn record(&self, name: String, phase: Phase, class: OpClass, cost: OpCost, host_seconds: f64) {
+        self.child.record(name, phase, class, cost, host_seconds)
+    }
+
+    fn device(&self) -> &DeviceSpec {
+        self.child.device()
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        self.child.cost_model()
+    }
+
+    fn trace(&self) -> OpTrace {
+        self.child.trace()
+    }
+
+    fn total_modeled_seconds(&self) -> f64 {
+        self.child.total_modeled_seconds()
+    }
+
+    fn absorb(&self, trace: &OpTrace) {
+        self.child.absorb(trace)
+    }
+
+    fn fork(&self) -> Box<dyn Executor> {
+        self.child.fork()
+    }
+
+    fn track_alloc(&self, bytes: u64) {
+        self.child.track_alloc(bytes)
+    }
+
+    fn track_free(&self, bytes: u64) {
+        self.child.track_free(bytes)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.child.resident_bytes()
+    }
+
+    fn peak_resident_bytes(&self) -> u64 {
+        self.child.peak_resident_bytes()
+    }
+
+    fn merge_peak(&self, peak: u64) {
+        self.child.merge_peak(peak)
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.child.mem_bytes()
+    }
+
+    fn reset(&self) {
+        self.child.reset()
+    }
+
+    fn topology(&self) -> Option<&DeviceTopology> {
+        self.child.topology()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.child.shard_count()
+    }
+
+    fn activate_shard(&self, shard: Option<usize>) {
+        self.child.activate_shard(shard)
+    }
+}
+
+/// Guard returned by [`SimExecutor::scoped_residency`] /
+/// [`ResidencyScope::new`]: on drop, frees every byte tracked since the guard
+/// was created (a completed fit's buffers leave the device). Works over any
+/// [`Executor`].
 pub struct ResidencyScope<'a> {
-    executor: &'a SimExecutor,
+    executor: &'a dyn Executor,
     baseline: u64,
+}
+
+impl<'a> ResidencyScope<'a> {
+    /// Scope the residency of one fit on `executor` (see
+    /// [`SimExecutor::scoped_residency`]).
+    pub fn new(executor: &'a dyn Executor) -> Self {
+        Self {
+            executor,
+            baseline: executor.resident_bytes(),
+        }
+    }
 }
 
 impl Drop for ResidencyScope<'_> {
@@ -303,6 +678,94 @@ mod tests {
         // ...until the peak is merged back.
         exec.merge_peak(fork.peak_resident_bytes());
         assert_eq!(exec.peak_resident_bytes(), 1_500);
+    }
+
+    #[test]
+    fn dyn_executor_runs_and_charges_via_the_extension_trait() {
+        let exec = SimExecutor::a100_f32();
+        let dyn_exec: &dyn Executor = &exec;
+        let out = dyn_exec.run(
+            "dyn gemm",
+            Phase::KernelMatrix,
+            OpClass::Gemm,
+            OpCost::gemm(64, 64, 8, 4),
+            || 7,
+        );
+        assert_eq!(out, 7);
+        dyn_exec.charge(
+            "dyn upload",
+            Phase::DataPreparation,
+            OpClass::Transfer,
+            OpCost::transfer(1 << 16),
+        );
+        assert_eq!(exec.trace().len(), 2);
+        assert_eq!(dyn_exec.shard_count(), 1);
+        assert!(dyn_exec.topology().is_none());
+        dyn_exec.activate_shard(Some(3)); // no-op on a single device
+        assert!(dyn_exec.total_modeled_seconds() > 0.0);
+    }
+
+    #[test]
+    fn trait_fork_is_a_drop_guard_that_merges_the_peak() {
+        let exec = SimExecutor::a100_f32();
+        exec.track_alloc(1_000);
+        {
+            let fork = Executor::fork(&exec);
+            fork.track_alloc(700);
+            assert_eq!(fork.resident_bytes(), 1_700);
+            // Simulate an error path: the fork is dropped without any
+            // explicit merge_peak call.
+        }
+        assert_eq!(
+            exec.peak_resident_bytes(),
+            1_700,
+            "dropping a fork must merge its peak into the parent"
+        );
+        // An explicit merge on top of the automatic one is harmless (max).
+        let fork = Executor::fork(&exec);
+        fork.track_alloc(100);
+        exec.merge_peak(fork.peak_resident_bytes());
+        drop(fork);
+        assert_eq!(exec.peak_resident_bytes(), 1_700);
+    }
+
+    #[test]
+    fn trait_fork_absorb_round_trip() {
+        let exec = SimExecutor::a100_f32();
+        let fork = Executor::fork(&exec);
+        fork.charge("job", Phase::Other, OpClass::Other, OpCost::new(1, 1, 1));
+        assert!(exec.trace().is_empty());
+        exec.absorb(&fork.trace());
+        assert_eq!(exec.trace().len(), 1);
+        // Forks of forks still work and see the same device.
+        let grandchild = fork.fork();
+        assert_eq!(grandchild.device().name, exec.device().name);
+    }
+
+    #[test]
+    fn residency_scope_works_over_dyn_executors() {
+        let exec = SimExecutor::a100_f32();
+        exec.track_alloc(10);
+        {
+            let dyn_exec: &dyn Executor = &exec;
+            let _scope = ResidencyScope::new(dyn_exec);
+            dyn_exec.track_alloc(90);
+            assert_eq!(exec.resident_bytes(), 100);
+        }
+        assert_eq!(exec.resident_bytes(), 10);
+        assert_eq!(exec.peak_resident_bytes(), 100);
+    }
+
+    #[test]
+    fn h100_preset_is_faster_than_a100() {
+        let h100 = SimExecutor::h100_f32();
+        let a100 = SimExecutor::a100_f32();
+        let cost = OpCost::gemm(4096, 4096, 512, 4);
+        assert!(
+            h100.cost_model().time_seconds(OpClass::Gemm, &cost)
+                < a100.cost_model().time_seconds(OpClass::Gemm, &cost)
+        );
+        assert_eq!(h100.device().name, "NVIDIA H100 80GB");
     }
 
     #[test]

@@ -17,20 +17,28 @@
 //!   intensity (Figure 6);
 //! * [`trace::OpTrace`] / [`profiler::Profiler`] — Nsight-Compute-like per-op
 //!   records with phase breakdowns (Figures 5 and 8);
-//! * [`executor::SimExecutor`] — runs real host closures while accumulating
-//!   modeled device time, so the same driver code produces both wall-clock
-//!   and modeled measurements.
+//! * [`executor::Executor`] — the execution surface engines and drivers hold
+//!   (as `&dyn Executor`), so they never care how many devices price the run;
+//! * [`executor::SimExecutor`] — the single-device implementation: runs real
+//!   host closures while accumulating modeled device time, so the same driver
+//!   code produces both wall-clock and modeled measurements;
+//! * [`sharded::ShardedExecutor`] — the multi-device implementation: one
+//!   attribution bucket per device of a [`device::DeviceTopology`], all-reduce
+//!   pricing against a [`device::LinkSpec`], and an overlap-aware modeled
+//!   wall-clock (max over devices).
 
 pub mod cost;
 pub mod device;
 pub mod executor;
 pub mod profiler;
 pub mod roofline;
+pub mod sharded;
 pub mod trace;
 
 pub use cost::{CostModel, OpClass, OpCost};
-pub use device::{DeviceSpec, GIB};
-pub use executor::SimExecutor;
+pub use device::{DeviceSpec, DeviceTopology, LinkSpec, GIB};
+pub use executor::{Executor, ExecutorExt, ForkGuard, ResidencyScope, SimExecutor};
 pub use profiler::Profiler;
 pub use roofline::Roofline;
+pub use sharded::ShardedExecutor;
 pub use trace::{OpRecord, OpTrace, Phase};

@@ -5,7 +5,7 @@
 //! * [`kernel_objective`] — the kernel k-means objective in feature space,
 //!   computed from the kernel matrix only (the same quantity the Popcorn
 //!   iteration minimises):
-//!   Σᵢ K[i][i] − Σ_j (1/|L_j|) Σ_{p,q ∈ L_j} K[p][q].
+//!   Σᵢ K\[i\]\[i\] − Σ_j (1/|L_j|) Σ_{p,q ∈ L_j} K\[p\]\[q\].
 //!
 //! Both are used by tests to assert that the solvers monotonically decrease
 //! their objective and that Popcorn and the dense baselines agree.

@@ -43,11 +43,14 @@ pub mod prelude {
     pub use popcorn_core::{
         BatchReport, BatchResult, ClusteringResult, FitInput, FitJob, FullKernel, Initialization,
         JobReport, KernelFunction, KernelKmeans, KernelKmeansConfig, KernelMatrixStrategy,
-        KernelSource, Solver, TilePolicy, TiledKernel, TimingBreakdown,
+        KernelSource, ShardPlan, ShardedKernelSource, Solver, TilePolicy, TiledKernel,
+        TimingBreakdown,
     };
     pub use popcorn_data::{Dataset, PaperDataset, SparseDataset};
     pub use popcorn_dense::{DenseMatrix, Scalar};
-    pub use popcorn_gpusim::{DeviceSpec, SimExecutor};
+    pub use popcorn_gpusim::{
+        DeviceSpec, DeviceTopology, Executor, ExecutorExt, LinkSpec, ShardedExecutor, SimExecutor,
+    };
     pub use popcorn_metrics::{
         adjusted_rand_index, normalized_mutual_information, silhouette_score,
     };
