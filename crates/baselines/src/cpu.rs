@@ -130,6 +130,10 @@ impl<T: Scalar> DistanceEngine<T> for CpuEngine<T> {
             },
         ))
     }
+
+    fn recycle_distances(&mut self, distances: DenseMatrix<T>) {
+        self.fold.recycle(distances);
+    }
 }
 
 impl CpuKernelKmeans {
@@ -263,8 +267,15 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
 
     /// The restart protocol on one core: compute the sequential kernel matrix
     /// exactly once (or stream tiles where one pass per iteration feeds every
-    /// job), then run every job's iterations over the shared source.
-    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+    /// job), then run every job's iterations over the shared source. The
+    /// *modeled* device stays a single core; `options.host_threads` only
+    /// fans the host-side simulation work across workers.
+    fn fit_batch_with(
+        &self,
+        input: FitInput<'_, T>,
+        jobs: &[FitJob],
+        options: &batch::BatchOptions,
+    ) -> Result<BatchResult> {
         let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
@@ -280,7 +291,7 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
             &executor,
             || Ok(self.compute_kernel_matrix(input, plan.kernel, &executor)),
             |source| {
-                batch::drive_shared_source(jobs, source, &executor, mark, |job| {
+                batch::drive_shared_source_with(jobs, source, &executor, mark, options, |job| {
                     Box::new(CpuEngine::<T>::new(job.config.k))
                 })
             },

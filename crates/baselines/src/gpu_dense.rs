@@ -177,6 +177,10 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
             },
         ))
     }
+
+    fn recycle_distances(&mut self, distances: DenseMatrix<T>) {
+        self.fold.recycle(distances);
+    }
 }
 
 impl DenseGpuBaseline {
@@ -341,8 +345,14 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
 
     /// The restart protocol on the baseline: densify (if needed), upload and
     /// GEMM exactly once — or stream GEMM tiles with one pass per iteration
-    /// feeding every job — then run every job over the shared source.
-    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+    /// feeding every job — then run every job over the shared source, with
+    /// per-job folds fanned across `options.host_threads` workers.
+    fn fit_batch_with(
+        &self,
+        input: FitInput<'_, T>,
+        jobs: &[FitJob],
+        options: &batch::BatchOptions,
+    ) -> Result<BatchResult> {
         let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
@@ -359,7 +369,7 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
                 &executor,
                 || self.compute_kernel_matrix(points, plan.kernel, &executor),
                 |source| {
-                    batch::drive_shared_source(jobs, source, &executor, mark, |job| {
+                    batch::drive_shared_source_with(jobs, source, &executor, mark, options, |job| {
                         Box::new(BaselineEngine::<T>::new(job.config.k))
                     })
                 },

@@ -361,7 +361,14 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
     /// The restart protocol on Lloyd: there is no kernel matrix to share, but
     /// the points still cross PCIe — so the batch charges the upload exactly
     /// once and every job's iterations run over the shared, resident points.
-    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+    /// Jobs share no per-iteration state, so `options.host_threads` fans
+    /// whole restarts out across workers (merged back in job order).
+    fn fit_batch_with(
+        &self,
+        input: FitInput<'_, T>,
+        jobs: &[FitJob],
+        options: &batch::BatchOptions,
+    ) -> Result<BatchResult> {
         // Only the per-job configs need validating: Lloyd evaluates no kernel
         // function, so jobs may freely mix kernel/strategy/tiling settings.
         batch::validate_job_configs(&input, jobs)?;
@@ -372,10 +379,11 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
         input.charge_upload(&executor);
         let shared_trace = batch::trace_since(&executor, mark);
         let elem = std::mem::size_of::<T>();
-        batch::drive_shared_kernel(
+        batch::drive_shared_kernel_with(
             jobs,
             &executor,
             shared_trace,
+            options,
             |job, job_executor| match input {
                 FitInput::Dense(points) => self.fit_points(points, &job.config, elem, job_executor),
                 FitInput::Sparse(points) => {

@@ -21,6 +21,10 @@ pub(crate) struct RowSumFold<T: Scalar> {
     sizes: Vec<usize>,
     labels: Vec<usize>,
     row_sums: Option<DenseMatrix<T>>,
+    /// Recycled `n × k` buffer (usually last iteration's distance matrix,
+    /// handed back by the driver) zero-filled and reused as the next row-sum
+    /// accumulator instead of allocating per pass.
+    spare: Option<DenseMatrix<T>>,
 }
 
 impl<T: Scalar> RowSumFold<T> {
@@ -33,6 +37,7 @@ impl<T: Scalar> RowSumFold<T> {
             sizes: Vec::new(),
             labels: Vec::new(),
             row_sums: None,
+            spare: None,
         }
     }
 
@@ -84,7 +89,19 @@ impl<T: Scalar> RowSumFold<T> {
             self.diag_pending = vec![T::ZERO; n];
             executor.track_alloc(n as u64 * self.k as u64 * std::mem::size_of::<T>() as u64);
         }
-        self.row_sums = Some(DenseMatrix::zeros(n, self.k));
+        self.row_sums = Some(match self.spare.take() {
+            Some(mut spare) if spare.rows() == n && spare.cols() == self.k => {
+                spare.fill(T::ZERO);
+                spare
+            }
+            _ => DenseMatrix::zeros(n, self.k),
+        });
+    }
+
+    /// Hand an `n × k` buffer back for reuse as the next iteration's row-sum
+    /// accumulator (see the engines' `recycle_distances`).
+    pub fn recycle(&mut self, buffer: DenseMatrix<T>) {
+        self.spare = Some(buffer);
     }
 
     /// Fold one row tile of `K` into the row sums (collecting the diagonal

@@ -262,8 +262,33 @@ pub fn execute_batch(
     k_values: &[usize],
     restarts: usize,
 ) -> popcorn_core::Result<ExecutedBatch> {
+    execute_batch_with(
+        solver,
+        dataset_name,
+        input,
+        base_config,
+        k_values,
+        restarts,
+        &popcorn_core::BatchOptions::default(),
+    )
+}
+
+/// [`execute_batch`] with explicit batch options (host-thread policy for the
+/// parallel restart driver).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_batch_with(
+    solver: Solver,
+    dataset_name: &str,
+    input: FitInput<'_, f32>,
+    base_config: KernelKmeansConfig,
+    k_values: &[usize],
+    restarts: usize,
+    options: &popcorn_core::BatchOptions,
+) -> popcorn_core::Result<ExecutedBatch> {
     let jobs = FitJob::k_sweep(&base_config, k_values, restarts);
-    let batch = solver.build(base_config).fit_batch(input, &jobs)?;
+    let batch = solver
+        .build(base_config)
+        .fit_batch_with(input, &jobs, options)?;
     Ok(ExecutedBatch {
         solver,
         dataset: dataset_name.to_string(),

@@ -1,6 +1,6 @@
 //! Command line argument parsing for `gpukmeans`.
 
-use popcorn_core::{Initialization, KernelFunction, TilePolicy};
+use popcorn_core::{HostParallelism, Initialization, KernelFunction, TilePolicy};
 use popcorn_gpusim::LinkSpec;
 
 /// Device↔device interconnect selected by `--interconnect`.
@@ -110,6 +110,10 @@ pub struct CliArgs {
     /// `--interconnect {nvlink|pcie}`: the device↔device link of a
     /// multi-device topology; only meaningful with `--devices` ≥ 2.
     pub interconnect: Option<Interconnect>,
+    /// `--host-threads {auto|N}`: host threads the batched restart driver
+    /// fans per-job work across (batch mode only; results are bit-identical
+    /// at any setting). Default: 1 (sequential).
+    pub host_threads: HostParallelism,
     /// `-s`: RNG seed.
     pub seed: u64,
     /// `-l`: implementation selector.
@@ -139,6 +143,7 @@ impl Default for CliArgs {
             device_mem_gb: None,
             devices: 1,
             interconnect: None,
+            host_threads: HostParallelism::Sequential,
             seed: 0,
             implementation: Implementation::Popcorn,
             output: None,
@@ -188,6 +193,11 @@ OPTIONS:
                   modeled multi-device speedup                 [default: 1]
   --interconnect  device link for --devices >= 2: nvlink | pcie
                                                                [default: nvlink]
+  --host-threads  host threads for the batched restart driver: auto (one per
+                  hardware thread) or an integer count. Only affects batch
+                  mode (--restarts/--k-sweep); results and traces are
+                  bit-identical at any setting — only the measured host
+                  wall-clock changes                           [default: 1]
   -s INT          RNG seed                                     [default: 0]
   -l {0|1|2|3}    implementation: 0 = dense GPU baseline, 1 = CPU,
                   2 = Popcorn, 3 = Lloyd (classical k-means)   [default: 2]
@@ -312,6 +322,19 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     "pcie" => Interconnect::Pcie,
                     _ => return Err(format!("--interconnect expects nvlink or pcie, got '{v}'")),
                 });
+            }
+            "--host-threads" => {
+                let v = value("--host-threads", &mut iter)?;
+                parsed.host_threads = match v.as_str() {
+                    "auto" => HostParallelism::Auto,
+                    other => {
+                        let n = parse_usize("--host-threads", other)?;
+                        if n == 0 {
+                            return Err("--host-threads must be at least 1 (or auto)".to_string());
+                        }
+                        HostParallelism::Threads(n)
+                    }
+                };
             }
             "-s" => parsed.seed = parse_usize("-s", value("-s", &mut iter)?)? as u64,
             "-l" => {
@@ -563,6 +586,36 @@ mod tests {
         // Single-device --device-mem stays legal.
         assert!(parse(&["--device-mem", "40"]).is_ok());
         assert!(parse(&["--devices", "1", "--device-mem", "40"]).is_ok());
+    }
+
+    #[test]
+    fn host_threads_flag() {
+        assert_eq!(
+            parse(&[]).unwrap().host_threads,
+            HostParallelism::Sequential
+        );
+        assert_eq!(
+            parse(&["--host-threads", "auto"]).unwrap().host_threads,
+            HostParallelism::Auto
+        );
+        assert_eq!(
+            parse(&["--host-threads", "4"]).unwrap().host_threads,
+            HostParallelism::Threads(4)
+        );
+        assert_eq!(
+            parse(&["--host-threads", "1"]).unwrap().host_threads,
+            HostParallelism::Threads(1)
+        );
+        let err = parse(&["--host-threads", "0"]).unwrap_err();
+        assert!(err.contains("--host-threads must be at least 1"), "{err}");
+        assert!(parse(&["--host-threads", "many"]).is_err());
+        assert!(parse(&["--host-threads"]).is_err());
+        // Resolution semantics the driver relies on.
+        assert_eq!(HostParallelism::Sequential.resolve(), 1);
+        assert_eq!(HostParallelism::Threads(4).resolve(), 4);
+        assert!(HostParallelism::Auto.resolve() >= 1);
+        assert_eq!(HostParallelism::Auto.describe(), "auto");
+        assert_eq!(HostParallelism::Threads(8).describe(), "8");
     }
 
     #[test]

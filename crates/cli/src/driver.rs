@@ -6,7 +6,7 @@
 //! generated inputs flow as dense matrices.
 
 use crate::args::{CliArgs, Implementation, InputFormat};
-use popcorn_core::batch::{BatchReport, FitJob};
+use popcorn_core::batch::{BatchOptions, BatchReport, FitJob};
 use popcorn_core::solver::{FitInput, Solver};
 use popcorn_core::{ClusteringResult, KernelKmeansConfig, TilePolicy};
 use popcorn_data::dataset::{Dataset, SparseDataset};
@@ -215,6 +215,13 @@ impl RunSummary {
                 report.amortized_modeled_seconds(),
                 report.independent_modeled_seconds(),
                 report.reuse_speedup(),
+            ));
+            out.push_str(&format!(
+                "host driver: {} thread(s), measured {:.6} s; modeled concurrent (streams) {:.6} s vs {:.6} s serial\n",
+                report.host_threads,
+                report.host_seconds,
+                report.modeled_concurrent_seconds(),
+                report.amortized_modeled_seconds(),
             ));
             let best_job = &report.jobs[*best];
             out.push_str(&format!(
@@ -448,8 +455,9 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         // (k, seed) job iterates over it; `--runs` does not apply.
         let jobs = FitJob::k_sweep(&config_from(args, 0), &k_values, args.restarts);
         let solver = build_solver_for(args, config_from(args, 0), &sharded_executor);
+        let options = BatchOptions::default().with_host_threads(args.host_threads);
         let batch = solver
-            .fit_batch(data.fit_input(), &jobs)
+            .fit_batch_with(data.fit_input(), &jobs, &options)
             .map_err(|e| e.to_string())?;
         (batch.results, Some((batch.best, batch.report)))
     } else {
@@ -579,6 +587,37 @@ mod tests {
         let text = batched.report();
         assert!(text.contains("kernel matrix computed once for 3 jobs"));
         assert!(text.contains("best job"));
+    }
+
+    #[test]
+    fn host_threads_keep_batches_bit_identical_and_reach_the_report() {
+        use popcorn_core::HostParallelism;
+        let base = CliArgs {
+            restarts: 4,
+            ..quick_args()
+        };
+        let sequential = run(&base).unwrap();
+        let parallel = run(&CliArgs {
+            host_threads: HostParallelism::Threads(3),
+            ..base
+        })
+        .unwrap();
+        assert_eq!(sequential.results.len(), parallel.results.len());
+        for (a, b) in sequential.results.iter().zip(parallel.results.iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        let (_, seq_report) = sequential.batch.as_ref().unwrap();
+        let (_, par_report) = parallel.batch.as_ref().unwrap();
+        assert_eq!(seq_report.host_threads, 1);
+        assert_eq!(par_report.host_threads, 3);
+        assert_eq!(
+            seq_report.peak_resident_bytes,
+            par_report.peak_resident_bytes
+        );
+        let text = parallel.report();
+        assert!(text.contains("host driver: 3 thread(s)"), "{text}");
+        assert!(text.contains("modeled concurrent (streams)"), "{text}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! that is currently farthest from its own centroid — a common, cheap fix
 //! that keeps `k` effective clusters alive.
 
-use popcorn_dense::{row_argmin, DenseMatrix, Scalar};
+use popcorn_dense::{row_argmin_into, DenseMatrix, Scalar};
 use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
 
 /// Result of one assignment step.
@@ -23,21 +23,38 @@ pub struct AssignmentOutcome {
     pub empty_clusters: usize,
 }
 
-/// Assign every point to its closest centroid (row-wise argmin of `D`).
-pub fn assign_clusters<T: Scalar>(
+/// Statistics of one assignment step whose labels were written into a
+/// caller-provided buffer (the scratch-reusing variant of
+/// [`AssignmentOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentStats {
+    /// Number of points whose label changed relative to `previous`.
+    pub changed: usize,
+    /// Kernel k-means objective Σᵢ D\[i\]\[labels\[i\]\] under the new labels.
+    pub objective: f64,
+    /// Number of empty clusters in the new labelling (before any repair).
+    pub empty_clusters: usize,
+}
+
+/// Assign every point to its closest centroid (row-wise argmin of `D`),
+/// writing the new labels into `labels` (cleared and resized — the hot-loop
+/// entry point that reuses the caller's buffer across iterations instead of
+/// allocating one per pass).
+pub fn assign_clusters_into<T: Scalar>(
     distances: &DenseMatrix<T>,
     previous: &[usize],
+    labels: &mut Vec<usize>,
     executor: &dyn Executor,
-) -> AssignmentOutcome {
+) -> AssignmentStats {
     let n = distances.rows();
     let k = distances.cols();
     let elem = std::mem::size_of::<T>();
-    let labels = executor.run(
+    executor.run(
         format!("argmin over D rows (n={n}, k={k})"),
         Phase::Assignment,
         OpClass::Reduction,
         OpCost::elementwise_elems(n as u64 * k as u64, 1, 0, 1, elem),
-        || row_argmin(distances),
+        || row_argmin_into(distances, labels),
     );
     let changed = labels
         .iter()
@@ -50,15 +67,30 @@ pub fn assign_clusters<T: Scalar>(
         .map(|(i, &l)| distances[(i, l)].to_f64())
         .sum();
     let mut sizes = vec![0usize; k];
-    for &l in &labels {
+    for &l in labels.iter() {
         sizes[l] += 1;
     }
     let empty_clusters = sizes.iter().filter(|&&c| c == 0).count();
-    AssignmentOutcome {
-        labels,
+    AssignmentStats {
         changed,
         objective,
         empty_clusters,
+    }
+}
+
+/// Assign every point to its closest centroid (row-wise argmin of `D`).
+pub fn assign_clusters<T: Scalar>(
+    distances: &DenseMatrix<T>,
+    previous: &[usize],
+    executor: &dyn Executor,
+) -> AssignmentOutcome {
+    let mut labels = Vec::new();
+    let stats = assign_clusters_into(distances, previous, &mut labels, executor);
+    AssignmentOutcome {
+        labels,
+        changed: stats.changed,
+        objective: stats.objective,
+        empty_clusters: stats.empty_clusters,
     }
 }
 

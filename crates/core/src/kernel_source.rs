@@ -36,8 +36,8 @@ use crate::solver::FitInput;
 use crate::Result;
 use popcorn_dense::{matmul_nt_rows, DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase};
-use std::cell::RefCell;
 use std::ops::Range;
+use std::sync::Mutex;
 
 /// Kernel-matrix residency policy (surfaced on the CLI as `--tile-rows`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,7 +73,12 @@ pub type TileVisitor<'a, T> = dyn FnMut(Range<usize>, &DenseMatrix<T>) -> Result
 /// through this trait; whether the matrix is resident ([`FullKernel`]) or
 /// recomputed per tile ([`TiledKernel`]) is invisible to them — including in
 /// the results, which are bit-identical across backends.
-pub trait KernelSource<T: Scalar> {
+///
+/// Sources are `Sync` by contract: the parallel batch driver fans per-job
+/// engine work out across host threads while every worker reads the same
+/// source (`diag` from `begin_iteration`, rows during seeding), so internal
+/// caches must use thread-safe interior mutability (`Mutex`, not `RefCell`).
+pub trait KernelSource<T: Scalar>: Sync {
     /// Number of points `n` (the matrix is `n × n`).
     fn n(&self) -> usize;
 
@@ -110,7 +115,7 @@ pub trait KernelSource<T: Scalar> {
 /// (and charged) by the kernel-matrix phase.
 pub struct FullKernel<'a, T: Scalar> {
     matrix: &'a DenseMatrix<T>,
-    diag_cache: RefCell<Option<Vec<T>>>,
+    diag_cache: Mutex<Option<Vec<T>>>,
 }
 
 impl<'a, T: Scalar> FullKernel<'a, T> {
@@ -125,7 +130,7 @@ impl<'a, T: Scalar> FullKernel<'a, T> {
         }
         Ok(Self {
             matrix,
-            diag_cache: RefCell::new(None),
+            diag_cache: Mutex::new(None),
         })
     }
 
@@ -150,11 +155,14 @@ impl<T: Scalar> KernelSource<T> for FullKernel<'_, T> {
     }
 
     fn diag(&self, executor: &dyn Executor) -> Result<Vec<T>> {
-        if let Some(diag) = self.diag_cache.borrow().as_ref() {
+        // Hold the lock across compute-and-store so concurrent first calls
+        // (parallel per-job engines) charge the extraction exactly once.
+        let mut cache = self.diag_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(diag) = cache.as_ref() {
             return Ok(diag.clone());
         }
         let diag = extract_point_norms(self.matrix, executor)?;
-        *self.diag_cache.borrow_mut() = Some(diag.clone());
+        *cache = Some(diag.clone());
         Ok(diag)
     }
 
@@ -183,7 +191,7 @@ pub struct TiledKernel<'a, T: Scalar> {
     /// Per-column stored-entry counts of CSR points, computed once so each
     /// tile's SpGEMM pricing costs `O(panel nnz)` instead of a full rescan.
     column_counts: Option<Vec<u64>>,
-    diag_cache: RefCell<Option<Vec<T>>>,
+    diag_cache: Mutex<Option<Vec<T>>>,
 }
 
 impl<'a, T: Scalar> TiledKernel<'a, T> {
@@ -247,7 +255,7 @@ impl<'a, T: Scalar> TiledKernel<'a, T> {
             tile_rows,
             gram_diag,
             column_counts,
-            diag_cache: RefCell::new(None),
+            diag_cache: Mutex::new(None),
         })
     }
 
@@ -373,7 +381,8 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
     }
 
     fn diag(&self, executor: &dyn Executor) -> Result<Vec<T>> {
-        if let Some(diag) = self.diag_cache.borrow().as_ref() {
+        let mut cache = self.diag_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(diag) = cache.as_ref() {
             return Ok(diag.clone());
         }
         let n = self.points.n();
@@ -392,7 +401,7 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
                     .collect()
             },
         );
-        *self.diag_cache.borrow_mut() = Some(diag.clone());
+        *cache = Some(diag.clone());
         Ok(diag)
     }
 

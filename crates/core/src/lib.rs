@@ -38,7 +38,7 @@ pub mod shard;
 pub mod solver;
 pub mod strategy;
 
-pub use batch::{BatchReport, BatchResult, FitJob, JobReport};
+pub use batch::{BatchOptions, BatchReport, BatchResult, FitJob, HostParallelism, JobReport};
 pub use config::KernelKmeansConfig;
 pub use errors::CoreError;
 pub use init::Initialization;

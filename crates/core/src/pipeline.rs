@@ -19,7 +19,7 @@
 //! assignment/convergence bookkeeping out of the loop so the batched
 //! lockstep driver (`crate::batch`) can run many jobs over one tile pass.
 
-use crate::assignment::{assign_clusters, repair_empty_clusters};
+use crate::assignment::{assign_clusters_into, repair_empty_clusters};
 use crate::config::KernelKmeansConfig;
 use crate::init::initial_assignments_source;
 use crate::kernel_source::KernelSource;
@@ -35,8 +35,14 @@ use std::ops::Range;
 ///
 /// Call protocol per iteration: one `begin_iteration`, then `consume_tile`
 /// for every tile of the source (a single call spanning all rows for in-core
-/// sources), then one `finish_iteration` returning the distances.
-pub trait DistanceEngine<T: Scalar> {
+/// sources), then one `finish_iteration` returning the distances. After the
+/// assignment step consumed the distances, drivers may hand the matrix back
+/// through [`DistanceEngine::recycle_distances`] so the engine can reuse the
+/// allocation for the next iteration instead of reallocating per pass.
+///
+/// Engines are `Send` by contract: the parallel batch driver moves each job's
+/// engine to whichever host thread owns the job for the current phase.
+pub trait DistanceEngine<T: Scalar>: Send {
     /// Start one iteration: rebuild per-iteration state from the current
     /// labels (selection matrix, cluster sizes, output buffers).
     fn begin_iteration(
@@ -57,6 +63,15 @@ pub trait DistanceEngine<T: Scalar> {
 
     /// Produce the `n × k` distance matrix once every tile was consumed.
     fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>>;
+
+    /// Hand a consumed distance matrix back for reuse. Engines that keep a
+    /// scratch buffer zero-fill it on the next `begin_iteration` instead of
+    /// allocating a fresh matrix — a pure allocation optimisation that never
+    /// changes results (a zero-filled buffer is bit-identical to a fresh
+    /// one). The default drops the matrix.
+    fn recycle_distances(&mut self, distances: DenseMatrix<T>) {
+        let _ = distances;
+    }
 }
 
 /// Per-run loop bookkeeping: labels, history, convergence. Shared by the
@@ -65,6 +80,10 @@ pub trait DistanceEngine<T: Scalar> {
 #[derive(Debug, Clone)]
 pub struct LoopState {
     labels: Vec<usize>,
+    /// Reused per-iteration assignment buffer: `step` writes the new labels
+    /// here and swaps it with `labels`, so no label vector is allocated after
+    /// the first iteration.
+    scratch_labels: Vec<usize>,
     history: Vec<IterationStats>,
     converged: bool,
     iterations: usize,
@@ -77,6 +96,7 @@ impl LoopState {
     pub fn new(labels: Vec<usize>, k: usize) -> Self {
         Self {
             labels,
+            scratch_labels: Vec::new(),
             history: Vec::new(),
             converged: false,
             iterations: 0,
@@ -110,10 +130,10 @@ impl LoopState {
         executor: &dyn Executor,
     ) {
         let iteration = self.iterations;
-        let outcome = assign_clusters(distances, &self.labels, executor);
-        let mut new_labels = outcome.labels;
+        let outcome =
+            assign_clusters_into(distances, &self.labels, &mut self.scratch_labels, executor);
         if config.repair_empty_clusters && outcome.empty_clusters > 0 {
-            repair_empty_clusters(&mut new_labels, distances, self.k);
+            repair_empty_clusters(&mut self.scratch_labels, distances, self.k);
         }
 
         self.history.push(IterationStats {
@@ -122,7 +142,9 @@ impl LoopState {
             changed: outcome.changed,
             empty_clusters: outcome.empty_clusters,
         });
-        self.labels = new_labels;
+        // The new labels become current; the old vector becomes next
+        // iteration's scratch (no allocation per pass).
+        std::mem::swap(&mut self.labels, &mut self.scratch_labels);
         self.iterations = iteration + 1;
 
         // Convergence: assignments stopped changing, or the objective's
@@ -178,6 +200,7 @@ pub fn iterate<T: Scalar>(
         })?;
         let distances = engine.finish_iteration(executor)?;
         state.step(&distances, config, executor);
+        engine.recycle_distances(distances);
     }
 
     Ok(state.into_result(executor))

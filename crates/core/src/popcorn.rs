@@ -41,6 +41,10 @@ pub(crate) struct PopcornEngine<T: Scalar> {
     point_norms: Option<Vec<T>>,
     selection: Option<SelectionMatrix<T>>,
     e: Option<DenseMatrix<T>>,
+    /// Recycled distance matrix from the previous iteration, zero-filled and
+    /// reused as the next `E` accumulator instead of allocating a fresh
+    /// `n × k` buffer per pass (bit-identical: zeroed memory either way).
+    spare: Option<DenseMatrix<T>>,
 }
 
 impl<T: Scalar> PopcornEngine<T> {
@@ -50,6 +54,7 @@ impl<T: Scalar> PopcornEngine<T> {
             point_norms: None,
             selection: None,
             e: None,
+            spare: None,
         }
     }
 }
@@ -81,11 +86,19 @@ impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
         )?;
         self.selection = Some(selection);
 
-        // The n x k accumulator for E = -2 K V^T (becomes D in place).
+        // The n x k accumulator for E = -2 K V^T (becomes D in place). The
+        // buffer is allocated once and recycled through recycle_distances
+        // across iterations.
         if iteration == 0 {
             executor.track_alloc(n as u64 * self.k as u64 * elem as u64);
         }
-        self.e = Some(DenseMatrix::zeros(n, self.k));
+        self.e = Some(match self.spare.take() {
+            Some(mut spare) if spare.rows() == n && spare.cols() == self.k => {
+                spare.fill(T::ZERO);
+                spare
+            }
+            _ => DenseMatrix::zeros(n, self.k),
+        });
         Ok(())
     }
 
@@ -105,6 +118,10 @@ impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
         let selection = self.selection.as_ref().expect("begin_iteration ran");
         let point_norms = self.point_norms.as_ref().expect("populated in begin");
         Ok(finish_distances(e, point_norms, selection, executor)?.distances)
+    }
+
+    fn recycle_distances(&mut self, distances: DenseMatrix<T>) {
+        self.spare = Some(distances);
     }
 }
 
@@ -218,8 +235,14 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
     /// The restart protocol: upload the points once, then either compute `K`
     /// exactly once (in-core) or stream recomputed tiles where **one tile
     /// pass per iteration feeds every job** (out-of-core) — the lockstep
-    /// driver in [`crate::batch`].
-    fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+    /// driver in [`crate::batch`], fanning per-job work across
+    /// `options.host_threads` workers.
+    fn fit_batch_with(
+        &self,
+        input: FitInput<'_, T>,
+        jobs: &[FitJob],
+        options: &batch::BatchOptions,
+    ) -> Result<BatchResult> {
         let plan = batch::validate_jobs(&input, jobs)?;
         input.validate()?;
         let executor = self.executor_for::<T>();
@@ -245,7 +268,7 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
                 // P̃ = diag(K) is identical across jobs: compute and charge it
                 // once in the shared phase; per-job engines read the cache.
                 source.diag(executor)?;
-                batch::drive_shared_source(jobs, source, executor, mark, |job| {
+                batch::drive_shared_source_with(jobs, source, executor, mark, options, |job| {
                     Box::new(PopcornEngine::new(job.config.k))
                 })
             },

@@ -255,8 +255,10 @@ pub struct ShardedKernelSource<'a, T: Scalar> {
     /// charged to their device — exactly once, then replayed from this cache
     /// on later passes, the multi-device analogue of [`crate::FullKernel`]'s
     /// charge-once semantics. Streaming (sub-tiled) shards never cache: their
-    /// device cannot hold more than one tile.
-    resident: std::cell::RefCell<Vec<Option<popcorn_dense::DenseMatrix<T>>>>,
+    /// device cannot hold more than one tile. A `Mutex` (not `RefCell`) so
+    /// the source satisfies the [`KernelSource`] `Sync` contract; the tile
+    /// stream itself always runs on the driver thread.
+    resident: std::sync::Mutex<Vec<Option<popcorn_dense::DenseMatrix<T>>>>,
 }
 
 impl<'a, T: Scalar> ShardedKernelSource<'a, T> {
@@ -290,7 +292,7 @@ impl<'a, T: Scalar> ShardedKernelSource<'a, T> {
             let _active = ActiveShard::activate(executor, shard.device);
             executor.track_alloc(tile_bytes(shard.tile_rows, n, elem));
         }
-        let resident = std::cell::RefCell::new(vec![None; plan.shards().len()]);
+        let resident = std::sync::Mutex::new(vec![None; plan.shards().len()]);
         Ok(Self {
             inner,
             plan,
@@ -354,13 +356,13 @@ impl<T: Scalar> KernelSource<T> for ShardedKernelSource<'_, T> {
             if shard.is_resident() {
                 // The device holds its whole shard: compute (and charge) it
                 // on the first pass, replay it for free afterwards.
-                if self.resident.borrow()[index].is_none() {
+                let mut cache = self.resident.lock().unwrap_or_else(|p| p.into_inner());
+                if cache[index].is_none() {
                     let tile =
                         self.inner
                             .compute_tile(shard.rows.start, shard.rows.end, executor)?;
-                    self.resident.borrow_mut()[index] = Some(tile);
+                    cache[index] = Some(tile);
                 }
-                let cache = self.resident.borrow();
                 let tile = cache[index].as_ref().expect("populated above");
                 f(shard.rows.clone(), tile)?;
                 continue;

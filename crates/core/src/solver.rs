@@ -229,15 +229,32 @@ pub trait Solver<T: Scalar> {
     }
 
     /// Fit every job of a batch over the same input, sharing whatever work
-    /// is identical across jobs.
-    ///
-    /// The default implementation shares nothing (independent `fit_input`
-    /// calls). The kernel-matrix solvers override it with the shared-`K`
-    /// driver from [`crate::batch`]: the upload and the kernel matrix are
-    /// charged exactly once for the whole batch, and every job's clustering
-    /// iterations borrow the shared matrix. Per-job results are bit-identical
-    /// to standalone `fit_input` calls either way.
+    /// is identical across jobs — the default-options convenience over
+    /// [`Solver::fit_batch_with`].
     fn fit_batch(&self, input: FitInput<'_, T>, jobs: &[FitJob]) -> Result<BatchResult> {
+        self.fit_batch_with(input, jobs, &batch::BatchOptions::default())
+    }
+
+    /// Fit every job of a batch over the same input with explicit
+    /// [`batch::BatchOptions`] (host-thread policy for the parallel restart
+    /// driver).
+    ///
+    /// The default implementation shares nothing (independent, sequential
+    /// `fit_input` calls — the jobs may share one executor, so they cannot
+    /// safely interleave). The kernel-matrix solvers override it with the
+    /// shared-`K` lockstep driver from [`crate::batch`]: the upload and the
+    /// kernel matrix are charged exactly once for the whole batch, every
+    /// job's clustering iterations borrow the shared matrix, and per-job
+    /// engine work fans out across `options.host_threads` workers. Per-job
+    /// results are bit-identical to standalone `fit_input` calls either way,
+    /// at every thread count.
+    fn fit_batch_with(
+        &self,
+        input: FitInput<'_, T>,
+        jobs: &[FitJob],
+        options: &batch::BatchOptions,
+    ) -> Result<BatchResult> {
+        let _ = options;
         batch::fit_batch_independent(self, input, jobs)
     }
 

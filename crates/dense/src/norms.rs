@@ -10,7 +10,7 @@
 
 use crate::errors::DenseError;
 use crate::matrix::DenseMatrix;
-use crate::parallel::par_map_indexed;
+use crate::parallel::{par_chunks_rows, par_map_indexed};
 use crate::scalar::Scalar;
 use crate::Result;
 
@@ -49,18 +49,31 @@ pub fn frobenius_norm<T: Scalar>(m: &DenseMatrix<T>) -> f64 {
 /// index, matching a sequential scan). Non-finite entries lose against any
 /// finite entry.
 pub fn row_argmin<T: Scalar>(m: &DenseMatrix<T>) -> Vec<usize> {
-    par_map_indexed(m.rows(), |i| {
-        let row = m.row(i);
-        let mut best = 0usize;
-        let mut best_val = T::INFINITY;
-        for (j, &v) in row.iter().enumerate() {
-            if v < best_val {
-                best_val = v;
-                best = j;
+    let mut out = Vec::new();
+    row_argmin_into(m, &mut out);
+    out
+}
+
+/// [`row_argmin`] into a caller-provided buffer (cleared and resized), so hot
+/// loops reuse one allocation across iterations. Identical per-row scan —
+/// same ties, same non-finite handling.
+pub fn row_argmin_into<T: Scalar>(m: &DenseMatrix<T>, out: &mut Vec<usize>) {
+    out.clear();
+    out.resize(m.rows(), 0);
+    par_chunks_rows(out, 1, |start, chunk| {
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            let row = m.row(start + offset);
+            let mut best = 0usize;
+            let mut best_val = T::INFINITY;
+            for (j, &v) in row.iter().enumerate() {
+                if v < best_val {
+                    best_val = v;
+                    best = j;
+                }
             }
+            *slot = best;
         }
-        best
-    })
+    });
 }
 
 /// Value of the smallest element in each row.

@@ -50,7 +50,34 @@ pub enum OpClass {
     Other,
 }
 
+/// Which on-device execution engine an operation class occupies.
+///
+/// Real devices run kernels on the SMs and DMA copies on dedicated copy
+/// engines; operations queued on the *same* engine serialize even when they
+/// come from independent streams, while the two engines overlap each other.
+/// The stream-aware batch wall-clock model
+/// (`BatchReport::modeled_concurrent_seconds` in `popcorn-core`) is built on
+/// this split: restart jobs sharing one device serialize their compute, but a
+/// job's transfers can hide under another job's compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceEngine {
+    /// The SM/compute pipeline (GEMM, SpMM, reductions, elementwise, ...).
+    Compute,
+    /// The DMA/copy pipeline (host↔device transfers, device↔device
+    /// all-reduces).
+    Copy,
+}
+
 impl OpClass {
+    /// The device engine operations of this class execute on (see
+    /// [`DeviceEngine`]).
+    pub fn device_engine(self) -> DeviceEngine {
+        match self {
+            OpClass::Transfer | OpClass::AllReduce => DeviceEngine::Copy,
+            _ => DeviceEngine::Compute,
+        }
+    }
+
     /// Fraction of peak compute this class of routine typically sustains.
     pub fn compute_efficiency(self) -> f64 {
         match self {

@@ -757,6 +757,50 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_forks_record_and_merge_deterministically() {
+        // The parallel batch driver's usage pattern: one fork per job, each
+        // recording from its own thread, merged back on the driver thread in
+        // fixed order. Per-fork traces must be isolated and the absorbed
+        // order must be exactly the merge order.
+        let exec = SimExecutor::a100_f32();
+        exec.track_alloc(1_000);
+        let forks: Vec<Box<dyn Executor>> = (0..4).map(|_| Executor::fork(&exec)).collect();
+        std::thread::scope(|scope| {
+            for (i, fork) in forks.iter().enumerate() {
+                scope.spawn(move || {
+                    for op in 0..3 {
+                        fork.charge(
+                            format!("job {i} op {op}"),
+                            Phase::PairwiseDistances,
+                            OpClass::SpMM,
+                            OpCost::new(10 + i as u64, 5, 5),
+                        );
+                    }
+                    fork.track_alloc(100 * (i as u64 + 1));
+                });
+            }
+        });
+        for (i, fork) in forks.iter().enumerate() {
+            let trace = fork.trace();
+            assert_eq!(trace.len(), 3, "fork {i} trace must only hold its ops");
+            assert!(trace
+                .records()
+                .iter()
+                .all(|r| r.name.starts_with(&format!("job {i} "))));
+            exec.absorb(&trace);
+        }
+        let merged = exec.trace();
+        assert_eq!(merged.len(), 12);
+        for (i, chunk) in merged.records().chunks(3).enumerate() {
+            assert!(chunk
+                .iter()
+                .all(|r| r.name.starts_with(&format!("job {i} "))));
+        }
+        drop(forks); // drop guards merge the peaks
+        assert_eq!(exec.peak_resident_bytes(), 1_000 + 400);
+    }
+
+    #[test]
     fn h100_preset_is_faster_than_a100() {
         let h100 = SimExecutor::h100_f32();
         let a100 = SimExecutor::a100_f32();

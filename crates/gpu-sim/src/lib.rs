@@ -35,7 +35,7 @@ pub mod roofline;
 pub mod sharded;
 pub mod trace;
 
-pub use cost::{CostModel, OpClass, OpCost};
+pub use cost::{CostModel, DeviceEngine, OpClass, OpCost};
 pub use device::{DeviceSpec, DeviceTopology, LinkSpec, GIB};
 pub use executor::{Executor, ExecutorExt, ForkGuard, ResidencyScope, SimExecutor};
 pub use profiler::Profiler;

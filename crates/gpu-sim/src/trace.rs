@@ -6,7 +6,7 @@
 //! operation leaves an [`OpRecord`] carrying its class, phase, FLOP/byte
 //! footprint, modeled device time and measured host time.
 
-use crate::cost::{OpClass, OpCost};
+use crate::cost::{DeviceEngine, OpClass, OpCost};
 
 /// Phase of the kernel k-means pipeline an operation belongs to; matches the
 /// categories of the paper's Figure 8 runtime breakdown.
@@ -131,6 +131,18 @@ impl OpTrace {
         self.records
             .iter()
             .filter(|r| r.phase == phase)
+            .map(|r| r.modeled_seconds)
+            .sum()
+    }
+
+    /// Modeled device time attributed to one execution engine
+    /// ([`DeviceEngine::Compute`] vs [`DeviceEngine::Copy`]). Streams on the
+    /// same device serialize per engine but the two engines overlap, so the
+    /// stream-aware batch wall-clock takes the max of the two sums.
+    pub fn engine_modeled_seconds(&self, engine: DeviceEngine) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.class.device_engine() == engine)
             .map(|r| r.modeled_seconds)
             .sum()
     }

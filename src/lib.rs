@@ -41,10 +41,10 @@ pub use popcorn_baselines as baselines;
 pub mod prelude {
     pub use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline, LloydKmeans};
     pub use popcorn_core::{
-        BatchReport, BatchResult, ClusteringResult, FitInput, FitJob, FullKernel, Initialization,
-        JobReport, KernelFunction, KernelKmeans, KernelKmeansConfig, KernelMatrixStrategy,
-        KernelSource, ShardPlan, ShardedKernelSource, Solver, TilePolicy, TiledKernel,
-        TimingBreakdown,
+        BatchOptions, BatchReport, BatchResult, ClusteringResult, FitInput, FitJob, FullKernel,
+        HostParallelism, Initialization, JobReport, KernelFunction, KernelKmeans,
+        KernelKmeansConfig, KernelMatrixStrategy, KernelSource, ShardPlan, ShardedKernelSource,
+        Solver, TilePolicy, TiledKernel, TimingBreakdown,
     };
     pub use popcorn_data::{Dataset, PaperDataset, SparseDataset};
     pub use popcorn_dense::{DenseMatrix, Scalar};
