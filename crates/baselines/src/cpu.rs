@@ -246,6 +246,7 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
         run_with_source(
             input,
             config.kernel,
+            config.approx,
             config.tiling,
             config.k,
             &executor,
@@ -286,6 +287,7 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
         run_with_source(
             input,
             plan.kernel,
+            plan.approx,
             plan.tiling,
             k_budget,
             &executor,

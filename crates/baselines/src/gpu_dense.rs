@@ -322,6 +322,7 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
             run_with_source(
                 FitInput::Dense(points),
                 config.kernel,
+                config.approx,
                 config.tiling,
                 config.k,
                 &executor,
@@ -364,6 +365,7 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
             run_with_source(
                 FitInput::Dense(points),
                 plan.kernel,
+                plan.approx,
                 plan.tiling,
                 k_budget,
                 &executor,

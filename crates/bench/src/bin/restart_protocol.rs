@@ -164,6 +164,17 @@ fn parallel_driver_demo(options: &ExperimentOptions) {
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    if available == 1 {
+        // Say so up front, before any timing scrolls past: on a 1-core host
+        // the parallel driver cannot run jobs concurrently, so the measured
+        // ratio below is thread overhead, not a speedup measurement.
+        println!(
+            "\nNOTE: this host reports 1 hardware thread — a host-thread \
+             speedup is NOT measurable here. The run below still verifies \
+             the bit-identity contract; treat the measured ratio as \
+             overhead, not speedup."
+        );
+    }
     let threads = available.max(4);
     let demo = uniform_dataset::<f32>(PARALLEL_N, PARALLEL_D, options.seed);
     let config = options
@@ -245,13 +256,16 @@ fn parallel_driver_demo(options: &ExperimentOptions) {
     let json = format!(
         "{{\n  \"n\": {PARALLEL_N},\n  \"d\": {PARALLEL_D},\n  \"k\": {PARALLEL_K},\n  \
          \"restarts\": {PARALLEL_RESTARTS},\n  \"iterations\": {PARALLEL_ITERATIONS},\n  \
+         \"host_cores\": {available},\n  \
          \"available_parallelism\": {available},\n  \"kernel_threads\": {kernel_threads},\n  \
+         \"speedup_measurable\": {},\n  \
          \"sequential_host_threads\": {},\n  \"sequential_host_seconds\": {:.6},\n  \
          \"parallel_host_threads\": {},\n  \"parallel_host_seconds\": {:.6},\n  \
          \"measured_speedup\": {measured_speedup:.4},\n  \
          \"modeled_amortized_seconds\": {:.9},\n  \
          \"modeled_concurrent_seconds\": {:.9},\n  \
          \"bit_identical\": true\n}}\n",
+        available > 1,
         seq_report.host_threads,
         seq_report.host_seconds,
         par_report.host_threads,

@@ -31,6 +31,27 @@ impl Interconnect {
     }
 }
 
+/// Kernel-matrix representation selected by `--approx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApproxMode {
+    /// The exact `n × n` kernel matrix (resident, tiled or sharded — the
+    /// planner decides). The default.
+    #[default]
+    Exact,
+    /// Rank-`m` Nyström factorization over `--landmarks` columns.
+    Nystrom,
+}
+
+impl ApproxMode {
+    /// Name matching the `--approx` flag values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ApproxMode::Exact => "exact",
+            ApproxMode::Nystrom => "nystrom",
+        }
+    }
+}
+
 /// Which implementation the `-l` flag selects (artifact: 0 = naive GPU
 /// baseline, 2 = Popcorn; we additionally expose 1 = CPU reference and
 /// 3 = classical Lloyd k-means). This is the shared solver registry from
@@ -110,6 +131,13 @@ pub struct CliArgs {
     /// `--interconnect {nvlink|pcie}`: the device↔device link of a
     /// multi-device topology; only meaningful with `--devices` ≥ 2.
     pub interconnect: Option<Interconnect>,
+    /// `--approx {exact|nystrom}`: kernel-matrix representation — the exact
+    /// matrix (default) or a rank-`m` Nyström factorization that trades a
+    /// bounded approximation error for `O(n·m)` memory.
+    pub approx: ApproxMode,
+    /// `--landmarks N`: Nyström rank `m` (number of landmark columns). Only
+    /// meaningful with `--approx nystrom`; `None` uses the default of 256.
+    pub landmarks: Option<usize>,
     /// `--host-threads {auto|N}`: host threads the batched restart driver
     /// fans per-job work across (batch mode only; results are bit-identical
     /// at any setting). Default: 1 (sequential).
@@ -143,6 +171,8 @@ impl Default for CliArgs {
             device_mem_gb: None,
             devices: 1,
             interconnect: None,
+            approx: ApproxMode::Exact,
+            landmarks: None,
             host_threads: HostParallelism::Sequential,
             seed: 0,
             implementation: Implementation::Popcorn,
@@ -193,6 +223,13 @@ OPTIONS:
                   modeled multi-device speedup                 [default: 1]
   --interconnect  device link for --devices >= 2: nvlink | pcie
                                                                [default: nvlink]
+  --approx STR    kernel-matrix representation: exact (the n x n matrix) or
+                  nystrom (a rank-m factorization K ~ C W+ C^T over m landmark
+                  columns; O(n*m) memory instead of O(n^2), approximate
+                  labels)                                      [default: exact]
+  --landmarks INT Nystrom rank m (landmark columns); requires
+                  --approx nystrom. m >= n falls back to the exact path
+                                                               [default: 256]
   --host-threads  host threads for the batched restart driver: auto (one per
                   hardware thread) or an integer count. Only affects batch
                   mode (--restarts/--k-sweep); results and traces are
@@ -323,6 +360,20 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     _ => return Err(format!("--interconnect expects nvlink or pcie, got '{v}'")),
                 });
             }
+            "--approx" => {
+                let v = value("--approx", &mut iter)?;
+                parsed.approx = match v.as_str() {
+                    "exact" => ApproxMode::Exact,
+                    "nystrom" => ApproxMode::Nystrom,
+                    _ => return Err(format!("--approx expects exact or nystrom, got '{v}'")),
+                };
+            }
+            "--landmarks" => {
+                parsed.landmarks = Some(parse_usize(
+                    "--landmarks",
+                    value("--landmarks", &mut iter)?,
+                )?)
+            }
             "--host-threads" => {
                 let v = value("--host-threads", &mut iter)?;
                 parsed.host_threads = match v.as_str() {
@@ -384,6 +435,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if parsed.interconnect.is_some() && parsed.devices < 2 {
         return Err("--interconnect requires --devices >= 2".to_string());
+    }
+    if parsed.landmarks.is_some() && parsed.approx != ApproxMode::Nystrom {
+        return Err("--landmarks requires --approx nystrom".to_string());
+    }
+    if parsed.landmarks == Some(0) {
+        return Err("--landmarks must be at least 1".to_string());
     }
     Ok(parsed)
 }
@@ -586,6 +643,39 @@ mod tests {
         // Single-device --device-mem stays legal.
         assert!(parse(&["--device-mem", "40"]).is_ok());
         assert!(parse(&["--devices", "1", "--device-mem", "40"]).is_ok());
+    }
+
+    #[test]
+    fn approx_and_landmarks_flags() {
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.approx, ApproxMode::Exact);
+        assert_eq!(defaults.landmarks, None);
+        assert_eq!(
+            parse(&["--approx", "exact"]).unwrap().approx,
+            ApproxMode::Exact
+        );
+        let args = parse(&["--approx", "nystrom"]).unwrap();
+        assert_eq!(args.approx, ApproxMode::Nystrom);
+        assert_eq!(args.landmarks, None);
+        let args = parse(&["--approx", "nystrom", "--landmarks", "512"]).unwrap();
+        assert_eq!(args.landmarks, Some(512));
+        let args = parse(&["--landmarks", "64", "--approx", "nystrom"]).unwrap();
+        assert_eq!(args.landmarks, Some(64));
+        assert_eq!(ApproxMode::Exact.name(), "exact");
+        assert_eq!(ApproxMode::Nystrom.name(), "nystrom");
+        // --landmarks is meaningless outside the Nyström path.
+        let err = parse(&["--landmarks", "512"]).unwrap_err();
+        assert!(
+            err.contains("--landmarks requires --approx nystrom"),
+            "{err}"
+        );
+        let err = parse(&["--approx", "exact", "--landmarks", "512"]).unwrap_err();
+        assert!(err.contains("requires --approx nystrom"), "{err}");
+        let err = parse(&["--approx", "nystrom", "--landmarks", "0"]).unwrap_err();
+        assert!(err.contains("--landmarks must be at least 1"), "{err}");
+        assert!(parse(&["--approx", "lowrank"]).is_err());
+        assert!(parse(&["--approx"]).is_err());
+        assert!(parse(&["--landmarks", "few"]).is_err());
     }
 
     #[test]

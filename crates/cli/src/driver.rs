@@ -5,10 +5,10 @@
 //! inputs flow to the solvers as CSR without ever being densified, CSV and
 //! generated inputs flow as dense matrices.
 
-use crate::args::{CliArgs, Implementation, InputFormat};
+use crate::args::{ApproxMode, CliArgs, Implementation, InputFormat};
 use popcorn_core::batch::{BatchOptions, BatchReport, FitJob};
 use popcorn_core::solver::{FitInput, Solver};
-use popcorn_core::{ClusteringResult, KernelKmeansConfig, TilePolicy};
+use popcorn_core::{ClusteringResult, KernelApprox, KernelKmeansConfig, TilePolicy};
 use popcorn_data::dataset::{Dataset, SparseDataset};
 use popcorn_data::synthetic::uniform_dataset;
 use popcorn_data::{csv, libsvm};
@@ -35,6 +35,8 @@ pub struct RunSummary {
     pub batch: Option<(usize, BatchReport)>,
     /// Kernel-matrix residency policy the runs used.
     pub tiling: TilePolicy,
+    /// Kernel-matrix representation the runs used (exact or Nyström).
+    pub approx: KernelApprox,
     /// Simulated device memory capacity in bytes, when overridden.
     pub device_mem_bytes: Option<u64>,
     /// Multi-device accounting when `--devices` sharded the run.
@@ -166,13 +168,14 @@ impl RunSummary {
     pub fn report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "dataset={} n={} d={} layout={} implementation={} tile-rows={}\n",
+            "dataset={} n={} d={} layout={} implementation={} tile-rows={} approx={}\n",
             self.dataset,
             self.n,
             self.d,
             if self.sparse { "csr" } else { "dense" },
             self.implementation.name(),
             self.tiling.describe(),
+            self.approx.describe(),
         ));
         if let Some(sharding) = &self.sharding {
             out.push_str(&sharding.report());
@@ -228,6 +231,9 @@ impl RunSummary {
                 "best job: k={} seed={} objective={:.6e}\n",
                 best_job.k, best_job.seed, best_job.objective
             ));
+            if let Some(footer) = self.approx_footer() {
+                out.push_str(&footer);
+            }
             return out;
         }
         for (run, result) in self.results.iter().enumerate() {
@@ -245,7 +251,20 @@ impl RunSummary {
             self.mean_modeled_seconds(),
             self.mean_host_seconds()
         ));
+        if let Some(footer) = self.approx_footer() {
+            out.push_str(&footer);
+        }
         out
+    }
+
+    /// Report footer describing the approximate-kernel quality bound, when
+    /// the runs clustered over an approximation (`None` on exact fits).
+    fn approx_footer(&self) -> Option<String> {
+        let bound = self.results.iter().find_map(|r| r.approx_error_bound)?;
+        Some(format!(
+            "approximate kernel {}: mean diagonal reconstruction error {bound:.3e}\n",
+            self.approx.describe(),
+        ))
     }
 }
 
@@ -370,6 +389,15 @@ fn config_from(args: &CliArgs, run: usize) -> KernelKmeansConfig {
         seed: args.seed.wrapping_add(run as u64),
         repair_empty_clusters: args.repair_empty_clusters,
         tiling: args.tiling,
+        approx: match args.approx {
+            ApproxMode::Exact => KernelApprox::Exact,
+            // The Nyström landmark draw is seeded independently of the
+            // per-run assignment seed so restarts share one factorization.
+            ApproxMode::Nystrom => KernelApprox::Nystrom {
+                landmarks: args.landmarks.unwrap_or(256),
+                seed: args.seed,
+            },
+        },
     }
 }
 
@@ -499,6 +527,7 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         results,
         batch,
         tiling: args.tiling,
+        approx: config_from(args, 0).approx,
         device_mem_bytes: device_mem_bytes(args),
         sharding,
     })
@@ -1017,6 +1046,74 @@ mod tests {
             ..quick_args()
         };
         assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn nystrom_runs_and_reports_the_error_bound() {
+        let args = CliArgs {
+            n: 120,
+            d: 4,
+            k: 3,
+            runs: 1,
+            max_iter: 6,
+            approx: ApproxMode::Nystrom,
+            landmarks: Some(24),
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert_eq!(summary.results[0].labels.len(), 120);
+        assert!(summary.results[0].approx_error_bound.is_some());
+        let text = summary.report();
+        assert!(text.contains("approx=nystrom(m=24, seed=0)"), "{text}");
+        assert!(
+            text.contains("mean diagonal reconstruction error"),
+            "{text}"
+        );
+        // Exact runs say approx=exact and carry no footer.
+        let exact = run(&CliArgs {
+            approx: ApproxMode::Exact,
+            landmarks: None,
+            ..args.clone()
+        })
+        .unwrap();
+        assert_eq!(exact.results[0].approx_error_bound, None);
+        let text = exact.report();
+        assert!(text.contains("approx=exact"), "{text}");
+        assert!(!text.contains("reconstruction error"), "{text}");
+        // Full-rank Nyström degenerates to the exact dispatch bit for bit.
+        let full_rank = run(&CliArgs {
+            approx: ApproxMode::Nystrom,
+            landmarks: Some(120),
+            ..args
+        })
+        .unwrap();
+        assert_eq!(full_rank.results[0].labels, exact.results[0].labels);
+        assert_eq!(full_rank.results[0].approx_error_bound, None);
+    }
+
+    #[test]
+    fn nystrom_batch_shares_the_factorization_and_reports_the_bound() {
+        let args = CliArgs {
+            n: 100,
+            d: 4,
+            k: 3,
+            restarts: 3,
+            max_iter: 5,
+            approx: ApproxMode::Nystrom,
+            landmarks: Some(20),
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert_eq!(summary.results.len(), 3);
+        for result in &summary.results {
+            assert!(result.approx_error_bound.is_some());
+        }
+        let text = summary.report();
+        assert!(text.contains("best job"), "{text}");
+        assert!(
+            text.contains("mean diagonal reconstruction error"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::errors::CoreError;
 use crate::init::initial_assignments_source;
 use crate::kernel::KernelFunction;
 use crate::kernel_source::{KernelSource, TilePolicy};
+use crate::nystrom::KernelApprox;
 use crate::pipeline::{DistanceEngine, LoopState};
 use crate::result::ClusteringResult;
 use crate::solver::{FitInput, Solver};
@@ -356,6 +357,8 @@ pub struct SharedFitPlan {
     pub strategy: KernelMatrixStrategy,
     /// Kernel-matrix residency policy shared by every job.
     pub tiling: TilePolicy,
+    /// Kernel-matrix representation (exact or Nyström) shared by every job.
+    pub approx: KernelApprox,
 }
 
 /// Validate a batch against an input: jobs must be non-empty, every config
@@ -369,6 +372,7 @@ pub fn validate_jobs<T: Scalar>(input: &FitInput<'_, T>, jobs: &[FitJob]) -> Res
         kernel: first.config.kernel,
         strategy: first.config.strategy,
         tiling: first.config.tiling,
+        approx: first.config.approx,
     };
     for job in jobs {
         if job.config.kernel != plan.kernel || job.config.strategy != plan.strategy {
@@ -383,6 +387,14 @@ pub fn validate_jobs<T: Scalar>(input: &FitInput<'_, T>, jobs: &[FitJob]) -> Res
             return Err(CoreError::InvalidConfig(
                 "all jobs in a batch must share the tiling policy so one residency \
                  plan (and one tile stream) can serve the whole batch"
+                    .into(),
+            ));
+        }
+        if job.config.approx != plan.approx {
+            return Err(CoreError::InvalidConfig(
+                "all jobs in a batch must share the kernel approximation so one \
+                 kernel representation (exact matrix or Nyström factors) can be \
+                 shared; split differing approximations into separate batches"
                     .into(),
             ));
         }
@@ -714,7 +726,8 @@ pub fn drive_shared_source_with<T: Scalar>(
     for (job, run) in jobs.iter().zip(runs) {
         let job_trace = run.executor.trace();
         shared_executor.absorb(&job_trace);
-        let result = run.state.into_result(&run.executor);
+        let mut result = run.state.into_result(&run.executor);
+        result.approx_error_bound = source.approx_error_bound();
         job_reports.push(JobReport::new(job, &result, &job_trace));
         results.push(result);
     }

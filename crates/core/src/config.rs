@@ -4,6 +4,7 @@ use crate::errors::CoreError;
 use crate::init::Initialization;
 use crate::kernel::KernelFunction;
 use crate::kernel_source::TilePolicy;
+use crate::nystrom::KernelApprox;
 use crate::strategy::KernelMatrixStrategy;
 use crate::Result;
 
@@ -39,6 +40,12 @@ pub struct KernelKmeansConfig {
     /// ([`TilePolicy::Auto`], the default). Tiling never changes results —
     /// only what is resident and what the simulator charges.
     pub tiling: TilePolicy,
+    /// Kernel-matrix representation: the exact matrix
+    /// ([`KernelApprox::Exact`], the default) or a rank-`m` Nyström
+    /// factorization ([`KernelApprox::Nystrom`]) that trades a bounded
+    /// approximation error for `O(n·m)` memory — the only option in this
+    /// configuration that can change results.
+    pub approx: KernelApprox,
 }
 
 impl Default for KernelKmeansConfig {
@@ -54,6 +61,7 @@ impl Default for KernelKmeansConfig {
             seed: 0,
             repair_empty_clusters: true,
             tiling: TilePolicy::Auto,
+            approx: KernelApprox::Exact,
         }
     }
 }
@@ -118,6 +126,13 @@ impl KernelKmeansConfig {
         self
     }
 
+    /// Builder-style setter for the kernel-matrix representation (exact or
+    /// Nyström).
+    pub fn with_approx(mut self, approx: KernelApprox) -> Self {
+        self.approx = approx;
+        self
+    }
+
     /// Validate the configuration against a dataset of `n` points.
     pub fn validate(&self, n: usize) -> Result<()> {
         if self.k == 0 {
@@ -147,6 +162,13 @@ impl KernelKmeansConfig {
             return Err(CoreError::InvalidConfig(
                 "tile_rows must be at least 1".into(),
             ));
+        }
+        if let KernelApprox::Nystrom { landmarks, .. } = self.approx {
+            if landmarks == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "nystrom landmarks must be at least 1".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -222,5 +244,25 @@ mod tests {
             .with_tiling(TilePolicy::Full)
             .validate(10)
             .is_ok());
+    }
+
+    #[test]
+    fn approx_builder_and_validation() {
+        let c = KernelKmeansConfig::paper_defaults(2);
+        assert_eq!(c.approx, KernelApprox::Exact);
+        let nys = KernelApprox::Nystrom {
+            landmarks: 64,
+            seed: 5,
+        };
+        let c = c.with_approx(nys);
+        assert_eq!(c.approx, nys);
+        assert!(c.validate(1_000).is_ok());
+        assert!(KernelKmeansConfig::paper_defaults(2)
+            .with_approx(KernelApprox::Nystrom {
+                landmarks: 0,
+                seed: 0
+            })
+            .validate(10)
+            .is_err());
     }
 }

@@ -114,15 +114,62 @@ pub fn kmeanspp_assignments_source<T: Scalar>(
         executor,
         bytes: seeding_bytes,
     };
+    let center_rows = select_spread_rows(source, k, &diag, &mut rng, executor)?;
+
+    // Assign every point to the nearest seed.
+    let labels = (0..n)
+        .map(|i| {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c_idx, (c, row_c)) in center_rows.iter().enumerate() {
+                let d = kernel_sq_dist(&diag, row_c, *c, i);
+                if d < best_d {
+                    best_d = d;
+                    best = c_idx;
+                }
+            }
+            best
+        })
+        .collect();
+    Ok(labels)
+}
+
+/// Kernel-trick squared feature-space distance between points `i` and `c`
+/// given `diag(K)` and row `c` of `K`: `K_ii + K_cc − 2 K_ic`, clamped at 0.
+#[inline]
+fn kernel_sq_dist<T: Scalar>(diag: &[T], row_c: &[T], c: usize, i: usize) -> f64 {
+    (diag[i].to_f64() + diag[c].to_f64() - 2.0 * row_c[i].to_f64()).max(0.0)
+}
+
+/// The D²-sampling core of kernel k-means++: draw `k` spread-out rows of `K`
+/// from `source` (first uniformly, then proportional to the best squared
+/// feature-space distance so far), returning each chosen index with its
+/// kernel-matrix row.
+///
+/// This single loop is shared verbatim between k-means++ seeding (the rows
+/// are the seed centres) and Nyström landmark selection
+/// ([`crate::nystrom::NystromKernel`], where the rows are the columns of the
+/// cross-kernel factor `C`) — one implementation, one RNG draw sequence.
+/// Chosen indices are distinct whenever `k` distinct points exist: a chosen
+/// row's best-distance drops to zero, so D² sampling never re-draws it, and
+/// the `total <= 0` fallback picks unused indices deterministically.
+///
+/// The caller validates `0 < k <= n` and accounts the residency of the
+/// returned rows.
+pub(crate) fn select_spread_rows<T: Scalar>(
+    source: &dyn KernelSource<T>,
+    k: usize,
+    diag: &[T],
+    rng: &mut StdRng,
+    executor: &dyn Executor,
+) -> Result<Vec<(usize, Vec<T>)>> {
+    let n = source.n();
     let mut center_rows: Vec<(usize, Vec<T>)> = Vec::with_capacity(k);
-    let sq_dist = |diag: &[T], row_c: &[T], c: usize, i: usize| -> f64 {
-        (diag[i].to_f64() + diag[c].to_f64() - 2.0 * row_c[i].to_f64()).max(0.0)
-    };
 
     let first = rng.gen_range(0..n);
     let first_row = source.row(first, executor)?;
     let mut best_dist: Vec<f64> = (0..n)
-        .map(|i| sq_dist(&diag, &first_row, first, i))
+        .map(|i| kernel_sq_dist(diag, &first_row, first, i))
         .collect();
     center_rows.push((first, first_row));
 
@@ -148,30 +195,14 @@ pub fn kmeanspp_assignments_source<T: Scalar>(
         };
         let next_row = source.row(next, executor)?;
         for (i, best) in best_dist.iter_mut().enumerate() {
-            let d = sq_dist(&diag, &next_row, next, i);
+            let d = kernel_sq_dist(diag, &next_row, next, i);
             if d < *best {
                 *best = d;
             }
         }
         center_rows.push((next, next_row));
     }
-
-    // Assign every point to the nearest seed.
-    let labels = (0..n)
-        .map(|i| {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c_idx, (c, row_c)) in center_rows.iter().enumerate() {
-                let d = sq_dist(&diag, row_c, *c, i);
-                if d < best_d {
-                    best_d = d;
-                    best = c_idx;
-                }
-            }
-            best
-        })
-        .collect();
-    Ok(labels)
+    Ok(center_rows)
 }
 
 /// Dispatch on the configured initialisation method over a [`KernelSource`].

@@ -32,6 +32,7 @@
 use crate::errors::CoreError;
 use crate::kernel::KernelFunction;
 use crate::kernel_matrix::{extract_point_norms, INDEX_BYTES};
+use crate::nystrom::KernelApprox;
 use crate::solver::FitInput;
 use crate::Result;
 use popcorn_dense::{matmul_nt_rows, DenseMatrix, Scalar};
@@ -108,6 +109,16 @@ pub trait KernelSource<T: Scalar>: Sync {
     /// `(r1 - r0) × n`). [`TiledKernel`] charges each tile's recomputation to
     /// the executor here; [`FullKernel`] charges nothing.
     fn for_each_tile(&self, executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()>;
+
+    /// A cheap quality bound for *approximate* sources — `None` (the
+    /// default) for exact backends, `Some(bound)` for lossy ones (e.g. the
+    /// mean diagonal reconstruction error of
+    /// [`crate::nystrom::NystromKernel`]). Surfaced on
+    /// [`crate::ClusteringResult::approx_error_bound`] and in the CLI report
+    /// footer.
+    fn approx_error_bound(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The in-core backend: a borrowed, precomputed kernel matrix. One tile spans
@@ -450,15 +461,32 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
 /// `n × k` iteration workspace — a standalone fit passes its `k`, a batch
 /// passes the **sum** of its jobs' `k`s because the lockstep driver keeps
 /// every job's buffer live at once.
+///
+/// With [`KernelApprox::Nystrom`] and `landmarks < n`, `run` instead
+/// receives a [`crate::nystrom::NystromKernel`] — the rank-`m` factorization
+/// plans its own tiling (single- or multi-device) against the same policy.
+/// `landmarks >= n` degenerates to the exact dispatch, so a rank-`n`
+/// "approximation" is bit-identical to an exact fit by construction.
+#[allow(clippy::too_many_arguments)]
 pub fn run_with_source<T: Scalar, R>(
     input: FitInput<'_, T>,
     kernel: KernelFunction,
+    approx: KernelApprox,
     tiling: TilePolicy,
     k_budget: usize,
     executor: &dyn Executor,
     compute_full: impl FnOnce() -> Result<DenseMatrix<T>>,
     run: impl FnOnce(&dyn KernelSource<T>) -> Result<R>,
 ) -> Result<R> {
+    if let KernelApprox::Nystrom { landmarks, seed } = approx {
+        let m = landmarks.min(input.n());
+        if m < input.n() {
+            let source = crate::nystrom::NystromKernel::new(
+                input, kernel, m, seed, tiling, k_budget, executor,
+            )?;
+            return run(&source);
+        }
+    }
     if executor.shard_count() > 1 {
         let Some(topology) = executor.topology() else {
             return Err(CoreError::InvalidConfig(

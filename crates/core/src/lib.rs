@@ -31,6 +31,7 @@ pub mod init;
 pub mod kernel;
 pub mod kernel_matrix;
 pub mod kernel_source;
+pub mod nystrom;
 pub mod pipeline;
 pub mod popcorn;
 pub mod result;
@@ -44,6 +45,7 @@ pub use errors::CoreError;
 pub use init::Initialization;
 pub use kernel::KernelFunction;
 pub use kernel_source::{FullKernel, KernelSource, TilePolicy, TileVisitor, TiledKernel};
+pub use nystrom::{KernelApprox, NystromKernel};
 pub use popcorn::KernelKmeans;
 pub use result::{ClusteringResult, IterationStats, TimingBreakdown};
 pub use shard::{DeviceShard, ShardPlan, ShardedKernelSource};

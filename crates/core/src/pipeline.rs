@@ -203,7 +203,9 @@ pub fn iterate<T: Scalar>(
         engine.recycle_distances(distances);
     }
 
-    Ok(state.into_result(executor))
+    let mut result = state.into_result(executor);
+    result.approx_error_bound = source.approx_error_bound();
+    Ok(result)
 }
 
 /// Assemble a [`ClusteringResult`] from loop state and the executor's trace.
@@ -228,6 +230,7 @@ pub fn finalize(
         host_timings: TimingBreakdown::from_trace_host(&trace),
         peak_resident_bytes: executor.peak_resident_bytes(),
         trace,
+        approx_error_bound: None,
     }
 }
 

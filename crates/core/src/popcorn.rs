@@ -206,6 +206,7 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         run_with_source(
             input,
             config.kernel,
+            config.approx,
             config.tiling,
             config.k,
             executor,
@@ -256,6 +257,7 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         run_with_source(
             input,
             plan.kernel,
+            plan.approx,
             plan.tiling,
             k_budget,
             executor,

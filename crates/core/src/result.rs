@@ -111,6 +111,11 @@ pub struct ClusteringResult {
     /// Full operation trace (kept for profiling experiments; may be empty for
     /// solvers that do not run through the simulator).
     pub trace: OpTrace,
+    /// Quality bound of an approximate kernel source (`None` for exact
+    /// fits): the mean diagonal reconstruction error of the Nyström
+    /// factorization the run clustered over
+    /// (see `KernelSource::approx_error_bound`).
+    pub approx_error_bound: Option<f64>,
 }
 
 impl ClusteringResult {
@@ -206,6 +211,7 @@ mod tests {
             host_timings: TimingBreakdown::default(),
             peak_resident_bytes: 0,
             trace: OpTrace::new(),
+            approx_error_bound: None,
         };
         assert_eq!(result.objective_history(), vec![3.0, 1.5]);
         assert_eq!(result.cluster_sizes(), vec![2, 3, 0]);

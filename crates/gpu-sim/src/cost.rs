@@ -32,6 +32,11 @@ pub enum OpClass {
     SpMV,
     /// cuSPARSE-style SpGEMM.
     SpGEMM,
+    /// cuSOLVER-style small dense factorization (Cholesky / eigen solve of a
+    /// Nyström core matrix). Heavily serialized compared to GEMM: panel
+    /// factorizations expose little parallelism at the `m × m` sizes the
+    /// approximate kernel path uses.
+    Factorize,
     /// thrust-style elementwise transform (kernel function application,
     /// distance assembly, diagonal extraction, ...).
     Elementwise,
@@ -86,6 +91,7 @@ impl OpClass {
             OpClass::SpMM => 0.60,
             OpClass::SpMV => 0.40,
             OpClass::SpGEMM => 0.25,
+            OpClass::Factorize => 0.30,
             OpClass::Elementwise => 0.50,
             OpClass::Reduction => 0.50,
             OpClass::HandwrittenReduction => 0.35,
@@ -106,6 +112,7 @@ impl OpClass {
             OpClass::SpMM => 0.72,
             OpClass::SpMV => 0.60,
             OpClass::SpGEMM => 0.35,
+            OpClass::Factorize => 0.40,
             OpClass::Elementwise => 0.90,
             OpClass::Reduction => 0.80,
             OpClass::HandwrittenReduction => 0.30,
@@ -515,6 +522,7 @@ mod tests {
             OpClass::SpMM,
             OpClass::SpMV,
             OpClass::SpGEMM,
+            OpClass::Factorize,
             OpClass::Elementwise,
             OpClass::Reduction,
             OpClass::HandwrittenReduction,

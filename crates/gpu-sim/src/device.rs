@@ -10,6 +10,9 @@
 pub struct DeviceSpec {
     /// Human-readable device name.
     pub name: String,
+    /// Peak half-precision throughput in GFLOP/s (tensor/matrix cores where
+    /// the device has them; equal to the FP32 peak where it does not).
+    pub fp16_peak_gflops: f64,
     /// Peak single-precision throughput in GFLOP/s.
     pub fp32_peak_gflops: f64,
     /// Peak double-precision throughput in GFLOP/s.
@@ -34,10 +37,12 @@ pub const GIB: u64 = 1 << 30;
 
 impl DeviceSpec {
     /// NVIDIA A100 80 GB SXM: 19.5 TFLOP/s FP32, 9.7 TFLOP/s FP64,
-    /// 2039 GB/s HBM2e, PCIe Gen4 x16 host link, 108 SMs.
+    /// 312 TFLOP/s FP16 tensor, 2039 GB/s HBM2e, PCIe Gen4 x16 host link,
+    /// 108 SMs.
     pub fn a100_80gb() -> Self {
         Self {
             name: "NVIDIA A100 80GB".to_string(),
+            fp16_peak_gflops: 312_000.0,
             fp32_peak_gflops: 19_500.0,
             fp64_peak_gflops: 9_700.0,
             mem_bandwidth_gbs: 2_039.0,
@@ -52,6 +57,7 @@ impl DeviceSpec {
     pub fn a100_40gb() -> Self {
         Self {
             name: "NVIDIA A100 40GB".to_string(),
+            fp16_peak_gflops: 312_000.0,
             fp32_peak_gflops: 19_500.0,
             fp64_peak_gflops: 9_700.0,
             mem_bandwidth_gbs: 1_555.0,
@@ -68,6 +74,7 @@ impl DeviceSpec {
     pub fn h100_80gb() -> Self {
         Self {
             name: "NVIDIA H100 80GB".to_string(),
+            fp16_peak_gflops: 989_000.0,
             fp32_peak_gflops: 67_000.0,
             fp64_peak_gflops: 33_500.0,
             mem_bandwidth_gbs: 3_352.0,
@@ -82,6 +89,7 @@ impl DeviceSpec {
     pub fn v100() -> Self {
         Self {
             name: "NVIDIA V100".to_string(),
+            fp16_peak_gflops: 125_000.0,
             fp32_peak_gflops: 15_700.0,
             fp64_peak_gflops: 7_800.0,
             mem_bandwidth_gbs: 900.0,
@@ -99,6 +107,7 @@ impl DeviceSpec {
     pub fn epyc7763_single_core() -> Self {
         Self {
             name: "AMD EPYC 7763 (1 core)".to_string(),
+            fp16_peak_gflops: 39.2,
             fp32_peak_gflops: 39.2,
             fp64_peak_gflops: 19.6,
             mem_bandwidth_gbs: 20.0,
@@ -114,6 +123,7 @@ impl DeviceSpec {
     pub fn epyc7763_socket() -> Self {
         Self {
             name: "AMD EPYC 7763 (64 cores)".to_string(),
+            fp16_peak_gflops: 2_500.0,
             fp32_peak_gflops: 2_500.0,
             fp64_peak_gflops: 1_250.0,
             mem_bandwidth_gbs: 204.8,
@@ -124,10 +134,13 @@ impl DeviceSpec {
         }
     }
 
-    /// Peak throughput for the given element width (4 = f32, 8 = f64).
+    /// Peak throughput for the given element width (2 = f16 on the tensor
+    /// path, 4 = f32, 8 = f64).
     pub fn peak_gflops_for(&self, elem_bytes: usize) -> f64 {
         if elem_bytes >= 8 {
             self.fp64_peak_gflops
+        } else if elem_bytes <= 2 {
+            self.fp16_peak_gflops
         } else {
             self.fp32_peak_gflops
         }
@@ -237,6 +250,7 @@ mod tests {
     fn a100_numbers_are_published_specs() {
         let d = DeviceSpec::a100_80gb();
         assert_eq!(d.fp32_peak_gflops, 19_500.0);
+        assert_eq!(d.fp16_peak_gflops, 312_000.0);
         assert_eq!(d.mem_bandwidth_gbs, 2_039.0);
         assert!(d.parallel_units == 108);
         assert_eq!(d.mem_bytes, 80 * GIB);
@@ -255,6 +269,18 @@ mod tests {
         let d = DeviceSpec::a100_80gb().with_mem_bytes(GIB);
         assert_eq!(d.mem_bytes, GIB);
         assert_eq!(d.fp32_peak_gflops, DeviceSpec::a100_80gb().fp32_peak_gflops);
+    }
+
+    #[test]
+    fn peak_picks_the_precision_path() {
+        let gpu = DeviceSpec::a100_80gb();
+        assert_eq!(gpu.peak_gflops_for(2), gpu.fp16_peak_gflops);
+        assert_eq!(gpu.peak_gflops_for(4), gpu.fp32_peak_gflops);
+        assert_eq!(gpu.peak_gflops_for(8), gpu.fp64_peak_gflops);
+        // The CPU presets have no matrix cores: half precision buys bytes,
+        // not flops.
+        let cpu = DeviceSpec::epyc7763_single_core();
+        assert_eq!(cpu.peak_gflops_for(2), cpu.fp32_peak_gflops);
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Property tests for the Nyström low-rank subsystem: approximation is a
+//! **representation** decision, never an execution one. A rank budget at or
+//! above `n` falls through to the exact dispatch and is bit-identical to an
+//! `Exact` fit for every solver and both point layouts; below `n`, the
+//! factor path composes with every execution axis the exact paths have —
+//! tile height, host-thread count, device count, standalone or batched —
+//! without moving a single bit of the clustering. The memory side is
+//! exercised the way the tentpole promises: a device cap the exact `n × n`
+//! matrix exceeds admits the factor fit, with peak residency under the cap,
+//! while the exact in-core plan is rejected outright.
+
+use popcorn::baselines::SolverKind;
+use popcorn::core::batch::FitJob;
+use popcorn::core::kernel_source::full_kernel_matrix_bytes;
+use popcorn::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn blobby_points(max_n: usize, max_d: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
+    (12..=max_n, 2..=max_d).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-4.0f64..4.0, n * d).prop_map(move |mut data| {
+            for (i, v) in data.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            DenseMatrix::from_vec(n, d, data).unwrap()
+        })
+    })
+}
+
+fn base_config(k: usize) -> KernelKmeansConfig {
+    KernelKmeansConfig::paper_defaults(k)
+        .with_max_iter(6)
+        .with_convergence_check(true, 1e-10)
+}
+
+fn assert_bit_identical(
+    name: &str,
+    reference: &ClusteringResult,
+    candidate: &ClusteringResult,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        &reference.labels,
+        &candidate.labels,
+        "{}: labels diverge {}",
+        name,
+        context
+    );
+    prop_assert_eq!(
+        reference.iterations,
+        candidate.iterations,
+        "{}: {}",
+        name,
+        context
+    );
+    prop_assert_eq!(
+        reference.objective.to_bits(),
+        candidate.objective.to_bits(),
+        "{}: objectives diverge ({} vs {}) {}",
+        name,
+        reference.objective,
+        candidate.objective,
+        context
+    );
+    let a: Vec<u64> = reference
+        .history
+        .iter()
+        .map(|h| h.objective.to_bits())
+        .collect();
+    let b: Vec<u64> = candidate
+        .history
+        .iter()
+        .map(|h| h.objective.to_bits())
+        .collect();
+    prop_assert_eq!(a, b, "{}: history diverges {}", name, context);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A rank budget of `m >= n` is the exact fit: the dispatch falls
+    /// through to the exact backends, so labels, objectives and histories
+    /// are bit-identical for every solver and both layouts — and the
+    /// result carries no error bound, because nothing was approximated.
+    #[test]
+    fn full_rank_budget_is_bit_identical_to_exact_for_all_solvers(
+        points in blobby_points(20, 6),
+        k in 2usize..4,
+        seed in 0u64..50,
+        surplus in 0usize..3,
+    ) {
+        prop_assume!(k <= points.rows());
+        let n = points.rows();
+        let csr = CsrMatrix::from_dense(&points);
+        let exact_config = base_config(k).with_seed(seed);
+        let nystrom_config = exact_config.clone().with_approx(KernelApprox::Nystrom {
+            landmarks: n + surplus,
+            seed,
+        });
+        for kind in SolverKind::ALL {
+            for (layout, input) in [
+                ("dense", FitInput::Dense(&points)),
+                ("csr", FitInput::Sparse(&csr)),
+            ] {
+                let exact = kind
+                    .build::<f64>(exact_config.clone())
+                    .fit_input(input)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+                let full_rank = kind
+                    .build::<f64>(nystrom_config.clone())
+                    .fit_input(input)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+                assert_bit_identical(
+                    kind.name(),
+                    &exact,
+                    &full_rank,
+                    &format!("(layout {layout}, m = n + {surplus})"),
+                )?;
+                prop_assert!(
+                    full_rank.approx_error_bound.is_none(),
+                    "{}: a full-rank budget must not report an error bound",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    /// Below full rank, the factor path composes with the tiling axis: the
+    /// clustering is independent of the streamed tile height, for every
+    /// kernel solver and both layouts. (Lloyd never touches the kernel
+    /// matrix, so the kernel solvers are the interesting set here.)
+    #[test]
+    fn nystrom_fit_is_bit_identical_across_tile_heights(
+        points in blobby_points(18, 5),
+        k in 2usize..4,
+        seed in 0u64..50,
+        landmarks in 3usize..8,
+        tile_rows in 1usize..7,
+    ) {
+        prop_assume!(k <= points.rows());
+        prop_assume!(landmarks < points.rows());
+        let csr = CsrMatrix::from_dense(&points);
+        let approx = KernelApprox::Nystrom { landmarks, seed };
+        let auto = base_config(k).with_seed(seed).with_approx(approx);
+        let pinned = auto.clone().with_tiling(TilePolicy::Rows(tile_rows));
+        for kind in [SolverKind::Popcorn, SolverKind::DenseBaseline, SolverKind::Cpu] {
+            for (layout, input) in [
+                ("dense", FitInput::Dense(&points)),
+                ("csr", FitInput::Sparse(&csr)),
+            ] {
+                let reference = kind
+                    .build::<f64>(auto.clone())
+                    .fit_input(input)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+                let tiled = kind
+                    .build::<f64>(pinned.clone())
+                    .fit_input(input)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+                assert_bit_identical(
+                    kind.name(),
+                    &reference,
+                    &tiled,
+                    &format!("(layout {layout}, m {landmarks}, tile {tile_rows})"),
+                )?;
+                prop_assert_eq!(
+                    reference.approx_error_bound.map(f64::to_bits),
+                    tiled.approx_error_bound.map(f64::to_bits),
+                    "{}: the error bound must not depend on the tile height",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    /// The factor path composes with the sharding axis: any device count in
+    /// [1, 16] reconstructs the same panels from the same replicated
+    /// factors, so the sharded fit is bit-identical to the single-device
+    /// one.
+    #[test]
+    fn nystrom_fit_is_bit_identical_across_device_counts(
+        points in blobby_points(18, 5),
+        k in 2usize..4,
+        seed in 0u64..50,
+        landmarks in 3usize..8,
+        devices in 1usize..=16,
+    ) {
+        prop_assume!(k <= points.rows());
+        prop_assume!(landmarks < points.rows());
+        let config = base_config(k)
+            .with_seed(seed)
+            .with_approx(KernelApprox::Nystrom { landmarks, seed });
+        let kind = SolverKind::Popcorn;
+        let single = kind
+            .build::<f64>(config.clone())
+            .fit(&points)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let executor = Arc::new(ShardedExecutor::homogeneous(
+            kind.default_device(),
+            devices,
+            LinkSpec::nvlink(),
+            std::mem::size_of::<f64>(),
+        ));
+        let sharded = kind
+            .build_with_executor::<f64>(config, executor)
+            .fit(&points)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        assert_bit_identical(
+            kind.name(),
+            &single,
+            &sharded,
+            &format!("(devices {devices}, m {landmarks})"),
+        )?;
+    }
+
+    /// The factor path composes with the batch driver and its host-thread
+    /// fan-out: one shared factorization feeds every restart, and driving
+    /// the jobs from 4 threads moves nothing — every per-job result matches
+    /// the sequential batch and the standalone fit, each carrying the
+    /// shared factorization's error bound.
+    #[test]
+    fn nystrom_batch_is_bit_identical_across_host_thread_counts(
+        points in blobby_points(16, 5),
+        k in 2usize..4,
+        base_seed in 0u64..50,
+        landmarks in 3usize..8,
+    ) {
+        prop_assume!(k <= points.rows());
+        prop_assume!(landmarks < points.rows());
+        let config = base_config(k).with_approx(KernelApprox::Nystrom {
+            landmarks,
+            seed: base_seed,
+        });
+        let jobs = FitJob::restarts(&config, base_seed..base_seed + 3);
+        let solver = SolverKind::Popcorn.build::<f64>(config.clone());
+        let input = FitInput::Dense(&points);
+        let sequential = solver
+            .fit_batch(input, &jobs)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let threaded = solver
+            .fit_batch_with(
+                input,
+                &jobs,
+                &BatchOptions::default().with_host_threads(HostParallelism::Threads(4)),
+            )
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(sequential.best, threaded.best);
+        for ((job, a), b) in jobs
+            .iter()
+            .zip(sequential.results.iter())
+            .zip(threaded.results.iter())
+        {
+            let context = format!("(seed {}, m {landmarks})", job.config.seed);
+            assert_bit_identical("popcorn", a, b, &context)?;
+            prop_assert!(
+                b.approx_error_bound.is_some(),
+                "a Nyström batch job must carry the shared bound {}",
+                context
+            );
+            prop_assert_eq!(
+                a.approx_error_bound.map(f64::to_bits),
+                b.approx_error_bound.map(f64::to_bits),
+                "the bound must not depend on the thread count {}",
+                &context
+            );
+            let standalone = solver
+                .fit_input_with(input, &job.config)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            assert_bit_identical("popcorn", &standalone, b, &format!("standalone {context}"))?;
+        }
+    }
+}
+
+/// The memory promise, executed: a device cap the exact `n × n` matrix
+/// exceeds rejects the exact in-core plan but admits the factor fit, whose
+/// modeled peak residency stays under the cap.
+#[test]
+fn factor_residency_stays_under_a_cap_the_exact_matrix_exceeds() {
+    let n = 600;
+    let cap: u64 = 2 << 20;
+    assert!(
+        full_kernel_matrix_bytes(n, std::mem::size_of::<f64>()) > cap as u128,
+        "the wall must be real"
+    );
+    let points = DenseMatrix::<f64>::from_fn(n, 6, |i, j| ((i * 6 + j) as f64 * 0.37).sin());
+    let device = DeviceSpec::a100_80gb().with_mem_bytes(cap);
+
+    // The exact in-core plan cannot fit under the cap.
+    let exact_in_core = KernelKmeans::new(
+        KernelKmeansConfig::paper_defaults(4)
+            .with_max_iter(4)
+            .with_tiling(TilePolicy::Full),
+    )
+    .with_executor(SimExecutor::new(device.clone(), std::mem::size_of::<f64>()))
+    .fit(&points);
+    assert!(
+        exact_in_core.is_err(),
+        "the exact full-matrix plan must be rejected under the cap"
+    );
+
+    // The factor path fits, and says by how much.
+    let executor = SimExecutor::new(device, std::mem::size_of::<f64>());
+    let result = KernelKmeans::new(
+        KernelKmeansConfig::paper_defaults(4)
+            .with_max_iter(4)
+            .with_approx(KernelApprox::Nystrom {
+                landmarks: 40,
+                seed: 7,
+            }),
+    )
+    .with_executor(executor)
+    .fit(&points)
+    .expect("the factor fit must succeed under the cap");
+    assert!(
+        result.peak_resident_bytes <= cap,
+        "peak residency {} must respect the cap {cap}",
+        result.peak_resident_bytes
+    );
+    assert!(
+        result.approx_error_bound.is_some(),
+        "the factor fit must report its diagonal bound"
+    );
+}
