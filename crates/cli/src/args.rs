@@ -1,7 +1,7 @@
 //! Command line argument parsing for `gpukmeans`.
 
 use popcorn_core::{HostParallelism, Initialization, KernelFunction, TilePolicy};
-use popcorn_gpusim::LinkSpec;
+use popcorn_gpusim::{LinkSpec, Streaming};
 
 /// Device↔device interconnect selected by `--interconnect`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,6 +142,11 @@ pub struct CliArgs {
     /// fans per-job work across (batch mode only; results are bit-identical
     /// at any setting). Default: 1 (sequential).
     pub host_threads: HostParallelism,
+    /// `--streaming {off|double-buffer}`: tile-streaming pricing for single
+    /// fits — `double-buffer` models tile `t+1`'s production hidden under
+    /// tile `t`'s distance fold. Never changes labels or traces; single-fit
+    /// mode only (the batch driver has its own stream-aware number).
+    pub streaming: Streaming,
     /// `-s`: RNG seed.
     pub seed: u64,
     /// `-l`: implementation selector.
@@ -174,6 +179,7 @@ impl Default for CliArgs {
             approx: ApproxMode::Exact,
             landmarks: None,
             host_threads: HostParallelism::Sequential,
+            streaming: Streaming::Off,
             seed: 0,
             implementation: Implementation::Popcorn,
             output: None,
@@ -235,6 +241,12 @@ OPTIONS:
                   mode (--restarts/--k-sweep); results and traces are
                   bit-identical at any setting — only the measured host
                   wall-clock changes                           [default: 1]
+  --streaming STR tile-pipeline pricing for single fits: off (serial) or
+                  double-buffer (tile t+1's panel GEMM + upload priced as
+                  hidden under tile t's distance fold, first tile exposed).
+                  Never changes labels, objectives or traces — only the
+                  modeled wall-clock and the streaming report line
+                                                               [default: off]
   -s INT          RNG seed                                     [default: 0]
   -l {0|1|2|3}    implementation: 0 = dense GPU baseline, 1 = CPU,
                   2 = Popcorn, 3 = Lloyd (classical k-means)   [default: 2]
@@ -384,6 +396,18 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                             return Err("--host-threads must be at least 1 (or auto)".to_string());
                         }
                         HostParallelism::Threads(n)
+                    }
+                };
+            }
+            "--streaming" => {
+                let v = value("--streaming", &mut iter)?;
+                parsed.streaming = match v.as_str() {
+                    "off" => Streaming::Off,
+                    "double-buffer" | "double-buffered" => Streaming::DoubleBuffered,
+                    _ => {
+                        return Err(format!(
+                            "--streaming expects off or double-buffer, got '{v}'"
+                        ))
                     }
                 };
             }
@@ -706,6 +730,31 @@ mod tests {
         assert!(HostParallelism::Auto.resolve() >= 1);
         assert_eq!(HostParallelism::Auto.describe(), "auto");
         assert_eq!(HostParallelism::Threads(8).describe(), "8");
+    }
+
+    #[test]
+    fn streaming_flag() {
+        assert_eq!(parse(&[]).unwrap().streaming, Streaming::Off);
+        assert_eq!(
+            parse(&["--streaming", "off"]).unwrap().streaming,
+            Streaming::Off
+        );
+        assert_eq!(
+            parse(&["--streaming", "double-buffer"]).unwrap().streaming,
+            Streaming::DoubleBuffered
+        );
+        assert_eq!(
+            parse(&["--streaming", "double-buffered"])
+                .unwrap()
+                .streaming,
+            Streaming::DoubleBuffered
+        );
+        let err = parse(&["--streaming", "triple"]).unwrap_err();
+        assert!(
+            err.contains("--streaming expects off or double-buffer"),
+            "{err}"
+        );
+        assert!(parse(&["--streaming"]).is_err());
     }
 
     #[test]

@@ -245,6 +245,17 @@ impl RunSummary {
                 result.modeled_timings.total(),
                 result.host_timings.total(),
             ));
+            if let Some(streaming) = &result.streaming {
+                out.push_str(&format!(
+                    "  streaming: double-buffered over {} tile(s) in {} pass(es) — modeled wall-clock {:.6} s vs {:.6} s serial ({:.6} s hidden, first tile exposes {:.6} s)\n",
+                    streaming.tiles,
+                    streaming.passes,
+                    result.modeled_wallclock_seconds(),
+                    result.modeled_timings.total(),
+                    streaming.hidden_seconds,
+                    streaming.exposed_first_tile_seconds,
+                ));
+            }
         }
         out.push_str(&format!(
             "mean modeled time: {:.6} s | mean host time: {:.6} s\n",
@@ -398,6 +409,7 @@ fn config_from(args: &CliArgs, run: usize) -> KernelKmeansConfig {
                 seed: args.seed,
             },
         },
+        streaming: args.streaming,
     }
 }
 

@@ -20,11 +20,15 @@
 //! batch as executed (shared phase charged once) next to the modeled cost of
 //! the same jobs run independently.
 //!
-//! Large sweeps additionally run **host-parallel**: the per-job engine work
-//! of every lockstep phase fans out across scoped host threads
-//! ([`BatchOptions::host_threads`], CLI `--host-threads`), with all merging
-//! done on the driver thread in fixed job order so results and traces stay
-//! bit-identical to the sequential drive at any thread count.
+//! Large sweeps additionally run **host-parallel**: per-job engine work fans
+//! out across host threads ([`BatchOptions::host_threads`], CLI
+//! `--host-threads`). By default the lockstep driver runs a **persistent
+//! worker pool** ([`HostFanout::PersistentPool`]): workers are spawned once
+//! per drive, own fixed contiguous job chunks for its whole lifetime —
+//! seeding included — and synchronize per phase and per tile over channels,
+//! so many-small-tile sweeps no longer pay a spawn/join set per tile. All
+//! merging happens on the driver thread in fixed job order, so results and
+//! traces stay bit-identical to the sequential drive at any thread count.
 //! [`BatchReport::host_seconds`] carries the measured wall-clock of the
 //! drive, and [`BatchReport::modeled_concurrent_seconds`] the stream-aware
 //! modeled wall-clock (jobs sharing one device serialize on the compute
@@ -41,8 +45,10 @@ use crate::result::ClusteringResult;
 use crate::solver::{FitInput, Solver};
 use crate::strategy::KernelMatrixStrategy;
 use crate::Result;
-use popcorn_dense::Scalar;
+use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceEngine, Executor, OpTrace};
+use std::ops::Range;
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// How many host threads a batch driver may fan per-job work out across.
@@ -85,18 +91,49 @@ impl HostParallelism {
     }
 }
 
+/// Which fan-out mechanism the lockstep driver uses for its per-job work
+/// when [`BatchOptions::host_threads`] resolves above one.
+///
+/// Both mechanisms execute the identical per-job work in the identical
+/// order-insensitive partition, so results, traces and residency are
+/// bit-identical between them (and to the sequential drive); they differ
+/// only in measured host wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HostFanout {
+    /// One persistent worker pool for the whole drive (the default): workers
+    /// are spawned once, own fixed contiguous job chunks from seeding through
+    /// the last iteration, and synchronize per phase and per tile over
+    /// channels.
+    #[default]
+    PersistentPool,
+    /// The historical mechanism: scoped threads spawned per phase (and per
+    /// tile inside the tile pass). Kept as an explicit opt-out so the
+    /// `pipeline_overlap` bench can measure, in-process, what the pool saves
+    /// on spawn/join overhead.
+    SpawnPerPhase,
+}
+
 /// Batch-level execution options (everything that is not part of a job's
 /// clustering configuration), passed to `Solver::fit_batch_with`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchOptions {
     /// Host threads the lockstep driver fans per-job work across.
     pub host_threads: HostParallelism,
+    /// How those threads are run: a persistent pool (default) or
+    /// spawn-per-phase scoped threads.
+    pub fanout: HostFanout,
 }
 
 impl BatchOptions {
     /// Builder-style setter for the host-thread policy.
     pub fn with_host_threads(mut self, host_threads: HostParallelism) -> Self {
         self.host_threads = host_threads;
+        self
+    }
+
+    /// Builder-style setter for the fan-out mechanism.
+    pub fn with_fanout(mut self, fanout: HostFanout) -> Self {
+        self.fanout = fanout;
         self
     }
 }
@@ -413,8 +450,35 @@ pub fn trace_since(executor: &dyn Executor, mark: usize) -> OpTrace {
     trace
 }
 
-/// Fan `f` out over the jobs' per-job slots on up to `threads` scoped host
-/// threads, preserving sequential semantics:
+/// Partition `0..len` into exactly `min(workers, len)` contiguous ranges
+/// whose lengths differ by at most one (the first `len % chunks` ranges get
+/// the extra element).
+///
+/// This is what makes [`BatchReport::host_threads`] honest: the drivers
+/// report `min(threads, jobs)` workers and this partition guarantees
+/// precisely that many non-empty chunks, where the earlier
+/// `chunks(len.div_ceil(threads))` split could produce fewer (5 jobs on 4
+/// threads → ceil = 2 → only 3 chunks, one requested worker never spawned).
+fn balanced_chunks(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let chunks = workers.min(len);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for index in 0..chunks {
+        let size = base + usize::from(index < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Fan `f` out over the jobs' per-job slots on exactly
+/// `min(threads, jobs.len())` scoped host threads (one balanced contiguous
+/// chunk each), preserving sequential semantics:
 ///
 /// * slots are split into contiguous chunks in **job order**, each worker
 ///   owns its chunk exclusively, and within a chunk jobs run in order;
@@ -437,12 +501,15 @@ where
         }
         return Ok(());
     }
-    let chunk = jobs.len().div_ceil(threads);
+    let ranges = balanced_chunks(jobs.len(), threads);
     let outcomes: Vec<std::thread::Result<Result<()>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .chunks(chunk)
-            .zip(slots.chunks_mut(chunk))
-            .map(|(job_chunk, slot_chunk)| {
+        let mut rest = slots;
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let (slot_chunk, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
+                rest = tail;
+                let job_chunk = &jobs[range.clone()];
                 let f = &f;
                 scope.spawn(move || -> Result<()> {
                     for (job, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
@@ -501,7 +568,6 @@ pub fn drive_shared_kernel_with(
     options: &BatchOptions,
     run_job: impl Fn(&FitJob, &dyn Executor) -> Result<ClusteringResult> + Sync,
 ) -> Result<BatchResult> {
-    let start = Instant::now();
     let threads = options.host_threads.resolve().min(jobs.len().max(1));
     struct Slot {
         executor: Box<dyn Executor>,
@@ -517,6 +583,10 @@ pub fn drive_shared_kernel_with(
             result: None,
         })
         .collect();
+    // The host clock starts only now: building O(jobs) forks above is driver
+    // bookkeeping, not per-job clustering work, and charging it made
+    // `host_seconds` grow with batch size even for trivially small jobs.
+    let start = Instant::now();
     par_over_jobs(jobs, &mut slots, threads, |job, slot| {
         slot.result = Some(run_job(job, &*slot.executor)?);
         Ok(())
@@ -540,6 +610,360 @@ pub fn drive_shared_kernel_with(
         threads,
         start.elapsed().as_secs_f64(),
     ))
+}
+
+/// Per-job state owned by the lockstep driver: the job's forked executor,
+/// its distance engine and its iteration state. Workers borrow disjoint
+/// contiguous chunks of these — for one phase under
+/// [`HostFanout::SpawnPerPhase`], for the whole drive under
+/// [`HostFanout::PersistentPool`].
+struct JobRun<T: Scalar> {
+    executor: Box<dyn Executor>,
+    engine: Box<dyn DistanceEngine<T>>,
+    state: LoopState,
+}
+
+/// Seed one job: initial labels drawn on the job's own fork, then a fresh
+/// [`LoopState`]. Charges are identical in every fan-out mode — the shared
+/// `diag(K)` cache is pre-warmed on the shared executor before any seeding
+/// runs, and row pulls charge the job's fork deterministically.
+fn seed_job<T: Scalar>(
+    job: &FitJob,
+    run: &mut JobRun<T>,
+    source: &dyn KernelSource<T>,
+) -> Result<()> {
+    let labels = initial_assignments_source(
+        source,
+        job.config.k,
+        job.config.init,
+        job.config.seed,
+        &run.executor,
+    )?;
+    run.state = LoopState::new(labels, job.config.k);
+    Ok(())
+}
+
+/// `begin_iteration` for one job, if it is still active.
+fn begin_phase<T: Scalar>(
+    job: &FitJob,
+    run: &mut JobRun<T>,
+    source: &dyn KernelSource<T>,
+) -> Result<()> {
+    if run.state.active(&job.config) {
+        run.engine.begin_iteration(
+            run.state.iteration(),
+            source,
+            run.state.labels(),
+            &run.executor,
+        )?;
+    }
+    Ok(())
+}
+
+/// Fold one tile of `K` into one job, if it is still active.
+fn tile_phase<T: Scalar>(
+    job: &FitJob,
+    run: &mut JobRun<T>,
+    rows: &Range<usize>,
+    tile: &DenseMatrix<T>,
+) -> Result<()> {
+    if run.state.active(&job.config) {
+        run.engine.consume_tile(rows.clone(), tile, &run.executor)?;
+    }
+    Ok(())
+}
+
+/// `finish_iteration` + assignment step for one job, if it is still active.
+fn finish_phase<T: Scalar>(job: &FitJob, run: &mut JobRun<T>) -> Result<()> {
+    if run.state.active(&job.config) {
+        let distances = run.engine.finish_iteration(&run.executor)?;
+        run.state.step(&distances, &job.config, &run.executor);
+        run.engine.recycle_distances(distances);
+    }
+    Ok(())
+}
+
+/// A raw pointer to the tile the driver is holding inside a `for_each_tile`
+/// visitor, smuggled to the pool workers through their command channels.
+///
+/// # Safety
+///
+/// The driver sends one `Tile` command per worker and then blocks until it
+/// has collected **all** workers' acknowledgements before returning from
+/// the visitor ([`pool_dispatch`]'s full barrier), so every dereference
+/// happens while the visitor's `&DenseMatrix` borrow is still live; workers
+/// never hold the pointer across commands.
+struct TilePtr<T: Scalar>(*const DenseMatrix<T>);
+
+// SAFETY: see `TilePtr` — the ack barrier makes the pointee outlive every
+// use on the receiving worker.
+unsafe impl<T: Scalar> Send for TilePtr<T> {}
+
+/// One phase of work the driver broadcasts to every pool worker.
+enum PoolCommand<T: Scalar> {
+    /// Seed every job in the worker's chunk.
+    Seed,
+    /// `begin_iteration` for every active job in the chunk.
+    Begin,
+    /// Fold one tile of `K` into every active job in the chunk.
+    Tile(Range<usize>, TilePtr<T>),
+    /// `finish_iteration` + assignment step for every active job in the chunk.
+    Finish,
+}
+
+/// A pool worker's answer to one [`PoolCommand`].
+struct PoolAck {
+    /// Earliest failing job in the worker's chunk: `(global index, error)`.
+    error: Option<(usize, CoreError)>,
+    /// Jobs in the chunk still active after the phase.
+    active: usize,
+}
+
+/// Execute one broadcast phase over a worker's chunk, mirroring the
+/// sequential drive within the chunk: jobs run in order and the chunk stops
+/// at its first failure.
+fn pool_phase<T: Scalar>(
+    chunk_start: usize,
+    jobs: &[FitJob],
+    runs: &mut [JobRun<T>],
+    source: &dyn KernelSource<T>,
+    command: &PoolCommand<T>,
+) -> PoolAck {
+    let mut error = None;
+    for (offset, (job, run)) in jobs.iter().zip(runs.iter_mut()).enumerate() {
+        let outcome = match command {
+            PoolCommand::Seed => seed_job(job, run, source),
+            PoolCommand::Begin => begin_phase(job, run, source),
+            // SAFETY: the driver holds the visitor's tile borrow until every
+            // worker acks this command (see `TilePtr`).
+            PoolCommand::Tile(rows, tile) => tile_phase(job, run, rows, unsafe { &*tile.0 }),
+            PoolCommand::Finish => finish_phase(job, run),
+        };
+        if let Err(e) = outcome {
+            error = Some((chunk_start + offset, e));
+            break;
+        }
+    }
+    let active = jobs
+        .iter()
+        .zip(runs.iter())
+        .filter(|(job, run)| run.state.active(&job.config))
+        .count();
+    PoolAck { error, active }
+}
+
+/// Body of one persistent pool worker: execute broadcast phases over an
+/// exclusively-owned chunk until the driver drops the command channel.
+/// Panics inside a phase are caught and shipped back as the ack, so the
+/// driver can resume them after the phase barrier.
+fn pool_worker<T: Scalar>(
+    chunk_start: usize,
+    jobs: &[FitJob],
+    runs: &mut [JobRun<T>],
+    source: &dyn KernelSource<T>,
+    commands: mpsc::Receiver<PoolCommand<T>>,
+    acks: mpsc::Sender<std::thread::Result<PoolAck>>,
+) {
+    for command in commands.iter() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool_phase(chunk_start, jobs, &mut *runs, source, &command)
+        }));
+        let panicked = outcome.is_err();
+        if acks.send(outcome).is_err() || panicked {
+            // Driver gone, or this chunk's state is unreliable after a
+            // panic: either way this worker is done.
+            return;
+        }
+    }
+}
+
+/// Broadcast one command to every pool worker, then block until every
+/// worker has acknowledged it. Returns the total count of still-active jobs
+/// reported by the acks.
+///
+/// The full barrier is what makes [`TilePtr`] sound, and what makes panic
+/// propagation safe: on a panic ack the driver still collects the remaining
+/// acks — so no worker can still be touching its chunk or the tile — before
+/// resuming the panic on the driver thread, exactly as if the job had
+/// panicked inline. Job errors surface as the error of the earliest failing
+/// job, matching the sequential drive.
+fn pool_dispatch<T: Scalar>(
+    senders: &[mpsc::Sender<PoolCommand<T>>],
+    acks: &mpsc::Receiver<std::thread::Result<PoolAck>>,
+    make: impl Fn() -> PoolCommand<T>,
+) -> Result<usize> {
+    let mut sent = 0usize;
+    for sender in senders {
+        // A send only fails if a worker exited, which it does solely after
+        // shipping a panic ack — and the driver resumes panics at the very
+        // next barrier, so in practice every send succeeds.
+        if sender.send(make()).is_ok() {
+            sent += 1;
+        }
+    }
+    let mut active = 0usize;
+    let mut received = 0usize;
+    let mut earliest: Option<(usize, CoreError)> = None;
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for _ in 0..sent {
+        match acks.recv() {
+            Ok(Ok(ack)) => {
+                received += 1;
+                active += ack.active;
+                if let Some((index, error)) = ack.error {
+                    let earlier = match &earliest {
+                        Some((best, _)) => index < *best,
+                        None => true,
+                    };
+                    if earlier {
+                        earliest = Some((index, error));
+                    }
+                }
+            }
+            Ok(Err(payload)) => {
+                received += 1;
+                if panic.is_none() {
+                    panic = Some(payload);
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some((_, error)) = earliest {
+        return Err(error);
+    }
+    if sent < senders.len() || received < sent {
+        // Only reachable if a worker died without a panic ack — a driver
+        // bug, not a job failure, so fail loudly rather than mislabel it.
+        unreachable!("pool worker hung up without acknowledging a phase");
+    }
+    Ok(active)
+}
+
+/// Seeding plus the lockstep iteration loop over `runs`, via the persistent
+/// worker pool: workers are spawned once, each owning a balanced contiguous
+/// chunk of jobs, and every phase (and every tile of the per-iteration tile
+/// pass) is one channel broadcast + ack barrier instead of a spawn/join set.
+fn pool_lockstep<T: Scalar>(
+    jobs: &[FitJob],
+    runs: &mut [JobRun<T>],
+    source: &dyn KernelSource<T>,
+    shared_executor: &dyn Executor,
+    threads: usize,
+    seed_threads: usize,
+) -> Result<()> {
+    // Sharded sources seed on the driver thread before the pool spins up
+    // (see `run_lockstep` for why); the pool then only runs iterations.
+    if seed_threads <= 1 {
+        for (job, run) in jobs.iter().zip(runs.iter_mut()) {
+            seed_job(job, run, source)?;
+        }
+    }
+    let seed_in_pool = seed_threads > 1;
+    // `active` only changes in the finish phase, whose barrier returns the
+    // updated count — so the loop condition sees exactly what the
+    // sequential interleaving would. The initial count comes from the
+    // placeholder states, which answer `active()` identically to freshly
+    // seeded ones (both start unconverged at iteration 0).
+    let mut active = jobs
+        .iter()
+        .zip(runs.iter())
+        .filter(|(job, run)| run.state.active(&job.config))
+        .count();
+    let ranges = balanced_chunks(jobs.len(), threads);
+    std::thread::scope(|scope| -> Result<()> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(ranges.len());
+        let mut rest = &mut *runs;
+        for range in &ranges {
+            let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
+            rest = tail;
+            let job_chunk = &jobs[range.clone()];
+            let (command_tx, command_rx) = mpsc::channel::<PoolCommand<T>>();
+            let acks = ack_tx.clone();
+            let chunk_start = range.start;
+            scope.spawn(move || {
+                pool_worker(chunk_start, job_chunk, chunk, source, command_rx, acks)
+            });
+            senders.push(command_tx);
+        }
+        drop(ack_tx);
+
+        if seed_in_pool {
+            pool_dispatch(&senders, &ack_rx, || PoolCommand::Seed)?;
+        }
+        while active > 0 {
+            pool_dispatch(&senders, &ack_rx, || PoolCommand::Begin)?;
+            // One tile pass over K serves every active job; a tiled source
+            // charges the recomputation once, to the shared executor, on
+            // this thread, while the per-job folds run on the pool.
+            source.for_each_tile(shared_executor, &mut |rows, tile| {
+                pool_dispatch(&senders, &ack_rx, || {
+                    PoolCommand::Tile(rows.clone(), TilePtr(tile))
+                })
+                .map(|_| ())
+            })?;
+            active = pool_dispatch(&senders, &ack_rx, || PoolCommand::Finish)?;
+        }
+        // Dropping `senders` closes every command channel; workers drain
+        // and exit, and the scope joins them. An early `?` above takes the
+        // same path, so error returns never deadlock.
+        Ok(())
+    })
+}
+
+/// Seeding plus the lockstep iteration loop over `runs`, dispatched to the
+/// configured [`HostFanout`]. Both fan-outs execute the identical per-job
+/// work in the identical chunk partition, so everything downstream of this
+/// call is bit-identical between them (and to the sequential drive).
+fn run_lockstep<T: Scalar>(
+    jobs: &[FitJob],
+    runs: &mut [JobRun<T>],
+    source: &dyn KernelSource<T>,
+    shared_executor: &dyn Executor,
+    threads: usize,
+    fanout: HostFanout,
+) -> Result<()> {
+    // Kernel k-means++ row pulls on a *sharded* source go through the
+    // shared shard-activation state (`Executor::activate_shard` on the
+    // topology every fork shares), so seeding fans out only on single-shard
+    // topologies; per-fork row charges are deterministic either way.
+    let seed_threads = if shared_executor.shard_count() == 1 {
+        threads
+    } else {
+        1
+    };
+    if threads > 1 && jobs.len() > 1 && fanout == HostFanout::PersistentPool {
+        return pool_lockstep(jobs, runs, source, shared_executor, threads, seed_threads);
+    }
+    par_over_jobs(jobs, runs, seed_threads, |job, run| {
+        seed_job(job, run, source)
+    })?;
+    loop {
+        if !jobs
+            .iter()
+            .zip(runs.iter())
+            .any(|(job, run)| run.state.active(&job.config))
+        {
+            break;
+        }
+        par_over_jobs(jobs, runs, threads, |job, run| {
+            begin_phase(job, run, source)
+        })?;
+        // One tile pass over K serves every active job; a tiled source
+        // charges the recomputation here, once, to the shared executor,
+        // while the per-job folds over the tile fan out across workers.
+        source.for_each_tile(shared_executor, &mut |rows, tile| {
+            par_over_jobs(jobs, runs, threads, |job, run| {
+                tile_phase(job, run, &rows, tile)
+            })
+        })?;
+        par_over_jobs(jobs, runs, threads, |job, run| finish_phase(job, run))?;
+    }
+    Ok(())
 }
 
 /// Drive every job's clustering iterations over one shared [`KernelSource`]
@@ -580,23 +1004,24 @@ pub fn drive_shared_source<T: Scalar>(
 ///
 /// # Host parallelism
 ///
-/// [`BatchOptions::host_threads`] fans the per-job `begin_iteration` /
-/// `consume_tile` / `finish_iteration` + assignment work of each phase out
-/// across scoped host threads. The tile stream itself stays on the driver
-/// thread (one pass, charged once, exactly as before); workers own disjoint
-/// contiguous job chunks, every job's state/engine/executor is touched by at
-/// most one thread per phase, and all merging back into the shared executor
-/// happens on the driver thread in fixed job order — so results, traces and
-/// residency accounting are **bit-identical at any thread count**. What
-/// changes is only the measured host wall-clock ([`BatchReport::host_seconds`]).
+/// [`BatchOptions::host_threads`] fans the per-job seeding and
+/// `begin_iteration` / `consume_tile` / `finish_iteration` + assignment work
+/// of each phase out across host threads. The tile stream itself stays on
+/// the driver thread (one pass, charged once, exactly as before); workers
+/// own disjoint contiguous job chunks, every job's state/engine/executor is
+/// touched by at most one thread per phase, and all merging back into the
+/// shared executor happens on the driver thread in fixed job order — so
+/// results, traces and residency accounting are **bit-identical at any
+/// thread count**. What changes is only the measured host wall-clock
+/// ([`BatchReport::host_seconds`]).
 ///
-/// Workers are scoped threads spawned **per phase** (and per tile inside the
-/// tile pass), so the fan-out overhead is one spawn/join set per tile. That
-/// is negligible for in-core sources (one tile per iteration) and amortizes
-/// over the `tile_rows × n × jobs` fold work of large tiles, but a tiled
-/// sweep with very small tiles pays it per tile — prefer the largest tile
-/// the planner allows when combining `--host-threads` with out-of-core runs
-/// (a persistent per-iteration worker pool is a noted follow-on).
+/// With the default [`HostFanout::PersistentPool`], workers are spawned
+/// **once per drive** and fed phases over channels, so a tiled sweep pays
+/// one channel round-trip per tile instead of a spawn/join set per tile —
+/// the pool lives from kernel k-means++ seeding (fanned across the same
+/// workers once the shared `diag(K)` cache is pre-warmed) through the last
+/// iteration. [`HostFanout::SpawnPerPhase`] keeps the historical
+/// scoped-spawn behaviour as an explicit opt-out for overhead comparisons.
 pub fn drive_shared_source_with<T: Scalar>(
     jobs: &[FitJob],
     source: &dyn KernelSource<T>,
@@ -605,11 +1030,6 @@ pub fn drive_shared_source_with<T: Scalar>(
     options: &BatchOptions,
     mut make_engine: impl FnMut(&FitJob) -> Box<dyn DistanceEngine<T>>,
 ) -> Result<BatchResult> {
-    struct JobRun<T: Scalar> {
-        executor: Box<dyn Executor>,
-        engine: Box<dyn DistanceEngine<T>>,
-        state: LoopState,
-    }
     if jobs.is_empty() {
         return Err(CoreError::InvalidConfig(
             "fit_batch requires at least one job".into(),
@@ -619,7 +1039,9 @@ pub fn drive_shared_source_with<T: Scalar>(
     let threads = options.host_threads.resolve().min(jobs.len());
     // diag(K) is identical across jobs; kernel k-means++ seeding reads it
     // for every job, so compute and charge it once in the shared phase
-    // instead of on whichever job's fork happens to seed first.
+    // instead of on whichever job's fork happens to seed first. Pre-warming
+    // it here is also what lets seeding fan out across workers without the
+    // first-to-seed job absorbing the shared charge.
     if jobs
         .iter()
         .any(|j| j.config.init == crate::init::Initialization::KmeansPlusPlus)
@@ -629,67 +1051,27 @@ pub fn drive_shared_source_with<T: Scalar>(
     // Residency at fork time: the shared state (points, kernel matrix or
     // tile buffer) every job's executor starts from.
     let shared_baseline = shared_executor.resident_bytes();
-    // Seeding stays on the driver thread: kernel k-means++ pulls rows from
-    // the shared source, and keeping those charges in deterministic job
-    // order costs nothing next to the iteration loop.
-    let mut runs: Vec<JobRun<T>> = Vec::with_capacity(jobs.len());
-    for job in jobs {
-        let executor = shared_executor.fork();
-        let labels = initial_assignments_source(
-            source,
-            job.config.k,
-            job.config.init,
-            job.config.seed,
-            &executor,
-        )?;
-        runs.push(JobRun {
-            executor,
+    // Forks and engines are built up front on the driver thread, in job
+    // order, so every fork sees the same residency baseline it would in the
+    // sequential drive. The placeholder states are replaced by `seed_job`
+    // (on the pool workers or inline) before the first iteration.
+    let mut runs: Vec<JobRun<T>> = jobs
+        .iter()
+        .map(|job| JobRun {
+            executor: shared_executor.fork(),
             engine: make_engine(job),
-            state: LoopState::new(labels, job.config.k),
-        });
-    }
+            state: LoopState::new(Vec::new(), job.config.k),
+        })
+        .collect();
 
-    loop {
-        // `active` only changes in the finish phase, so the flag computed
-        // here is exactly what the sequential interleaving would see.
-        if !jobs
-            .iter()
-            .zip(runs.iter())
-            .any(|(job, run)| run.state.active(&job.config))
-        {
-            break;
-        }
-        par_over_jobs(jobs, &mut runs, threads, |job, run| {
-            if run.state.active(&job.config) {
-                run.engine.begin_iteration(
-                    run.state.iteration(),
-                    source,
-                    run.state.labels(),
-                    &run.executor,
-                )?;
-            }
-            Ok(())
-        })?;
-        // One tile pass over K serves every active job; a tiled source
-        // charges the recomputation here, once, to the shared executor,
-        // while the per-job folds over the tile fan out across workers.
-        source.for_each_tile(shared_executor, &mut |rows, tile| {
-            par_over_jobs(jobs, &mut runs, threads, |job, run| {
-                if run.state.active(&job.config) {
-                    run.engine.consume_tile(rows.clone(), tile, &run.executor)?;
-                }
-                Ok(())
-            })
-        })?;
-        par_over_jobs(jobs, &mut runs, threads, |job, run| {
-            if run.state.active(&job.config) {
-                let distances = run.engine.finish_iteration(&run.executor)?;
-                run.state.step(&distances, &job.config, &run.executor);
-                run.engine.recycle_distances(distances);
-            }
-            Ok(())
-        })?;
-    }
+    run_lockstep(
+        jobs,
+        &mut runs,
+        source,
+        shared_executor,
+        threads,
+        options.fanout,
+    )?;
 
     // Slice the shared phase before absorbing per-job records on top of it.
     let shared_trace = trace_since(shared_executor, mark);
@@ -928,6 +1310,181 @@ mod tests {
     }
 
     #[test]
+    fn balanced_chunks_make_exactly_min_threads_jobs_workers() {
+        // The regression this partition fixes: ceil(5/4) = 2 packs 5 jobs
+        // into 3 chunks, so one of 4 requested workers never spawned while
+        // the report still claimed 4.
+        assert_eq!(balanced_chunks(5, 4), vec![0..2, 2..3, 3..4, 4..5]);
+        assert_eq!(balanced_chunks(4, 8), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(balanced_chunks(9, 3), vec![0..3, 3..6, 6..9]);
+        assert_eq!(balanced_chunks(1, 1), vec![0..1]);
+        assert!(balanced_chunks(0, 4).is_empty());
+        // Sizes always differ by at most one and cover 0..len exactly.
+        for len in 0..40usize {
+            for workers in 1..10usize {
+                let ranges = balanced_chunks(len, workers);
+                assert_eq!(ranges.len(), workers.min(len));
+                let mut next = 0usize;
+                for range in &ranges {
+                    assert_eq!(range.start, next);
+                    assert!(!range.is_empty());
+                    next = range.end;
+                }
+                assert_eq!(next, len);
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_threads_report_matches_actual_worker_count() {
+        // 5 jobs on 4 requested threads: exactly 4 workers run and exactly
+        // 4 is reported (the div_ceil split used to run 3 but report 4).
+        let points = blob_points();
+        let jobs = FitJob::k_sweep(&config(2), &[2], 5);
+        assert_eq!(jobs.len(), 5);
+        for fanout in [HostFanout::PersistentPool, HostFanout::SpawnPerPhase] {
+            let batch = KernelKmeans::new(config(2))
+                .fit_batch_with(
+                    FitInput::from(&points),
+                    &jobs,
+                    &BatchOptions::default()
+                        .with_host_threads(HostParallelism::Threads(4))
+                        .with_fanout(fanout),
+                )
+                .unwrap();
+            assert_eq!(batch.report.host_threads, 4, "{fanout:?}");
+            // More threads than jobs clamp to the job count.
+            let batch = KernelKmeans::new(config(2))
+                .fit_batch_with(
+                    FitInput::from(&points),
+                    &jobs,
+                    &BatchOptions::default()
+                        .with_host_threads(HostParallelism::Threads(64))
+                        .with_fanout(fanout),
+                )
+                .unwrap();
+            assert_eq!(batch.report.host_threads, 5, "{fanout:?}");
+        }
+    }
+
+    #[test]
+    fn fanout_modes_produce_identical_batches() {
+        assert_eq!(HostFanout::default(), HostFanout::PersistentPool);
+        let options = BatchOptions::default().with_fanout(HostFanout::SpawnPerPhase);
+        assert_eq!(options.fanout, HostFanout::SpawnPerPhase);
+        let points = blob_points();
+        let jobs = FitJob::k_sweep(&config(2), &[2, 3], 2);
+        let pool = KernelKmeans::new(config(2))
+            .fit_batch_with(
+                FitInput::from(&points),
+                &jobs,
+                &BatchOptions::default().with_host_threads(HostParallelism::Threads(3)),
+            )
+            .unwrap();
+        let spawn = KernelKmeans::new(config(2))
+            .fit_batch_with(
+                FitInput::from(&points),
+                &jobs,
+                &BatchOptions::default()
+                    .with_host_threads(HostParallelism::Threads(3))
+                    .with_fanout(HostFanout::SpawnPerPhase),
+            )
+            .unwrap();
+        assert_eq!(pool.best, spawn.best);
+        assert_eq!(
+            pool.report.peak_resident_bytes,
+            spawn.report.peak_resident_bytes
+        );
+        for (a, b) in pool.results.iter().zip(spawn.results.iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.trace.len(), b.trace.len());
+        }
+    }
+
+    #[test]
+    fn pool_resumes_worker_panics_on_the_driver() {
+        let points = blob_points();
+        let kernel_matrix =
+            crate::kernel::kernel_matrix_reference(&points, crate::KernelFunction::Linear);
+        let source = crate::FullKernel::new(&kernel_matrix).unwrap();
+        struct PanickingEngine {
+            explode: bool,
+        }
+        impl DistanceEngine<f64> for PanickingEngine {
+            fn begin_iteration(
+                &mut self,
+                _iteration: usize,
+                _source: &dyn KernelSource<f64>,
+                _labels: &[usize],
+                _executor: &dyn Executor,
+            ) -> Result<()> {
+                Ok(())
+            }
+            fn consume_tile(
+                &mut self,
+                _rows: std::ops::Range<usize>,
+                _tile: &popcorn_dense::DenseMatrix<f64>,
+                _executor: &dyn Executor,
+            ) -> Result<()> {
+                if self.explode {
+                    panic!("injected worker panic");
+                }
+                Ok(())
+            }
+            fn finish_iteration(
+                &mut self,
+                _executor: &dyn Executor,
+            ) -> Result<popcorn_dense::DenseMatrix<f64>> {
+                Ok(popcorn_dense::DenseMatrix::zeros(24, 2))
+            }
+        }
+        let good = config(2);
+        let jobs = vec![
+            FitJob::new(good.clone(), 0),
+            FitJob::new(good.clone().with_seed(1), 1),
+            FitJob::new(good, 2),
+        ];
+        for fanout in [HostFanout::PersistentPool, HostFanout::SpawnPerPhase] {
+            for threads in [2usize, 4] {
+                let exec = SimExecutor::a100_f32();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    drive_shared_source_with(
+                        &jobs,
+                        &source,
+                        &exec,
+                        exec.trace().len(),
+                        &BatchOptions::default()
+                            .with_host_threads(HostParallelism::Threads(threads))
+                            .with_fanout(fanout),
+                        |job| {
+                            Box::new(PanickingEngine {
+                                explode: job.config.seed == 1,
+                            })
+                        },
+                    )
+                }));
+                let payload = outcome.expect_err("worker panic must reach the driver");
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                    .unwrap_or("<non-string payload>");
+                assert!(
+                    message.contains("injected worker panic"),
+                    "{fanout:?} threads {threads}: unexpected payload {message}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_batch_matches_sequential_batch_exactly() {
         let points = blob_points();
         let jobs = FitJob::k_sweep(&config(2), &[2, 3], 2);
@@ -1011,24 +1568,28 @@ mod tests {
                 Ok(popcorn_dense::DenseMatrix::zeros(24, 2))
             }
         }
-        for threads in [1usize, 2, 4] {
-            let err = drive_shared_source_with(
-                &jobs,
-                &source,
-                &exec,
-                exec.trace().len(),
-                &BatchOptions::default().with_host_threads(HostParallelism::Threads(threads)),
-                |job| {
-                    Box::new(FailingEngine {
-                        fail: job.config.seed == 1,
-                    })
-                },
-            )
-            .unwrap_err();
-            assert!(
-                matches!(&err, CoreError::InvalidConfig(m) if m.contains("injected")),
-                "threads {threads}: unexpected error {err}"
-            );
+        for fanout in [HostFanout::PersistentPool, HostFanout::SpawnPerPhase] {
+            for threads in [1usize, 2, 4] {
+                let err = drive_shared_source_with(
+                    &jobs,
+                    &source,
+                    &exec,
+                    exec.trace().len(),
+                    &BatchOptions::default()
+                        .with_host_threads(HostParallelism::Threads(threads))
+                        .with_fanout(fanout),
+                    |job| {
+                        Box::new(FailingEngine {
+                            fail: job.config.seed == 1,
+                        })
+                    },
+                )
+                .unwrap_err();
+                assert!(
+                    matches!(&err, CoreError::InvalidConfig(m) if m.contains("injected")),
+                    "{fanout:?} threads {threads}: unexpected error {err}"
+                );
+            }
         }
     }
 

@@ -7,6 +7,7 @@ use crate::kernel_source::TilePolicy;
 use crate::nystrom::KernelApprox;
 use crate::strategy::KernelMatrixStrategy;
 use crate::Result;
+use popcorn_gpusim::Streaming;
 
 /// Configuration for the Popcorn kernel k-means solver (and for the baseline
 /// solvers, which accept the same options so comparisons are apples-to-apples).
@@ -46,6 +47,16 @@ pub struct KernelKmeansConfig {
     /// approximation error for `O(n·m)` memory — the only option in this
     /// configuration that can change results.
     pub approx: KernelApprox,
+    /// Tile-streaming policy for single fits: `Off` (the default) prices the
+    /// tile pipeline serially; `DoubleBuffered` prices tile `t+1`'s
+    /// production as hidden under tile `t`'s distance fold (first tile
+    /// exposed). Never changes labels, objectives or the operation trace —
+    /// only [`crate::ClusteringResult::modeled_wallclock_seconds`] and the
+    /// attached [`popcorn_gpusim::StreamingReport`]. The lockstep batch
+    /// driver ignores it: there, tile production is shared across jobs and
+    /// the stream-aware number is the batch report's
+    /// `modeled_concurrent_seconds`.
+    pub streaming: Streaming,
 }
 
 impl Default for KernelKmeansConfig {
@@ -62,6 +73,7 @@ impl Default for KernelKmeansConfig {
             repair_empty_clusters: true,
             tiling: TilePolicy::Auto,
             approx: KernelApprox::Exact,
+            streaming: Streaming::Off,
         }
     }
 }
@@ -130,6 +142,12 @@ impl KernelKmeansConfig {
     /// Nyström).
     pub fn with_approx(mut self, approx: KernelApprox) -> Self {
         self.approx = approx;
+        self
+    }
+
+    /// Builder-style setter for the tile-streaming policy.
+    pub fn with_streaming(mut self, streaming: Streaming) -> Self {
+        self.streaming = streaming;
         self
     }
 
@@ -244,6 +262,16 @@ mod tests {
             .with_tiling(TilePolicy::Full)
             .validate(10)
             .is_ok());
+    }
+
+    #[test]
+    fn streaming_defaults_off_and_builder_sets_it() {
+        let c = KernelKmeansConfig::paper_defaults(2);
+        assert_eq!(c.streaming, Streaming::Off);
+        let c = c.with_streaming(Streaming::DoubleBuffered);
+        assert_eq!(c.streaming, Streaming::DoubleBuffered);
+        // Streaming never invalidates a config: it is a pricing policy.
+        assert!(c.validate(10).is_ok());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod shard;
 pub mod solver;
 pub mod strategy;
 
-pub use batch::{BatchOptions, BatchReport, BatchResult, FitJob, HostParallelism, JobReport};
+pub use batch::{
+    BatchOptions, BatchReport, BatchResult, FitJob, HostFanout, HostParallelism, JobReport,
+};
 pub use config::KernelKmeansConfig;
 pub use errors::CoreError;
 pub use init::Initialization;

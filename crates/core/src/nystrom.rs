@@ -274,13 +274,19 @@ impl<T: Scalar> NystromKernel<T> {
         );
         // The trace-based quality bound: mean |K_ii − K̂_ii|. The exact
         // diagonal is already in hand from the sampling phase, so the bound
-        // is free beyond the subtraction.
-        let error_bound = exact_diag
-            .iter()
-            .zip(diag.iter())
-            .map(|(&e, &a)| (e.to_f64() - a.to_f64()).abs())
-            .sum::<f64>()
-            / n as f64;
+        // is free beyond the subtraction. `n == 0` is rejected up front,
+        // but the bound must stay finite even for a defensively-empty
+        // diagonal rather than propagate a 0/0 NaN into reports.
+        let error_bound = if exact_diag.is_empty() {
+            0.0
+        } else {
+            exact_diag
+                .iter()
+                .zip(diag.iter())
+                .map(|(&e, &a)| (e.to_f64() - a.to_f64()).abs())
+                .sum::<f64>()
+                / exact_diag.len() as f64
+        };
 
         // The sampling working set (landmark rows, weights, exact diagonal)
         // is released before the persistent factors land — the planner's
@@ -654,6 +660,60 @@ mod tests {
             .describe(),
             "nystrom(m=512, seed=3)"
         );
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_clear_errors() {
+        let points = sample_points(10, 3);
+        let exec = SimExecutor::a100_f32();
+        let make = |input: FitInput<'_, f64>, m: usize| {
+            NystromKernel::new(
+                input,
+                KernelFunction::Linear,
+                m,
+                7,
+                TilePolicy::Auto,
+                4,
+                &exec,
+            )
+        };
+        let expect_err = |result: Result<NystromKernel<f64>>| match result {
+            Ok(_) => panic!("expected the degenerate config to be rejected"),
+            Err(e) => e,
+        };
+        // Zero landmarks never reach the factorization arithmetic (the
+        // pseudo-inverse of an empty core, a 0/0 error bound, ...).
+        let err = expect_err(make(FitInput::Dense(&points), 0));
+        assert!(matches!(err, CoreError::InvalidConfig(_)), "{err:?}");
+        // Neither does a rank above n.
+        let err = expect_err(make(FitInput::Dense(&points), 11));
+        assert!(matches!(err, CoreError::InvalidConfig(_)), "{err:?}");
+        // An empty dataset is an input error, not a panic.
+        let empty = DenseMatrix::<f64>::zeros(0, 3);
+        let err = expect_err(make(FitInput::Dense(&empty), 1));
+        assert!(matches!(err, CoreError::InvalidInput(_)), "{err:?}");
+        // Config-level validation mirrors the API rejection, so a solver
+        // never constructs the degenerate source in the first place.
+        assert!(crate::KernelKmeansConfig::paper_defaults(2)
+            .with_approx(KernelApprox::Nystrom {
+                landmarks: 0,
+                seed: 0
+            })
+            .validate(10)
+            .is_err());
+    }
+
+    #[test]
+    fn error_bound_is_finite_for_every_valid_rank() {
+        // The mean-diagonal bound divides by the diagonal length; pin that
+        // it stays finite at the extremes of the valid rank range.
+        let points = sample_points(9, 3);
+        for m in [1, 9] {
+            let (source, _) = build(&points, KernelFunction::paper_polynomial(), m);
+            let bound = source.approx_error_bound().unwrap();
+            assert!(bound.is_finite(), "rank {m} bound {bound} not finite");
+            assert!(bound >= 0.0);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::kernel_source::KernelSource;
 use crate::result::{ClusteringResult, IterationStats, TimingBreakdown};
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::Executor;
+use popcorn_gpusim::{Executor, StreamMeter};
 use std::ops::Range;
 
 /// Produces the `n × k` distance matrix for one iteration, consuming the
@@ -193,11 +193,21 @@ pub fn iterate<T: Scalar>(
     let labels = initial_assignments_source(source, k, config.init, config.seed, executor)?;
     let mut state = LoopState::new(labels, k);
 
+    // Measures the per-tile produce (source charges) / consume (engine
+    // charges) segments the double-buffer model prices; a no-op with
+    // streaming off. The trace itself is identical either way — the meter
+    // only reads marks off it.
+    let mut meter = StreamMeter::new(config.streaming);
     while state.active(config) {
         engine.begin_iteration(state.iteration(), source, state.labels(), executor)?;
+        meter.begin_pass(executor);
         source.for_each_tile(executor, &mut |rows, tile| {
-            engine.consume_tile(rows, tile, executor)
+            meter.tile_produced(executor);
+            let folded = engine.consume_tile(rows, tile, executor);
+            meter.tile_consumed(executor);
+            folded
         })?;
+        meter.finish_pass();
         let distances = engine.finish_iteration(executor)?;
         state.step(&distances, config, executor);
         engine.recycle_distances(distances);
@@ -205,6 +215,7 @@ pub fn iterate<T: Scalar>(
 
     let mut result = state.into_result(executor);
     result.approx_error_bound = source.approx_error_bound();
+    result.streaming = meter.into_report();
     Ok(result)
 }
 
@@ -231,6 +242,7 @@ pub fn finalize(
         peak_resident_bytes: executor.peak_resident_bytes(),
         trace,
         approx_error_bound: None,
+        streaming: None,
     }
 }
 

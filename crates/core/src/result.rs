@@ -1,7 +1,7 @@
 //! Solver outputs: cluster assignments, objective history and timing
 //! breakdowns.
 
-use popcorn_gpusim::{OpTrace, Phase};
+use popcorn_gpusim::{OpTrace, Phase, StreamingReport};
 
 /// Per-iteration statistics recorded by the solvers.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +116,12 @@ pub struct ClusteringResult {
     /// factorization the run clustered over
     /// (see `KernelSource::approx_error_bound`).
     pub approx_error_bound: Option<f64>,
+    /// Double-buffered streaming accounting, present when the fit ran with
+    /// [`popcorn_gpusim::Streaming::DoubleBuffered`]: per-tile produce and
+    /// consume totals, the first-tile exposure, and how much serial time the
+    /// pipeline hides. Derived from the trace — the trace itself is
+    /// bit-identical with streaming on or off.
+    pub streaming: Option<StreamingReport>,
 }
 
 impl ClusteringResult {
@@ -138,6 +144,19 @@ impl ClusteringResult {
     /// Number of non-empty clusters in the final assignment.
     pub fn non_empty_clusters(&self) -> usize {
         self.cluster_sizes().iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Modeled wall-clock of this fit: the serial modeled total, minus the
+    /// tile production the double-buffered pipeline hides under distance
+    /// folds when the fit ran with streaming on. Never exceeds
+    /// `modeled_timings.total()`, and equals it with streaming off or when
+    /// the fit had a single tile per pass (nothing to hide behind).
+    pub fn modeled_wallclock_seconds(&self) -> f64 {
+        let serial = self.modeled_timings.total();
+        match &self.streaming {
+            Some(report) => serial - report.hidden_seconds,
+            None => serial,
+        }
     }
 }
 
@@ -212,9 +231,38 @@ mod tests {
             peak_resident_bytes: 0,
             trace: OpTrace::new(),
             approx_error_bound: None,
+            streaming: None,
         };
         assert_eq!(result.objective_history(), vec![3.0, 1.5]);
         assert_eq!(result.cluster_sizes(), vec![2, 3, 0]);
         assert_eq!(result.non_empty_clusters(), 2);
+        assert_eq!(result.modeled_wallclock_seconds(), 0.0);
+    }
+
+    #[test]
+    fn streamed_wallclock_subtracts_hidden_seconds() {
+        let mut result = ClusteringResult {
+            labels: vec![0],
+            k: 1,
+            iterations: 1,
+            converged: true,
+            objective: 0.0,
+            history: Vec::new(),
+            modeled_timings: TimingBreakdown {
+                pairwise_distances: 4.0,
+                ..TimingBreakdown::default()
+            },
+            host_timings: TimingBreakdown::default(),
+            peak_resident_bytes: 0,
+            trace: OpTrace::new(),
+            approx_error_bound: None,
+            streaming: None,
+        };
+        assert_eq!(result.modeled_wallclock_seconds(), 4.0);
+        result.streaming = Some(StreamingReport {
+            hidden_seconds: 1.5,
+            ..StreamingReport::default()
+        });
+        assert!((result.modeled_wallclock_seconds() - 2.5).abs() < 1e-12);
     }
 }

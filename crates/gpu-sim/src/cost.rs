@@ -73,6 +73,38 @@ pub enum DeviceEngine {
     Copy,
 }
 
+/// Modeled seconds split by [`DeviceEngine`] — the aggregation the pipelined
+/// streaming model works in, since only work on *different* engines (or on
+/// concurrent streams) can overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineSeconds {
+    /// Seconds on the SM/compute pipeline.
+    pub compute: f64,
+    /// Seconds on the DMA/copy pipeline.
+    pub copy: f64,
+}
+
+impl EngineSeconds {
+    /// Serialized total across both engines.
+    pub fn total(&self) -> f64 {
+        self.compute + self.copy
+    }
+
+    /// Accumulate `seconds` on the engine `class` executes on.
+    pub fn add(&mut self, class: OpClass, seconds: f64) {
+        match class.device_engine() {
+            DeviceEngine::Compute => self.compute += seconds,
+            DeviceEngine::Copy => self.copy += seconds,
+        }
+    }
+
+    /// Element-wise sum with another split.
+    pub fn accumulate(&mut self, other: EngineSeconds) {
+        self.compute += other.compute;
+        self.copy += other.copy;
+    }
+}
+
 impl OpClass {
     /// The device engine operations of this class execute on (see
     /// [`DeviceEngine`]).

@@ -14,7 +14,7 @@
 //! live in the blanket [`ExecutorExt`] extension so they stay available on
 //! trait objects.
 
-use crate::cost::{CostModel, OpClass, OpCost};
+use crate::cost::{CostModel, EngineSeconds, OpClass, OpCost};
 use crate::device::{DeviceSpec, DeviceTopology};
 use crate::profiler::Profiler;
 use crate::roofline::Roofline;
@@ -41,6 +41,24 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
 
     /// Snapshot of everything recorded so far, in execution order.
     fn trace(&self) -> OpTrace;
+
+    /// Number of operations recorded so far — a cheap monotonic mark for
+    /// slicing segments out of the trace without snapshotting it (the
+    /// streaming meter and the batch driver both measure "what was charged
+    /// since mark X" this way).
+    fn trace_len(&self) -> usize {
+        self.trace().len()
+    }
+
+    /// Engine-split modeled seconds charged since record index `mark`.
+    ///
+    /// This is how the double-buffered streaming model prices a produce or
+    /// consume segment: take a [`Executor::trace_len`] mark, run the segment,
+    /// read the split. The default snapshots the trace; implementations with
+    /// direct profiler access override it to aggregate under the lock.
+    fn engine_seconds_since(&self, mark: usize) -> EngineSeconds {
+        self.trace().engine_split_since(mark)
+    }
 
     /// Total modeled device time recorded so far, in seconds. For a sharded
     /// executor this is the *serialized* sum over every device's operations —
@@ -163,6 +181,12 @@ macro_rules! delegate_executor {
             }
             fn trace(&self) -> OpTrace {
                 (**self).trace()
+            }
+            fn trace_len(&self) -> usize {
+                (**self).trace_len()
+            }
+            fn engine_seconds_since(&self, mark: usize) -> EngineSeconds {
+                (**self).engine_seconds_since(mark)
             }
             fn total_modeled_seconds(&self) -> f64 {
                 (**self).total_modeled_seconds()
@@ -400,6 +424,14 @@ impl Executor for SimExecutor {
         SimExecutor::trace(self)
     }
 
+    fn trace_len(&self) -> usize {
+        self.profiler.len()
+    }
+
+    fn engine_seconds_since(&self, mark: usize) -> EngineSeconds {
+        self.profiler.engine_split_since(mark)
+    }
+
     fn total_modeled_seconds(&self) -> f64 {
         SimExecutor::total_modeled_seconds(self)
     }
@@ -482,6 +514,14 @@ impl<E: Executor> Executor for ForkGuard<E> {
 
     fn trace(&self) -> OpTrace {
         self.child.trace()
+    }
+
+    fn trace_len(&self) -> usize {
+        self.child.trace_len()
+    }
+
+    fn engine_seconds_since(&self, mark: usize) -> EngineSeconds {
+        self.child.engine_seconds_since(mark)
     }
 
     fn total_modeled_seconds(&self) -> f64 {

@@ -25,7 +25,11 @@
 //! * [`sharded::ShardedExecutor`] — the multi-device implementation: one
 //!   attribution bucket per device of a [`device::DeviceTopology`], all-reduce
 //!   pricing against a [`device::LinkSpec`], and an overlap-aware modeled
-//!   wall-clock (max over devices).
+//!   wall-clock (max over devices);
+//! * [`streaming::StreamMeter`] — the double-buffered tile-pipeline model: a
+//!   single fit's per-tile produce/consume segments measured off the trace,
+//!   priced with tile `t+1`'s production hidden under tile `t`'s consumption
+//!   (first tile exposed), opt-in via [`streaming::Streaming`].
 
 pub mod cost;
 pub mod device;
@@ -33,12 +37,14 @@ pub mod executor;
 pub mod profiler;
 pub mod roofline;
 pub mod sharded;
+pub mod streaming;
 pub mod trace;
 
-pub use cost::{CostModel, DeviceEngine, OpClass, OpCost};
+pub use cost::{CostModel, DeviceEngine, EngineSeconds, OpClass, OpCost};
 pub use device::{DeviceSpec, DeviceTopology, LinkSpec, GIB};
 pub use executor::{Executor, ExecutorExt, ForkGuard, ResidencyScope, SimExecutor};
 pub use profiler::Profiler;
 pub use roofline::Roofline;
 pub use sharded::ShardedExecutor;
+pub use streaming::{StreamMeter, Streaming, StreamingReport};
 pub use trace::{OpRecord, OpTrace, Phase};

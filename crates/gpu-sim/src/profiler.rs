@@ -6,6 +6,7 @@
 //! plus the modeled device-memory residency counters the tiling planner and
 //! the memory-capacity experiments read.
 
+use crate::cost::EngineSeconds;
 use crate::trace::{OpRecord, OpTrace};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -112,6 +113,13 @@ impl Profiler {
     /// `true` when nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.lock().is_empty()
+    }
+
+    /// Engine-split modeled seconds of the records from index `mark` onward,
+    /// aggregated under the lock so segment measurement (the per-tile
+    /// produce/consume split of the streaming model) never clones the trace.
+    pub fn engine_split_since(&self, mark: usize) -> EngineSeconds {
+        self.lock().engine_split_since(mark)
     }
 
     /// Discard all collected records and reset the residency counters.

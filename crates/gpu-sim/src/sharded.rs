@@ -272,6 +272,14 @@ impl Executor for ShardedExecutor {
         self.profiler.snapshot()
     }
 
+    fn trace_len(&self) -> usize {
+        self.profiler.len()
+    }
+
+    fn engine_seconds_since(&self, mark: usize) -> crate::cost::EngineSeconds {
+        self.profiler.engine_split_since(mark)
+    }
+
     fn total_modeled_seconds(&self) -> f64 {
         self.profiler.total_modeled_seconds()
     }

@@ -6,7 +6,7 @@
 //! operation leaves an [`OpRecord`] carrying its class, phase, FLOP/byte
 //! footprint, modeled device time and measured host time.
 
-use crate::cost::{DeviceEngine, OpClass, OpCost};
+use crate::cost::{DeviceEngine, EngineSeconds, OpClass, OpCost};
 
 /// Phase of the kernel k-means pipeline an operation belongs to; matches the
 /// categories of the paper's Figure 8 runtime breakdown.
@@ -145,6 +145,19 @@ impl OpTrace {
             .filter(|r| r.class.device_engine() == engine)
             .map(|r| r.modeled_seconds)
             .sum()
+    }
+
+    /// Engine-split modeled seconds of the records from index `mark` to the
+    /// end — the segment-measurement primitive behind the double-buffered
+    /// streaming model (`Executor::engine_seconds_since`).
+    pub fn engine_split_since(&self, mark: usize) -> EngineSeconds {
+        self.records
+            .iter()
+            .skip(mark)
+            .fold(EngineSeconds::default(), |mut acc, r| {
+                acc.add(r.class, r.modeled_seconds);
+                acc
+            })
     }
 
     /// Modeled time per phase, in [`Phase::ALL`] order.

@@ -42,9 +42,9 @@ pub mod prelude {
     pub use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline, LloydKmeans};
     pub use popcorn_core::{
         BatchOptions, BatchReport, BatchResult, ClusteringResult, FitInput, FitJob, FullKernel,
-        HostParallelism, Initialization, JobReport, KernelApprox, KernelFunction, KernelKmeans,
-        KernelKmeansConfig, KernelMatrixStrategy, KernelSource, NystromKernel, ShardPlan,
-        ShardedKernelSource, Solver, TilePolicy, TiledKernel, TimingBreakdown,
+        HostFanout, HostParallelism, Initialization, JobReport, KernelApprox, KernelFunction,
+        KernelKmeans, KernelKmeansConfig, KernelMatrixStrategy, KernelSource, NystromKernel,
+        ShardPlan, ShardedKernelSource, Solver, TilePolicy, TiledKernel, TimingBreakdown,
     };
     pub use popcorn_data::{Dataset, PaperDataset, SparseDataset};
     pub use popcorn_dense::{DenseMatrix, Scalar};

@@ -8,11 +8,17 @@
 //! peak-residency accounting are identical to the sequential driver. The
 //! merge back into the shared executor happens on the driver thread in fixed
 //! job order, and these tests pin that contract.
+//!
+//! The proptests run the default [`HostFanout::PersistentPool`] (workers
+//! spawned once per drive, fed phases over channels, seeding included), so
+//! the whole bit-identity contract is exercised against the pool; dedicated
+//! tests below additionally pin pool-vs-spawn equivalence and the
+//! streaming-pricing overlay for single fits.
 
 use popcorn::baselines::SolverKind;
-use popcorn::core::batch::{BatchOptions, FitJob, HostParallelism};
+use popcorn::core::batch::{BatchOptions, FitJob, HostFanout, HostParallelism};
 use popcorn::prelude::*;
-use popcorn_gpusim::OpTrace;
+use popcorn_gpusim::{OpTrace, Streaming};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -326,6 +332,99 @@ fn concurrent_seconds_accounting_adds_up() {
     assert_eq!(copy, 0.0);
     assert_eq!(report.host_threads, 2);
     assert!(report.host_seconds >= 0.0);
+}
+
+/// The two fan-out mechanisms — the persistent worker pool (default) and
+/// the historical spawn-per-phase scoped threads — execute identical
+/// per-job work over identical chunk partitions: whole batches are
+/// bit-identical between them, to each other and to the sequential drive,
+/// across sources, seeding modes and thread counts. This is also the pool
+/// reuse test: one pool instance carries every phase of every iteration
+/// (and, for kmeans++, the seeding fan-out) of each drive.
+#[test]
+fn fanout_modes_are_bit_identical() {
+    let points = DenseMatrix::<f64>::from_fn(20, 4, |i, j| {
+        let offset = if i % 2 == 0 { 0.0 } else { 7.0 };
+        offset + ((i * 4 + j) as f64 * 0.29).sin() * 1.2
+    });
+    for tiling in [TilePolicy::Full, TilePolicy::Rows(6)] {
+        for init in [Initialization::Random, Initialization::KmeansPlusPlus] {
+            let config = base_config(3).with_tiling(tiling).with_init(init);
+            let jobs = FitJob::restarts(&config, 0..5);
+            let sequential = KernelKmeans::new(config.clone())
+                .fit_batch(FitInput::Dense(&points), &jobs)
+                .unwrap();
+            for threads in THREAD_COUNTS {
+                let context = format!("(tiling {tiling:?}, init {init:?}, threads {threads})");
+                let pool = KernelKmeans::new(config.clone())
+                    .fit_batch_with(FitInput::Dense(&points), &jobs, &options(threads))
+                    .unwrap();
+                let spawn = KernelKmeans::new(config.clone())
+                    .fit_batch_with(
+                        FitInput::Dense(&points),
+                        &jobs,
+                        &options(threads).with_fanout(HostFanout::SpawnPerPhase),
+                    )
+                    .unwrap();
+                assert_batches_identical("popcorn", &sequential, &pool, &context).unwrap();
+                assert_batches_identical("popcorn", &sequential, &spawn, &context).unwrap();
+            }
+        }
+    }
+}
+
+/// Streaming is a pricing overlay for single fits: labels, objectives and
+/// traces are bit-identical with it on or off — only the modeled wall-clock
+/// (serial minus hidden production) and the attached report change, and the
+/// overlapped price never beats the serial one. A single-tile (in-core) fit
+/// has nothing to hide behind, so its wall-clock equals the serial total.
+#[test]
+fn streaming_changes_only_the_modeled_wallclock() {
+    let points = DenseMatrix::<f64>::from_fn(24, 3, |i, j| {
+        let offset = if i < 12 { 0.0 } else { 15.0 };
+        offset + ((i * 3 + j) as f64 * 0.41).sin() * 0.6
+    });
+    for (tiling, multi_tile) in [(TilePolicy::Full, false), (TilePolicy::Rows(6), true)] {
+        let config = base_config(2).with_tiling(tiling);
+        let off = KernelKmeans::new(config.clone())
+            .fit_input(FitInput::Dense(&points))
+            .unwrap();
+        let on = KernelKmeans::new(config.with_streaming(Streaming::DoubleBuffered))
+            .fit_input(FitInput::Dense(&points))
+            .unwrap();
+        assert!(off.streaming.is_none());
+        let report = on.streaming.as_ref().expect("double-buffered fit reports");
+        // Bit-identical numerics and trace.
+        assert_eq!(off.labels, on.labels);
+        assert_eq!(off.objective.to_bits(), on.objective.to_bits());
+        assert_traces_match("popcorn", &off.trace, &on.trace, &format!("{tiling:?}")).unwrap();
+        // Pricing: serial stays serial with streaming off...
+        assert_eq!(off.modeled_wallclock_seconds(), off.modeled_timings.total());
+        // ...and the overlapped price is serial minus hidden, first tile
+        // exposed, never better than serial.
+        assert_eq!(report.passes, on.iterations);
+        assert!(report.hidden_seconds >= 0.0);
+        assert!(report.overlapped_seconds() <= report.serial_seconds() + 1e-15);
+        let expected = on.modeled_timings.total() - report.hidden_seconds;
+        assert!((on.modeled_wallclock_seconds() - expected).abs() < 1e-15);
+        assert!(on.modeled_wallclock_seconds() <= on.modeled_timings.total() + 1e-15);
+        if multi_tile {
+            assert!(report.tiles > report.passes, "multi-tile fit: {report:?}");
+            // Tile production is real (panel GEMM + upload), so the
+            // steady-state pipeline hides a nonzero amount and the first
+            // tile's production is exposed.
+            assert!(report.produce.total() > 0.0);
+            assert!(report.hidden_seconds > 0.0);
+            assert!(report.exposed_first_tile_seconds > 0.0);
+            assert!(on.modeled_wallclock_seconds() < on.modeled_timings.total());
+        } else {
+            // One resident tile per pass: nothing is produced per tile, so
+            // nothing hides and the wall-clock equals the serial total.
+            assert_eq!(report.tiles, report.passes);
+            assert_eq!(report.hidden_seconds, 0.0);
+            assert_eq!(on.modeled_wallclock_seconds(), on.modeled_timings.total());
+        }
+    }
 }
 
 /// Oversubscription is legal: more threads than jobs clamps to the job
