@@ -94,6 +94,38 @@ impl<T: Scalar> DistanceEngine<T> for CpuEngine<T> {
         Ok(())
     }
 
+    fn consume_csr_tile(
+        &mut self,
+        rows: Range<usize>,
+        panel: popcorn_sparse::CsrRows<'_, T>,
+        executor: &dyn Executor,
+    ) -> Result<()> {
+        // A sequential scalar loop touches only the stored entries, so the
+        // CPU reference *does* benefit from sparsity: the pass is charged
+        // per nnz, not per n².
+        let nnz = panel.nnz();
+        let t = rows.len();
+        let k = self.fold.k();
+        let elem = std::mem::size_of::<T>();
+        let iteration = self.fold.iteration();
+        let fold = &mut self.fold;
+        executor.run(
+            format!(
+                "cpu sparse distances iteration {iteration} rows {}..{} (nnz={nnz}, k={k})",
+                rows.start, rows.end
+            ),
+            Phase::PairwiseDistances,
+            OpClass::Gemm, // scalar adds at CPU efficiencies
+            OpCost::new(
+                2 * nnz as u64,
+                nnz as u64 * (elem + popcorn_core::kernel_matrix::INDEX_BYTES) as u64,
+                t as u64 * k as u64 * elem as u64,
+            ),
+            || fold.accumulate_csr_tile(rows.clone(), panel),
+        );
+        Ok(())
+    }
+
     fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>> {
         let row_sums = self.fold.take_row_sums();
         let diag = self.fold.diag();

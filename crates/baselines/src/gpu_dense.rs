@@ -121,6 +121,39 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
         Ok(())
     }
 
+    fn consume_csr_tile(
+        &mut self,
+        rows: Range<usize>,
+        panel: popcorn_sparse::CsrRows<'_, T>,
+        executor: &dyn Executor,
+    ) -> Result<()> {
+        // Faithful to the original: the baseline's row-reduction kernel has
+        // no sparse variant, so a CSR-resident K is folded correctly but
+        // *charged as if dense* — one thread per column, zeros included.
+        // This is exactly the cost asymmetry the sparse workloads expose.
+        let n = self.fold.labels().len();
+        let t = rows.len();
+        let k = self.fold.k();
+        let elem = std::mem::size_of::<T>();
+        let fold = &mut self.fold;
+        executor.run(
+            format!(
+                "baseline kernel 1: row reduction rows {}..{} (n={n}, k={k})",
+                rows.start, rows.end
+            ),
+            Phase::PairwiseDistances,
+            OpClass::HandwrittenReduction,
+            OpCost::new(
+                2 * t as u64 * n as u64,
+                t as u64 * n as u64 * elem as u64,
+                t as u64 * k as u64 * elem as u64,
+            )
+            .with_utilization(reduction_utilization(k)),
+            || fold.accumulate_csr_tile(rows.clone(), panel),
+        );
+        Ok(())
+    }
+
     fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>> {
         let row_sums = self.fold.take_row_sums();
         let diag = self.fold.diag();

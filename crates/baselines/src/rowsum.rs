@@ -122,6 +122,34 @@ impl<T: Scalar> RowSumFold<T> {
         }
     }
 
+    /// Fold one CSR row panel of `K` into the row sums. Absent entries are
+    /// exact zeros, and `x + 0.0` preserves `x` bitwise, so at full density
+    /// this matches [`RowSumFold::accumulate_tile`] bit for bit while only
+    /// touching the stored entries.
+    pub fn accumulate_csr_tile(
+        &mut self,
+        rows: Range<usize>,
+        panel: popcorn_sparse::CsrRows<'_, T>,
+    ) {
+        let row_sums = self.row_sums.as_mut().expect("begin_iteration ran");
+        let collect_diag = self.diag.is_none();
+        for (local, i) in rows.enumerate() {
+            let (cols, vals) = panel.row(local);
+            if collect_diag {
+                // The sparsifier always keeps the diagonal; absent means the
+                // matrix was supplied pre-sparsified without it.
+                self.diag_pending[i] = cols
+                    .iter()
+                    .position(|&c| c == i)
+                    .map_or(T::ZERO, |p| vals[p]);
+            }
+            let out = row_sums.row_mut(i);
+            for (&q, &v) in cols.iter().zip(vals.iter()) {
+                out[self.labels[q]] += v;
+            }
+        }
+    }
+
     /// Seal the iteration: hand the finished row sums to the caller (and, on
     /// the first iteration, promote the collected diagonal).
     pub fn take_row_sums(&mut self) -> DenseMatrix<T> {

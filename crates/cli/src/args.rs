@@ -1,6 +1,6 @@
 //! Command line argument parsing for `gpukmeans`.
 
-use popcorn_core::{HostParallelism, Initialization, KernelFunction, TilePolicy};
+use popcorn_core::{HostParallelism, Initialization, KernelFunction, Sparsify, TilePolicy};
 use popcorn_gpusim::{LinkSpec, Streaming};
 
 /// Device↔device interconnect selected by `--interconnect`.
@@ -138,6 +138,11 @@ pub struct CliArgs {
     /// `--landmarks N`: Nyström rank `m` (number of landmark columns). Only
     /// meaningful with `--approx nystrom`; `None` uses the default of 256.
     pub landmarks: Option<usize>,
+    /// `--sparsify {knn:N|threshold:T}`: sparsify the kernel matrix into a
+    /// CSR-resident form — keep the `N` largest-magnitude entries per row, or
+    /// every entry with `|K_ij| >= T` (plus the diagonal, symmetrized).
+    /// `None` (the default) keeps the representation chosen by `--approx`.
+    pub sparsify: Option<Sparsify>,
     /// `--host-threads {auto|N}`: host threads the batched restart driver
     /// fans per-job work across (batch mode only; results are bit-identical
     /// at any setting). Default: 1 (sequential).
@@ -178,6 +183,7 @@ impl Default for CliArgs {
             interconnect: None,
             approx: ApproxMode::Exact,
             landmarks: None,
+            sparsify: None,
             host_threads: HostParallelism::Sequential,
             streaming: Streaming::Off,
             seed: 0,
@@ -236,6 +242,13 @@ OPTIONS:
   --landmarks INT Nystrom rank m (landmark columns); requires
                   --approx nystrom. m >= n falls back to the exact path
                                                                [default: 256]
+  --sparsify V    sparsify the kernel matrix into CSR-resident form:
+                  knn:N (keep the N largest-magnitude entries per row) or
+                  threshold:T (keep entries with |K_ij| >= T); the diagonal
+                  is always kept and the pattern symmetrized. Residency is
+                  the CSR footprint (nnz), not n^2, and the distance fold
+                  runs as SpMM. knn:n / threshold:0 reproduce the exact
+                  path exactly. Incompatible with --approx nystrom
   --host-threads  host threads for the batched restart driver: auto (one per
                   hardware thread) or an integer count. Only affects batch
                   mode (--restarts/--k-sweep); results and traces are
@@ -386,6 +399,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     value("--landmarks", &mut iter)?,
                 )?)
             }
+            "--sparsify" => {
+                parsed.sparsify = Some(parse_sparsify(value("--sparsify", &mut iter)?)?)
+            }
             "--host-threads" => {
                 let v = value("--host-threads", &mut iter)?;
                 parsed.host_threads = match v.as_str() {
@@ -466,7 +482,44 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     if parsed.landmarks == Some(0) {
         return Err("--landmarks must be at least 1".to_string());
     }
+    if parsed.sparsify.is_some() && parsed.approx == ApproxMode::Nystrom {
+        return Err(
+            "--sparsify cannot be combined with --approx nystrom: pick one kernel-matrix \
+             representation"
+                .to_string(),
+        );
+    }
     Ok(parsed)
+}
+
+/// Parse a `--sparsify` value: `knn:N` or `threshold:T`.
+fn parse_sparsify(value: &str) -> Result<Sparsify, String> {
+    let (rule, operand) = value
+        .split_once(':')
+        .ok_or_else(|| format!("--sparsify expects knn:N or threshold:T, got '{value}'"))?;
+    match rule {
+        "knn" => {
+            let neighbors = parse_usize("--sparsify knn", operand)?;
+            if neighbors == 0 {
+                return Err("--sparsify knn:N requires N >= 1".to_string());
+            }
+            Ok(Sparsify::Knn { neighbors })
+        }
+        "threshold" => {
+            let tau: f64 = operand
+                .parse()
+                .map_err(|_| format!("--sparsify threshold expects a number, got '{operand}'"))?;
+            if !tau.is_finite() || tau < 0.0 {
+                return Err(format!(
+                    "--sparsify threshold:T requires a non-negative finite T, got '{operand}'"
+                ));
+            }
+            Ok(Sparsify::Threshold { tau })
+        }
+        _ => Err(format!(
+            "--sparsify expects knn:N or threshold:T, got '{value}'"
+        )),
+    }
 }
 
 fn parse_usize(flag: &str, value: &str) -> Result<usize, String> {
@@ -700,6 +753,37 @@ mod tests {
         assert!(parse(&["--approx", "lowrank"]).is_err());
         assert!(parse(&["--approx"]).is_err());
         assert!(parse(&["--landmarks", "few"]).is_err());
+    }
+
+    #[test]
+    fn sparsify_flag() {
+        assert_eq!(parse(&[]).unwrap().sparsify, None);
+        assert_eq!(
+            parse(&["--sparsify", "knn:32"]).unwrap().sparsify,
+            Some(Sparsify::Knn { neighbors: 32 })
+        );
+        assert_eq!(
+            parse(&["--sparsify", "threshold:0.25"]).unwrap().sparsify,
+            Some(Sparsify::Threshold { tau: 0.25 })
+        );
+        // threshold:0 is the degenerate keep-everything rule — legal, and
+        // the driver degenerates it to the exact path.
+        assert_eq!(
+            parse(&["--sparsify", "threshold:0"]).unwrap().sparsify,
+            Some(Sparsify::Threshold { tau: 0.0 })
+        );
+        // The sparsified representation coexists with tiling/devices flags
+        // but not with the Nyström factorization.
+        let err = parse(&["--sparsify", "knn:8", "--approx", "nystrom"]).unwrap_err();
+        assert!(err.contains("--sparsify cannot be combined"), "{err}");
+        let err = parse(&["--sparsify", "knn:0"]).unwrap_err();
+        assert!(err.contains("requires N >= 1"), "{err}");
+        assert!(parse(&["--sparsify", "knn"]).is_err());
+        assert!(parse(&["--sparsify", "knn:some"]).is_err());
+        assert!(parse(&["--sparsify", "threshold:-1"]).is_err());
+        assert!(parse(&["--sparsify", "threshold:inf"]).is_err());
+        assert!(parse(&["--sparsify", "topk:5"]).is_err());
+        assert!(parse(&["--sparsify"]).is_err());
     }
 
     #[test]

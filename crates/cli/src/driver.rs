@@ -272,10 +272,16 @@ impl RunSummary {
     /// the runs clustered over an approximation (`None` on exact fits).
     fn approx_footer(&self) -> Option<String> {
         let bound = self.results.iter().find_map(|r| r.approx_error_bound)?;
-        Some(format!(
-            "approximate kernel {}: mean diagonal reconstruction error {bound:.3e}\n",
-            self.approx.describe(),
-        ))
+        Some(match self.approx {
+            KernelApprox::Sparsified { .. } => format!(
+                "approximate kernel {}: mean row kernel mass dropped {bound:.3e}\n",
+                self.approx.describe(),
+            ),
+            _ => format!(
+                "approximate kernel {}: mean diagonal reconstruction error {bound:.3e}\n",
+                self.approx.describe(),
+            ),
+        })
     }
 }
 
@@ -400,11 +406,14 @@ fn config_from(args: &CliArgs, run: usize) -> KernelKmeansConfig {
         seed: args.seed.wrapping_add(run as u64),
         repair_empty_clusters: args.repair_empty_clusters,
         tiling: args.tiling,
-        approx: match args.approx {
-            ApproxMode::Exact => KernelApprox::Exact,
+        approx: match (args.sparsify, args.approx) {
+            // --sparsify picks the CSR-resident representation (the parser
+            // rejects combining it with --approx nystrom).
+            (Some(sparsify), _) => KernelApprox::Sparsified { sparsify },
+            (None, ApproxMode::Exact) => KernelApprox::Exact,
             // The Nyström landmark draw is seeded independently of the
             // per-run assignment seed so restarts share one factorization.
-            ApproxMode::Nystrom => KernelApprox::Nystrom {
+            (None, ApproxMode::Nystrom) => KernelApprox::Nystrom {
                 landmarks: args.landmarks.unwrap_or(256),
                 seed: args.seed,
             },
@@ -1126,6 +1135,70 @@ mod tests {
             text.contains("mean diagonal reconstruction error"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn sparsify_runs_and_reports_the_dropped_mass() {
+        use popcorn_core::Sparsify;
+        let args = CliArgs {
+            n: 120,
+            d: 4,
+            k: 3,
+            runs: 1,
+            max_iter: 6,
+            sparsify: Some(Sparsify::Knn { neighbors: 16 }),
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert_eq!(summary.results[0].labels.len(), 120);
+        assert!(summary.results[0].approx_error_bound.is_some());
+        let text = summary.report();
+        assert!(text.contains("approx=sparsified(knn:16)"), "{text}");
+        assert!(text.contains("mean row kernel mass dropped"), "{text}");
+        // Keep-everything sparsifiers degenerate to the exact dispatch.
+        let exact = run(&CliArgs {
+            sparsify: None,
+            ..args.clone()
+        })
+        .unwrap();
+        let full_density = run(&CliArgs {
+            sparsify: Some(Sparsify::Threshold { tau: 0.0 }),
+            ..args
+        })
+        .unwrap();
+        assert_eq!(full_density.results[0].labels, exact.results[0].labels);
+        assert_eq!(full_density.results[0].approx_error_bound, None);
+    }
+
+    #[test]
+    fn sparsify_batch_shares_the_csr_matrix_across_jobs() {
+        use popcorn_core::Sparsify;
+        let base = CliArgs {
+            n: 90,
+            d: 4,
+            k: 3,
+            max_iter: 5,
+            sparsify: Some(Sparsify::Knn { neighbors: 12 }),
+            ..CliArgs::default()
+        };
+        let batched = run(&CliArgs {
+            restarts: 3,
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(batched.results.len(), 3);
+        for result in &batched.results {
+            assert!(result.approx_error_bound.is_some());
+        }
+        let text = batched.report();
+        assert!(text.contains("mean row kernel mass dropped"), "{text}");
+        // Batched restarts match independent runs label for label, exactly
+        // as on the exact path.
+        let independent = run(&CliArgs { runs: 3, ..base }).unwrap();
+        for (a, b) in batched.results.iter().zip(independent.results.iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
     }
 
     #[test]

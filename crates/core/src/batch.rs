@@ -47,6 +47,7 @@ use crate::strategy::KernelMatrixStrategy;
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceEngine, Executor, OpTrace};
+use popcorn_sparse::CsrRows;
 use std::ops::Range;
 use std::sync::mpsc;
 use std::time::Instant;
@@ -673,6 +674,20 @@ fn tile_phase<T: Scalar>(
     Ok(())
 }
 
+/// Fold one CSR row panel of `K` into one job, if it is still active.
+fn csr_tile_phase<T: Scalar>(
+    job: &FitJob,
+    run: &mut JobRun<T>,
+    rows: &Range<usize>,
+    panel: CsrRows<'_, T>,
+) -> Result<()> {
+    if run.state.active(&job.config) {
+        run.engine
+            .consume_csr_tile(rows.clone(), panel, &run.executor)?;
+    }
+    Ok(())
+}
+
 /// `finish_iteration` + assignment step for one job, if it is still active.
 fn finish_phase<T: Scalar>(job: &FitJob, run: &mut JobRun<T>) -> Result<()> {
     if run.state.active(&job.config) {
@@ -699,6 +714,57 @@ struct TilePtr<T: Scalar>(*const DenseMatrix<T>);
 // use on the receiving worker.
 unsafe impl<T: Scalar> Send for TilePtr<T> {}
 
+/// The raw parts of a [`CsrRows`] panel view the driver is holding inside a
+/// `for_each_csr_tile` visitor, smuggled to the pool workers through their
+/// command channels — the sparse counterpart of [`TilePtr`].
+///
+/// # Safety
+///
+/// Same contract as [`TilePtr`]: the driver blocks on the full ack barrier
+/// before returning from the visitor, so the borrowed CSR arrays outlive
+/// every reassembled view on the workers; workers never hold the parts
+/// across commands.
+struct CsrTilePtr<T: Scalar> {
+    first_row: usize,
+    row_ptrs: (*const usize, usize),
+    col_indices: (*const usize, usize),
+    values: (*const T, usize),
+    cols: usize,
+}
+
+impl<T: Scalar> CsrTilePtr<T> {
+    fn new(panel: CsrRows<'_, T>) -> Self {
+        let (first_row, row_ptrs, col_indices, values, cols) = panel.raw_slices();
+        Self {
+            first_row,
+            row_ptrs: (row_ptrs.as_ptr(), row_ptrs.len()),
+            col_indices: (col_indices.as_ptr(), col_indices.len()),
+            values: (values.as_ptr(), values.len()),
+            cols,
+        }
+    }
+
+    /// Reassemble the panel view.
+    ///
+    /// # Safety
+    ///
+    /// Callers must only dereference while the visitor's borrow is live on
+    /// the driver — i.e. before acking the command (see the type docs).
+    unsafe fn view(&self) -> CsrRows<'_, T> {
+        CsrRows::from_raw_slices(
+            self.first_row,
+            std::slice::from_raw_parts(self.row_ptrs.0, self.row_ptrs.1),
+            std::slice::from_raw_parts(self.col_indices.0, self.col_indices.1),
+            std::slice::from_raw_parts(self.values.0, self.values.1),
+            self.cols,
+        )
+    }
+}
+
+// SAFETY: see `CsrTilePtr` — the ack barrier makes the pointees outlive
+// every use on the receiving worker.
+unsafe impl<T: Scalar> Send for CsrTilePtr<T> {}
+
 /// One phase of work the driver broadcasts to every pool worker.
 enum PoolCommand<T: Scalar> {
     /// Seed every job in the worker's chunk.
@@ -707,6 +773,8 @@ enum PoolCommand<T: Scalar> {
     Begin,
     /// Fold one tile of `K` into every active job in the chunk.
     Tile(Range<usize>, TilePtr<T>),
+    /// Fold one CSR row panel of `K` into every active job in the chunk.
+    CsrTile(Range<usize>, CsrTilePtr<T>),
     /// `finish_iteration` + assignment step for every active job in the chunk.
     Finish,
 }
@@ -737,6 +805,10 @@ fn pool_phase<T: Scalar>(
             // SAFETY: the driver holds the visitor's tile borrow until every
             // worker acks this command (see `TilePtr`).
             PoolCommand::Tile(rows, tile) => tile_phase(job, run, rows, unsafe { &*tile.0 }),
+            // SAFETY: same barrier, sparse panel (see `CsrTilePtr`).
+            PoolCommand::CsrTile(rows, panel) => {
+                csr_tile_phase(job, run, rows, unsafe { panel.view() })
+            }
             PoolCommand::Finish => finish_phase(job, run),
         };
         if let Err(e) = outcome {
@@ -899,13 +971,23 @@ fn pool_lockstep<T: Scalar>(
             pool_dispatch(&senders, &ack_rx, || PoolCommand::Begin)?;
             // One tile pass over K serves every active job; a tiled source
             // charges the recomputation once, to the shared executor, on
-            // this thread, while the per-job folds run on the pool.
-            source.for_each_tile(shared_executor, &mut |rows, tile| {
-                pool_dispatch(&senders, &ack_rx, || {
-                    PoolCommand::Tile(rows.clone(), TilePtr(tile))
-                })
-                .map(|_| ())
-            })?;
+            // this thread, while the per-job folds run on the pool. A
+            // CSR-resident source streams zero-copy sparse panels instead.
+            if source.csr().is_some() {
+                source.for_each_csr_tile(shared_executor, &mut |rows, panel| {
+                    pool_dispatch(&senders, &ack_rx, || {
+                        PoolCommand::CsrTile(rows.clone(), CsrTilePtr::new(panel))
+                    })
+                    .map(|_| ())
+                })?;
+            } else {
+                source.for_each_tile(shared_executor, &mut |rows, tile| {
+                    pool_dispatch(&senders, &ack_rx, || {
+                        PoolCommand::Tile(rows.clone(), TilePtr(tile))
+                    })
+                    .map(|_| ())
+                })?;
+            }
             active = pool_dispatch(&senders, &ack_rx, || PoolCommand::Finish)?;
         }
         // Dropping `senders` closes every command channel; workers drain
@@ -955,12 +1037,21 @@ fn run_lockstep<T: Scalar>(
         })?;
         // One tile pass over K serves every active job; a tiled source
         // charges the recomputation here, once, to the shared executor,
-        // while the per-job folds over the tile fan out across workers.
-        source.for_each_tile(shared_executor, &mut |rows, tile| {
-            par_over_jobs(jobs, runs, threads, |job, run| {
-                tile_phase(job, run, &rows, tile)
-            })
-        })?;
+        // while the per-job folds over the tile fan out across workers. A
+        // CSR-resident source streams zero-copy sparse panels instead.
+        if source.csr().is_some() {
+            source.for_each_csr_tile(shared_executor, &mut |rows, panel| {
+                par_over_jobs(jobs, runs, threads, |job, run| {
+                    csr_tile_phase(job, run, &rows, panel)
+                })
+            })?;
+        } else {
+            source.for_each_tile(shared_executor, &mut |rows, tile| {
+                par_over_jobs(jobs, runs, threads, |job, run| {
+                    tile_phase(job, run, &rows, tile)
+                })
+            })?;
+        }
         par_over_jobs(jobs, runs, threads, |job, run| finish_phase(job, run))?;
     }
     Ok(())

@@ -188,6 +188,9 @@ impl KernelKmeansConfig {
                 ));
             }
         }
+        if let KernelApprox::Sparsified { sparsify } = self.approx {
+            sparsify.validate()?;
+        }
         Ok(())
     }
 }

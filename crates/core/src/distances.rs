@@ -17,7 +17,9 @@ use crate::kernel_matrix::INDEX_BYTES;
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
-use popcorn_sparse::{spmm_transpose_b_into, spmv, SelectionMatrix};
+use popcorn_sparse::{
+    spmm_csr_rows_selection_t_into, spmm_transpose_b_into, spmv, CsrRows, SelectionMatrix,
+};
 
 /// Utilization hint for the distance SpMM as a function of `k`.
 ///
@@ -76,6 +78,65 @@ pub fn accumulate_distance_tile<T: Scalar>(
         OpCost::spmm_kvt_rows(rows.len(), n, k, elem, INDEX_BYTES)
             .with_utilization(spmm_utilization(k)),
         || spmm_transpose_b_into(minus_two, tile, selection.csr(), out),
+    )?;
+    Ok(())
+}
+
+/// Per-cluster fold weights `1/|L_j|` — exactly the stored values of the
+/// selection matrix `V` (bitwise: both sides compute
+/// `T::ONE / T::from_usize(|L_j|)`), with empty clusters at zero (their
+/// weight is never read: no stored kernel entry maps to an empty cluster).
+/// Computed once per iteration so the sparse fold stays alloc-free per tile.
+pub fn selection_weights<T: Scalar>(selection: &SelectionMatrix<T>) -> Vec<T> {
+    selection
+        .cardinalities()
+        .iter()
+        .map(|&card| {
+            if card == 0 {
+                T::ZERO
+            } else {
+                T::ONE / T::from_usize(card)
+            }
+        })
+        .collect()
+}
+
+/// Accumulate one CSR row panel's slice of `E = −2 K Vᵀ` into `e` — the
+/// nnz-proportional counterpart of [`accumulate_distance_tile`] for a
+/// CSR-resident kernel matrix.
+///
+/// The fold scatters each stored entry `(l, v)` of a panel row into output
+/// column `cluster(l)` in ascending column order — the same per-cell
+/// `mul_add` accumulation order the dense SpMM uses when it walks `V`'s
+/// column `l` structure — so a panel storing *every* entry reproduces the
+/// dense fold bit for bit. Charged as a cuSPARSE-class SpMM priced on the
+/// panel's nnz, not `rows × n`.
+pub fn accumulate_distance_csr_tile<T: Scalar>(
+    e: &mut DenseMatrix<T>,
+    rows: std::ops::Range<usize>,
+    panel: CsrRows<'_, T>,
+    selection: &SelectionMatrix<T>,
+    cluster_weights: &[T],
+    executor: &dyn Executor,
+) -> Result<()> {
+    let n = selection.n();
+    let k = selection.k();
+    let elem = std::mem::size_of::<T>();
+    let minus_two = T::from_f64(-2.0);
+    let labels = selection.assignments();
+    let out = &mut e.as_mut_slice()[rows.start * k..rows.end * k];
+    executor.run(
+        format!(
+            "spmm E[{}..{}] = -2*K_csr*V^T (n={n}, k={k}, nnz={})",
+            rows.start,
+            rows.end,
+            panel.nnz()
+        ),
+        Phase::PairwiseDistances,
+        OpClass::SpMM,
+        OpCost::spmm_csr_kvt_rows(panel.nnz(), rows.len(), n, k, elem, INDEX_BYTES)
+            .with_utilization(spmm_utilization(k)),
+        || spmm_csr_rows_selection_t_into(minus_two, panel, labels, cluster_weights, out, k),
     )?;
     Ok(())
 }
@@ -350,6 +411,58 @@ mod tests {
         let (_, spmm_flops) = exec.trace().class_summary(OpClass::SpMM);
         assert_eq!(spmm_flops, 2 * 9 * 9, "tiles cover the full 2n² FLOPs");
         assert_eq!(exec.trace().len(), 2);
+    }
+
+    #[test]
+    fn csr_fold_at_full_density_is_bit_identical_to_the_dense_fold() {
+        // A CSR panel storing EVERY entry (including explicit zeros) must
+        // reproduce the dense SpMM fold bit for bit — at any tile height,
+        // with an empty cluster in the mix.
+        let (k_matrix, _) = setup(KernelFunction::paper_polynomial());
+        let assignments = vec![0, 2, 0, 2, 2, 0, 2, 0, 2]; // cluster 1 empty
+        let selection = SelectionMatrix::from_assignments(&assignments, 3).unwrap();
+        let weights = selection_weights(&selection);
+        assert_eq!(weights[1], 0.0);
+        let exec = SimExecutor::a100_f32();
+        let mut dense_e = DenseMatrix::zeros(9, 3);
+        accumulate_distance_tile(&mut dense_e, 0..9, &k_matrix, &selection, &exec).unwrap();
+        let all_entries = popcorn_sparse::CsrMatrix::from_raw(
+            9,
+            9,
+            (0..=9).map(|i| i * 9).collect(),
+            (0..81).map(|e| e % 9).collect(),
+            k_matrix.as_slice().to_vec(),
+        )
+        .unwrap();
+        for tile_rows in [1usize, 2, 4, 9] {
+            let mut e = DenseMatrix::zeros(9, 3);
+            let mut r0 = 0;
+            while r0 < 9 {
+                let r1 = (r0 + tile_rows).min(9);
+                accumulate_distance_csr_tile(
+                    &mut e,
+                    r0..r1,
+                    all_entries.rows_view(r0..r1),
+                    &selection,
+                    &weights,
+                    &exec,
+                )
+                .unwrap();
+                r0 = r1;
+            }
+            for i in 0..9 {
+                for j in 0..3 {
+                    assert_eq!(
+                        e[(i, j)].to_bits(),
+                        dense_e[(i, j)].to_bits(),
+                        "tile_rows {tile_rows} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+        // The sparse charge is priced on nnz under the SpMM class.
+        let (_, spmm_flops) = exec.trace().class_summary(OpClass::SpMM);
+        assert!(spmm_flops > 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::solver::FitInput;
 use crate::Result;
 use popcorn_dense::{matmul_nt_rows, DenseMatrix, Scalar};
 use popcorn_gpusim::{DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase};
+use popcorn_sparse::{CsrMatrix, CsrRows};
 use std::ops::Range;
 use std::sync::Mutex;
 
@@ -67,6 +68,11 @@ impl TilePolicy {
 
 /// The tile-visitor callback type of [`KernelSource::for_each_tile`].
 pub type TileVisitor<'a, T> = dyn FnMut(Range<usize>, &DenseMatrix<T>) -> Result<()> + 'a;
+
+/// The sparse-tile visitor callback type of
+/// [`KernelSource::for_each_csr_tile`]: each call hands out a zero-copy
+/// row-panel view `K[r0..r1, :]` of the resident CSR kernel matrix.
+pub type CsrTileVisitor<'a, T> = dyn FnMut(Range<usize>, CsrRows<'_, T>) -> Result<()> + 'a;
 
 /// Row-tile access to the kernel matrix `K`.
 ///
@@ -118,6 +124,28 @@ pub trait KernelSource<T: Scalar>: Sync {
     /// footer.
     fn approx_error_bound(&self) -> Option<f64> {
         None
+    }
+
+    /// The resident CSR form of `K` when this source keeps one — `None` (the
+    /// default) for dense backends, `Some` for
+    /// [`crate::sparsified::SparsifiedKernel`]. The iteration pipeline and
+    /// the batch drivers use this to switch the per-tile fold from dense
+    /// panel GEMM to the nnz-proportional sparse fold.
+    fn csr(&self) -> Option<&CsrMatrix<T>> {
+        None
+    }
+
+    /// Stream the resident CSR matrix as contiguous row-panel views, calling
+    /// `f(r0..r1, panel)`. Only sources that return `Some` from
+    /// [`KernelSource::csr`] support this; the default errs.
+    fn for_each_csr_tile(
+        &self,
+        _executor: &dyn Executor,
+        _f: &mut CsrTileVisitor<'_, T>,
+    ) -> Result<()> {
+        Err(CoreError::Unsupported(
+            "this kernel source keeps no CSR-resident matrix to stream".into(),
+        ))
     }
 }
 
@@ -467,6 +495,13 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
 /// plans its own tiling (single- or multi-device) against the same policy.
 /// `landmarks >= n` degenerates to the exact dispatch, so a rank-`n`
 /// "approximation" is bit-identical to an exact fit by construction.
+///
+/// With [`KernelApprox::Sparsified`], `run` receives a
+/// [`crate::sparsified::SparsifiedKernel`] that keeps `K` CSR-resident and
+/// streams zero-copy row panels — unless the sparsifier keeps every entry
+/// (`knn >= n` or `τ = 0`), which degenerates to the exact dispatch just like
+/// a rank-`n` Nyström fit, so full-density "sparsification" is bit-identical
+/// to an exact fit by construction — traces included.
 #[allow(clippy::too_many_arguments)]
 pub fn run_with_source<T: Scalar, R>(
     input: FitInput<'_, T>,
@@ -483,6 +518,14 @@ pub fn run_with_source<T: Scalar, R>(
         if m < input.n() {
             let source = crate::nystrom::NystromKernel::new(
                 input, kernel, m, seed, tiling, k_budget, executor,
+            )?;
+            return run(&source);
+        }
+    }
+    if let KernelApprox::Sparsified { sparsify } = approx {
+        if !sparsify.keeps_everything(input.n()) {
+            let source = crate::sparsified::SparsifiedKernel::build(
+                input, kernel, sparsify, tiling, k_budget, executor,
             )?;
             return run(&source);
         }

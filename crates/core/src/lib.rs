@@ -37,6 +37,7 @@ pub mod popcorn;
 pub mod result;
 pub mod shard;
 pub mod solver;
+pub mod sparsified;
 pub mod strategy;
 
 pub use batch::{
@@ -46,12 +47,15 @@ pub use config::KernelKmeansConfig;
 pub use errors::CoreError;
 pub use init::Initialization;
 pub use kernel::KernelFunction;
-pub use kernel_source::{FullKernel, KernelSource, TilePolicy, TileVisitor, TiledKernel};
+pub use kernel_source::{
+    CsrTileVisitor, FullKernel, KernelSource, TilePolicy, TileVisitor, TiledKernel,
+};
 pub use nystrom::{KernelApprox, NystromKernel};
 pub use popcorn::KernelKmeans;
 pub use result::{ClusteringResult, IterationStats, TimingBreakdown};
 pub use shard::{DeviceShard, ShardPlan, ShardedKernelSource};
 pub use solver::{FitInput, Solver};
+pub use sparsified::{SparsifiedKernel, Sparsify};
 pub use strategy::{GramRoutine, KernelMatrixStrategy};
 
 /// Result alias used across the core crate.

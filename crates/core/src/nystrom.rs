@@ -54,8 +54,10 @@ use rand::SeedableRng;
 /// `Nystrom { landmarks: m, .. }` with `m >= n` degenerates to the exact
 /// path: a rank-`n` factorization reproduces `K` only up to rounding, so the
 /// dispatch falls through to the exact backends instead and the results are
-/// bit-identical to an `Exact` fit by construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// bit-identical to an `Exact` fit by construction. `Sparsified` with a
+/// keep-everything sparsifier (`knn >= n` or `τ = 0`) degenerates the same
+/// way.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum KernelApprox {
     /// The exact kernel matrix (the default).
     #[default]
@@ -67,6 +69,12 @@ pub enum KernelApprox {
         /// Seed of the landmark D² sampling.
         seed: u64,
     },
+    /// CSR-resident sparsified kernel matrix
+    /// ([`crate::sparsified::SparsifiedKernel`]).
+    Sparsified {
+        /// The per-row sparsification rule (kNN or |K_ij| ≥ τ).
+        sparsify: crate::sparsified::Sparsify,
+    },
 }
 
 impl KernelApprox {
@@ -76,6 +84,9 @@ impl KernelApprox {
             KernelApprox::Exact => "exact".to_string(),
             KernelApprox::Nystrom { landmarks, seed } => {
                 format!("nystrom(m={landmarks}, seed={seed})")
+            }
+            KernelApprox::Sparsified { sparsify } => {
+                format!("sparsified({})", sparsify.describe())
             }
         }
     }

@@ -27,6 +27,7 @@ use crate::result::{ClusteringResult, IterationStats, TimingBreakdown};
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::{Executor, StreamMeter};
+use popcorn_sparse::CsrRows;
 use std::ops::Range;
 
 /// Produces the `n × k` distance matrix for one iteration, consuming the
@@ -60,6 +61,23 @@ pub trait DistanceEngine<T: Scalar>: Send {
         tile: &DenseMatrix<T>,
         executor: &dyn Executor,
     ) -> Result<()>;
+
+    /// Fold one CSR row panel `K[rows, :]` into the iteration state — the
+    /// nnz-proportional counterpart of [`DistanceEngine::consume_tile`],
+    /// driven when the source keeps `K` CSR-resident
+    /// ([`KernelSource::csr`]). At full density the fold is bit-identical to
+    /// the dense one; the default errs for engines without a sparse path.
+    fn consume_csr_tile(
+        &mut self,
+        rows: Range<usize>,
+        panel: CsrRows<'_, T>,
+        executor: &dyn Executor,
+    ) -> Result<()> {
+        let _ = (rows, panel, executor);
+        Err(crate::CoreError::Unsupported(
+            "this distance engine has no sparse kernel-tile fold".into(),
+        ))
+    }
 
     /// Produce the `n × k` distance matrix once every tile was consumed.
     fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>>;
@@ -198,15 +216,25 @@ pub fn iterate<T: Scalar>(
     // streaming off. The trace itself is identical either way — the meter
     // only reads marks off it.
     let mut meter = StreamMeter::new(config.streaming);
+    let sparse = source.csr().is_some();
     while state.active(config) {
         engine.begin_iteration(state.iteration(), source, state.labels(), executor)?;
         meter.begin_pass(executor);
-        source.for_each_tile(executor, &mut |rows, tile| {
-            meter.tile_produced(executor);
-            let folded = engine.consume_tile(rows, tile, executor);
-            meter.tile_consumed(executor);
-            folded
-        })?;
+        if sparse {
+            source.for_each_csr_tile(executor, &mut |rows, panel| {
+                meter.tile_produced(executor);
+                let folded = engine.consume_csr_tile(rows, panel, executor);
+                meter.tile_consumed(executor);
+                folded
+            })?;
+        } else {
+            source.for_each_tile(executor, &mut |rows, tile| {
+                meter.tile_produced(executor);
+                let folded = engine.consume_tile(rows, tile, executor);
+                meter.tile_consumed(executor);
+                folded
+            })?;
+        }
         meter.finish_pass();
         let distances = engine.finish_iteration(executor)?;
         state.step(&distances, config, executor);

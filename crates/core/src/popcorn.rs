@@ -10,7 +10,9 @@
 
 use crate::batch::{self, BatchResult, FitJob};
 use crate::config::KernelKmeansConfig;
-use crate::distances::{accumulate_distance_tile, finish_distances};
+use crate::distances::{
+    accumulate_distance_csr_tile, accumulate_distance_tile, finish_distances, selection_weights,
+};
 use crate::kernel_source::{run_with_source, KernelSource};
 use crate::pipeline::{self, DistanceEngine};
 use crate::result::ClusteringResult;
@@ -45,6 +47,9 @@ pub(crate) struct PopcornEngine<T: Scalar> {
     /// reused as the next `E` accumulator instead of allocating a fresh
     /// `n × k` buffer per pass (bit-identical: zeroed memory either way).
     spare: Option<DenseMatrix<T>>,
+    /// Per-cluster fold weights `1/|L_j|` for the sparse tile fold, rebuilt
+    /// in place each iteration so the CSR loop allocates nothing per tile.
+    cluster_weights: Vec<T>,
 }
 
 impl<T: Scalar> PopcornEngine<T> {
@@ -55,6 +60,7 @@ impl<T: Scalar> PopcornEngine<T> {
             selection: None,
             e: None,
             spare: None,
+            cluster_weights: Vec::new(),
         }
     }
 }
@@ -84,6 +90,10 @@ impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
             OpCost::elementwise(n, 1, 3, 0, elem),
             || SelectionMatrix::<T>::from_assignments(labels, self.k),
         )?;
+        // Fold weights for the sparse path, refreshed in place (bitwise the
+        // selection matrix's stored values).
+        self.cluster_weights.clear();
+        self.cluster_weights.extend(selection_weights(&selection));
         self.selection = Some(selection);
 
         // The n x k accumulator for E = -2 K V^T (becomes D in place). The
@@ -111,6 +121,17 @@ impl<T: Scalar> DistanceEngine<T> for PopcornEngine<T> {
         let e = self.e.as_mut().expect("begin_iteration ran");
         let selection = self.selection.as_ref().expect("begin_iteration ran");
         accumulate_distance_tile(e, rows, tile, selection, executor)
+    }
+
+    fn consume_csr_tile(
+        &mut self,
+        rows: Range<usize>,
+        panel: popcorn_sparse::CsrRows<'_, T>,
+        executor: &dyn Executor,
+    ) -> Result<()> {
+        let e = self.e.as_mut().expect("begin_iteration ran");
+        let selection = self.selection.as_ref().expect("begin_iteration ran");
+        accumulate_distance_csr_tile(e, rows, panel, selection, &self.cluster_weights, executor)
     }
 
     fn finish_iteration(&mut self, executor: &dyn Executor) -> Result<DenseMatrix<T>> {

@@ -254,6 +254,97 @@ pub fn sparse_text_like<T: Scalar>(
         .expect("labels match points by construction")
 }
 
+/// A graph-shaped workload built directly as a sparse **affinity matrix**:
+/// Gaussian-blob points whose `n × n` kNN affinity graph is assembled in CSR
+/// form — the natural input for the CSR-resident kernel path
+/// (`SparsifiedKernel::from_csr`), which clusters over a precomputed sparse
+/// `K` without ever forming the dense matrix.
+///
+/// Each point is connected to its `neighbors` nearest points (Euclidean,
+/// ties toward the smaller index) with Gaussian affinity
+/// `exp(-||x_i - x_j||² / (2 σ²))`; the edge set is symmetrized (union) and
+/// every vertex carries a unit self-loop, so the matrix is symmetric with a
+/// full diagonal — the structural invariants the sparse kernel path expects.
+/// Deterministic given a seed; labels are the generating blob assignment.
+pub fn graph_affinity_blobs<T: Scalar>(
+    n: usize,
+    d: usize,
+    k: usize,
+    neighbors: usize,
+    std_dev: f64,
+    sigma: f64,
+    seed: u64,
+) -> SparseDataset<T> {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(neighbors >= 1, "need at least one neighbor per vertex");
+    assert!(sigma > 0.0, "affinity bandwidth must be positive");
+    let blobs = gaussian_blobs::<f64>(n, d, k, std_dev, seed);
+    let labels = blobs.labels().expect("blobs are labelled").to_vec();
+    let points = blobs.points();
+    let dist2 = |a: usize, b: usize| -> f64 {
+        points
+            .row(a)
+            .iter()
+            .zip(points.row(b))
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum()
+    };
+
+    // kNN edge set, symmetrized by union. BTreeSet keeps row scans sorted.
+    let neighbors = neighbors.min(n - 1);
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for i in 0..n {
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| {
+            dist2(i, a)
+                .partial_cmp(&dist2(i, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &j in order.iter().take(neighbors) {
+            edges.insert((i, j));
+            edges.insert((j, i));
+        }
+    }
+
+    let mut row_ptrs = Vec::with_capacity(n + 1);
+    let mut col_indices = Vec::with_capacity(edges.len() + n);
+    let mut values = Vec::with_capacity(edges.len() + n);
+    row_ptrs.push(0usize);
+    let mut edge_iter = edges.iter().peekable();
+    for i in 0..n {
+        let mut inserted_diag = false;
+        while let Some(&&(r, j)) = edge_iter.peek() {
+            if r != i {
+                break;
+            }
+            edge_iter.next();
+            if !inserted_diag && j > i {
+                col_indices.push(i);
+                values.push(T::ONE);
+                inserted_diag = true;
+            }
+            col_indices.push(j);
+            // ||x_i - x_j||² is bitwise symmetric in (i, j), so mirrored
+            // affinities are bitwise equal — no second pass needed.
+            values.push(T::from_f64((-dist2(i, j) / (2.0 * sigma * sigma)).exp()));
+        }
+        if !inserted_diag {
+            col_indices.push(i);
+            values.push(T::ONE);
+        }
+        row_ptrs.push(values.len());
+    }
+
+    let affinity = CsrMatrix::from_raw_unchecked(n, n, row_ptrs, col_indices, values);
+    SparseDataset::with_labels(
+        format!("graph-affinity-n{n}-k{k}-nn{neighbors}"),
+        affinity,
+        labels,
+    )
+    .expect("labels match vertices by construction")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +519,63 @@ mod tests {
     #[should_panic(expected = "two features per cluster")]
     fn sparse_text_like_rejects_tiny_d() {
         let _ = sparse_text_like::<f64>(10, 3, 2, 2, 1);
+    }
+
+    #[test]
+    fn graph_affinity_is_square_symmetric_with_unit_diagonal() {
+        let ds = graph_affinity_blobs::<f64>(50, 3, 2, 5, 0.4, 1.0, 13);
+        let a = ds.points();
+        assert_eq!(a.shape(), (50, 50));
+        assert_eq!(ds.num_classes(), 2);
+        assert!(a.nnz() < 50 * 50, "affinity graph must be sparse");
+        for i in 0..50 {
+            let (cols, vals) = a.row(i);
+            // Sorted columns, unit self-loop, all affinities in (0, 1].
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+            assert_eq!(a.get(i, i), 1.0, "missing self-loop at {i}");
+            assert!(vals.iter().all(|&v| v > 0.0 && v <= 1.0));
+            // Symmetric pattern with bitwise-equal mirrored values.
+            for &j in cols {
+                assert_eq!(a.get(i, j).to_bits(), a.get(j, i).to_bits());
+                assert!(a.get(j, i) != 0.0, "edge ({i},{j}) missing its mirror");
+            }
+        }
+        // Deterministic given the seed.
+        let again = graph_affinity_blobs::<f64>(50, 3, 2, 5, 0.4, 1.0, 13);
+        assert_eq!(ds.points(), again.points());
+    }
+
+    #[test]
+    fn graph_affinity_connects_within_blobs_more_than_across() {
+        // With well-separated blobs and few neighbors, edges should mostly
+        // stay within a blob: intra-cluster affinity dominates.
+        let ds = graph_affinity_blobs::<f64>(60, 3, 2, 4, 0.05, 1.0, 29);
+        let labels = ds.labels().unwrap();
+        let a = ds.points();
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for i in 0..60 {
+            let (cols, _) = a.row(i);
+            for &j in cols {
+                if j == i {
+                    continue;
+                }
+                if labels[i] == labels[j] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(
+            intra > 10 * inter.max(1),
+            "expected intra-blob edges to dominate: intra={intra} inter={inter}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "affinity bandwidth must be positive")]
+    fn graph_affinity_rejects_bad_sigma() {
+        let _ = graph_affinity_blobs::<f64>(10, 2, 2, 3, 0.3, 0.0, 1);
     }
 }

@@ -279,6 +279,38 @@ impl OpCost {
         )
     }
 
+    /// Cost of the distance SpMM over a **sparse-K** row panel:
+    /// `E[r0..r1, :] = −2 K_csr[r0..r1, :] Vᵀ` where the panel stores
+    /// `panel_nnz` entries (`index_bytes`-wide indices). Each stored entry
+    /// contributes one FMA, the panel's CSR arrays (values + indices +
+    /// `rows + 1` indptr entries) are read once, `V` (all `n` stored entries)
+    /// is read once per tile exactly as in [`OpCost::spmm_kvt_rows`], and the
+    /// tile's `rows × k` output slice is written. With `panel_nnz = rows · n`
+    /// the FLOPs match the dense-K tile charge; the traffic replaces the
+    /// dense `rows · n · elem` tile read with the nnz-proportional CSR read.
+    pub fn spmm_csr_kvt_rows(
+        panel_nnz: usize,
+        rows: usize,
+        n: usize,
+        k: usize,
+        elem: usize,
+        index_bytes: usize,
+    ) -> Self {
+        let (panel_nnz, rows, n, k, elem, index_bytes) = (
+            panel_nnz as u64,
+            rows as u64,
+            n as u64,
+            k as u64,
+            elem as u64,
+            index_bytes as u64,
+        );
+        Self::new(
+            2 * panel_nnz,
+            panel_nnz * (elem + index_bytes) + (rows + 1) * index_bytes + n * (elem + index_bytes),
+            rows * k * elem,
+        )
+    }
+
     /// Cost of an SpMV over a CSR matrix with `nnz` entries and an `x` vector
     /// of length `cols`, producing `rows` outputs.
     pub fn spmv(nnz: usize, rows: usize, cols: usize, elem: usize, index_bytes: usize) -> Self {
@@ -452,6 +484,35 @@ mod tests {
         assert!(e.total_bytes() > u32::MAX as u64);
         let m = OpCost::spmm(n, n, n, n, 4, 4);
         assert_eq!(m.bytes_written, 70_000u64 * 70_000 * 4);
+        // Fully dense sparse-K panel at n = 70_000: panel_nnz = n * n wraps a
+        // 32-bit usize product, so the nnz count is widened before the
+        // byte/FLOP products are taken.
+        let sk = OpCost::spmm_csr_kvt_rows(4_900_000_000u64 as usize, n, n, 10, 4, 4);
+        if usize::BITS >= 64 {
+            assert_eq!(sk.flops, 2 * 4_900_000_000u64);
+            assert_eq!(
+                sk.bytes_read,
+                4_900_000_000u64 * 8 + 70_001u64 * 4 + 70_000u64 * 8
+            );
+        }
+        assert_eq!(sk.bytes_written, 70_000u64 * 10 * 4);
+    }
+
+    #[test]
+    fn spmm_csr_kvt_rows_matches_dense_charge_flops_at_full_density() {
+        let rows = 128usize;
+        let n = 1_000usize;
+        let k = 16usize;
+        let dense = OpCost::spmm_kvt_rows(rows, n, k, 4, 4);
+        let sparse = OpCost::spmm_csr_kvt_rows(rows * n, rows, n, k, 4, 4);
+        assert_eq!(sparse.flops, dense.flops);
+        assert_eq!(sparse.bytes_written, dense.bytes_written);
+        // A fully dense CSR panel pays extra for the stored indices...
+        assert!(sparse.bytes_read > dense.bytes_read);
+        // ...but at 10% density the CSR read traffic undercuts the dense tile.
+        let tenth = OpCost::spmm_csr_kvt_rows(rows * n / 10, rows, n, k, 4, 4);
+        assert!(tenth.bytes_read < dense.bytes_read);
+        assert_eq!(tenth.flops, dense.flops / 10);
     }
 
     #[test]

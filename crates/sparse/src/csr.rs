@@ -500,6 +500,119 @@ impl<T: Scalar> CsrMatrix<T> {
         }
         flops
     }
+
+    /// A zero-copy view of the contiguous row panel `self[r0..r1, :]`.
+    ///
+    /// The view borrows this matrix's arrays directly — no indptr rebasing,
+    /// no copying — so streaming consumers (the CSR-resident kernel-matrix
+    /// path) can hand out row panels at any tile height for free.
+    pub fn rows_view(&self, rows: std::ops::Range<usize>) -> CsrRows<'_, T> {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.rows,
+            "panel rows {}..{} out of range for {} rows",
+            rows.start,
+            rows.end,
+            self.rows
+        );
+        CsrRows {
+            first_row: rows.start,
+            row_ptrs: &self.row_ptrs[rows.start..=rows.end],
+            col_indices: &self.col_indices,
+            values: &self.values,
+            cols: self.cols,
+        }
+    }
+}
+
+/// A borrowed view of a contiguous row panel of a [`CsrMatrix`].
+///
+/// `row_ptrs` holds the panel's `rows + 1` pointer entries with their
+/// **absolute** offsets into `col_indices` / `values` (which cover the whole
+/// matrix), so constructing a view never copies or rebases anything. Views
+/// are `Copy`: they are three slices and two integers.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrRows<'a, T: Scalar> {
+    first_row: usize,
+    row_ptrs: &'a [usize],
+    col_indices: &'a [usize],
+    values: &'a [T],
+    cols: usize,
+}
+
+impl<'a, T: Scalar> CsrRows<'a, T> {
+    /// Reassemble a view from its raw slices (the inverse of the accessors).
+    ///
+    /// The lockstep batch driver smuggles views to its pool workers as raw
+    /// pointers and rebuilds them with this constructor; the debug assertions
+    /// pin the structural invariants a [`CsrMatrix::rows_view`]-produced view
+    /// always satisfies.
+    pub fn from_raw_slices(
+        first_row: usize,
+        row_ptrs: &'a [usize],
+        col_indices: &'a [usize],
+        values: &'a [T],
+        cols: usize,
+    ) -> Self {
+        debug_assert!(!row_ptrs.is_empty(), "row_ptrs must hold rows + 1 entries");
+        debug_assert_eq!(col_indices.len(), values.len());
+        debug_assert!(row_ptrs.last().copied().unwrap_or(0) <= col_indices.len());
+        Self {
+            first_row,
+            row_ptrs,
+            col_indices,
+            values,
+            cols,
+        }
+    }
+
+    /// Absolute index of the panel's first row in the owning matrix.
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// Number of rows in the panel.
+    pub fn row_count(&self) -> usize {
+        self.row_ptrs.len() - 1
+    }
+
+    /// Number of columns of the owning matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored entries in the panel.
+    pub fn nnz(&self) -> usize {
+        self.row_ptrs[self.row_ptrs.len() - 1] - self.row_ptrs[0]
+    }
+
+    /// The `(col_indices, values)` slices of panel row `local`
+    /// (absolute row `first_row + local`).
+    pub fn row(&self, local: usize) -> (&'a [usize], &'a [T]) {
+        let start = self.row_ptrs[local];
+        let end = self.row_ptrs[local + 1];
+        (&self.col_indices[start..end], &self.values[start..end])
+    }
+
+    /// Value at `(local, j)`, or zero if not stored (binary search).
+    pub fn get(&self, local: usize, j: usize) -> T {
+        let (cols, vals) = self.row(local);
+        match cols.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// The raw slices `(first_row, row_ptrs, col_indices, values, cols)` —
+    /// what [`CsrRows::from_raw_slices`] reassembles.
+    pub fn raw_slices(&self) -> (usize, &'a [usize], &'a [usize], &'a [T], usize) {
+        (
+            self.first_row,
+            self.row_ptrs,
+            self.col_indices,
+            self.values,
+            self.cols,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -764,5 +877,49 @@ mod tests {
     fn gram_panel_rejects_out_of_range_rows() {
         let m = CsrMatrix::<f64>::zeros(3, 3);
         m.gram_panel(1, 4);
+    }
+
+    #[test]
+    fn rows_view_matches_owning_rows() {
+        let m = sample();
+        for r0 in 0..=3 {
+            for r1 in r0..=3 {
+                let panel = m.rows_view(r0..r1);
+                assert_eq!(panel.first_row(), r0);
+                assert_eq!(panel.row_count(), r1 - r0);
+                assert_eq!(panel.cols(), 3);
+                let mut nnz = 0;
+                for local in 0..(r1 - r0) {
+                    let (pc, pv) = panel.row(local);
+                    let (mc, mv) = m.row(r0 + local);
+                    assert_eq!(pc, mc);
+                    assert_eq!(pv, mv);
+                    nnz += pc.len();
+                    for j in 0..3 {
+                        assert_eq!(panel.get(local, j), m.get(r0 + local, j));
+                    }
+                }
+                assert_eq!(panel.nnz(), nnz);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_view_raw_slices_round_trip() {
+        let m = sample();
+        let panel = m.rows_view(1..3);
+        let (first, ptrs, cols, vals, width) = panel.raw_slices();
+        let rebuilt = CsrRows::from_raw_slices(first, ptrs, cols, vals, width);
+        assert_eq!(rebuilt.first_row(), 1);
+        assert_eq!(rebuilt.row_count(), 2);
+        assert_eq!(rebuilt.nnz(), panel.nnz());
+        assert_eq!(rebuilt.row(1), panel.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rows_view_rejects_out_of_range() {
+        let m = CsrMatrix::<f64>::zeros(3, 3);
+        let _ = m.rows_view(2..4);
     }
 }

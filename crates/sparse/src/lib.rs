@@ -27,11 +27,11 @@ pub mod spmv;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, CsrRows};
 pub use errors::SparseError;
 pub use selection::SelectionMatrix;
 pub use spgemm::spgemm;
-pub use spmm::{spmm, spmm_transpose_b, spmm_transpose_b_into};
+pub use spmm::{spmm, spmm_csr_rows_selection_t_into, spmm_transpose_b, spmm_transpose_b_into};
 pub use spmv::spmv;
 
 /// Result alias used across the sparse crate.

@@ -12,7 +12,7 @@
 //!   `K Vᵀ` shape used in Eq. 10), implemented column-gather style without
 //!   materialising `Vᵀ`.
 
-use crate::csr::CsrMatrix;
+use crate::csr::{CsrMatrix, CsrRows};
 use crate::errors::SparseError;
 use crate::Result;
 use popcorn_dense::parallel::par_chunks_rows;
@@ -124,6 +124,75 @@ pub fn spmm_transpose_b_into<T: Scalar>(
     Ok(())
 }
 
+/// `out[i, :] = alpha * (panel_row_i · Vᵀ)` where `V` is a selection matrix
+/// given implicitly by `labels` (point → cluster) and `cluster_weights`
+/// (`V`'s stored value per cluster row, `1/|L_j|`), and `panel` is a sparse
+/// row panel of the symmetric kernel matrix `K`.
+///
+/// This is the **sparse-K** counterpart of [`spmm_transpose_b_into`]'s dense
+/// `E = alpha · K Vᵀ` tile fold, and it is bit-identical to it whenever the
+/// panel stores every entry the dense tile holds (exact zeros included):
+/// for each output cell `(i, j)` the dense fold accumulates
+/// `acc = fma(v_j, K[i, l], acc)` over `V` row `j`'s stored columns `l` in
+/// ascending order, then writes `alpha * acc`. Streaming the panel row's
+/// stored `(l, K[i, l])` pairs in ascending `l` and scattering each into
+/// accumulator `labels[l]` performs, per cluster `j`, exactly that operand
+/// sequence on an independent accumulator — and the trailing in-place
+/// `alpha *` scale matches the dense write. Cells of empty clusters stay at
+/// the zeroed `+0.0` and scale to the same `alpha * 0.0` the dense fold
+/// produces. Cost is `O(panel_nnz + rows · k)` instead of `O(rows · n · k)`.
+///
+/// Accumulation happens directly in `out` (the caller's slice of the shared
+/// `n × k` accumulator): no scratch buffer, no allocation.
+pub fn spmm_csr_rows_selection_t_into<T: Scalar>(
+    alpha: T,
+    panel: CsrRows<'_, T>,
+    labels: &[usize],
+    cluster_weights: &[T],
+    out: &mut [T],
+    k: usize,
+) -> Result<()> {
+    let rows = panel.row_count();
+    if labels.len() != panel.cols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmm_csr_rows_selection_t_into (labels)",
+            expected: (panel.cols(), 1),
+            found: (labels.len(), 1),
+        });
+    }
+    if out.len() != rows * k {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmm_csr_rows_selection_t_into (output)",
+            expected: (rows, k),
+            found: (out.len(), 1),
+        });
+    }
+    if cluster_weights.len() != k {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmm_csr_rows_selection_t_into (weights)",
+            expected: (k, 1),
+            found: (cluster_weights.len(), 1),
+        });
+    }
+    if rows == 0 || k == 0 {
+        return Ok(());
+    }
+    par_chunks_rows(out, k, |start_row, chunk| {
+        for (local, out_row) in chunk.chunks_exact_mut(k).enumerate() {
+            out_row.fill(T::ZERO);
+            let (cols, vals) = panel.row(start_row + local);
+            for (&l, &v) in cols.iter().zip(vals.iter()) {
+                let j = labels[l];
+                out_row[j] = cluster_weights[j].mul_add(v, out_row[j]);
+            }
+            for c in out_row.iter_mut() {
+                *c = alpha * *c;
+            }
+        }
+    });
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +298,124 @@ mod tests {
     fn flop_count() {
         assert_eq!(spmm_flops(10, 5), 100);
         assert_eq!(spmm_flops(0, 5), 0);
+    }
+
+    /// A CSR matrix storing *every* entry of `dense` — exact zeros included —
+    /// so the sparse fold sees exactly the dense tile's operand sequence.
+    fn csr_all_entries(dense: &DenseMatrix<f64>) -> CsrMatrix<f64> {
+        let (rows, cols) = dense.shape();
+        let mut row_ptrs = Vec::with_capacity(rows + 1);
+        let mut col_indices = Vec::with_capacity(rows * cols);
+        let mut values = Vec::with_capacity(rows * cols);
+        row_ptrs.push(0);
+        for i in 0..rows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                col_indices.push(j);
+                values.push(v);
+            }
+            row_ptrs.push(values.len());
+        }
+        CsrMatrix::from_raw(rows, cols, row_ptrs, col_indices, values).unwrap()
+    }
+
+    #[test]
+    fn selection_fold_is_bit_identical_to_dense_fold_at_full_density() {
+        let n = 9;
+        let k = 3;
+        let kmat = DenseMatrix::<f64>::from_fn(n, n, |i, j| {
+            ((i.min(j) * n + i.max(j)) as f64 * 0.37).sin() * 2.0
+        });
+        let labels: Vec<usize> = vec![0, 2, 0, 2, 2, 0, 2, 0, 2];
+        // Cluster 1 is empty: its column must still match the dense -0.0.
+        let mut cardinalities = vec![0usize; k];
+        for &l in &labels {
+            cardinalities[l] += 1;
+        }
+        let weights: Vec<f64> = cardinalities
+            .iter()
+            .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f64 })
+            .collect();
+        // The dense reference: V as explicit CSR, folded per tile.
+        let mut v_rows = vec![vec![0.0f64; n]; k];
+        for (l, &j) in labels.iter().enumerate() {
+            v_rows[j][l] = weights[j];
+        }
+        let v = CsrMatrix::from_dense(&DenseMatrix::from_rows(&v_rows).unwrap());
+        let sparse_k = csr_all_entries(&kmat);
+        for tile_rows in [1usize, 2, 4, 9] {
+            let mut dense_out = vec![0.0f64; n * k];
+            let mut sparse_out = vec![0.0f64; n * k];
+            let mut r0 = 0usize;
+            while r0 < n {
+                let r1 = (r0 + tile_rows).min(n);
+                let tile = DenseMatrix::from_fn(r1 - r0, n, |li, j| kmat[(r0 + li, j)]);
+                spmm_transpose_b_into(-2.0, &tile, &v, &mut dense_out[r0 * k..r1 * k]).unwrap();
+                spmm_csr_rows_selection_t_into(
+                    -2.0,
+                    sparse_k.rows_view(r0..r1),
+                    &labels,
+                    &weights,
+                    &mut sparse_out[r0 * k..r1 * k],
+                    k,
+                )
+                .unwrap();
+                r0 = r1;
+            }
+            for (i, (a, b)) in dense_out.iter().zip(sparse_out.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "tile_rows {tile_rows} cell {i}: dense {a} sparse {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_fold_validates_shapes() {
+        let kmat = DenseMatrix::<f64>::filled(3, 3, 1.0);
+        let csr = csr_all_entries(&kmat);
+        let labels = vec![0usize, 1, 0];
+        let weights = vec![0.5f64, 1.0];
+        let mut out = vec![0.0f64; 6];
+        assert!(spmm_csr_rows_selection_t_into(
+            -2.0,
+            csr.rows_view(0..3),
+            &labels,
+            &weights,
+            &mut out,
+            2
+        )
+        .is_ok());
+        // Wrong label count.
+        assert!(spmm_csr_rows_selection_t_into(
+            -2.0,
+            csr.rows_view(0..3),
+            &labels[..2],
+            &weights,
+            &mut out,
+            2
+        )
+        .is_err());
+        // Wrong output size.
+        assert!(spmm_csr_rows_selection_t_into(
+            -2.0,
+            csr.rows_view(0..3),
+            &labels,
+            &weights,
+            &mut out[..4],
+            2
+        )
+        .is_err());
+        // Wrong weight count.
+        assert!(spmm_csr_rows_selection_t_into(
+            -2.0,
+            csr.rows_view(0..3),
+            &labels,
+            &weights[..1],
+            &mut out,
+            2
+        )
+        .is_err());
     }
 }

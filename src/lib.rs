@@ -44,7 +44,8 @@ pub mod prelude {
         BatchOptions, BatchReport, BatchResult, ClusteringResult, FitInput, FitJob, FullKernel,
         HostFanout, HostParallelism, Initialization, JobReport, KernelApprox, KernelFunction,
         KernelKmeans, KernelKmeansConfig, KernelMatrixStrategy, KernelSource, NystromKernel,
-        ShardPlan, ShardedKernelSource, Solver, TilePolicy, TiledKernel, TimingBreakdown,
+        ShardPlan, ShardedKernelSource, Solver, SparsifiedKernel, Sparsify, TilePolicy,
+        TiledKernel, TimingBreakdown,
     };
     pub use popcorn_data::{Dataset, PaperDataset, SparseDataset};
     pub use popcorn_dense::{DenseMatrix, Scalar};
