@@ -11,13 +11,13 @@
 //! the kernel matrix is formed directly from the sparse rows — the points
 //! are never densified — and the clustering loop proceeds identically.
 
-use crate::rowsum::RowSumFold;
 use popcorn_core::batch::{self, BatchResult, FitJob};
 use popcorn_core::kernel::KernelFunction;
 use popcorn_core::kernel_matrix::spgemm_gram_cost;
 use popcorn_core::kernel_source::{run_with_source, KernelSource};
 use popcorn_core::pipeline::{self, DistanceEngine};
 use popcorn_core::result::ClusteringResult;
+use popcorn_core::rowsum::RowSumFold;
 use popcorn_core::solver::{FitInput, Solver};
 use popcorn_core::{KernelKmeansConfig, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
@@ -143,23 +143,7 @@ impl<T: Scalar> DistanceEngine<T> for CpuEngine<T> {
             Phase::PairwiseDistances,
             OpClass::Other,
             OpCost::new(0, 0, 0),
-            || {
-                // Per-cluster self terms
-                // Σ_{p,q ∈ L_c} K_pq = Σ_{p ∈ L_c} row_sums[p][c].
-                let mut cluster_self = vec![0.0f64; k];
-                for i in 0..n {
-                    cluster_self[labels[i]] += row_sums[(i, labels[i])].to_f64();
-                }
-                DenseMatrix::from_fn(n, k, |i, c| {
-                    if sizes[c] == 0 {
-                        return diag[i];
-                    }
-                    let card = sizes[c] as f64;
-                    let value = diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
-                        + cluster_self[c] / (card * card);
-                    T::from_f64(value)
-                })
-            },
+            || popcorn_core::rowsum::cpu_distance_assembly(&row_sums, diag, labels, sizes, k),
         ))
     }
 
@@ -296,6 +280,51 @@ impl<T: Scalar> Solver<T> for CpuKernelKmeans {
         let executor = self.executor_for::<T>();
         let _residency = ResidencyScope::new(&*executor);
         self.iterate_source(source, config, &executor)
+    }
+
+    /// [`Solver::fit_input_with`] plus model extraction off the live kernel
+    /// source (no upload charge — this solver models host-resident points).
+    fn fit_model_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<(ClusteringResult, popcorn_core::FittedModel<T>)> {
+        config.validate(input.n())?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let _residency = ResidencyScope::new(&*executor);
+        let mut engine = CpuEngine::<T>::new(config.k);
+        popcorn_core::model::fit_model_via(
+            popcorn_core::ModelFamily::CpuReference,
+            input,
+            input,
+            config,
+            &*executor,
+            || Ok(self.compute_kernel_matrix(input, config.kernel, &*executor)),
+            &mut engine,
+        )
+    }
+
+    /// Warm-start/mini-batch refits over the model's resident kernel state.
+    fn refit(
+        &self,
+        model: &popcorn_core::FittedModel<T>,
+        request: &popcorn_core::RefitRequest<T>,
+    ) -> Result<(ClusteringResult, popcorn_core::FittedModel<T>)> {
+        let executor = self.executor_for::<T>();
+        let _residency = ResidencyScope::new(&*executor);
+        let mut make_engine =
+            |k: usize| -> Box<dyn pipeline::DistanceEngine<T>> { Box::new(CpuEngine::<T>::new(k)) };
+        popcorn_core::model::refit_via(
+            popcorn_core::ModelFamily::CpuReference,
+            model,
+            request,
+            &*executor,
+            &mut make_engine,
+            &|input, config, executor| {
+                Ok(self.compute_kernel_matrix(input, config.kernel, executor))
+            },
+        )
     }
 
     /// The restart protocol on one core: compute the sequential kernel matrix

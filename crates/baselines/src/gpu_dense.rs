@@ -25,12 +25,12 @@
 //! are densified up front and the conversion is charged to the simulator,
 //! which is exactly the cost asymmetry the paper's sparse datasets expose.
 
-use crate::rowsum::RowSumFold;
 use popcorn_core::batch::{self, BatchResult, FitJob};
 use popcorn_core::kernel::KernelFunction;
 use popcorn_core::kernel_source::{run_with_source, KernelSource};
 use popcorn_core::pipeline::{self, DistanceEngine};
 use popcorn_core::result::ClusteringResult;
+use popcorn_core::rowsum::RowSumFold;
 use popcorn_core::solver::{dense_upload_bytes, FitInput, Solver};
 use popcorn_core::{KernelKmeansConfig, Result};
 use popcorn_dense::{matmul_nt, DenseMatrix, Scalar};
@@ -171,23 +171,7 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
             OpClass::HandwrittenReduction,
             OpCost::new(2 * n as u64, n as u64 * elem as u64, k as u64 * elem as u64)
                 .with_utilization(reduction_utilization(k)),
-            || {
-                let mut norms = vec![0.0f64; k];
-                for i in 0..n {
-                    norms[labels[i]] += row_sums[(i, labels[i])].to_f64();
-                }
-                norms
-                    .iter()
-                    .zip(sizes.iter())
-                    .map(|(&s, &card)| {
-                        if card == 0 {
-                            T::ZERO
-                        } else {
-                            T::from_f64(s / (card as f64 * card as f64))
-                        }
-                    })
-                    .collect::<Vec<T>>()
-            },
+            || popcorn_core::rowsum::baseline_centroid_norms(&row_sums, labels, sizes, k),
         );
 
         // Kernel 3: n*k threads assemble the distances.
@@ -197,16 +181,12 @@ impl<T: Scalar> DistanceEngine<T> for BaselineEngine<T> {
             OpClass::Elementwise,
             OpCost::elementwise_elems(n as u64 * k as u64, 2, 1, 3, elem),
             || {
-                DenseMatrix::<T>::from_fn(n, k, |i, c| {
-                    if sizes[c] == 0 {
-                        return diag[i];
-                    }
-                    let card = sizes[c] as f64;
-                    T::from_f64(
-                        diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
-                            + centroid_norms[c].to_f64(),
-                    )
-                })
+                popcorn_core::rowsum::baseline_distance_assembly(
+                    &row_sums,
+                    diag,
+                    &centroid_norms,
+                    sizes,
+                )
             },
         ))
     }
@@ -375,6 +355,76 @@ impl<T: Scalar> Solver<T> for DenseGpuBaseline {
         let executor = self.executor_for::<T>();
         let _residency = ResidencyScope::new(&*executor);
         self.iterate_source(source, config, &executor)
+    }
+
+    /// [`Solver::fit_input_with`] plus model extraction. The iterations run
+    /// over the densified upload, but the model stores the *original* points
+    /// (CSR inputs stay CSR in the model) so serving does not pin the dense
+    /// expansion.
+    fn fit_model_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<(ClusteringResult, popcorn_core::FittedModel<T>)> {
+        config.validate(input.n())?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let _residency = ResidencyScope::new(&*executor);
+        self.with_dense_points(input, &executor, |points| {
+            let mut engine = BaselineEngine::<T>::new(config.k);
+            popcorn_core::model::fit_model_via(
+                popcorn_core::ModelFamily::DenseBaseline,
+                FitInput::Dense(points),
+                input,
+                config,
+                &*executor,
+                || self.compute_kernel_matrix(points, config.kernel, &executor),
+                &mut engine,
+            )
+        })
+    }
+
+    /// Warm-start/mini-batch refits over the model's resident kernel state.
+    /// When the kernel matrix has to be rebuilt, CSR points are densified
+    /// first (charged), mirroring the cold-fit preparation minus the upload —
+    /// the points are already device-resident.
+    fn refit(
+        &self,
+        model: &popcorn_core::FittedModel<T>,
+        request: &popcorn_core::RefitRequest<T>,
+    ) -> Result<(ClusteringResult, popcorn_core::FittedModel<T>)> {
+        let executor = self.executor_for::<T>();
+        let _residency = ResidencyScope::new(&*executor);
+        let mut make_engine = |k: usize| -> Box<dyn pipeline::DistanceEngine<T>> {
+            Box::new(BaselineEngine::<T>::new(k))
+        };
+        popcorn_core::model::refit_via(
+            popcorn_core::ModelFamily::DenseBaseline,
+            model,
+            request,
+            &*executor,
+            &mut make_engine,
+            &|input, config, executor| {
+                let densified;
+                let points: &DenseMatrix<T> = match input {
+                    FitInput::Dense(points) => points,
+                    FitInput::Sparse(_) => {
+                        let n = input.n();
+                        let d = input.d();
+                        let elem = std::mem::size_of::<T>();
+                        densified = executor.run(
+                            format!("densify P ({n} x {d}, nnz={})", input.nnz()),
+                            Phase::DataPreparation,
+                            OpClass::Other,
+                            OpCost::elementwise_elems(n as u64 * d as u64, 1, 1, 0, elem),
+                            || input.to_dense(),
+                        );
+                        &densified
+                    }
+                };
+                self.compute_kernel_matrix(points, config.kernel, executor)
+            },
+        )
     }
 
     /// The restart protocol on the baseline: densify (if needed), upload and

@@ -24,7 +24,6 @@
 pub mod cpu;
 pub mod gpu_dense;
 pub mod lloyd;
-mod rowsum;
 
 pub use cpu::CpuKernelKmeans;
 pub use gpu_dense::DenseGpuBaseline;

@@ -190,24 +190,44 @@ impl LloydKmeans {
         })
     }
 
-    /// Lloyd's loop over any point layout.
+    /// Lloyd's loop over any point layout. `init_centroids` (the warm-start
+    /// path of `Solver::refit`) replaces the random seeding; `None` keeps the
+    /// classical random initialisation bit-for-bit.
     fn fit_points<P: LloydPoints>(
         &self,
         points: P,
         config: &KernelKmeansConfig,
         elem: usize,
         executor: &dyn Executor,
+        init_centroids: Option<Vec<Vec<f64>>>,
     ) -> Result<ClusteringResult> {
         let n = points.n();
         let d = points.d();
         let k = config.k;
 
-        // Initial centroids: k distinct points chosen uniformly at random
-        // (the "random" initialisation of classical k-means).
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut indices: Vec<usize> = (0..n).collect();
-        indices.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f64>> = indices[..k].iter().map(|&i| points.point(i)).collect();
+        let mut centroids: Vec<Vec<f64>> = match init_centroids {
+            Some(centroids) => {
+                if centroids.len() != k || centroids.iter().any(|c| c.len() != d) {
+                    return Err(CoreError::InvalidInput(format!(
+                        "warm-start centroids must be {k} vectors of length {d}"
+                    )));
+                }
+                centroids
+            }
+            None => {
+                // Initial centroids: k distinct points chosen uniformly at
+                // random (the "random" initialisation of classical k-means).
+                let mut rng = StdRng::seed_from_u64(config.seed);
+                let mut indices: Vec<usize> = (0..n).collect();
+                indices.shuffle(&mut rng);
+                indices[..k].iter().map(|&i| points.point(i)).collect()
+            }
+        };
+
+        // The centroids that produced the final assignment (i.e. the set
+        // entering the last assignment step) — the model a serving path
+        // replays to reproduce `labels` exactly.
+        let mut last_assignment_centroids: Vec<Vec<f64>> = Vec::new();
 
         let mut labels = vec![0usize; n];
         let mut history = Vec::with_capacity(config.max_iter);
@@ -217,6 +237,7 @@ impl LloydKmeans {
 
         for iteration in 0..config.max_iter {
             // Assignment step: nearest centroid in Euclidean distance.
+            last_assignment_centroids.clone_from(&centroids);
             let centroid_sq_norms: Vec<f64> = centroids
                 .iter()
                 .map(|c| c.iter().map(|&x| x * x).sum())
@@ -313,9 +334,12 @@ impl LloydKmeans {
             prev_objective = objective;
         }
 
-        Ok(finalize(
-            labels, k, iterations, converged, history, executor,
-        ))
+        let mut result = finalize(labels, k, iterations, converged, history, executor);
+        result.config = Some(config.clone());
+        if iterations > 0 {
+            result.centroids = Some(last_assignment_centroids);
+        }
+        Ok(result)
     }
 }
 
@@ -342,8 +366,8 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
         input.charge_upload(&executor);
         let elem = std::mem::size_of::<T>();
         match input {
-            FitInput::Dense(points) => self.fit_points(points, config, elem, &executor),
-            FitInput::Sparse(points) => self.fit_points(points, config, elem, &executor),
+            FitInput::Dense(points) => self.fit_points(points, config, elem, &executor, None),
+            FitInput::Sparse(points) => self.fit_points(points, config, elem, &executor, None),
         }
     }
 
@@ -356,6 +380,85 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
         Err(CoreError::Unsupported(
             "Lloyd's algorithm operates on raw points, not a kernel matrix".into(),
         ))
+    }
+
+    /// [`Solver::fit_input_with`] plus model extraction: the fitted model
+    /// stores the points and the centroids that produced the final labels, so
+    /// serving replays the last assignment step bit-for-bit.
+    fn fit_model_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<(ClusteringResult, popcorn_core::FittedModel<T>)> {
+        config.validate(input.n())?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let _residency = ResidencyScope::new(&*executor);
+        input.charge_upload(&executor);
+        let elem = std::mem::size_of::<T>();
+        let result = match input {
+            FitInput::Dense(points) => self.fit_points(points, config, elem, &*executor, None),
+            FitInput::Sparse(points) => self.fit_points(points, config, elem, &*executor, None),
+        }?;
+        let model = popcorn_core::FittedModel::from_lloyd(config, &result, input)?;
+        Ok((result, model))
+    }
+
+    /// Warm-start/mini-batch refits. Lloyd keeps no kernel state, so "warm"
+    /// means seeding the loop from the stored centroids instead of the random
+    /// initialisation; with `warm_start` off the refit is bit-identical to a
+    /// cold fit. Only appended points are charged as an upload — the stored
+    /// points stayed device-resident.
+    fn refit(
+        &self,
+        model: &popcorn_core::FittedModel<T>,
+        request: &popcorn_core::RefitRequest<T>,
+    ) -> Result<(ClusteringResult, popcorn_core::FittedModel<T>)> {
+        if model.family() != popcorn_core::ModelFamily::Lloyd {
+            return Err(CoreError::InvalidInput(format!(
+                "cannot refit a {} model with the lloyd solver",
+                model.family().name()
+            )));
+        }
+        let config = request
+            .config
+            .clone()
+            .unwrap_or_else(|| model.config().clone());
+        let executor = self.executor_for::<T>();
+        let _residency = ResidencyScope::new(&*executor);
+        let init = if request.warm_start {
+            Some(
+                model
+                    .centroids()
+                    .ok_or_else(|| {
+                        CoreError::InvalidInput(
+                            "the model carries no centroids to warm-start from".into(),
+                        )
+                    })?
+                    .to_vec(),
+            )
+        } else {
+            None
+        };
+        let combined;
+        let points = match &request.new_points {
+            None => model.points(),
+            Some(new) => {
+                new.as_input().validate()?;
+                combined = model.points().concat(new)?;
+                new.as_input().charge_upload(&executor);
+                &combined
+            }
+        };
+        config.validate(points.n())?;
+        let elem = std::mem::size_of::<T>();
+        let input = points.as_input();
+        let result = match input {
+            FitInput::Dense(p) => self.fit_points(p, &config, elem, &*executor, init),
+            FitInput::Sparse(p) => self.fit_points(p, &config, elem, &*executor, init),
+        }?;
+        let refitted = popcorn_core::FittedModel::from_lloyd(&config, &result, input)?;
+        Ok((result, refitted))
     }
 
     /// The restart protocol on Lloyd: there is no kernel matrix to share, but
@@ -385,9 +488,11 @@ impl<T: Scalar> Solver<T> for LloydKmeans {
             shared_trace,
             options,
             |job, job_executor| match input {
-                FitInput::Dense(points) => self.fit_points(points, &job.config, elem, job_executor),
+                FitInput::Dense(points) => {
+                    self.fit_points(points, &job.config, elem, job_executor, None)
+                }
                 FitInput::Sparse(points) => {
-                    self.fit_points(points, &job.config, elem, job_executor)
+                    self.fit_points(points, &job.config, elem, job_executor, None)
                 }
             },
         )

@@ -1,0 +1,247 @@
+//! Serve throughput — pricing "clustering as a service".
+//!
+//! A fitted model keeps the expensive state of the fit resident: the points,
+//! the kernel matrix (or its factors) and the final labels. This bench prices
+//! what that residency buys at serve time:
+//!
+//! * **Amortization** — labeling `Q` query batches against the served model
+//!   costs `Q` cross-kernel products (`q × n` each); answering the same
+//!   stream by refitting from scratch would cost `Q` full fits. The ratio is
+//!   the serving speedup, and it grows with every request because the fit is
+//!   charged once.
+//! * **Queue throughput** — the bounded-queue runtime is swept over worker
+//!   counts; requests/second and per-request latency come from the measured
+//!   host clock, while each request's modeled device-seconds are attributed
+//!   on a private executor fork — the bench asserts the per-request modeled
+//!   stream is **bit-identical at every worker count**.
+//! * **Warm vs cold refits** — a warm-start refit seeds from the stored
+//!   labels and reuses the resident kernel matrix; a cold refit repeats the
+//!   whole fit. Both are executed and compared.
+//!
+//! Results land in `serve_throughput.csv` and `BENCH_serve_throughput.json`.
+
+use popcorn_bench::report::{format_seconds, Table};
+use popcorn_bench::ExperimentOptions;
+use popcorn_core::model::{OwnedPoints, RefitRequest};
+use popcorn_core::{FitInput, KernelKmeansConfig};
+use popcorn_data::synthetic::{gaussian_blobs, uniform_dataset};
+use popcorn_serve::{ServeOptions, ServeRequest, ServeResponse, Server, SubmitError};
+
+const N: usize = 1_200;
+const D: usize = 16;
+const K: usize = 8;
+/// Assignment batches in the request stream.
+const BATCHES: usize = 32;
+/// Query rows per batch.
+const BATCH_ROWS: usize = 64;
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+const QUEUE_CAPACITY: usize = 16;
+
+/// Drive `requests` through a fresh server and return (wall seconds, stats,
+/// per-request modeled seconds in submission order).
+fn drive(
+    model: popcorn_core::FittedModel<f32>,
+    workers: usize,
+    requests: &[OwnedPoints<f32>],
+) -> (f64, popcorn_serve::ServeStats, Vec<f64>) {
+    let server = Server::start(
+        model,
+        popcorn_baselines::SolverKind::Popcorn,
+        ServeOptions {
+            queue_capacity: QUEUE_CAPACITY,
+            workers,
+        },
+    );
+    let started = std::time::Instant::now();
+    let mut tickets = Vec::with_capacity(requests.len());
+    for queries in requests {
+        // Bounded queue: on backpressure, retry until a worker frees a slot
+        // (a networked front-end would surface Busy to its client instead).
+        loop {
+            match server.submit(ServeRequest::Assign {
+                queries: queries.clone(),
+            }) {
+                Ok(ticket) => {
+                    tickets.push(ticket);
+                    break;
+                }
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+                Err(SubmitError::Closed) => panic!("server closed mid-stream"),
+            }
+        }
+    }
+    let modeled: Vec<f64> = tickets
+        .into_iter()
+        .map(|ticket| match ticket.wait() {
+            ServeResponse::Assigned(batch) => batch.modeled_seconds,
+            other => panic!("expected an assignment, got {other:?}"),
+        })
+        .collect();
+    let wall = started.elapsed().as_secs_f64();
+    (wall, server.shutdown(), modeled)
+}
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let dataset = gaussian_blobs::<f32>(N, D, K, 1.0, options.seed);
+    let config = KernelKmeansConfig::paper_defaults(K)
+        .with_convergence_check(true, 1e-9)
+        .with_max_iter(60)
+        .with_seed(options.seed);
+    let solver = popcorn_baselines::SolverKind::Popcorn.build::<f32>(config);
+    let (fit, model) = solver
+        .fit_model(FitInput::Dense(dataset.points()))
+        .expect("fit the served model");
+    assert!(fit.converged, "the served model must be converged");
+    let fit_seconds = fit.modeled_timings.total();
+    println!(
+        "served model: {} — fit cost {} ({} iterations)",
+        model.describe(),
+        format_seconds(fit_seconds),
+        fit.iterations,
+    );
+
+    // One deterministic out-of-sample request stream, shared by every sweep
+    // point (seeded off the batch index, so the stream itself never varies).
+    let requests: Vec<OwnedPoints<f32>> = (0..BATCHES)
+        .map(|batch| {
+            let seed = options.seed.wrapping_add(1000 + batch as u64);
+            OwnedPoints::Dense(uniform_dataset::<f32>(BATCH_ROWS, D, seed).points().clone())
+        })
+        .collect();
+
+    // --- amortization: charge-once residency vs refit-per-batch ------------
+    let (_, _, baseline_modeled) = drive(model.clone(), 1, &requests);
+    let assign_total: f64 = baseline_modeled.iter().sum();
+    let serve_total = fit_seconds + assign_total;
+    let refit_total = fit_seconds * BATCHES as f64;
+    println!(
+        "\namortization over {BATCHES} batches of {BATCH_ROWS} queries: fit once + assign = {} \
+         vs refit-per-batch = {} ({:.1}x serving speedup; marginal cost per batch {})",
+        format_seconds(serve_total),
+        format_seconds(refit_total),
+        refit_total / serve_total,
+        format_seconds(assign_total / BATCHES as f64),
+    );
+
+    // --- queue throughput sweep --------------------------------------------
+    let mut table = Table::new(
+        format!(
+            "serve throughput: {BATCHES} assignment batches x {BATCH_ROWS} rows against the \
+             resident model (queue capacity {QUEUE_CAPACITY})"
+        ),
+        &[
+            "workers",
+            "wall (s)",
+            "req/s",
+            "mean latency",
+            "max latency",
+            "rejected",
+            "modeled dev (s)",
+        ],
+    );
+    let mut sweep_json = Vec::new();
+    for &workers in &WORKER_SWEEP {
+        let (wall, stats, modeled) = drive(model.clone(), workers, &requests);
+        assert_eq!(stats.assigned, BATCHES);
+        assert_eq!(stats.queries_labeled, BATCHES * BATCH_ROWS);
+        // Attribution invariance: each request's modeled seconds come off a
+        // private executor fork, so the per-request stream cannot depend on
+        // how many workers interleaved on the shared trace.
+        for (request, (a, b)) in baseline_modeled.iter().zip(modeled.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "request {request} modeled seconds drifted at {workers} workers"
+            );
+        }
+        let throughput = BATCHES as f64 / wall;
+        table.push_row(vec![
+            workers.to_string(),
+            format!("{wall:.6}"),
+            format!("{throughput:.0}"),
+            format_seconds(stats.mean_host_latency_seconds()),
+            format_seconds(stats.max_host_latency_seconds),
+            stats.rejected.to_string(),
+            format!("{:.6}", stats.modeled_device_seconds),
+        ]);
+        sweep_json.push(format!(
+            "    {{\"workers\": {workers}, \"wall_seconds\": {wall:.6}, \
+             \"requests_per_second\": {throughput:.2}, \
+             \"mean_latency_seconds\": {:.6e}, \"max_latency_seconds\": {:.6e}, \
+             \"rejected\": {}, \"modeled_device_seconds\": {:.6e}}}",
+            stats.mean_host_latency_seconds(),
+            stats.max_host_latency_seconds,
+            stats.rejected,
+            stats.modeled_device_seconds,
+        ));
+    }
+    print!("{}", table.render());
+    let csv = options.out_path("serve_throughput.csv");
+    table.write_csv(&csv).expect("write serve_throughput.csv");
+    println!("wrote {}", csv.display());
+
+    // --- warm vs cold refits ------------------------------------------------
+    let server = Server::start(
+        model,
+        popcorn_baselines::SolverKind::Popcorn,
+        ServeOptions::default(),
+    );
+    let warm = match server
+        .request(ServeRequest::Refit {
+            request: RefitRequest::warm(),
+        })
+        .expect("submit warm refit")
+    {
+        ServeResponse::Refitted(summary) => summary,
+        other => panic!("expected a refit summary, got {other:?}"),
+    };
+    let cold = match server
+        .request(ServeRequest::Refit {
+            request: RefitRequest::cold(),
+        })
+        .expect("submit cold refit")
+    {
+        ServeResponse::Refitted(summary) => summary,
+        other => panic!("expected a refit summary, got {other:?}"),
+    };
+    server.shutdown();
+    assert!(
+        warm.iterations <= cold.iterations,
+        "a warm refit of a converged model cannot need more iterations than a cold one \
+         (warm {} vs cold {})",
+        warm.iterations,
+        cold.iterations,
+    );
+    println!(
+        "\nrefits: warm {} iterations / {} vs cold {} iterations / {} \
+         ({:.1}x warm-start speedup)",
+        warm.iterations,
+        format_seconds(warm.modeled_seconds),
+        cold.iterations,
+        format_seconds(cold.modeled_seconds),
+        cold.modeled_seconds / warm.modeled_seconds,
+    );
+
+    let json = format!(
+        "{{\n  \"model\": {{\"n\": {N}, \"d\": {D}, \"k\": {K}, \
+         \"fit_modeled_seconds\": {fit_seconds:.6e}, \"fit_iterations\": {}}},\n  \
+         \"amortization\": {{\"batches\": {BATCHES}, \"batch_rows\": {BATCH_ROWS}, \
+         \"assign_modeled_seconds\": {assign_total:.6e}, \
+         \"serve_total_seconds\": {serve_total:.6e}, \
+         \"refit_per_batch_seconds\": {refit_total:.6e}, \
+         \"serving_speedup\": {:.4}}},\n  \"throughput\": [\n{}\n  ],\n  \
+         \"refits\": {{\"warm_iterations\": {}, \"warm_modeled_seconds\": {:.6e}, \
+         \"cold_iterations\": {}, \"cold_modeled_seconds\": {:.6e}}}\n}}\n",
+        fit.iterations,
+        refit_total / serve_total,
+        sweep_json.join(",\n"),
+        warm.iterations,
+        warm.modeled_seconds,
+        cold.iterations,
+        cold.modeled_seconds,
+    );
+    let artifact = options.out_path("BENCH_serve_throughput.json");
+    std::fs::write(&artifact, json).expect("write JSON artifact");
+    println!("wrote {}", artifact.display());
+}

@@ -52,6 +52,19 @@ impl ApproxMode {
     }
 }
 
+/// `--landmarks` operand: a fixed Nyström rank or the error-driven auto rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LandmarkSpec {
+    /// `--landmarks N`: exactly `N` landmark columns.
+    Count(usize),
+    /// `--landmarks auto:EPS`: grow the landmark set until the mean diagonal
+    /// reconstruction error drops below `epsilon`.
+    Auto {
+        /// Target mean diagonal reconstruction error.
+        epsilon: f64,
+    },
+}
+
 /// Which implementation the `-l` flag selects (artifact: 0 = naive GPU
 /// baseline, 2 = Popcorn; we additionally expose 1 = CPU reference and
 /// 3 = classical Lloyd k-means). This is the shared solver registry from
@@ -135,9 +148,11 @@ pub struct CliArgs {
     /// matrix (default) or a rank-`m` Nyström factorization that trades a
     /// bounded approximation error for `O(n·m)` memory.
     pub approx: ApproxMode,
-    /// `--landmarks N`: Nyström rank `m` (number of landmark columns). Only
-    /// meaningful with `--approx nystrom`; `None` uses the default of 256.
-    pub landmarks: Option<usize>,
+    /// `--landmarks {N|auto:EPS}`: Nyström rank `m` (number of landmark
+    /// columns) or the auto rule that grows the rank until the mean diagonal
+    /// reconstruction error drops below `EPS`. Only meaningful with
+    /// `--approx nystrom`; `None` uses the default of 256 columns.
+    pub landmarks: Option<LandmarkSpec>,
     /// `--sparsify {knn:N|threshold:T}`: sparsify the kernel matrix into a
     /// CSR-resident form — keep the `N` largest-magnitude entries per row, or
     /// every entry with `|K_ij| >= T` (plus the diagonal, symmetrized).
@@ -158,6 +173,10 @@ pub struct CliArgs {
     pub implementation: Implementation,
     /// `-o`: optional output file for the final assignment.
     pub output: Option<String>,
+    /// `--save-model FILE`: freeze the last run's fit as a serving model and
+    /// write it to `FILE` (the `popcorn-serve` handoff). Single-configuration
+    /// fits only — batch mode produces many fits, none of them "the" model.
+    pub save_model: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -189,6 +208,7 @@ impl Default for CliArgs {
             seed: 0,
             implementation: Implementation::Popcorn,
             output: None,
+            save_model: None,
         }
     }
 }
@@ -239,7 +259,9 @@ OPTIONS:
                   nystrom (a rank-m factorization K ~ C W+ C^T over m landmark
                   columns; O(n*m) memory instead of O(n^2), approximate
                   labels)                                      [default: exact]
-  --landmarks INT Nystrom rank m (landmark columns); requires
+  --landmarks V   Nystrom rank m: an integer count of landmark columns, or
+                  auto:EPS to grow the rank until the mean diagonal
+                  reconstruction error drops below EPS. Requires
                   --approx nystrom. m >= n falls back to the exact path
                                                                [default: 256]
   --sparsify V    sparsify the kernel matrix into CSR-resident form:
@@ -264,6 +286,9 @@ OPTIONS:
   -l {0|1|2|3}    implementation: 0 = dense GPU baseline, 1 = CPU,
                   2 = Popcorn, 3 = Lloyd (classical k-means)   [default: 2]
   -o FILE         write the final cluster assignment to FILE
+  --save-model F  freeze the last run's fit as a serving model and write it
+                  to F; feed it to popcorn-serve --model F. Incompatible
+                  with batch mode (--restarts/--k-sweep)
   -h, --help      print this help text
 ";
 
@@ -394,10 +419,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 };
             }
             "--landmarks" => {
-                parsed.landmarks = Some(parse_usize(
-                    "--landmarks",
-                    value("--landmarks", &mut iter)?,
-                )?)
+                parsed.landmarks = Some(parse_landmarks(value("--landmarks", &mut iter)?)?)
             }
             "--sparsify" => {
                 parsed.sparsify = Some(parse_sparsify(value("--sparsify", &mut iter)?)?)
@@ -439,6 +461,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 };
             }
             "-o" => parsed.output = Some(value("-o", &mut iter)?.clone()),
+            "--save-model" => parsed.save_model = Some(value("--save-model", &mut iter)?.clone()),
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
     }
@@ -479,8 +502,15 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     if parsed.landmarks.is_some() && parsed.approx != ApproxMode::Nystrom {
         return Err("--landmarks requires --approx nystrom".to_string());
     }
-    if parsed.landmarks == Some(0) {
+    if parsed.landmarks == Some(LandmarkSpec::Count(0)) {
         return Err("--landmarks must be at least 1".to_string());
+    }
+    if parsed.save_model.is_some() && (parsed.restarts > 1 || !parsed.k_sweep.is_empty()) {
+        return Err(
+            "--save-model cannot be combined with batch mode (--restarts/--k-sweep): a batch \
+             produces many fits, none of them the serving model — pick one configuration"
+                .to_string(),
+        );
     }
     if parsed.sparsify.is_some() && parsed.approx == ApproxMode::Nystrom {
         return Err(
@@ -490,6 +520,27 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         );
     }
     Ok(parsed)
+}
+
+/// Parse a `--landmarks` value: a plain integer count or `auto:EPS`.
+fn parse_landmarks(value: &str) -> Result<LandmarkSpec, String> {
+    match value.split_once(':') {
+        Some(("auto", operand)) => {
+            let epsilon: f64 = operand.parse().map_err(|_| {
+                format!("--landmarks auto:EPS expects a number for EPS, got '{operand}'")
+            })?;
+            if !epsilon.is_finite() || epsilon <= 0.0 {
+                return Err(format!(
+                    "--landmarks auto:EPS requires a positive finite EPS, got '{operand}'"
+                ));
+            }
+            Ok(LandmarkSpec::Auto { epsilon })
+        }
+        Some(_) => Err(format!(
+            "--landmarks expects an integer count or auto:EPS, got '{value}'"
+        )),
+        None => Ok(LandmarkSpec::Count(parse_usize("--landmarks", value)?)),
+    }
 }
 
 /// Parse a `--sparsify` value: `knn:N` or `threshold:T`.
@@ -735,9 +786,9 @@ mod tests {
         assert_eq!(args.approx, ApproxMode::Nystrom);
         assert_eq!(args.landmarks, None);
         let args = parse(&["--approx", "nystrom", "--landmarks", "512"]).unwrap();
-        assert_eq!(args.landmarks, Some(512));
+        assert_eq!(args.landmarks, Some(LandmarkSpec::Count(512)));
         let args = parse(&["--landmarks", "64", "--approx", "nystrom"]).unwrap();
-        assert_eq!(args.landmarks, Some(64));
+        assert_eq!(args.landmarks, Some(LandmarkSpec::Count(64)));
         assert_eq!(ApproxMode::Exact.name(), "exact");
         assert_eq!(ApproxMode::Nystrom.name(), "nystrom");
         // --landmarks is meaningless outside the Nyström path.
@@ -753,6 +804,40 @@ mod tests {
         assert!(parse(&["--approx", "lowrank"]).is_err());
         assert!(parse(&["--approx"]).is_err());
         assert!(parse(&["--landmarks", "few"]).is_err());
+    }
+
+    #[test]
+    fn landmarks_auto_rule() {
+        let args = parse(&["--approx", "nystrom", "--landmarks", "auto:0.05"]).unwrap();
+        assert_eq!(args.landmarks, Some(LandmarkSpec::Auto { epsilon: 0.05 }));
+        let args = parse(&["--approx", "nystrom", "--landmarks", "auto:1e-3"]).unwrap();
+        assert_eq!(args.landmarks, Some(LandmarkSpec::Auto { epsilon: 1e-3 }));
+        // The auto rule rides the same --approx nystrom gate as the count.
+        let err = parse(&["--landmarks", "auto:0.05"]).unwrap_err();
+        assert!(err.contains("requires --approx nystrom"), "{err}");
+        // The tolerance must be a positive finite number.
+        for bad in ["auto:0", "auto:-0.1", "auto:inf", "auto:nan", "auto:tight"] {
+            let err = parse(&["--approx", "nystrom", "--landmarks", bad]).unwrap_err();
+            assert!(err.contains("--landmarks auto:EPS"), "{bad}: {err}");
+        }
+        // Unknown colon-rules don't silently parse as counts.
+        let err = parse(&["--approx", "nystrom", "--landmarks", "rank:32"]).unwrap_err();
+        assert!(err.contains("integer count or auto:EPS"), "{err}");
+    }
+
+    #[test]
+    fn save_model_flag() {
+        assert_eq!(parse(&[]).unwrap().save_model, None);
+        let args = parse(&["--save-model", "model.popcorn"]).unwrap();
+        assert_eq!(args.save_model.as_deref(), Some("model.popcorn"));
+        assert!(parse(&["--save-model"]).is_err());
+        // Batch mode has no single fit to freeze.
+        let err = parse(&["--save-model", "m", "--restarts", "3"]).unwrap_err();
+        assert!(err.contains("--save-model cannot be combined"), "{err}");
+        let err = parse(&["--save-model", "m", "--k-sweep", "2,4"]).unwrap_err();
+        assert!(err.contains("--save-model cannot be combined"), "{err}");
+        // Plain --runs repetitions stay legal (the last run's model is saved).
+        assert!(parse(&["--save-model", "m", "--runs", "2"]).is_ok());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! inputs flow to the solvers as CSR without ever being densified, CSV and
 //! generated inputs flow as dense matrices.
 
-use crate::args::{ApproxMode, CliArgs, Implementation, InputFormat};
+use crate::args::{ApproxMode, CliArgs, Implementation, InputFormat, LandmarkSpec};
 use popcorn_core::batch::{BatchOptions, BatchReport, FitJob};
 use popcorn_core::solver::{FitInput, Solver};
 use popcorn_core::{ClusteringResult, KernelApprox, KernelKmeansConfig, TilePolicy};
@@ -413,9 +413,19 @@ fn config_from(args: &CliArgs, run: usize) -> KernelKmeansConfig {
             (None, ApproxMode::Exact) => KernelApprox::Exact,
             // The Nyström landmark draw is seeded independently of the
             // per-run assignment seed so restarts share one factorization.
-            (None, ApproxMode::Nystrom) => KernelApprox::Nystrom {
-                landmarks: args.landmarks.unwrap_or(256),
-                seed: args.seed,
+            (None, ApproxMode::Nystrom) => match args.landmarks {
+                Some(LandmarkSpec::Auto { epsilon }) => KernelApprox::NystromAuto {
+                    epsilon,
+                    seed: args.seed,
+                },
+                Some(LandmarkSpec::Count(landmarks)) => KernelApprox::Nystrom {
+                    landmarks,
+                    seed: args.seed,
+                },
+                None => KernelApprox::Nystrom {
+                    landmarks: 256,
+                    seed: args.seed,
+                },
             },
         },
         streaming: args.streaming,
@@ -513,9 +523,26 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, String> {
         let mut results = Vec::with_capacity(args.runs);
         for run_idx in 0..args.runs {
             let solver = build_solver_for(args, config_from(args, run_idx), &sharded_executor);
-            let result = solver
-                .fit_input(data.fit_input())
-                .map_err(|e| e.to_string())?;
+            // --save-model freezes the last run's fit as the serving model;
+            // fit_model reruns nothing — the fit and the model come out of
+            // one pass over the resident kernel state.
+            let save_here = args
+                .save_model
+                .as_deref()
+                .filter(|_| run_idx + 1 == args.runs);
+            let result = match save_here {
+                Some(path) => {
+                    let (result, model) = solver
+                        .fit_model(data.fit_input())
+                        .map_err(|e| e.to_string())?;
+                    std::fs::write(path, model.save())
+                        .map_err(|e| format!("failed to write model to {path}: {e}"))?;
+                    result
+                }
+                None => solver
+                    .fit_input(data.fit_input())
+                    .map_err(|e| e.to_string())?,
+            };
             results.push(result);
         }
         (results, None)
@@ -1078,7 +1105,7 @@ mod tests {
             runs: 1,
             max_iter: 6,
             approx: ApproxMode::Nystrom,
-            landmarks: Some(24),
+            landmarks: Some(LandmarkSpec::Count(24)),
             ..CliArgs::default()
         };
         let summary = run(&args).unwrap();
@@ -1104,12 +1131,59 @@ mod tests {
         // Full-rank Nyström degenerates to the exact dispatch bit for bit.
         let full_rank = run(&CliArgs {
             approx: ApproxMode::Nystrom,
-            landmarks: Some(120),
+            landmarks: Some(LandmarkSpec::Count(120)),
             ..args
         })
         .unwrap();
         assert_eq!(full_rank.results[0].labels, exact.results[0].labels);
         assert_eq!(full_rank.results[0].approx_error_bound, None);
+    }
+
+    #[test]
+    fn landmarks_auto_drives_the_adaptive_nystrom_rank() {
+        let args = CliArgs {
+            n: 120,
+            d: 4,
+            k: 3,
+            runs: 1,
+            max_iter: 6,
+            approx: ApproxMode::Nystrom,
+            landmarks: Some(LandmarkSpec::Auto { epsilon: 0.05 }),
+            ..CliArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert_eq!(summary.results[0].labels.len(), 120);
+        assert_eq!(
+            summary.approx,
+            KernelApprox::NystromAuto {
+                epsilon: 0.05,
+                seed: 0
+            }
+        );
+        let text = summary.report();
+        assert!(
+            text.contains("approx=nystrom-auto(eps=0.05, seed=0)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn save_model_writes_a_loadable_serving_model() {
+        let dir = std::env::temp_dir().join("popcorn_cli_save_model");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.popcorn");
+        let args = CliArgs {
+            save_model: Some(path.to_string_lossy().to_string()),
+            runs: 2,
+            ..quick_args()
+        };
+        let summary = run(&args).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let model = popcorn_core::FittedModel::<f32>::load(&text).unwrap();
+        // The saved model is the LAST run's fit, bit for bit.
+        assert_eq!(model.labels(), summary.results[1].labels.as_slice());
+        assert_eq!(model.k(), args.k);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -1121,7 +1195,7 @@ mod tests {
             restarts: 3,
             max_iter: 5,
             approx: ApproxMode::Nystrom,
-            landmarks: Some(20),
+            landmarks: Some(LandmarkSpec::Count(20)),
             ..CliArgs::default()
         };
         let summary = run(&args).unwrap();

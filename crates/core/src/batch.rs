@@ -46,7 +46,9 @@ use crate::solver::{FitInput, Solver};
 use crate::strategy::KernelMatrixStrategy;
 use crate::Result;
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::{DeviceEngine, Executor, OpTrace};
+use popcorn_gpusim::{
+    DeviceEngine, EngineSeconds, Executor, OpTrace, StreamMeter, Streaming, StreamingReport,
+};
 use popcorn_sparse::CsrRows;
 use std::ops::Range;
 use std::sync::mpsc;
@@ -248,6 +250,17 @@ pub struct BatchReport {
     /// `host_threads = 1` against one at `N` to see the real speedup; the
     /// modeled device numbers are bit-identical across thread counts.
     pub host_seconds: f64,
+    /// Double-buffered streaming accounting for the shared lockstep tile
+    /// pass, present when the jobs ran with
+    /// [`popcorn_gpusim::Streaming::DoubleBuffered`]: the produce side is the
+    /// shared tile recomputation (charged once per pass to the shared
+    /// executor), the consume side sums every job fork's fold over the tile
+    /// (forks share one device, so concurrent folds serialize). Like the
+    /// single-fit meter this is derived from trace marks only — traces and
+    /// results stay bit-identical with streaming on or off. `None` for
+    /// streaming-off batches and drivers with no shared tile pass (Lloyd,
+    /// independent fits).
+    pub streaming: Option<StreamingReport>,
 }
 
 impl BatchReport {
@@ -311,6 +324,21 @@ impl BatchReport {
         let compute: f64 = self.jobs.iter().map(|j| j.modeled_compute_seconds).sum();
         let copy: f64 = self.jobs.iter().map(|j| j.modeled_copy_seconds).sum();
         self.shared_modeled_seconds() + compute.max(copy)
+    }
+
+    /// Modeled wall-clock of the batch: the amortized modeled total, minus
+    /// the shared tile production the double-buffered pipeline hides under
+    /// the jobs' distance folds when the batch ran with streaming on. Never
+    /// exceeds [`BatchReport::amortized_modeled_seconds`], and equals it with
+    /// streaming off or when every pass had a single tile (nothing to hide
+    /// behind) — the batched counterpart of
+    /// [`crate::ClusteringResult::modeled_wallclock_seconds`].
+    pub fn modeled_wallclock_seconds(&self) -> f64 {
+        let serial = self.amortized_modeled_seconds();
+        match &self.streaming {
+            Some(report) => serial - report.hidden_seconds,
+            None => serial,
+        }
     }
 
     /// How much modeled wall-clock the stream overlap hides (≥ 1.0; the ratio
@@ -433,6 +461,14 @@ pub fn validate_jobs<T: Scalar>(input: &FitInput<'_, T>, jobs: &[FitJob]) -> Res
                 "all jobs in a batch must share the kernel approximation so one \
                  kernel representation (exact matrix or Nyström factors) can be \
                  shared; split differing approximations into separate batches"
+                    .into(),
+            ));
+        }
+        if job.config.streaming != first.config.streaming {
+            return Err(CoreError::InvalidConfig(
+                "all jobs in a batch must share the streaming policy: the lockstep \
+                 driver runs one shared tile pass, so one produce/consume pricing \
+                 applies to the whole batch"
                     .into(),
             ));
         }
@@ -610,6 +646,9 @@ pub fn drive_shared_kernel_with(
         peak,
         threads,
         start.elapsed().as_secs_f64(),
+        // No shared tile pass here: jobs run whole fits independently, so
+        // there is no produce/consume pipeline to price.
+        None,
     ))
 }
 
@@ -785,6 +824,10 @@ struct PoolAck {
     error: Option<(usize, CoreError)>,
     /// Jobs in the chunk still active after the phase.
     active: usize,
+    /// Fold seconds the chunk's forks charged during a tile phase, when the
+    /// worker was told to measure them (streaming accounting; zero
+    /// otherwise).
+    consume: EngineSeconds,
 }
 
 /// Execute one broadcast phase over a worker's chunk, mirroring the
@@ -796,9 +839,15 @@ fn pool_phase<T: Scalar>(
     runs: &mut [JobRun<T>],
     source: &dyn KernelSource<T>,
     command: &PoolCommand<T>,
+    measure: bool,
 ) -> PoolAck {
     let mut error = None;
+    let mut consume = EngineSeconds::default();
     for (offset, (job, run)) in jobs.iter().zip(runs.iter_mut()).enumerate() {
+        // Streaming accounting: a tile's consume segment is the fold charges
+        // across every fork, measured per job off its own trace.
+        let mark = (measure && matches!(command, PoolCommand::Tile(..) | PoolCommand::CsrTile(..)))
+            .then(|| run.executor.trace_len());
         let outcome = match command {
             PoolCommand::Seed => seed_job(job, run, source),
             PoolCommand::Begin => begin_phase(job, run, source),
@@ -811,6 +860,9 @@ fn pool_phase<T: Scalar>(
             }
             PoolCommand::Finish => finish_phase(job, run),
         };
+        if let Some(mark) = mark {
+            consume.accumulate(run.executor.engine_seconds_since(mark));
+        }
         if let Err(e) = outcome {
             error = Some((chunk_start + offset, e));
             break;
@@ -821,7 +873,11 @@ fn pool_phase<T: Scalar>(
         .zip(runs.iter())
         .filter(|(job, run)| run.state.active(&job.config))
         .count();
-    PoolAck { error, active }
+    PoolAck {
+        error,
+        active,
+        consume,
+    }
 }
 
 /// Body of one persistent pool worker: execute broadcast phases over an
@@ -833,12 +889,13 @@ fn pool_worker<T: Scalar>(
     jobs: &[FitJob],
     runs: &mut [JobRun<T>],
     source: &dyn KernelSource<T>,
+    measure: bool,
     commands: mpsc::Receiver<PoolCommand<T>>,
     acks: mpsc::Sender<std::thread::Result<PoolAck>>,
 ) {
     for command in commands.iter() {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool_phase(chunk_start, jobs, &mut *runs, source, &command)
+            pool_phase(chunk_start, jobs, &mut *runs, source, &command, measure)
         }));
         let panicked = outcome.is_err();
         if acks.send(outcome).is_err() || panicked {
@@ -863,7 +920,7 @@ fn pool_dispatch<T: Scalar>(
     senders: &[mpsc::Sender<PoolCommand<T>>],
     acks: &mpsc::Receiver<std::thread::Result<PoolAck>>,
     make: impl Fn() -> PoolCommand<T>,
-) -> Result<usize> {
+) -> Result<PhaseOutcome> {
     let mut sent = 0usize;
     for sender in senders {
         // A send only fails if a worker exited, which it does solely after
@@ -874,6 +931,7 @@ fn pool_dispatch<T: Scalar>(
         }
     }
     let mut active = 0usize;
+    let mut consume = EngineSeconds::default();
     let mut received = 0usize;
     let mut earliest: Option<(usize, CoreError)> = None;
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
@@ -882,6 +940,7 @@ fn pool_dispatch<T: Scalar>(
             Ok(Ok(ack)) => {
                 received += 1;
                 active += ack.active;
+                consume.accumulate(ack.consume);
                 if let Some((index, error)) = ack.error {
                     let earlier = match &earliest {
                         Some((best, _)) => index < *best,
@@ -912,7 +971,14 @@ fn pool_dispatch<T: Scalar>(
         // bug, not a job failure, so fail loudly rather than mislabel it.
         unreachable!("pool worker hung up without acknowledging a phase");
     }
-    Ok(active)
+    Ok(PhaseOutcome { active, consume })
+}
+
+/// What one pool barrier reported back: still-active jobs and, for tile
+/// phases under streaming measurement, the summed fold seconds.
+struct PhaseOutcome {
+    active: usize,
+    consume: EngineSeconds,
 }
 
 /// Seeding plus the lockstep iteration loop over `runs`, via the persistent
@@ -926,6 +992,7 @@ fn pool_lockstep<T: Scalar>(
     shared_executor: &dyn Executor,
     threads: usize,
     seed_threads: usize,
+    meter: &mut StreamMeter,
 ) -> Result<()> {
     // Sharded sources seed on the driver thread before the pool spins up
     // (see `run_lockstep` for why); the pool then only runs iterations.
@@ -946,6 +1013,7 @@ fn pool_lockstep<T: Scalar>(
         .filter(|(job, run)| run.state.active(&job.config))
         .count();
     let ranges = balanced_chunks(jobs.len(), threads);
+    let measure = meter.active();
     std::thread::scope(|scope| -> Result<()> {
         let (ack_tx, ack_rx) = mpsc::channel();
         let mut senders = Vec::with_capacity(ranges.len());
@@ -958,7 +1026,15 @@ fn pool_lockstep<T: Scalar>(
             let acks = ack_tx.clone();
             let chunk_start = range.start;
             scope.spawn(move || {
-                pool_worker(chunk_start, job_chunk, chunk, source, command_rx, acks)
+                pool_worker(
+                    chunk_start,
+                    job_chunk,
+                    chunk,
+                    source,
+                    measure,
+                    command_rx,
+                    acks,
+                )
             });
             senders.push(command_tx);
         }
@@ -969,26 +1045,32 @@ fn pool_lockstep<T: Scalar>(
         }
         while active > 0 {
             pool_dispatch(&senders, &ack_rx, || PoolCommand::Begin)?;
+            meter.begin_pass(shared_executor);
             // One tile pass over K serves every active job; a tiled source
             // charges the recomputation once, to the shared executor, on
             // this thread, while the per-job folds run on the pool. A
             // CSR-resident source streams zero-copy sparse panels instead.
             if source.csr().is_some() {
                 source.for_each_csr_tile(shared_executor, &mut |rows, panel| {
-                    pool_dispatch(&senders, &ack_rx, || {
+                    meter.tile_produced(shared_executor);
+                    let outcome = pool_dispatch(&senders, &ack_rx, || {
                         PoolCommand::CsrTile(rows.clone(), CsrTilePtr::new(panel))
-                    })
-                    .map(|_| ())
+                    })?;
+                    meter.tile_consumed_external(outcome.consume);
+                    Ok(())
                 })?;
             } else {
                 source.for_each_tile(shared_executor, &mut |rows, tile| {
-                    pool_dispatch(&senders, &ack_rx, || {
+                    meter.tile_produced(shared_executor);
+                    let outcome = pool_dispatch(&senders, &ack_rx, || {
                         PoolCommand::Tile(rows.clone(), TilePtr(tile))
-                    })
-                    .map(|_| ())
+                    })?;
+                    meter.tile_consumed_external(outcome.consume);
+                    Ok(())
                 })?;
             }
-            active = pool_dispatch(&senders, &ack_rx, || PoolCommand::Finish)?;
+            meter.finish_pass();
+            active = pool_dispatch(&senders, &ack_rx, || PoolCommand::Finish)?.active;
         }
         // Dropping `senders` closes every command channel; workers drain
         // and exit, and the scope joins them. An early `?` above takes the
@@ -1008,6 +1090,7 @@ fn run_lockstep<T: Scalar>(
     shared_executor: &dyn Executor,
     threads: usize,
     fanout: HostFanout,
+    meter: &mut StreamMeter,
 ) -> Result<()> {
     // Kernel k-means++ row pulls on a *sharded* source go through the
     // shared shard-activation state (`Executor::activate_shard` on the
@@ -1019,11 +1102,24 @@ fn run_lockstep<T: Scalar>(
         1
     };
     if threads > 1 && jobs.len() > 1 && fanout == HostFanout::PersistentPool {
-        return pool_lockstep(jobs, runs, source, shared_executor, threads, seed_threads);
+        return pool_lockstep(
+            jobs,
+            runs,
+            source,
+            shared_executor,
+            threads,
+            seed_threads,
+            meter,
+        );
     }
     par_over_jobs(jobs, runs, seed_threads, |job, run| {
         seed_job(job, run, source)
     })?;
+    // Streaming accounting for the shared pass: produce segments are the
+    // tile recomputation on the shared executor; consume segments sum the
+    // per-job folds measured off each fork's own trace (marks taken per
+    // tile). All measurement runs on the driver thread, between phases.
+    let mut fork_marks: Vec<usize> = Vec::new();
     loop {
         if !jobs
             .iter()
@@ -1035,26 +1131,61 @@ fn run_lockstep<T: Scalar>(
         par_over_jobs(jobs, runs, threads, |job, run| {
             begin_phase(job, run, source)
         })?;
+        meter.begin_pass(shared_executor);
         // One tile pass over K serves every active job; a tiled source
         // charges the recomputation here, once, to the shared executor,
         // while the per-job folds over the tile fan out across workers. A
         // CSR-resident source streams zero-copy sparse panels instead.
         if source.csr().is_some() {
             source.for_each_csr_tile(shared_executor, &mut |rows, panel| {
+                meter.tile_produced(shared_executor);
+                if meter.active() {
+                    mark_forks(runs, &mut fork_marks);
+                }
                 par_over_jobs(jobs, runs, threads, |job, run| {
                     csr_tile_phase(job, run, &rows, panel)
-                })
+                })?;
+                if meter.active() {
+                    meter.tile_consumed_external(forks_consumed(runs, &fork_marks));
+                }
+                Ok(())
             })?;
         } else {
             source.for_each_tile(shared_executor, &mut |rows, tile| {
+                meter.tile_produced(shared_executor);
+                if meter.active() {
+                    mark_forks(runs, &mut fork_marks);
+                }
                 par_over_jobs(jobs, runs, threads, |job, run| {
                     tile_phase(job, run, &rows, tile)
-                })
+                })?;
+                if meter.active() {
+                    meter.tile_consumed_external(forks_consumed(runs, &fork_marks));
+                }
+                Ok(())
             })?;
         }
+        meter.finish_pass();
         par_over_jobs(jobs, runs, threads, |job, run| finish_phase(job, run))?;
     }
     Ok(())
+}
+
+/// Snapshot every fork's trace length (the start of a consume segment).
+fn mark_forks<T: Scalar>(runs: &[JobRun<T>], marks: &mut Vec<usize>) {
+    marks.clear();
+    marks.extend(runs.iter().map(|run| run.executor.trace_len()));
+}
+
+/// Sum the engine seconds every fork charged since its mark — one tile's
+/// consume segment under the lockstep drive (forks share one device, so
+/// concurrent folds serialize on its engines).
+fn forks_consumed<T: Scalar>(runs: &[JobRun<T>], marks: &[usize]) -> EngineSeconds {
+    let mut total = EngineSeconds::default();
+    for (run, &mark) in runs.iter().zip(marks) {
+        total.accumulate(run.executor.engine_seconds_since(mark));
+    }
+    total
 }
 
 /// Drive every job's clustering iterations over one shared [`KernelSource`]
@@ -1155,6 +1286,13 @@ pub fn drive_shared_source_with<T: Scalar>(
         })
         .collect();
 
+    // One meter for the shared tile pass; jobs were validated to share the
+    // streaming policy, so the first job's setting speaks for the batch.
+    let mut meter = StreamMeter::new(
+        jobs.first()
+            .map(|job| job.config.streaming)
+            .unwrap_or(Streaming::Off),
+    );
     run_lockstep(
         jobs,
         &mut runs,
@@ -1162,6 +1300,7 @@ pub fn drive_shared_source_with<T: Scalar>(
         shared_executor,
         threads,
         options.fanout,
+        &mut meter,
     )?;
 
     // Slice the shared phase before absorbing per-job records on top of it.
@@ -1212,6 +1351,7 @@ pub fn drive_shared_source_with<T: Scalar>(
         peak,
         threads,
         start.elapsed().as_secs_f64(),
+        meter.into_report(),
     ))
 }
 
@@ -1248,9 +1388,11 @@ pub fn fit_batch_independent<T: Scalar, S: Solver<T> + ?Sized>(
         peak,
         1,
         start.elapsed().as_secs_f64(),
+        None,
     ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     results: Vec<ClusteringResult>,
     shared_trace: OpTrace,
@@ -1258,6 +1400,7 @@ fn assemble(
     peak_resident_bytes: u64,
     host_threads: usize,
     host_seconds: f64,
+    streaming: Option<StreamingReport>,
 ) -> BatchResult {
     // Tie-break on the index so equal objectives keep the earliest job
     // (`min_by` alone would return the last of tied minima).
@@ -1276,6 +1419,7 @@ fn assemble(
             peak_resident_bytes,
             host_threads,
             host_seconds,
+            streaming,
         },
     }
 }
@@ -1380,6 +1524,70 @@ mod tests {
         assert!(report.reuse_speedup() > 1.0);
         // The combined trace partitions the amortized total.
         assert!((batch.combined_trace().total_modeled_seconds() - amortized).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_buffered_batch_reports_the_overlay_and_keeps_results_bit_identical() {
+        let points = blob_points();
+        let jobs_off = FitJob::restarts(&config(2).with_tiling(TilePolicy::Rows(6)), 0..3);
+        let jobs_on = FitJob::restarts(
+            &config(2)
+                .with_tiling(TilePolicy::Rows(6))
+                .with_streaming(Streaming::DoubleBuffered),
+            0..3,
+        );
+        let solver = KernelKmeans::new(config(2));
+        let off = solver
+            .fit_batch(FitInput::from(&points), &jobs_off)
+            .unwrap();
+        let on = solver.fit_batch(FitInput::from(&points), &jobs_on).unwrap();
+
+        // The overlay is a pricing policy: labels, objectives and traces are
+        // bit-identical with streaming on or off.
+        for (a, b) in off.results.iter().zip(on.results.iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        assert!(off.report.streaming.is_none());
+        assert_eq!(
+            off.report.modeled_wallclock_seconds(),
+            off.report.amortized_modeled_seconds()
+        );
+
+        let report = on.report.streaming.as_ref().expect("metered batch");
+        assert!(report.passes > 0);
+        assert!(report.tiles > report.passes, "4 tiles per pass");
+        assert!(
+            report.produce.total() > 0.0,
+            "tile recompute is the produce"
+        );
+        assert!(report.consume.total() > 0.0, "job folds are the consume");
+        assert!(report.hidden_seconds > 0.0);
+        assert!(
+            on.report.modeled_wallclock_seconds() < on.report.amortized_modeled_seconds(),
+            "the pipeline must hide some shared tile production"
+        );
+
+        // The overlay is fan-out independent: the persistent pool measures
+        // the same modeled segments the sequential drive does.
+        let pooled = solver
+            .fit_batch_with(
+                FitInput::from(&points),
+                &jobs_on,
+                &BatchOptions::default().with_host_threads(HostParallelism::Threads(2)),
+            )
+            .unwrap();
+        let pooled_report = pooled.report.streaming.as_ref().expect("metered batch");
+        assert_eq!(pooled_report.passes, report.passes);
+        assert_eq!(pooled_report.tiles, report.tiles);
+        assert_eq!(
+            pooled_report.hidden_seconds.to_bits(),
+            report.hidden_seconds.to_bits()
+        );
+
+        // Mixed streaming policies cannot share one pass pricing.
+        let mixed = vec![jobs_off[0].clone(), jobs_on[1].clone()];
+        assert!(validate_jobs(&FitInput::from(&points), &mixed).is_err());
     }
 
     #[test]

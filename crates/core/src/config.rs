@@ -188,6 +188,13 @@ impl KernelKmeansConfig {
                 ));
             }
         }
+        if let KernelApprox::NystromAuto { epsilon, .. } = self.approx {
+            if !epsilon.is_finite() || epsilon <= 0.0 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "nystrom auto epsilon must be finite and positive, got {epsilon}"
+                )));
+            }
+        }
         if let KernelApprox::Sparsified { sparsify } = self.approx {
             sparsify.validate()?;
         }

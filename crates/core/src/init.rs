@@ -163,17 +163,48 @@ pub(crate) fn select_spread_rows<T: Scalar>(
     rng: &mut StdRng,
     executor: &dyn Executor,
 ) -> Result<Vec<(usize, Vec<T>)>> {
-    let n = source.n();
     let mut center_rows: Vec<(usize, Vec<T>)> = Vec::with_capacity(k);
+    let mut best_dist: Vec<f64> = Vec::new();
+    extend_spread_rows(
+        source,
+        k,
+        diag,
+        rng,
+        executor,
+        &mut center_rows,
+        &mut best_dist,
+    )?;
+    Ok(center_rows)
+}
 
-    let first = rng.gen_range(0..n);
-    let first_row = source.row(first, executor)?;
-    let mut best_dist: Vec<f64> = (0..n)
-        .map(|i| kernel_sq_dist(diag, &first_row, first, i))
-        .collect();
-    center_rows.push((first, first_row));
+/// Resumable form of [`select_spread_rows`]: grow `center_rows` to
+/// `target_k` entries, continuing the D² sampling from the caller-held
+/// `(center_rows, best_dist)` state. Starting from empty state and growing to
+/// `k` draws exactly the RNG sequence of a fresh [`select_spread_rows`] call
+/// — so growing to `m` rows and later extending to `2m` is bitwise identical
+/// to selecting `2m` rows in one call (the property the adaptive Nyström
+/// rank search relies on).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn extend_spread_rows<T: Scalar>(
+    source: &dyn KernelSource<T>,
+    target_k: usize,
+    diag: &[T],
+    rng: &mut StdRng,
+    executor: &dyn Executor,
+    center_rows: &mut Vec<(usize, Vec<T>)>,
+    best_dist: &mut Vec<f64>,
+) -> Result<()> {
+    let n = source.n();
+    if center_rows.is_empty() && target_k > 0 {
+        let first = rng.gen_range(0..n);
+        let first_row = source.row(first, executor)?;
+        *best_dist = (0..n)
+            .map(|i| kernel_sq_dist(diag, &first_row, first, i))
+            .collect();
+        center_rows.push((first, first_row));
+    }
 
-    while center_rows.len() < k {
+    while center_rows.len() < target_k {
         let total: f64 = best_dist.iter().sum();
         let next = if total <= 0.0 {
             // All remaining points coincide with existing centres; fall back
@@ -202,7 +233,7 @@ pub(crate) fn select_spread_rows<T: Scalar>(
         }
         center_rows.push((next, next_row));
     }
-    Ok(center_rows)
+    Ok(())
 }
 
 /// Dispatch on the configured initialisation method over a [`KernelSource`].
@@ -321,6 +352,34 @@ mod tests {
         }
         assert!(kmeanspp_assignments_source(&source, 0, 0, &exec).is_err());
         assert!(kmeanspp_assignments_source(&source, 100, 0, &exec).is_err());
+    }
+
+    #[test]
+    fn extend_spread_rows_resumes_bitwise_identically() {
+        use crate::kernel_source::FullKernel;
+        let k_matrix = two_blob_kernel();
+        let exec = SimExecutor::a100_f32();
+        let source = FullKernel::new(&k_matrix).unwrap();
+        let diag = source.diag(&exec).unwrap();
+        for seed in [0u64, 7, 19] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let one_shot = select_spread_rows(&source, 4, &diag, &mut rng, &exec).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rows = Vec::new();
+            let mut best = Vec::new();
+            extend_spread_rows(&source, 2, &diag, &mut rng, &exec, &mut rows, &mut best).unwrap();
+            assert_eq!(rows.len(), 2);
+            extend_spread_rows(&source, 4, &diag, &mut rng, &exec, &mut rows, &mut best).unwrap();
+            let one_shot: Vec<(usize, Vec<u64>)> = one_shot
+                .into_iter()
+                .map(|(i, row)| (i, row.iter().map(|v| v.to_bits()).collect()))
+                .collect();
+            let resumed: Vec<(usize, Vec<u64>)> = rows
+                .into_iter()
+                .map(|(i, row)| (i, row.iter().map(|v| v.to_bits()).collect()))
+                .collect();
+            assert_eq!(one_shot, resumed, "seed {seed}");
+        }
     }
 
     #[test]

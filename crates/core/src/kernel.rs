@@ -147,6 +147,31 @@ impl KernelFunction {
         }
     }
 
+    /// Transform a cross Gram tile `B = Q P̂ᵀ` (queries × training points)
+    /// into the cross kernel tile in place.
+    ///
+    /// `query_diag[row]` holds `qᵀq` for each tile row and `train_diag[col]`
+    /// holds `xᵀx` for each training column, both as `f64` exactly as the
+    /// Gram-diagonal extraction captures them. The per-entry arithmetic is
+    /// identical to [`KernelFunction::apply_to_gram_tile`] — a query that
+    /// coincides bitwise with a training point therefore reproduces that
+    /// point's kernel row bit for bit.
+    pub fn apply_to_cross_tile<T: Scalar>(
+        &self,
+        tile: &mut DenseMatrix<T>,
+        query_diag: &[f64],
+        train_diag: &[f64],
+    ) {
+        debug_assert_eq!(tile.rows(), query_diag.len());
+        debug_assert_eq!(tile.cols(), train_diag.len());
+        for (local_i, &b_ii) in query_diag.iter().enumerate() {
+            let row = tile.row_mut(local_i);
+            for (j, value) in row.iter_mut().enumerate() {
+                *value = T::from_f64(self.apply(value.to_f64(), b_ii, train_diag[j]));
+            }
+        }
+    }
+
     /// Number of floating point operations the elementwise transform performs
     /// per matrix entry (used for cost accounting).
     pub fn flops_per_entry(&self) -> usize {
@@ -299,6 +324,48 @@ mod tests {
             .flops_per_entry()
                 > 0
         );
+    }
+
+    #[test]
+    fn cross_tile_matches_gram_tile_on_training_rows() {
+        // A cross tile whose "queries" are the training points themselves
+        // must reproduce the square kernel matrix bit for bit.
+        let points = sample_points();
+        let diag: Vec<f64> = (0..points.rows())
+            .map(|i| {
+                points
+                    .row(i)
+                    .iter()
+                    .fold(0.0f64, |acc, &x| x.mul_add(x, acc))
+            })
+            .collect();
+        for kernel in [
+            KernelFunction::Linear,
+            KernelFunction::paper_polynomial(),
+            KernelFunction::Gaussian {
+                gamma: 0.7,
+                sigma: 1.3,
+            },
+            KernelFunction::Sigmoid {
+                gamma: 0.2,
+                coef0: 0.1,
+            },
+        ] {
+            let mut square = matmul_nt(&points, &points).unwrap();
+            let mut cross = square.clone();
+            kernel.apply_to_gram_tile(&mut square, 0, &diag);
+            kernel.apply_to_cross_tile(&mut cross, &diag, &diag);
+            for i in 0..points.rows() {
+                for j in 0..points.rows() {
+                    assert_eq!(
+                        cross[(i, j)].to_bits(),
+                        square[(i, j)].to_bits(),
+                        "kernel {} entry ({i},{j})",
+                        kernel.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

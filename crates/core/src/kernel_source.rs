@@ -147,6 +147,23 @@ pub trait KernelSource<T: Scalar>: Sync {
             "this kernel source keeps no CSR-resident matrix to stream".into(),
         ))
     }
+
+    /// The resident dense kernel matrix when this source keeps one — `None`
+    /// (the default) for streaming backends, `Some` for [`FullKernel`]. The
+    /// fitted-model extractor uses this to adopt the already-charged matrix
+    /// instead of re-streaming it at serve time.
+    fn full_matrix(&self) -> Option<&DenseMatrix<T>> {
+        None
+    }
+
+    /// The resident Nyström factors when this source is a low-rank
+    /// factorization — `None` (the default) for exact backends, `Some` for
+    /// [`crate::nystrom::NystromKernel`]. The fitted-model extractor keeps
+    /// the `O(n·m)` factors so out-of-sample assignment prices `q × m`, not
+    /// `q × n`.
+    fn nystrom_factors(&self) -> Option<crate::nystrom::NystromFactors<'_, T>> {
+        None
+    }
 }
 
 /// The in-core backend: a borrowed, precomputed kernel matrix. One tile spans
@@ -211,6 +228,10 @@ impl<T: Scalar> KernelSource<T> for FullKernel<'_, T> {
 
     fn for_each_tile(&self, _executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()> {
         f(0..self.matrix.rows(), self.matrix)
+    }
+
+    fn full_matrix(&self) -> Option<&DenseMatrix<T>> {
+        Some(self.matrix)
     }
 }
 
@@ -334,7 +355,10 @@ impl<'a, T: Scalar> TiledKernel<'a, T> {
         Ok(tile)
     }
 
-    fn compute_gram_diag(points: &FitInput<'_, T>) -> Vec<f64> {
+    /// Gram diagonal `xᵀx` per point, with the exact accumulation arithmetic
+    /// of the full Gram paths — `pub(crate)` so the fitted-model serving
+    /// path computes query diagonals with bitwise-identical values.
+    pub(crate) fn compute_gram_diag(points: &FitInput<'_, T>) -> Vec<f64> {
         match points {
             FitInput::Dense(p) => (0..p.rows())
                 .map(|i| {
@@ -521,6 +545,15 @@ pub fn run_with_source<T: Scalar, R>(
             )?;
             return run(&source);
         }
+    }
+    if let KernelApprox::NystromAuto { epsilon, seed } = approx {
+        // The adaptive search caps at full rank, so unlike the fixed-rank
+        // arm there is no degenerate fall-through: a rank-n factorization is
+        // still the factorization the search accepted.
+        let source = crate::nystrom::NystromKernel::new_adaptive(
+            input, kernel, epsilon, seed, tiling, k_budget, executor,
+        )?;
+        return run(&source);
     }
     if let KernelApprox::Sparsified { sparsify } = approx {
         if !sparsify.keeps_everything(input.n()) {

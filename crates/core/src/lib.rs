@@ -31,10 +31,12 @@ pub mod init;
 pub mod kernel;
 pub mod kernel_matrix;
 pub mod kernel_source;
+pub mod model;
 pub mod nystrom;
 pub mod pipeline;
 pub mod popcorn;
 pub mod result;
+pub mod rowsum;
 pub mod shard;
 pub mod solver;
 pub mod sparsified;
@@ -50,7 +52,8 @@ pub use kernel::KernelFunction;
 pub use kernel_source::{
     CsrTileVisitor, FullKernel, KernelSource, TilePolicy, TileVisitor, TiledKernel,
 };
-pub use nystrom::{KernelApprox, NystromKernel};
+pub use model::{AssignmentBatch, FittedModel, ModelFamily, OwnedPoints, RefitRequest};
+pub use nystrom::{KernelApprox, NystromFactors, NystromKernel};
 pub use popcorn::KernelKmeans;
 pub use result::{ClusteringResult, IterationStats, TimingBreakdown};
 pub use shard::{DeviceShard, ShardPlan, ShardedKernelSource};

@@ -1,0 +1,2207 @@
+//! Clustering as a service: fitted models, out-of-sample assignment and
+//! warm-start refits.
+//!
+//! A [`FittedModel`] freezes everything a serving path needs from one fit:
+//! the final labels, the training points, the kernel configuration, the
+//! per-cluster statistics of the distance assembly, and — crucially — the
+//! *resident* kernel state the fit already paid for (the full matrix, the
+//! sparsified CSR matrix, or the Nyström factors). Serving then prices:
+//!
+//! * **training-set assignment** as one replayed distance pass over the
+//!   resident state — no kernel recomputation, no re-upload; for a converged
+//!   fit the replay reproduces the fit labels bit for bit;
+//! * **out-of-sample assignment** as a small cross-kernel product — `q × n`
+//!   against the training points for exact/sparse models, `q × m` against the
+//!   landmarks for Nyström models — never the `n × n` matrix;
+//! * **refits** ([`crate::solver::Solver::refit`]) that reuse the resident
+//!   kernel state and optionally warm-start from the stored labels; with
+//!   warm-start disabled a refit is bit-identical to a cold fit.
+//!
+//! Models serialize to a plain-text format ([`FittedModel::save`] /
+//! [`FittedModel::load`]) with every float stored as IEEE-754 bits, so a
+//! `fit → save → serve` handoff is lossless.
+
+use crate::assignment::{assign_clusters_into, repair_empty_clusters};
+use crate::config::KernelKmeansConfig;
+use crate::errors::CoreError;
+use crate::init::Initialization;
+use crate::kernel::KernelFunction;
+use crate::kernel_matrix::INDEX_BYTES;
+use crate::kernel_source::{self, KernelSource, TilePolicy, TiledKernel};
+use crate::nystrom::{KernelApprox, NystromFactors};
+use crate::pipeline::{self, DistanceEngine};
+use crate::popcorn::PopcornEngine;
+use crate::result::ClusteringResult;
+use crate::rowsum::{self, RowSumFold};
+use crate::solver::FitInput;
+use crate::sparsified::Sparsify;
+use crate::strategy::KernelMatrixStrategy;
+use crate::Result;
+use popcorn_dense::{matmul, matmul_nt_rows, DenseMatrix, Scalar};
+use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase, Streaming};
+use popcorn_sparse::CsrMatrix;
+use std::fmt::Write as _;
+
+/// Which solver family produced a fitted model. Serving replays the family's
+/// exact finishing arithmetic, so training-set assignment stays bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFamily {
+    /// The paper's matrix-centric solver ([`crate::popcorn::KernelKmeans`]).
+    Popcorn,
+    /// The sequential CPU reference.
+    CpuReference,
+    /// The handwritten dense GPU baseline.
+    DenseBaseline,
+    /// Lloyd's algorithm on raw points (no kernel matrix).
+    Lloyd,
+}
+
+impl ModelFamily {
+    /// Stable name, matching the owning solver's `Solver::name()`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelFamily::Popcorn => "popcorn",
+            ModelFamily::CpuReference => "cpu-reference",
+            ModelFamily::DenseBaseline => "dense-gpu-baseline",
+            ModelFamily::Lloyd => "lloyd",
+        }
+    }
+
+    /// Inverse of [`ModelFamily::name`].
+    pub fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "popcorn" => Ok(ModelFamily::Popcorn),
+            "cpu-reference" => Ok(ModelFamily::CpuReference),
+            "dense-gpu-baseline" => Ok(ModelFamily::DenseBaseline),
+            "lloyd" => Ok(ModelFamily::Lloyd),
+            other => Err(CoreError::InvalidInput(format!(
+                "unknown model family '{other}'"
+            ))),
+        }
+    }
+
+    /// `true` for families that operate on a kernel matrix (everything but
+    /// Lloyd).
+    pub fn is_kernel(self) -> bool {
+        !matches!(self, ModelFamily::Lloyd)
+    }
+}
+
+/// An owned copy of a fit's point set, in the layout it was supplied in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedPoints<T: Scalar> {
+    /// Row-major dense points (`n × d`).
+    Dense(DenseMatrix<T>),
+    /// CSR sparse points (`n × d`).
+    Csr(CsrMatrix<T>),
+}
+
+impl<T: Scalar> OwnedPoints<T> {
+    /// Clone a borrowed fit input into owned storage.
+    pub fn from_input(input: FitInput<'_, T>) -> Self {
+        match input {
+            FitInput::Dense(p) => OwnedPoints::Dense(p.clone()),
+            FitInput::Sparse(p) => OwnedPoints::Csr(p.clone()),
+        }
+    }
+
+    /// Borrow back as a [`FitInput`].
+    pub fn as_input(&self) -> FitInput<'_, T> {
+        match self {
+            OwnedPoints::Dense(p) => FitInput::Dense(p),
+            OwnedPoints::Csr(p) => FitInput::Sparse(p),
+        }
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.as_input().n()
+    }
+
+    /// Feature dimension.
+    pub fn d(&self) -> usize {
+        self.as_input().d()
+    }
+
+    /// Stack `other`'s rows under `self`'s (mini-batch refits). Both sides
+    /// must share the layout and the feature dimension.
+    pub fn concat(&self, other: &OwnedPoints<T>) -> Result<OwnedPoints<T>> {
+        if self.d() != other.d() {
+            return Err(CoreError::InvalidInput(format!(
+                "cannot concatenate point sets with {} and {} features",
+                self.d(),
+                other.d()
+            )));
+        }
+        match (self, other) {
+            (OwnedPoints::Dense(a), OwnedPoints::Dense(b)) => {
+                let split = a.rows();
+                Ok(OwnedPoints::Dense(DenseMatrix::from_fn(
+                    a.rows() + b.rows(),
+                    a.cols(),
+                    |i, j| {
+                        if i < split {
+                            a[(i, j)]
+                        } else {
+                            b[(i - split, j)]
+                        }
+                    },
+                )))
+            }
+            (OwnedPoints::Csr(a), OwnedPoints::Csr(b)) => {
+                let base = a.nnz();
+                let mut ptrs = a.row_ptrs().to_vec();
+                ptrs.extend(b.row_ptrs().iter().skip(1).map(|&p| p + base));
+                let mut cols = a.col_indices().to_vec();
+                cols.extend_from_slice(b.col_indices());
+                let mut vals = a.values().to_vec();
+                vals.extend_from_slice(b.values());
+                Ok(OwnedPoints::Csr(CsrMatrix::from_raw(
+                    a.rows() + b.rows(),
+                    a.cols(),
+                    ptrs,
+                    cols,
+                    vals,
+                )?))
+            }
+            _ => Err(CoreError::InvalidInput(
+                "cannot concatenate dense and CSR point sets".into(),
+            )),
+        }
+    }
+}
+
+/// One answered assignment request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentBatch {
+    /// Cluster label per query row.
+    pub labels: Vec<usize>,
+    /// Modeled device-seconds this batch charged to the executor.
+    pub modeled_seconds: f64,
+    /// `true` when the queries were recognised (bitwise) as the training set
+    /// and answered by replaying the fit's own distance pass over resident
+    /// state instead of the out-of-sample cross-kernel path.
+    pub replayed_training: bool,
+}
+
+/// What a [`crate::solver::Solver::refit`] should do with a fitted model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefitRequest<T: Scalar> {
+    /// Replacement configuration (`None` keeps the model's).
+    pub config: Option<KernelKmeansConfig>,
+    /// Seed the refit from the stored labels (and, for Lloyd, the stored
+    /// centroids) instead of the configured initialization. With this off a
+    /// refit is bit-identical to a cold fit of the same data and config.
+    pub warm_start: bool,
+    /// Extra rows to append to the training set (mini-batch growth). Only the
+    /// new rows are charged as an upload; the old points stayed resident.
+    pub new_points: Option<OwnedPoints<T>>,
+}
+
+impl<T: Scalar> RefitRequest<T> {
+    /// A warm-start refit of the same data and config.
+    pub fn warm() -> Self {
+        Self {
+            config: None,
+            warm_start: true,
+            new_points: None,
+        }
+    }
+
+    /// A cold refit (bit-identical to a fresh fit).
+    pub fn cold() -> Self {
+        Self {
+            config: None,
+            warm_start: false,
+            new_points: None,
+        }
+    }
+
+    /// Builder-style setter for a replacement configuration.
+    pub fn with_config(mut self, config: KernelKmeansConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Builder-style setter for appended mini-batch rows.
+    pub fn with_new_points(mut self, points: OwnedPoints<T>) -> Self {
+        self.new_points = Some(points);
+        self
+    }
+}
+
+/// The Nyström factors a model keeps resident (boxed to keep
+/// [`ResidentKernel`] variants comparable in size).
+#[derive(Debug, Clone, PartialEq)]
+struct NystromResident<T: Scalar> {
+    /// `H = C W⁺`, `n × m`.
+    hat: DenseMatrix<T>,
+    /// Cross kernel `C = K[:, L]`, `n × m`.
+    cross: DenseMatrix<T>,
+    /// `W⁺` in `T` precision, `m × m`.
+    core_pinv_t: DenseMatrix<T>,
+    /// Landmark row indices into the training set.
+    landmarks: Vec<usize>,
+    /// The landmark points themselves, densified `m × d` (out-of-sample
+    /// queries only ever touch these, never the full training set).
+    landmark_points: DenseMatrix<T>,
+    /// Gram diagonal at the landmark rows (cross-kernel normalisation).
+    landmark_gram_diag: Vec<f64>,
+    /// Row-tile granularity the fit streamed reconstructed panels at.
+    tile_rows: usize,
+}
+
+/// The kernel-matrix state a fit left resident on the (modeled) device.
+#[derive(Debug, Clone, PartialEq)]
+enum ResidentKernel<T: Scalar> {
+    /// The full `n × n` matrix (in-core fits).
+    Full { matrix: DenseMatrix<T> },
+    /// The sparsified CSR matrix.
+    Csr { matrix: CsrMatrix<T> },
+    /// Nyström factors.
+    Nystrom(Box<NystromResident<T>>),
+    /// Nothing but the points: tiles are honestly recomputed at serve time,
+    /// exactly as the fit recomputed them.
+    Streamed { tile_rows: usize },
+    /// No kernel state at all (Lloyd models).
+    None,
+}
+
+/// Per-cluster statistics frozen at extraction time; the out-of-sample
+/// distance assembly is built from these alone.
+#[derive(Debug, Clone, PartialEq)]
+enum ModelStats {
+    /// Kernel families: `cluster_self[c] = Σ_{p,q ∈ L_c} K_pq` and the
+    /// cluster cardinalities under the final labels.
+    Kernel {
+        cluster_self: Vec<f64>,
+        sizes: Vec<usize>,
+    },
+    /// Lloyd: the centroids the final assignment was made against.
+    Lloyd { centroids: Vec<Vec<f64>> },
+}
+
+/// A clustering frozen for serving: see the [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedModel<T: Scalar> {
+    family: ModelFamily,
+    config: KernelKmeansConfig,
+    labels: Vec<usize>,
+    points: OwnedPoints<T>,
+    /// Gram diagonal `xᵀx` of the training points, with the fit paths' exact
+    /// accumulation arithmetic (cross-kernel normalisation needs it).
+    gram_diag: Vec<f64>,
+    /// `diag(K)` under the model's kernel (empty for Lloyd models).
+    kernel_diag: Vec<T>,
+    resident: ResidentKernel<T>,
+    stats: ModelStats,
+    /// Nyström only: `F[j][c] = Σ_{i ∈ L_c} C[i][j]`, so out-of-sample scores
+    /// are `S = Ĥ_q F` (`q × m` times `m × k`). Rebuilt deterministically on
+    /// load, never serialized.
+    landmark_fold: Option<DenseMatrix<T>>,
+    approx_error_bound: Option<f64>,
+}
+
+impl<T: Scalar> FittedModel<T> {
+    /// The solver family that produced this model.
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// The configuration the model was fitted under.
+    pub fn config(&self) -> &KernelKmeansConfig {
+        &self.config
+    }
+
+    /// The final training labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of training points.
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Feature dimension.
+    pub fn d(&self) -> usize {
+        self.points.d()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// The stored training points.
+    pub fn points(&self) -> &OwnedPoints<T> {
+        &self.points
+    }
+
+    /// The fit's approximation-error bound, if the kernel state is lossy.
+    pub fn approx_error_bound(&self) -> Option<f64> {
+        self.approx_error_bound
+    }
+
+    /// Lloyd models: the centroids the final assignment was made against.
+    pub fn centroids(&self) -> Option<&[Vec<f64>]> {
+        match &self.stats {
+            ModelStats::Lloyd { centroids } => Some(centroids),
+            ModelStats::Kernel { .. } => None,
+        }
+    }
+
+    /// Short name of the resident kernel state (`"full"`, `"csr"`,
+    /// `"nystrom"`, `"streamed"` or `"none"`).
+    pub fn resident_kind(&self) -> &'static str {
+        match &self.resident {
+            ResidentKernel::Full { .. } => "full",
+            ResidentKernel::Csr { .. } => "csr",
+            ResidentKernel::Nystrom(_) => "nystrom",
+            ResidentKernel::Streamed { .. } => "streamed",
+            ResidentKernel::None => "none",
+        }
+    }
+
+    /// Modeled bytes of kernel state the model keeps resident (excludes the
+    /// points; see [`FitInput::upload_bytes`] for those).
+    pub fn resident_bytes(&self) -> u64 {
+        let elem = std::mem::size_of::<T>() as u64;
+        let n = self.n() as u64;
+        match &self.resident {
+            ResidentKernel::Full { .. } => n * n * elem,
+            ResidentKernel::Csr { matrix } => {
+                matrix.storage_bytes(std::mem::size_of::<T>(), INDEX_BYTES)
+            }
+            ResidentKernel::Nystrom(nys) => {
+                let m = nys.landmarks.len() as u64;
+                (2 * n * m + m * m) * elem
+            }
+            ResidentKernel::Streamed { tile_rows } => *tile_rows as u64 * n * elem,
+            ResidentKernel::None => 0,
+        }
+    }
+
+    /// One-line human description (the serve binary's `Stats` reply).
+    pub fn describe(&self) -> String {
+        format!(
+            "{} model: n={}, d={}, k={}, resident={} ({} B)",
+            self.family.name(),
+            self.n(),
+            self.d(),
+            self.k(),
+            self.resident_kind(),
+            self.resident_bytes()
+        )
+    }
+
+    /// Build a Lloyd model from a finished fit. The result must carry the
+    /// assignment-entering centroids (`ClusteringResult::centroids`).
+    pub fn from_lloyd(
+        config: &KernelKmeansConfig,
+        result: &ClusteringResult,
+        input: FitInput<'_, T>,
+    ) -> Result<Self> {
+        let centroids = result.centroids.clone().ok_or_else(|| {
+            CoreError::InvalidInput("the fit result carries no centroids to serve".into())
+        })?;
+        if result.labels.len() != input.n() {
+            return Err(CoreError::InvalidInput(format!(
+                "fit produced {} labels for {} points",
+                result.labels.len(),
+                input.n()
+            )));
+        }
+        Ok(Self {
+            family: ModelFamily::Lloyd,
+            config: config.clone(),
+            labels: result.labels.clone(),
+            points: OwnedPoints::from_input(input),
+            gram_diag: TiledKernel::compute_gram_diag(&input),
+            kernel_diag: Vec::new(),
+            resident: ResidentKernel::None,
+            stats: ModelStats::Lloyd { centroids },
+            landmark_fold: None,
+            approx_error_bound: None,
+        })
+    }
+
+    /// Label a batch of queries. Training-set inputs (recognised bitwise) are
+    /// answered by replaying the fit's distance pass over resident state;
+    /// anything else goes through the out-of-sample cross-kernel path, whose
+    /// modeled cost scales with `q × n` (exact/sparse) or `q × m` (Nyström) —
+    /// never `n × n`.
+    pub fn assign(
+        &self,
+        queries: FitInput<'_, T>,
+        executor: &dyn Executor,
+    ) -> Result<AssignmentBatch> {
+        queries.validate()?;
+        if queries.d() != self.d() {
+            return Err(CoreError::InvalidInput(format!(
+                "queries have {} features but the model was fitted on {}",
+                queries.d(),
+                self.d()
+            )));
+        }
+        let start = executor.total_modeled_seconds();
+        let replayed_training = self.is_training_input(queries);
+        let labels = if replayed_training {
+            self.assign_training(executor)?
+        } else {
+            self.assign_queries(queries, executor)?
+        };
+        Ok(AssignmentBatch {
+            labels,
+            modeled_seconds: executor.total_modeled_seconds() - start,
+            replayed_training,
+        })
+    }
+
+    /// `true` iff `queries` is bitwise the stored training set (same layout,
+    /// shape, sparsity pattern and IEEE-754 bits).
+    fn is_training_input(&self, queries: FitInput<'_, T>) -> bool {
+        let bits_eq = |a: &[T], b: &[T]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_f64().to_bits() == y.to_f64().to_bits())
+        };
+        match (&self.points, queries) {
+            (OwnedPoints::Dense(a), FitInput::Dense(b)) => {
+                a.rows() == b.rows() && a.cols() == b.cols() && bits_eq(a.as_slice(), b.as_slice())
+            }
+            (OwnedPoints::Csr(a), FitInput::Sparse(b)) => {
+                a.rows() == b.rows()
+                    && a.cols() == b.cols()
+                    && a.row_ptrs() == b.row_ptrs()
+                    && a.col_indices() == b.col_indices()
+                    && bits_eq(a.values(), b.values())
+            }
+            _ => false,
+        }
+    }
+
+    /// Replay one distance pass under the stored labels and re-run the
+    /// assignment. For a converged fit (final iteration changed nothing) this
+    /// reproduces the fit labels bit for bit, charging no kernel-matrix
+    /// recomputation for `full`/`csr`/`nystrom` resident state (`streamed`
+    /// models honestly recompute tiles, exactly as the fit did).
+    fn assign_training(&self, executor: &dyn Executor) -> Result<Vec<usize>> {
+        if self.family == ModelFamily::Lloyd {
+            return self.lloyd_assign(self.points.as_input(), executor);
+        }
+        let source = ModelSource::new(self, executor)?;
+        let distances = self.replay_distances(&source, executor)?;
+        let mut labels = Vec::new();
+        let stats = assign_clusters_into(&distances, &self.labels, &mut labels, executor);
+        // Mirror the fit loop's step exactly (pipeline::LoopState::step).
+        if self.config.repair_empty_clusters && stats.empty_clusters > 0 {
+            repair_empty_clusters(&mut labels, &distances, self.config.k);
+        }
+        Ok(labels)
+    }
+
+    /// One distance pass of the model's own family over a kernel source,
+    /// under the stored labels — the fit's per-iteration arithmetic, verbatim.
+    fn replay_distances(
+        &self,
+        source: &dyn KernelSource<T>,
+        executor: &dyn Executor,
+    ) -> Result<DenseMatrix<T>> {
+        let k = self.config.k;
+        let n = self.n();
+        let elem = std::mem::size_of::<T>();
+        match self.family {
+            ModelFamily::Popcorn => {
+                let mut engine = PopcornEngine::<T>::new(k);
+                engine.begin_iteration(0, source, &self.labels, executor)?;
+                if source.csr().is_some() {
+                    source.for_each_csr_tile(executor, &mut |rows, panel| {
+                        engine.consume_csr_tile(rows, panel, executor)
+                    })?;
+                } else {
+                    source.for_each_tile(executor, &mut |rows, tile| {
+                        engine.consume_tile(rows, tile, executor)
+                    })?;
+                }
+                engine.finish_iteration(executor)
+            }
+            ModelFamily::CpuReference | ModelFamily::DenseBaseline => {
+                let mut fold = RowSumFold::<T>::new(k);
+                fold.begin_iteration(0, n, &self.labels, executor);
+                if source.csr().is_some() {
+                    source.for_each_csr_tile(executor, &mut |rows, panel| {
+                        let nnz = panel.nnz() as u64;
+                        executor.run(
+                            format!(
+                                "serve sparse distance fold rows {}..{} (nnz={nnz}, k={k})",
+                                rows.start, rows.end
+                            ),
+                            Phase::PairwiseDistances,
+                            OpClass::Gemm,
+                            OpCost::new(
+                                2 * nnz,
+                                nnz * (elem + INDEX_BYTES) as u64,
+                                rows.len() as u64 * k as u64 * elem as u64,
+                            ),
+                            || fold.accumulate_csr_tile(rows, panel),
+                        );
+                        Ok(())
+                    })?;
+                } else {
+                    source.for_each_tile(executor, &mut |rows, tile| {
+                        let t = rows.len() as u64;
+                        executor.run(
+                            format!(
+                                "serve distance fold rows {}..{} (n={n}, k={k})",
+                                rows.start, rows.end
+                            ),
+                            Phase::PairwiseDistances,
+                            OpClass::Gemm,
+                            OpCost::new(
+                                2 * t * n as u64,
+                                t * n as u64 * elem as u64,
+                                t * k as u64 * elem as u64,
+                            ),
+                            || fold.accumulate_tile(rows, tile),
+                        );
+                        Ok(())
+                    })?;
+                }
+                let row_sums = fold.take_row_sums();
+                let diag = fold.diag();
+                let sizes = fold.sizes();
+                let labels = fold.labels();
+                if self.family == ModelFamily::CpuReference {
+                    Ok(executor.run(
+                        format!("serve cpu distance assembly (n={n}, k={k})"),
+                        Phase::PairwiseDistances,
+                        OpClass::Other,
+                        OpCost::new(0, 0, 0),
+                        || rowsum::cpu_distance_assembly(&row_sums, diag, labels, sizes, k),
+                    ))
+                } else {
+                    let centroid_norms = executor.run(
+                        format!("serve baseline centroid norms (n={n}, k={k})"),
+                        Phase::PairwiseDistances,
+                        OpClass::Reduction,
+                        OpCost::new(2 * n as u64, n as u64 * elem as u64, k as u64 * elem as u64),
+                        || rowsum::baseline_centroid_norms(&row_sums, labels, sizes, k),
+                    );
+                    Ok(executor.run(
+                        format!("serve baseline distance assembly (n={n}, k={k})"),
+                        Phase::PairwiseDistances,
+                        OpClass::Elementwise,
+                        OpCost::elementwise_elems(n as u64 * k as u64, 2, 1, 3, elem),
+                        || {
+                            rowsum::baseline_distance_assembly(
+                                &row_sums,
+                                diag,
+                                &centroid_norms,
+                                sizes,
+                            )
+                        },
+                    ))
+                }
+            }
+            ModelFamily::Lloyd => Err(CoreError::Unsupported(
+                "Lloyd models keep no kernel-matrix state to replay".into(),
+            )),
+        }
+    }
+
+    /// Out-of-sample assignment. All kernel families share the exact distance
+    /// identity `D(x,c) = K(x,x) − 2/|L_c|·Σ_{i∈L_c} K(x,i) +
+    /// cluster_self[c]/|L_c|²`; Lloyd models score against their stored
+    /// centroids.
+    fn assign_queries(
+        &self,
+        queries: FitInput<'_, T>,
+        executor: &dyn Executor,
+    ) -> Result<Vec<usize>> {
+        if self.family == ModelFamily::Lloyd {
+            return self.lloyd_assign(queries, executor);
+        }
+        let q = queries.n();
+        let d = self.d();
+        let k = self.config.k;
+        let elem = std::mem::size_of::<T>();
+        let qnnz = queries.nnz() as u64;
+        let query_gram_diag = executor.run(
+            format!("serve query gram diag (q={q}, d={d})"),
+            Phase::PairwiseDistances,
+            OpClass::Reduction,
+            OpCost::new(2 * qnnz, qnnz * elem as u64, q as u64 * 8),
+            || TiledKernel::compute_gram_diag(&queries),
+        );
+        let (scores, qdiag) = match &self.resident {
+            ResidentKernel::Nystrom(nys) => {
+                self.nystrom_scores(nys, queries, &query_gram_diag, executor)?
+            }
+            _ => self.exact_scores(queries, &query_gram_diag, executor)?,
+        };
+        let ModelStats::Kernel {
+            cluster_self,
+            sizes,
+        } = &self.stats
+        else {
+            return Err(CoreError::Unsupported(
+                "kernel-family model carries Lloyd statistics".into(),
+            ));
+        };
+        let distances = executor.run(
+            format!("serve distance assembly (q={q}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::Elementwise,
+            OpCost::elementwise_elems(q as u64 * k as u64, 2, 1, 3, elem),
+            || {
+                DenseMatrix::<T>::from_fn(q, k, |i, c| {
+                    if sizes[c] == 0 {
+                        return T::from_f64(qdiag[i]);
+                    }
+                    let card = sizes[c] as f64;
+                    T::from_f64(
+                        qdiag[i] - 2.0 * scores[(i, c)].to_f64() / card
+                            + cluster_self[c] / (card * card),
+                    )
+                })
+            },
+        );
+        Ok(executor.run(
+            format!("serve argmin over D rows (q={q}, k={k})"),
+            Phase::Assignment,
+            OpClass::Reduction,
+            OpCost::elementwise_elems(q as u64 * k as u64, 1, 0, 1, elem),
+            || {
+                (0..q)
+                    .map(|i| {
+                        let row = distances.row(i);
+                        let mut best = 0usize;
+                        let mut best_d = f64::INFINITY;
+                        for (c, v) in row.iter().enumerate() {
+                            let v = v.to_f64();
+                            if v < best_d {
+                                best_d = v;
+                                best = c;
+                            }
+                        }
+                        best
+                    })
+                    .collect()
+            },
+        ))
+    }
+
+    /// Exact/sparse/streamed models: score queries against every training
+    /// point — a `q × n` cross-kernel product folded by label.
+    fn exact_scores(
+        &self,
+        queries: FitInput<'_, T>,
+        query_gram_diag: &[f64],
+        executor: &dyn Executor,
+    ) -> Result<(DenseMatrix<T>, Vec<f64>)> {
+        let q = queries.n();
+        let n = self.n();
+        let d = self.d();
+        let k = self.config.k;
+        let elem = std::mem::size_of::<T>();
+        let train = self.points.as_input();
+        let tnnz = train.nnz() as u64;
+        let qnnz = queries.nnz() as u64;
+        let buffer_bytes = q as u64 * n as u64 * elem as u64;
+        executor.track_alloc(buffer_bytes);
+        let mut cross = executor.run(
+            format!("serve cross gram (q={q}, n={n}, d={d})"),
+            Phase::PairwiseDistances,
+            OpClass::Gemm,
+            OpCost::new(
+                2 * q as u64 * tnnz,
+                (qnnz + tnnz) * elem as u64,
+                buffer_bytes,
+            ),
+            || cross_gram(queries, train),
+        );
+        executor.run(
+            format!("serve cross kernel map (q={q}, n={n})"),
+            Phase::PairwiseDistances,
+            OpClass::Elementwise,
+            OpCost::elementwise_elems(
+                q as u64 * n as u64,
+                1,
+                1,
+                self.config.kernel.flops_per_entry().max(1),
+                elem,
+            ),
+            || {
+                self.config
+                    .kernel
+                    .apply_to_cross_tile(&mut cross, query_gram_diag, &self.gram_diag)
+            },
+        );
+        let qdiag: Vec<f64> = query_gram_diag
+            .iter()
+            .map(|&g| self.config.kernel.apply(g, g, g))
+            .collect();
+        let scores = executor.run(
+            format!("serve score fold (q={q}, n={n}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::Reduction,
+            OpCost::new(
+                q as u64 * n as u64,
+                q as u64 * n as u64 * elem as u64,
+                q as u64 * k as u64 * elem as u64,
+            ),
+            || {
+                let mut s = DenseMatrix::<T>::zeros(q, k);
+                for i in 0..q {
+                    let row = cross.row(i);
+                    let out = s.row_mut(i);
+                    for (j, &v) in row.iter().enumerate() {
+                        out[self.labels[j]] += v;
+                    }
+                }
+                s
+            },
+        );
+        executor.track_free(buffer_bytes);
+        Ok((scores, qdiag))
+    }
+
+    /// Nyström models: score queries against the `m` landmarks only — the
+    /// `q × m` cross kernel is projected through `W⁺` and folded by label, so
+    /// the training set is never touched.
+    fn nystrom_scores(
+        &self,
+        nys: &NystromResident<T>,
+        queries: FitInput<'_, T>,
+        query_gram_diag: &[f64],
+        executor: &dyn Executor,
+    ) -> Result<(DenseMatrix<T>, Vec<f64>)> {
+        let q = queries.n();
+        let d = self.d();
+        let k = self.config.k;
+        let m = nys.landmarks.len();
+        let elem = std::mem::size_of::<T>();
+        let qnnz = queries.nnz() as u64;
+        let mut k_xl = executor.run(
+            format!("serve landmark cross gram (q={q}, m={m}, d={d})"),
+            Phase::PairwiseDistances,
+            OpClass::Gemm,
+            OpCost::new(
+                2 * qnnz * m as u64,
+                (qnnz + (m * d) as u64) * elem as u64,
+                q as u64 * m as u64 * elem as u64,
+            ),
+            || cross_gram(queries, FitInput::Dense(&nys.landmark_points)),
+        );
+        executor.run(
+            format!("serve landmark kernel map (q={q}, m={m})"),
+            Phase::PairwiseDistances,
+            OpClass::Elementwise,
+            OpCost::elementwise_elems(
+                q as u64 * m as u64,
+                1,
+                1,
+                self.config.kernel.flops_per_entry().max(1),
+                elem,
+            ),
+            || {
+                self.config.kernel.apply_to_cross_tile(
+                    &mut k_xl,
+                    query_gram_diag,
+                    &nys.landmark_gram_diag,
+                )
+            },
+        );
+        let hat_q = executor.run(
+            format!("serve nystrom project (q={q}, m={m})"),
+            Phase::PairwiseDistances,
+            OpClass::Gemm,
+            OpCost::gemm(q, m, m, elem),
+            || matmul(&k_xl, &nys.core_pinv_t),
+        )?;
+        let qdiag = executor.run(
+            format!("serve nystrom diag (q={q}, m={m})"),
+            Phase::PairwiseDistances,
+            OpClass::Elementwise,
+            OpCost::elementwise_elems(q as u64 * m as u64, 2, 0, 2, elem),
+            || {
+                (0..q)
+                    .map(|i| {
+                        let mut acc = T::ZERO;
+                        for (&h, &c) in hat_q.row(i).iter().zip(k_xl.row(i).iter()) {
+                            acc = h.mul_add(c, acc);
+                        }
+                        acc.to_f64()
+                    })
+                    .collect::<Vec<f64>>()
+            },
+        );
+        let fold = self.landmark_fold.as_ref().ok_or_else(|| {
+            CoreError::InvalidInput("nystrom model is missing its landmark fold".into())
+        })?;
+        let scores = executor.run(
+            format!("serve nystrom score fold (q={q}, m={m}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::Gemm,
+            OpCost::gemm(q, k, m, elem),
+            || matmul(&hat_q, fold),
+        )?;
+        Ok((scores, qdiag))
+    }
+
+    /// Lloyd scoring: nearest stored centroid, with the Lloyd solver's exact
+    /// sparse-aware distance arithmetic so training-set replays are
+    /// bit-for-bit.
+    fn lloyd_assign(&self, points: FitInput<'_, T>, executor: &dyn Executor) -> Result<Vec<usize>> {
+        let ModelStats::Lloyd { centroids } = &self.stats else {
+            return Err(CoreError::Unsupported(
+                "only Lloyd models score against centroids".into(),
+            ));
+        };
+        let n = points.n();
+        let d = points.d();
+        let k = centroids.len();
+        let elem = std::mem::size_of::<T>() as u64;
+        let centroid_sq_norms: Vec<f64> = centroids
+            .iter()
+            .map(|c| c.iter().map(|&x| x * x).sum())
+            .collect();
+        let cost = match points {
+            FitInput::Dense(_) => OpCost::new(
+                3 * (n * k * d) as u64,
+                ((n * d + k * d) as u64) * elem,
+                n as u64 * elem,
+            ),
+            FitInput::Sparse(p) => OpCost::new(
+                ((3 * p.nnz() + n) * k) as u64,
+                p.nnz() as u64 * (elem + INDEX_BYTES as u64) + (k * d) as u64 * elem,
+                n as u64 * elem,
+            ),
+        };
+        Ok(executor.run(
+            format!("serve lloyd assignment (q={n}, d={d}, k={k})"),
+            Phase::PairwiseDistances,
+            OpClass::Gemm,
+            cost,
+            || {
+                (0..n)
+                    .map(|i| {
+                        let mut best = 0usize;
+                        let mut best_d = f64::INFINITY;
+                        for (c, centroid) in centroids.iter().enumerate() {
+                            let mut correction = 0.0f64;
+                            match points {
+                                FitInput::Dense(p) => {
+                                    for (x, &cj) in p.row(i).iter().zip(centroid.iter()) {
+                                        let x = x.to_f64();
+                                        if x != 0.0 {
+                                            let diff = x - cj;
+                                            correction += diff * diff - cj * cj;
+                                        }
+                                    }
+                                }
+                                FitInput::Sparse(p) => {
+                                    let (cols, vals) = p.row(i);
+                                    for (&j, &x) in cols.iter().zip(vals.iter()) {
+                                        let x = x.to_f64();
+                                        if x != 0.0 {
+                                            let cj = centroid[j];
+                                            let diff = x - cj;
+                                            correction += diff * diff - cj * cj;
+                                        }
+                                    }
+                                }
+                            }
+                            let dist = (centroid_sq_norms[c] + correction).max(0.0);
+                            if dist < best_d {
+                                best_d = dist;
+                                best = c;
+                            }
+                        }
+                        best
+                    })
+                    .collect()
+            },
+        ))
+    }
+}
+
+/// Dense cross Gram `B[i][j] = ⟨query_i, train_j⟩` over any layout pairing.
+/// Sparse rows are scatter-densified into a scratch vector so every pairing
+/// reduces to one dense-dot form.
+fn cross_gram<T: Scalar>(queries: FitInput<'_, T>, train: FitInput<'_, T>) -> DenseMatrix<T> {
+    let q = queries.n();
+    let n = train.n();
+    let d = train.d();
+    let mut out = DenseMatrix::<T>::zeros(q, n);
+    let mut scratch = vec![T::ZERO; d];
+    for i in 0..q {
+        match queries {
+            FitInput::Dense(p) => scratch.copy_from_slice(p.row(i)),
+            FitInput::Sparse(p) => {
+                scratch.iter_mut().for_each(|v| *v = T::ZERO);
+                let (cols, vals) = p.row(i);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    scratch[c] = v;
+                }
+            }
+        }
+        let out_row = out.row_mut(i);
+        match train {
+            FitInput::Dense(p) => {
+                for (j, slot) in out_row.iter_mut().enumerate() {
+                    let mut acc = T::ZERO;
+                    for (&x, &y) in scratch.iter().zip(p.row(j).iter()) {
+                        acc = x.mul_add(y, acc);
+                    }
+                    *slot = acc;
+                }
+            }
+            FitInput::Sparse(p) => {
+                for (j, slot) in out_row.iter_mut().enumerate() {
+                    let (cols, vals) = p.row(j);
+                    let mut acc = T::ZERO;
+                    for (&c, &v) in cols.iter().zip(vals.iter()) {
+                        acc = v.mul_add(scratch[c], acc);
+                    }
+                    *slot = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `F[j][c] = Σ_{i ∈ L_c} C[i][j]` — the label fold of the cross factor,
+/// accumulated in `T` in row order (deterministic, so it can be rebuilt on
+/// load instead of being serialized).
+fn build_landmark_fold<T: Scalar>(
+    cross: &DenseMatrix<T>,
+    labels: &[usize],
+    k: usize,
+) -> DenseMatrix<T> {
+    let m = cross.cols();
+    let mut fold = DenseMatrix::<T>::zeros(m, k);
+    for (i, &c) in labels.iter().enumerate() {
+        for (j, &v) in cross.row(i).iter().enumerate() {
+            fold[(j, c)] += v;
+        }
+    }
+    fold
+}
+
+/// Freeze a finished fit into a [`FittedModel`]: adopt the source's resident
+/// kernel state (already charged by the fit — adoption is a host-side clone),
+/// and stream the source once under the final labels to collect `diag(K)`
+/// and the per-cluster statistics the serving assembly needs.
+fn extract<T: Scalar>(
+    family: ModelFamily,
+    config: &KernelKmeansConfig,
+    result: &ClusteringResult,
+    store_input: FitInput<'_, T>,
+    source: &dyn KernelSource<T>,
+    executor: &dyn Executor,
+) -> Result<FittedModel<T>> {
+    let n = source.n();
+    let d = store_input.d();
+    let k = config.k;
+    let elem = std::mem::size_of::<T>();
+    if store_input.n() != n || result.labels.len() != n {
+        return Err(CoreError::InvalidInput(format!(
+            "model extraction saw {} points, {} labels and a {n}-row kernel source",
+            store_input.n(),
+            result.labels.len()
+        )));
+    }
+    let labels = result.labels.clone();
+    let nnz = store_input.nnz() as u64;
+    let gram_diag = executor.run(
+        format!("serve gram diag (n={n}, d={d})"),
+        Phase::DataPreparation,
+        OpClass::Reduction,
+        OpCost::new(2 * nnz, nnz * elem as u64, n as u64 * 8),
+        || TiledKernel::compute_gram_diag(&store_input),
+    );
+
+    // One streamed pass collects diag(K) and the row sums for the
+    // per-cluster statistics. The source charges its own tile production
+    // (nothing for resident state); the fold itself is charged here.
+    let mut fold = RowSumFold::<T>::new(k);
+    fold.begin_iteration(0, n, &labels, executor);
+    if source.csr().is_some() {
+        source.for_each_csr_tile(executor, &mut |rows, panel| {
+            let pnnz = panel.nnz() as u64;
+            executor.run(
+                format!(
+                    "serve stats fold rows {}..{} (nnz={pnnz}, k={k})",
+                    rows.start, rows.end
+                ),
+                Phase::DataPreparation,
+                OpClass::Reduction,
+                OpCost::new(
+                    pnnz,
+                    pnnz * (elem + INDEX_BYTES) as u64,
+                    rows.len() as u64 * k as u64 * elem as u64,
+                ),
+                || fold.accumulate_csr_tile(rows, panel),
+            );
+            Ok(())
+        })?;
+    } else {
+        source.for_each_tile(executor, &mut |rows, tile| {
+            let t = rows.len() as u64;
+            executor.run(
+                format!(
+                    "serve stats fold rows {}..{} (n={n}, k={k})",
+                    rows.start, rows.end
+                ),
+                Phase::DataPreparation,
+                OpClass::Reduction,
+                OpCost::new(
+                    t * n as u64,
+                    t * n as u64 * elem as u64,
+                    t * k as u64 * elem as u64,
+                ),
+                || fold.accumulate_tile(rows, tile),
+            );
+            Ok(())
+        })?;
+    }
+    let row_sums = fold.take_row_sums();
+    let kernel_diag = fold.diag().to_vec();
+    let sizes = fold.sizes().to_vec();
+    let cluster_self = rowsum::cluster_self_terms(&row_sums, &labels, k);
+
+    let resident = if let Some(f) = source.nystrom_factors() {
+        let m = f.landmarks.len();
+        let landmark_points = DenseMatrix::from_fn(m, d, |r, j| match store_input {
+            FitInput::Dense(p) => p[(f.landmarks[r], j)],
+            FitInput::Sparse(p) => p.get(f.landmarks[r], j),
+        });
+        let landmark_gram_diag = f.landmarks.iter().map(|&l| gram_diag[l]).collect();
+        ResidentKernel::Nystrom(Box::new(NystromResident {
+            hat: f.hat.clone(),
+            cross: f.cross.clone(),
+            core_pinv_t: f.core_pinv_t.clone(),
+            landmarks: f.landmarks.to_vec(),
+            landmark_points,
+            landmark_gram_diag,
+            tile_rows: source.tile_rows(),
+        }))
+    } else if let Some(csr) = source.csr() {
+        ResidentKernel::Csr {
+            matrix: csr.clone(),
+        }
+    } else if let Some(full) = source.full_matrix() {
+        ResidentKernel::Full {
+            matrix: full.clone(),
+        }
+    } else {
+        ResidentKernel::Streamed {
+            tile_rows: source.tile_rows(),
+        }
+    };
+    let landmark_fold = match &resident {
+        ResidentKernel::Nystrom(nys) => Some(build_landmark_fold(&nys.cross, &labels, k)),
+        _ => None,
+    };
+    Ok(FittedModel {
+        family,
+        config: config.clone(),
+        labels,
+        points: OwnedPoints::from_input(store_input),
+        gram_diag,
+        kernel_diag,
+        resident,
+        stats: ModelStats::Kernel {
+            cluster_self,
+            sizes,
+        },
+        landmark_fold,
+        approx_error_bound: source.approx_error_bound(),
+    })
+}
+
+/// A [`KernelSource`] over a fitted model's resident kernel state: resident
+/// matrices and factors stream with **no** `Phase::KernelMatrix` charges
+/// (they were paid for at fit time), Nyström panels are reconstructed under
+/// `Phase::PairwiseDistances` serve labels, and `streamed` models honestly
+/// recompute tiles through an inner [`TiledKernel`], exactly as the fit did.
+/// Forwarding the adoption hooks (`full_matrix`/`csr`/`nystrom_factors`)
+/// means a refit over this source re-extracts the same resident state.
+struct ModelSource<'a, T: Scalar> {
+    model: &'a FittedModel<T>,
+    tiled: Option<TiledKernel<'a, T>>,
+}
+
+impl<'a, T: Scalar> ModelSource<'a, T> {
+    fn new(model: &'a FittedModel<T>, executor: &dyn Executor) -> Result<Self> {
+        let tiled = match &model.resident {
+            ResidentKernel::Streamed { tile_rows } => Some(TiledKernel::new(
+                model.points.as_input(),
+                model.config.kernel,
+                *tile_rows,
+                executor,
+            )?),
+            ResidentKernel::None => {
+                return Err(CoreError::Unsupported(
+                    "Lloyd models keep no kernel-matrix state to serve".into(),
+                ))
+            }
+            _ => None,
+        };
+        Ok(Self { model, tiled })
+    }
+}
+
+impl<T: Scalar> KernelSource<T> for ModelSource<'_, T> {
+    fn n(&self) -> usize {
+        self.model.n()
+    }
+
+    fn tile_rows(&self) -> usize {
+        match &self.model.resident {
+            ResidentKernel::Nystrom(nys) => nys.tile_rows,
+            ResidentKernel::Streamed { tile_rows } => *tile_rows,
+            _ => self.model.n(),
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.model.resident_bytes()
+    }
+
+    fn diag(&self, _executor: &dyn Executor) -> Result<Vec<T>> {
+        // Collected at extraction time from the fit's own tiles; resident, so
+        // no new charge.
+        Ok(self.model.kernel_diag.clone())
+    }
+
+    fn row(&self, i: usize, executor: &dyn Executor) -> Result<Vec<T>> {
+        let n = self.model.n();
+        let elem = std::mem::size_of::<T>();
+        match &self.model.resident {
+            ResidentKernel::Full { matrix } => Ok(matrix.row(i).to_vec()),
+            ResidentKernel::Csr { matrix } => Ok(executor.run(
+                format!("serve gather K row {i} (nnz={})", matrix.row_nnz(i)),
+                Phase::PairwiseDistances,
+                OpClass::Elementwise,
+                OpCost::elementwise_elems(n as u64, 1, 1, 0, elem),
+                || {
+                    let mut row = vec![T::ZERO; n];
+                    let (cols, vals) = matrix.row(i);
+                    for (&c, &v) in cols.iter().zip(vals.iter()) {
+                        row[c] = v;
+                    }
+                    row
+                },
+            )),
+            ResidentKernel::Nystrom(nys) => {
+                let m = nys.landmarks.len();
+                let panel = executor.run(
+                    format!("serve nystrom row {i} (n={n}, m={m})"),
+                    Phase::PairwiseDistances,
+                    OpClass::Gemm,
+                    OpCost::gemm(1, n, m, elem),
+                    || matmul_nt_rows(&nys.hat, i, i + 1, &nys.cross),
+                )?;
+                Ok(panel.row(0).to_vec())
+            }
+            ResidentKernel::Streamed { .. } => self
+                .tiled
+                .as_ref()
+                .expect("streamed model source keeps a tiled kernel")
+                .row(i, executor),
+            ResidentKernel::None => Err(CoreError::Unsupported(
+                "Lloyd models keep no kernel-matrix state to serve".into(),
+            )),
+        }
+    }
+
+    fn for_each_tile(
+        &self,
+        executor: &dyn Executor,
+        f: &mut kernel_source::TileVisitor<'_, T>,
+    ) -> Result<()> {
+        let n = self.model.n();
+        let elem = std::mem::size_of::<T>();
+        match &self.model.resident {
+            ResidentKernel::Full { matrix } => f(0..n, matrix),
+            ResidentKernel::Csr { matrix } => {
+                // Dense fallback for engines without a sparse fold; the CSR
+                // path below is what the pipeline actually drives.
+                let nnz = matrix.nnz() as u64;
+                let tile = executor.run(
+                    format!("serve densify K rows 0..{n} (nnz={nnz})"),
+                    Phase::PairwiseDistances,
+                    OpClass::Elementwise,
+                    OpCost::new(
+                        nnz,
+                        nnz * (elem + INDEX_BYTES) as u64,
+                        kernel_source::tile_bytes(n, n, elem),
+                    ),
+                    || matrix.to_dense(),
+                );
+                f(0..n, &tile)
+            }
+            ResidentKernel::Nystrom(nys) => {
+                let m = nys.landmarks.len();
+                let step = nys.tile_rows.max(1);
+                let mut r0 = 0usize;
+                while r0 < n {
+                    let r1 = (r0 + step).min(n);
+                    let tile = executor.run(
+                        format!("serve nystrom panel rows {r0}..{r1} (n={n}, m={m})"),
+                        Phase::PairwiseDistances,
+                        OpClass::Gemm,
+                        OpCost::gemm(r1 - r0, n, m, elem),
+                        || matmul_nt_rows(&nys.hat, r0, r1, &nys.cross),
+                    )?;
+                    f(r0..r1, &tile)?;
+                    r0 = r1;
+                }
+                Ok(())
+            }
+            ResidentKernel::Streamed { .. } => self
+                .tiled
+                .as_ref()
+                .expect("streamed model source keeps a tiled kernel")
+                .for_each_tile(executor, f),
+            ResidentKernel::None => Err(CoreError::Unsupported(
+                "Lloyd models keep no kernel-matrix state to serve".into(),
+            )),
+        }
+    }
+
+    fn approx_error_bound(&self) -> Option<f64> {
+        self.model.approx_error_bound
+    }
+
+    fn csr(&self) -> Option<&CsrMatrix<T>> {
+        match &self.model.resident {
+            ResidentKernel::Csr { matrix } => Some(matrix),
+            _ => None,
+        }
+    }
+
+    fn for_each_csr_tile(
+        &self,
+        _executor: &dyn Executor,
+        f: &mut kernel_source::CsrTileVisitor<'_, T>,
+    ) -> Result<()> {
+        match &self.model.resident {
+            ResidentKernel::Csr { matrix } => {
+                // Zero-copy view of the resident matrix, like the fit-time
+                // sparsified source: nothing to charge.
+                f(0..matrix.rows(), matrix.rows_view(0..matrix.rows()))
+            }
+            _ => Err(CoreError::Unsupported(
+                "this model keeps no CSR-resident kernel matrix".into(),
+            )),
+        }
+    }
+
+    fn full_matrix(&self) -> Option<&DenseMatrix<T>> {
+        match &self.model.resident {
+            ResidentKernel::Full { matrix } => Some(matrix),
+            _ => None,
+        }
+    }
+
+    fn nystrom_factors(&self) -> Option<NystromFactors<'_, T>> {
+        match &self.model.resident {
+            ResidentKernel::Nystrom(nys) => Some(NystromFactors {
+                cross: &nys.cross,
+                hat: &nys.hat,
+                core_pinv_t: &nys.core_pinv_t,
+                diag: &self.model.kernel_diag,
+                landmarks: &nys.landmarks,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Fit-and-extract driver shared by the kernel-family solvers: run the
+/// normal fit pipeline, then freeze the model off the same kernel source
+/// while it is still alive (so resident state is adopted, not recomputed).
+/// `run_input` is what the solver iterates over (the dense baseline
+/// densifies), `store_input` is what the model keeps (the original layout,
+/// so training-set recognition sees the caller's bytes).
+pub fn fit_model_via<T: Scalar>(
+    family: ModelFamily,
+    run_input: FitInput<'_, T>,
+    store_input: FitInput<'_, T>,
+    config: &KernelKmeansConfig,
+    executor: &dyn Executor,
+    compute_full: impl FnOnce() -> Result<DenseMatrix<T>>,
+    engine: &mut dyn DistanceEngine<T>,
+) -> Result<(ClusteringResult, FittedModel<T>)> {
+    kernel_source::run_with_source(
+        run_input,
+        config.kernel,
+        config.approx,
+        config.tiling,
+        config.k,
+        executor,
+        compute_full,
+        |source| {
+            let result = pipeline::iterate(source, config, executor, engine)?;
+            let model = extract(family, config, &result, store_input, source, executor)?;
+            Ok((result, model))
+        },
+    )
+}
+
+/// Full-kernel builder a solver hands to [`refit_via`] for the
+/// changed-kernel path: recompute `K` from points under its own charging
+/// policy (the dense baseline charges GEMM, the CPU reference its loop).
+pub type ComputeFullKernel<'a, T> = &'a dyn for<'b> Fn(
+    FitInput<'b, T>,
+    &KernelKmeansConfig,
+    &dyn Executor,
+) -> Result<DenseMatrix<T>>;
+
+/// Refit driver shared by the kernel-family solvers. Residency rules:
+///
+/// * same kernel and approximation, no new points → iterate over the
+///   model's resident state (the internal `ModelSource`): no re-upload,
+///   no kernel-matrix recomputation;
+/// * changed kernel/approximation → rebuild the kernel state from the
+///   stored points (still resident — no re-upload);
+/// * appended points → only the new rows are charged as an upload; a
+///   warm start seeds them through [`FittedModel::assign`].
+///
+/// With `warm_start` off and no new points, the refit drives
+/// [`pipeline::iterate_init`] with `None` — the cold fit's exact code path,
+/// so labels, objectives and iteration counts are bit-identical to a fresh
+/// fit of the same data and config.
+pub fn refit_via<T: Scalar>(
+    family: ModelFamily,
+    model: &FittedModel<T>,
+    request: &RefitRequest<T>,
+    executor: &dyn Executor,
+    make_engine: &mut dyn FnMut(usize) -> Box<dyn DistanceEngine<T>>,
+    compute_full: ComputeFullKernel<'_, T>,
+) -> Result<(ClusteringResult, FittedModel<T>)> {
+    if model.family != family {
+        return Err(CoreError::InvalidInput(format!(
+            "cannot refit a {} model with the {} solver",
+            model.family.name(),
+            family.name()
+        )));
+    }
+    if !family.is_kernel() {
+        return Err(CoreError::Unsupported(
+            "refit_via serves kernel models; Lloyd refits go through the Lloyd solver".into(),
+        ));
+    }
+    let config = request
+        .config
+        .clone()
+        .unwrap_or_else(|| model.config.clone());
+
+    match &request.new_points {
+        None => {
+            let init = request.warm_start.then(|| model.labels.clone());
+            let reuse = config.kernel == model.config.kernel
+                && config.approx == model.config.approx
+                && !matches!(model.resident, ResidentKernel::None);
+            if reuse {
+                let source = ModelSource::new(model, executor)?;
+                let mut engine = make_engine(config.k);
+                let result =
+                    pipeline::iterate_init(&source, &config, executor, engine.as_mut(), init)?;
+                let new_model = extract(
+                    family,
+                    &config,
+                    &result,
+                    model.points.as_input(),
+                    &source,
+                    executor,
+                )?;
+                Ok((result, new_model))
+            } else {
+                let input = model.points.as_input();
+                let mut engine = make_engine(config.k);
+                kernel_source::run_with_source(
+                    input,
+                    config.kernel,
+                    config.approx,
+                    config.tiling,
+                    config.k,
+                    executor,
+                    || compute_full(input, &config, executor),
+                    |source| {
+                        let result = pipeline::iterate_init(
+                            source,
+                            &config,
+                            executor,
+                            engine.as_mut(),
+                            init,
+                        )?;
+                        let new_model = extract(family, &config, &result, input, source, executor)?;
+                        Ok((result, new_model))
+                    },
+                )
+            }
+        }
+        Some(new) => {
+            let new_input = new.as_input();
+            new_input.validate()?;
+            if new.d() != model.d() {
+                return Err(CoreError::InvalidInput(format!(
+                    "appended points have {} features but the model was fitted on {}",
+                    new.d(),
+                    model.d()
+                )));
+            }
+            // Warm start: old labels carry over, new rows are seeded through
+            // the serving path (still priced q × n/m, not n²).
+            let init = if request.warm_start {
+                let mut labels = model.labels.clone();
+                labels.extend(model.assign(new_input, executor)?.labels);
+                Some(labels)
+            } else {
+                None
+            };
+            let combined = model.points.concat(new)?;
+            // Only the appended rows cross the bus; the training points
+            // stayed resident.
+            new_input.charge_upload(executor);
+            let input = combined.as_input();
+            let mut engine = make_engine(config.k);
+            kernel_source::run_with_source(
+                input,
+                config.kernel,
+                config.approx,
+                config.tiling,
+                config.k,
+                executor,
+                || compute_full(input, &config, executor),
+                |source| {
+                    let result =
+                        pipeline::iterate_init(source, &config, executor, engine.as_mut(), init)?;
+                    let new_model = extract(family, &config, &result, input, source, executor)?;
+                    Ok((result, new_model))
+                },
+            )
+        }
+    }
+}
+
+const FORMAT_HEADER: &str = "popcorn-model v1";
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn push_scalar_line<T: Scalar>(out: &mut String, tag: &str, values: &[T]) {
+    let _ = write!(out, "{tag} {}", values.len());
+    for v in values {
+        let _ = write!(out, " {}", hex(v.to_f64()));
+    }
+    out.push('\n');
+}
+
+fn push_f64_line(out: &mut String, tag: &str, values: &[f64]) {
+    let _ = write!(out, "{tag} {}", values.len());
+    for &v in values {
+        let _ = write!(out, " {}", hex(v));
+    }
+    out.push('\n');
+}
+
+fn push_usize_line(out: &mut String, tag: &str, values: &[usize]) {
+    let _ = write!(out, "{tag} {}", values.len());
+    for &v in values {
+        let _ = write!(out, " {v}");
+    }
+    out.push('\n');
+}
+
+fn push_matrix<T: Scalar>(out: &mut String, m: &DenseMatrix<T>) {
+    for i in 0..m.rows() {
+        let mut first = true;
+        for v in m.row(i) {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            out.push_str(&hex(v.to_f64()));
+        }
+        out.push('\n');
+    }
+}
+
+fn push_csr<T: Scalar>(out: &mut String, m: &CsrMatrix<T>) {
+    push_usize_line(out, "ptrs", m.row_ptrs());
+    push_usize_line(out, "cols", m.col_indices());
+    push_scalar_line(out, "vals", m.values());
+}
+
+/// Line-oriented reader with positioned errors.
+struct Reader<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            lines: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn bad(&self, msg: impl std::fmt::Display) -> CoreError {
+        CoreError::InvalidInput(format!("model text line {}: {msg}", self.line_no))
+    }
+
+    fn line(&mut self) -> Result<&'a str> {
+        self.line_no += 1;
+        self.lines
+            .next()
+            .ok_or_else(|| CoreError::InvalidInput("model text ended early".into()))
+    }
+
+    /// The next line, which must start with `tag`; returns the remaining
+    /// whitespace-separated tokens.
+    fn tagged(&mut self, tag: &str) -> Result<Vec<&'a str>> {
+        let line = self.line()?;
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some(t) if t == tag => Ok(toks.collect()),
+            other => Err(self.bad(format!("expected '{tag}', got '{}'", other.unwrap_or("")))),
+        }
+    }
+
+    /// A tagged line whose first token is a count, followed by that many
+    /// tokens.
+    fn counted(&mut self, tag: &str) -> Result<Vec<&'a str>> {
+        let toks = self.tagged(tag)?;
+        let Some((&count, rest)) = toks.split_first() else {
+            return Err(self.bad(format!("'{tag}' line is missing its count")));
+        };
+        let count = self.parse_usize(count)?;
+        if rest.len() != count {
+            return Err(self.bad(format!(
+                "'{tag}' declares {count} values but carries {}",
+                rest.len()
+            )));
+        }
+        Ok(rest.to_vec())
+    }
+
+    fn parse_usize(&self, tok: &str) -> Result<usize> {
+        tok.parse()
+            .map_err(|_| self.bad(format!("invalid integer '{tok}'")))
+    }
+
+    fn parse_u64(&self, tok: &str) -> Result<u64> {
+        tok.parse()
+            .map_err(|_| self.bad(format!("invalid integer '{tok}'")))
+    }
+
+    fn parse_i32(&self, tok: &str) -> Result<i32> {
+        tok.parse()
+            .map_err(|_| self.bad(format!("invalid integer '{tok}'")))
+    }
+
+    fn parse_hex(&self, tok: &str) -> Result<f64> {
+        u64::from_str_radix(tok, 16)
+            .map(f64::from_bits)
+            .map_err(|_| self.bad(format!("invalid float bits '{tok}'")))
+    }
+
+    fn parse_scalar<T: Scalar>(&self, tok: &str) -> Result<T> {
+        Ok(T::from_f64(self.parse_hex(tok)?))
+    }
+
+    fn scalar_vec<T: Scalar>(&mut self, tag: &str) -> Result<Vec<T>> {
+        self.counted(tag)?
+            .into_iter()
+            .map(|t| self.parse_scalar(t))
+            .collect()
+    }
+
+    fn f64_vec(&mut self, tag: &str) -> Result<Vec<f64>> {
+        self.counted(tag)?
+            .into_iter()
+            .map(|t| self.parse_hex(t))
+            .collect()
+    }
+
+    fn usize_vec(&mut self, tag: &str) -> Result<Vec<usize>> {
+        self.counted(tag)?
+            .into_iter()
+            .map(|t| self.parse_usize(t))
+            .collect()
+    }
+
+    /// `rows` untagged lines of exactly `cols` hex tokens.
+    fn matrix<T: Scalar>(&mut self, rows: usize, cols: usize) -> Result<DenseMatrix<T>> {
+        let mut data = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let line = self.line()?;
+            let row: Vec<T> = line
+                .split_whitespace()
+                .map(|t| self.parse_scalar(t))
+                .collect::<Result<_>>()?;
+            if row.len() != cols {
+                return Err(self.bad(format!(
+                    "matrix row carries {} values, expected {cols}",
+                    row.len()
+                )));
+            }
+            data.push(row);
+        }
+        Ok(DenseMatrix::from_rows(&data)?)
+    }
+
+    fn csr<T: Scalar>(&mut self, rows: usize, cols: usize, nnz: usize) -> Result<CsrMatrix<T>> {
+        let ptrs = self.usize_vec("ptrs")?;
+        let idx = self.usize_vec("cols")?;
+        let vals = self.scalar_vec("vals")?;
+        if idx.len() != nnz || vals.len() != nnz {
+            return Err(self.bad(format!(
+                "CSR block declares nnz={nnz} but carries {} indices and {} values",
+                idx.len(),
+                vals.len()
+            )));
+        }
+        Ok(CsrMatrix::from_raw(rows, cols, ptrs, idx, vals)?)
+    }
+}
+
+impl<T: Scalar> FittedModel<T> {
+    /// Serialize to the `popcorn-model v1` text format. Every float is
+    /// written as its IEEE-754 bit pattern (via `f64`, lossless for `f32`
+    /// and `f64`), so `save → load` round-trips bit for bit.
+    pub fn save(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{FORMAT_HEADER}");
+        let _ = writeln!(out, "family {}", self.family.name());
+        let c = &self.config;
+        let _ = writeln!(out, "k {}", c.k);
+        let _ = writeln!(out, "max-iter {}", c.max_iter);
+        let _ = writeln!(out, "tolerance {}", hex(c.tolerance));
+        let _ = writeln!(out, "check-convergence {}", u8::from(c.check_convergence));
+        match c.kernel {
+            KernelFunction::Linear => {
+                let _ = writeln!(out, "kernel linear");
+            }
+            KernelFunction::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "kernel polynomial {} {} {degree}",
+                    hex(gamma),
+                    hex(coef0)
+                );
+            }
+            KernelFunction::Gaussian { gamma, sigma } => {
+                let _ = writeln!(out, "kernel gaussian {} {}", hex(gamma), hex(sigma));
+            }
+            KernelFunction::Sigmoid { gamma, coef0 } => {
+                let _ = writeln!(out, "kernel sigmoid {} {}", hex(gamma), hex(coef0));
+            }
+        }
+        match c.strategy {
+            KernelMatrixStrategy::ForceGemm => {
+                let _ = writeln!(out, "strategy force-gemm");
+            }
+            KernelMatrixStrategy::ForceSyrk => {
+                let _ = writeln!(out, "strategy force-syrk");
+            }
+            KernelMatrixStrategy::Auto { threshold } => {
+                let _ = writeln!(out, "strategy auto {}", hex(threshold));
+            }
+        }
+        match c.init {
+            Initialization::Random => {
+                let _ = writeln!(out, "init random");
+            }
+            Initialization::KmeansPlusPlus => {
+                let _ = writeln!(out, "init kmeans-plus-plus");
+            }
+        }
+        let _ = writeln!(out, "seed {}", c.seed);
+        let _ = writeln!(out, "repair {}", u8::from(c.repair_empty_clusters));
+        match c.tiling {
+            TilePolicy::Auto => {
+                let _ = writeln!(out, "tiling auto");
+            }
+            TilePolicy::Full => {
+                let _ = writeln!(out, "tiling full");
+            }
+            TilePolicy::Rows(r) => {
+                let _ = writeln!(out, "tiling rows {r}");
+            }
+        }
+        match c.approx {
+            KernelApprox::Exact => {
+                let _ = writeln!(out, "approx exact");
+            }
+            KernelApprox::Nystrom { landmarks, seed } => {
+                let _ = writeln!(out, "approx nystrom {landmarks} {seed}");
+            }
+            KernelApprox::NystromAuto { epsilon, seed } => {
+                let _ = writeln!(out, "approx nystrom-auto {} {seed}", hex(epsilon));
+            }
+            KernelApprox::Sparsified { sparsify } => match sparsify {
+                Sparsify::Knn { neighbors } => {
+                    let _ = writeln!(out, "approx sparsified-knn {neighbors}");
+                }
+                Sparsify::Threshold { tau } => {
+                    let _ = writeln!(out, "approx sparsified-threshold {}", hex(tau));
+                }
+            },
+        }
+        match c.streaming {
+            Streaming::Off => {
+                let _ = writeln!(out, "streaming off");
+            }
+            Streaming::DoubleBuffered => {
+                let _ = writeln!(out, "streaming double-buffered");
+            }
+        }
+        push_usize_line(&mut out, "labels", &self.labels);
+        match &self.points {
+            OwnedPoints::Dense(p) => {
+                let _ = writeln!(out, "points dense {} {}", p.rows(), p.cols());
+                push_matrix(&mut out, p);
+            }
+            OwnedPoints::Csr(p) => {
+                let _ = writeln!(out, "points csr {} {} {}", p.rows(), p.cols(), p.nnz());
+                push_csr(&mut out, p);
+            }
+        }
+        push_f64_line(&mut out, "gram-diag", &self.gram_diag);
+        push_scalar_line(&mut out, "kernel-diag", &self.kernel_diag);
+        match &self.resident {
+            ResidentKernel::Full { matrix } => {
+                let _ = writeln!(out, "resident full {}", matrix.rows());
+                push_matrix(&mut out, matrix);
+            }
+            ResidentKernel::Csr { matrix } => {
+                let _ = writeln!(out, "resident csr {} {}", matrix.rows(), matrix.nnz());
+                push_csr(&mut out, matrix);
+            }
+            ResidentKernel::Nystrom(nys) => {
+                let _ = writeln!(
+                    out,
+                    "resident nystrom {} {}",
+                    nys.landmarks.len(),
+                    nys.tile_rows
+                );
+                push_usize_line(&mut out, "landmarks", &nys.landmarks);
+                push_matrix(&mut out, &nys.hat);
+                push_matrix(&mut out, &nys.cross);
+                push_matrix(&mut out, &nys.core_pinv_t);
+                push_matrix(&mut out, &nys.landmark_points);
+                push_f64_line(&mut out, "landmark-gram-diag", &nys.landmark_gram_diag);
+            }
+            ResidentKernel::Streamed { tile_rows } => {
+                let _ = writeln!(out, "resident streamed {tile_rows}");
+            }
+            ResidentKernel::None => {
+                let _ = writeln!(out, "resident none");
+            }
+        }
+        match &self.stats {
+            ModelStats::Kernel {
+                cluster_self,
+                sizes,
+            } => {
+                let _ = writeln!(out, "stats kernel");
+                push_f64_line(&mut out, "cluster-self", cluster_self);
+                push_usize_line(&mut out, "sizes", sizes);
+            }
+            ModelStats::Lloyd { centroids } => {
+                let d = centroids.first().map_or(0, Vec::len);
+                let _ = writeln!(out, "stats lloyd {} {d}", centroids.len());
+                for row in centroids {
+                    let mut first = true;
+                    for &v in row {
+                        if !first {
+                            out.push(' ');
+                        }
+                        first = false;
+                        out.push_str(&hex(v));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        match self.approx_error_bound {
+            Some(b) => {
+                let _ = writeln!(out, "bound {}", hex(b));
+            }
+            None => {
+                let _ = writeln!(out, "bound none");
+            }
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Parse a model saved by [`FittedModel::save`]. The Nyström landmark
+    /// fold is rebuilt deterministically rather than stored.
+    pub fn load(text: &str) -> Result<Self> {
+        let mut r = Reader::new(text);
+        let header = r.line()?;
+        if header.trim() != FORMAT_HEADER {
+            return Err(r.bad(format!("expected header '{FORMAT_HEADER}', got '{header}'")));
+        }
+        let fam = r.tagged("family")?;
+        let family = ModelFamily::from_name(fam.first().copied().unwrap_or(""))?;
+
+        let mut config = KernelKmeansConfig::default();
+        let toks = r.tagged("k")?;
+        config.k = r.parse_usize(toks.first().copied().unwrap_or(""))?;
+        let toks = r.tagged("max-iter")?;
+        config.max_iter = r.parse_usize(toks.first().copied().unwrap_or(""))?;
+        let toks = r.tagged("tolerance")?;
+        config.tolerance = r.parse_hex(toks.first().copied().unwrap_or(""))?;
+        let toks = r.tagged("check-convergence")?;
+        config.check_convergence = toks.first().copied() == Some("1");
+        let toks = r.tagged("kernel")?;
+        config.kernel = match toks.as_slice() {
+            ["linear"] => KernelFunction::Linear,
+            ["polynomial", g, c0, deg] => KernelFunction::Polynomial {
+                gamma: r.parse_hex(g)?,
+                coef0: r.parse_hex(c0)?,
+                degree: r.parse_i32(deg)?,
+            },
+            ["gaussian", g, s] => KernelFunction::Gaussian {
+                gamma: r.parse_hex(g)?,
+                sigma: r.parse_hex(s)?,
+            },
+            ["sigmoid", g, c0] => KernelFunction::Sigmoid {
+                gamma: r.parse_hex(g)?,
+                coef0: r.parse_hex(c0)?,
+            },
+            _ => return Err(r.bad("unknown kernel")),
+        };
+        let toks = r.tagged("strategy")?;
+        config.strategy = match toks.as_slice() {
+            ["force-gemm"] => KernelMatrixStrategy::ForceGemm,
+            ["force-syrk"] => KernelMatrixStrategy::ForceSyrk,
+            ["auto", t] => KernelMatrixStrategy::Auto {
+                threshold: r.parse_hex(t)?,
+            },
+            _ => return Err(r.bad("unknown strategy")),
+        };
+        let toks = r.tagged("init")?;
+        config.init = match toks.as_slice() {
+            ["random"] => Initialization::Random,
+            ["kmeans-plus-plus"] => Initialization::KmeansPlusPlus,
+            _ => return Err(r.bad("unknown init")),
+        };
+        let toks = r.tagged("seed")?;
+        config.seed = r.parse_u64(toks.first().copied().unwrap_or(""))?;
+        let toks = r.tagged("repair")?;
+        config.repair_empty_clusters = toks.first().copied() == Some("1");
+        let toks = r.tagged("tiling")?;
+        config.tiling = match toks.as_slice() {
+            ["auto"] => TilePolicy::Auto,
+            ["full"] => TilePolicy::Full,
+            ["rows", n] => TilePolicy::Rows(r.parse_usize(n)?),
+            _ => return Err(r.bad("unknown tiling policy")),
+        };
+        let toks = r.tagged("approx")?;
+        config.approx = match toks.as_slice() {
+            ["exact"] => KernelApprox::Exact,
+            ["nystrom", m, s] => KernelApprox::Nystrom {
+                landmarks: r.parse_usize(m)?,
+                seed: r.parse_u64(s)?,
+            },
+            ["nystrom-auto", e, s] => KernelApprox::NystromAuto {
+                epsilon: r.parse_hex(e)?,
+                seed: r.parse_u64(s)?,
+            },
+            ["sparsified-knn", nb] => KernelApprox::Sparsified {
+                sparsify: Sparsify::Knn {
+                    neighbors: r.parse_usize(nb)?,
+                },
+            },
+            ["sparsified-threshold", t] => KernelApprox::Sparsified {
+                sparsify: Sparsify::Threshold {
+                    tau: r.parse_hex(t)?,
+                },
+            },
+            _ => return Err(r.bad("unknown approximation")),
+        };
+        let toks = r.tagged("streaming")?;
+        config.streaming = match toks.as_slice() {
+            ["off"] => Streaming::Off,
+            ["double-buffered"] => Streaming::DoubleBuffered,
+            _ => return Err(r.bad("unknown streaming policy")),
+        };
+
+        let labels = r.usize_vec("labels")?;
+        let toks = r.tagged("points")?;
+        let points = match toks.as_slice() {
+            ["dense", n, d] => {
+                let (n, d) = (r.parse_usize(n)?, r.parse_usize(d)?);
+                OwnedPoints::Dense(r.matrix(n, d)?)
+            }
+            ["csr", n, d, nnz] => {
+                let (n, d, nnz) = (r.parse_usize(n)?, r.parse_usize(d)?, r.parse_usize(nnz)?);
+                OwnedPoints::Csr(r.csr(n, d, nnz)?)
+            }
+            _ => return Err(r.bad("unknown points layout")),
+        };
+        let gram_diag = r.f64_vec("gram-diag")?;
+        let kernel_diag: Vec<T> = r.scalar_vec("kernel-diag")?;
+        let toks = r.tagged("resident")?;
+        let resident = match toks.as_slice() {
+            ["full", n] => {
+                let n = r.parse_usize(n)?;
+                ResidentKernel::Full {
+                    matrix: r.matrix(n, n)?,
+                }
+            }
+            ["csr", n, nnz] => {
+                let (n, nnz) = (r.parse_usize(n)?, r.parse_usize(nnz)?);
+                ResidentKernel::Csr {
+                    matrix: r.csr(n, n, nnz)?,
+                }
+            }
+            ["nystrom", m, tile_rows] => {
+                let (m, tile_rows) = (r.parse_usize(m)?, r.parse_usize(tile_rows)?);
+                let n = labels.len();
+                let landmarks = r.usize_vec("landmarks")?;
+                let hat = r.matrix(n, m)?;
+                let cross = r.matrix(n, m)?;
+                let core_pinv_t = r.matrix(m, m)?;
+                let landmark_points = r.matrix(m, points.d())?;
+                let landmark_gram_diag = r.f64_vec("landmark-gram-diag")?;
+                ResidentKernel::Nystrom(Box::new(NystromResident {
+                    hat,
+                    cross,
+                    core_pinv_t,
+                    landmarks,
+                    landmark_points,
+                    landmark_gram_diag,
+                    tile_rows,
+                }))
+            }
+            ["streamed", tile_rows] => ResidentKernel::Streamed {
+                tile_rows: r.parse_usize(tile_rows)?,
+            },
+            ["none"] => ResidentKernel::None,
+            _ => return Err(r.bad("unknown resident kernel state")),
+        };
+        let toks = r.tagged("stats")?;
+        let stats = match toks.as_slice() {
+            ["kernel"] => ModelStats::Kernel {
+                cluster_self: r.f64_vec("cluster-self")?,
+                sizes: r.usize_vec("sizes")?,
+            },
+            ["lloyd", k, d] => {
+                let (k, d) = (r.parse_usize(k)?, r.parse_usize(d)?);
+                let mut centroids = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let line = r.line()?;
+                    let row: Vec<f64> = line
+                        .split_whitespace()
+                        .map(|t| r.parse_hex(t))
+                        .collect::<Result<_>>()?;
+                    if row.len() != d {
+                        return Err(r.bad(format!(
+                            "centroid carries {} values, expected {d}",
+                            row.len()
+                        )));
+                    }
+                    centroids.push(row);
+                }
+                ModelStats::Lloyd { centroids }
+            }
+            _ => return Err(r.bad("unknown stats block")),
+        };
+        let toks = r.tagged("bound")?;
+        let approx_error_bound = match toks.as_slice() {
+            ["none"] => None,
+            [b] => Some(r.parse_hex(b)?),
+            _ => return Err(r.bad("unknown bound")),
+        };
+        r.tagged("end")?;
+
+        let n = labels.len();
+        if points.n() != n || gram_diag.len() != n {
+            return Err(CoreError::InvalidInput(format!(
+                "model carries {} labels, {} points and {} gram-diag entries",
+                n,
+                points.n(),
+                gram_diag.len()
+            )));
+        }
+        if config.k == 0 || labels.iter().any(|&l| l >= config.k) {
+            return Err(CoreError::InvalidInput(
+                "model labels are out of range for its k".into(),
+            ));
+        }
+        let landmark_fold = match &resident {
+            ResidentKernel::Nystrom(nys) => {
+                Some(build_landmark_fold(&nys.cross, &labels, config.k))
+            }
+            _ => None,
+        };
+        Ok(Self {
+            family,
+            config,
+            labels,
+            points,
+            gram_diag,
+            kernel_diag,
+            resident,
+            stats,
+            landmark_fold,
+            approx_error_bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popcorn::KernelKmeans;
+    use crate::solver::Solver;
+    use popcorn_gpusim::{DeviceSpec, SimExecutor};
+
+    fn toy_points() -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.05, 0.05],
+            vec![4.0, 4.1],
+            vec![4.1, 4.0],
+            vec![4.05, 4.05],
+        ])
+        .unwrap()
+    }
+
+    fn toy_config() -> KernelKmeansConfig {
+        KernelKmeansConfig::paper_defaults(2).with_max_iter(10)
+    }
+
+    #[test]
+    fn family_names_roundtrip() {
+        for family in [
+            ModelFamily::Popcorn,
+            ModelFamily::CpuReference,
+            ModelFamily::DenseBaseline,
+            ModelFamily::Lloyd,
+        ] {
+            assert_eq!(ModelFamily::from_name(family.name()).unwrap(), family);
+        }
+        assert!(ModelFamily::from_name("mystery").is_err());
+    }
+
+    #[test]
+    fn owned_points_concat() {
+        let a = OwnedPoints::Dense(toy_points());
+        let b = OwnedPoints::Dense(DenseMatrix::from_rows(&[vec![9.0, 9.0]]).unwrap());
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.n(), 7);
+        let OwnedPoints::Dense(m) = &c else {
+            panic!("dense concat stays dense")
+        };
+        assert_eq!(m[(6, 0)], 9.0);
+
+        let sa = OwnedPoints::Csr(CsrMatrix::from_dense(&toy_points()));
+        let sb = OwnedPoints::Csr(CsrMatrix::from_dense(
+            &DenseMatrix::from_rows(&[vec![0.0, 9.0]]).unwrap(),
+        ));
+        let sc = sa.concat(&sb).unwrap();
+        assert_eq!(sc.n(), 7);
+        let OwnedPoints::Csr(m) = &sc else {
+            panic!("csr concat stays csr")
+        };
+        assert_eq!(m.get(6, 1), 9.0);
+
+        assert!(a.concat(&sb).is_err());
+    }
+
+    #[test]
+    fn training_replay_reproduces_fit_labels_without_kernel_charges() {
+        let points = toy_points();
+        let solver = KernelKmeans::new(toy_config());
+        let (result, model) = solver.fit_model(FitInput::Dense(&points)).unwrap();
+        assert_eq!(model.family(), ModelFamily::Popcorn);
+        assert_eq!(model.resident_kind(), "full");
+
+        let executor = SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<f64>());
+        let batch = model.assign(FitInput::Dense(&points), &executor).unwrap();
+        assert!(batch.replayed_training);
+        assert_eq!(batch.labels, result.labels);
+        assert!(batch.modeled_seconds > 0.0);
+        for op in executor.trace().records() {
+            assert_ne!(
+                op.phase,
+                Phase::KernelMatrix,
+                "training replay must not recompute the kernel matrix: {}",
+                op.name
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_sample_queries_get_nearest_cluster() {
+        let points = toy_points();
+        let solver = KernelKmeans::new(toy_config());
+        let (result, model) = solver.fit_model(FitInput::Dense(&points)).unwrap();
+
+        let queries = DenseMatrix::from_rows(&[vec![0.02, 0.03], vec![4.02, 4.03]]).unwrap();
+        let executor = SimExecutor::new(DeviceSpec::a100_80gb(), std::mem::size_of::<f64>());
+        let batch = model.assign(FitInput::Dense(&queries), &executor).unwrap();
+        assert!(!batch.replayed_training);
+        assert_eq!(batch.labels[0], result.labels[0]);
+        assert_eq!(batch.labels[1], result.labels[3]);
+    }
+
+    #[test]
+    fn save_load_roundtrips_bit_for_bit() {
+        let points = toy_points();
+        let solver = KernelKmeans::new(toy_config());
+        let (_, model) = solver.fit_model(FitInput::Dense(&points)).unwrap();
+        let text = model.save();
+        let loaded = FittedModel::<f64>::load(&text).unwrap();
+        assert_eq!(loaded, model);
+        assert!(FittedModel::<f64>::load("not a model").is_err());
+        assert!(FittedModel::<f64>::load(FORMAT_HEADER).is_err());
+    }
+
+    #[test]
+    fn cold_refit_is_bit_identical_to_the_fit() {
+        let points = toy_points();
+        let solver = KernelKmeans::new(toy_config());
+        let (result, model) = solver.fit_model(FitInput::Dense(&points)).unwrap();
+        let (re_result, re_model) = solver.refit(&model, &RefitRequest::cold()).unwrap();
+        assert_eq!(re_result.labels, result.labels);
+        assert_eq!(re_result.iterations, result.iterations);
+        assert_eq!(re_model.labels(), model.labels());
+    }
+
+    #[test]
+    fn warm_refit_with_new_points_extends_the_model() {
+        let points = toy_points();
+        let solver = KernelKmeans::new(toy_config());
+        let (_, model) = solver.fit_model(FitInput::Dense(&points)).unwrap();
+        let extra = DenseMatrix::from_rows(&[vec![0.07, 0.02], vec![4.07, 4.02]]).unwrap();
+        let request = RefitRequest::warm().with_new_points(OwnedPoints::Dense(extra));
+        let (result, new_model) = solver.refit(&model, &request).unwrap();
+        assert_eq!(result.labels.len(), 8);
+        assert_eq!(new_model.n(), 8);
+        // The appended points land with their neighbours.
+        assert_eq!(result.labels[6], result.labels[0]);
+        assert_eq!(result.labels[7], result.labels[3]);
+    }
+}

@@ -69,6 +69,16 @@ pub enum KernelApprox {
         /// Seed of the landmark D² sampling.
         seed: u64,
     },
+    /// Adaptive-rank Nyström (`--landmarks auto:EPS`): double `m` from 16,
+    /// reusing every already-sampled landmark, until the trace-based
+    /// reconstruction bound drops to `epsilon` or the factorization reaches
+    /// full rank ([`NystromKernel::new_adaptive`]).
+    NystromAuto {
+        /// Target mean absolute diagonal reconstruction error.
+        epsilon: f64,
+        /// Seed of the landmark D² sampling.
+        seed: u64,
+    },
     /// CSR-resident sparsified kernel matrix
     /// ([`crate::sparsified::SparsifiedKernel`]).
     Sparsified {
@@ -84,6 +94,9 @@ impl KernelApprox {
             KernelApprox::Exact => "exact".to_string(),
             KernelApprox::Nystrom { landmarks, seed } => {
                 format!("nystrom(m={landmarks}, seed={seed})")
+            }
+            KernelApprox::NystromAuto { epsilon, seed } => {
+                format!("nystrom-auto(eps={epsilon}, seed={seed})")
             }
             KernelApprox::Sparsified { sparsify } => {
                 format!("sparsified({})", sparsify.describe())
@@ -138,6 +151,10 @@ pub struct NystromKernel<T: Scalar> {
     cross: DenseMatrix<T>,
     /// `H = C · W⁺`, `n × m`; a reconstructed panel is `H[r0..r1, :] · Cᵀ`.
     hat: DenseMatrix<T>,
+    /// `(W⁺)ᵀ = W⁺` in `T` precision, `m × m` — the factor an out-of-sample
+    /// query `x` needs to form its own hat row `h_x = k(x, L) · W⁺` with the
+    /// same arithmetic the training rows used.
+    core_pinv_t: DenseMatrix<T>,
     /// Reconstructed diagonal `K̂_ii`, bit-identical to the tile entries.
     diag: Vec<T>,
     /// The landmark row indices, in selection order.
@@ -229,75 +246,7 @@ impl<T: Scalar> NystromKernel<T> {
         let mut rng = StdRng::seed_from_u64(seed);
         let landmark_rows = select_spread_rows(&exact, m, &exact_diag, &mut rng, executor)?;
 
-        // --- factors ----------------------------------------------------------
-        // C[i][j] = K[i, l_j] = landmark row j at position i (K symmetric).
-        let cross = DenseMatrix::<T>::from_fn(n, m, |i, j| landmark_rows[j].1[i]);
-        // W[a][b] = K[l_a, l_b], pseudo-inverted in f64.
-        let core = DenseMatrix::<f64>::from_fn(m, m, |a, b| {
-            landmark_rows[a].1[landmark_rows[b].0].to_f64()
-        });
-        let (core_pinv, used_eigen_fallback) = executor.run(
-            format!("nystrom core pseudo-inverse (m={m})"),
-            Phase::KernelMatrix,
-            OpClass::Factorize,
-            // ~m³/3 Cholesky + m³ triangular inverse + m³ symmetric product;
-            // the eigen fallback costs more but stays O(m³) — charge the
-            // common path, the class's low efficiency already models the
-            // latency-bound character of small dense factorizations.
-            OpCost::new(
-                3 * m as u64 * m as u64 * m as u64,
-                2 * m as u64 * m as u64 * 8,
-                m as u64 * m as u64 * 8,
-            ),
-            // The core's entries come from `T`-precision kernel rows, so its
-            // spectral noise floor is T's epsilon, not f64's.
-            || pseudo_inverse_spd(&core, T::EPSILON.to_f64()),
-        );
-        let core_pinv_t = DenseMatrix::<T>::from_fn(m, m, |a, b| T::from_f64(core_pinv[(a, b)]));
-        let hat = executor.run(
-            format!("nystrom hat factor H = C W+ (n={n}, m={m})"),
-            Phase::KernelMatrix,
-            OpClass::Gemm,
-            OpCost::gemm(n, m, m, elem),
-            || matmul(&cross, &core_pinv_t),
-        )?;
-        // Reconstructed diagonal, computed with the *same* arithmetic a
-        // panel entry uses (sequential mul_add fold, `0 + 1·acc` write) so
-        // `diag()[i]` equals the tile entry `K̂[i, i]` bit for bit — engines
-        // that collect the diagonal from tiles agree with ones that ask for
-        // it up front.
-        let diag: Vec<T> = executor.run(
-            format!("nystrom reconstructed diag (n={n}, m={m})"),
-            Phase::KernelMatrix,
-            OpClass::Elementwise,
-            OpCost::elementwise_elems(n as u64, 2 * m, 1, 2 * m, elem),
-            || {
-                (0..n)
-                    .map(|i| {
-                        let mut acc = T::ZERO;
-                        for (&h, &c) in hat.row(i).iter().zip(cross.row(i).iter()) {
-                            acc = h.mul_add(c, acc);
-                        }
-                        T::ZERO + T::ONE * acc
-                    })
-                    .collect()
-            },
-        );
-        // The trace-based quality bound: mean |K_ii − K̂_ii|. The exact
-        // diagonal is already in hand from the sampling phase, so the bound
-        // is free beyond the subtraction. `n == 0` is rejected up front,
-        // but the bound must stay finite even for a defensively-empty
-        // diagonal rather than propagate a 0/0 NaN into reports.
-        let error_bound = if exact_diag.is_empty() {
-            0.0
-        } else {
-            exact_diag
-                .iter()
-                .zip(diag.iter())
-                .map(|(&e, &a)| (e.to_f64() - a.to_f64()).abs())
-                .sum::<f64>()
-                / exact_diag.len() as f64
-        };
+        let factors = build_factors(&landmark_rows, &exact_diag, n, executor)?;
 
         // The sampling working set (landmark rows, weights, exact diagonal)
         // is released before the persistent factors land — the planner's
@@ -321,13 +270,140 @@ impl<T: Scalar> NystromKernel<T> {
         }
 
         Ok(Self {
-            cross,
-            hat,
-            diag,
+            cross: factors.cross,
+            hat: factors.hat,
+            core_pinv_t: factors.core_pinv_t,
+            diag: factors.diag,
             landmarks: landmark_rows.into_iter().map(|(i, _)| i).collect(),
             tile_rows,
-            error_bound,
-            used_eigen_fallback,
+            error_bound: factors.error_bound,
+            used_eigen_fallback: factors.used_eigen_fallback,
+            plan,
+            k_budget,
+        })
+    }
+
+    /// Adaptive-rank construction (`--landmarks auto:EPS`): starting from
+    /// `m = min(16, n)`, build the factorization and double `m` until the
+    /// trace-based bound ([`NystromKernel::diag_error`]) drops to `epsilon`
+    /// or the factorization reaches full rank. Already-sampled landmarks are
+    /// **reused** across trials — the D² sampling resumes from the prior
+    /// state ([`crate::init`]'s resumable selection loop), so the accepted
+    /// rank-`m` factorization is bit-identical to a fixed
+    /// `Nystrom { landmarks: m }` run with the same seed. Every trial's
+    /// factor build is charged; only the accepted factors stay resident.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_adaptive(
+        input: FitInput<'_, T>,
+        kernel: KernelFunction,
+        epsilon: f64,
+        seed: u64,
+        tiling: TilePolicy,
+        k_budget: usize,
+        executor: &dyn Executor,
+    ) -> Result<Self> {
+        let n = input.n();
+        if n == 0 {
+            return Err(CoreError::InvalidInput("dataset has no points".into()));
+        }
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "nystrom auto epsilon must be finite and positive, got {epsilon}"
+            )));
+        }
+        let elem = std::mem::size_of::<T>();
+        let input_bytes = input.upload_bytes();
+
+        let exact = crate::kernel_source::TiledKernel::build(input, kernel, 1, executor, false)?;
+        let exact_diag = exact.diag(executor)?;
+        // The sampling working set grows as the rank doubles; the guard is
+        // kept current so an error on any trial frees exactly what was
+        // tracked.
+        let base_bytes = n as u64 * 8 + n as u64 * elem as u64;
+        executor.track_alloc(base_bytes);
+        let mut sampling = PhaseResidency {
+            executor,
+            bytes: base_bytes,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut landmark_rows: Vec<(usize, Vec<T>)> = Vec::new();
+        let mut best_dist: Vec<f64> = Vec::new();
+        let mut m = 16.min(n);
+        let factors = loop {
+            let delta = (m - landmark_rows.len()) as u64 * n as u64 * elem as u64;
+            executor.track_alloc(delta);
+            sampling.bytes += delta;
+            crate::init::extend_spread_rows(
+                &exact,
+                m,
+                &exact_diag,
+                &mut rng,
+                executor,
+                &mut landmark_rows,
+                &mut best_dist,
+            )?;
+            // The trial factors are transient until accepted: tracked for
+            // the duration of the build, freed again when the rank doubles.
+            let trial_bytes = 2 * n as u64 * m as u64 * elem as u64 + n as u64 * elem as u64;
+            executor.track_alloc(trial_bytes);
+            let trial = PhaseResidency {
+                executor,
+                bytes: trial_bytes,
+            };
+            let factors = build_factors(&landmark_rows, &exact_diag, n, executor)?;
+            if factors.error_bound <= epsilon || m == n {
+                drop(trial);
+                break factors;
+            }
+            m = (m * 2).min(n);
+            drop(trial);
+        };
+        let m = landmark_rows.len();
+        drop(sampling);
+
+        // Residency plan over the accepted rank, mirroring `new`.
+        let factor_bytes = 2 * n as u64 * m as u64 * elem as u64 + n as u64 * elem as u64;
+        let budget_bytes = input_bytes + factor_bytes;
+        let (plan, tile_rows) = if executor.shard_count() > 1 {
+            let Some(topology) = executor.topology() else {
+                return Err(CoreError::InvalidConfig(
+                    "the executor reports multiple shards but no device topology; \
+                     an Executor implementation overriding shard_count() must also \
+                     override topology()"
+                        .into(),
+                ));
+            };
+            let plan = ShardPlan::balanced(n, k_budget, elem, budget_bytes, tiling, topology)?;
+            let tile_rows = plan.max_tile_rows().max(1);
+            (Some(plan), tile_rows)
+        } else {
+            let tile_rows =
+                plan_tile_rows(n, k_budget, elem, budget_bytes, tiling, executor.device())?;
+            (None, tile_rows)
+        };
+        executor.track_alloc(factor_bytes);
+        match &plan {
+            Some(plan) => {
+                for shard in plan.shards() {
+                    if shard.tile_rows == 0 {
+                        continue;
+                    }
+                    let _active = ActiveShard::activate(executor, shard.device);
+                    executor.track_alloc(tile_bytes(shard.tile_rows, n, elem));
+                }
+            }
+            None => executor.track_alloc(tile_bytes(tile_rows, n, elem)),
+        }
+
+        Ok(Self {
+            cross: factors.cross,
+            hat: factors.hat,
+            core_pinv_t: factors.core_pinv_t,
+            diag: factors.diag,
+            landmarks: landmark_rows.into_iter().map(|(i, _)| i).collect(),
+            tile_rows,
+            error_bound: factors.error_bound,
+            used_eigen_fallback: factors.used_eigen_fallback,
             plan,
             k_budget,
         })
@@ -475,6 +551,135 @@ impl<T: Scalar> KernelSource<T> for NystromKernel<T> {
     fn approx_error_bound(&self) -> Option<f64> {
         Some(self.error_bound)
     }
+
+    fn nystrom_factors(&self) -> Option<NystromFactors<'_, T>> {
+        Some(NystromFactors {
+            cross: &self.cross,
+            hat: &self.hat,
+            core_pinv_t: &self.core_pinv_t,
+            diag: &self.diag,
+            landmarks: &self.landmarks,
+        })
+    }
+}
+
+/// Borrowed view of the Nyström factors, surfaced through
+/// [`KernelSource::nystrom_factors`] so a fitted-model extractor can keep
+/// the low-rank representation (`O(n·m)`) instead of re-deriving — or
+/// densifying — the kernel matrix at serve time.
+pub struct NystromFactors<'a, T: Scalar> {
+    /// Cross kernel `C = K[:, L]`, `n × m`.
+    pub cross: &'a DenseMatrix<T>,
+    /// `H = C · W⁺`, `n × m`.
+    pub hat: &'a DenseMatrix<T>,
+    /// `W⁺` in `T` precision, `m × m`.
+    pub core_pinv_t: &'a DenseMatrix<T>,
+    /// Reconstructed diagonal `K̂_ii`.
+    pub diag: &'a [T],
+    /// Landmark row indices, in D²-selection order.
+    pub landmarks: &'a [usize],
+}
+
+/// The outputs of one factor build: everything derived from a fixed set of
+/// sampled landmark rows.
+struct Factors<T: Scalar> {
+    cross: DenseMatrix<T>,
+    hat: DenseMatrix<T>,
+    core_pinv_t: DenseMatrix<T>,
+    diag: Vec<T>,
+    error_bound: f64,
+    used_eigen_fallback: bool,
+}
+
+/// Build (and charge) the factors from `m` sampled landmark rows: the cross
+/// factor `C`, the pseudo-inverted core, `H = C·W⁺`, the reconstructed
+/// diagonal and the trace-based quality bound. Shared verbatim between the
+/// fixed-rank and adaptive constructors so both charge identically and an
+/// adaptive fit that accepts rank `m` is bit-identical to a fixed rank-`m`
+/// run.
+fn build_factors<T: Scalar>(
+    landmark_rows: &[(usize, Vec<T>)],
+    exact_diag: &[T],
+    n: usize,
+    executor: &dyn Executor,
+) -> Result<Factors<T>> {
+    let m = landmark_rows.len();
+    let elem = std::mem::size_of::<T>();
+    // C[i][j] = K[i, l_j] = landmark row j at position i (K symmetric).
+    let cross = DenseMatrix::<T>::from_fn(n, m, |i, j| landmark_rows[j].1[i]);
+    // W[a][b] = K[l_a, l_b], pseudo-inverted in f64.
+    let core =
+        DenseMatrix::<f64>::from_fn(m, m, |a, b| landmark_rows[a].1[landmark_rows[b].0].to_f64());
+    let (core_pinv, used_eigen_fallback) = executor.run(
+        format!("nystrom core pseudo-inverse (m={m})"),
+        Phase::KernelMatrix,
+        OpClass::Factorize,
+        // ~m³/3 Cholesky + m³ triangular inverse + m³ symmetric product;
+        // the eigen fallback costs more but stays O(m³) — charge the
+        // common path, the class's low efficiency already models the
+        // latency-bound character of small dense factorizations.
+        OpCost::new(
+            3 * m as u64 * m as u64 * m as u64,
+            2 * m as u64 * m as u64 * 8,
+            m as u64 * m as u64 * 8,
+        ),
+        // The core's entries come from `T`-precision kernel rows, so its
+        // spectral noise floor is T's epsilon, not f64's.
+        || pseudo_inverse_spd(&core, T::EPSILON.to_f64()),
+    );
+    let core_pinv_t = DenseMatrix::<T>::from_fn(m, m, |a, b| T::from_f64(core_pinv[(a, b)]));
+    let hat = executor.run(
+        format!("nystrom hat factor H = C W+ (n={n}, m={m})"),
+        Phase::KernelMatrix,
+        OpClass::Gemm,
+        OpCost::gemm(n, m, m, elem),
+        || matmul(&cross, &core_pinv_t),
+    )?;
+    // Reconstructed diagonal, computed with the *same* arithmetic a
+    // panel entry uses (sequential mul_add fold, `0 + 1·acc` write) so
+    // `diag()[i]` equals the tile entry `K̂[i, i]` bit for bit — engines
+    // that collect the diagonal from tiles agree with ones that ask for
+    // it up front.
+    let diag: Vec<T> = executor.run(
+        format!("nystrom reconstructed diag (n={n}, m={m})"),
+        Phase::KernelMatrix,
+        OpClass::Elementwise,
+        OpCost::elementwise_elems(n as u64, 2 * m, 1, 2 * m, elem),
+        || {
+            (0..n)
+                .map(|i| {
+                    let mut acc = T::ZERO;
+                    for (&h, &c) in hat.row(i).iter().zip(cross.row(i).iter()) {
+                        acc = h.mul_add(c, acc);
+                    }
+                    T::ZERO + T::ONE * acc
+                })
+                .collect()
+        },
+    );
+    // The trace-based quality bound: mean |K_ii − K̂_ii|. The exact
+    // diagonal is already in hand from the sampling phase, so the bound
+    // is free beyond the subtraction. `n == 0` is rejected up front,
+    // but the bound must stay finite even for a defensively-empty
+    // diagonal rather than propagate a 0/0 NaN into reports.
+    let error_bound = if exact_diag.is_empty() {
+        0.0
+    } else {
+        exact_diag
+            .iter()
+            .zip(diag.iter())
+            .map(|(&e, &a)| (e.to_f64() - a.to_f64()).abs())
+            .sum::<f64>()
+            / exact_diag.len() as f64
+    };
+    Ok(Factors {
+        cross,
+        hat,
+        core_pinv_t,
+        diag,
+        error_bound,
+        used_eigen_fallback,
+    })
 }
 
 /// Pseudo-inverse of a symmetric positive semi-definite matrix, std-only and
@@ -671,6 +876,102 @@ mod tests {
             .describe(),
             "nystrom(m=512, seed=3)"
         );
+        assert_eq!(
+            KernelApprox::NystromAuto {
+                epsilon: 0.5,
+                seed: 3
+            }
+            .describe(),
+            "nystrom-auto(eps=0.5, seed=3)"
+        );
+    }
+
+    #[test]
+    fn adaptive_rank_matches_fixed_rank_bitwise() {
+        let points = sample_points(40, 6);
+        let kernel = KernelFunction::paper_polynomial();
+        let exec = SimExecutor::a100_f32();
+        let adaptive = NystromKernel::new_adaptive(
+            FitInput::Dense(&points),
+            kernel,
+            1e-3,
+            7,
+            TilePolicy::Auto,
+            4,
+            &exec,
+        )
+        .unwrap();
+        let m = adaptive.rank();
+        assert!(adaptive.diag_error() <= 1e-3 || m == 40);
+        // The accepted factorization is bit-identical to a fixed rank-m run
+        // with the same seed: the D² sampling resumed, never restarted.
+        let (fixed, exec) = {
+            let exec = SimExecutor::a100_f32();
+            let source = NystromKernel::new(
+                FitInput::Dense(&points),
+                kernel,
+                m,
+                7,
+                TilePolicy::Auto,
+                4,
+                &exec,
+            )
+            .unwrap();
+            (source, exec)
+        };
+        assert_eq!(adaptive.landmarks(), fixed.landmarks());
+        let a = KernelSource::diag(&adaptive, &exec).unwrap();
+        let b = KernelSource::diag(&fixed, &exec).unwrap();
+        for i in 0..40 {
+            assert_eq!(a[i].to_bits(), b[i].to_bits());
+        }
+        fixed
+            .for_each_tile(&exec, &mut |rows, tile| {
+                let mirror = adaptive.compute_tile(rows.start, rows.end, &exec).unwrap();
+                for local in 0..rows.len() {
+                    for j in 0..40 {
+                        assert_eq!(tile[(local, j)].to_bits(), mirror[(local, j)].to_bits());
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn adaptive_rank_caps_at_full_rank_for_tiny_epsilon() {
+        let points = sample_points(20, 3);
+        let exec = SimExecutor::a100_f32();
+        let source = NystromKernel::new_adaptive(
+            FitInput::Dense(&points),
+            KernelFunction::paper_polynomial(),
+            1e-300,
+            3,
+            TilePolicy::Auto,
+            2,
+            &exec,
+        )
+        .unwrap();
+        assert!(source.rank() <= 20);
+        assert!(source.rank() >= 16, "doubling must have run past the start");
+    }
+
+    #[test]
+    fn adaptive_rank_validates_epsilon() {
+        let points = sample_points(10, 3);
+        let exec = SimExecutor::a100_f32();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(NystromKernel::new_adaptive(
+                FitInput::Dense(&points),
+                KernelFunction::Linear,
+                bad,
+                1,
+                TilePolicy::Auto,
+                2,
+                &exec,
+            )
+            .is_err());
+        }
     }
 
     #[test]

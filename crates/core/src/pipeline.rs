@@ -203,12 +203,43 @@ pub fn iterate<T: Scalar>(
     executor: &dyn Executor,
     engine: &mut dyn DistanceEngine<T>,
 ) -> Result<ClusteringResult> {
+    iterate_init(source, config, executor, engine, None)
+}
+
+/// [`iterate`] with an optional caller-supplied initial assignment — the
+/// warm-start entry point used by `Solver::refit`, where the previous fit's
+/// labels seed the loop instead of the configured initialization. `None`
+/// reproduces [`iterate`] exactly (including its RNG draws), so a cold refit
+/// is bit-identical to a cold fit by construction.
+pub fn iterate_init<T: Scalar>(
+    source: &dyn KernelSource<T>,
+    config: &KernelKmeansConfig,
+    executor: &dyn Executor,
+    engine: &mut dyn DistanceEngine<T>,
+    init: Option<Vec<usize>>,
+) -> Result<ClusteringResult> {
     let n = source.n();
     config.validate(n)?;
     let k = config.k;
 
-    // Initial assignment (Alg. 2 line 3).
-    let labels = initial_assignments_source(source, k, config.init, config.seed, executor)?;
+    // Initial assignment (Alg. 2 line 3), or the caller's warm start.
+    let labels = match init {
+        Some(labels) => {
+            if labels.len() != n {
+                return Err(crate::CoreError::InvalidInput(format!(
+                    "warm-start labels have length {} but the source has {n} rows",
+                    labels.len()
+                )));
+            }
+            if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+                return Err(crate::CoreError::InvalidInput(format!(
+                    "warm-start label {bad} is out of range for k = {k}"
+                )));
+            }
+            labels
+        }
+        None => initial_assignments_source(source, k, config.init, config.seed, executor)?,
+    };
     let mut state = LoopState::new(labels, k);
 
     // Measures the per-tile produce (source charges) / consume (engine
@@ -244,6 +275,7 @@ pub fn iterate<T: Scalar>(
     let mut result = state.into_result(executor);
     result.approx_error_bound = source.approx_error_bound();
     result.streaming = meter.into_report();
+    result.config = Some(config.clone());
     Ok(result)
 }
 
@@ -271,6 +303,8 @@ pub fn finalize(
         trace,
         approx_error_bound: None,
         streaming: None,
+        config: None,
+        centroids: None,
     }
 }
 

@@ -254,6 +254,62 @@ impl<T: Scalar> Solver<T> for KernelKmeans {
         self.iterate_source(source, config, executor)
     }
 
+    /// [`Solver::fit_input_with`] plus model extraction off the live kernel
+    /// source, so the model adopts the fit's resident state.
+    fn fit_model_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<(ClusteringResult, crate::model::FittedModel<T>)> {
+        config.validate(input.n())?;
+        input.validate()?;
+        let executor = self.executor_for::<T>();
+        let executor: &dyn Executor = &*executor;
+        let _residency = ResidencyScope::new(executor);
+        input.charge_upload(executor);
+        let mut engine = PopcornEngine::<T>::new(config.k);
+        crate::model::fit_model_via(
+            crate::model::ModelFamily::Popcorn,
+            input,
+            input,
+            config,
+            executor,
+            || {
+                Ok(input
+                    .compute_kernel_matrix(config.kernel, config.strategy, executor)?
+                    .0)
+            },
+            &mut engine,
+        )
+    }
+
+    /// Warm-start/mini-batch refits over the model's resident kernel state —
+    /// see [`crate::model::RefitRequest`] for the residency rules.
+    fn refit(
+        &self,
+        model: &crate::model::FittedModel<T>,
+        request: &crate::model::RefitRequest<T>,
+    ) -> Result<(ClusteringResult, crate::model::FittedModel<T>)> {
+        let executor = self.executor_for::<T>();
+        let executor: &dyn Executor = &*executor;
+        let _residency = ResidencyScope::new(executor);
+        let mut make_engine = |k: usize| -> Box<dyn pipeline::DistanceEngine<T>> {
+            Box::new(PopcornEngine::<T>::new(k))
+        };
+        crate::model::refit_via(
+            crate::model::ModelFamily::Popcorn,
+            model,
+            request,
+            executor,
+            &mut make_engine,
+            &|input, config, executor| {
+                Ok(input
+                    .compute_kernel_matrix(config.kernel, config.strategy, executor)?
+                    .0)
+            },
+        )
+    }
+
     /// The restart protocol: upload the points once, then either compute `K`
     /// exactly once (in-core) or stream recomputed tiles where **one tile
     /// pass per iteration feeds every job** (out-of-core) — the lockstep

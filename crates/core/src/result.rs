@@ -1,6 +1,7 @@
 //! Solver outputs: cluster assignments, objective history and timing
 //! breakdowns.
 
+use crate::config::KernelKmeansConfig;
 use popcorn_gpusim::{OpTrace, Phase, StreamingReport};
 
 /// Per-iteration statistics recorded by the solvers.
@@ -122,6 +123,18 @@ pub struct ClusteringResult {
     /// pipeline hides. Derived from the trace — the trace itself is
     /// bit-identical with streaming on or off.
     pub streaming: Option<StreamingReport>,
+    /// The exact configuration the fit ran under (kernel function, approx
+    /// parameters, tiling, seed), carried so a serving path can recompute
+    /// cross-kernel rows consistently instead of re-deriving the settings.
+    /// `None` only for results assembled outside the shared loop.
+    pub config: Option<KernelKmeansConfig>,
+    /// For Lloyd (feature-space) fits: the centroids that produced the final
+    /// assignment (i.e. the centroids *entering* the last assignment step),
+    /// one `d`-vector per cluster in `f64`. Replaying the assignment against
+    /// these reproduces `labels` bit for bit even when the fit stopped at
+    /// `max_iter`. `None` for kernel-space fits, whose model is the
+    /// coefficient set over the training points instead.
+    pub centroids: Option<Vec<Vec<f64>>>,
 }
 
 impl ClusteringResult {
@@ -232,6 +245,8 @@ mod tests {
             trace: OpTrace::new(),
             approx_error_bound: None,
             streaming: None,
+            config: None,
+            centroids: None,
         };
         assert_eq!(result.objective_history(), vec![3.0, 1.5]);
         assert_eq!(result.cluster_sizes(), vec![2, 3, 0]);
@@ -257,6 +272,8 @@ mod tests {
             trace: OpTrace::new(),
             approx_error_bound: None,
             streaming: None,
+            config: None,
+            centroids: None,
         };
         assert_eq!(result.modeled_wallclock_seconds(), 4.0);
         result.streaming = Some(StreamingReport {

@@ -1,19 +1,23 @@
-//! Shared tile-wise row-sum accumulator for the baseline distance engines.
+//! Shared tile-wise row-sum accumulator for distance engines and serving.
 //!
-//! Both the CPU reference and the dense GPU baseline compute their distances
-//! from the same intermediate: per-point, per-cluster row sums
-//! `Σ_{q ∈ L_c} K[i][q]`, folded row by row over the kernel matrix, with
-//! `diag(K)` collected for free on the first pass. Only the *charging* (which
-//! simulated kernel, which utilization) and the finishing arithmetic differ
-//! between the two solvers, so the fold itself lives here exactly once —
-//! keeping the two engines bit-for-bit in lockstep by construction.
+//! Both baseline distance engines (the CPU reference and the dense GPU
+//! baseline) compute their distances from the same intermediate: per-point,
+//! per-cluster row sums `Σ_{q ∈ L_c} K[i][q]`, folded row by row over the
+//! kernel matrix, with `diag(K)` collected for free on the first pass. Only
+//! the *charging* (which simulated kernel, which utilization) and the
+//! finishing arithmetic differ between the two solvers, so the fold itself
+//! lives here exactly once — keeping the engines bit-for-bit in lockstep by
+//! construction. The serving path ([`crate::model`]) reuses the same fold to
+//! extract per-cluster statistics from a fitted model's resident kernel
+//! state, and to replay the baselines' assignment arithmetic verbatim.
 
 use popcorn_dense::{DenseMatrix, Scalar};
 use popcorn_gpusim::Executor;
 use std::ops::Range;
 
-/// Per-iteration row-sum state shared by `CpuEngine` and `BaselineEngine`.
-pub(crate) struct RowSumFold<T: Scalar> {
+/// Per-iteration row-sum state shared by the baseline engines and the
+/// model-extraction pass.
+pub struct RowSumFold<T: Scalar> {
     k: usize,
     iteration: usize,
     diag: Option<Vec<T>>,
@@ -28,6 +32,7 @@ pub(crate) struct RowSumFold<T: Scalar> {
 }
 
 impl<T: Scalar> RowSumFold<T> {
+    /// A fresh fold for `k` clusters.
     pub fn new(k: usize) -> Self {
         Self {
             k,
@@ -158,4 +163,87 @@ impl<T: Scalar> RowSumFold<T> {
         }
         self.row_sums.take().expect("begin_iteration ran")
     }
+}
+
+/// Per-cluster self-similarity terms `Σ_{p,q ∈ L_c} K_pq`, folded from the
+/// sealed row sums exactly the way both baseline engines fold them — shared
+/// here so the serving replay reproduces the fit arithmetic by construction.
+pub fn cluster_self_terms<T: Scalar>(
+    row_sums: &DenseMatrix<T>,
+    labels: &[usize],
+    k: usize,
+) -> Vec<f64> {
+    let mut cluster_self = vec![0.0f64; k];
+    for (i, &l) in labels.iter().enumerate() {
+        cluster_self[l] += row_sums[(i, l)].to_f64();
+    }
+    cluster_self
+}
+
+/// The PRMLT-style distance assembly (the CPU reference's finishing step):
+/// `D[i][c] = K_ii − 2·rowsum[i][c]/|L_c| + cluster_self[c]/|L_c|²`, with
+/// empty clusters pinned to `K_ii`.
+pub fn cpu_distance_assembly<T: Scalar>(
+    row_sums: &DenseMatrix<T>,
+    diag: &[T],
+    labels: &[usize],
+    sizes: &[usize],
+    k: usize,
+) -> DenseMatrix<T> {
+    let n = diag.len();
+    let cluster_self = cluster_self_terms(row_sums, labels, k);
+    DenseMatrix::from_fn(n, k, |i, c| {
+        if sizes[c] == 0 {
+            return diag[i];
+        }
+        let card = sizes[c] as f64;
+        let value = diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card
+            + cluster_self[c] / (card * card);
+        T::from_f64(value)
+    })
+}
+
+/// The dense GPU baseline's kernel 2: reduce the row sums into per-cluster
+/// centroid norms `Σ_{p,q∈L_c} K_pq / |L_c|²`, rounded through `T` exactly as
+/// the baseline rounds them.
+pub fn baseline_centroid_norms<T: Scalar>(
+    row_sums: &DenseMatrix<T>,
+    labels: &[usize],
+    sizes: &[usize],
+    k: usize,
+) -> Vec<T> {
+    let norms = cluster_self_terms(row_sums, labels, k);
+    norms
+        .iter()
+        .zip(sizes.iter())
+        .map(|(&s, &card)| {
+            if card == 0 {
+                T::ZERO
+            } else {
+                T::from_f64(s / (card as f64 * card as f64))
+            }
+        })
+        .collect()
+}
+
+/// The dense GPU baseline's kernel 3: assemble the distances from the row
+/// sums, `diag(K)` and the rounded centroid norms of
+/// [`baseline_centroid_norms`].
+pub fn baseline_distance_assembly<T: Scalar>(
+    row_sums: &DenseMatrix<T>,
+    diag: &[T],
+    centroid_norms: &[T],
+    sizes: &[usize],
+) -> DenseMatrix<T> {
+    let n = diag.len();
+    let k = sizes.len();
+    DenseMatrix::from_fn(n, k, |i, c| {
+        if sizes[c] == 0 {
+            return diag[i];
+        }
+        let card = sizes[c] as f64;
+        T::from_f64(
+            diag[i].to_f64() - 2.0 * row_sums[(i, c)].to_f64() / card + centroid_norms[c].to_f64(),
+        )
+    })
 }

@@ -228,6 +228,48 @@ pub trait Solver<T: Scalar> {
         self.fit_from_source_with(&source, config)
     }
 
+    /// Fit and freeze a serving model in one pass — the result of
+    /// [`Solver::fit_input`] plus a [`crate::model::FittedModel`] that keeps
+    /// the fit's resident kernel state for assignment and refits.
+    fn fit_model(
+        &self,
+        input: FitInput<'_, T>,
+    ) -> Result<(ClusteringResult, crate::model::FittedModel<T>)> {
+        self.fit_model_with(input, self.config())
+    }
+
+    /// [`Solver::fit_model`] with an explicit configuration. The default
+    /// errs with [`CoreError::Unsupported`]; the shipped solvers override it.
+    fn fit_model_with(
+        &self,
+        input: FitInput<'_, T>,
+        config: &KernelKmeansConfig,
+    ) -> Result<(ClusteringResult, crate::model::FittedModel<T>)> {
+        let _ = (input, config);
+        Err(CoreError::Unsupported(format!(
+            "{} does not support fitted-model extraction",
+            self.name()
+        )))
+    }
+
+    /// Refit a fitted model: reuse its resident kernel state and stored
+    /// points (charge-once residency), optionally warm-starting from the
+    /// stored labels and/or appending new points — see
+    /// [`crate::model::RefitRequest`]. With warm-start off and no new
+    /// points, the refit is bit-identical to a cold fit. The default errs
+    /// with [`CoreError::Unsupported`]; the shipped solvers override it.
+    fn refit(
+        &self,
+        model: &crate::model::FittedModel<T>,
+        request: &crate::model::RefitRequest<T>,
+    ) -> Result<(ClusteringResult, crate::model::FittedModel<T>)> {
+        let _ = (model, request);
+        Err(CoreError::Unsupported(format!(
+            "{} does not support refits",
+            self.name()
+        )))
+    }
+
     /// Fit every job of a batch over the same input, sharing whatever work
     /// is identical across jobs — the default-options convenience over
     /// [`Solver::fit_batch_with`].

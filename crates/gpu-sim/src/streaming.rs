@@ -157,6 +157,30 @@ impl StreamMeter {
         self.cursor = executor.trace_len();
     }
 
+    /// `true` when the meter is measuring (mode is not [`Streaming::Off`]).
+    /// Callers that gather segment inputs themselves (see
+    /// [`StreamMeter::tile_consumed_external`]) use this to keep the off
+    /// path free of trace locks.
+    pub fn active(&self) -> bool {
+        !self.off()
+    }
+
+    /// Close the current tile's consume segment from seconds the caller
+    /// measured itself — the batched lockstep driver's entry point, where a
+    /// tile's consumption is the **sum** of every job fork's fold charges
+    /// (the forks share one device, so concurrent folds serialize on its
+    /// engines) and no single executor's trace sees the whole segment. The
+    /// produce side keeps being measured off the shared executor via
+    /// [`StreamMeter::tile_produced`].
+    pub fn tile_consumed_external(&mut self, consume: EngineSeconds) {
+        if self.off() {
+            return;
+        }
+        if let Some(tile) = self.pass.last_mut() {
+            tile.consume = consume;
+        }
+    }
+
     /// Fold the finished pass into the report under the double-buffer rule.
     pub fn finish_pass(&mut self) {
         if self.off() || self.pass.is_empty() {

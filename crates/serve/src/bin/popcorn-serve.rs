@@ -1,0 +1,274 @@
+//! `popcorn-serve` — serve a saved clustering model.
+//!
+//! Loads a [`popcorn_core::FittedModel`] written by `gpukmeans --save-model`,
+//! starts the bounded-queue serving runtime and drives it with the requests
+//! named on the command line (query files to label, refits to run), printing
+//! one line per answered request plus a stats footer. The kernel state is
+//! uploaded once at load time; every request pays only its marginal cost.
+
+use popcorn_core::model::{OwnedPoints, RefitRequest};
+use popcorn_core::ModelFamily;
+use popcorn_data::{csv, libsvm};
+use popcorn_serve::{ServeOptions, ServeRequest, ServeResponse, Server, SubmitError};
+
+const USAGE: &str = "popcorn-serve — serve a fitted Popcorn clustering model
+
+USAGE:
+  popcorn-serve --model FILE [REQUESTS...]
+
+REQUESTS (executed in order; repeatable):
+  --assign FILE   label the points in FILE (csv or libsvm, sniffed per file)
+  --train         label the model's own training set (replays the fit's
+                  distance pass over resident state — no kernel recompute)
+  --refit MODE    refit the model: warm (seed from the stored labels) or
+                  cold (bit-identical to a fresh fit)
+
+OPTIONS:
+  --model FILE    the model to serve (written by gpukmeans --save-model)
+  --solver STR    solver family executing refits: popcorn | cpu-reference |
+                  dense-gpu-baseline | lloyd    [default: the model's family]
+  --queue INT     bounded request-queue capacity [default: 64]
+  --workers INT   worker threads                 [default: 1]
+  --labels-out F  write the labels of the LAST assignment to F
+  -h, --help      print this help text
+";
+
+enum Scripted {
+    AssignFile(String),
+    AssignTraining,
+    Refit(RefitRequest<f32>),
+}
+
+struct ServeArgs {
+    model: String,
+    solver: Option<String>,
+    queue: usize,
+    workers: usize,
+    labels_out: Option<String>,
+    script: Vec<Scripted>,
+}
+
+fn parse_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut model = None;
+    let mut solver = None;
+    let mut queue = 64usize;
+    let mut workers = 1usize;
+    let mut labels_out = None;
+    let mut script = Vec::new();
+    let mut iter = args.iter();
+    let value = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--model" => model = Some(value("--model", &mut iter)?),
+            "--solver" => solver = Some(value("--solver", &mut iter)?),
+            "--queue" => {
+                queue = value("--queue", &mut iter)?
+                    .parse()
+                    .map_err(|_| "--queue expects a positive integer".to_string())?
+            }
+            "--workers" => {
+                workers = value("--workers", &mut iter)?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?
+            }
+            "--labels-out" => labels_out = Some(value("--labels-out", &mut iter)?),
+            "--assign" => script.push(Scripted::AssignFile(value("--assign", &mut iter)?)),
+            "--train" => script.push(Scripted::AssignTraining),
+            "--refit" => {
+                let mode = value("--refit", &mut iter)?;
+                script.push(Scripted::Refit(match mode.as_str() {
+                    "warm" => RefitRequest::warm(),
+                    "cold" => RefitRequest::cold(),
+                    _ => return Err(format!("--refit expects warm or cold, got '{mode}'")),
+                }));
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    if queue == 0 || workers == 0 {
+        return Err("--queue and --workers must be at least 1".to_string());
+    }
+    Ok(ServeArgs {
+        model: model.ok_or_else(|| format!("--model is required\n\n{USAGE}"))?,
+        solver,
+        queue,
+        workers,
+        labels_out,
+        script,
+    })
+}
+
+/// Load a query file, sniffing libSVM (`index:value` tokens) vs CSV.
+fn load_queries(path: &str) -> Result<OwnedPoints<f32>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| path.to_string());
+    let looks_sparse = text.lines().take(200).any(|line| {
+        line.split_whitespace()
+            .skip(1)
+            .any(|token| token.contains(':'))
+    });
+    if looks_sparse {
+        libsvm::parse_libsvm_sparse::<f32>(name, &text, None)
+            .map(|ds| OwnedPoints::Csr(ds.points().clone()))
+            .map_err(|e| format!("failed to parse {path} as libsvm: {e}"))
+    } else {
+        csv::parse_csv::<f32>(name, &text, false)
+            .map(|ds| OwnedPoints::Dense(ds.points().clone()))
+            .map_err(|e| format!("failed to parse {path} as csv: {e}"))
+    }
+}
+
+fn solver_kind(
+    args: &ServeArgs,
+    family: ModelFamily,
+) -> Result<popcorn_baselines::SolverKind, String> {
+    use popcorn_baselines::SolverKind;
+    let Some(name) = &args.solver else {
+        // Default: the family that fitted the model executes its refits.
+        return Ok(match family {
+            ModelFamily::Popcorn => SolverKind::Popcorn,
+            ModelFamily::CpuReference => SolverKind::Cpu,
+            ModelFamily::DenseBaseline => SolverKind::DenseBaseline,
+            ModelFamily::Lloyd => SolverKind::Lloyd,
+        });
+    };
+    match name.as_str() {
+        "popcorn" => Ok(SolverKind::Popcorn),
+        "cpu-reference" => Ok(SolverKind::Cpu),
+        "dense-gpu-baseline" => Ok(SolverKind::DenseBaseline),
+        "lloyd" => Ok(SolverKind::Lloyd),
+        _ => Err(format!(
+            "--solver expects popcorn | cpu-reference | dense-gpu-baseline | lloyd, got '{name}'"
+        )),
+    }
+}
+
+fn run(args: &ServeArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.model)
+        .map_err(|e| format!("cannot read {}: {e}", args.model))?;
+    let model = popcorn_core::FittedModel::<f32>::load(&text)
+        .map_err(|e| format!("{}: {e}", args.model))?;
+    println!("serving {}", model.describe());
+    let solver = solver_kind(args, model.family())?;
+    let server = Server::start(
+        model,
+        solver,
+        ServeOptions {
+            queue_capacity: args.queue,
+            workers: args.workers,
+        },
+    );
+
+    let mut last_labels: Option<Vec<usize>> = None;
+    for step in &args.script {
+        let (what, request) = match step {
+            Scripted::AssignFile(path) => (
+                format!("assign {path}"),
+                ServeRequest::Assign {
+                    queries: load_queries(path)?,
+                },
+            ),
+            Scripted::AssignTraining => (
+                "assign <training set>".to_string(),
+                ServeRequest::Assign {
+                    queries: server.model().points().clone(),
+                },
+            ),
+            Scripted::Refit(request) => (
+                format!(
+                    "refit ({})",
+                    if request.warm_start { "warm" } else { "cold" }
+                ),
+                ServeRequest::Refit {
+                    request: request.clone(),
+                },
+            ),
+        };
+        // The scripted driver retries on backpressure; a networked front-end
+        // would surface Busy to its client instead.
+        let ticket = loop {
+            match server.submit(request.clone()) {
+                Ok(ticket) => break ticket,
+                Err(SubmitError::Busy) => std::thread::yield_now(),
+                Err(SubmitError::Closed) => return Err("server closed".to_string()),
+            }
+        };
+        match ticket.wait() {
+            ServeResponse::Assigned(batch) => {
+                println!(
+                    "{what}: {} labels in {:.6} modeled s{}",
+                    batch.labels.len(),
+                    batch.modeled_seconds,
+                    if batch.replayed_training {
+                        " (training replay)"
+                    } else {
+                        ""
+                    }
+                );
+                last_labels = Some(batch.labels);
+            }
+            ServeResponse::Refitted(summary) => println!(
+                "{what}: n={} iterations={} converged={} objective={:.6e} modeled={:.6}s",
+                summary.n,
+                summary.iterations,
+                summary.converged,
+                summary.objective,
+                summary.modeled_seconds
+            ),
+            ServeResponse::Stats(_) => {}
+            ServeResponse::Error(e) => println!("{what}: ERROR {e}"),
+        }
+    }
+
+    if let Some(path) = &args.labels_out {
+        let labels = last_labels.ok_or("--labels-out needs at least one --assign/--train")?;
+        let mut text = String::new();
+        for (i, label) in labels.iter().enumerate() {
+            text.push_str(&format!("{i},{label}\n"));
+        }
+        std::fs::write(path, text).map_err(|e| format!("failed to write {path}: {e}"))?;
+    }
+
+    let stats = server.shutdown();
+    println!(
+        "served {} request(s): {} assignment(s) over {} query row(s) ({} training replay(s)), \
+         {} refit(s), {} rejected, {} error(s)",
+        stats.served(),
+        stats.assigned,
+        stats.queries_labeled,
+        stats.training_replays,
+        stats.refits,
+        stats.rejected,
+        stats.errors,
+    );
+    println!(
+        "modeled device time {:.6} s | mean host latency {:.6} s | worst {:.6} s",
+        stats.modeled_device_seconds,
+        stats.mean_host_latency_seconds(),
+        stats.max_host_latency_seconds,
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(&parsed) {
+        eprintln!("popcorn-serve: {message}");
+        std::process::exit(1);
+    }
+}

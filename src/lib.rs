@@ -37,9 +37,13 @@ pub use popcorn_core as core;
 /// Baseline implementations (CPU kernel k-means, dense GPU baseline, Lloyd).
 pub use popcorn_baselines as baselines;
 
+/// Model serving runtime (bounded request queue, assignment, refits).
+pub use popcorn_serve as serve;
+
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use popcorn_baselines::{CpuKernelKmeans, DenseGpuBaseline, LloydKmeans};
+    pub use popcorn_core::{AssignmentBatch, FittedModel, ModelFamily, OwnedPoints, RefitRequest};
     pub use popcorn_core::{
         BatchOptions, BatchReport, BatchResult, ClusteringResult, FitInput, FitJob, FullKernel,
         HostFanout, HostParallelism, Initialization, JobReport, KernelApprox, KernelFunction,

@@ -1,0 +1,259 @@
+//! Property tests for the serving subsystem: a fitted model is the fit,
+//! frozen. Assigning the training set back to a converged model replays the
+//! fit's own distance pass over resident state and reproduces the fit labels
+//! bit for bit — for every solver family, both point layouts and every
+//! kernel representation — without charging a single kernel-matrix
+//! recomputation for resident state (trace-asserted). A refit with
+//! warm-start off is bit-identical to a cold fit of the same data and
+//! config. And the serving queue is pure plumbing: per-request labels and
+//! modeled-seconds attribution are bit-identical at any worker count,
+//! because each request runs on its own executor fork.
+
+use popcorn::baselines::SolverKind;
+use popcorn::prelude::*;
+use popcorn::serve::{ServeOptions, ServeRequest, ServeResponse, Server, SubmitError};
+use popcorn_gpusim::Phase;
+use proptest::prelude::*;
+
+fn blobby_points(max_n: usize, max_d: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
+    (12..=max_n, 2..=max_d).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-4.0f64..4.0, n * d).prop_map(move |mut data| {
+            for (i, v) in data.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            DenseMatrix::from_vec(n, d, data).unwrap()
+        })
+    })
+}
+
+fn base_config(k: usize) -> KernelKmeansConfig {
+    KernelKmeansConfig::paper_defaults(k)
+        .with_max_iter(40)
+        .with_convergence_check(true, 1e-10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Training-set assignment is the fit, replayed: for every solver
+    /// family, both layouts and every kernel representation, a converged
+    /// model labels its own training points exactly as the fit did — and
+    /// the replay charges **no kernel-matrix work** when the kernel state
+    /// is resident (`full`/`csr`/`nystrom`); only `streamed` models (and
+    /// Lloyd, which has no kernel matrix) may recompute, exactly as the
+    /// fit itself did.
+    #[test]
+    fn training_assignment_replays_fit_labels_for_all_solvers_and_representations(
+        points in blobby_points(18, 5),
+        k in 2usize..4,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(k <= points.rows());
+        let n = points.rows();
+        let csr = CsrMatrix::from_dense(&points);
+        for (approx_name, approx) in [
+            ("exact", KernelApprox::Exact),
+            ("nystrom", KernelApprox::Nystrom { landmarks: n / 2, seed }),
+            ("sparsified", KernelApprox::Sparsified {
+                sparsify: Sparsify::Knn { neighbors: 6 },
+            }),
+        ] {
+            let config = base_config(k).with_seed(seed).with_approx(approx);
+            for kind in SolverKind::ALL {
+                for (layout, input) in [
+                    ("dense", FitInput::Dense(&points)),
+                    ("csr", FitInput::Sparse(&csr)),
+                ] {
+                    let context = format!("({}, {layout}, {approx_name})", kind.name());
+                    let (result, model) = kind
+                        .build::<f64>(config.clone())
+                        .fit_model(input)
+                        .map_err(|e| TestCaseError::fail(format!("{context}: {e}")))?;
+                    prop_assume!(result.converged);
+                    let executor = SimExecutor::new(
+                        kind.default_device(),
+                        std::mem::size_of::<f64>(),
+                    );
+                    let batch = model
+                        .assign(input, &executor)
+                        .map_err(|e| TestCaseError::fail(format!("{context}: {e}")))?;
+                    prop_assert!(
+                        batch.replayed_training,
+                        "training input must be recognised bitwise {context}"
+                    );
+                    prop_assert_eq!(
+                        &batch.labels,
+                        &result.labels,
+                        "replay must reproduce the fit labels {}",
+                        &context
+                    );
+                    // Resident kernel state answers without recomputing it.
+                    let kernel_matrix_charges = executor
+                        .trace()
+                        .records()
+                        .iter()
+                        .filter(|record| record.phase == Phase::KernelMatrix)
+                        .count();
+                    if matches!(model.resident_kind(), "full" | "csr" | "nystrom") {
+                        prop_assert_eq!(
+                            kernel_matrix_charges,
+                            0,
+                            "resident state must not be recomputed {}",
+                            &context
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A refit with warm-start disabled is a cold fit: same data, same
+    /// config, bit-identical labels, objective and iteration count — the
+    /// resident state changes what is *charged*, never what is computed.
+    #[test]
+    fn cold_refit_is_bit_identical_to_a_cold_fit(
+        points in blobby_points(16, 5),
+        k in 2usize..4,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(k <= points.rows());
+        let config = base_config(k).with_seed(seed);
+        let input = FitInput::Dense(&points);
+        for kind in SolverKind::ALL {
+            let solver = kind.build::<f64>(config.clone());
+            let (fit, model) = solver
+                .fit_model(input)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+            let (refit, refitted) = solver
+                .refit(&model, &RefitRequest::cold())
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+            prop_assert_eq!(
+                &refit.labels,
+                &fit.labels,
+                "{}: cold refit labels diverge",
+                kind.name()
+            );
+            prop_assert_eq!(refit.iterations, fit.iterations, "{}", kind.name());
+            prop_assert_eq!(
+                refit.objective.to_bits(),
+                fit.objective.to_bits(),
+                "{}: cold refit objective diverges",
+                kind.name()
+            );
+            prop_assert_eq!(
+                refitted.labels(),
+                model.labels(),
+                "{}: the refitted model must store the same labels",
+                kind.name()
+            );
+        }
+    }
+
+    /// The bounded queue is pure plumbing: per-request labels and modeled
+    /// device-seconds are bit-identical at any worker count, because every
+    /// request is answered on its own executor fork. Backpressure
+    /// (rejected submissions) changes who waits, never what is computed.
+    #[test]
+    fn queue_preserves_per_request_attribution_at_any_worker_count(
+        k in 2usize..4,
+        seed in 0u64..20,
+        workers in 2usize..=4,
+        requests in 3usize..8,
+    ) {
+        let data = popcorn::data::synthetic::uniform_dataset::<f32>(60, 5, seed);
+        let config = base_config(k).with_seed(seed);
+        let solver = SolverKind::Popcorn.build::<f32>(config);
+        let (fit, model) = solver
+            .fit_model(FitInput::Dense(data.points()))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assume!(fit.converged);
+        // The request stream: the training set plus out-of-sample batches,
+        // identical for every worker count.
+        let mut stream = vec![OwnedPoints::Dense(data.points().clone())];
+        for r in 0..requests {
+            let qseed = seed.wrapping_add(100 + r as u64);
+            stream.push(OwnedPoints::Dense(
+                popcorn::data::synthetic::uniform_dataset::<f32>(9, 5, qseed)
+                    .points()
+                    .clone(),
+            ));
+        }
+        let drive = |workers: usize| -> Result<Vec<(Vec<usize>, u64)>, TestCaseError> {
+            let server = Server::start(
+                model.clone(),
+                SolverKind::Popcorn,
+                ServeOptions { queue_capacity: 2, workers },
+            );
+            let mut tickets = Vec::new();
+            for queries in &stream {
+                loop {
+                    match server.submit(ServeRequest::Assign { queries: queries.clone() }) {
+                        Ok(ticket) => { tickets.push(ticket); break; }
+                        Err(SubmitError::Busy) => std::thread::yield_now(),
+                        Err(SubmitError::Closed) => {
+                            return Err(TestCaseError::fail("server closed early"));
+                        }
+                    }
+                }
+            }
+            tickets
+                .into_iter()
+                .map(|ticket| match ticket.wait() {
+                    ServeResponse::Assigned(batch) => {
+                        Ok((batch.labels, batch.modeled_seconds.to_bits()))
+                    }
+                    other => Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+                })
+                .collect()
+        };
+        let sequential = drive(1)?;
+        prop_assert_eq!(
+            &sequential[0].0,
+            &fit.labels,
+            "the training request must replay the fit labels"
+        );
+        let concurrent = drive(workers)?;
+        for (request, (a, b)) in sequential.iter().zip(concurrent.iter()).enumerate() {
+            prop_assert_eq!(
+                &a.0,
+                &b.0,
+                "request {} labels depend on the worker count",
+                request
+            );
+            prop_assert_eq!(
+                a.1,
+                b.1,
+                "request {} modeled-seconds attribution depends on the worker count",
+                request
+            );
+        }
+    }
+}
+
+/// Mini-batch growth: appending rows refits over the concatenated set, the
+/// refitted model serves the new size, and only the appended rows are
+/// charged as an upload (the original points stayed resident).
+#[test]
+fn mini_batch_refit_grows_the_model_and_charges_only_the_new_rows() {
+    let data = popcorn::data::synthetic::uniform_dataset::<f32>(50, 4, 3);
+    let extra = popcorn::data::synthetic::uniform_dataset::<f32>(10, 4, 4);
+    let config = KernelKmeansConfig::paper_defaults(3)
+        .with_convergence_check(true, 1e-9)
+        .with_max_iter(40);
+    let solver = SolverKind::Popcorn.build::<f32>(config);
+    let (_, model) = solver.fit_model(FitInput::Dense(data.points())).unwrap();
+    let request = RefitRequest::warm().with_new_points(OwnedPoints::Dense(extra.points().clone()));
+    let (result, grown) = solver.refit(&model, &request).unwrap();
+    assert_eq!(result.labels.len(), 60);
+    assert_eq!(grown.n(), 60);
+    // The grown model serves assignments at the new size.
+    let executor = SimExecutor::new(
+        SolverKind::Popcorn.default_device(),
+        std::mem::size_of::<f32>(),
+    );
+    let batch = grown.assign(grown.points().as_input(), &executor).unwrap();
+    assert!(batch.replayed_training);
+    assert_eq!(batch.labels, result.labels);
+}
