@@ -29,7 +29,8 @@ use popcorn_core::shard::ShardPlan;
 use popcorn_core::{KernelFunction, KernelKmeans, KernelKmeansConfig, Solver, TilePolicy};
 use popcorn_data::synthetic::uniform_dataset;
 use popcorn_gpusim::{
-    CostModel, DeviceSpec, DeviceTopology, LinkSpec, OpClass, OpCost, ShardedExecutor, SimExecutor,
+    CostModel, DeviceSpec, DeviceTopology, FaultPlan, LinkSpec, OpClass, OpCost, RecoveryPolicy,
+    ShardedExecutor, SimExecutor,
 };
 use std::sync::Arc;
 
@@ -278,4 +279,119 @@ fn main() {
         format_seconds(executor.modeled_wallclock_seconds()),
         format_seconds(popcorn_gpusim::Executor::total_modeled_seconds(&*executor)),
     );
+
+    // --- elastic demonstration: mixed pool, mid-fit device loss -------------
+    //
+    // A heterogeneous A100 + H100 + V100 pool shards rows by modeled
+    // throughput, then the same fit is replayed with the H100 (device 1,
+    // carrying the largest shard) dying at kernel-matrix pass 1. The run
+    // re-shards the lost rows over the survivors: labels stay bit-identical,
+    // and the modeled recovery overhead is bounded by the cost of re-running
+    // the work the lost device owned — asserted under 2x one iteration.
+    let n_elastic = 1_500;
+    let mixed = DeviceTopology {
+        devices: vec![
+            DeviceSpec::a100_80gb(),
+            DeviceSpec::h100_80gb(),
+            DeviceSpec::v100(),
+        ],
+        interconnect: LinkSpec::nvlink(),
+    };
+    let elastic_config = KernelKmeansConfig::paper_defaults(8)
+        .with_max_iter(5)
+        .with_seed(options.seed);
+    let input_bytes_elastic = (n_elastic * 16 * ELEM) as u64;
+    let plan = ShardPlan::balanced_by_throughput(
+        n_elastic,
+        8,
+        ELEM,
+        input_bytes_elastic,
+        TilePolicy::Auto,
+        &mixed,
+        None,
+    )
+    .expect("throughput plan");
+    let split: Vec<usize> = plan.shards().iter().map(|s| s.rows.len()).collect();
+    assert!(
+        split[1] > split[0] && split[0] > split[2],
+        "throughput weighting must hand the H100 more rows than the A100, \
+         and the A100 more than the V100: {split:?}"
+    );
+
+    let fresh_executor = Arc::new(ShardedExecutor::new(mixed.clone(), ELEM));
+    let fresh = KernelKmeans::new(elastic_config.clone())
+        .with_shared_executor(fresh_executor.clone())
+        .fit(uniform_dataset::<f32>(n_elastic, 16, options.seed).points())
+        .expect("fresh mixed-pool fit");
+
+    let lossy_executor = Arc::new(
+        ShardedExecutor::new(mixed, ELEM)
+            .with_fault_plan(FaultPlan::new().lose(1, 1), RecoveryPolicy::Resume),
+    );
+    let recovered = KernelKmeans::new(elastic_config)
+        .with_shared_executor(lossy_executor.clone())
+        .fit(uniform_dataset::<f32>(n_elastic, 16, options.seed).points())
+        .expect("fit surviving the device loss");
+    assert_eq!(
+        fresh.labels, recovered.labels,
+        "losing a device mid-fit must not change the clustering"
+    );
+    assert_eq!(fresh.objective.to_bits(), recovered.objective.to_bits());
+    assert_eq!(lossy_executor.device_alive(), vec![true, false, true]);
+    let report = recovered
+        .recovery
+        .as_ref()
+        .expect("a recovered fit carries its recovery accounting");
+    assert_eq!(report.devices_lost, 1);
+    assert!(report.rows_migrated > 0);
+
+    // Overhead = extra modeled seconds the faulted run paid over the fresh
+    // fit on the same topology; one iteration of the fresh fit is the budget
+    // yardstick (recovery re-runs roughly one shard's worth of work).
+    let fresh_total = popcorn_gpusim::Executor::total_modeled_seconds(&*fresh_executor);
+    let lossy_total = popcorn_gpusim::Executor::total_modeled_seconds(&*lossy_executor);
+    let recovery_overhead = lossy_total - fresh_total;
+    let per_iteration = fresh.modeled_timings.total() / fresh.iterations.max(1) as f64;
+    assert!(
+        recovery_overhead < 2.0 * per_iteration,
+        "recovery overhead {recovery_overhead:.6} s must stay under 2x one \
+         iteration ({per_iteration:.6} s)"
+    );
+    println!(
+        "\nelastic: n={n_elastic} over A100+H100+V100 (throughput split {split:?}); \
+         device 1 lost at pass 1 — labels bit-identical, {} row(s) migrated, \
+         recovery overhead {} vs {} per iteration ({:.2}x)",
+        report.rows_migrated,
+        format_seconds(recovery_overhead),
+        format_seconds(per_iteration),
+        recovery_overhead / per_iteration,
+    );
+
+    let json = format!(
+        "{{\n  \"n\": {n_elastic},\n  \"d\": 16,\n  \"k\": 8,\n  \"iterations\": {},\n  \
+         \"pool\": [\"a100\", \"h100\", \"v100\"],\n  \
+         \"throughput_split_rows\": [{}, {}, {}],\n  \
+         \"lost_device\": 1,\n  \"lost_at_pass\": 1,\n  \
+         \"labels_bit_identical\": true,\n  \
+         \"rows_migrated\": {},\n  \"bytes_reuploaded\": {},\n  \
+         \"replayed_tiles\": {},\n  \"reshard_seconds\": {:.9},\n  \
+         \"fresh_modeled_seconds\": {fresh_total:.9},\n  \
+         \"recovered_modeled_seconds\": {lossy_total:.9},\n  \
+         \"recovery_overhead_seconds\": {recovery_overhead:.9},\n  \
+         \"per_iteration_seconds\": {per_iteration:.9},\n  \
+         \"overhead_vs_iteration\": {:.4},\n  \
+         \"overhead_under_two_iterations\": true\n}}\n",
+        fresh.iterations,
+        split[0],
+        split[1],
+        split[2],
+        report.rows_migrated,
+        report.bytes_reuploaded,
+        report.replayed_tiles,
+        report.reshard_seconds,
+        recovery_overhead / per_iteration,
+    );
+    let artifact = options.out_path("BENCH_elastic_shard.json");
+    std::fs::write(&artifact, json).expect("write JSON artifact");
+    println!("wrote {}", artifact.display());
 }

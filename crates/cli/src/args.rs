@@ -1,7 +1,7 @@
 //! Command line argument parsing for `gpukmeans`.
 
 use popcorn_core::{HostParallelism, Initialization, KernelFunction, Sparsify, TilePolicy};
-use popcorn_gpusim::{LinkSpec, Streaming};
+use popcorn_gpusim::{DeviceSpec, LinkSpec, Streaming};
 
 /// Device↔device interconnect selected by `--interconnect`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,6 +29,46 @@ impl Interconnect {
             Interconnect::Pcie => LinkSpec::pcie_gen4(),
         }
     }
+}
+
+/// Named device preset accepted in a `--devices` pool (`a100:2,h100:2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevicePreset {
+    /// NVIDIA A100 80GB (what a bare `--devices N` shards across).
+    A100,
+    /// NVIDIA H100 80GB SXM5.
+    H100,
+    /// NVIDIA V100 16GB.
+    V100,
+}
+
+impl DevicePreset {
+    /// Name matching the `--devices` pool syntax.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DevicePreset::A100 => "a100",
+            DevicePreset::H100 => "h100",
+            DevicePreset::V100 => "v100",
+        }
+    }
+
+    /// The simulator device specification this preset stands for.
+    pub fn spec(&self) -> DeviceSpec {
+        match self {
+            DevicePreset::A100 => DeviceSpec::a100_80gb(),
+            DevicePreset::H100 => DeviceSpec::h100_80gb(),
+            DevicePreset::V100 => DeviceSpec::v100(),
+        }
+    }
+}
+
+/// One scheduled device loss from `--inject-fault lost:DEV@PASS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Topology index of the device that disappears.
+    pub device: usize,
+    /// Kernel-matrix pass at whose boundary the loss fires.
+    pub at_pass: usize,
 }
 
 /// Kernel-matrix representation selected by `--approx`.
@@ -139,8 +179,17 @@ pub struct CliArgs {
     /// combination with a multi-device preset topology (`--devices` ≥ 2).
     pub device_mem_gb: Option<f64>,
     /// `--devices N`: number of modeled devices kernel-matrix rows are
-    /// sharded across (1 = the classic single-device run).
+    /// sharded across (1 = the classic single-device run). Always the total
+    /// device count, whether the flag gave a number or a preset pool.
     pub devices: usize,
+    /// `--devices a100:2,h100:2`: the mixed preset pool behind `devices`,
+    /// in flag order. `None` when the flag gave a plain count (a homogeneous
+    /// pool of the implementation's default device).
+    pub device_pool: Option<Vec<(DevicePreset, usize)>>,
+    /// `--inject-fault lost:DEV@PASS`: deterministic device losses replayed
+    /// during the fit (repeatable; requires `--devices` ≥ 2). The run
+    /// recovers onto the survivors and reports the recovery cost.
+    pub inject_faults: Vec<InjectedFault>,
     /// `--interconnect {nvlink|pcie}`: the device↔device link of a
     /// multi-device topology; only meaningful with `--devices` ≥ 2.
     pub interconnect: Option<Interconnect>,
@@ -199,6 +248,8 @@ impl Default for CliArgs {
             tiling: TilePolicy::Auto,
             device_mem_gb: None,
             devices: 1,
+            device_pool: None,
+            inject_faults: Vec::new(),
             interconnect: None,
             approx: ApproxMode::Exact,
             landmarks: None,
@@ -250,11 +301,21 @@ OPTIONS:
                   than the A100-80GB preset. Default: the preset's capacity.
                   Incompatible with --devices >= 2 (preset topologies fix
                   each device's capacity)
-  --devices INT   number of modeled devices to shard kernel-matrix rows
-                  across; the report then shows per-device residency and the
-                  modeled multi-device speedup                 [default: 1]
+  --devices V     devices to shard kernel-matrix rows across: an integer
+                  count (a homogeneous pool of the implementation's default
+                  device) or a mixed preset pool like a100:2,h100:2
+                  (presets: a100 | h100 | v100; shards are sized by each
+                  device's modeled throughput). The report then shows
+                  per-device residency and the modeled multi-device speedup
+                                                               [default: 1]
   --interconnect  device link for --devices >= 2: nvlink | pcie
                                                                [default: nvlink]
+  --inject-fault  deterministic device loss replayed during the fit:
+                  lost:DEV@PASS loses device DEV at kernel-matrix pass PASS
+                  (repeatable / comma-separated; requires --devices >= 2).
+                  The run re-shards the lost rows over the survivors —
+                  labels stay bit-identical — and the report prices the
+                  recovery (rows migrated, bytes re-uploaded, re-shard time)
   --approx STR    kernel-matrix representation: exact (the n x n matrix) or
                   nystrom (a rank-m factorization K ~ C W+ C^T over m landmark
                   columns; O(n*m) memory instead of O(n^2), approximate
@@ -400,8 +461,19 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 parsed.device_mem_gb = Some(gb);
             }
             "--devices" => {
-                parsed.devices = parse_usize("--devices", value("--devices", &mut iter)?)?
+                let v = value("--devices", &mut iter)?;
+                if v.bytes().all(|b| b.is_ascii_digit()) {
+                    parsed.devices = parse_usize("--devices", v)?;
+                    parsed.device_pool = None;
+                } else {
+                    let pool = parse_device_pool(v)?;
+                    parsed.devices = pool.iter().map(|&(_, count)| count).sum();
+                    parsed.device_pool = Some(pool);
+                }
             }
+            "--inject-fault" => parsed
+                .inject_faults
+                .extend(parse_inject_faults(value("--inject-fault", &mut iter)?)?),
             "--interconnect" => {
                 let v = value("--interconnect", &mut iter)?;
                 parsed.interconnect = Some(match v.as_str() {
@@ -489,7 +561,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     if parsed.devices == 0 {
         return Err("--devices must be at least 1".to_string());
     }
-    if parsed.devices >= 2 && parsed.device_mem_gb.is_some() {
+    if (parsed.devices >= 2 || parsed.device_pool.is_some()) && parsed.device_mem_gb.is_some() {
         return Err(
             "--device-mem cannot be combined with --devices >= 2: the multi-device \
              preset topology fixes each device's capacity"
@@ -498,6 +570,24 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if parsed.interconnect.is_some() && parsed.devices < 2 {
         return Err("--interconnect requires --devices >= 2".to_string());
+    }
+    if !parsed.inject_faults.is_empty() && parsed.devices < 2 {
+        return Err(
+            "--inject-fault requires --devices >= 2: a single-device run has no \
+             survivors to recover onto"
+                .to_string(),
+        );
+    }
+    if let Some(fault) = parsed
+        .inject_faults
+        .iter()
+        .find(|fault| fault.device >= parsed.devices)
+    {
+        return Err(format!(
+            "--inject-fault device {} is out of range for a {}-device topology \
+             (device indices are 0..{})",
+            fault.device, parsed.devices, parsed.devices
+        ));
     }
     if parsed.landmarks.is_some() && parsed.approx != ApproxMode::Nystrom {
         return Err("--landmarks requires --approx nystrom".to_string());
@@ -520,6 +610,59 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         );
     }
     Ok(parsed)
+}
+
+/// Parse a `--devices` preset pool (`a100:2,h100:2`; a bare preset counts 1).
+fn parse_device_pool(value: &str) -> Result<Vec<(DevicePreset, usize)>, String> {
+    value
+        .split(',')
+        .map(|token| {
+            let token = token.trim();
+            let (name, count) = match token.split_once(':') {
+                Some((name, count)) => (name, parse_usize("--devices", count)?),
+                None => (token, 1),
+            };
+            let preset = match name {
+                "a100" => DevicePreset::A100,
+                "h100" => DevicePreset::H100,
+                "v100" => DevicePreset::V100,
+                _ => {
+                    return Err(format!(
+                        "--devices expects a device count or a preset pool like a100:2,h100:2 \
+                         (presets: a100 | h100 | v100), got '{token}'"
+                    ))
+                }
+            };
+            if count == 0 {
+                return Err(format!(
+                    "--devices pool counts must be at least 1, got '{token}'"
+                ));
+            }
+            Ok((preset, count))
+        })
+        .collect()
+}
+
+/// Parse an `--inject-fault` value: comma-separated `lost:DEV@PASS` events.
+fn parse_inject_faults(value: &str) -> Result<Vec<InjectedFault>, String> {
+    value
+        .split(',')
+        .map(|token| {
+            let token = token.trim();
+            let event = token
+                .strip_prefix("lost:")
+                .and_then(|operand| operand.split_once('@'));
+            let Some((device, pass)) = event else {
+                return Err(format!(
+                    "--inject-fault expects lost:DEV@PASS events (e.g. lost:1@3), got '{token}'"
+                ));
+            };
+            Ok(InjectedFault {
+                device: parse_usize("--inject-fault", device)?,
+                at_pass: parse_usize("--inject-fault", pass)?,
+            })
+        })
+        .collect()
 }
 
 /// Parse a `--landmarks` value: a plain integer count or `auto:EPS`.
@@ -746,6 +889,99 @@ mod tests {
         assert_eq!(Interconnect::Pcie.name(), "pcie");
         assert_eq!(Interconnect::Nvlink.link_spec().name, "NVLink3");
         assert_eq!(Interconnect::Pcie.link_spec().name, "PCIe Gen4 x16");
+    }
+
+    #[test]
+    fn device_pool_syntax() {
+        // A plain count stays a homogeneous pool of the default device.
+        let args = parse(&["--devices", "4"]).unwrap();
+        assert_eq!(args.devices, 4);
+        assert_eq!(args.device_pool, None);
+        // Mixed preset pools: devices is always the total count.
+        let args = parse(&["--devices", "a100:2,h100:2"]).unwrap();
+        assert_eq!(args.devices, 4);
+        assert_eq!(
+            args.device_pool,
+            Some(vec![(DevicePreset::A100, 2), (DevicePreset::H100, 2)])
+        );
+        // A bare preset counts one device; whitespace around commas is fine.
+        let args = parse(&["--devices", "h100, v100:3"]).unwrap();
+        assert_eq!(args.devices, 4);
+        assert_eq!(
+            args.device_pool,
+            Some(vec![(DevicePreset::H100, 1), (DevicePreset::V100, 3)])
+        );
+        assert_eq!(DevicePreset::A100.name(), "a100");
+        assert_eq!(DevicePreset::H100.name(), "h100");
+        assert_eq!(DevicePreset::V100.name(), "v100");
+        assert_eq!(DevicePreset::A100.spec().name, "NVIDIA A100 80GB");
+        assert_eq!(DevicePreset::H100.spec().name, "NVIDIA H100 80GB");
+        assert_eq!(DevicePreset::V100.spec().name, "NVIDIA V100");
+        // Unknown presets and zero counts are named in the error.
+        let err = parse(&["--devices", "b200:2"]).unwrap_err();
+        assert!(err.contains("a100 | h100 | v100"), "{err}");
+        let err = parse(&["--devices", "a100:0"]).unwrap_err();
+        assert!(err.contains("pool counts must be at least 1"), "{err}");
+        assert!(parse(&["--devices", "a100:x"]).is_err());
+        // Pool topologies fix each device's capacity, like plain --devices.
+        let err = parse(&["--devices", "a100:2", "--device-mem", "40"]).unwrap_err();
+        assert!(err.contains("--device-mem cannot be combined"), "{err}");
+        let err = parse(&["--devices", "a100:1", "--device-mem", "40"]).unwrap_err();
+        assert!(err.contains("--device-mem cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn inject_fault_flag() {
+        assert!(parse(&[]).unwrap().inject_faults.is_empty());
+        let args = parse(&["--devices", "4", "--inject-fault", "lost:1@3"]).unwrap();
+        assert_eq!(
+            args.inject_faults,
+            vec![InjectedFault {
+                device: 1,
+                at_pass: 3
+            }]
+        );
+        // Repeatable and comma-separable, order preserved.
+        let args = parse(&[
+            "--devices",
+            "4",
+            "--inject-fault",
+            "lost:1@3,lost:2@5",
+            "--inject-fault",
+            "lost:0@7",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.inject_faults,
+            vec![
+                InjectedFault {
+                    device: 1,
+                    at_pass: 3
+                },
+                InjectedFault {
+                    device: 2,
+                    at_pass: 5
+                },
+                InjectedFault {
+                    device: 0,
+                    at_pass: 7
+                },
+            ]
+        );
+        // Faults need a multi-device topology and an in-range device.
+        let err = parse(&["--inject-fault", "lost:0@1"]).unwrap_err();
+        assert!(err.contains("requires --devices >= 2"), "{err}");
+        let err = parse(&["--devices", "2", "--inject-fault", "lost:2@1"]).unwrap_err();
+        assert!(
+            err.contains("out of range for a 2-device topology"),
+            "{err}"
+        );
+        // Malformed events name the expected shape.
+        for bad in ["lost:1", "lost:@3", "joined:1@3", "1@3", ""] {
+            let err = parse(&["--devices", "2", "--inject-fault", bad]).unwrap_err();
+            assert!(err.contains("--inject-fault"), "{bad}: {err}");
+        }
+        assert!(parse(&["--inject-fault"]).is_err());
     }
 
     #[test]

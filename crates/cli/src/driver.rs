@@ -12,6 +12,7 @@ use popcorn_core::{ClusteringResult, KernelApprox, KernelKmeansConfig, TilePolic
 use popcorn_data::dataset::{Dataset, SparseDataset};
 use popcorn_data::synthetic::uniform_dataset;
 use popcorn_data::{csv, libsvm};
+use popcorn_gpusim::{DeviceTopology, FaultPlan, RecoveryPolicy, RecoveryReport};
 use popcorn_gpusim::{Executor, ShardedExecutor, SimExecutor};
 use std::sync::Arc;
 
@@ -47,15 +48,21 @@ pub struct RunSummary {
 /// read back from the [`ShardedExecutor`] after the fits.
 #[derive(Debug, Clone)]
 pub struct ShardingSummary {
-    /// Device name shared by the homogeneous topology.
-    pub device_name: String,
+    /// Human-readable device pool, e.g. `4 x NVIDIA A100 80GB` or
+    /// `2 x NVIDIA A100 80GB + 2 x NVIDIA H100 80GB` for a mixed topology.
+    pub pool: String,
     /// Interconnect name.
     pub interconnect: String,
-    /// Per-device memory capacity in bytes.
-    pub device_mem_bytes: u64,
+    /// Per-device memory capacity in bytes, in shard order.
+    pub per_device_mem_bytes: Vec<u64>,
     /// Per-device concurrent modeled seconds and peak residency, in shard
     /// order.
     pub per_device: Vec<(f64, u64)>,
+    /// Per-device liveness after the runs (`false` = lost mid-fit).
+    pub device_alive: Vec<bool>,
+    /// Recovery accounting when injected faults fired (`None` on a
+    /// fault-free invocation).
+    pub recovery: Option<RecoveryReport>,
     /// Modeled seconds of the serial (non-sharded) stream.
     pub serial_seconds: f64,
     /// Modeled seconds of the device↔device all-reduces.
@@ -76,11 +83,27 @@ impl ShardingSummary {
             .into_iter()
             .zip(executor.per_device_peak_resident_bytes())
             .collect();
+        // Group consecutive identical devices: `4 x NVIDIA A100 80GB`, or
+        // `2 x NVIDIA A100 80GB + 2 x NVIDIA H100 80GB` for a mixed pool.
+        let mut groups: Vec<(&str, usize)> = Vec::new();
+        for device in &topology.devices {
+            match groups.last_mut() {
+                Some((name, count)) if *name == device.name => *count += 1,
+                _ => groups.push((&device.name, 1)),
+            }
+        }
+        let pool = groups
+            .iter()
+            .map(|(name, count)| format!("{count} x {name}"))
+            .collect::<Vec<_>>()
+            .join(" + ");
         Self {
-            device_name: topology.devices[0].name.clone(),
+            pool,
             interconnect: topology.interconnect.name.clone(),
-            device_mem_bytes: topology.devices[0].mem_bytes,
+            per_device_mem_bytes: topology.devices.iter().map(|d| d.mem_bytes).collect(),
             per_device,
+            device_alive: executor.device_alive(),
+            recovery: executor.recovery_report().filter(|r| !r.is_empty()),
             serial_seconds: executor.serial_modeled_seconds(),
             comm_seconds: executor.comm_modeled_seconds(),
             wallclock_seconds: executor.modeled_wallclock_seconds(),
@@ -101,11 +124,10 @@ impl ShardingSummary {
     /// Human-readable per-device block of the run report.
     pub fn report(&self) -> String {
         let mut out = format!(
-            "sharded over {} x {} via {}: modeled wall-clock {:.6} s vs {:.6} s \
+            "sharded over {} via {}: modeled wall-clock {:.6} s vs {:.6} s \
              serialized on one device ({:.2}x modeled speedup; serial {:.6} s, \
              all-reduce {:.6} s)\n",
-            self.per_device.len(),
-            self.device_name,
+            self.pool,
             self.interconnect,
             self.wallclock_seconds,
             self.serialized_seconds,
@@ -115,10 +137,27 @@ impl ShardingSummary {
         );
         for (device, (seconds, peak)) in self.per_device.iter().enumerate() {
             out.push_str(&format!(
-                "device {device}: busy {:.6} s, peak residency {:.3} MB of {:.3} MB capacity\n",
+                "device {device}: busy {:.6} s, peak residency {:.3} MB of {:.3} MB capacity{}\n",
                 seconds,
                 *peak as f64 / 1e6,
-                self.device_mem_bytes as f64 / 1e6,
+                self.per_device_mem_bytes[device] as f64 / 1e6,
+                if self.device_alive.get(device).copied().unwrap_or(true) {
+                    ""
+                } else {
+                    " (lost mid-fit)"
+                },
+            ));
+        }
+        if let Some(recovery) = &self.recovery {
+            out.push_str(&format!(
+                "recovered from {} device loss(es): {} row(s) migrated, {} byte(s) \
+                 re-uploaded, {} tile(s) replayed, re-shard {:.6} s, retry backoff {:.6} s\n",
+                recovery.devices_lost,
+                recovery.rows_migrated,
+                recovery.bytes_reuploaded,
+                recovery.replayed_tiles,
+                recovery.reshard_seconds,
+                recovery.backoff_seconds,
             ));
         }
         out
@@ -454,12 +493,39 @@ fn sharded_executor_for(args: &CliArgs) -> Option<Arc<ShardedExecutor>> {
         return None;
     }
     let link = args.interconnect.unwrap_or_default().link_spec();
-    Some(Arc::new(ShardedExecutor::homogeneous(
-        args.implementation.default_device(),
-        args.devices,
-        link,
-        std::mem::size_of::<f32>(),
-    )))
+    let executor = match &args.device_pool {
+        // A bare `--devices N` shards across the implementation's default
+        // device; a preset pool builds the mixed topology in flag order.
+        None => ShardedExecutor::homogeneous(
+            args.implementation.default_device(),
+            args.devices,
+            link,
+            std::mem::size_of::<f32>(),
+        ),
+        Some(pool) => {
+            let devices = pool
+                .iter()
+                .flat_map(|&(preset, count)| std::iter::repeat_n(preset.spec(), count))
+                .collect();
+            ShardedExecutor::new(
+                DeviceTopology {
+                    devices,
+                    interconnect: link,
+                },
+                std::mem::size_of::<f32>(),
+            )
+        }
+    };
+    if args.inject_faults.is_empty() {
+        return Some(Arc::new(executor));
+    }
+    let mut plan = FaultPlan::new();
+    for fault in &args.inject_faults {
+        plan = plan.lose(fault.device, fault.at_pass);
+    }
+    Some(Arc::new(
+        executor.with_fault_plan(plan, RecoveryPolicy::Resume),
+    ))
 }
 
 /// Build the solver for one run: the invocation-wide sharded topology when
@@ -828,6 +894,61 @@ mod tests {
         assert!(text.contains("device 3: busy"), "{text}");
         assert!(text.contains("modeled speedup"), "{text}");
         assert!(single.sharding.is_none());
+    }
+
+    #[test]
+    fn mixed_pool_with_injected_loss_recovers_and_reports() {
+        use crate::args::{DevicePreset, InjectedFault};
+        let base = CliArgs {
+            n: 180,
+            d: 6,
+            k: 3,
+            runs: 1,
+            max_iter: 5,
+            ..CliArgs::default()
+        };
+        let single = run(&base).unwrap();
+        let elastic = run(&CliArgs {
+            devices: 3,
+            device_pool: Some(vec![
+                (DevicePreset::A100, 1),
+                (DevicePreset::H100, 1),
+                (DevicePreset::V100, 1),
+            ]),
+            inject_faults: vec![InjectedFault {
+                device: 1,
+                at_pass: 1,
+            }],
+            ..base.clone()
+        })
+        .unwrap();
+        // Losing a device mid-fit only moves where rows are priced — the
+        // clustering matches a fault-free single-device run bit for bit.
+        assert_eq!(single.results[0].labels, elastic.results[0].labels);
+        assert_eq!(
+            single.results[0].objective.to_bits(),
+            elastic.results[0].objective.to_bits()
+        );
+        let summary = elastic.sharding.as_ref().unwrap();
+        assert_eq!(summary.device_alive, vec![true, false, true]);
+        let recovery = summary.recovery.as_ref().unwrap();
+        assert_eq!(recovery.devices_lost, 1);
+        assert!(recovery.rows_migrated > 0);
+        // The per-fit result carries the same accounting for programmatic use.
+        assert!(elastic.results[0]
+            .recovery
+            .as_ref()
+            .is_some_and(|r| r.devices_lost == 1));
+        let text = elastic.report();
+        assert!(
+            text.contains(
+                "sharded over 1 x NVIDIA A100 80GB + 1 x NVIDIA H100 80GB + \
+                 1 x NVIDIA V100 via NVLink3"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("recovered from 1 device loss(es)"), "{text}");
+        assert!(text.contains("(lost mid-fit)"), "{text}");
     }
 
     #[test]

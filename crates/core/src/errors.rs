@@ -23,6 +23,26 @@ pub enum CoreError {
         /// The device's modeled memory capacity.
         available_bytes: u64,
     },
+    /// One device of a sharded topology cannot hold its assigned shard
+    /// resident — like [`CoreError::DeviceMemoryExceeded`], but naming the
+    /// offending device so heterogeneous-pool failures are actionable.
+    DeviceShardMemoryExceeded {
+        /// Topology index of the device whose shard does not fit.
+        device: usize,
+        /// Bytes the shard layout would need resident on that device.
+        required_bytes: u64,
+        /// That device's modeled memory capacity.
+        available_bytes: u64,
+    },
+    /// A device dropped out of the sharded pool mid-fit and the executor's
+    /// recovery policy surfaces the loss instead of resuming in place. The
+    /// retry layers catch this and restart the fit on the surviving pool.
+    DeviceLost {
+        /// Topology index of the lost device.
+        device: usize,
+        /// Kernel-matrix pass at which the loss was observed.
+        pass: usize,
+    },
     /// An underlying dense kernel failed.
     Dense(DenseError),
     /// An underlying sparse kernel failed.
@@ -43,6 +63,21 @@ impl fmt::Display for CoreError {
                 "device memory exceeded: the working set needs {required_bytes} bytes resident \
                  but the device holds {available_bytes} bytes; use a smaller --tile-rows, the \
                  auto tiling policy, or a larger --device-mem"
+            ),
+            CoreError::DeviceShardMemoryExceeded {
+                device,
+                required_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "device {device} cannot hold its shard: the shard layout needs \
+                 {required_bytes} bytes resident but device {device} holds {available_bytes} \
+                 bytes; move the boundaries, use the auto tiling policy, or drop the device"
+            ),
+            CoreError::DeviceLost { device, pass } => write!(
+                f,
+                "device {device} was lost at kernel-matrix pass {pass}; the fit must be \
+                 retried on the surviving topology"
             ),
             CoreError::Dense(e) => write!(f, "dense kernel error: {e}"),
             CoreError::Sparse(e) => write!(f, "sparse kernel error: {e}"),

@@ -36,7 +36,7 @@ use crate::nystrom::KernelApprox;
 use crate::solver::FitInput;
 use crate::Result;
 use popcorn_dense::{matmul_nt_rows, DenseMatrix, Scalar};
-use popcorn_gpusim::{DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase};
+use popcorn_gpusim::{DeviceSpec, Executor, ExecutorExt, OpClass, OpCost, Phase, RecoveryReport};
 use popcorn_sparse::{CsrMatrix, CsrRows};
 use std::ops::Range;
 use std::sync::Mutex;
@@ -526,6 +526,16 @@ impl<T: Scalar> KernelSource<T> for TiledKernel<'_, T> {
 /// (`knn >= n` or `τ = 0`), which degenerates to the exact dispatch just like
 /// a rank-`n` Nyström fit, so full-density "sparsification" is bit-identical
 /// to an exact fit by construction — traces included.
+///
+/// Multi-device fits are *elastic*: the row partition is throughput-weighted
+/// over the devices the executor reports alive
+/// ([`crate::shard::ShardPlan::for_executor`]), and a
+/// [`CoreError::DeviceLost`] surfaced mid-fit (the executor's
+/// [`popcorn_gpusim::RecoveryPolicy::Abort`] path) is retried — up to
+/// [`DEVICE_LOSS_RETRIES`] times with exponential modeled backoff — by
+/// re-running `run` against a fresh source planned over the survivors. `run`
+/// is therefore `FnMut`; each retry is accounted on the executor's
+/// [`popcorn_gpusim::RecoveryReport`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_with_source<T: Scalar, R>(
     input: FitInput<'_, T>,
@@ -535,54 +545,33 @@ pub fn run_with_source<T: Scalar, R>(
     k_budget: usize,
     executor: &dyn Executor,
     compute_full: impl FnOnce() -> Result<DenseMatrix<T>>,
-    run: impl FnOnce(&dyn KernelSource<T>) -> Result<R>,
+    mut run: impl FnMut(&dyn KernelSource<T>) -> Result<R>,
 ) -> Result<R> {
-    if let KernelApprox::Nystrom { landmarks, seed } = approx {
-        let m = landmarks.min(input.n());
-        if m < input.n() {
-            let source = crate::nystrom::NystromKernel::new(
-                input, kernel, m, seed, tiling, k_budget, executor,
-            )?;
-            return run(&source);
-        }
-    }
-    if let KernelApprox::NystromAuto { epsilon, seed } = approx {
-        // The adaptive search caps at full rank, so unlike the fixed-rank
-        // arm there is no degenerate fall-through: a rank-n factorization is
-        // still the factorization the search accepted.
-        let source = crate::nystrom::NystromKernel::new_adaptive(
-            input, kernel, epsilon, seed, tiling, k_budget, executor,
-        )?;
-        return run(&source);
-    }
-    if let KernelApprox::Sparsified { sparsify } = approx {
-        if !sparsify.keeps_everything(input.n()) {
-            let source = crate::sparsified::SparsifiedKernel::build(
-                input, kernel, sparsify, tiling, k_budget, executor,
-            )?;
-            return run(&source);
-        }
-    }
     if executor.shard_count() > 1 {
-        let Some(topology) = executor.topology() else {
-            return Err(CoreError::InvalidConfig(
-                "the executor reports multiple shards but no device topology; \
-                 an Executor implementation overriding shard_count() must also \
-                 override topology()"
-                    .into(),
-            ));
-        };
-        let plan = crate::shard::ShardPlan::balanced(
-            input.n(),
-            k_budget,
-            std::mem::size_of::<T>(),
-            input.upload_bytes(),
-            tiling,
-            topology,
-        )?;
-        let source =
-            crate::shard::ShardedKernelSource::new(input, kernel, plan, k_budget, executor)?;
-        return run(&source);
+        // Elastic multi-device dispatch: a fit killed by a surfaced device
+        // loss is restarted on the surviving pool (the executor's liveness
+        // already excludes the dead device when the error reaches us).
+        let mut attempt = 0usize;
+        loop {
+            let result =
+                dispatch_sharded(input, kernel, approx, tiling, k_budget, executor, &mut run);
+            match result {
+                Err(CoreError::DeviceLost { .. }) if attempt < DEVICE_LOSS_RETRIES => {
+                    executor.note_recovery(&RecoveryReport {
+                        retries: 1,
+                        backoff_seconds: DEVICE_LOSS_BACKOFF_SECONDS * (1u64 << attempt) as f64,
+                        ..RecoveryReport::default()
+                    });
+                    attempt += 1;
+                }
+                result => return result,
+            }
+        }
+    }
+    if let Some(result) =
+        dispatch_approx(input, kernel, approx, tiling, k_budget, executor, &mut run)
+    {
+        return result;
     }
     let tile_rows = plan_tile_rows(
         input.n(),
@@ -600,6 +589,89 @@ pub fn run_with_source<T: Scalar, R>(
         let source = TiledKernel::new(input, kernel, tile_rows, executor)?;
         run(&source)
     }
+}
+
+/// Whole-fit restarts [`run_with_source`] grants a multi-device fit after a
+/// surfaced [`CoreError::DeviceLost`] before giving up.
+pub const DEVICE_LOSS_RETRIES: usize = 2;
+
+/// Modeled seconds of backoff before the first device-loss retry; doubles on
+/// each subsequent attempt.
+pub const DEVICE_LOSS_BACKOFF_SECONDS: f64 = 0.01;
+
+/// The approximation arms shared by the single- and multi-device dispatch:
+/// `Some(result)` when an approximate source handled the fit, `None` to fall
+/// through to the exact paths.
+fn dispatch_approx<T: Scalar, R>(
+    input: FitInput<'_, T>,
+    kernel: KernelFunction,
+    approx: KernelApprox,
+    tiling: TilePolicy,
+    k_budget: usize,
+    executor: &dyn Executor,
+    run: &mut impl FnMut(&dyn KernelSource<T>) -> Result<R>,
+) -> Option<Result<R>> {
+    if let KernelApprox::Nystrom { landmarks, seed } = approx {
+        let m = landmarks.min(input.n());
+        if m < input.n() {
+            return Some(
+                crate::nystrom::NystromKernel::new(
+                    input, kernel, m, seed, tiling, k_budget, executor,
+                )
+                .and_then(|source| run(&source)),
+            );
+        }
+    }
+    if let KernelApprox::NystromAuto { epsilon, seed } = approx {
+        // The adaptive search caps at full rank, so unlike the fixed-rank
+        // arm there is no degenerate fall-through: a rank-n factorization is
+        // still the factorization the search accepted.
+        return Some(
+            crate::nystrom::NystromKernel::new_adaptive(
+                input, kernel, epsilon, seed, tiling, k_budget, executor,
+            )
+            .and_then(|source| run(&source)),
+        );
+    }
+    if let KernelApprox::Sparsified { sparsify } = approx {
+        if !sparsify.keeps_everything(input.n()) {
+            return Some(
+                crate::sparsified::SparsifiedKernel::build(
+                    input, kernel, sparsify, tiling, k_budget, executor,
+                )
+                .and_then(|source| run(&source)),
+            );
+        }
+    }
+    None
+}
+
+/// One multi-device fit attempt: the approximation arms (their sources plan
+/// their own sharding), else an exact [`crate::shard::ShardedKernelSource`]
+/// over a throughput-weighted partition of the alive devices.
+fn dispatch_sharded<T: Scalar, R>(
+    input: FitInput<'_, T>,
+    kernel: KernelFunction,
+    approx: KernelApprox,
+    tiling: TilePolicy,
+    k_budget: usize,
+    executor: &dyn Executor,
+    run: &mut impl FnMut(&dyn KernelSource<T>) -> Result<R>,
+) -> Result<R> {
+    if let Some(result) = dispatch_approx(input, kernel, approx, tiling, k_budget, executor, run) {
+        return result;
+    }
+    let plan = crate::shard::ShardPlan::for_executor(
+        input.n(),
+        k_budget,
+        std::mem::size_of::<T>(),
+        input.upload_bytes(),
+        tiling,
+        executor,
+    )?;
+    let source = crate::shard::ShardedKernelSource::new(input, kernel, plan, k_budget, executor)?
+        .with_tiling(tiling);
+    run(&source)
 }
 
 /// Bytes of one `rows × n` tile of `elem`-byte scalars (u64-safe).

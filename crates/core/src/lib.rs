@@ -52,7 +52,9 @@ pub use kernel::KernelFunction;
 pub use kernel_source::{
     CsrTileVisitor, FullKernel, KernelSource, TilePolicy, TileVisitor, TiledKernel,
 };
-pub use model::{AssignmentBatch, FittedModel, ModelFamily, OwnedPoints, RefitRequest};
+pub use model::{
+    AssignmentBatch, FittedModel, ModelFamily, ModelFormat, OwnedPoints, RefitRequest,
+};
 pub use nystrom::{KernelApprox, NystromFactors, NystromKernel};
 pub use popcorn::KernelKmeans;
 pub use result::{ClusteringResult, IterationStats, TimingBreakdown};

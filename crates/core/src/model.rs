@@ -1440,7 +1440,7 @@ pub fn refit_via<T: Scalar>(
                             &config,
                             executor,
                             engine.as_mut(),
-                            init,
+                            init.clone(),
                         )?;
                         let new_model = extract(family, &config, &result, input, source, executor)?;
                         Ok((result, new_model))
@@ -1482,8 +1482,13 @@ pub fn refit_via<T: Scalar>(
                 executor,
                 || compute_full(input, &config, executor),
                 |source| {
-                    let result =
-                        pipeline::iterate_init(source, &config, executor, engine.as_mut(), init)?;
+                    let result = pipeline::iterate_init(
+                        source,
+                        &config,
+                        executor,
+                        engine.as_mut(),
+                        init.clone(),
+                    )?;
                     let new_model = extract(family, &config, &result, input, source, executor)?;
                     Ok((result, new_model))
                 },
@@ -1493,6 +1498,34 @@ pub fn refit_via<T: Scalar>(
 }
 
 const FORMAT_HEADER: &str = "popcorn-model v1";
+const FORMAT_VERSION_PREFIX: &str = "popcorn-model v";
+
+/// The on-disk text format revision a model was parsed from (see
+/// [`FittedModel::load_versioned`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFormat {
+    /// A pre-versioning file with no `popcorn-model vN` header line —
+    /// still accepted, but deprecated; re-saving writes the current header.
+    V0Headerless,
+    /// The current `popcorn-model v1` format.
+    V1,
+}
+
+impl ModelFormat {
+    /// Short human-readable name (`v0 (headerless)` / `v1`).
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ModelFormat::V0Headerless => "v0 (headerless)",
+            ModelFormat::V1 => "v1",
+        }
+    }
+
+    /// `true` for revisions older than the one [`FittedModel::save`] writes
+    /// — callers should suggest re-saving to upgrade.
+    pub fn is_deprecated(&self) -> bool {
+        matches!(self, ModelFormat::V0Headerless)
+    }
+}
 
 fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -1854,11 +1887,37 @@ impl<T: Scalar> FittedModel<T> {
     /// Parse a model saved by [`FittedModel::save`]. The Nyström landmark
     /// fold is rebuilt deterministically rather than stored.
     pub fn load(text: &str) -> Result<Self> {
+        Self::load_versioned(text).map(|(model, _)| model)
+    }
+
+    /// [`FittedModel::load`] reporting which format revision the file used:
+    /// a `popcorn-model v1` header parses as [`ModelFormat::V1`], a file with
+    /// no header line at all is accepted as the pre-versioning
+    /// [`ModelFormat::V0Headerless`] layout (the body is unchanged between
+    /// the two), and any other `popcorn-model vN` header — a future revision
+    /// this build does not know — is rejected outright rather than
+    /// misparsed.
+    pub fn load_versioned(text: &str) -> Result<(Self, ModelFormat)> {
+        let first = text.lines().next().unwrap_or("").trim();
+        let format = match first.strip_prefix(FORMAT_VERSION_PREFIX) {
+            Some("1") => ModelFormat::V1,
+            Some(version) => {
+                return Err(CoreError::InvalidInput(format!(
+                    "unsupported model format '{FORMAT_VERSION_PREFIX}{version}': this build \
+                     reads '{FORMAT_HEADER}' (and headerless v0) files; re-save the model \
+                     with a matching popcorn version"
+                )));
+            }
+            None => ModelFormat::V0Headerless,
+        };
         let mut r = Reader::new(text);
-        let header = r.line()?;
-        if header.trim() != FORMAT_HEADER {
-            return Err(r.bad(format!("expected header '{FORMAT_HEADER}', got '{header}'")));
+        if format == ModelFormat::V1 {
+            r.line()?;
         }
+        Ok((Self::load_body(&mut r)?, format))
+    }
+
+    fn load_body(r: &mut Reader<'_>) -> Result<Self> {
         let fam = r.tagged("family")?;
         let family = ModelFamily::from_name(fam.first().copied().unwrap_or(""))?;
 
@@ -2177,6 +2236,47 @@ mod tests {
         assert_eq!(loaded, model);
         assert!(FittedModel::<f64>::load("not a model").is_err());
         assert!(FittedModel::<f64>::load(FORMAT_HEADER).is_err());
+    }
+
+    #[test]
+    fn headerless_v0_files_load_with_a_deprecation_marker() {
+        let points = toy_points();
+        let solver = KernelKmeans::new(toy_config());
+        let (_, model) = solver.fit_model(FitInput::Dense(&points)).unwrap();
+        let text = model.save();
+        let (loaded, format) = FittedModel::<f64>::load_versioned(&text).unwrap();
+        assert_eq!(format, ModelFormat::V1);
+        assert!(!format.is_deprecated());
+        // Strip the header: the body is byte-identical to the pre-versioning
+        // layout, so it must load as v0 and flag itself deprecated.
+        let headerless = text
+            .strip_prefix(FORMAT_HEADER)
+            .unwrap()
+            .trim_start_matches('\n');
+        let (v0, format) = FittedModel::<f64>::load_versioned(headerless).unwrap();
+        assert_eq!(v0, loaded);
+        assert_eq!(format, ModelFormat::V0Headerless);
+        assert!(format.is_deprecated());
+        assert_eq!(format.describe(), "v0 (headerless)");
+        assert_eq!(FittedModel::<f64>::load(headerless).unwrap(), loaded);
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected_with_a_clear_error() {
+        let points = toy_points();
+        let solver = KernelKmeans::new(toy_config());
+        let (_, model) = solver.fit_model(FitInput::Dense(&points)).unwrap();
+        let future = model.save().replace(FORMAT_HEADER, "popcorn-model v2");
+        let err = FittedModel::<f64>::load_versioned(&future).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unsupported model format 'popcorn-model v2'"),
+            "error must name the offending version: {msg}"
+        );
+        assert!(
+            msg.contains("popcorn-model v1"),
+            "error must name the supported version: {msg}"
+        );
     }
 
     #[test]

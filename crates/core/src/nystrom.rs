@@ -39,13 +39,16 @@
 use crate::init::select_spread_rows;
 use crate::kernel::KernelFunction;
 use crate::kernel_source::{plan_tile_rows, tile_bytes, KernelSource, TilePolicy, TileVisitor};
-use crate::shard::ShardPlan;
+use crate::shard::{DeviceShard, ShardPlan};
 use crate::solver::FitInput;
 use crate::{CoreError, Result};
 use popcorn_dense::{matmul, matmul_nt_rows, DenseMatrix, Scalar};
-use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
+use popcorn_gpusim::{
+    Executor, ExecutorExt, FaultKind, OpClass, OpCost, Phase, RecoveryPolicy, RecoveryReport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Mutex;
 
 /// Which kernel-matrix representation a fit runs over: the exact `n × n`
 /// matrix (resident, tiled or sharded — the planner decides) or a rank-`m`
@@ -168,10 +171,23 @@ pub struct NystromKernel<T: Scalar> {
     /// `true` when the strict Cholesky fast path failed and the core
     /// pseudo-inverse came from the eigen-clip fallback.
     used_eigen_fallback: bool,
-    /// Multi-device row partition (None on a single device).
-    plan: Option<ShardPlan>,
+    /// Multi-device row partition and pass counter (None on a single
+    /// device). Behind a mutex because a mid-fit device loss re-plans it;
+    /// the factors are replicated, so recovery is pure re-attribution.
+    plan: Option<Mutex<ElasticPlan>>,
+    /// Modeled resident budget the plan was built against (points +
+    /// factors), reused by elastic re-plans.
+    budget_bytes: u64,
+    /// The fit-level tile policy, honoured by elastic re-plans.
+    tiling: TilePolicy,
     /// Total distance columns of the fit, sizing the per-pass all-reduce.
     k_budget: usize,
+}
+
+/// The shard plan in force and the number of completed tile passes.
+struct ElasticPlan {
+    plan: ShardPlan,
+    pass: usize,
 }
 
 impl<T: Scalar> NystromKernel<T> {
@@ -212,15 +228,7 @@ impl<T: Scalar> NystromKernel<T> {
         let factor_bytes = 2 * n as u64 * m as u64 * elem as u64 + n as u64 * elem as u64;
         let budget_bytes = input.upload_bytes() + factor_bytes;
         let (plan, tile_rows) = if executor.shard_count() > 1 {
-            let Some(topology) = executor.topology() else {
-                return Err(CoreError::InvalidConfig(
-                    "the executor reports multiple shards but no device topology; \
-                     an Executor implementation overriding shard_count() must also \
-                     override topology()"
-                        .into(),
-                ));
-            };
-            let plan = ShardPlan::balanced(n, k_budget, elem, budget_bytes, tiling, topology)?;
+            let plan = ShardPlan::for_executor(n, k_budget, elem, budget_bytes, tiling, executor)?;
             let tile_rows = plan.max_tile_rows().max(1);
             (Some(plan), tile_rows)
         } else {
@@ -278,7 +286,9 @@ impl<T: Scalar> NystromKernel<T> {
             tile_rows,
             error_bound: factors.error_bound,
             used_eigen_fallback: factors.used_eigen_fallback,
-            plan,
+            plan: plan.map(|plan| Mutex::new(ElasticPlan { plan, pass: 0 })),
+            budget_bytes,
+            tiling,
             k_budget,
         })
     }
@@ -365,15 +375,7 @@ impl<T: Scalar> NystromKernel<T> {
         let factor_bytes = 2 * n as u64 * m as u64 * elem as u64 + n as u64 * elem as u64;
         let budget_bytes = input_bytes + factor_bytes;
         let (plan, tile_rows) = if executor.shard_count() > 1 {
-            let Some(topology) = executor.topology() else {
-                return Err(CoreError::InvalidConfig(
-                    "the executor reports multiple shards but no device topology; \
-                     an Executor implementation overriding shard_count() must also \
-                     override topology()"
-                        .into(),
-                ));
-            };
-            let plan = ShardPlan::balanced(n, k_budget, elem, budget_bytes, tiling, topology)?;
+            let plan = ShardPlan::for_executor(n, k_budget, elem, budget_bytes, tiling, executor)?;
             let tile_rows = plan.max_tile_rows().max(1);
             (Some(plan), tile_rows)
         } else {
@@ -404,7 +406,9 @@ impl<T: Scalar> NystromKernel<T> {
             tile_rows,
             error_bound: factors.error_bound,
             used_eigen_fallback: factors.used_eigen_fallback,
-            plan,
+            plan: plan.map(|plan| Mutex::new(ElasticPlan { plan, pass: 0 })),
+            budget_bytes,
+            tiling,
             k_budget,
         })
     }
@@ -463,6 +467,86 @@ impl<T: Scalar> NystromKernel<T> {
         let elem = std::mem::size_of::<T>() as u64;
         (self.cross.rows() as u64 + 1) * self.k_budget as u64 * elem
     }
+
+    /// Drain due fault events at the pass boundary (multi-device plans
+    /// only), recover or surface any device loss, and return this pass's
+    /// shard walk — `None` on a single device.
+    fn begin_pass(&self, executor: &dyn Executor) -> Result<Option<Vec<DeviceShard>>> {
+        let Some(state) = &self.plan else {
+            return Ok(None);
+        };
+        let mut state = state.lock().unwrap_or_else(|p| p.into_inner());
+        let pass = state.pass;
+        while let Some(event) = executor.poll_fault(pass) {
+            match event.kind {
+                FaultKind::DeviceLost { device } => {
+                    if executor.recovery_policy() == RecoveryPolicy::Abort {
+                        return Err(CoreError::DeviceLost { device, pass });
+                    }
+                    self.recover(&mut state, device, pass, executor)?;
+                }
+                // Scale-up is lazy: the joiner is drafted by the next
+                // re-plan, not mid-fit (see the exact sharded source).
+                FaultKind::DeviceJoined { .. } => {}
+            }
+        }
+        state.pass += 1;
+        Ok(Some(state.plan.shards().to_vec()))
+    }
+
+    /// Resume-in-place after losing `lost`. The factors are replicated on
+    /// every device and reconstructed panels are recomputed each pass
+    /// regardless, so recovery is a plan splice: nothing is re-uploaded and
+    /// no cached tiles are replayed — only the migrated rows' attribution
+    /// (and the lost device's tile buffer) moves.
+    fn recover(
+        &self,
+        state: &mut ElasticPlan,
+        lost: usize,
+        pass: usize,
+        executor: &dyn Executor,
+    ) -> Result<()> {
+        let Some(topology) = executor.topology() else {
+            return Err(CoreError::DeviceLost { device: lost, pass });
+        };
+        let alive: Vec<bool> = (0..topology.devices.len())
+            .map(|d| executor.shard_alive(d))
+            .collect();
+        let n = self.cross.rows();
+        let elem = std::mem::size_of::<T>();
+        let (plan, carry) = state.plan.reassign_device(
+            lost,
+            self.k_budget,
+            elem,
+            self.budget_bytes,
+            self.tiling,
+            topology,
+            &alive,
+        )?;
+        let mut delta = RecoveryReport::default();
+        for shard in state.plan.shards() {
+            if shard.device != lost {
+                continue;
+            }
+            delta.rows_migrated += shard.rows.len() as u64;
+            if shard.tile_rows > 0 {
+                let _active = ActiveShard::activate(executor, lost);
+                executor.track_free(tile_bytes(shard.tile_rows, n, elem));
+            }
+        }
+        for (j, carried) in carry.iter().enumerate() {
+            if carried.is_none() {
+                let shard = &plan.shards()[j];
+                if shard.tile_rows > 0 {
+                    let _active = ActiveShard::activate(executor, shard.device);
+                    executor.track_alloc(tile_bytes(shard.tile_rows, n, elem));
+                }
+            }
+        }
+        state.plan = plan;
+        executor.note_recovery(&delta);
+        Ok(())
+    }
 }
 
 impl<T: Scalar> KernelSource<T> for NystromKernel<T> {
@@ -478,7 +562,10 @@ impl<T: Scalar> KernelSource<T> for NystromKernel<T> {
         let n = self.cross.rows();
         let elem = std::mem::size_of::<T>();
         let tile = match &self.plan {
-            Some(plan) => plan
+            Some(state) => state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .plan
                 .shards()
                 .iter()
                 .map(|s| tile_bytes(s.tile_rows, n, elem))
@@ -495,16 +582,20 @@ impl<T: Scalar> KernelSource<T> for NystromKernel<T> {
     }
 
     fn row(&self, i: usize, executor: &dyn Executor) -> Result<Vec<T>> {
-        let _active = self
-            .plan
-            .as_ref()
-            .map(|plan| ActiveShard::activate(executor, plan.device_of(i)));
+        let _active = self.plan.as_ref().map(|state| {
+            let device = state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .plan
+                .device_of(i);
+            ActiveShard::activate(executor, device)
+        });
         let panel = self.compute_tile(i, i + 1, executor)?;
         Ok(panel.row(0).to_vec())
     }
 
     fn for_each_tile(&self, executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()> {
-        match &self.plan {
+        match self.begin_pass(executor)? {
             None => {
                 let n = self.cross.rows();
                 let mut r0 = 0usize;
@@ -515,10 +606,10 @@ impl<T: Scalar> KernelSource<T> for NystromKernel<T> {
                     r0 = r1;
                 }
             }
-            Some(plan) => {
+            Some(shards) => {
                 // Global row order with per-device attribution — the exact
                 // sharded source's contract, over reconstructed panels.
-                for shard in plan.shards() {
+                for shard in &shards {
                     if shard.rows.is_empty() {
                         continue;
                     }
@@ -531,7 +622,14 @@ impl<T: Scalar> KernelSource<T> for NystromKernel<T> {
                         r0 = r1;
                     }
                 }
-                if plan.device_count() > 1 {
+                let mut participants: Vec<usize> = shards
+                    .iter()
+                    .filter(|s| !s.rows.is_empty())
+                    .map(|s| s.device)
+                    .collect();
+                participants.sort_unstable();
+                participants.dedup();
+                if participants.len() > 1 {
                     executor.charge(
                         format!(
                             "all-reduce distance partials (n={}, k={})",

@@ -304,6 +304,7 @@ pub fn finalize(
         approx_error_bound: None,
         streaming: None,
         config: None,
+        recovery: executor.recovery_report().filter(|r| !r.is_empty()),
         centroids: None,
     }
 }

@@ -2,7 +2,7 @@
 //! breakdowns.
 
 use crate::config::KernelKmeansConfig;
-use popcorn_gpusim::{OpTrace, Phase, StreamingReport};
+use popcorn_gpusim::{OpTrace, Phase, RecoveryReport, StreamingReport};
 
 /// Per-iteration statistics recorded by the solvers.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +128,14 @@ pub struct ClusteringResult {
     /// cross-kernel rows consistently instead of re-deriving the settings.
     /// `None` only for results assembled outside the shared loop.
     pub config: Option<KernelKmeansConfig>,
+    /// Elastic-topology recovery accounting, present when the fit's executor
+    /// observed fault events (device losses/joins) or the retry layer
+    /// restarted the fit after a [`crate::CoreError::DeviceLost`]: rows
+    /// migrated, bytes re-uploaded, tiles replayed and the modeled re-shard
+    /// and backoff time. `None` on a fault-free fit. The report is read off
+    /// the executor, so repeated fits on one executor see the cumulative
+    /// recovery history.
+    pub recovery: Option<RecoveryReport>,
     /// For Lloyd (feature-space) fits: the centroids that produced the final
     /// assignment (i.e. the centroids *entering* the last assignment step),
     /// one `d`-vector per cluster in `f64`. Replaying the assignment against
@@ -246,6 +254,7 @@ mod tests {
             approx_error_bound: None,
             streaming: None,
             config: None,
+            recovery: None,
             centroids: None,
         };
         assert_eq!(result.objective_history(), vec![3.0, 1.5]);
@@ -273,6 +282,7 @@ mod tests {
             approx_error_bound: None,
             streaming: None,
             config: None,
+            recovery: None,
             centroids: None,
         };
         assert_eq!(result.modeled_wallclock_seconds(), 4.0);

@@ -29,16 +29,40 @@
 //! like the in-core [`crate::FullKernel`] path. Enough devices therefore
 //! recover charge-once semantics at an `n` where every single device would
 //! have to recompute tiles each iteration.
+//!
+//! # Elastic topologies
+//!
+//! Heterogeneous pools are planned by [`ShardPlan::balanced_by_throughput`]:
+//! shard sizes proportional to each device's modeled throughput (the
+//! geometric mean of its compute and bandwidth roofs), degenerating *exactly*
+//! to [`ShardPlan::balanced`] on uniform pools. The source also survives
+//! mid-fit device loss: at every pass boundary it drains the executor's fault
+//! schedule ([`popcorn_gpusim::Executor::poll_fault`]) and — under
+//! [`RecoveryPolicy::Resume`] — re-partitions the lost device's rows over the
+//! surviving devices (throughput-weighted, spliced in place so the global row
+//! order is unchanged) and continues. Because sharding never changes what is
+//! computed, a recovered fit is **bit-identical to a fresh fit on the
+//! surviving topology**; the only cost is the modeled re-shard work, which is
+//! accounted on a [`RecoveryReport`]. Under [`RecoveryPolicy::Abort`] the
+//! loss surfaces as [`CoreError::DeviceLost`] for the retry layers instead.
+//! Scale-up is lazy: a joined device becomes eligible immediately but is only
+//! drafted by the *next* re-plan (a later loss, or the next fit) — moving
+//! rows onto it mid-fit would discard survivors' resident tiles for no
+//! modeled win.
 
 use crate::kernel::KernelFunction;
 use crate::kernel_source::{
-    plan_tile_rows, tile_bytes, KernelSource, TilePolicy, TileVisitor, TiledKernel,
+    plan_tile_rows, tile_bytes, workspace_bytes, KernelSource, TilePolicy, TileVisitor, TiledKernel,
 };
 use crate::solver::FitInput;
 use crate::{CoreError, Result};
-use popcorn_dense::Scalar;
-use popcorn_gpusim::{DeviceTopology, Executor, ExecutorExt, OpClass, OpCost, Phase};
+use popcorn_dense::{DenseMatrix, Scalar};
+use popcorn_gpusim::{
+    DeviceSpec, DeviceTopology, Executor, ExecutorExt, FaultKind, OpClass, OpCost, Phase,
+    RecoveryPolicy, RecoveryReport,
+};
 use std::ops::Range;
+use std::sync::Mutex;
 
 /// One device's slice of the kernel matrix rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +85,12 @@ impl DeviceShard {
 
 /// How `n` kernel-matrix rows are partitioned across a [`DeviceTopology`],
 /// with a per-device sub-tiling plan from [`plan_tile_rows`].
+///
+/// A plan is a list of contiguous entries covering `0..n`. Most plans carry
+/// one entry per device, but an elastic re-plan
+/// ([`ShardPlan::reassign_device`]) may hand a surviving device several
+/// entries — [`ShardPlan::device_count`] counts entries, while
+/// [`ShardPlan::participating_devices`] counts distinct occupied devices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     n: usize,
@@ -90,6 +120,149 @@ impl ShardPlan {
             input_bytes,
             tiling,
             topology,
+        )
+    }
+
+    /// Partition `0..n` with shard sizes proportional to each device's
+    /// modeled throughput, so a mixed pool (say A100s next to H100s) finishes
+    /// its shards in lockstep instead of idling the fast devices at the
+    /// all-reduce. The weight is the geometric mean of the device's two
+    /// roofline ceilings — `sqrt(peak GFLOP/s × memory GB/s)` at the fit's
+    /// element width — scaled to an integer so a **uniform pool produces
+    /// exactly the [`ShardPlan::balanced`] boundaries** (bit-for-bit the same
+    /// plan). [`ShardPlan::with_boundaries`] remains the escape hatch for
+    /// hand-placed splits.
+    ///
+    /// `alive` optionally masks devices out of the plan entirely (a dead
+    /// device gets no entry); `None` plans over the whole topology. Under
+    /// [`TilePolicy::Full`] each device's share is additionally capped at the
+    /// rows it can hold resident next to the replicated workspace, with the
+    /// overflow redistributed over the uncapped devices; when the pool as a
+    /// whole cannot hold `n` rows the tightest device is reported via
+    /// [`CoreError::DeviceShardMemoryExceeded`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn balanced_by_throughput(
+        n: usize,
+        k_budget: usize,
+        elem: usize,
+        input_bytes: u64,
+        tiling: TilePolicy,
+        topology: &DeviceTopology,
+        alive: Option<&[bool]>,
+    ) -> Result<Self> {
+        let p = topology.devices.len();
+        if let Some(mask) = alive {
+            if mask.len() != p {
+                return Err(CoreError::InvalidConfig(format!(
+                    "liveness mask covers {} devices but the topology has {p}",
+                    mask.len()
+                )));
+            }
+        }
+        let active: Vec<usize> = (0..p).filter(|&d| alive.is_none_or(|m| m[d])).collect();
+        if active.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "no alive devices left to shard the kernel matrix over".into(),
+            ));
+        }
+        let weights: Vec<u128> = active
+            .iter()
+            .map(|&d| throughput_weight(&topology.devices[d], elem))
+            .collect();
+        // Capacity caps only bind under Full — every device must hold its
+        // whole shard resident; the streamed policies fit by sub-tiling.
+        let caps: Vec<Option<usize>> = active
+            .iter()
+            .map(|&d| {
+                matches!(tiling, TilePolicy::Full).then(|| {
+                    full_resident_row_cap(n, k_budget, elem, input_bytes, &topology.devices[d])
+                })
+            })
+            .collect();
+        let counts = match capped_proportional_rows(n, &weights, &caps) {
+            Some(counts) => counts,
+            None => {
+                // The pool as a whole cannot hold n rows resident: report
+                // the first device an uncapped throughput share overfills.
+                let counts = proportional_rows(n, &weights);
+                let (device, rows) = active
+                    .iter()
+                    .zip(&counts)
+                    .zip(&caps)
+                    .find(|((_, &rows), cap)| cap.is_some_and(|c| rows > c))
+                    .map(|((&d, &rows), _)| (d, rows))
+                    .expect("capacity exhaustion implies an overfull device");
+                let required = workspace_bytes(n, k_budget, elem, input_bytes)
+                    + tile_bytes(rows, n, elem) as u128;
+                return Err(CoreError::DeviceShardMemoryExceeded {
+                    device,
+                    required_bytes: u64::try_from(required).unwrap_or(u64::MAX),
+                    available_bytes: topology.devices[device].mem_bytes,
+                });
+            }
+        };
+        let mut shards = Vec::with_capacity(active.len());
+        let mut start = 0usize;
+        for (&device, &count) in active.iter().zip(&counts) {
+            let end = start + count;
+            let tile_rows = if count == 0 {
+                0
+            } else {
+                plan_shard_tile_rows(
+                    n,
+                    count,
+                    k_budget,
+                    elem,
+                    input_bytes,
+                    tiling,
+                    topology,
+                    device,
+                )?
+            };
+            shards.push(DeviceShard {
+                device,
+                rows: start..end,
+                tile_rows,
+            });
+            start = end;
+        }
+        debug_assert_eq!(start, n);
+        Ok(Self { n, shards })
+    }
+
+    /// Plan over an executor's topology and liveness: the throughput-weighted
+    /// partition of [`ShardPlan::balanced_by_throughput`] restricted to the
+    /// devices the executor reports alive
+    /// ([`popcorn_gpusim::Executor::shard_alive`]). This is the entry point
+    /// the fit dispatcher uses, so a fit retried after a surfaced device loss
+    /// automatically plans over the survivors.
+    pub fn for_executor(
+        n: usize,
+        k_budget: usize,
+        elem: usize,
+        input_bytes: u64,
+        tiling: TilePolicy,
+        executor: &dyn Executor,
+    ) -> Result<Self> {
+        let Some(topology) = executor.topology() else {
+            return Err(CoreError::InvalidConfig(
+                "the executor reports multiple shards but no device topology; \
+                 an Executor implementation overriding shard_count() must also \
+                 override topology()"
+                    .into(),
+            ));
+        };
+        let alive: Vec<bool> = (0..topology.devices.len())
+            .map(|d| executor.shard_alive(d))
+            .collect();
+        Self::balanced_by_throughput(
+            n,
+            k_budget,
+            elem,
+            input_bytes,
+            tiling,
+            topology,
+            Some(&alive),
         )
     }
 
@@ -147,6 +320,101 @@ impl ShardPlan {
         Ok(Self { n, shards })
     }
 
+    /// Rebuild a plan from explicit entries, validating that they
+    /// contiguously cover `0..n`.
+    pub fn from_shards(n: usize, shards: Vec<DeviceShard>) -> Result<Self> {
+        let mut next = 0usize;
+        for shard in &shards {
+            if shard.rows.start != next || shard.rows.end < shard.rows.start {
+                return Err(CoreError::InvalidConfig(format!(
+                    "shard rows must contiguously cover 0..{n}: expected a shard starting at \
+                     {next}, got {}..{}",
+                    shard.rows.start, shard.rows.end
+                )));
+            }
+            next = shard.rows.end;
+        }
+        if next != n {
+            return Err(CoreError::InvalidConfig(format!(
+                "shard rows must contiguously cover 0..{n}: coverage ends at {next}"
+            )));
+        }
+        Ok(Self { n, shards })
+    }
+
+    /// Re-partition the `lost` device's rows over the surviving (`alive` and
+    /// not `lost`) devices, throughput-weighted, splicing the replacement
+    /// chunks exactly where the lost entries sat so the global row order —
+    /// and therefore every fold order — is unchanged.
+    ///
+    /// Returns the new plan and a carry map aligned with its entries:
+    /// `Some(i)` marks an entry carried verbatim from index `i` of `self`
+    /// (its resident cache survives), `None` marks a fresh chunk whose tiles
+    /// the new owner must compute.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reassign_device(
+        &self,
+        lost: usize,
+        k_budget: usize,
+        elem: usize,
+        input_bytes: u64,
+        tiling: TilePolicy,
+        topology: &DeviceTopology,
+        alive: &[bool],
+    ) -> Result<(ShardPlan, Vec<Option<usize>>)> {
+        let survivors: Vec<usize> = (0..topology.devices.len())
+            .filter(|&d| d != lost && alive.get(d).copied().unwrap_or(false))
+            .collect();
+        if survivors.is_empty() {
+            return Err(CoreError::InvalidConfig(format!(
+                "device {lost} was lost but no alive devices remain to take over its rows"
+            )));
+        }
+        let weights: Vec<u128> = survivors
+            .iter()
+            .map(|&d| throughput_weight(&topology.devices[d], elem))
+            .collect();
+        let mut shards = Vec::with_capacity(self.shards.len() + survivors.len());
+        let mut carry = Vec::with_capacity(shards.capacity());
+        for (index, shard) in self.shards.iter().enumerate() {
+            if shard.device != lost {
+                shards.push(shard.clone());
+                carry.push(Some(index));
+                continue;
+            }
+            if shard.rows.is_empty() {
+                continue; // nothing to migrate; the empty entry is dropped
+            }
+            let counts = proportional_rows(shard.rows.len(), &weights);
+            let mut start = shard.rows.start;
+            for (&device, &count) in survivors.iter().zip(&counts) {
+                if count == 0 {
+                    continue;
+                }
+                let end = start + count;
+                let tile_rows = plan_shard_tile_rows(
+                    self.n,
+                    count,
+                    k_budget,
+                    elem,
+                    input_bytes,
+                    tiling,
+                    topology,
+                    device,
+                )?;
+                shards.push(DeviceShard {
+                    device,
+                    rows: start..end,
+                    tile_rows,
+                });
+                carry.push(None);
+                start = end;
+            }
+            debug_assert_eq!(start, shard.rows.end);
+        }
+        Ok((ShardPlan { n: self.n, shards }, carry))
+    }
+
     /// Number of points `n` the plan covers.
     pub fn n(&self) -> usize {
         self.n
@@ -157,9 +425,23 @@ impl ShardPlan {
         &self.shards
     }
 
-    /// Number of devices in the plan.
+    /// Number of plan entries (one per device until a re-plan splits rows).
     pub fn device_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of distinct devices that own at least one row — the all-reduce
+    /// fires only when this exceeds one.
+    pub fn participating_devices(&self) -> usize {
+        let mut devices: Vec<usize> = self
+            .shards
+            .iter()
+            .filter(|s| !s.rows.is_empty())
+            .map(|s| s.device)
+            .collect();
+        devices.sort_unstable();
+        devices.dedup();
+        devices.len()
     }
 
     /// The device owning row `i`.
@@ -177,8 +459,130 @@ impl ShardPlan {
     }
 }
 
+/// Throughput-weighted split of `rows` over the devices marked alive,
+/// in device order — shared with the CSR-resident source, whose nnz-based
+/// capacity math cannot reuse the dense planner. Every alive device gets an
+/// entry (possibly empty); the counts always sum to `rows.len()`.
+pub(crate) fn split_rows_by_throughput(
+    rows: Range<usize>,
+    elem: usize,
+    topology: &DeviceTopology,
+    alive: &[bool],
+) -> Result<Vec<(usize, Range<usize>)>> {
+    let active: Vec<usize> = (0..topology.devices.len())
+        .filter(|&d| alive.get(d).copied().unwrap_or(false))
+        .collect();
+    if active.is_empty() {
+        return Err(CoreError::InvalidConfig(
+            "no alive devices left to shard the kernel matrix over".into(),
+        ));
+    }
+    let weights: Vec<u128> = active
+        .iter()
+        .map(|&d| throughput_weight(&topology.devices[d], elem))
+        .collect();
+    let counts = proportional_rows(rows.len(), &weights);
+    let mut out = Vec::with_capacity(active.len());
+    let mut start = rows.start;
+    for (&device, &count) in active.iter().zip(&counts) {
+        let end = start + count;
+        out.push((device, start..end));
+        start = end;
+    }
+    debug_assert_eq!(start, rows.end);
+    Ok(out)
+}
+
+/// Integer-scaled relative throughput of one device at the fit's element
+/// width: `sqrt(peak GFLOP/s × memory GB/s)`, the geometric mean of the two
+/// roofline ceilings, scaled by 10⁶ and rounded. The integer scaling makes
+/// uniform pools produce *exactly* the `d·n/p` boundaries of
+/// [`ShardPlan::balanced`] (float boundaries could round a degenerate pool
+/// off by one).
+fn throughput_weight(spec: &DeviceSpec, elem: usize) -> u128 {
+    let ceiling = (spec.peak_gflops_for(elem) * spec.mem_bandwidth_gbs).sqrt();
+    ((ceiling * 1e6).round() as u128).max(1)
+}
+
+/// Split `n` rows proportionally to `weights` via cumulative integer
+/// boundaries (`end_i = ⌊cum_i · n / total⌋`), so the counts always sum to
+/// `n` and equal weights reproduce the balanced split exactly.
+fn proportional_rows(n: usize, weights: &[u128]) -> Vec<usize> {
+    let total: u128 = weights.iter().sum::<u128>().max(1);
+    let mut counts = Vec::with_capacity(weights.len());
+    let mut cum = 0u128;
+    let mut prev = 0usize;
+    for &w in weights {
+        cum += w;
+        let end = usize::try_from(cum * n as u128 / total).expect("boundary bounded by n");
+        counts.push(end - prev);
+        prev = end;
+    }
+    counts
+}
+
+/// [`proportional_rows`] with optional per-entry row caps: capped entries are
+/// pinned at their cap and the overflow is redistributed proportionally over
+/// the rest, iterating until stable. `None` when the caps cannot absorb all
+/// `n` rows.
+fn capped_proportional_rows(
+    n: usize,
+    weights: &[u128],
+    caps: &[Option<usize>],
+) -> Option<Vec<usize>> {
+    let m = weights.len();
+    let mut fixed: Vec<Option<usize>> = vec![None; m];
+    loop {
+        let free: Vec<usize> = (0..m).filter(|&i| fixed[i].is_none()).collect();
+        let assigned: usize = fixed.iter().flatten().sum();
+        let remaining = n - assigned;
+        if free.is_empty() {
+            return (remaining == 0).then(|| fixed.into_iter().flatten().collect());
+        }
+        let free_weights: Vec<u128> = free.iter().map(|&i| weights[i]).collect();
+        let sub = proportional_rows(remaining, &free_weights);
+        let mut capped_any = false;
+        for (j, &i) in free.iter().enumerate() {
+            if let Some(cap) = caps[i] {
+                if sub[j] > cap {
+                    fixed[i] = Some(cap);
+                    capped_any = true;
+                }
+            }
+        }
+        if !capped_any {
+            for (j, &i) in free.iter().enumerate() {
+                fixed[i] = Some(sub[j]);
+            }
+            return Some(fixed.into_iter().flatten().collect());
+        }
+    }
+}
+
+/// Rows `spec` can hold resident next to the replicated fit workspace —
+/// the [`TilePolicy::Full`] capacity cap, matching [`plan_tile_rows`]'
+/// `workspace + rows·n·elem ≤ mem` check exactly.
+fn full_resident_row_cap(
+    n: usize,
+    k_budget: usize,
+    elem: usize,
+    input_bytes: u64,
+    spec: &DeviceSpec,
+) -> usize {
+    let mem = spec.mem_bytes as u128;
+    let workspace = workspace_bytes(n, k_budget, elem, input_bytes);
+    let per_row = (n as u128 * elem as u128).max(1);
+    if mem <= workspace {
+        return 0;
+    }
+    usize::try_from((mem - workspace) / per_row).unwrap_or(usize::MAX)
+}
+
 /// Per-device tile planning: map the fit-level [`TilePolicy`] onto one
-/// device's shard, reusing [`plan_tile_rows`] for the capacity math.
+/// device's shard, reusing [`plan_tile_rows`] for the capacity math. A
+/// capacity rejection is promoted to
+/// [`CoreError::DeviceShardMemoryExceeded`] so the failing device of a
+/// heterogeneous pool is named.
 #[allow(clippy::too_many_arguments)]
 fn plan_shard_tile_rows(
     n: usize,
@@ -191,34 +595,33 @@ fn plan_shard_tile_rows(
     device: usize,
 ) -> Result<usize> {
     let spec = &topology.devices[device];
+    let plan = |policy: TilePolicy| {
+        plan_tile_rows(n, k_budget, elem, input_bytes, policy, spec).map_err(|e| match e {
+            CoreError::DeviceMemoryExceeded {
+                required_bytes,
+                available_bytes,
+            } => CoreError::DeviceShardMemoryExceeded {
+                device,
+                required_bytes,
+                available_bytes,
+            },
+            other => other,
+        })
+    };
     match tiling {
         // "Full" on a sharded fit means: every device keeps its whole shard
         // resident; reject the topology if a device cannot.
-        TilePolicy::Full => plan_tile_rows(
-            n,
-            k_budget,
-            elem,
-            input_bytes,
-            TilePolicy::Rows(shard_rows),
-            spec,
-        ),
+        TilePolicy::Full => plan(TilePolicy::Rows(shard_rows)),
         TilePolicy::Rows(rows) => {
             if rows == 0 {
                 return Err(CoreError::InvalidConfig(
                     "tile_rows must be at least 1".into(),
                 ));
             }
-            plan_tile_rows(
-                n,
-                k_budget,
-                elem,
-                input_bytes,
-                TilePolicy::Rows(rows.min(shard_rows)),
-                spec,
-            )
+            plan(TilePolicy::Rows(rows.min(shard_rows)))
         }
         TilePolicy::Auto => {
-            let rows = plan_tile_rows(n, k_budget, elem, input_bytes, TilePolicy::Auto, spec)?;
+            let rows = plan(TilePolicy::Auto)?;
             Ok(rows.min(shard_rows))
         }
     }
@@ -243,22 +646,45 @@ impl Drop for ActiveShard<'_> {
     }
 }
 
+/// The plan in force and the number of completed tile passes. Guarded by its
+/// own mutex (separate from the resident cache) so `row()` — which only needs
+/// the owner lookup — can never deadlock against a tile stream holding the
+/// cache; lock order is always plan before cache.
+struct PassState {
+    plan: ShardPlan,
+    pass: usize,
+}
+
 /// A [`KernelSource`] that streams `K` in global row order while attributing
 /// each device's rows — recomputation *and* the engine work folded over them
 /// — to that device, then charges the per-pass all-reduce of the distance
 /// partials against the topology's link.
+///
+/// The source is *elastic*: every [`KernelSource::for_each_tile`] pass starts
+/// by draining the executor's fault schedule and, on a device loss under
+/// [`RecoveryPolicy::Resume`], re-partitions the lost rows over the survivors
+/// in place (see the module docs). Recovered fits stay bit-identical to a
+/// fresh fit on the surviving topology because only pricing attribution ever
+/// moves.
 pub struct ShardedKernelSource<'a, T: Scalar> {
     inner: TiledKernel<'a, T>,
-    plan: ShardPlan,
     k_budget: usize,
+    /// Modeled upload footprint of the points — re-plans after a loss need
+    /// the same workspace math the original plan used.
+    input_bytes: u64,
+    /// The fit-level tile policy, honoured by elastic re-plans.
+    tiling: TilePolicy,
+    state: Mutex<PassState>,
     /// Resident shards (`DeviceShard::is_resident`) are computed — and
     /// charged to their device — exactly once, then replayed from this cache
     /// on later passes, the multi-device analogue of [`crate::FullKernel`]'s
     /// charge-once semantics. Streaming (sub-tiled) shards never cache: their
-    /// device cannot hold more than one tile. A `Mutex` (not `RefCell`) so
-    /// the source satisfies the [`KernelSource`] `Sync` contract; the tile
-    /// stream itself always runs on the driver thread.
-    resident: std::sync::Mutex<Vec<Option<popcorn_dense::DenseMatrix<T>>>>,
+    /// device cannot hold more than one tile. Indexed in lockstep with the
+    /// plan's entries; a recovery rebuilds it through the carry map so
+    /// survivors keep their caches. A `Mutex` (not `RefCell`) so the source
+    /// satisfies the [`KernelSource`] `Sync` contract; the tile stream itself
+    /// always runs on the driver thread.
+    resident: Mutex<Vec<Option<DenseMatrix<T>>>>,
 }
 
 impl<'a, T: Scalar> ShardedKernelSource<'a, T> {
@@ -280,6 +706,7 @@ impl<'a, T: Scalar> ShardedKernelSource<'a, T> {
             )));
         }
         let elem = std::mem::size_of::<T>();
+        let input_bytes = points.upload_bytes();
         let inner =
             TiledKernel::build(points, kernel, plan.max_tile_rows().max(1), executor, false)?;
         // The kernel diagonal is read by every device's tile transform:
@@ -292,18 +719,34 @@ impl<'a, T: Scalar> ShardedKernelSource<'a, T> {
             let _active = ActiveShard::activate(executor, shard.device);
             executor.track_alloc(tile_bytes(shard.tile_rows, n, elem));
         }
-        let resident = std::sync::Mutex::new(vec![None; plan.shards().len()]);
+        let resident = Mutex::new(vec![None; plan.shards().len()]);
         Ok(Self {
             inner,
-            plan,
             k_budget,
+            input_bytes,
+            tiling: TilePolicy::Auto,
+            state: Mutex::new(PassState { plan, pass: 0 }),
             resident,
         })
     }
 
-    /// The row partition and per-device tiling in effect.
-    pub fn plan(&self) -> &ShardPlan {
-        &self.plan
+    /// Record the fit-level tile policy so elastic re-plans after a device
+    /// loss honour it. The constructor's plan was already built with it; this
+    /// only steers future [`ShardPlan::reassign_device`] calls (defaults to
+    /// [`TilePolicy::Auto`]).
+    pub fn with_tiling(mut self, tiling: TilePolicy) -> Self {
+        self.tiling = tiling;
+        self
+    }
+
+    /// The row partition and per-device tiling currently in effect (a
+    /// snapshot — a device loss may re-plan between passes).
+    pub fn plan(&self) -> ShardPlan {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .plan
+            .clone()
     }
 
     /// Modeled payload of the per-pass all-reduce: every device's rows of the
@@ -311,6 +754,99 @@ impl<'a, T: Scalar> ShardedKernelSource<'a, T> {
     fn all_reduce_bytes(&self) -> u64 {
         let elem = std::mem::size_of::<T>() as u64;
         (self.inner.n() as u64 + 1) * self.k_budget as u64 * elem
+    }
+
+    /// Drain due fault events at the pass boundary, recover (or surface) any
+    /// device loss, bump the pass counter and return this pass's shard walk.
+    fn begin_pass(&self, executor: &dyn Executor) -> Result<Vec<DeviceShard>> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let pass = state.pass;
+        while let Some(event) = executor.poll_fault(pass) {
+            match event.kind {
+                FaultKind::DeviceLost { device } => {
+                    if executor.recovery_policy() == RecoveryPolicy::Abort {
+                        return Err(CoreError::DeviceLost { device, pass });
+                    }
+                    self.recover(&mut state, device, pass, executor)?;
+                }
+                // Scale-up is lazy (scale-down is immediate): the joiner is
+                // alive from now on but is only drafted by the next re-plan —
+                // a later loss, or the next fit — because re-balancing onto
+                // it mid-fit would discard survivors' resident tiles.
+                FaultKind::DeviceJoined { .. } => {}
+            }
+        }
+        state.pass += 1;
+        Ok(state.plan.shards().to_vec())
+    }
+
+    /// Resume-in-place after losing `lost`: splice its rows over the
+    /// survivors, drop its buffers, carry the survivors' resident caches and
+    /// account the modeled recovery work on the executor.
+    fn recover(
+        &self,
+        state: &mut PassState,
+        lost: usize,
+        pass: usize,
+        executor: &dyn Executor,
+    ) -> Result<()> {
+        let Some(topology) = executor.topology() else {
+            return Err(CoreError::DeviceLost { device: lost, pass });
+        };
+        let alive: Vec<bool> = (0..topology.devices.len())
+            .map(|d| executor.shard_alive(d))
+            .collect();
+        let elem = std::mem::size_of::<T>();
+        let n = self.inner.n();
+        let (plan, carry) = state.plan.reassign_device(
+            lost,
+            self.k_budget,
+            elem,
+            self.input_bytes,
+            self.tiling,
+            topology,
+            &alive,
+        )?;
+        let mut resident = self.resident.lock().unwrap_or_else(|p| p.into_inner());
+        let mut delta = RecoveryReport::default();
+        // The lost device's tile buffers — and any resident tiles cached in
+        // them — are gone; its rows will be recomputed by their new owners
+        // (charged naturally when the next passes stream the fresh chunks).
+        for (index, shard) in state.plan.shards().iter().enumerate() {
+            if shard.device != lost {
+                continue;
+            }
+            delta.rows_migrated += shard.rows.len() as u64;
+            if resident[index].is_some() {
+                delta.replayed_tiles += 1;
+                delta.replayed_bytes += tile_bytes(shard.rows.len(), n, elem);
+            }
+            if shard.tile_rows > 0 {
+                let _active = ActiveShard::activate(executor, lost);
+                executor.track_free(tile_bytes(shard.tile_rows, n, elem));
+            }
+        }
+        // Carry the survivors' caches into the new plan and track the fresh
+        // chunks' tile buffers on their owners. The points are replicated, so
+        // nothing is re-uploaded for the dense sharded source.
+        let mut rebuilt: Vec<Option<DenseMatrix<T>>> = Vec::with_capacity(plan.shards().len());
+        for (j, carried) in carry.iter().enumerate() {
+            rebuilt.push(match carried {
+                Some(i) => resident[*i].take(),
+                None => {
+                    let shard = &plan.shards()[j];
+                    if shard.tile_rows > 0 {
+                        let _active = ActiveShard::activate(executor, shard.device);
+                        executor.track_alloc(tile_bytes(shard.tile_rows, n, elem));
+                    }
+                    None
+                }
+            });
+        }
+        *resident = rebuilt;
+        state.plan = plan;
+        executor.note_recovery(&delta);
+        Ok(())
     }
 }
 
@@ -320,13 +856,20 @@ impl<T: Scalar> KernelSource<T> for ShardedKernelSource<'_, T> {
     }
 
     fn tile_rows(&self) -> usize {
-        self.plan.max_tile_rows()
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .plan
+            .max_tile_rows()
     }
 
     fn resident_bytes(&self) -> u64 {
         let n = self.inner.n();
         let elem = std::mem::size_of::<T>();
-        self.plan
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .plan
             .shards()
             .iter()
             .map(|s| tile_bytes(s.tile_rows, n, elem))
@@ -341,14 +884,21 @@ impl<T: Scalar> KernelSource<T> for ShardedKernelSource<'_, T> {
 
     fn row(&self, i: usize, executor: &dyn Executor) -> Result<Vec<T>> {
         // Seed rows are produced by (and priced on) the device owning them.
-        let _active = ActiveShard::activate(executor, self.plan.device_of(i));
+        let device = self
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .plan
+            .device_of(i);
+        let _active = ActiveShard::activate(executor, device);
         self.inner.row(i, executor)
     }
 
     fn for_each_tile(&self, executor: &dyn Executor, f: &mut TileVisitor<'_, T>) -> Result<()> {
         // Global row order, so engines fold tiles exactly as a single-device
         // stream would — only the pricing attribution moves between devices.
-        for (index, shard) in self.plan.shards().iter().enumerate() {
+        let shards = self.begin_pass(executor)?;
+        for (index, shard) in shards.iter().enumerate() {
             if shard.rows.is_empty() {
                 continue;
             }
@@ -375,7 +925,14 @@ impl<T: Scalar> KernelSource<T> for ShardedKernelSource<'_, T> {
                 r0 = r1;
             }
         }
-        if self.plan.device_count() > 1 {
+        let mut participants: Vec<usize> = shards
+            .iter()
+            .filter(|s| !s.rows.is_empty())
+            .map(|s| s.device)
+            .collect();
+        participants.sort_unstable();
+        participants.dedup();
+        if participants.len() > 1 {
             executor.charge(
                 format!(
                     "all-reduce distance partials (n={}, k={})",
@@ -397,7 +954,7 @@ mod tests {
     use crate::kernel_matrix::compute_kernel_matrix;
     use crate::strategy::KernelMatrixStrategy;
     use popcorn_dense::DenseMatrix;
-    use popcorn_gpusim::{DeviceSpec, LinkSpec, ShardedExecutor, SimExecutor, GIB};
+    use popcorn_gpusim::{DeviceSpec, FaultPlan, LinkSpec, ShardedExecutor, SimExecutor, GIB};
 
     fn topo(p: usize) -> DeviceTopology {
         DeviceTopology::homogeneous(DeviceSpec::a100_80gb(), p, LinkSpec::nvlink())
@@ -442,6 +999,7 @@ mod tests {
         assert_eq!(occupied, 3);
         let total: usize = plan.shards().iter().map(|s| s.rows.len()).sum();
         assert_eq!(total, 3);
+        assert_eq!(plan.participating_devices(), 3);
     }
 
     #[test]
@@ -460,6 +1018,98 @@ mod tests {
     }
 
     #[test]
+    fn throughput_plan_degenerates_to_balanced_on_uniform_pools() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let t = topo(p);
+            let balanced = ShardPlan::balanced(101, 7, 8, 4096, TilePolicy::Auto, &t).unwrap();
+            let weighted =
+                ShardPlan::balanced_by_throughput(101, 7, 8, 4096, TilePolicy::Auto, &t, None)
+                    .unwrap();
+            assert_eq!(weighted, balanced, "p={p}");
+        }
+    }
+
+    #[test]
+    fn throughput_plan_favors_faster_devices_and_skips_dead_ones() {
+        let mixed = DeviceTopology {
+            devices: vec![
+                DeviceSpec::a100_80gb(),
+                DeviceSpec::h100_80gb(),
+                DeviceSpec::a100_80gb(),
+            ],
+            interconnect: LinkSpec::nvlink(),
+        };
+        let n = 3_000;
+        let plan =
+            ShardPlan::balanced_by_throughput(n, 8, 8, 0, TilePolicy::Auto, &mixed, None).unwrap();
+        let total: usize = plan.shards().iter().map(|s| s.rows.len()).sum();
+        assert_eq!(total, n);
+        let a100 = plan.shards()[0].rows.len();
+        let h100 = plan.shards()[1].rows.len();
+        assert!(
+            h100 > a100,
+            "the H100 must take the larger shard ({h100} vs {a100})"
+        );
+        // The two A100s get identical shares (up to the boundary rounding).
+        assert!(plan.shards()[2].rows.len().abs_diff(a100) <= 1);
+        // Masking a device out removes its entry entirely.
+        let survivors = ShardPlan::balanced_by_throughput(
+            n,
+            8,
+            8,
+            0,
+            TilePolicy::Auto,
+            &mixed,
+            Some(&[true, false, true]),
+        )
+        .unwrap();
+        assert_eq!(survivors.device_count(), 2);
+        assert!(survivors.shards().iter().all(|s| s.device != 1));
+        let total: usize = survivors.shards().iter().map(|s| s.rows.len()).sum();
+        assert_eq!(total, n);
+        assert!(ShardPlan::balanced_by_throughput(
+            n,
+            8,
+            8,
+            0,
+            TilePolicy::Auto,
+            &mixed,
+            Some(&[false, false, false]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn throughput_plan_caps_full_shards_at_device_capacity() {
+        // One roomy device next to one that can only hold a sliver: under
+        // Full the sliver device is pinned at its cap and the rest flows to
+        // the roomy one.
+        let n = 20_000usize;
+        let elem = 8usize;
+        let small_rows = 2_000usize;
+        let small_bytes = u64::try_from(workspace_bytes(n, 10, elem, 0)).unwrap()
+            + (small_rows * n * elem) as u64;
+        let lopsided = DeviceTopology {
+            devices: vec![
+                DeviceSpec::a100_80gb(),
+                DeviceSpec::a100_80gb().with_mem_bytes(small_bytes),
+            ],
+            interconnect: LinkSpec::nvlink(),
+        };
+        let plan =
+            ShardPlan::balanced_by_throughput(n, 10, elem, 0, TilePolicy::Full, &lopsided, None)
+                .unwrap();
+        assert_eq!(plan.shards()[1].rows.len(), small_rows);
+        assert_eq!(plan.shards()[0].rows.len(), n - small_rows);
+        assert!(plan.shards().iter().all(|s| s.is_resident()));
+        // Streamed policies ignore the cap: the small device sub-tiles.
+        let auto =
+            ShardPlan::balanced_by_throughput(n, 10, elem, 0, TilePolicy::Auto, &lopsided, None)
+                .unwrap();
+        assert_eq!(auto.shards()[0].rows.len(), n / 2);
+    }
+
+    #[test]
     fn full_policy_rejects_devices_too_small_for_their_shard() {
         // 20k rows over 2 devices: each shard is 10k x 20k f64 = 1.6 GB.
         let n = 20_000;
@@ -469,13 +1119,110 @@ mod tests {
             LinkSpec::nvlink(),
         );
         let err = ShardPlan::balanced(n, 10, 8, 0, TilePolicy::Full, &small).unwrap_err();
-        assert!(matches!(err, CoreError::DeviceMemoryExceeded { .. }));
+        assert!(matches!(err, CoreError::DeviceShardMemoryExceeded { .. }));
+        // The throughput planner reports the same exhaustion (every device
+        // capped below its share).
+        let err = ShardPlan::balanced_by_throughput(n, 10, 8, 0, TilePolicy::Full, &small, None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DeviceShardMemoryExceeded { .. }));
         // Auto succeeds by sub-tiling inside each shard.
         let plan = ShardPlan::balanced(n, 10, 8, 0, TilePolicy::Auto, &small).unwrap();
         assert!(plan.shards().iter().all(|s| s.tile_rows < s.rows.len()));
         // And an explicit row height is clamped to the shard.
         let plan = ShardPlan::balanced(n, 10, 8, 0, TilePolicy::Rows(1_000), &small).unwrap();
         assert!(plan.shards().iter().all(|s| s.tile_rows == 1_000));
+    }
+
+    #[test]
+    fn shard_capacity_error_names_the_device_and_both_byte_figures() {
+        // Device 1 is too small for its 12k-row shard under Full; the error
+        // must name it and quote both byte figures so a heterogeneous-pool
+        // failure is actionable.
+        let n = 20_000usize;
+        let elem = 8usize;
+        let topology = DeviceTopology {
+            devices: vec![
+                DeviceSpec::a100_80gb(),
+                DeviceSpec::a100_80gb().with_mem_bytes(GIB),
+            ],
+            interconnect: LinkSpec::nvlink(),
+        };
+        let err = ShardPlan::with_boundaries(n, &[8_000], 10, elem, 0, TilePolicy::Full, &topology)
+            .unwrap_err();
+        let required =
+            u64::try_from(workspace_bytes(n, 10, elem, 0) + tile_bytes(12_000, n, elem) as u128)
+                .unwrap();
+        assert_eq!(
+            err,
+            CoreError::DeviceShardMemoryExceeded {
+                device: 1,
+                required_bytes: required,
+                available_bytes: GIB,
+            }
+        );
+        let message = err.to_string();
+        assert_eq!(
+            message,
+            format!(
+                "device 1 cannot hold its shard: the shard layout needs {required} bytes \
+                 resident but device 1 holds {GIB} bytes; move the boundaries, use the auto \
+                 tiling policy, or drop the device"
+            )
+        );
+    }
+
+    #[test]
+    fn from_shards_validates_contiguous_cover() {
+        let shard = |device: usize, rows: Range<usize>| DeviceShard {
+            device,
+            tile_rows: rows.len(),
+            rows,
+        };
+        let plan = ShardPlan::from_shards(10, vec![shard(0, 0..4), shard(2, 4..10)]).unwrap();
+        assert_eq!(plan.n(), 10);
+        assert_eq!(plan.participating_devices(), 2);
+        assert!(ShardPlan::from_shards(10, vec![shard(0, 0..4), shard(1, 5..10)]).is_err());
+        assert!(ShardPlan::from_shards(10, vec![shard(0, 0..4)]).is_err());
+        assert!(ShardPlan::from_shards(10, vec![shard(0, 0..4), shard(1, 4..12)]).is_err());
+    }
+
+    #[test]
+    fn reassign_device_splices_lost_rows_and_carries_survivors() {
+        let t = topo(3);
+        let plan = ShardPlan::balanced(90, 5, 8, 0, TilePolicy::Auto, &t).unwrap();
+        let (replan, carry) = plan
+            .reassign_device(1, 5, 8, 0, TilePolicy::Auto, &t, &[true, false, true])
+            .unwrap();
+        // Device 1's 30 rows are spliced (in place) over devices 0 and 2.
+        let total: usize = replan.shards().iter().map(|s| s.rows.len()).sum();
+        assert_eq!(total, 90);
+        assert!(replan.shards().iter().all(|s| s.device != 1));
+        assert_eq!(replan.participating_devices(), 2);
+        // Contiguous global cover is preserved.
+        let mut next = 0usize;
+        for shard in replan.shards() {
+            assert_eq!(shard.rows.start, next);
+            next = shard.rows.end;
+        }
+        assert_eq!(next, 90);
+        // The carry map keeps the surviving entries and marks the fresh
+        // chunks.
+        assert_eq!(carry.len(), replan.shards().len());
+        assert_eq!(carry[0], Some(0), "device 0's entry is carried");
+        assert_eq!(
+            carry.iter().filter(|c| c.is_none()).count(),
+            2,
+            "device 1's rows became two fresh chunks"
+        );
+        assert_eq!(
+            *carry.last().unwrap(),
+            Some(2),
+            "device 2's entry is carried"
+        );
+        // Losing everything is rejected.
+        assert!(plan
+            .reassign_device(1, 5, 8, 0, TilePolicy::Auto, &t, &[false, false, false])
+            .is_err());
     }
 
     #[test]
@@ -590,5 +1337,92 @@ mod tests {
         // diag bookkeeping on every device.
         let peaks = sharded_exec.per_device_peak_resident_bytes();
         assert!(peaks.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn device_loss_mid_stream_recovers_bit_identically() {
+        let points = sample_points(19, 4);
+        let exec = SimExecutor::a100_f32();
+        let (full, _) = compute_kernel_matrix(
+            &points,
+            KernelFunction::paper_polynomial(),
+            KernelMatrixStrategy::default(),
+            &exec,
+        )
+        .unwrap();
+        let base = ShardedExecutor::homogeneous(DeviceSpec::a100_80gb(), 3, LinkSpec::nvlink(), 8);
+        // Device 1 dies at the start of pass 1 (after its pass-0 tiles were
+        // cached).
+        let faulty = base.with_fault_plan(FaultPlan::new().lose(1, 1), RecoveryPolicy::Resume);
+        let plan =
+            ShardPlan::for_executor(19, 3, 8, 19 * 4 * 8, TilePolicy::Auto, &faulty).unwrap();
+        let source = ShardedKernelSource::new(
+            FitInput::Dense(&points),
+            KernelFunction::paper_polynomial(),
+            plan,
+            3,
+            &faulty,
+        )
+        .unwrap();
+        for pass in 0..3 {
+            let mut out = DenseMatrix::<f64>::zeros(19, 19);
+            let mut last_end = 0usize;
+            source
+                .for_each_tile(&faulty, &mut |rows, tile| {
+                    assert_eq!(rows.start, last_end, "row order survives recovery");
+                    last_end = rows.end;
+                    for (local, i) in rows.clone().enumerate() {
+                        out.row_mut(i).copy_from_slice(tile.row(local));
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(last_end, 19);
+            for i in 0..19 {
+                for j in 0..19 {
+                    assert_eq!(out[(i, j)].to_bits(), full[(i, j)].to_bits(), "pass {pass}");
+                }
+            }
+        }
+        // The plan no longer mentions device 1 and the recovery was
+        // accounted: one event, its rows migrated, its cached tile replayed.
+        let plan = source.plan();
+        assert!(plan.shards().iter().all(|s| s.device != 1));
+        assert_eq!(plan.participating_devices(), 2);
+        let report = faulty.recovery_report().expect("recovery must be recorded");
+        assert_eq!(report.events, 1);
+        assert_eq!(report.devices_lost, 1);
+        assert!(report.rows_migrated > 0);
+        assert_eq!(report.replayed_tiles, 1);
+        assert!(report.replayed_bytes > 0);
+        assert_eq!(faulty.device_alive(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn abort_policy_surfaces_device_loss_as_an_error() {
+        let points = sample_points(11, 3);
+        let base = ShardedExecutor::homogeneous(DeviceSpec::a100_80gb(), 2, LinkSpec::nvlink(), 8);
+        let faulty = base.with_fault_plan(FaultPlan::new().lose(0, 0), RecoveryPolicy::Abort);
+        let plan =
+            ShardPlan::for_executor(11, 2, 8, 11 * 3 * 8, TilePolicy::Auto, &faulty).unwrap();
+        let source = ShardedKernelSource::new(
+            FitInput::Dense(&points),
+            KernelFunction::Linear,
+            plan,
+            2,
+            &faulty,
+        )
+        .unwrap();
+        let err = source
+            .for_each_tile(&faulty, &mut |_, _| Ok(()))
+            .unwrap_err();
+        assert_eq!(err, CoreError::DeviceLost { device: 0, pass: 0 });
+        // The loss was consumed: the executor's liveness now excludes the
+        // device, so a retried fit plans over the survivor alone.
+        assert_eq!(faulty.device_alive(), vec![false, true]);
+        let retry_plan =
+            ShardPlan::for_executor(11, 2, 8, 11 * 3 * 8, TilePolicy::Auto, &faulty).unwrap();
+        assert_eq!(retry_plan.device_count(), 1);
+        assert_eq!(retry_plan.shards()[0].device, 1);
     }
 }

@@ -39,13 +39,16 @@ use crate::kernel_source::{
     plan_tile_rows, tile_bytes, workspace_bytes, CsrTileVisitor, KernelSource, TilePolicy,
     TileVisitor, TiledKernel,
 };
-use crate::shard::DeviceShard;
+use crate::shard::{split_rows_by_throughput, DeviceShard};
 use crate::solver::FitInput;
 use crate::{CoreError, Result};
 use popcorn_dense::{DenseMatrix, Scalar};
-use popcorn_gpusim::{Executor, ExecutorExt, OpClass, OpCost, Phase};
+use popcorn_gpusim::{
+    Executor, ExecutorExt, FaultKind, OpClass, OpCost, Phase, RecoveryPolicy, RecoveryReport,
+};
 use popcorn_sparse::CsrMatrix;
 use std::ops::Range;
+use std::sync::Mutex;
 
 /// Per-row sparsification rule for the kernel matrix (surfaced on the CLI as
 /// `--sparsify {knn:N|threshold:T}`). The diagonal is always kept: `K_ii` is
@@ -152,10 +155,19 @@ pub struct SparsifiedKernel<T: Scalar> {
     /// [`SparsifiedKernel::from_csr`].
     dropped_mass: Option<f64>,
     tile_rows: usize,
-    /// Multi-device row partition (None on a single device).
-    shards: Option<Vec<DeviceShard>>,
+    /// Multi-device row partition (None on a single device); interior-mutable
+    /// because a mid-fit device loss re-shards between passes.
+    shards: Option<Mutex<ElasticShards>>,
     /// Total distance columns of the fit, sizing the per-pass all-reduce.
     k_budget: usize,
+}
+
+/// The mutable multi-device state: the current row partition plus the pass
+/// counter that drives fault polling at pass boundaries.
+#[derive(Debug)]
+struct ElasticShards {
+    shards: Vec<DeviceShard>,
+    pass: usize,
 }
 
 impl<T: Scalar> SparsifiedKernel<T> {
@@ -367,17 +379,23 @@ impl<T: Scalar> SparsifiedKernel<T> {
                         .into(),
                 ));
             };
-            let p = topology.devices.len();
-            let mut shards = Vec::with_capacity(p);
-            for device in 0..p {
-                let rows = device * n / p..(device + 1) * n / p;
+            let alive: Vec<bool> = (0..topology.devices.len())
+                .map(|d| executor.shard_alive(d))
+                .collect();
+            let split = split_rows_by_throughput(0..n, elem, topology, &alive)?;
+            let mut shards = Vec::with_capacity(split.len());
+            for (device, rows) in split {
                 // Each device holds its own rows' CSR slice (plus the
                 // replicated workspace and diagonal).
                 let required =
                     workspace + shard_csr_bytes(&csr, &rows, elem) as u128 + diag_bytes as u128;
                 let mem = topology.devices[device].mem_bytes;
                 if required > mem as u128 {
-                    return Err(reject(required, mem));
+                    return Err(CoreError::DeviceShardMemoryExceeded {
+                        device,
+                        required_bytes: u64::try_from(required).unwrap_or(u64::MAX),
+                        available_bytes: mem,
+                    });
                 }
                 let tile_rows = tile_rows.min(rows.len());
                 shards.push(DeviceShard {
@@ -415,7 +433,7 @@ impl<T: Scalar> SparsifiedKernel<T> {
             diag,
             dropped_mass,
             tile_rows,
-            shards,
+            shards: shards.map(|shards| Mutex::new(ElasticShards { shards, pass: 0 })),
             k_budget,
         })
     }
@@ -450,6 +468,101 @@ impl<T: Scalar> SparsifiedKernel<T> {
         (self.csr.rows() as u64 + 1) * self.k_budget as u64 * elem
     }
 
+    /// Drain due fault events at the pass boundary, recover (or surface) any
+    /// device loss, bump the pass counter and return this pass's shard walk
+    /// (`None` on a single device).
+    fn begin_pass(&self, executor: &dyn Executor) -> Result<Option<Vec<DeviceShard>>> {
+        let Some(state) = &self.shards else {
+            return Ok(None);
+        };
+        let mut state = state.lock().unwrap_or_else(|p| p.into_inner());
+        let pass = state.pass;
+        while let Some(event) = executor.poll_fault(pass) {
+            match event.kind {
+                FaultKind::DeviceLost { device } => {
+                    if executor.recovery_policy() == RecoveryPolicy::Abort {
+                        return Err(CoreError::DeviceLost { device, pass });
+                    }
+                    self.recover(&mut state, device, executor)?;
+                }
+                // Scale-up is lazy (scale-down is immediate), matching the
+                // dense sharded source: the joiner is alive from now on but
+                // is only drafted by the next re-shard.
+                FaultKind::DeviceJoined { .. } => {}
+            }
+        }
+        state.pass += 1;
+        Ok(Some(state.shards.clone()))
+    }
+
+    /// Resume-in-place after losing `lost`: splice its rows over the
+    /// survivors throughput-proportionally, drop its CSR slice and re-upload
+    /// the migrated slices to their new owners. Unlike the dense sharded
+    /// source (replicated points, recompute in place), the stored entries
+    /// only exist host-side, so migration is a modeled transfer.
+    fn recover(
+        &self,
+        state: &mut ElasticShards,
+        lost: usize,
+        executor: &dyn Executor,
+    ) -> Result<()> {
+        let Some(topology) = executor.topology() else {
+            return Err(CoreError::InvalidConfig(
+                "the executor reports multiple shards but no device topology; \
+                 an Executor implementation overriding shard_count() must also \
+                 override topology()"
+                    .into(),
+            ));
+        };
+        let alive: Vec<bool> = (0..topology.devices.len())
+            .map(|d| executor.shard_alive(d))
+            .collect();
+        let elem = std::mem::size_of::<T>();
+        let before = executor.total_modeled_seconds();
+        let mut delta = RecoveryReport::default();
+        let mut rebuilt: Vec<DeviceShard> = Vec::with_capacity(state.shards.len() + 1);
+        for shard in &state.shards {
+            if shard.device != lost {
+                rebuilt.push(shard.clone());
+                continue;
+            }
+            delta.rows_migrated += shard.rows.len() as u64;
+            if !shard.rows.is_empty() {
+                let _active = ActiveShard::activate(executor, lost);
+                executor.track_free(shard_csr_bytes(&self.csr, &shard.rows, elem));
+            }
+            for (device, rows) in
+                split_rows_by_throughput(shard.rows.clone(), elem, topology, &alive)?
+            {
+                if rows.is_empty() {
+                    continue;
+                }
+                let bytes = shard_csr_bytes(&self.csr, &rows, elem);
+                let _active = ActiveShard::activate(executor, device);
+                executor.track_alloc(bytes);
+                executor.charge(
+                    format!(
+                        "re-upload sparsified K rows {}..{} after device {lost} loss",
+                        rows.start, rows.end
+                    ),
+                    Phase::KernelMatrix,
+                    OpClass::Transfer,
+                    OpCost::transfer(bytes),
+                );
+                delta.bytes_reuploaded += bytes;
+                rebuilt.push(DeviceShard {
+                    device,
+                    rows: rows.clone(),
+                    tile_rows: self.tile_rows.min(rows.len()),
+                });
+            }
+        }
+        delta.reshard_seconds = executor.total_modeled_seconds() - before;
+        state.shards = rebuilt;
+        executor.note_recovery(&delta);
+        Ok(())
+    }
+
     /// Walk the row ranges of one full pass — per-shard with device
     /// attribution and a trailing all-reduce on a multi-device plan, plain
     /// tiling otherwise.
@@ -458,7 +571,7 @@ impl<T: Scalar> SparsifiedKernel<T> {
         executor: &dyn Executor,
         f: &mut dyn FnMut(Range<usize>) -> Result<()>,
     ) -> Result<()> {
-        match &self.shards {
+        match self.begin_pass(executor)? {
             None => {
                 let n = self.csr.rows();
                 let mut r0 = 0usize;
@@ -469,7 +582,7 @@ impl<T: Scalar> SparsifiedKernel<T> {
                 }
             }
             Some(shards) => {
-                for shard in shards {
+                for shard in &shards {
                     if shard.rows.is_empty() {
                         continue;
                     }
@@ -481,7 +594,14 @@ impl<T: Scalar> SparsifiedKernel<T> {
                         r0 = r1;
                     }
                 }
-                if shards.len() > 1 {
+                let mut participants: Vec<usize> = shards
+                    .iter()
+                    .filter(|s| !s.rows.is_empty())
+                    .map(|s| s.device)
+                    .collect();
+                participants.sort_unstable();
+                participants.dedup();
+                if participants.len() > 1 {
                     executor.charge(
                         format!(
                             "all-reduce distance partials (n={}, k={})",
@@ -502,8 +622,11 @@ impl<T: Scalar> SparsifiedKernel<T> {
     fn device_of(&self, i: usize) -> usize {
         self.shards
             .as_ref()
-            .and_then(|shards| {
-                shards
+            .and_then(|state| {
+                state
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .shards
                     .iter()
                     .find(|s| s.rows.contains(&i))
                     .map(|s| s.device)
@@ -1057,5 +1180,57 @@ mod tests {
         assert_eq!(panels, vec![0..4, 4..8, 8..10]);
         // Same resident bytes either way: tiles are views.
         assert_eq!(auto_src.resident_bytes(), rows_src.resident_bytes());
+    }
+
+    #[test]
+    fn device_loss_mid_stream_re_shards_and_re_uploads_csr_slices() {
+        use popcorn_gpusim::{FaultPlan, LinkSpec, ShardedExecutor};
+        let n = 60;
+        let points = sample_points(n, 4);
+        let base = ShardedExecutor::homogeneous(DeviceSpec::a100_80gb(), 3, LinkSpec::nvlink(), 8);
+        // Device 1 dies at the start of pass 1 (after a clean pass 0).
+        let faulty = base.with_fault_plan(FaultPlan::new().lose(1, 1), RecoveryPolicy::Resume);
+        let source = SparsifiedKernel::build(
+            FitInput::Dense(&points),
+            KernelFunction::paper_polynomial(),
+            Sparsify::Knn { neighbors: 8 },
+            TilePolicy::Auto,
+            4,
+            &faulty,
+        )
+        .unwrap();
+        for pass in 0..3 {
+            let mut covered = vec![false; n];
+            source
+                .for_each_csr_tile(&faulty, &mut |rows, _panel| {
+                    for i in rows {
+                        assert!(!covered[i], "row {i} visited twice in pass {pass}");
+                        covered[i] = true;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            assert!(
+                covered.iter().all(|&c| c),
+                "pass {pass} must cover every row exactly once"
+            );
+        }
+        // The walk no longer touches device 1 and the migration was accounted
+        // as a modeled re-upload of the lost CSR slices.
+        let state = source.shards.as_ref().unwrap().lock().unwrap();
+        assert!(state.shards.iter().all(|s| s.device != 1));
+        assert_eq!(
+            state.shards.iter().map(|s| s.rows.len()).sum::<usize>(),
+            n,
+            "the re-shard must still cover every row"
+        );
+        drop(state);
+        let report = faulty.recovery_report().expect("recovery must be recorded");
+        assert_eq!(report.events, 1);
+        assert_eq!(report.devices_lost, 1);
+        assert!(report.rows_migrated > 0);
+        assert!(report.bytes_reuploaded > 0);
+        assert!(report.reshard_seconds > 0.0);
+        assert_eq!(faulty.device_alive(), vec![true, false, true]);
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::cost::{CostModel, EngineSeconds, OpClass, OpCost};
 use crate::device::{DeviceSpec, DeviceTopology};
+use crate::fault::{FaultEvent, RecoveryPolicy, RecoveryReport};
 use crate::profiler::Profiler;
 use crate::roofline::Roofline;
 use crate::trace::{OpRecord, OpTrace, Phase};
@@ -131,6 +132,43 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
     fn activate_shard(&self, shard: Option<usize>) {
         let _ = shard;
     }
+
+    /// Drain one due fault event (scheduled at or before kernel-matrix pass
+    /// `pass`) from the executor's fault plan, applying its liveness flip.
+    /// Sharded sources call this in a loop at every pass boundary; `None`
+    /// (the default — single-device executors never fault) means nothing is
+    /// due.
+    fn poll_fault(&self, pass: usize) -> Option<FaultEvent> {
+        let _ = pass;
+        None
+    }
+
+    /// `true` when device shard `shard` is currently alive (has not been
+    /// lost, or has joined). Planners skip dead shards. Always `true` on
+    /// single-device executors.
+    fn shard_alive(&self, shard: usize) -> bool {
+        let _ = shard;
+        true
+    }
+
+    /// How sharded sources react to a drained [`FaultEvent`] device loss:
+    /// recover in place ([`RecoveryPolicy::Resume`], the default) or surface
+    /// [`RecoveryPolicy::Abort`] errors for the retry layers.
+    fn recovery_policy(&self) -> RecoveryPolicy {
+        RecoveryPolicy::Resume
+    }
+
+    /// Fold one recovery step's accounting into the executor's cumulative
+    /// [`RecoveryReport`]. A no-op on single-device executors.
+    fn note_recovery(&self, delta: &RecoveryReport) {
+        let _ = delta;
+    }
+
+    /// The cumulative recovery accounting, or `None` when no fault was ever
+    /// consumed and no retry was ever noted (the default).
+    fn recovery_report(&self) -> Option<RecoveryReport> {
+        None
+    }
 }
 
 /// Generic conveniences over any [`Executor`] (including trait objects).
@@ -226,6 +264,21 @@ macro_rules! delegate_executor {
             }
             fn activate_shard(&self, shard: Option<usize>) {
                 (**self).activate_shard(shard)
+            }
+            fn poll_fault(&self, pass: usize) -> Option<FaultEvent> {
+                (**self).poll_fault(pass)
+            }
+            fn shard_alive(&self, shard: usize) -> bool {
+                (**self).shard_alive(shard)
+            }
+            fn recovery_policy(&self) -> RecoveryPolicy {
+                (**self).recovery_policy()
+            }
+            fn note_recovery(&self, delta: &RecoveryReport) {
+                (**self).note_recovery(delta)
+            }
+            fn recovery_report(&self) -> Option<RecoveryReport> {
+                (**self).recovery_report()
             }
         }
     };
@@ -574,6 +627,26 @@ impl<E: Executor> Executor for ForkGuard<E> {
 
     fn activate_shard(&self, shard: Option<usize>) {
         self.child.activate_shard(shard)
+    }
+
+    fn poll_fault(&self, pass: usize) -> Option<FaultEvent> {
+        self.child.poll_fault(pass)
+    }
+
+    fn shard_alive(&self, shard: usize) -> bool {
+        self.child.shard_alive(shard)
+    }
+
+    fn recovery_policy(&self) -> RecoveryPolicy {
+        self.child.recovery_policy()
+    }
+
+    fn note_recovery(&self, delta: &RecoveryReport) {
+        self.child.note_recovery(delta)
+    }
+
+    fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.child.recovery_report()
     }
 }
 

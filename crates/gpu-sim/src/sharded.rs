@@ -34,9 +34,10 @@
 use crate::cost::{CostModel, OpClass, OpCost};
 use crate::device::{DeviceSpec, DeviceTopology};
 use crate::executor::{Executor, ForkGuard};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy, RecoveryReport};
 use crate::profiler::Profiler;
 use crate::trace::{OpRecord, OpTrace, Phase};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Sentinel for "no shard active" in the shared atomic cell.
@@ -80,6 +81,14 @@ impl DeviceBucket {
     }
 }
 
+/// Cursor over a resolved fault schedule: events are consumed in pass order,
+/// exactly once each.
+#[derive(Debug, Default)]
+struct FaultCursor {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
 /// State shared between a sharded executor and all of its forks.
 #[derive(Debug)]
 struct SharedState {
@@ -89,6 +98,14 @@ struct SharedState {
     active: AtomicUsize,
     serial_seconds: Mutex<f64>,
     comm_seconds: Mutex<f64>,
+    /// Per-device liveness: initial devices start alive, fault-plan joiners
+    /// start dead until their join event fires.
+    alive: Vec<AtomicBool>,
+    /// Liveness at construction time (what `reset` restores).
+    born_alive: Vec<bool>,
+    faults: Mutex<FaultCursor>,
+    policy: RecoveryPolicy,
+    recovery: Mutex<RecoveryReport>,
 }
 
 impl SharedState {
@@ -101,6 +118,13 @@ impl SharedState {
 
     fn add_comm(&self, s: f64) {
         *self.comm_seconds.lock().unwrap_or_else(|p| p.into_inner()) += s;
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::Relaxed))
+            .count()
     }
 }
 
@@ -118,8 +142,20 @@ impl ShardedExecutor {
     /// Create a sharded executor over `topology`, assuming `elem_bytes`-wide
     /// scalars.
     pub fn new(topology: DeviceTopology, elem_bytes: usize) -> Self {
+        Self::build(topology, elem_bytes, Vec::new(), 0, RecoveryPolicy::Resume)
+    }
+
+    /// Shared constructor: `joiners` counts trailing topology devices that
+    /// start dead (fault-plan joins), `events` is the resolved schedule.
+    fn build(
+        topology: DeviceTopology,
+        elem_bytes: usize,
+        events: Vec<FaultEvent>,
+        joiners: usize,
+        policy: RecoveryPolicy,
+    ) -> Self {
         assert!(
-            !topology.devices.is_empty(),
+            topology.devices.len() > joiners,
             "a topology needs at least one device"
         );
         let cost_models = topology
@@ -127,11 +163,15 @@ impl ShardedExecutor {
             .iter()
             .map(|d| CostModel::new(d.clone(), elem_bytes))
             .collect();
-        let devices = topology
+        let devices: Vec<DeviceBucket> = topology
             .devices
             .iter()
             .map(|_| DeviceBucket::default())
             .collect();
+        let born_alive: Vec<bool> = (0..topology.devices.len())
+            .map(|d| d < topology.devices.len() - joiners)
+            .collect();
+        let alive = born_alive.iter().map(|&a| AtomicBool::new(a)).collect();
         Self {
             shared: Arc::new(SharedState {
                 topology,
@@ -140,9 +180,28 @@ impl ShardedExecutor {
                 active: AtomicUsize::new(NO_SHARD),
                 serial_seconds: Mutex::new(0.0),
                 comm_seconds: Mutex::new(0.0),
+                alive,
+                born_alive,
+                faults: Mutex::new(FaultCursor { events, next: 0 }),
+                policy,
+                recovery: Mutex::new(RecoveryReport::default()),
             }),
             profiler: Profiler::new(),
         }
+    }
+
+    /// This executor with `plan`'s fault schedule attached under `policy`.
+    /// Join events pre-register their device at the end of the topology
+    /// (dead until the join fires), because the topology is immutable once
+    /// shared. Must be called before any work is recorded — the returned
+    /// executor starts with fresh buckets and an empty trace.
+    pub fn with_fault_plan(&self, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        let mut topology = self.shared.topology.clone();
+        let elem_bytes = self.shared.cost_models[0].elem_bytes();
+        let (events, extra) = plan.resolve(topology.devices.len());
+        let joiners = extra.len();
+        topology.devices.extend(extra);
+        Self::build(topology, elem_bytes, events, joiners, policy)
     }
 
     /// `count` identical `device`s linked by `interconnect` — what the CLI's
@@ -159,9 +218,20 @@ impl ShardedExecutor {
         )
     }
 
-    /// The topology being simulated.
+    /// The topology being simulated (including fault-plan joiners that have
+    /// not joined yet and devices already lost — see
+    /// [`ShardedExecutor::device_alive`]).
     pub fn device_topology(&self) -> &DeviceTopology {
         &self.shared.topology
+    }
+
+    /// Per-device liveness snapshot (`true` = alive right now).
+    pub fn device_alive(&self) -> Vec<bool> {
+        self.shared
+            .alive
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// The currently active shard, if any.
@@ -238,7 +308,7 @@ impl Executor for ShardedExecutor {
         let shard = self.active_shard();
         let modeled_seconds = if class == OpClass::AllReduce {
             let link = &self.shared.topology.interconnect;
-            let t = link.all_reduce_seconds(cost.bytes_read, self.shared.devices.len());
+            let t = link.all_reduce_seconds(cost.bytes_read, self.shared.alive_count().max(1));
             self.shared.add_comm(t);
             t
         } else {
@@ -348,6 +418,19 @@ impl Executor for ShardedExecutor {
             .lock()
             .unwrap_or_else(|p| p.into_inner()) = 0.0;
         self.shared.active.store(NO_SHARD, Ordering::Relaxed);
+        for (flag, &born) in self.shared.alive.iter().zip(&self.shared.born_alive) {
+            flag.store(born, Ordering::Relaxed);
+        }
+        self.shared
+            .faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .next = 0;
+        *self
+            .shared
+            .recovery
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = RecoveryReport::default();
     }
 
     fn topology(&self) -> Option<&DeviceTopology> {
@@ -367,6 +450,74 @@ impl Executor for ShardedExecutor {
             None => NO_SHARD,
         };
         self.shared.active.store(value, Ordering::Relaxed);
+    }
+
+    fn poll_fault(&self, pass: usize) -> Option<FaultEvent> {
+        let mut cursor = self.shared.faults.lock().unwrap_or_else(|p| p.into_inner());
+        if cursor.next >= cursor.events.len() || cursor.events[cursor.next].at_pass > pass {
+            return None;
+        }
+        let event = cursor.events[cursor.next].clone();
+        cursor.next += 1;
+        drop(cursor);
+        let mut delta = RecoveryReport {
+            events: 1,
+            ..Default::default()
+        };
+        match event.kind {
+            FaultKind::DeviceLost { device } => {
+                self.shared.alive[device].store(false, Ordering::Relaxed);
+                delta.devices_lost = 1;
+            }
+            FaultKind::DeviceJoined { device } => {
+                self.shared.alive[device].store(true, Ordering::Relaxed);
+                delta.devices_joined = 1;
+            }
+        }
+        self.shared
+            .recovery
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .merge(&delta);
+        Some(event)
+    }
+
+    fn shard_alive(&self, shard: usize) -> bool {
+        self.shared
+            .alive
+            .get(shard)
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    fn recovery_policy(&self) -> RecoveryPolicy {
+        self.shared.policy
+    }
+
+    fn note_recovery(&self, delta: &RecoveryReport) {
+        // Backoff waits are pure modeled stalls of the whole pool: they
+        // extend the serial stream (no op record — nothing computes).
+        if delta.backoff_seconds > 0.0 {
+            self.shared.add_serial(delta.backoff_seconds);
+        }
+        self.shared
+            .recovery
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .merge(delta);
+    }
+
+    fn recovery_report(&self) -> Option<RecoveryReport> {
+        let report = self
+            .shared
+            .recovery
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if report.is_empty() {
+            None
+        } else {
+            Some(report.clone())
+        }
     }
 }
 

@@ -154,8 +154,16 @@ fn solver_kind(
 fn run(args: &ServeArgs) -> Result<(), String> {
     let text = std::fs::read_to_string(&args.model)
         .map_err(|e| format!("cannot read {}: {e}", args.model))?;
-    let model = popcorn_core::FittedModel::<f32>::load(&text)
+    let (model, format) = popcorn_core::FittedModel::<f32>::load_versioned(&text)
         .map_err(|e| format!("{}: {e}", args.model))?;
+    if format.is_deprecated() {
+        eprintln!(
+            "popcorn-serve: {} uses the deprecated {} model format; re-save it with \
+             gpukmeans --save-model to upgrade",
+            args.model,
+            format.describe()
+        );
+    }
     println!("serving {}", model.describe());
     let solver = solver_kind(args, model.family())?;
     let server = Server::start(
@@ -215,14 +223,28 @@ fn run(args: &ServeArgs) -> Result<(), String> {
                 );
                 last_labels = Some(batch.labels);
             }
-            ServeResponse::Refitted(summary) => println!(
-                "{what}: n={} iterations={} converged={} objective={:.6e} modeled={:.6}s",
-                summary.n,
-                summary.iterations,
-                summary.converged,
-                summary.objective,
-                summary.modeled_seconds
-            ),
+            ServeResponse::Refitted(summary) => {
+                let recovery = summary
+                    .recovery
+                    .as_ref()
+                    .map(|r| {
+                        format!(
+                            " | recovered from {} device loss(es): {} row(s) migrated, \
+                             {} byte(s) re-uploaded",
+                            r.devices_lost, r.rows_migrated, r.bytes_reuploaded
+                        )
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "{what}: n={} iterations={} converged={} objective={:.6e} modeled={:.6}s{}",
+                    summary.n,
+                    summary.iterations,
+                    summary.converged,
+                    summary.objective,
+                    summary.modeled_seconds,
+                    recovery
+                )
+            }
             ServeResponse::Stats(_) => {}
             ServeResponse::Error(e) => println!("{what}: ERROR {e}"),
         }

@@ -30,7 +30,8 @@
 use popcorn_baselines::SolverKind;
 use popcorn_core::model::{AssignmentBatch, FittedModel, OwnedPoints, RefitRequest};
 use popcorn_core::ClusteringResult;
-use popcorn_gpusim::{Executor, SimExecutor};
+use popcorn_gpusim::{Executor, RecoveryReport, SimExecutor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -104,6 +105,12 @@ pub struct RefitSummary {
     pub objective: f64,
     /// Modeled device-seconds the refit charged.
     pub modeled_seconds: f64,
+    /// Elastic-topology recovery accounting when the refit's executor saw
+    /// device losses (mid-fit recovery or a retried fit) — the serving path
+    /// degrades gracefully instead of failing the request. `None` on a
+    /// fault-free refit. Cumulative across refits on one server, like
+    /// [`popcorn_core::ClusteringResult::recovery`].
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RefitSummary {
@@ -114,6 +121,7 @@ impl RefitSummary {
             converged: result.converged,
             objective: result.objective,
             modeled_seconds: result.modeled_timings.total(),
+            recovery: result.recovery.clone(),
         }
     }
 }
@@ -133,7 +141,8 @@ pub struct ServeStats {
     pub refits: usize,
     /// Requests rejected at submission because the queue was full.
     pub rejected: usize,
-    /// Requests that failed inside the worker (shape mismatches, ...).
+    /// Requests that failed inside the worker (shape mismatches, worker
+    /// panics caught at the request boundary, ...).
     pub errors: usize,
     /// Modeled device-seconds charged by answered requests.
     pub modeled_device_seconds: f64,
@@ -277,7 +286,11 @@ impl Server {
         match sender.try_send(envelope) {
             Ok(()) => Ok(Ticket { reply: reply_rx }),
             Err(TrySendError::Full(_)) => {
-                self.shared.stats.lock().unwrap().rejected += 1;
+                self.shared
+                    .stats
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .rejected += 1;
                 Err(SubmitError::Busy)
             }
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
@@ -291,12 +304,16 @@ impl Server {
 
     /// The currently served model (refits swap it; clones are cheap).
     pub fn model(&self) -> Arc<FittedModel<f32>> {
-        self.shared.model.read().unwrap().clone()
+        self.shared
+            .model
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Snapshot the serving counters without going through the queue.
     pub fn stats(&self) -> ServeStats {
-        *self.shared.stats.lock().unwrap()
+        *self.shared.stats.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// The server's executor (all request forks are absorbed into it).
@@ -330,14 +347,27 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Envelope>>) {
         // Hold the receiver lock only while waiting: the holder blocks in
         // `recv`, the other workers block on the mutex, and whoever gets a
         // message releases the lock before touching the model.
-        let envelope = match receiver.lock().unwrap().recv() {
+        let envelope = match receiver.lock().unwrap_or_else(|p| p.into_inner()).recv() {
             Ok(envelope) => envelope,
             Err(_) => break,
         };
-        let response = handle(shared, envelope.request);
-        let latency = envelope.enqueued.elapsed().as_secs_f64();
+        let Envelope {
+            request,
+            reply,
+            enqueued,
+        } = envelope;
+        // A panicking request is contained at the request boundary: it
+        // answers a counted error instead of killing the worker, and the
+        // poison-tolerant lock accesses below keep the model served. (Panics
+        // under the model's *write* lock are the one case std poisons; the
+        // swap itself is a plain pointer assignment and cannot panic.)
+        let response =
+            catch_unwind(AssertUnwindSafe(|| handle(shared, request))).unwrap_or_else(|payload| {
+                ServeResponse::Error(format!("worker panicked: {}", panic_message(&*payload)))
+            });
+        let latency = enqueued.elapsed().as_secs_f64();
         {
-            let mut stats = shared.stats.lock().unwrap();
+            let mut stats = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
             match &response {
                 ServeResponse::Assigned(batch) => {
                     stats.assigned += 1;
@@ -357,14 +387,28 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Envelope>>) {
                 stats.max_host_latency_seconds = stats.max_host_latency_seconds.max(latency);
             }
         }
-        let _ = envelope.reply.send(response);
+        let _ = reply.send(response);
     }
+}
+
+/// Best-effort text of a caught panic payload (`&str` / `String` payloads;
+/// anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
 }
 
 fn handle(shared: &Shared, request: ServeRequest) -> ServeResponse {
     match request {
         ServeRequest::Assign { queries } => {
-            let model = shared.model.read().unwrap().clone();
+            let model = shared
+                .model
+                .read()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
             // A fork gives this request its own trace: its modeled seconds
             // are exact regardless of what other workers charge concurrently.
             let fork = shared.executor.fork();
@@ -376,8 +420,12 @@ fn handle(shared: &Shared, request: ServeRequest) -> ServeResponse {
             }
         }
         ServeRequest::Refit { request } => {
-            let _gate = shared.refit_gate.lock().unwrap();
-            let model = shared.model.read().unwrap().clone();
+            let _gate = shared.refit_gate.lock().unwrap_or_else(|p| p.into_inner());
+            let model = shared
+                .model
+                .read()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
             let fork: Arc<dyn Executor> = Arc::from(shared.executor.fork());
             let solver = shared
                 .solver
@@ -387,14 +435,14 @@ fn handle(shared: &Shared, request: ServeRequest) -> ServeResponse {
             shared.executor.merge_peak(fork.peak_resident_bytes());
             match outcome {
                 Ok((result, refitted)) => {
-                    *shared.model.write().unwrap() = Arc::new(refitted);
+                    *shared.model.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(refitted);
                     ServeResponse::Refitted(RefitSummary::new(&result))
                 }
                 Err(e) => ServeResponse::Error(e.to_string()),
             }
         }
         ServeRequest::Stats => {
-            let stats = *shared.stats.lock().unwrap();
+            let stats = *shared.stats.lock().unwrap_or_else(|p| p.into_inner());
             ServeResponse::Stats(stats)
         }
     }
@@ -524,5 +572,148 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.errors, 1);
         assert_eq!(stats.assigned, 1);
+    }
+
+    /// Delegates to a [`SimExecutor`] but panics on the first `fork` — i.e.
+    /// in the middle of handling a request, after it was dequeued.
+    #[derive(Debug)]
+    struct PanickingExecutor {
+        inner: SimExecutor,
+        panics_left: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Executor for PanickingExecutor {
+        fn record(
+            &self,
+            name: String,
+            phase: popcorn_gpusim::Phase,
+            class: popcorn_gpusim::OpClass,
+            cost: popcorn_gpusim::OpCost,
+            host_seconds: f64,
+        ) {
+            self.inner.record(name, phase, class, cost, host_seconds)
+        }
+        fn device(&self) -> &popcorn_gpusim::DeviceSpec {
+            self.inner.device()
+        }
+        fn cost_model(&self) -> &popcorn_gpusim::CostModel {
+            self.inner.cost_model()
+        }
+        fn trace(&self) -> popcorn_gpusim::OpTrace {
+            self.inner.trace()
+        }
+        fn total_modeled_seconds(&self) -> f64 {
+            self.inner.total_modeled_seconds()
+        }
+        fn absorb(&self, trace: &popcorn_gpusim::OpTrace) {
+            self.inner.absorb(trace)
+        }
+        fn fork(&self) -> Box<dyn Executor> {
+            use std::sync::atomic::Ordering;
+            if self
+                .panics_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                    left.checked_sub(1)
+                })
+                .is_ok()
+            {
+                panic!("injected fork failure");
+            }
+            Executor::fork(&self.inner)
+        }
+        fn track_alloc(&self, bytes: u64) {
+            self.inner.track_alloc(bytes)
+        }
+        fn track_free(&self, bytes: u64) {
+            self.inner.track_free(bytes)
+        }
+        fn resident_bytes(&self) -> u64 {
+            self.inner.resident_bytes()
+        }
+        fn peak_resident_bytes(&self) -> u64 {
+            self.inner.peak_resident_bytes()
+        }
+        fn merge_peak(&self, peak: u64) {
+            self.inner.merge_peak(peak)
+        }
+        fn reset(&self) {
+            self.inner.reset()
+        }
+    }
+
+    #[test]
+    fn a_panicking_request_answers_a_counted_error_and_serving_continues() {
+        let (model, fit_labels) = fitted_model();
+        let training = model.points().clone();
+        let executor: Arc<dyn Executor> = Arc::new(PanickingExecutor {
+            inner: SimExecutor::new(SolverKind::Popcorn.default_device(), 4),
+            panics_left: std::sync::atomic::AtomicUsize::new(1),
+        });
+        let server = Server::start_with_executor(
+            model,
+            SolverKind::Popcorn,
+            executor,
+            ServeOptions::default(),
+        );
+        // The injected panic is contained: the request answers an error.
+        let response = server
+            .request(ServeRequest::Assign {
+                queries: training.clone(),
+            })
+            .unwrap();
+        let ServeResponse::Error(message) = response else {
+            panic!("expected the panic to answer an error, got {response:?}");
+        };
+        assert!(
+            message.contains("injected fork failure"),
+            "the panic payload must be carried: {message}"
+        );
+        // The worker survived and the model is still served.
+        let response = server
+            .request(ServeRequest::Assign { queries: training })
+            .unwrap();
+        let ServeResponse::Assigned(batch) = response else {
+            panic!("expected serving to continue, got {response:?}");
+        };
+        assert_eq!(batch.labels, fit_labels);
+        let stats = server.shutdown();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.assigned, 1);
+    }
+
+    #[test]
+    fn refit_losing_a_device_degrades_gracefully() {
+        use popcorn_gpusim::{DeviceSpec, FaultPlan, LinkSpec, RecoveryPolicy, ShardedExecutor};
+        let (model, _) = fitted_model();
+        let base = ShardedExecutor::homogeneous(DeviceSpec::a100_80gb(), 3, LinkSpec::nvlink(), 4);
+        // Device 2 dies at the refit's first kernel-matrix pass (a warm
+        // refit of a converged model may finish in a single pass).
+        let faulty = base.with_fault_plan(FaultPlan::new().lose(2, 0), RecoveryPolicy::Resume);
+        let server = Server::start_with_executor(
+            model,
+            SolverKind::Popcorn,
+            Arc::new(faulty),
+            ServeOptions::default(),
+        );
+        // A mini-batch refit rebuilds the kernel source (the resident-replay
+        // path never re-shards), so the loss hits the sharded stream.
+        let extra = OwnedPoints::Dense(uniform_dataset::<f32>(8, 5, 123).points().clone());
+        let response = server
+            .request(ServeRequest::Refit {
+                request: RefitRequest::warm().with_new_points(extra),
+            })
+            .unwrap();
+        let ServeResponse::Refitted(summary) = response else {
+            panic!("expected the refit to survive the device loss, got {response:?}");
+        };
+        assert_eq!(summary.n, 88);
+        let recovery = summary
+            .recovery
+            .expect("the summary must carry the recovery accounting");
+        assert_eq!(recovery.devices_lost, 1);
+        assert!(recovery.rows_migrated > 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.refits, 1);
+        assert_eq!(stats.errors, 0);
     }
 }

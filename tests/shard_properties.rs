@@ -253,6 +253,143 @@ proptest! {
         );
     }
 
+    /// Throughput-weighted plans over mixed device pools: every device gets
+    /// a shard entry, the shards are contiguous and cover `0..n` exactly,
+    /// and a strictly faster device never receives fewer rows than a
+    /// strictly slower one in the same pool.
+    #[test]
+    fn throughput_plans_cover_all_rows_and_order_by_device_speed(
+        n in 16usize..600,
+        k in 2usize..8,
+        pool in proptest::collection::vec(0usize..3, 2..6),
+    ) {
+        let presets = [
+            DeviceSpec::a100_80gb(),
+            DeviceSpec::h100_80gb(),
+            DeviceSpec::v100(),
+        ];
+        let topology = DeviceTopology {
+            devices: pool.iter().map(|&i| presets[i].clone()).collect(),
+            interconnect: LinkSpec::nvlink(),
+        };
+        let elem = std::mem::size_of::<f64>();
+        let plan = ShardPlan::balanced_by_throughput(
+            n,
+            k,
+            elem,
+            (n * 8 * elem) as u64,
+            TilePolicy::Auto,
+            &topology,
+            None,
+        )
+        .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let shards = plan.shards();
+        prop_assert_eq!(shards.len(), topology.devices.len());
+        let mut cursor = 0usize;
+        for (device, shard) in shards.iter().enumerate() {
+            prop_assert_eq!(shard.device, device, "pool {:?}", &pool);
+            prop_assert_eq!(shard.rows.start, cursor, "pool {:?}", &pool);
+            cursor = shard.rows.end;
+        }
+        prop_assert_eq!(cursor, n, "shards must cover every row: pool {:?}", &pool);
+        // H100 > A100 > V100 in every modeled metric, so the row counts
+        // must order the same way (ties between equal presets are ±1).
+        let speed = |preset: usize| [1usize, 2, 0][preset]; // v100 < a100 < h100
+        for (i, &a) in pool.iter().enumerate() {
+            for (j, &b) in pool.iter().enumerate() {
+                if speed(a) > speed(b) {
+                    prop_assert!(
+                        shards[i].rows.len() >= shards[j].rows.len(),
+                        "faster device {i} ({}) got {} rows but slower {j} ({}) got {}",
+                        presets[a].name,
+                        shards[i].rows.len(),
+                        presets[b].name,
+                        shards[j].rows.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mid-fit device loss is a recovery event, never a numerical one: for
+    /// every kernel representation (exact sharded, Nyström, sparsified CSR),
+    /// any lost device and any loss pass, the recovered fit matches the
+    /// fault-free single-device fit bit for bit — and when the loss actually
+    /// fired, both the executor and the result account for it.
+    #[test]
+    fn device_loss_recovery_is_bit_identical_for_all_representations(
+        points in mixed_points(24, 5),
+        seed in 0u64..50,
+        devices in 2usize..=4,
+        lost_pick in 0usize..4,
+        at_pass in 0usize..4,
+    ) {
+        let lost = lost_pick % devices;
+        let n = points.rows();
+        let elem = std::mem::size_of::<f64>();
+        let representations = [
+            ("exact", KernelApprox::Exact),
+            (
+                "nystrom",
+                KernelApprox::Nystrom {
+                    landmarks: (n / 2).max(2),
+                    seed: 3,
+                },
+            ),
+            (
+                "sparsified",
+                KernelApprox::Sparsified {
+                    sparsify: Sparsify::Knn { neighbors: 4 },
+                },
+            ),
+        ];
+        for (name, approx) in representations {
+            let config = base_config(2).with_seed(seed).with_approx(approx);
+            let single = KernelKmeans::new(config.clone())
+                .fit(&points)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+            let executor = Arc::new(
+                ShardedExecutor::homogeneous(
+                    DeviceSpec::a100_80gb(),
+                    devices,
+                    LinkSpec::nvlink(),
+                    elem,
+                )
+                .with_fault_plan(
+                    FaultPlan::new().lose(lost, at_pass),
+                    RecoveryPolicy::Resume,
+                ),
+            );
+            let recovered = KernelKmeans::new(config)
+                .with_shared_executor(executor.clone())
+                .fit(&points)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+            let context =
+                format!("({name}, devices {devices}, lost {lost} at pass {at_pass})");
+            assert_bit_identical(name, &single, &recovered, &context)?;
+            // A fit short enough to finish before `at_pass` never sees the
+            // event; otherwise the loss must be fully accounted.
+            if !executor.device_alive()[lost] {
+                let report = executor
+                    .recovery_report()
+                    .ok_or_else(|| TestCaseError::fail(format!("no report {context}")))?;
+                prop_assert!(report.devices_lost >= 1, "{}", &context);
+                prop_assert_eq!(
+                    recovered.recovery.as_ref().map(|r| r.devices_lost),
+                    Some(report.devices_lost),
+                    "result-level accounting diverges {}",
+                    &context
+                );
+            } else {
+                prop_assert!(
+                    recovered.recovery.is_none(),
+                    "a fault-free fit must not carry recovery accounting {}",
+                    &context
+                );
+            }
+        }
+    }
+
     /// Kernel k-means++ seeding pulls diag(K) and seed rows through the
     /// sharded source (each row priced on its owning device); the sampled
     /// centres — hence everything downstream — match the single-device path.
